@@ -1,0 +1,23 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+``REPRO_BENCH_SCALE`` shrinks or grows every workload (default 0.25: the
+full suite regenerates every paper table and figure in a few minutes;
+set 1.0 for the full-size runs recorded in EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+    except ValueError:
+        return 0.25
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Ablation benches for the design choices DESIGN.md calls out (beyond the
+paper's own tables): multicycle-aware scheduling, the section 3.11 store
+schemes, split-based renaming, and the speed-up over the scalar pipeline.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiments
+from repro.harness.reporting import format_table
+
+SUBSET = ["compress", "ijpeg", "m88ksim", "xlisp"]
+
+
+def test_ablation_multicycle(benchmark, bench_scale):
+    data = run_once(
+        benchmark,
+        lambda: experiments.ablation_multicycle(SUBSET, scale=bench_scale),
+    )
+    print()
+    print(format_table(data))
+    for name, row in data.items():
+        # both run correctly; latency-aware scheduling may cost slots but
+        # models the hardware of [14]
+        assert row["latency_aware"] > 0 and row["latency_blind"] > 0
+
+
+def test_ablation_store_scheme(benchmark, bench_scale):
+    data = run_once(
+        benchmark,
+        lambda: experiments.ablation_store_scheme(SUBSET, scale=bench_scale),
+    )
+    print()
+    print(format_table(data))
+    for name, row in data.items():
+        ratio = row["data_store_list"] / row["checkpoint_list"]
+        # the two section 3.11 schemes perform nearly identically (the
+        # paper expected this; the alternative exists for in-order I/O)
+        assert 0.8 <= ratio <= 1.2, name
+
+
+def test_ablation_splitting(benchmark, bench_scale):
+    data = run_once(
+        benchmark,
+        lambda: experiments.ablation_splitting(SUBSET, scale=bench_scale),
+    )
+    print()
+    print(format_table(data))
+    avg_on = sum(r["splitting"] for r in data.values()) / len(data)
+    avg_off = sum(r["no_splitting"] for r in data.values()) / len(data)
+    # split-based renaming (speculation past branches + WAW/WAR removal)
+    # is where the DTSVLIW's parallelism comes from
+    assert avg_on > avg_off
+
+
+def test_next_block_prediction(benchmark, bench_scale):
+    """The paper's section 5 future work, implemented: a last-successor
+    next-block predictor hides most of the next-LI miss penalty (the
+    largest cost segment in our Figure 8 decomposition)."""
+    data = run_once(
+        benchmark,
+        lambda: experiments.ablation_next_block_prediction(
+            SUBSET, scale=bench_scale
+        ),
+    )
+    print()
+    print(format_table(data))
+    for name, row in data.items():
+        assert row["prediction"] >= row["no_prediction"], name
+        assert row["hit_rate_pct"] > 30, name
+
+
+def test_compiler_quality(benchmark, bench_scale):
+    data = run_once(
+        benchmark,
+        lambda: experiments.ablation_compiler(SUBSET, scale=bench_scale),
+    )
+    print()
+    print(format_table(data))
+    avg_opt = sum(r["optimized"] for r in data.values()) / len(data)
+    avg_naive = sum(r["naive"] for r in data.values()) / len(data)
+    # optimized (unrolled + scheduled) code exposes more ILP on average
+    assert avg_opt > avg_naive * 0.95
+
+
+def test_speedup_vs_scalar(benchmark, bench_scale):
+    data = run_once(
+        benchmark,
+        lambda: experiments.speedup_vs_scalar(SUBSET, scale=bench_scale),
+    )
+    print()
+    print(format_table(data))
+    for name, row in data.items():
+        assert row["speedup"] > 1.0, name

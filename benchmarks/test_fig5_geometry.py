@@ -1,0 +1,40 @@
+"""Figure 5: variation of parallelism with block size and geometry.
+
+Paper shape: IPC grows with block size but sub-linearly (a 16-fold larger
+block does not double performance); 16x16 is the best geometry overall;
+ijpeg benefits the most from very large blocks (its single hot loop lets
+several iterations overlap inside one block).
+
+Documented deviation (EXPERIMENTS.md): the paper found width beats height
+(8x4 > 4x8 on every benchmark); with minicc-compiled code the base ILP is
+lower, so extra *height* (lookahead) wins instead and 8x4 ~= 4x4.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiments
+from repro.harness.reporting import format_table
+
+
+def test_fig5_geometry(benchmark, bench_scale):
+    data = run_once(
+        benchmark, lambda: experiments.fig5_geometry(scale=bench_scale)
+    )
+    cols = ["%dx%d" % g for g in experiments.FIG5_GEOMETRIES]
+    print()
+    print(format_table(data, cols))
+
+    for name, row in data.items():
+        # bigger blocks never hurt much ...
+        assert row["16x16"] >= row["4x4"] * 0.95, name
+        # ... but the growth is sub-linear (16x more slots, far from 2x IPC
+        # for every benchmark except possibly the ijpeg-style anomaly)
+        assert row["16x16"] <= row["4x4"] * 3.0, name
+
+    avg = {c: sum(r[c] for r in data.values()) / len(data) for c in cols}
+    assert avg["16x16"] >= avg["4x4"]
+    assert avg["8x8"] >= avg["4x4"]
+    # ijpeg is among the top benchmarks at 16x16 (paper's anomaly: its one
+    # hot loop overlaps iterations inside large blocks)
+    best = max(data, key=lambda n: data[n]["16x16"])
+    assert data["ijpeg"]["16x16"] >= 0.85 * data[best]["16x16"]

@@ -1,0 +1,35 @@
+"""Figure 6: variation of parallelism with the VLIW Cache size.
+
+Paper shape: performance grows (weakly) with cache size; compress, ijpeg
+and xlisp have small instruction working sets and are insensitive over a
+wide range; go has the largest working set and keeps benefitting up to
+the largest cache.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiments
+from repro.harness.reporting import format_table
+
+
+def test_fig6_cache_size(benchmark, bench_scale):
+    data = run_once(
+        benchmark, lambda: experiments.fig6_cache_size(scale=bench_scale)
+    )
+    print()
+    print(format_table(data, experiments.FIG6_SIZES_KB))
+
+    smallest = experiments.FIG6_SIZES_KB[0]
+    largest = experiments.FIG6_SIZES_KB[-1]
+    for name, row in data.items():
+        # a large cache clearly beats a starved one
+        assert row[largest] >= row[smallest], name
+
+    # small-working-set benchmarks are insensitive over a wide range
+    # (paper: compress, ijpeg, xlisp) -- here from the footprint-scaled
+    # saturation point upward
+    for name in ("compress", "ijpeg", "xlisp"):
+        row = data[name]
+        plateau = [row[kb] for kb in experiments.FIG6_SIZES_KB if kb >= 16]
+        spread = max(plateau) - min(plateau)
+        assert spread <= 0.15 * max(plateau), name

@@ -1,0 +1,42 @@
+"""Figure 8: performance of a feasible DTSVLIW machine, decomposed into
+stacked cost contributions (functional-unit mix, instruction cache, data
+cache, next-long-instruction misses) over the delivered ILP.
+
+Paper shape: the slot shortage (FU cost), data-cache misses and next-LI
+misses are the main losses; instruction-cache misses are minor (the paper
+concludes the I-cache could be made smaller).
+"""
+
+from conftest import run_once
+
+from repro.harness import experiments
+from repro.harness.reporting import format_stacked, format_table
+
+
+def test_fig8_feasible(benchmark, bench_scale):
+    data = run_once(
+        benchmark, lambda: experiments.fig8_feasible(scale=bench_scale)
+    )
+    print()
+    print(format_stacked(data, experiments.FIG8_SEGMENTS))
+    print()
+    print(
+        format_table(
+            data,
+            ["ilp", "next_li_cost", "dcache_cost", "icache_cost", "fu_cost", "ideal"],
+        )
+    )
+
+    for name, row in data.items():
+        assert row["ilp"] > 0, name
+        for seg in experiments.FIG8_SEGMENTS:
+            assert row[seg] >= 0, (name, seg)
+        # segments stack from the delivered ILP up to (approximately) the
+        # ideal machine's IPC; negative deltas are clamped, so allow noise
+        total = sum(row[s] for s in experiments.FIG8_SEGMENTS)
+        assert row["ideal"] - 0.05 <= total <= row["ideal"] + 0.15, name
+
+    # instruction-cache misses impose low impact (paper's conclusion)
+    avg_ic = sum(r["icache_cost"] for r in data.values()) / len(data)
+    avg_ideal = sum(r["ideal"] for r in data.values()) / len(data)
+    assert avg_ic <= 0.15 * avg_ideal

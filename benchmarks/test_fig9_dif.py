@@ -1,0 +1,39 @@
+"""Figure 9: comparison between DTSVLIW and DIF on one configuration.
+
+Paper shape: the two machines deliver similar average performance (the
+paper measured a 9% edge for the DTSVLIW against a non-comparable DIF
+simulation and warned about the methodology), while the DTSVLIW needs far
+fewer renaming resources (18 int + 6 fp registers vs 96 + 96 instances).
+
+Our apples-to-apples reimplementation (same ISA, same compiler, same
+inputs) keeps both machines in the same performance band, with DIF's
+whole-window greedy scheduler slightly ahead and -- exactly as the paper
+argues -- a several-fold larger renaming-register appetite.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiments
+from repro.harness.reporting import format_table
+
+
+def test_fig9_dif(benchmark, bench_scale):
+    data = run_once(
+        benchmark, lambda: experiments.fig9_dif_comparison(scale=bench_scale)
+    )
+    print()
+    print(
+        format_table(
+            data, ["dtsvliw", "dif", "dtsvliw_renaming", "dif_renaming"]
+        )
+    )
+
+    n = len(data)
+    avg_dts = sum(r["dtsvliw"] for r in data.values()) / n
+    avg_dif = sum(r["dif"] for r in data.values()) / n
+    # similar performance band (paper: 2.4 vs 2.2)
+    assert 0.5 <= avg_dts / avg_dif <= 2.0
+    # the resource headline: DIF needs several times the renaming registers
+    avg_dts_rr = sum(r["dtsvliw_renaming"] for r in data.values()) / n
+    avg_dif_rr = sum(r["dif_renaming"] for r in data.values()) / n
+    assert avg_dif_rr > 1.5 * avg_dts_rr

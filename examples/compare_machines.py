@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Compare the three machines on your own program: the DTSVLIW, the DIF
+baseline (Nair & Hopkins) and the scalar Primary Processor alone.
+
+Edit SOURCE below or pass a path to a minicc file.
+
+Run:  python examples/compare_machines.py [path/to/program.c]
+"""
+
+import sys
+
+from repro.asm.assembler import assemble
+from repro.baselines.dif import DIFMachine
+from repro.baselines.scalar import ScalarMachine
+from repro.core.config import MachineConfig
+from repro.core.machine import DTSVLIW
+from repro.core.reference import ReferenceMachine
+from repro.lang import compile_minicc
+
+SOURCE = """
+/* string reversal + checksum: a small pointer-heavy kernel */
+char buf[256];
+
+int main() {
+  int i;
+  int n = 200;
+  for (i = 0; i < n; i++) buf[i] = 'a' + (i & 15);
+  int lo = 0; int hi = n - 1;
+  while (lo < hi) {
+    char t = buf[lo]; buf[lo] = buf[hi]; buf[hi] = t;
+    lo++; hi--;
+  }
+  int check = 0;
+  for (i = 0; i < n; i++) check = ((check << 1) + buf[i]) & 0xffffff;
+  print_int(check);
+  return check & 0xff;
+}
+"""
+
+
+def main() -> None:
+    source = SOURCE
+    if len(sys.argv) > 1:
+        with open(sys.argv[1]) as fh:
+            source = fh.read()
+
+    program = assemble(compile_minicc(source))
+    ref = ReferenceMachine(program)
+    instructions = ref.run()
+    print("reference: %d instructions, output %r" % (instructions, ref.output))
+    print()
+    print("%-8s  %10s  %8s  %9s" % ("machine", "cycles", "ipc", "speedup"))
+
+    cfg = MachineConfig.fig9(test_mode=False)
+    rows = []
+    for name, machine in [
+        ("scalar", ScalarMachine(program, cfg)),
+        ("dtsvliw", DTSVLIW(program, cfg)),
+        ("dif", DIFMachine(program, cfg)),
+    ]:
+        stats = machine.run()
+        assert machine.output == ref.output, "%s diverged!" % name
+        rows.append((name, stats.cycles, instructions / stats.cycles))
+    base = rows[0][1]
+    for name, cycles, ipc in rows:
+        print("%-8s  %10d  %8.2f  %8.2fx" % (name, cycles, ipc, base / cycles))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Explore block geometry on one workload (a single-benchmark Figure 5).
+
+Shows how the block's width (functional units) and height (trace lookahead)
+trade off, using the ijpeg analogue -- the paper's most ILP-rich benchmark.
+
+Run:  python examples/explore_geometry.py [workload] [scale]
+"""
+
+import sys
+
+from repro.core.config import MachineConfig
+from repro.harness.reporting import format_bars
+from repro.harness.runner import run_workload
+
+GEOMETRIES = [(2, 2), (4, 4), (8, 4), (4, 8), (8, 8), (16, 8), (8, 16), (16, 16)]
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "ijpeg"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+
+    print("block geometry sweep on %r (scale %.2f)" % (workload, scale))
+    print("%8s  %8s  %8s  %10s  %8s" % ("geometry", "ipc", "vliw%", "slot-occ%", "blocks"))
+    results = {}
+    for (w, h) in GEOMETRIES:
+        cfg = MachineConfig.paper_fixed(w, h, test_mode=False)
+        res = run_workload(workload, cfg, scale=scale)
+        s = res.stats
+        results["%dx%d" % (w, h)] = res.ipc
+        print(
+            "%8s  %8.2f  %8.0f  %10.0f  %8d"
+            % (
+                "%dx%d" % (w, h),
+                res.ipc,
+                100 * s.vliw_cycle_fraction,
+                100 * s.slot_occupancy,
+                s.blocks_flushed,
+            )
+        )
+    print()
+    print(format_bars({workload: results}))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Full-scale (scale 1.0) regeneration of every table and figure.
+Run:  python results/full_run.py   (writes results/*.txt)"""
+import contextlib
+import io
+import sys
+import time
+
+from repro.harness.cli import main
+
+COMMANDS = [
+    ("table2", ["table2"]),
+    ("fig5", ["fig5"]),
+    ("fig6", ["fig6"]),
+    ("fig7", ["fig7"]),
+    ("table3", ["table3"]),
+    ("fig8", ["fig8"]),
+    ("fig9", ["fig9"]),
+    ("speedup", ["speedup"]),
+    ("ablations", ["ablations"]),
+]
+
+for name, argv in COMMANDS:
+    t0 = time.time()
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        main(argv + ["--scale", "1.0"])
+    text = buf.getvalue()
+    with open("results/%s.txt" % name, "w") as fh:
+        fh.write(text)
+    print("%-10s done in %.1fs" % (name, time.time() - t0), flush=True)
+print("ALL DONE")

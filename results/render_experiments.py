@@ -1,0 +1,43 @@
+"""Inject the full-scale result tables into EXPERIMENTS.md.
+
+Run after ``python results/full_run.py``::
+
+    python results/render_experiments.py
+"""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+MARKERS = {
+    "TABLE2": "table2.txt",
+    "FIG5": "fig5.txt",
+    "FIG6": "fig6.txt",
+    "FIG7": "fig7.txt",
+    "TABLE3": "table3.txt",
+    "FIG8": "fig8.txt",
+    "FIG9": "fig9.txt",
+    "SPEEDUP": "speedup.txt",
+    "ABLATIONS": "ablations.txt",
+}
+
+
+def main() -> None:
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for marker, fname in MARKERS.items():
+        path = ROOT / "results" / fname
+        if not path.exists():
+            print("missing", fname)
+            continue
+        block = "```text\n%s\n```" % path.read_text().rstrip()
+        # replace either the bare marker or a previously injected block
+        pattern = re.compile(
+            r"<!--%s-->\n(?:```text\n.*?\n```)?" % marker, re.DOTALL
+        )
+        text = pattern.sub("<!--%s-->\n%s" % (marker, block), text, count=1)
+    (ROOT / "EXPERIMENTS.md").write_text(text)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

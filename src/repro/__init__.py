@@ -1,0 +1,51 @@
+"""DTSVLIW: a reproduction of de Souza & Rounce, IPPS/SPDP 1999.
+
+Public API
+----------
+
+Compile and run::
+
+    from repro import compile_and_load, DTSVLIW, MachineConfig
+
+    program = compile_and_load("int main() { return 6 * 7; }")
+    machine = DTSVLIW(program, MachineConfig.paper_fixed(8, 8))
+    stats = machine.run()
+
+Pieces:
+
+* :func:`repro.lang.compile_minicc` / :func:`repro.asm.assembler.assemble`
+* :class:`repro.core.machine.DTSVLIW` -- the machine
+* :class:`repro.core.config.MachineConfig` -- all parameters (Table 1,
+  feasible, Figure 9 presets)
+* :class:`repro.core.reference.ReferenceMachine` -- the sequential oracle
+* :class:`repro.baselines.dif.DIFMachine`,
+  :class:`repro.baselines.scalar.ScalarMachine`
+* :mod:`repro.workloads.registry` -- the SPECint95 analogues
+* :mod:`repro.harness.experiments` -- every table/figure driver
+"""
+
+from .asm.assembler import assemble
+from .core.config import CacheConfig, MachineConfig
+from .core.machine import DTSVLIW
+from .core.reference import ReferenceMachine
+from .core.stats import Stats
+from .lang import CompilerOptions, compile_minicc
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "assemble",
+    "compile_minicc",
+    "compile_and_load",
+    "CompilerOptions",
+    "CacheConfig",
+    "MachineConfig",
+    "DTSVLIW",
+    "ReferenceMachine",
+    "Stats",
+]
+
+
+def compile_and_load(source, options=None):
+    """Compile minicc ``source`` and assemble it into a runnable Program."""
+    return assemble(compile_minicc(source, options))

@@ -1,0 +1,542 @@
+"""Two-pass assembler for srisc.
+
+Pass 1 parses statements and lays out sections (labels get addresses);
+pass 2 expands pseudo-instructions, evaluates expressions against the symbol
+table and encodes machine words.
+
+Supported pseudo-instructions (all SPARC-style operand order,
+``op src1, src2, dst``):
+
+===========  =====================================================
+``mov a, %rd``        ``or %g0, a, %rd``
+``set v, %rd``        ``sethi %hi(v), %rd ; or %rd, %lo(v), %rd`` (always 8 bytes)
+``cmp %a, b``         ``subcc %a, b, %g0``
+``tst %a``            ``orcc %g0, %a, %g0``
+``neg %a, %rd``       ``sub %g0, %a, %rd``
+``not %a, %rd``       ``xnor %a, %g0, %rd``
+``ret``               ``jmpl %i7+8, %g0``
+``retl``              ``jmpl %o7+8, %g0``
+``b/jmp label``       ``ba label``
+===========  =====================================================
+
+Directives: ``.text``, ``.data``, ``.align``, ``.word``, ``.byte``,
+``.space``, ``.ascii``, ``.asciz``, ``.global`` (accepted, ignored),
+``.equ name, value``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..core.errors import SimError
+from ..isa.encoding import encode
+from ..isa.instructions import Instr, OPCODES, K_BRANCH, K_CALL
+from .parsing import (
+    Statement,
+    eval_expr,
+    is_register,
+    parse_fp_register,
+    parse_line,
+    parse_mem_operand,
+    parse_register,
+    parse_string_literal,
+)
+from .program import Program, TEXT_BASE
+
+_DIRECTIVES = {
+    ".text",
+    ".data",
+    ".align",
+    ".word",
+    ".byte",
+    ".space",
+    ".ascii",
+    ".asciz",
+    ".global",
+    ".globl",
+    ".equ",
+}
+
+_PSEUDO_SIZES = {"set": 8}
+
+_BRANCH_ALIASES = {"b": "ba", "jmp": "ba", "bcs": "blu", "bcc": "bgeu", "bz": "be", "bnz": "bne"}
+
+_INT_THREE_OP = {
+    "add", "addcc", "sub", "subcc", "and", "andcc", "or", "orcc", "xor",
+    "xorcc", "andn", "orn", "xnor", "sll", "srl", "sra", "smul", "umul",
+    "sdiv", "udiv",
+}
+
+_FP_THREE_OP = {"fadd", "fsub", "fmul", "fdiv"}
+_FP_TWO_OP = {"fmov", "fneg"}
+
+_REGPLUS_RE = re.compile(r"^(%?[\w.$]+)\s*(?:([+-])\s*(.+?))?$")
+
+
+class Assembler:
+    """Assemble srisc source text into a :class:`Program`."""
+
+    def __init__(self, text_base: int = TEXT_BASE):
+        self.text_base = text_base
+
+    # ------------------------------------------------------------------ API
+    def assemble(self, source: str) -> Program:
+        """Assemble full ``source`` text into a Program image."""
+        statements = []
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            stmt = parse_line(line, lineno)
+            if stmt is not None:
+                statements.append(stmt)
+
+        symbols, text_size, data_size = self._layout(statements)
+        data_base = (self.text_base + text_size + 15) & ~15
+        # Resolve section-relative label records into absolute addresses.
+        resolved: Dict[str, int] = {}
+        for name, (section, offset) in symbols.items():
+            if section == "abs":
+                resolved[name] = offset
+            elif section == "text":
+                resolved[name] = self.text_base + offset
+            else:
+                resolved[name] = data_base + offset
+
+        text_words, data_image, source_map = self._emit(
+            statements, resolved, data_base, data_size
+        )
+        entry = resolved.get("_start", self.text_base)
+        return Program(
+            self.text_base,
+            text_words,
+            data_base,
+            bytes(data_image),
+            resolved,
+            entry,
+            source_map,
+        )
+
+    # ------------------------------------------------------------- pass one
+    def _stmt_size(self, stmt: Statement) -> int:
+        """Size in bytes contributed by an instruction statement."""
+        return _PSEUDO_SIZES.get(stmt.mnemonic, 4)
+
+    def _layout(
+        self, statements: List[Statement]
+    ) -> Tuple[Dict[str, Tuple[str, int]], int, int]:
+        symbols: Dict[str, Tuple[str, int]] = {}
+        section = "text"
+        offsets = {"text": 0, "data": 0}
+        for stmt in statements:
+            if stmt.label:
+                if stmt.label in symbols:
+                    raise SimError(
+                        "line %d: duplicate label %r" % (stmt.lineno, stmt.label)
+                    )
+                symbols[stmt.label] = (section, offsets[section])
+            mn = stmt.mnemonic
+            if mn is None:
+                continue
+            if mn in _DIRECTIVES:
+                section, size = self._directive_layout(
+                    stmt, section, offsets[section], symbols
+                )
+                offsets[section] += size
+            else:
+                if section != "text":
+                    raise SimError(
+                        "line %d: instruction outside .text" % stmt.lineno
+                    )
+                offsets["text"] += self._stmt_size(stmt)
+        return symbols, offsets["text"], offsets["data"]
+
+    def _directive_layout(
+        self,
+        stmt: Statement,
+        section: str,
+        offset: int,
+        symbols: Dict[str, Tuple[str, int]],
+    ) -> Tuple[str, int]:
+        mn = stmt.mnemonic
+        if mn == ".text":
+            return "text", 0
+        if mn == ".data":
+            return "data", 0
+        if mn in (".global", ".globl"):
+            return section, 0
+        if mn == ".equ":
+            if len(stmt.operands) != 2:
+                raise SimError("line %d: .equ needs name, value" % stmt.lineno)
+            value = eval_expr(stmt.operands[1], {}, stmt.lineno)
+            symbols[stmt.operands[0].strip()] = ("abs", value)
+            return section, 0
+        if mn == ".align":
+            n = eval_expr(stmt.operands[0], {}, stmt.lineno)
+            pad = (-offset) % n
+            # Re-point the statement's own label past the padding.
+            if stmt.label and symbols.get(stmt.label) == (section, offset):
+                symbols[stmt.label] = (section, offset + pad)
+            return section, pad
+        if mn == ".word":
+            return section, 4 * len(stmt.operands)
+        if mn == ".byte":
+            return section, len(stmt.operands)
+        if mn == ".space":
+            return section, eval_expr(stmt.operands[0], {}, stmt.lineno)
+        if mn in (".ascii", ".asciz"):
+            data = parse_string_literal(stmt.operands[0], stmt.lineno)
+            return section, len(data) + (1 if mn == ".asciz" else 0)
+        raise SimError("line %d: unknown directive %s" % (stmt.lineno, mn))
+
+    # ------------------------------------------------------------- pass two
+    def _emit(
+        self,
+        statements: List[Statement],
+        symbols: Dict[str, int],
+        data_base: int,
+        data_size: int,
+    ):
+        text_words: List[int] = []
+        data_image = bytearray(data_size)
+        data_off = 0
+        section = "text"
+        source_map: Dict[int, str] = {}
+
+        for stmt in statements:
+            mn = stmt.mnemonic
+            if mn is None:
+                continue
+            if mn in _DIRECTIVES:
+                if mn == ".text":
+                    section = "text"
+                elif mn == ".data":
+                    section = "data"
+                elif mn == ".align":
+                    n = eval_expr(stmt.operands[0], symbols, stmt.lineno)
+                    if section == "text":
+                        while (len(text_words) * 4) % n:
+                            text_words.append(encode(Instr(OPCODES["nop"])))
+                    else:
+                        data_off += (-data_off) % n
+                elif mn == ".word":
+                    for opnd in stmt.operands:
+                        v = eval_expr(opnd, symbols, stmt.lineno) & 0xFFFFFFFF
+                        data_image[data_off : data_off + 4] = v.to_bytes(4, "big")
+                        data_off += 4
+                elif mn == ".byte":
+                    for opnd in stmt.operands:
+                        data_image[data_off] = (
+                            eval_expr(opnd, symbols, stmt.lineno) & 0xFF
+                        )
+                        data_off += 1
+                elif mn == ".space":
+                    data_off += eval_expr(stmt.operands[0], symbols, stmt.lineno)
+                elif mn in (".ascii", ".asciz"):
+                    data = parse_string_literal(stmt.operands[0], stmt.lineno)
+                    data_image[data_off : data_off + len(data)] = data
+                    data_off += len(data)
+                    if mn == ".asciz":
+                        data_off += 1  # NUL already zero in the image
+                continue
+            addr = self.text_base + 4 * len(text_words)
+            source_map[addr] = stmt.raw.strip()
+            for instr in self._expand(stmt, addr, symbols):
+                text_words.append(encode(instr))
+        return text_words, data_image, source_map
+
+    # ------------------------------------------------- instruction encoding
+    def _expand(
+        self, stmt: Statement, addr: int, symbols: Dict[str, int]
+    ) -> List[Instr]:
+        mn = stmt.mnemonic
+        ops = stmt.operands
+        ln = stmt.lineno
+
+        def expr(tok: str) -> int:
+            return eval_expr(tok, symbols, ln)
+
+        def reg_or_imm(tok: str) -> Tuple[int, int, bool]:
+            """-> (rs2, imm, use_imm)"""
+            if is_register(tok):
+                return parse_register(tok, ln), 0, False
+            return 0, expr(tok), True
+
+        mn = _BRANCH_ALIASES.get(mn, mn)
+
+        # -- pseudos ---------------------------------------------------------
+        if mn == "mov":
+            self._arity(stmt, 2)
+            rs2, imm, use_imm = reg_or_imm(ops[0])
+            return [
+                Instr(
+                    OPCODES["or"],
+                    rd=parse_register(ops[1], ln),
+                    rs1=0,
+                    rs2=rs2,
+                    imm=imm,
+                    use_imm=use_imm,
+                    addr=addr,
+                )
+            ]
+        if mn == "set":
+            self._arity(stmt, 2)
+            value = expr(ops[0]) & 0xFFFFFFFF
+            rd = parse_register(ops[1], ln)
+            return [
+                Instr(OPCODES["sethi"], rd=rd, imm=(value >> 12) & 0xFFFFF, addr=addr),
+                Instr(
+                    OPCODES["or"],
+                    rd=rd,
+                    rs1=rd,
+                    imm=value & 0xFFF,
+                    use_imm=True,
+                    addr=addr + 4,
+                ),
+            ]
+        if mn == "cmp":
+            self._arity(stmt, 2)
+            rs2, imm, use_imm = reg_or_imm(ops[1])
+            return [
+                Instr(
+                    OPCODES["subcc"],
+                    rd=0,
+                    rs1=parse_register(ops[0], ln),
+                    rs2=rs2,
+                    imm=imm,
+                    use_imm=use_imm,
+                    addr=addr,
+                )
+            ]
+        if mn == "tst":
+            self._arity(stmt, 1)
+            return [
+                Instr(
+                    OPCODES["orcc"],
+                    rd=0,
+                    rs1=0,
+                    rs2=parse_register(ops[0], ln),
+                    addr=addr,
+                )
+            ]
+        if mn == "neg":
+            self._arity(stmt, 2)
+            return [
+                Instr(
+                    OPCODES["sub"],
+                    rd=parse_register(ops[1], ln),
+                    rs1=0,
+                    rs2=parse_register(ops[0], ln),
+                    addr=addr,
+                )
+            ]
+        if mn == "not":
+            self._arity(stmt, 2)
+            return [
+                Instr(
+                    OPCODES["xnor"],
+                    rd=parse_register(ops[1], ln),
+                    rs1=parse_register(ops[0], ln),
+                    rs2=0,
+                    addr=addr,
+                )
+            ]
+        if mn == "ret":
+            # No delay slots: return lands on the word after the call.
+            return [Instr(OPCODES["jmpl"], rd=0, rs1=31, imm=4, use_imm=True, addr=addr)]
+        if mn == "retl":
+            return [Instr(OPCODES["jmpl"], rd=0, rs1=15, imm=4, use_imm=True, addr=addr)]
+        if mn == "nop":
+            return [Instr(OPCODES["nop"], addr=addr)]
+
+        # -- real instructions -------------------------------------------------
+        opc = OPCODES.get(mn)
+        if opc is None:
+            raise SimError("line %d: unknown mnemonic %r" % (ln, mn))
+
+        if mn in _INT_THREE_OP:
+            self._arity(stmt, 3)
+            rs2, imm, use_imm = reg_or_imm(ops[1])
+            return [
+                Instr(
+                    opc,
+                    rd=parse_register(ops[2], ln),
+                    rs1=parse_register(ops[0], ln),
+                    rs2=rs2,
+                    imm=imm,
+                    use_imm=use_imm,
+                    addr=addr,
+                )
+            ]
+        if mn == "sethi":
+            self._arity(stmt, 2)
+            return [
+                Instr(opc, rd=parse_register(ops[1], ln), imm=expr(ops[0]), addr=addr)
+            ]
+        if mn in ("ld", "ldub", "ldsb"):
+            self._arity(stmt, 2)
+            rs1, rs2, imm = parse_mem_operand(ops[0], symbols, ln)
+            return [
+                Instr(
+                    opc,
+                    rd=parse_register(ops[1], ln),
+                    rs1=rs1,
+                    rs2=rs2 or 0,
+                    imm=imm,
+                    use_imm=rs2 is None,
+                    addr=addr,
+                )
+            ]
+        if mn in ("st", "stb"):
+            self._arity(stmt, 2)
+            rs1, rs2, imm = parse_mem_operand(ops[1], symbols, ln)
+            return [
+                Instr(
+                    opc,
+                    rd=parse_register(ops[0], ln),
+                    rs1=rs1,
+                    rs2=rs2 or 0,
+                    imm=imm,
+                    use_imm=rs2 is None,
+                    addr=addr,
+                )
+            ]
+        if mn == "ldf":
+            self._arity(stmt, 2)
+            rs1, rs2, imm = parse_mem_operand(ops[0], symbols, ln)
+            return [
+                Instr(
+                    opc,
+                    rd=parse_fp_register(ops[1], ln),
+                    rs1=rs1,
+                    rs2=rs2 or 0,
+                    imm=imm,
+                    use_imm=rs2 is None,
+                    addr=addr,
+                )
+            ]
+        if mn == "stf":
+            self._arity(stmt, 2)
+            rs1, rs2, imm = parse_mem_operand(ops[1], symbols, ln)
+            return [
+                Instr(
+                    opc,
+                    rd=parse_fp_register(ops[0], ln),
+                    rs1=rs1,
+                    rs2=rs2 or 0,
+                    imm=imm,
+                    use_imm=rs2 is None,
+                    addr=addr,
+                )
+            ]
+        if opc.kind == K_BRANCH:
+            self._arity(stmt, 1)
+            target = expr(ops[0])
+            return [Instr(opc, imm=target - addr, addr=addr)]
+        if opc.kind == K_CALL:
+            self._arity(stmt, 1)
+            target = expr(ops[0])
+            return [Instr(opc, imm=target - addr, addr=addr)]
+        if mn == "jmpl":
+            self._arity(stmt, 2)
+            m = _REGPLUS_RE.match(ops[0].strip())
+            if not m or not is_register(m.group(1)):
+                raise SimError("line %d: bad jmpl operand %r" % (ln, ops[0]))
+            rs1 = parse_register(m.group(1), ln)
+            imm = 0
+            if m.group(2):
+                imm = expr(m.group(3))
+                if m.group(2) == "-":
+                    imm = -imm
+            return [
+                Instr(
+                    opc,
+                    rd=parse_register(ops[1], ln),
+                    rs1=rs1,
+                    imm=imm,
+                    use_imm=True,
+                    addr=addr,
+                )
+            ]
+        if mn in ("save", "restore"):
+            if mn == "restore" and not ops:
+                return [Instr(opc, rd=0, rs1=0, rs2=0, addr=addr)]
+            self._arity(stmt, 3)
+            rs2, imm, use_imm = reg_or_imm(ops[1])
+            return [
+                Instr(
+                    opc,
+                    rd=parse_register(ops[2], ln),
+                    rs1=parse_register(ops[0], ln),
+                    rs2=rs2,
+                    imm=imm,
+                    use_imm=use_imm,
+                    addr=addr,
+                )
+            ]
+        if mn in _FP_THREE_OP:
+            self._arity(stmt, 3)
+            return [
+                Instr(
+                    opc,
+                    rd=parse_fp_register(ops[2], ln),
+                    rs1=parse_fp_register(ops[0], ln),
+                    rs2=parse_fp_register(ops[1], ln),
+                    addr=addr,
+                )
+            ]
+        if mn in _FP_TWO_OP:
+            self._arity(stmt, 2)
+            return [
+                Instr(
+                    opc,
+                    rd=parse_fp_register(ops[1], ln),
+                    rs1=parse_fp_register(ops[0], ln),
+                    addr=addr,
+                )
+            ]
+        if mn == "fcmp":
+            self._arity(stmt, 2)
+            return [
+                Instr(
+                    opc,
+                    rs1=parse_fp_register(ops[0], ln),
+                    rs2=parse_fp_register(ops[1], ln),
+                    addr=addr,
+                )
+            ]
+        if mn == "fitos":
+            self._arity(stmt, 2)
+            return [
+                Instr(
+                    opc,
+                    rd=parse_fp_register(ops[1], ln),
+                    rs1=parse_register(ops[0], ln),
+                    addr=addr,
+                )
+            ]
+        if mn == "fstoi":
+            self._arity(stmt, 2)
+            return [
+                Instr(
+                    opc,
+                    rd=parse_register(ops[1], ln),
+                    rs1=parse_fp_register(ops[0], ln),
+                    addr=addr,
+                )
+            ]
+        if mn == "ta":
+            self._arity(stmt, 1)
+            return [Instr(opc, imm=expr(ops[0]), addr=addr)]
+        raise SimError("line %d: cannot encode %r" % (ln, stmt.raw))
+
+    @staticmethod
+    def _arity(stmt: Statement, n: int) -> None:
+        if len(stmt.operands) != n:
+            raise SimError(
+                "line %d: %s expects %d operands, got %d"
+                % (stmt.lineno, stmt.mnemonic, n, len(stmt.operands))
+            )
+
+
+def assemble(source: str, text_base: int = TEXT_BASE) -> Program:
+    """Convenience wrapper: assemble ``source`` into a :class:`Program`."""
+    return Assembler(text_base).assemble(source)

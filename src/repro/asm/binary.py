@@ -1,0 +1,89 @@
+"""Binary executable images: save/load Programs as ``.bin`` files.
+
+Format (all fields big-endian 32-bit)::
+
+    magic   'SRSC'
+    version 1
+    entry   absolute entry address
+    text_base, text_words
+    data_base, data_bytes
+    nsyms
+    --- text section: text_words x u32 (the ISA encoding of each instr)
+    --- data section: data_bytes raw
+    --- symbols: nsyms x (u16 name_len, name utf-8, u32 value)
+
+The text section round-trips through :mod:`repro.isa.encoding`, so a saved
+program really is srisc machine code, decodable by any conforming loader.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from ..core.errors import SimError
+from .program import Program
+
+MAGIC = b"SRSC"
+VERSION = 1
+
+
+def save_program(program: Program, path) -> None:
+    """Serialize ``program`` to an srisc ``.bin`` executable."""
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack(
+        ">IIIIIII",
+        VERSION,
+        program.entry,
+        program.text_base,
+        len(program.text_words),
+        program.data_base,
+        len(program.data_image),
+        len(program.symbols),
+    )
+    for word in program.text_words:
+        out += struct.pack(">I", word)
+    out += program.data_image
+    for name, value in sorted(program.symbols.items()):
+        encoded = name.encode("utf-8")
+        out += struct.pack(">H", len(encoded))
+        out += encoded
+        out += struct.pack(">I", value & 0xFFFFFFFF)
+    Path(path).write_bytes(bytes(out))
+
+
+def load_program(path) -> Program:
+    """Load and decode an srisc ``.bin`` executable."""
+    blob = Path(path).read_bytes()
+    if blob[:4] != MAGIC:
+        raise SimError("%s: not an srisc binary (bad magic)" % path)
+    (
+        version,
+        entry,
+        text_base,
+        n_words,
+        data_base,
+        n_data,
+        n_syms,
+    ) = struct.unpack_from(">IIIIIII", blob, 4)
+    if version != VERSION:
+        raise SimError("%s: unsupported binary version %d" % (path, version))
+    off = 4 + 7 * 4
+    need = off + 4 * n_words + n_data
+    if len(blob) < need:
+        raise SimError("%s: truncated binary" % path)
+    words = list(struct.unpack_from(">%dI" % n_words, blob, off))
+    off += 4 * n_words
+    data = blob[off : off + n_data]
+    off += n_data
+    symbols = {}
+    for _ in range(n_syms):
+        (nlen,) = struct.unpack_from(">H", blob, off)
+        off += 2
+        name = blob[off : off + nlen].decode("utf-8")
+        off += nlen
+        (value,) = struct.unpack_from(">I", blob, off)
+        off += 4
+        symbols[name] = value
+    return Program(text_base, words, data_base, data, symbols, entry)

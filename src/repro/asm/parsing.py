@@ -1,0 +1,235 @@
+"""Line-level parsing for the srisc assembler.
+
+Each source line is split into an optional label, a mnemonic/directive and a
+list of raw operand strings.  Operand *expression* evaluation (symbols,
+``%hi``/``%lo``, arithmetic) lives here too, shared by both assembler passes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import SimError
+from ..isa.registers import REG_ALIASES
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$")
+_TOKEN_RE = re.compile(r"^([A-Za-z_.][\w.]*)\s*(.*)$")
+
+
+class Statement:
+    """One parsed assembly statement."""
+
+    __slots__ = ("label", "mnemonic", "operands", "lineno", "raw")
+
+    def __init__(
+        self,
+        label: Optional[str],
+        mnemonic: Optional[str],
+        operands: List[str],
+        lineno: int,
+        raw: str,
+    ):
+        self.label = label
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.lineno = lineno
+        self.raw = raw
+
+
+def split_operands(text: str) -> List[str]:
+    """Split an operand field on commas, respecting brackets and strings."""
+    ops: List[str] = []
+    depth = 0
+    in_str = False
+    cur = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_str:
+            cur.append(ch)
+            if ch == "\\" and i + 1 < len(text):
+                cur.append(text[i + 1])
+                i += 1
+            elif ch == '"':
+                in_str = False
+        elif ch == '"':
+            in_str = True
+            cur.append(ch)
+        elif ch in "([":
+            depth += 1
+            cur.append(ch)
+        elif ch in ")]":
+            depth -= 1
+            cur.append(ch)
+        elif ch == "," and depth == 0:
+            ops.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+        i += 1
+    tail = "".join(cur).strip()
+    if tail:
+        ops.append(tail)
+    return ops
+
+
+def parse_line(line: str, lineno: int) -> Optional[Statement]:
+    """Parse one line; returns None for blank/comment-only lines."""
+    # Strip comments: ';' and '#' and '!' start a comment outside strings.
+    out = []
+    in_str = False
+    for i, ch in enumerate(line):
+        if in_str:
+            out.append(ch)
+            if ch == '"' and line[i - 1] != "\\":
+                in_str = False
+        elif ch == '"':
+            in_str = True
+            out.append(ch)
+        elif ch in ";#!":
+            break
+        else:
+            out.append(ch)
+    text = "".join(out).strip()
+    if not text:
+        return None
+
+    label = None
+    m = _LABEL_RE.match(text)
+    if m:
+        label = m.group(1)
+        text = m.group(2).strip()
+    if not text:
+        return Statement(label, None, [], lineno, line)
+    m = _TOKEN_RE.match(text)
+    if not m:
+        raise SimError("line %d: cannot parse %r" % (lineno, line))
+    mnemonic = m.group(1).lower()
+    operands = split_operands(m.group(2))
+    return Statement(label, mnemonic, operands, lineno, line)
+
+
+def parse_register(tok: str, lineno: int) -> int:
+    """Parse an integer register operand like ``%o0``/``%sp``/``%r9``."""
+    t = tok.strip()
+    if t.startswith("%"):
+        t = t[1:]
+    idx = REG_ALIASES.get(t.lower())
+    if idx is None:
+        raise SimError("line %d: unknown register %r" % (lineno, tok))
+    return idx
+
+
+def parse_fp_register(tok: str, lineno: int) -> int:
+    """Parse a floating point register operand like ``%f3``."""
+    t = tok.strip()
+    if t.startswith("%"):
+        t = t[1:]
+    if t.startswith("f") and t[1:].isdigit():
+        idx = int(t[1:])
+        if 0 <= idx < 32:
+            return idx
+    raise SimError("line %d: unknown fp register %r" % (lineno, tok))
+
+
+def is_register(tok: str) -> bool:
+    """True when ``tok`` names an integer register."""
+    t = tok.strip()
+    if t.startswith("%"):
+        t = t[1:]
+    return t.lower() in REG_ALIASES
+
+
+_NUM_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+_CHAR_RE = re.compile(r"^'(\\?.)'$")
+
+
+def eval_expr(expr: str, symbols: Dict[str, int], lineno: int) -> int:
+    """Evaluate an operand expression.
+
+    Supports integers (decimal/hex), character literals, symbols,
+    ``%hi(e)`` / ``%lo(e)`` relocations (matching ``sethi``'s 12-bit shift)
+    and ``+``/``-`` arithmetic.
+    """
+    e = expr.strip()
+    if not e:
+        raise SimError("line %d: empty expression" % lineno)
+    lo_e = e.lower()
+    if lo_e.startswith("%hi(") and e.endswith(")"):
+        return (eval_expr(e[4:-1], symbols, lineno) >> 12) & 0xFFFFF
+    if lo_e.startswith("%lo(") and e.endswith(")"):
+        return eval_expr(e[4:-1], symbols, lineno) & 0xFFF
+    m = _CHAR_RE.match(e)
+    if m:
+        ch = m.group(1)
+        escapes = {"\\n": "\n", "\\t": "\t", "\\0": "\0", "\\\\": "\\", "\\'": "'"}
+        ch = escapes.get(ch, ch)
+        return ord(ch[-1])
+    # additive expression: split on top-level + and - (not inside parens,
+    # and not a leading sign)
+    depth = 0
+    for i in range(len(e) - 1, 0, -1):
+        ch = e[i]
+        if ch == ")":
+            depth += 1
+        elif ch == "(":
+            depth -= 1
+        elif depth == 0 and ch in "+-" and e[i - 1] not in "+-(":
+            left = eval_expr(e[:i], symbols, lineno)
+            right = eval_expr(e[i + 1 :], symbols, lineno)
+            return left + right if ch == "+" else left - right
+    if _NUM_RE.match(e):
+        return int(e, 0)
+    if e in symbols:
+        return symbols[e]
+    raise SimError("line %d: cannot evaluate expression %r" % (lineno, expr))
+
+
+_MEM_RE = re.compile(r"^\[\s*(%?[\w.$]+)\s*(?:([+-])\s*(.+?))?\s*\]$")
+
+
+def parse_mem_operand(
+    tok: str, symbols: Dict[str, int], lineno: int
+) -> Tuple[int, Optional[int], int]:
+    """Parse a memory operand -> ``(rs1, rs2 | None, imm)``.
+
+    Supported forms: ``[%reg]``, ``[%reg + imm]``, ``[%reg - imm]`` and the
+    SPARC register-indexed ``[%reg + %reg]``.
+    """
+    m = _MEM_RE.match(tok.strip())
+    if not m:
+        raise SimError("line %d: bad memory operand %r" % (lineno, tok))
+    rs1 = parse_register(m.group(1), lineno)
+    if not m.group(2):
+        return rs1, None, 0
+    rhs = m.group(3)
+    if m.group(2) == "+" and is_register(rhs):
+        return rs1, parse_register(rhs, lineno), 0
+    imm = eval_expr(rhs, symbols, lineno)
+    if m.group(2) == "-":
+        imm = -imm
+    return rs1, None, imm
+
+
+def parse_string_literal(tok: str, lineno: int) -> bytes:
+    """Decode a double-quoted string literal with C escapes."""
+    t = tok.strip()
+    if len(t) < 2 or t[0] != '"' or t[-1] != '"':
+        raise SimError("line %d: bad string literal %r" % (lineno, tok))
+    body = t[1:-1]
+    out = bytearray()
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            nxt = body[i + 1]
+            mapping = {"n": 10, "t": 9, "0": 0, "\\": 92, '"': 34, "r": 13}
+            if nxt not in mapping:
+                raise SimError("line %d: unknown escape \\%s" % (lineno, nxt))
+            out.append(mapping[nxt])
+            i += 2
+        else:
+            out.append(ord(ch))
+            i += 1
+    return bytes(out)

@@ -1,0 +1,95 @@
+"""Executable program images produced by the assembler.
+
+A :class:`Program` is what the machine loader consumes: encoded text words,
+an initialised data image, the symbol table and the entry point.  Decoded
+instructions are cached per address so simulation never re-decodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.errors import SimError
+from ..isa.encoding import decode
+from ..isa.instructions import Instr
+
+#: Default load address of the text segment.
+TEXT_BASE = 0x1000
+
+
+class Program:
+    __slots__ = (
+        "text_base",
+        "text_words",
+        "data_base",
+        "data_image",
+        "symbols",
+        "entry",
+        "instrs",
+        "source_lines",
+    )
+
+    def __init__(
+        self,
+        text_base: int,
+        text_words: List[int],
+        data_base: int,
+        data_image: bytes,
+        symbols: Dict[str, int],
+        entry: int,
+        source_lines: Dict[int, str] | None = None,
+    ):
+        self.text_base = text_base
+        self.text_words = text_words
+        self.data_base = data_base
+        self.data_image = data_image
+        self.symbols = symbols
+        self.entry = entry
+        self.source_lines = source_lines or {}
+        # Decode every text word once; addr -> Instr.
+        self.instrs: Dict[int, Instr] = {}
+        for i, word in enumerate(text_words):
+            addr = text_base + 4 * i
+            self.instrs[addr] = decode(word, addr)
+
+    @property
+    def text_size(self) -> int:
+        return 4 * len(self.text_words)
+
+    @property
+    def data_end(self) -> int:
+        return self.data_base + len(self.data_image)
+
+    def text_image(self) -> bytes:
+        """The text segment as big-endian machine words."""
+        out = bytearray()
+        for word in self.text_words:
+            out += word.to_bytes(4, "big")
+        return bytes(out)
+
+    def fetch(self, addr: int) -> Instr:
+        """Decoded instruction at ``addr`` (SimError outside text)."""
+        instr = self.instrs.get(addr)
+        if instr is None:
+            raise SimError("fetch outside text segment: 0x%x" % addr)
+        return instr
+
+    def symbol(self, name: str) -> int:
+        """Absolute address of label ``name``."""
+        if name not in self.symbols:
+            raise SimError("unknown symbol %r" % name)
+        return self.symbols[name]
+
+    def disassemble(self) -> str:
+        """Human-readable listing of the whole text segment."""
+        lines = []
+        addr_to_label = {}
+        for name, addr in self.symbols.items():
+            addr_to_label.setdefault(addr, name)
+        for i in range(len(self.text_words)):
+            addr = self.text_base + 4 * i
+            label = addr_to_label.get(addr)
+            if label:
+                lines.append("%s:" % label)
+            lines.append("  0x%04x: %s" % (addr, self.instrs[addr].text()))
+        return "\n".join(lines)

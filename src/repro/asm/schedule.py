@@ -1,0 +1,231 @@
+"""Basic-block instruction scheduling over srisc assembly text.
+
+The SPECint95 code the paper measured came from an optimising compiler
+whose scheduler interleaves independent computations; minicc emits each
+expression's chain contiguously, which makes consecutive instructions
+dependent and starves the DTSVLIW's slots.  This pass list-schedules each
+basic block of the generated assembly (critical-path priority), so
+independent chains -- e.g. unrolled loop iterations -- arrive interleaved
+at the Scheduler Unit, just as they would from gcc -O2.
+
+The pass operates on the text the code generator emits, so it only has to
+understand minicc's closed output vocabulary.  Dependence rules:
+
+* register true/anti/output dependences (integer %regs, %fN, the condition
+  codes written by ``...cc``/``cmp``/``tst``/``fcmp`` and read by branches);
+* loads may reorder with loads; stores are ordered against every other
+  memory access (addresses are unknown statically);
+* control transfers, ``save``/``restore``, and ``ta`` end a block and never
+  move; labels start one.
+
+Correctness is guarded end to end by the machine's lockstep test mode: any
+violated dependence shows up as a state mismatch against the reference.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Set
+
+_REG_RE = re.compile(r"%([a-z]+[0-9]*)")
+
+#: ABI aliases normalised so dependence tracking sees one name per register
+_ALIASES = {"sp": "o6", "fp": "i6", "r0": "g0"}
+_ALIASES.update({"r%d" % i: n for i, n in enumerate(
+    ["g%d" % k for k in range(8)]
+    + ["o%d" % k for k in range(8)]
+    + ["l%d" % k for k in range(8)]
+    + ["i%d" % k for k in range(8)]
+)})
+
+
+def _norm(reg: str) -> str:
+    return _ALIASES.get(reg, reg)
+
+#: mnemonics that terminate a basic block (and are pinned at its end)
+_BLOCK_ENDERS = {
+    "ba", "bn", "be", "bne", "bl", "ble", "bg", "bge", "blu", "bleu",
+    "bgu", "bgeu", "bpos", "bneg", "bvs", "bvc", "b", "jmp", "bz", "bnz",
+    "bcs", "bcc", "call", "jmpl", "ret", "retl", "ta", "save", "restore",
+}
+
+_CC_WRITERS = {"addcc", "subcc", "andcc", "orcc", "xorcc", "cmp", "tst", "fcmp"}
+_CC_READERS = {
+    "be", "bne", "bl", "ble", "bg", "bge", "blu", "bleu", "bgu", "bgeu",
+    "bpos", "bneg", "bvs", "bvc", "bz", "bnz", "bcs", "bcc",
+}
+
+_THREE_OP = {
+    "add", "sub", "and", "or", "xor", "andn", "orn", "xnor", "sll", "srl",
+    "sra", "smul", "umul", "sdiv", "udiv", "addcc", "subcc", "andcc",
+    "orcc", "xorcc", "fadd", "fsub", "fmul", "fdiv",
+}
+_TWO_OP_DEST_LAST = {"mov", "set", "neg", "not", "sethi", "fmov", "fneg", "fitos", "fstoi"}
+_LOADS = {"ld", "ldub", "ldsb", "ldf"}
+_STORES = {"st", "stb", "stf"}
+
+
+class _Line:
+    __slots__ = ("text", "mnemonic", "reads", "writes", "is_load", "is_store", "idx")
+
+    def __init__(self, text: str, idx: int):
+        self.text = text
+        self.idx = idx
+        stripped = text.strip()
+        parts = stripped.split(None, 1)
+        self.mnemonic = parts[0].lower() if parts else ""
+        self.reads: Set[str] = set()
+        self.writes: Set[str] = set()
+        self.is_load = self.mnemonic in _LOADS
+        self.is_store = self.mnemonic in _STORES
+        self._analyse(parts[1] if len(parts) > 1 else "")
+
+    def _analyse(self, operands: str) -> None:
+        mn = self.mnemonic
+        # strip comments
+        for marker in (";", "#", "!"):
+            if marker in operands:
+                operands = operands.split(marker)[0]
+        ops = [o.strip() for o in operands.split(",")] if operands.strip() else []
+
+        def regs_of(tok: str) -> List[str]:
+            return [_norm(m.group(1)) for m in _REG_RE.finditer(tok)]
+
+        if mn in _CC_WRITERS:
+            self.writes.add("%cc")
+        if mn in _CC_READERS:
+            self.reads.add("%cc")
+
+        if mn in _THREE_OP and len(ops) == 3:
+            for r in regs_of(ops[0]) + regs_of(ops[1]):
+                self.reads.add(r)
+            for r in regs_of(ops[2]):
+                self._write(r)
+        elif mn in ("cmp",) and len(ops) == 2:
+            for tok in ops:
+                for r in regs_of(tok):
+                    self.reads.add(r)
+        elif mn == "tst" and len(ops) == 1:
+            for r in regs_of(ops[0]):
+                self.reads.add(r)
+        elif mn in _TWO_OP_DEST_LAST and len(ops) == 2:
+            for r in regs_of(ops[0]):
+                self.reads.add(r)
+            for r in regs_of(ops[1]):
+                self._write(r)
+        elif mn in _LOADS and len(ops) == 2:
+            for r in regs_of(ops[0]):  # address registers
+                self.reads.add(r)
+            for r in regs_of(ops[1]):
+                self._write(r)
+        elif mn in _STORES and len(ops) == 2:
+            for r in regs_of(ops[0]) + regs_of(ops[1]):
+                self.reads.add(r)
+        elif mn == "fcmp" and len(ops) == 2:
+            for tok in ops:
+                for r in regs_of(tok):
+                    self.reads.add(r)
+        else:
+            # unknown / control transfer: treat every register as read so
+            # the line never reorders incorrectly (they end blocks anyway)
+            for r in regs_of(operands):
+                self.reads.add(r)
+
+    def _write(self, reg: str) -> None:
+        if reg == "g0":
+            return
+        self.writes.add(reg)
+
+
+def _schedule_block(lines: List[_Line]) -> List[_Line]:
+    """Critical-path list scheduling of one basic block."""
+    n = len(lines)
+    if n < 3:
+        return lines
+    succs: List[List[int]] = [[] for _ in range(n)]
+    npreds = [0] * n
+    for j in range(n):
+        lj = lines[j]
+        for i in range(j - 1, -1, -1):
+            li = lines[i]
+            dep = bool(
+                (lj.reads & li.writes)
+                or (lj.writes & li.writes)
+                or (lj.writes & li.reads)
+            )
+            if not dep and (lj.is_load or lj.is_store):
+                # stores order against all memory ops; loads only vs stores
+                if lj.is_store and (li.is_load or li.is_store):
+                    dep = True
+                elif lj.is_load and li.is_store:
+                    dep = True
+            if dep:
+                succs[i].append(j)
+                npreds[j] += 1
+    # height = longest path to the block end (critical path priority)
+    height = [1] * n
+    for i in range(n - 1, -1, -1):
+        for j in succs[i]:
+            if height[j] + 1 > height[i]:
+                height[i] = height[j] + 1
+    ready = [i for i in range(n) if npreds[i] == 0]
+    out: List[_Line] = []
+    import heapq
+
+    heap = [(-height[i], i) for i in ready]
+    heapq.heapify(heap)
+    while heap:
+        _, i = heapq.heappop(heap)
+        out.append(lines[i])
+        for j in succs[i]:
+            npreds[j] -= 1
+            if npreds[j] == 0:
+                heapq.heappush(heap, (-height[j], j))
+    assert len(out) == n
+    return out
+
+
+def schedule_assembly(asm_text: str) -> str:
+    """Reorder instructions inside each basic block of ``asm_text``."""
+    out_lines: List[str] = []
+    block: List[_Line] = []
+    in_text = True
+
+    def flush() -> None:
+        nonlocal block
+        if block:
+            for line in _schedule_block(block):
+                out_lines.append(line.text)
+            block = []
+
+    for raw in asm_text.splitlines():
+        stripped = raw.strip()
+        # directives / section switches
+        if stripped.startswith("."):
+            token = stripped.split(None, 1)[0]
+            if token in (".text", ".data") or not stripped.endswith(":"):
+                flush()
+                if token == ".data":
+                    in_text = False
+                elif token == ".text":
+                    in_text = True
+                out_lines.append(raw)
+                continue
+        if not in_text or not stripped or stripped.startswith((";", "#", "!")):
+            flush()
+            out_lines.append(raw)
+            continue
+        if ":" in stripped.split(None, 1)[0]:
+            # a label starts a new block (the label line may also carry an
+            # instruction; keep such lines as barriers)
+            flush()
+            out_lines.append(raw)
+            continue
+        mn = stripped.split(None, 1)[0].lower()
+        if mn in _BLOCK_ENDERS:
+            flush()
+            out_lines.append(raw)
+            continue
+        block.append(_Line(raw, len(block)))
+    flush()
+    return "\n".join(out_lines) + "\n"

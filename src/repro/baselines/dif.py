@@ -1,0 +1,403 @@
+"""The DIF machine of Nair & Hopkins, reimplemented from [9] and the
+paper's section 3.12 for the Figure 9 comparison.
+
+Differences from the DTSVLIW, as the paper describes them:
+
+* **Scheduling**: a *greedy* algorithm over a hardware resource table --
+  each incoming instruction is placed in the earliest long instruction
+  where its operands are available and a slot is free, inside a group of
+  fixed geometry (6x6 in Figure 9).  The window is the whole group, not
+  the two-element neighbourhood of the DTSVLIW's FCFS list.
+* **Renaming**: per-architectural-register *instances* (4 of each in the
+  DIF evaluation) rather than split/COPY; output and anti dependences cost
+  an instance instead of a slot, so the greedy scheduler reorders more
+  freely but needs far more renaming registers.
+* **Commit**: each exit point (every branch plus the group end) carries an
+  *exit map* (19 bytes in [9]) restoring the architectural mapping, so a
+  deviating branch simply discards the instances of later operations.
+  Instances make speculative writes invisible until commit; an executed
+  group is therefore architecturally equivalent to the sequential prefix
+  up to its exit point, which is exactly how this simulator executes it.
+* **DIF cache**: whole groups are the unit of communication with the VLIW
+  engine (the DTSVLIW fetches one long instruction per access), and exit
+  maps consume cache space (the Figure 9 accounting: 463 KB DIF cache vs
+  216 KB VLIW cache for the same code).
+
+Timing model: one cycle per long instruction executed, plus the mispredict
+bubble on a deviating branch, the same Primary Processor as the DTSVLIW,
+and one cycle per group fetch (whole-group access).  A branch is
+constrained to a long instruction no earlier than every program-earlier
+operation (its exit map must cover them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..asm.program import Program
+from ..core.config import MachineConfig
+from ..core.errors import ProgramExit, SimError
+from ..core.reference import TrapServices, setup_state
+from ..core.stats import Stats
+from ..isa.instructions import FU_BR
+from ..isa.registers import RegFile
+from ..isa.semantics import StepInfo, step
+from ..memory.cache import Cache
+from ..memory.main_memory import MainMemory
+from ..primary.pipeline import PrimaryProcessor
+from ..scheduler.ops import SchedOp
+
+
+class DIFGroup:
+    """One scheduled group: geometry bookkeeping plus the recorded trace
+    (instruction addresses and branch directions) for re-execution."""
+
+    __slots__ = (
+        "start_addr",
+        "next_addr",
+        "height_used",
+        "trace",
+        "exits",
+        "max_instances",
+    )
+
+    def __init__(self, start_addr: int):
+        self.start_addr = start_addr
+        self.next_addr = 0
+        self.height_used = 0
+        #: program-ordered (addr, li_index, is_branch, taken, target)
+        self.trace: List[Tuple[int, int, bool, bool, int]] = []
+        self.exits = 1  # group end; +1 per branch
+        self.max_instances = 0
+
+    @property
+    def op_count(self) -> int:
+        return len(self.trace)
+
+    def exit_map_bytes(self) -> int:
+        return 19 * self.exits  # [9]: 19 bytes per exit point
+
+
+class DIFScheduler:
+    """Greedy resource-table scheduling into a group (section 3.12)."""
+
+    def __init__(self, cfg: MachineConfig, stats: Stats):
+        self.cfg = cfg
+        self.stats = stats
+        self.instance_limit = 4  # instances of each register ([9])
+        self.group: Optional[DIFGroup] = None
+        self._reset_tables()
+
+    def _reset_tables(self) -> None:
+        self.avail: Dict[int, int] = {}  # loc -> LI where value is ready
+        self.last_write_li: Dict[int, int] = {}
+        self.write_counts: Dict[int, int] = {}
+        self.slots_free: List[int] = []
+        self.branch_slots_free: List[int] = []
+        self.max_li = -1
+        self.last_branch_li = -1
+
+    def _slot_capacity(self) -> Tuple[int, int]:
+        """(universal/typed slots, branch slots) per long instruction."""
+        if self.cfg.slot_classes is None:
+            return self.cfg.block_width, self.cfg.block_width
+        br = sum(1 for c in self.cfg.slot_classes if c == FU_BR)
+        return self.cfg.block_width - br, br
+
+    def start_group(self, addr: int) -> None:
+        """Open a fresh group starting at ``addr``."""
+        self.group = DIFGroup(addr)
+        self._reset_tables()
+        normal, br = self._slot_capacity()
+        h = self.cfg.block_height
+        self.slots_free = [normal] * h
+        self.branch_slots_free = [br] * h
+
+    def try_place(self, op: SchedOp) -> bool:
+        """Place one op in the current group; False => the group is full
+        (caller flushes and retries in a fresh group)."""
+        g = self.group
+        h = self.cfg.block_height
+        earliest = 0
+        for r in op.reads:
+            ready = self.avail.get(r)
+            if ready is not None and ready + 1 > earliest:
+                earliest = ready + 1
+        # memory ordering: no renaming for memory locations
+        for w in op.writes:
+            if w >= 10_000_000:  # a memory word: WAW/WAR keep order
+                prev = self.last_write_li.get(w)
+                if prev is not None and prev + 1 > earliest:
+                    earliest = prev + 1
+        # register instances: beyond the limit, serialise on the last writer
+        for w in op.writes:
+            if w < 10_000_000:
+                count = self.write_counts.get(w, 0)
+                if count >= self.instance_limit:
+                    prev = self.last_write_li.get(w, -1)
+                    if prev + 1 > earliest:
+                        earliest = prev + 1
+        if op.is_branch:
+            # the exit map must cover every program-earlier operation, and
+            # branch order is preserved
+            if self.max_li > earliest:
+                earliest = self.max_li
+            if self.last_branch_li > earliest:
+                earliest = self.last_branch_li
+        free = self.branch_slots_free if op.is_branch else self.slots_free
+        li = earliest
+        while li < h and free[li] == 0:
+            li += 1
+        if li >= h:
+            return False
+        free[li] -= 1
+        if li > self.max_li:
+            self.max_li = li
+        for w in op.writes:
+            self.avail[w] = li
+            self.last_write_li[w] = li
+            if w < 10_000_000:
+                self.write_counts[w] = self.write_counts.get(w, 0) + 1
+        instances = sum(max(0, c - 1) for c in self.write_counts.values())
+        if instances > g.max_instances:
+            g.max_instances = instances
+        if op.is_branch:
+            self.last_branch_li = li
+            g.exits += 1
+        g.trace.append((op.addr, li, op.is_branch, op.taken, op.target))
+        g.height_used = self.max_li + 1
+        return True
+
+    def flush(self, next_addr: int) -> Optional[DIFGroup]:
+        g = self.group
+        self.group = None
+        if g is None or not g.trace:
+            return None
+        g.next_addr = next_addr
+        st = self.stats
+        st.blocks_flushed += 1
+        st.slots_filled += g.op_count
+        st.slots_total += self.cfg.block_width * self.cfg.block_height
+        st.long_instructions_saved += g.height_used
+        if g.max_instances > st.max_int_renaming:
+            st.max_int_renaming = g.max_instances
+        return g
+
+
+class DIFCache:
+    """Group-granularity cache; lines sized by block + exit maps."""
+
+    def __init__(self, total_groups: int, assoc: int):
+        from ..vliw.cache import VLIWCache
+
+        self._c = VLIWCache(total_groups, assoc)
+
+    def probe(self, addr: int) -> bool:
+        return self._c.probe(addr)
+
+    def lookup(self, addr: int):
+        return self._c.lookup(addr)
+
+    def insert(self, group: DIFGroup) -> None:
+        # reuse the VLIW cache structure with group objects (they expose
+        # the same ``start_addr`` key)
+        self._c.insert(group)  # type: ignore[arg-type]
+
+    @property
+    def hits(self):
+        return self._c.hits
+
+    @property
+    def misses(self):
+        return self._c.misses
+
+
+class DIFMachine:
+    """Execution-driven DIF simulation sharing the srisc substrate."""
+
+    def __init__(self, program: Program, cfg: Optional[MachineConfig] = None):
+        self.program = program
+        self.cfg = cfg or MachineConfig.fig9()
+        c = self.cfg
+        self.stats = Stats()
+        self.mem = MainMemory(c.mem_size)
+        self.rf = RegFile(c.nwindows)
+        self.services = TrapServices()
+        self.pc = setup_state(program, self.mem, self.rf)
+        self.icache = Cache(
+            "icache", c.icache.size, c.icache.line_size, c.icache.assoc,
+            c.icache.miss_penalty, c.icache.perfect,
+        )
+        self.dcache = Cache(
+            "dcache", c.dcache.size, c.dcache.line_size, c.dcache.assoc,
+            c.dcache.miss_penalty, c.dcache.perfect,
+        )
+        group_bytes = c.block_bytes + 19 * (c.block_height + 1)
+        total_groups = max(1, c.vliw_cache_bytes // group_bytes)
+        self.dif_cache = DIFCache(total_groups, c.vliw_cache_assoc)
+        self.scheduler = DIFScheduler(c, self.stats)
+        self.primary = PrimaryProcessor(
+            c, self.rf, self.mem, self.icache, self.dcache, self.services,
+            self.stats,
+        )
+        self.halted = False
+        self.info = StepInfo()
+
+    @property
+    def output(self) -> bytes:
+        return bytes(self.services.output)
+
+    @property
+    def exit_code(self) -> int:
+        return self.services.exit_code
+
+    # ------------------------------------------------------------------ run
+    def run(self, max_cycles: int = 2_000_000_000) -> Stats:
+        """Run to the exit trap; returns the statistics."""
+        st = self.stats
+        try:
+            while st.cycles < max_cycles:
+                self._primary_mode(max_cycles)
+        except ProgramExit:
+            self.halted = True
+        if not self.halted:
+            raise SimError("DIF machine exceeded %d cycles" % max_cycles)
+        st.ref_instructions = st.primary_instructions + st.extra.get(
+            "dif_instructions", 0
+        )
+        return st
+
+    def _primary_mode(self, max_cycles: int) -> None:
+        st = self.stats
+        cfg = self.cfg
+        fetch = self.program.instrs.get
+        sched = self.scheduler
+        while st.cycles < max_cycles:
+            pc = self.pc
+            st.vliw_cache_probes += 1
+            if self.dif_cache.probe(pc):
+                st.vliw_cache_hits += 1
+                group = sched.flush(pc)
+                if group is not None:
+                    self.dif_cache.insert(group)
+                st.mode_switches += 1
+                st.switch_cycles += cfg.switch_to_vliw_cost
+                st.cycles += cfg.switch_to_vliw_cost
+                self._dif_mode(pc)
+                self.primary.reset_pipeline()
+                continue
+            instr = fetch(pc)
+            if instr is None:
+                raise SimError("fetch outside text segment: 0x%x" % pc)
+            try:
+                next_pc, cycles, sop, nonsched = self.primary.step(instr)
+            except ProgramExit:
+                st.cycles += 1
+                st.primary_cycles += 1
+                raise
+            st.cycles += cycles
+            st.primary_cycles += cycles
+            self.pc = next_pc
+            if nonsched:
+                group = sched.flush(instr.addr)
+                if group is not None:
+                    self.dif_cache.insert(group)
+            elif sop is not None:
+                if sched.group is None:
+                    sched.start_group(sop.addr)
+                if not sched.try_place(sop):
+                    group = sched.flush(sop.addr)
+                    if group is not None:
+                        self.dif_cache.insert(group)
+                    sched.start_group(sop.addr)
+                    if not sched.try_place(sop):
+                        raise SimError("DIF: op fits no empty group")
+
+    def _dif_mode(self, addr: int) -> None:
+        """Execute cached groups: whole-group fetch, one cycle per long
+        instruction, sequential-prefix commit semantics (see module doc)."""
+        st = self.stats
+        cfg = self.cfg
+        while True:
+            group = self.dif_cache.lookup(addr)
+            if group is None:
+                st.mode_switches += 1
+                st.switch_cycles += cfg.switch_to_primary_cost
+                st.cycles += cfg.switch_to_primary_cost
+                self.pc = addr
+                return
+            st.vliw_block_entries += 1
+            st.cycles += 1  # whole-group fetch
+            st.vliw_cycles += 1
+            next_addr, cycles = self._execute_group(group)
+            st.cycles += cycles
+            st.vliw_cycles += cycles
+            addr = next_addr
+            self.pc = next_addr
+
+    def _execute_group(self, group: DIFGroup) -> Tuple[int, int]:
+        """-> (next address, cycles).  Instances make uncommitted writes
+        invisible, so executing the committed prefix sequentially is
+        architecturally exact; cycles count the long instructions covering
+        the committed operations plus per-LI worst data-cache penalties.
+
+        Unscheduled instructions on the recorded path (nops, unconditional
+        branches) are executed for free; any other deviation bails out to
+        the Primary Processor at the current pc."""
+        from ..isa.instructions import K_BRANCH, K_NOP, UNCONDITIONAL
+
+        rf, mem, services, info = self.rf, self.mem, self.services, self.info
+        fetch = self.program.instrs
+        st = self.stats
+        max_li = -1
+        executed = 0
+        pc = group.start_addr
+        idx = 0
+        trace = group.trace
+        li_pen: Dict[int, int] = {}
+        deviated_to = None
+        while idx < len(trace):
+            addr, li, is_branch, rec_taken, rec_target = trace[idx]
+            instr = fetch.get(pc)
+            if instr is None:
+                break
+            if pc != addr:
+                kind = instr.op.kind
+                free_rider = kind == K_NOP or (
+                    kind == K_BRANCH and instr.op.name in UNCONDITIONAL
+                )
+                if not free_rider:
+                    break  # path deviates: resume in the Primary Processor
+                pc = step(rf, mem, instr, services, info)
+                executed += 1
+                continue
+            next_pc = step(rf, mem, instr, services, info)
+            executed += 1
+            idx += 1
+            if li > max_li:
+                max_li = li
+            if info.mem_addr >= 0:
+                pen = self.dcache.access(info.mem_addr)
+                if pen:
+                    st.dcache_stall_cycles += pen
+                    if pen > li_pen.get(li, 0):
+                        li_pen[li] = pen
+            if is_branch:
+                deviates = (
+                    info.taken != rec_taken
+                    or (info.taken and info.target != rec_target)
+                )
+                if deviates:
+                    st.mispredicts += 1
+                    deviated_to = next_pc
+                    break
+            pc = next_pc
+        st.extra["dif_instructions"] = (
+            st.extra.get("dif_instructions", 0) + executed
+        )
+        cycles = (group.height_used if max_li < 0 else max_li + 1) + sum(
+            li_pen.values()
+        )
+        if deviated_to is not None:
+            return deviated_to, max(cycles, 1) + self.cfg.mispredict_penalty
+        return pc, max(cycles, 1)

@@ -1,0 +1,83 @@
+"""Scalar baseline: the Primary Processor running alone.
+
+Useful to quantify how much of the DTSVLIW speed-up comes from VLIW
+execution versus the scalar pipeline's own behaviour (and as the x1
+reference for speed-up plots).
+"""
+
+from __future__ import annotations
+
+from ..asm.program import Program
+from ..core.config import MachineConfig
+from ..core.errors import ProgramExit, SimError
+from ..core.reference import TrapServices, setup_state
+from ..core.stats import Stats
+from ..isa.registers import RegFile
+from ..memory.cache import Cache
+from ..memory.main_memory import MainMemory
+from ..primary.pipeline import PrimaryProcessor
+
+
+class ScalarMachine:
+    """In-order scalar execution with the Table 1 Primary timing."""
+
+    def __init__(self, program: Program, cfg: MachineConfig | None = None):
+        self.program = program
+        self.cfg = cfg or MachineConfig()
+        c = self.cfg
+        self.stats = Stats()
+        self.mem = MainMemory(c.mem_size)
+        self.rf = RegFile(c.nwindows)
+        self.services = TrapServices()
+        self.pc = setup_state(program, self.mem, self.rf)
+        self.icache = Cache(
+            "icache",
+            c.icache.size,
+            c.icache.line_size,
+            c.icache.assoc,
+            c.icache.miss_penalty,
+            c.icache.perfect,
+        )
+        self.dcache = Cache(
+            "dcache",
+            c.dcache.size,
+            c.dcache.line_size,
+            c.dcache.assoc,
+            c.dcache.miss_penalty,
+            c.dcache.perfect,
+        )
+        self.primary = PrimaryProcessor(
+            c, self.rf, self.mem, self.icache, self.dcache, self.services, self.stats
+        )
+        self.halted = False
+
+    @property
+    def output(self) -> bytes:
+        return bytes(self.services.output)
+
+    @property
+    def exit_code(self) -> int:
+        return self.services.exit_code
+
+    def run(self, max_cycles: int = 2_000_000_000) -> Stats:
+        """Run to the exit trap; returns the statistics."""
+        st = self.stats
+        fetch = self.program.instrs.get
+        try:
+            while st.cycles < max_cycles:
+                instr = fetch(self.pc)
+                if instr is None:
+                    raise SimError("fetch outside text segment: 0x%x" % self.pc)
+                next_pc, cycles, _sched, _nonsched = self.primary.step(instr)
+                st.cycles += cycles
+                st.primary_cycles += cycles
+                st.ref_instructions += 1
+                self.pc = next_pc
+        except ProgramExit:
+            st.cycles += 1
+            st.primary_cycles += 1
+            st.ref_instructions += 1  # the exit trap itself
+            self.halted = True
+        if not self.halted:
+            raise SimError("scalar machine exceeded %d cycles" % max_cycles)
+        return st

@@ -1,0 +1,163 @@
+"""Machine configuration for the DTSVLIW simulator.
+
+The defaults mirror Table 1 of the paper (the "fixed parameters"); the
+named constructors build the configurations used by each experiment:
+
+* :meth:`MachineConfig.paper_fixed` -- ideal memory system used for the
+  block-geometry and VLIW-cache studies (Figures 5-7): perfect I/D caches,
+  no next-long-instruction miss penalty.
+* :meth:`MachineConfig.feasible` -- the section 4.4 machine: 32 KB 4-way
+  I-cache, 32 KB direct-mapped D-cache (1-cycle access, 8-cycle miss),
+  192 KB 4-way VLIW cache, 1-cycle next-LI miss penalty, and ten
+  non-homogeneous functional units (4 int, 2 ld/st, 2 fp, 2 branch).
+* :meth:`MachineConfig.fig9` -- the Figure 9 DTSVLIW/DIF comparison setup
+  (6x6 blocks, 2 branch + 4 homogeneous units, 4 KB caches with 2-cycle
+  miss, 2-way VLIW cache of 512x2 blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from ..isa.instructions import FU_BR, FU_FP, FU_INT, FU_LS
+
+
+@dataclass
+class CacheConfig:
+    size: int = 32 * 1024
+    line_size: int = 32
+    assoc: int = 1
+    miss_penalty: int = 8
+    perfect: bool = False
+
+
+def _feasible_slots() -> List[int]:
+    return [FU_INT] * 4 + [FU_LS] * 2 + [FU_FP] * 2 + [FU_BR] * 2
+
+
+@dataclass
+class MachineConfig:
+    # -- block geometry (section 4.1) ---------------------------------------
+    block_width: int = 8  # instructions per long instruction
+    block_height: int = 8  # long instructions per block
+    #: functional-unit class per slot; None = homogeneous (any op anywhere)
+    slot_classes: Optional[List[int]] = None
+
+    # -- VLIW cache (sections 3.4, 4.2, 4.3) ---------------------------------
+    vliw_cache_bytes: int = 3072 * 1024
+    vliw_cache_assoc: int = 4
+    instr_bytes: int = 6  # decoded instruction size (Table 1)
+    next_li_miss_penalty: int = 0  # 1 for the feasible machine
+    #: Next-block prediction (the paper's section 5 future work): a
+    #: last-successor predictor prefetches the next block during execution,
+    #: hiding the next-LI miss penalty when it guesses right.
+    next_block_prediction: bool = False
+
+    # -- conventional caches (Table 1 / section 4.4) -------------------------
+    icache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(perfect=True)
+    )
+    dcache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(perfect=True)
+    )
+
+    # -- Primary Processor timing (Table 1) -----------------------------------
+    branch_not_taken_bubble: int = 3
+    load_use_bubble: int = 1
+    window_spill_penalty: int = 16
+    #: Handle register-window overflow/underflow inline in the VLIW Engine
+    #: (checkpointed hardware spill, costing ``window_spill_penalty``).
+    #: When False a spill during VLIW replay is an architectural exception,
+    #: rolling the block back to the Primary Processor (ablation:
+    #: bench_ablation_window_spill).
+    vliw_window_spill_inline: bool = True
+
+    # -- engine swap costs (section 3.6) --------------------------------------
+    switch_to_vliw_cost: int = 2
+    switch_to_primary_cost: int = 3
+
+    # -- VLIW engine ------------------------------------------------------------
+    mispredict_penalty: int = 1
+
+    # -- renaming resources (Table 3 measures the maxima; None = unlimited) ----
+    int_renaming_limit: Optional[int] = None
+    fp_renaming_limit: Optional[int] = None
+    cc_renaming_limit: Optional[int] = None
+    mem_renaming_limit: Optional[int] = None
+
+    # -- machine ----------------------------------------------------------------
+    nwindows: int = 8
+    mem_size: int = 8 * 1024 * 1024
+    test_mode: bool = True
+    #: honour multi-cycle instruction latencies during scheduling ([14])
+    multicycle: bool = True
+    #: use the alternative data-store-list scheme of section 3.11
+    data_store_list: bool = False
+
+    def __post_init__(self) -> None:
+        if self.slot_classes is not None and len(self.slot_classes) != self.block_width:
+            raise ValueError(
+                "slot_classes length %d != block width %d"
+                % (len(self.slot_classes), self.block_width)
+            )
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def block_bytes(self) -> int:
+        return self.block_width * self.block_height * self.instr_bytes
+
+    @property
+    def vliw_cache_blocks(self) -> int:
+        return max(1, self.vliw_cache_bytes // self.block_bytes)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def paper_fixed(cls, width: int = 8, height: int = 8, **kw) -> "MachineConfig":
+        """Ideal-memory configuration of Figures 5-7 (overridable)."""
+        kw.setdefault("icache", CacheConfig(perfect=True))
+        kw.setdefault("dcache", CacheConfig(perfect=True))
+        kw.setdefault("next_li_miss_penalty", 0)
+        return cls(block_width=width, block_height=height, **kw)
+
+    @classmethod
+    def feasible(cls, **kw) -> "MachineConfig":
+        """The section 4.4 'feasible DTSVLIW machine'."""
+        return cls(
+            block_width=10,
+            block_height=8,
+            slot_classes=_feasible_slots(),
+            vliw_cache_bytes=192 * 1024,
+            vliw_cache_assoc=4,
+            next_li_miss_penalty=1,
+            icache=CacheConfig(
+                size=32 * 1024, line_size=32, assoc=4, miss_penalty=8
+            ),
+            dcache=CacheConfig(
+                size=32 * 1024, line_size=32, assoc=1, miss_penalty=8
+            ),
+            **kw,
+        )
+
+    @classmethod
+    def fig9(cls, **kw) -> "MachineConfig":
+        """The Figure 9 comparison configuration (shared with DIF)."""
+        return cls(
+            block_width=6,
+            block_height=6,
+            slot_classes=[FU_BR] * 2 + [None] * 4,  # 2 branch + 4 universal
+            vliw_cache_bytes=512 * 2 * 6 * 6 * 6,  # 512 sets x 2 ways x block
+            vliw_cache_assoc=2,
+            next_li_miss_penalty=1,
+            icache=CacheConfig(
+                size=4 * 1024, line_size=128, assoc=2, miss_penalty=2
+            ),
+            dcache=CacheConfig(
+                size=4 * 1024, line_size=32, assoc=1, miss_penalty=2
+            ),
+            **kw,
+        )
+
+    def with_(self, **kw) -> "MachineConfig":
+        """Return a copy with fields replaced."""
+        return replace(self, **kw)

@@ -1,0 +1,73 @@
+"""Exception taxonomy for the simulator.
+
+Two families:
+
+* :class:`SimError` -- bugs in the simulator or in the simulated program
+  (misassembled code, runaway recursion, unknown opcodes).  These propagate
+  to the caller; they are never part of the architecture.
+* :class:`ArchException` -- *architectural* exceptions the DTSVLIW must
+  handle with the checkpointing protocol of section 3.11 (memory faults,
+  window overflow/underflow during VLIW replay, memory-aliasing violations).
+
+:class:`ProgramExit` signals the clean ``ta 0`` exit trap.
+"""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Internal simulator error or malformed simulated program."""
+
+
+class ProgramExit(Exception):
+    """Raised by the exit trap; carries the program's exit code."""
+
+    def __init__(self, code: int):
+        super().__init__("program exited with code %d" % code)
+        self.code = code
+
+
+class ArchException(Exception):
+    """Base class for architectural exceptions (checkpoint-recoverable)."""
+
+
+class MemFault(ArchException):
+    """Misaligned or out-of-range memory access / division fault."""
+
+    def __init__(self, addr: int, reason: str):
+        super().__init__("%s (addr=0x%x)" % (reason, addr))
+        self.addr = addr
+        self.reason = reason
+
+
+class WindowOverflow(ArchException):
+    """``save`` executed with no free register window (VLIW replay)."""
+
+
+class WindowUnderflow(ArchException):
+    """``restore`` executed with no resident parent window (VLIW replay)."""
+
+
+class AliasingException(ArchException):
+    """Memory aliasing detected by the VLIW Engine (section 3.10)."""
+
+    def __init__(self, load_order: int, store_order: int):
+        super().__init__(
+            "aliasing: order %d vs %d" % (load_order, store_order)
+        )
+        self.load_order = load_order
+        self.store_order = store_order
+
+
+class DeferredException(ArchException):
+    """An exception captured in a renaming register by a speculative
+    instruction and re-raised when its COPY commits (section 3.8)."""
+
+    def __init__(self, original: ArchException):
+        super().__init__("deferred: %s" % original)
+        self.original = original
+
+
+class TestModeMismatch(SimError):
+    """Lockstep state comparison failed -- the DTSVLIW diverged from the
+    reference machine (the paper's test-mode error signal)."""

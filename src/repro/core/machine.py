@@ -1,0 +1,317 @@
+"""The DTSVLIW machine (sections 3.1, 3.6): Fetch Unit, mode switching,
+block chaining, exception handling and the lockstep *test mode*.
+
+Program execution paradigm (section 3.6): the VLIW Engine and the Primary
+Processor never run at the same time and share all machine state.  In
+primary mode the Fetch Unit probes the VLIW Cache with the address of the
+instruction at the execute stage; a hit flushes the partial scheduling-list
+block (chained to the hit block via its nba) and hands control to the VLIW
+Engine.  A VLIW Cache miss (fall-through or redirect target absent) hands
+control back, the Scheduler Unit starting a fresh block at the resume
+address -- chaining blocks along the executed trace.
+
+Test mode (section 4): a reference machine with its own memory runs in
+lockstep -- stepwise in primary mode, catching up to the machine PC after
+every VLIW block -- and every synchronisation point compares architectural
+state.  The reference instruction count is the IPC numerator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..asm.program import Program
+from ..isa.registers import RegFile
+from ..memory.cache import Cache
+from ..memory.main_memory import MainMemory
+from ..primary.pipeline import PrimaryProcessor
+from ..scheduler.unit import FLUSH_HIT, FLUSH_NONSCHED, SchedulerUnit
+from ..vliw.cache import VLIWCache
+from ..vliw.engine import VLIWEngine
+from .config import MachineConfig
+from .errors import ProgramExit, SimError, TestModeMismatch
+from .reference import ReferenceMachine, TrapServices, setup_state
+from .stats import Stats
+
+
+class DTSVLIW:
+    """An execution-driven DTSVLIW simulator for one program run."""
+
+    def __init__(self, program: Program, cfg: Optional[MachineConfig] = None):
+        self.program = program
+        self.cfg = cfg or MachineConfig()
+        c = self.cfg
+        self.stats = Stats()
+        self.mem = MainMemory(c.mem_size)
+        self.rf = RegFile(c.nwindows)
+        self.services = TrapServices()
+        self.pc = setup_state(program, self.mem, self.rf)
+
+        self.icache = Cache(
+            "icache",
+            c.icache.size,
+            c.icache.line_size,
+            c.icache.assoc,
+            c.icache.miss_penalty,
+            c.icache.perfect,
+        )
+        self.dcache = Cache(
+            "dcache",
+            c.dcache.size,
+            c.dcache.line_size,
+            c.dcache.assoc,
+            c.dcache.miss_penalty,
+            c.dcache.perfect,
+        )
+        self.vcache = VLIWCache(c.vliw_cache_blocks, c.vliw_cache_assoc)
+        self.scheduler = SchedulerUnit(c, self.stats)
+        self.engine = VLIWEngine(c, self.rf, self.mem, self.dcache, self.stats)
+        self.primary = PrimaryProcessor(
+            c, self.rf, self.mem, self.icache, self.dcache, self.services, self.stats
+        )
+
+        self.halted = False
+        self._max_cycles = 2_000_000_000
+        #: last-successor next-block predictor (future-work extension)
+        self._next_block_pred: dict = {}
+        self.exception_mode = False
+        self.exception_target = 0
+        self._exception_budget = 0
+
+        self.reference: Optional[ReferenceMachine] = None
+        if c.test_mode:
+            self.reference = ReferenceMachine(
+                program, mem_size=c.mem_size, nwindows=c.nwindows
+            )
+
+    # ------------------------------------------------------------------- API
+    @property
+    def output(self) -> bytes:
+        return bytes(self.services.output)
+
+    @property
+    def exit_code(self) -> int:
+        return self.services.exit_code
+
+    def run(self, max_cycles: int = 2_000_000_000) -> Stats:
+        """Run to the exit trap (or ``max_cycles``); returns the stats."""
+        self._max_cycles = max_cycles
+        try:
+            while not self.halted and self.stats.cycles < max_cycles:
+                self._primary_mode()
+        except ProgramExit:
+            self.halted = True
+        if not self.halted:
+            raise SimError("DTSVLIW exceeded %d cycles" % max_cycles)
+        if self.reference is not None:
+            self._final_check()
+            self.stats.ref_instructions = self.reference.instret
+        return self.stats
+
+    # ----------------------------------------------------------- primary mode
+    def _primary_mode(self) -> None:
+        """Execute in trace (or exception) mode until a VLIW Cache hit."""
+        st = self.stats
+        cfg = self.cfg
+        fetch = self.program.instrs.get
+        self.primary.reset_pipeline()
+        while not self.halted and st.cycles < self._max_cycles:
+            pc = self.pc
+            # Fetch Unit: probe the VLIW Cache with the execute-stage address
+            if not self.exception_mode:
+                st.vliw_cache_probes += 1
+                if self.vcache.probe(pc):
+                    st.vliw_cache_hits += 1
+                    block = self.scheduler.flush(FLUSH_HIT, pc)
+                    if block is not None:
+                        self.vcache.insert(block)
+                    st.mode_switches += 1
+                    st.switch_cycles += cfg.switch_to_vliw_cost
+                    st.cycles += cfg.switch_to_vliw_cost
+                    self._vliw_mode(pc)
+                    self.primary.reset_pipeline()
+                    continue
+            instr = fetch(pc)
+            if instr is None:
+                raise SimError("fetch outside text segment: 0x%x" % pc)
+            try:
+                next_pc, cycles, sched, nonsched = self.primary.step(instr)
+            except ProgramExit:
+                st.cycles += 1
+                st.primary_cycles += 1
+                self._test_step()
+                raise
+            st.cycles += cycles
+            st.primary_cycles += cycles
+            self.pc = next_pc
+            if not self.exception_mode:
+                self.scheduler.tick(cycles)
+                if nonsched:
+                    block = self.scheduler.flush(FLUSH_NONSCHED, instr.addr)
+                    if block is not None:
+                        self.vcache.insert(block)
+                elif sched is not None:
+                    block = self.scheduler.insert(sched)
+                    if block is not None:
+                        self.vcache.insert(block)
+            else:
+                self._exception_budget -= 1
+                if instr.addr == self.exception_target:
+                    self.exception_mode = False
+                elif self._exception_budget <= 0:
+                    raise SimError(
+                        "exception mode never reached 0x%x"
+                        % self.exception_target
+                    )
+            self._test_step()
+
+    # --------------------------------------------------------------- VLIW mode
+    def _vliw_mode(self, addr: int) -> None:
+        """Execute cached blocks until a VLIW Cache miss or an exception."""
+        st = self.stats
+        cfg = self.cfg
+        predicted_next = None  # last-successor next-block prediction
+        while True:
+            block = self.vcache.lookup(addr)
+            if block is None:
+                st.mode_switches += 1
+                st.switch_cycles += cfg.switch_to_primary_cost
+                st.cycles += cfg.switch_to_primary_cost
+                self.pc = addr
+                return
+            if cfg.next_li_miss_penalty:
+                hit = cfg.next_block_prediction and predicted_next == addr
+                if predicted_next is not None and cfg.next_block_prediction:
+                    st.extra["next_block_predictions"] = (
+                        st.extra.get("next_block_predictions", 0) + 1
+                    )
+                    if hit:
+                        st.extra["next_block_pred_hits"] = (
+                            st.extra.get("next_block_pred_hits", 0) + 1
+                        )
+                if not hit:
+                    st.cycles += cfg.next_li_miss_penalty
+                    st.vliw_cycles += cfg.next_li_miss_penalty
+                    st.next_li_miss_cycles += cfg.next_li_miss_penalty
+            if cfg.next_block_prediction:
+                predicted_next = self._next_block_pred.get(block.start_addr)
+            outcome = self.engine.execute_block(block)
+            if cfg.next_block_prediction and outcome.kind in ("ok", "mispredict"):
+                self._next_block_pred[block.start_addr] = outcome.next_addr
+            st.cycles += outcome.cycles
+            st.vliw_cycles += outcome.cycles
+            if outcome.kind in ("ok", "mispredict"):
+                self.pc = outcome.next_addr
+                self._test_catch_up()
+                addr = outcome.next_addr
+                continue
+            # exception paths: state has been rolled back to block entry
+            self.pc = block.start_addr
+            st.mode_switches += 1
+            st.switch_cycles += cfg.switch_to_primary_cost
+            st.cycles += cfg.switch_to_primary_cost
+            from ..vliw.engine import WindowResidencyUnsatisfiable
+
+            if outcome.kind == "aliasing":
+                # section 3.11: invalidate and reschedule with ordered
+                # memory accesses
+                self.vcache.invalidate(block.start_addr)
+                st.block_invalidations += 1
+                self.scheduler.alias_addrs.add(block.start_addr)
+            elif isinstance(outcome.exception, WindowResidencyUnsatisfiable):
+                # the block was built in a different call-depth context;
+                # rebuild it from the real one (trace mode)
+                self.vcache.invalidate(block.start_addr)
+                st.block_invalidations += 1
+            else:
+                # other exceptions: exception mode until the fault repeats
+                self.exception_mode = True
+                self.exception_target = outcome.fault_addr
+                self._exception_budget = 100_000
+            return
+
+    # ---------------------------------------------------------------- test mode
+    def _test_step(self) -> None:
+        """Primary-mode lockstep: one reference instruction per instruction."""
+        ref = self.reference
+        if ref is None:
+            return
+        try:
+            ref.step_one()
+        except ProgramExit:
+            pass
+        self._compare("instruction", strict_pc=True)
+
+    def _test_catch_up(self) -> None:
+        """VLIW-block sync: run the reference until it matches the machine.
+
+        The paper's test machine runs until its PC equals the DTSVLIW PC;
+        because an address may recur mid-block (unrolled loops), we require
+        the architectural state to match as well before accepting the
+        synchronisation point.
+        """
+        ref = self.reference
+        if ref is None:
+            return
+        target = self.pc
+        budget = 4 * self.cfg.block_width * self.cfg.block_height + 64
+        while budget > 0:
+            if ref.pc == target and ref.rf.state_equal(self.rf):
+                return
+            try:
+                ref.step_one()
+            except ProgramExit:
+                break
+            budget -= 1
+        if ref.pc == target and ref.rf.state_equal(self.rf):
+            return
+        raise TestModeMismatch(
+            "test machine lost sync after VLIW block: machine pc=0x%x, "
+            "reference pc=0x%x" % (target, ref.pc)
+        )
+
+    def _compare(self, what: str, strict_pc: bool) -> None:
+        ref = self.reference
+        if strict_pc and not self.halted and ref.pc != self.pc:
+            raise TestModeMismatch(
+                "%s: pc mismatch machine=0x%x reference=0x%x"
+                % (what, self.pc, ref.pc)
+            )
+        if not ref.rf.state_equal(self.rf):
+            raise TestModeMismatch(self._diff_state())
+
+    def _final_check(self) -> None:
+        ref = self.reference
+        if ref is not None and not ref.halted:
+            # the machine halted on the exit trap; let the reference finish
+            try:
+                while not ref.halted:
+                    ref.step_one()
+            except ProgramExit:
+                pass
+        if not ref.rf.state_equal(self.rf):
+            raise TestModeMismatch("final state: " + self._diff_state())
+        if ref.mem.data != self.mem.data:
+            raise TestModeMismatch("final state: memory images differ")
+        if bytes(ref.services.output) != bytes(self.services.output):
+            raise TestModeMismatch(
+                "final state: outputs differ (%r vs %r)"
+                % (ref.services.output[:64], self.services.output[:64])
+            )
+
+    def _diff_state(self) -> str:
+        ref = self.reference
+        diffs = []
+        for i, (a, b) in enumerate(zip(self.rf.iregs, ref.rf.iregs)):
+            if a != b:
+                diffs.append("ireg[%d]: 0x%x != 0x%x" % (i, a, b))
+        for i, (a, b) in enumerate(zip(self.rf.fregs, ref.rf.fregs)):
+            if a != b:
+                diffs.append("freg[%d]: %r != %r" % (i, a, b))
+        if self.rf.icc != ref.rf.icc:
+            diffs.append("icc: %d != %d" % (self.rf.icc, ref.rf.icc))
+        if self.rf.cwp != ref.rf.cwp:
+            diffs.append("cwp: %d != %d" % (self.rf.cwp, ref.rf.cwp))
+        if self.rf.wssp != ref.rf.wssp:
+            diffs.append("wssp: %d != %d" % (self.rf.wssp, ref.rf.wssp))
+        return "state mismatch (machine != reference): " + "; ".join(diffs[:8])

@@ -1,0 +1,123 @@
+"""The reference machine -- the paper's *test machine*.
+
+A pure in-order functional simulator with the same characteristics as the
+Primary Processor.  It provides two services (section 4):
+
+* the lockstep oracle for *test mode* (architectural state comparison), and
+* the precise sequential instruction count used as the numerator of the
+  paper's instructions-per-cycle metric.
+"""
+
+from __future__ import annotations
+
+from ..asm.program import Program
+from ..isa.registers import O0, RegFile, SP
+from ..isa.semantics import StepInfo, step, to_signed
+from ..memory.main_memory import MainMemory
+from .errors import ProgramExit, SimError
+
+#: software trap numbers
+TRAP_EXIT = 0
+TRAP_PUTC = 1
+TRAP_PRINT_INT = 2
+
+
+class TrapServices:
+    """Implements the ``ta`` software traps; shared by every engine so the
+    DTSVLIW and the reference machine observe identical side effects."""
+
+    __slots__ = ("output", "exit_code")
+
+    def __init__(self) -> None:
+        self.output = bytearray()
+        self.exit_code = 0
+
+    def trap(self, num: int, rf: RegFile, mem: MainMemory) -> None:
+        """Dispatch software trap ``num`` (exit/putc/print-int)."""
+        if num == TRAP_EXIT:
+            self.exit_code = to_signed(rf.read(O0))
+            raise ProgramExit(self.exit_code)
+        if num == TRAP_PUTC:
+            self.output.append(rf.read(O0) & 0xFF)
+            return
+        if num == TRAP_PRINT_INT:
+            self.output += str(to_signed(rf.read(O0))).encode()
+            return
+        raise SimError("unknown trap %d" % num)
+
+
+def setup_state(
+    program: Program, mem: MainMemory, rf: RegFile
+) -> int:
+    """Load ``program`` and initialise registers; returns the entry PC."""
+    mem.load_image(program.text_image(), program.text_base)
+    mem.load_image(program.data_image, program.data_base)
+    rf.wssp = mem.size
+    # Stack below the spill region, 8-byte aligned.
+    stack_top = (mem.size - mem.spill_region - 64) & ~7
+    rf.write(SP, stack_top)
+    return program.entry
+
+
+class ReferenceMachine:
+    """Sequential execution of a program, one instruction per ``step()``."""
+
+    def __init__(
+        self,
+        program: Program,
+        mem_size: int = 8 * 1024 * 1024,
+        nwindows: int = 8,
+        services: TrapServices | None = None,
+    ):
+        self.program = program
+        self.mem = MainMemory(mem_size)
+        self.rf = RegFile(nwindows)
+        self.services = services or TrapServices()
+        self.pc = setup_state(program, self.mem, self.rf)
+        self.instret = 0
+        self.halted = False
+        self.info = StepInfo()
+
+    @property
+    def output(self) -> bytes:
+        return bytes(self.services.output)
+
+    @property
+    def exit_code(self) -> int:
+        return self.services.exit_code
+
+    def step_one(self) -> None:
+        """Execute exactly one instruction."""
+        instr = self.program.fetch(self.pc)
+        try:
+            self.pc = step(self.rf, self.mem, instr, self.services, self.info)
+        except ProgramExit:
+            self.instret += 1
+            self.halted = True
+            raise
+        self.instret += 1
+
+    def run(self, max_instructions: int = 100_000_000) -> int:
+        """Run to the exit trap; returns the instruction count."""
+        fetch = self.program.instrs.get
+        rf, mem, services, info = self.rf, self.mem, self.services, self.info
+        pc = self.pc
+        n = self.instret
+        try:
+            while n < max_instructions:
+                instr = fetch(pc)
+                if instr is None:
+                    raise SimError("fetch outside text segment: 0x%x" % pc)
+                pc = step(rf, mem, instr, services, info)
+                n += 1
+        except ProgramExit:
+            n += 1
+            self.halted = True
+        finally:
+            self.pc = pc
+            self.instret = n
+        if not self.halted:
+            raise SimError(
+                "reference machine exceeded %d instructions" % max_instructions
+            )
+        return self.instret

@@ -1,0 +1,112 @@
+"""Statistics collected during DTSVLIW simulation.
+
+Covers everything reported in the paper's evaluation: the IPC metric
+(reference instructions / cycles, section 4), the cycle breakdown behind
+Figure 8, and every Table 3 column (renaming-register high-water marks,
+VLIW-engine list sizes, aliasing exceptions, percentage of VLIW execution
+cycles) plus the slot-occupancy figure quoted in section 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Stats:
+    # -- cycles ---------------------------------------------------------------
+    cycles: int = 0
+    primary_cycles: int = 0
+    vliw_cycles: int = 0
+    switch_cycles: int = 0
+    icache_stall_cycles: int = 0
+    dcache_stall_cycles: int = 0
+    branch_bubble_cycles: int = 0
+    load_use_bubble_cycles: int = 0
+    next_li_miss_cycles: int = 0
+    mispredict_cycles: int = 0
+    spill_cycles: int = 0
+
+    # -- instructions -----------------------------------------------------------
+    ref_instructions: int = 0  # test-machine sequential count (IPC numerator)
+    primary_instructions: int = 0
+    vliw_ops_executed: int = 0  # ops issued by the VLIW engine (incl. copies)
+    vliw_ops_committed: int = 0
+    copies_executed: int = 0
+    speculative_annulled: int = 0
+
+    # -- scheduler / blocks -------------------------------------------------------
+    blocks_flushed: int = 0
+    blocks_flushed_full: int = 0
+    blocks_flushed_hit: int = 0
+    blocks_flushed_nonsched: int = 0
+    long_instructions_saved: int = 0
+    slots_filled: int = 0
+    slots_total: int = 0
+    instructions_scheduled: int = 0
+    splits: int = 0
+    installs_on_dependence: int = 0
+    moves: int = 0
+
+    # -- Table 3 resources ----------------------------------------------------------
+    max_int_renaming: int = 0
+    max_fp_renaming: int = 0
+    max_cc_renaming: int = 0
+    max_mem_renaming: int = 0
+    max_load_list: int = 0
+    max_store_list: int = 0
+    max_ckpt_list: int = 0
+
+    # -- events ------------------------------------------------------------------------
+    aliasing_exceptions: int = 0
+    other_exceptions: int = 0
+    mispredicts: int = 0
+    mode_switches: int = 0
+    vliw_cache_hits: int = 0
+    vliw_cache_probes: int = 0
+    vliw_block_entries: int = 0
+    block_invalidations: int = 0
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ metrics
+    @property
+    def ipc(self) -> float:
+        """The paper's performance index: sequential instructions (as counted
+        by the test machine) divided by DTSVLIW cycles."""
+        return self.ref_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def vliw_cycle_fraction(self) -> float:
+        """Fraction of cycles in which the VLIW Engine was executing
+        (Table 3's 'VLIW Engine Execution Cycles')."""
+        return self.vliw_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def slot_occupancy(self) -> float:
+        """Valid instructions / total slots in blocks saved to the VLIW
+        Cache (~33% for the feasible machine in the paper)."""
+        return self.slots_filled / self.slots_total if self.slots_total else 0.0
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest of the run."""
+        lines = [
+            "cycles=%d (primary=%d vliw=%d switch=%d)"
+            % (self.cycles, self.primary_cycles, self.vliw_cycles, self.switch_cycles),
+            "ref_instructions=%d ipc=%.3f" % (self.ref_instructions, self.ipc),
+            "vliw%%=%.1f slot_occupancy=%.1f%%"
+            % (100 * self.vliw_cycle_fraction, 100 * self.slot_occupancy),
+            "renaming: int=%d fp=%d cc=%d mem=%d"
+            % (
+                self.max_int_renaming,
+                self.max_fp_renaming,
+                self.max_cc_renaming,
+                self.max_mem_renaming,
+            ),
+            "lists: load=%d store=%d ckpt=%d"
+            % (self.max_load_list, self.max_store_list, self.max_ckpt_list),
+            "aliasing=%d mispredicts=%d blocks=%d"
+            % (self.aliasing_exceptions, self.mispredicts, self.blocks_flushed),
+        ]
+        return "\n".join(lines)

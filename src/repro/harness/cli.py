@@ -1,0 +1,327 @@
+"""Command-line entry point: ``dtsvliw <experiment>`` regenerates any of
+the paper's tables and figures (see DESIGN.md section 6 for the index).
+
+Examples::
+
+    dtsvliw table2                 # benchmark inventory
+    dtsvliw fig5 --scale 0.3       # geometry sweep at reduced input size
+    dtsvliw fig9 --benchmarks compress,xlisp
+    dtsvliw run --workload ijpeg --width 16 --height 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+
+from ..core.config import MachineConfig
+from ..workloads import registry
+from . import experiments
+from .reporting import format_bars, format_stacked, format_table
+from .runner import run_workload
+
+
+def _benchmarks(args) -> list | None:
+    if args.benchmarks:
+        return [b.strip() for b in args.benchmarks.split(",")]
+    return None
+
+
+def cmd_table1(args) -> None:
+    print("Table 1: fixed machine parameters (MachineConfig defaults)\n")
+    for field in dataclasses.fields(MachineConfig):
+        value = getattr(MachineConfig(), field.name)
+        print("  %-26s %s" % (field.name, value))
+    print("\nfeasible machine (section 4.4): MachineConfig.feasible()")
+    print("figure 9 machine:                 MachineConfig.fig9()")
+
+
+def cmd_table2(args) -> None:
+    print("Table 2: benchmark programs (SPECint95 analogues)\n")
+    rows = {}
+    for name in registry.BENCHMARKS:
+        desc, mirrors = registry.workload_info(name)
+        n, _out, code = registry.reference_run(name, args.scale or 1.0)
+        rows[name] = {
+            "instructions": n,
+            "exit": code,
+            "description": desc,
+        }
+    print(format_table(rows, ["instructions", "exit", "description"]))
+    print("\nmirrors:")
+    for name in registry.BENCHMARKS:
+        _desc, mirrors = registry.workload_info(name)
+        print("  %-9s %s" % (name, mirrors))
+
+
+def cmd_fig5(args) -> None:
+    data = experiments.fig5_geometry(_benchmarks(args), scale=args.scale)
+    cols = ["%dx%d" % g for g in experiments.FIG5_GEOMETRIES]
+    print("Figure 5: IPC vs block size and geometry (ideal memory)\n")
+    print(format_table(data, cols))
+
+
+def cmd_fig6(args) -> None:
+    data = experiments.fig6_cache_size(_benchmarks(args), scale=args.scale)
+    print("Figure 6: IPC vs VLIW Cache size (KB), 8x8 blocks, 4-way\n")
+    print(format_table(data, experiments.FIG6_SIZES_KB))
+
+
+def cmd_fig7(args) -> None:
+    data = experiments.fig7_associativity(_benchmarks(args), scale=args.scale)
+    cols = [
+        "%dKB/%d-way" % (kb, a)
+        for kb in experiments.FIG7_SIZES_KB
+        for a in experiments.FIG7_ASSOCS
+    ]
+    print("Figure 7: IPC vs VLIW Cache associativity, 8x8 blocks\n")
+    print(format_table(data, cols))
+
+
+def cmd_fig8(args) -> None:
+    data = experiments.fig8_feasible(_benchmarks(args), scale=args.scale)
+    print("Figure 8: feasible machine cost breakdown (stacked)\n")
+    print(format_stacked(data, experiments.FIG8_SEGMENTS))
+    print()
+    print(
+        format_table(
+            data,
+            ["ilp", "next_li_cost", "dcache_cost", "icache_cost", "fu_cost", "ideal"],
+        )
+    )
+
+
+def cmd_table3(args) -> None:
+    data = experiments.table3_feasible(_benchmarks(args), scale=args.scale)
+    cols = [
+        "ipc",
+        "int_renaming",
+        "fp_renaming",
+        "flag_renaming",
+        "mem_renaming",
+        "load_list",
+        "store_list",
+        "ckpt_list",
+        "aliasing",
+        "vliw_cycles_pct",
+        "slot_occupancy_pct",
+    ]
+    print("Table 3: feasible DTSVLIW performance and resources\n")
+    print(format_table(data, cols))
+
+
+def cmd_fig9(args) -> None:
+    data = experiments.fig9_dif_comparison(_benchmarks(args), scale=args.scale)
+    print("Figure 9: DTSVLIW vs DIF (shared configuration)\n")
+    print(format_table(data, ["dtsvliw", "dif", "dtsvliw_renaming", "dif_renaming"]))
+    print()
+    print(format_bars({k: {"dtsvliw": v["dtsvliw"], "dif": v["dif"]} for k, v in data.items()}))
+
+
+def cmd_speedup(args) -> None:
+    data = experiments.speedup_vs_scalar(_benchmarks(args), scale=args.scale)
+    print("DTSVLIW speed-up over the scalar Primary Processor\n")
+    print(format_table(data, ["dtsvliw_ipc", "scalar_ipc", "speedup"]))
+
+
+def cmd_ablations(args) -> None:
+    print("Ablation: multicycle-aware scheduling (hardware mul/div)\n")
+    print(format_table(experiments.ablation_multicycle(_benchmarks(args), scale=args.scale)))
+    print("\nAblation: store handling scheme (section 3.11)\n")
+    print(format_table(experiments.ablation_store_scheme(_benchmarks(args), scale=args.scale)))
+    print("\nAblation: split-based renaming on/off\n")
+    print(format_table(experiments.ablation_splitting(_benchmarks(args), scale=args.scale)))
+    print("\nAblation: compiler quality (unrolled+scheduled vs naive)\n")
+    print(format_table(experiments.ablation_compiler(_benchmarks(args), scale=args.scale)))
+    print("\nExtension: next-block prediction (the paper's future work)\n")
+    print(
+        format_table(
+            experiments.ablation_next_block_prediction(
+                _benchmarks(args), scale=args.scale
+            )
+        )
+    )
+
+
+def cmd_blocks(args) -> None:
+    """Dump the hottest scheduled blocks of a workload (schedule study)."""
+    from ..core.machine import DTSVLIW
+    from ..workloads import registry
+
+    cfg = MachineConfig.paper_fixed(args.width, args.height, test_mode=False)
+    program = registry.load_program(args.workload, args.scale or 0.1)
+    machine = DTSVLIW(program, cfg)
+    machine.run(max_cycles=200_000_000)
+    blocks = [b for s in machine.vcache.sets for _t, b in s]
+    blocks.sort(key=lambda b: -b.op_count())
+    print(
+        "%d blocks cached for %s (%dx%d); %d largest shown\n"
+        % (len(blocks), args.workload, args.width, args.height, args.count)
+    )
+    for block in blocks[: args.count]:
+        print(block.text())
+        ops = block.op_count()
+        slots = cfg.block_width * len(block.lis)
+        print(
+            "  ops=%d occupancy=%.0f%% renames(int=%d cc=%d) req_windows=(%d up, %d down)\n"
+            % (
+                ops,
+                100 * ops / slots,
+                block.n_int_rr,
+                block.n_cc_rr,
+                block.req_canrestore,
+                block.req_cansave,
+            )
+        )
+
+
+def cmd_cc(args) -> None:
+    """Compile a minicc source file to an srisc binary (or assembly)."""
+    from ..asm.assembler import assemble
+    from ..asm.binary import save_program
+    from ..lang import CompilerOptions, compile_minicc
+
+    source = open(args.source).read()
+    asm_text = compile_minicc(
+        source,
+        CompilerOptions(
+            hw_mul=args.hw_mul, unroll=args.unroll, schedule=args.schedule
+        ),
+    )
+    if args.emit_asm:
+        out = args.output or (args.source.rsplit(".", 1)[0] + ".s")
+        with open(out, "w") as fh:
+            fh.write(asm_text)
+    else:
+        out = args.output or (args.source.rsplit(".", 1)[0] + ".bin")
+        save_program(assemble(asm_text), out)
+    print("wrote %s" % out)
+
+
+def cmd_asm(args) -> None:
+    """Assemble an srisc source file to a binary."""
+    from ..asm.assembler import assemble
+    from ..asm.binary import save_program
+
+    program = assemble(open(args.source).read())
+    out = args.output or (args.source.rsplit(".", 1)[0] + ".bin")
+    save_program(program, out)
+    print("wrote %s (%d instructions)" % (out, len(program.text_words)))
+
+
+def cmd_exec(args) -> None:
+    """Run an srisc binary on the chosen machine."""
+    import sys
+
+    from ..asm.binary import load_program
+    from ..baselines.dif import DIFMachine
+    from ..baselines.scalar import ScalarMachine
+    from ..core.machine import DTSVLIW
+
+    program = load_program(args.binary)
+    cfg = MachineConfig.paper_fixed(
+        args.width, args.height, test_mode=args.test_mode
+    )
+    machines = {"dtsvliw": DTSVLIW, "dif": DIFMachine, "scalar": ScalarMachine}
+    machine = machines[args.machine](program, cfg)
+    stats = machine.run()
+    sys.stdout.write(machine.output.decode("latin-1"))
+    print()
+    print(
+        "exit=%d cycles=%d ipc=%.2f"
+        % (machine.exit_code, stats.cycles, stats.ipc)
+    )
+
+
+def cmd_run(args) -> None:
+    cfg = MachineConfig.paper_fixed(args.width, args.height, test_mode=args.test_mode)
+    t0 = time.time()
+    res = run_workload(args.workload, cfg, machine=args.machine, scale=args.scale)
+    dt = time.time() - t0
+    print(
+        "%s on %s (%dx%d): ipc=%.3f over %d instructions, %d cycles (%.1fs)"
+        % (args.workload, args.machine, args.width, args.height, res.ipc,
+           res.ref_instructions, res.cycles, dt)
+    )
+    print()
+    print(res.stats.summary())
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="dtsvliw",
+        description="DTSVLIW reproduction harness (de Souza & Rounce, IPPS 1999)",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload size multiplier (default: $REPRO_SCALE or 1.0)",
+    )
+    common.add_argument(
+        "--benchmarks",
+        default="",
+        help="comma-separated subset of benchmarks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn, help_ in [
+        ("table1", cmd_table1, "fixed machine parameters"),
+        ("table2", cmd_table2, "benchmark inventory"),
+        ("fig5", cmd_fig5, "IPC vs block geometry"),
+        ("fig6", cmd_fig6, "IPC vs VLIW cache size"),
+        ("fig7", cmd_fig7, "IPC vs VLIW cache associativity"),
+        ("fig8", cmd_fig8, "feasible machine cost breakdown"),
+        ("table3", cmd_table3, "feasible machine resources"),
+        ("fig9", cmd_fig9, "DTSVLIW vs DIF"),
+        ("speedup", cmd_speedup, "speed-up over the scalar pipeline"),
+        ("ablations", cmd_ablations, "design-choice ablations"),
+    ]:
+        p = sub.add_parser(name, help=help_, parents=[common])
+        p.set_defaults(func=fn)
+    p = sub.add_parser(
+        "blocks", help="dump the hottest scheduled blocks", parents=[common]
+    )
+    p.add_argument("--workload", default="ijpeg", choices=registry.BENCHMARKS)
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--height", type=int, default=8)
+    p.add_argument("--count", type=int, default=3)
+    p.set_defaults(func=cmd_blocks)
+    p = sub.add_parser("run", help="single run with custom geometry", parents=[common])
+    p.add_argument("--workload", default="ijpeg", choices=registry.BENCHMARKS)
+    p.add_argument("--machine", default="dtsvliw", choices=["dtsvliw", "dif", "scalar"])
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--height", type=int, default=8)
+    p.add_argument("--test-mode", action="store_true")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("cc", help="compile minicc to an srisc binary")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("-S", "--emit-asm", action="store_true")
+    p.add_argument("--hw-mul", action="store_true")
+    p.add_argument("--unroll", type=int, default=1)
+    p.add_argument("--schedule", action="store_true")
+    p.set_defaults(func=cmd_cc)
+    p = sub.add_parser("asm", help="assemble srisc source to a binary")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_asm)
+    p = sub.add_parser("exec", help="run an srisc binary")
+    p.add_argument("binary")
+    p.add_argument("--machine", default="dtsvliw", choices=["dtsvliw", "dif", "scalar"])
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--height", type=int, default=8)
+    p.add_argument("--test-mode", action="store_true")
+    p.set_defaults(func=cmd_exec)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

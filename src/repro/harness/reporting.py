@@ -1,0 +1,107 @@
+"""Text rendering for experiment results: aligned tables and ASCII bar
+charts matching the rows/series the paper reports."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def format_table(
+    data: Mapping[str, Mapping],
+    columns: Optional[Sequence] = None,
+    row_header: str = "benchmark",
+    precision: int = 2,
+) -> str:
+    """Render {row: {column: value}} as an aligned text table with an
+    'average' footer for numeric columns."""
+    rows = list(data.keys())
+    if columns is None:
+        columns = list(next(iter(data.values())).keys()) if data else []
+    col_names = [str(c) for c in columns]
+
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return "%.*f" % (precision, v)
+        return str(v)
+
+    header = [row_header] + col_names
+    body = []
+    for r in rows:
+        body.append([r] + [fmt(data[r].get(c, "")) for c in columns])
+    # averages
+    avg_row = ["average"]
+    for c in columns:
+        vals = [data[r][c] for r in rows if isinstance(data[r].get(c), (int, float))]
+        avg_row.append(fmt(sum(vals) / len(vals)) if vals else "")
+    body.append(avg_row)
+
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in body))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in body[:-1]:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.append("  ".join(avg_row[i].ljust(widths[i]) for i in range(len(avg_row))))
+    return "\n".join(lines)
+
+
+def format_bars(
+    data: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    precision: int = 2,
+) -> str:
+    """ASCII grouped bar chart: one group per row, one bar per series."""
+    maxv = 0.0
+    for row in data.values():
+        for v in row.values():
+            if isinstance(v, (int, float)) and v > maxv:
+                maxv = float(v)
+    if maxv <= 0:
+        maxv = 1.0
+    lines = []
+    label_w = max(
+        (len(str(s)) for row in data.values() for s in row), default=4
+    )
+    for name, row in data.items():
+        lines.append(name)
+        for series, v in row.items():
+            if not isinstance(v, (int, float)):
+                continue
+            n = int(round(width * float(v) / maxv))
+            lines.append(
+                "  %s |%s %.*f"
+                % (str(series).ljust(label_w), "#" * n, precision, float(v))
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def format_stacked(
+    data: Mapping[str, Mapping[str, float]],
+    segments: Sequence[str],
+    width: int = 50,
+    chars: str = "#=+-~",
+) -> str:
+    """Stacked horizontal bars (Figure 8 style)."""
+    totals = {
+        name: sum(float(row.get(s, 0.0)) for s in segments)
+        for name, row in data.items()
+    }
+    maxv = max(totals.values(), default=1.0) or 1.0
+    lines = ["segments: " + "  ".join(
+        "%s=%s" % (chars[i % len(chars)], s) for i, s in enumerate(segments)
+    )]
+    for name, row in data.items():
+        bar = ""
+        for i, s in enumerate(segments):
+            n = int(round(width * float(row.get(s, 0.0)) / maxv))
+            bar += chars[i % len(chars)] * n
+        lines.append(
+            "%-10s |%s total=%.2f" % (name, bar.ljust(width), totals[name])
+        )
+    return "\n".join(lines)

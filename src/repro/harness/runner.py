@@ -1,0 +1,81 @@
+"""Single-run driver used by every experiment.
+
+IPC follows the paper's definition exactly: the sequential instruction
+count measured by the test machine divided by simulated cycles.  The
+reference count is cached per workload (``registry.reference_run``) so a
+parameter sweep pays for one reference execution per benchmark, not one
+per configuration.
+
+``REPRO_SCALE`` (environment) scales every workload; experiments default
+to ``test_mode=False`` for speed -- correctness is covered by the test
+suite, and every run still asserts the exit code and output against the
+reference.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines.dif import DIFMachine
+from ..baselines.scalar import ScalarMachine
+from ..core.config import MachineConfig
+from ..core.errors import SimError
+from ..core.machine import DTSVLIW
+from ..core.stats import Stats
+from ..workloads import registry
+
+DEFAULT_MAX_CYCLES = 400_000_000
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Workload scale from ``$REPRO_SCALE`` (fallback: ``default``)."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", default))
+    except ValueError:
+        return default
+
+
+@dataclass
+class RunResult:
+    benchmark: str
+    machine: str
+    stats: Stats
+    ref_instructions: int
+    cycles: int
+
+    @property
+    def ipc(self) -> float:
+        return self.ref_instructions / self.cycles if self.cycles else 0.0
+
+
+def run_workload(
+    name: str,
+    cfg: MachineConfig,
+    machine: str = "dtsvliw",
+    scale: Optional[float] = None,
+    hw_mul: bool = False,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+) -> RunResult:
+    """Run one benchmark under one configuration and validate its output."""
+    scale = env_scale() if scale is None else scale
+    program = registry.load_program(name, scale, hw_mul)
+    ref_count, ref_out, ref_code = registry.reference_run(name, scale, hw_mul)
+    if machine == "dtsvliw":
+        m = DTSVLIW(program, cfg)
+    elif machine == "dif":
+        m = DIFMachine(program, cfg)
+    elif machine == "scalar":
+        m = ScalarMachine(program, cfg)
+    else:
+        raise SimError("unknown machine kind %r" % machine)
+    stats = m.run(max_cycles=max_cycles)
+    if not stats.ref_instructions:
+        stats.ref_instructions = ref_count
+    if m.exit_code != ref_code or m.output != ref_out:
+        raise SimError(
+            "%s on %s diverged from the reference (exit %d vs %d)"
+            % (machine, name, m.exit_code, ref_code)
+        )
+    return RunResult(name, machine, stats, ref_count, stats.cycles)

@@ -1,0 +1,101 @@
+"""Binary encoding of srisc instructions (32-bit fixed width).
+
+Layout (bit 31 = MSB):
+
+* all formats: ``[31:26]`` opcode index.
+* call:   ``[25:0]``  signed word displacement (pc-relative).
+* branch: ``[20:0]``  signed word displacement (pc-relative).
+* sethi:  ``[25:21]`` rd, ``[20:0]`` imm21 (result = imm << 10).
+* trap:   ``[20:0]``  trap number.
+* nop:    all-zero operand field.
+* other (alu/mem/jmpl/save/restore/fp): ``[25:21]`` rd, ``[20:16]`` rs1,
+  ``[15]`` immediate flag, then ``[14:0]`` simm15 or ``[4:0]`` rs2.
+
+Programs are stored in memory in this encoding; the loader decodes each word
+once into :class:`~repro.isa.instructions.Instr` objects for the simulation
+loops, and tests assert the round-trip is exact.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SimError
+from .instructions import (
+    Instr,
+    K_BRANCH,
+    K_CALL,
+    K_NOP,
+    K_SETHI,
+    K_TRAP,
+    NUM_OPCODES,
+    OPCODE_LIST,
+)
+
+_SIMM15_MIN, _SIMM15_MAX = -(1 << 14), (1 << 14) - 1
+_DISP21_MIN, _DISP21_MAX = -(1 << 20), (1 << 20) - 1
+_DISP26_MIN, _DISP26_MAX = -(1 << 25), (1 << 25) - 1
+
+
+def _check(value: int, lo: int, hi: int, what: str, instr: Instr) -> None:
+    if not lo <= value <= hi:
+        raise SimError("%s %d out of range for %s" % (what, value, instr.text()))
+
+
+def encode(instr: Instr) -> int:
+    """Encode one instruction to a 32-bit word."""
+    op = instr.op
+    word = op.index << 26
+    kind = op.kind
+    if kind == K_CALL:
+        disp = instr.imm >> 2
+        _check(disp, _DISP26_MIN, _DISP26_MAX, "call displacement", instr)
+        return word | (disp & 0x3FFFFFF)
+    if kind == K_BRANCH:
+        disp = instr.imm >> 2
+        _check(disp, _DISP21_MIN, _DISP21_MAX, "branch displacement", instr)
+        return word | (disp & 0x1FFFFF)
+    if kind == K_SETHI:
+        _check(instr.imm, 0, (1 << 21) - 1, "sethi immediate", instr)
+        return word | (instr.rd << 21) | instr.imm
+    if kind == K_TRAP:
+        _check(instr.imm, 0, (1 << 21) - 1, "trap number", instr)
+        return word | instr.imm
+    if kind == K_NOP:
+        return word
+    word |= (instr.rd << 21) | (instr.rs1 << 16)
+    if instr.use_imm:
+        _check(instr.imm, _SIMM15_MIN, _SIMM15_MAX, "immediate", instr)
+        return word | (1 << 15) | (instr.imm & 0x7FFF)
+    return word | instr.rs2
+
+
+def decode(word: int, addr: int = 0) -> Instr:
+    """Decode a 32-bit word fetched from ``addr``."""
+    op_index = (word >> 26) & 0x3F
+    if op_index >= NUM_OPCODES:
+        raise SimError("illegal opcode index %d at 0x%x" % (op_index, addr))
+    op = OPCODE_LIST[op_index]
+    kind = op.kind
+    if kind == K_CALL:
+        disp = word & 0x3FFFFFF
+        if disp & (1 << 25):
+            disp -= 1 << 26
+        return Instr(op, imm=disp << 2, addr=addr)
+    if kind == K_BRANCH:
+        disp = word & 0x1FFFFF
+        if disp & (1 << 20):
+            disp -= 1 << 21
+        return Instr(op, imm=disp << 2, addr=addr)
+    if kind == K_SETHI:
+        return Instr(op, rd=(word >> 21) & 0x1F, imm=word & 0x1FFFFF, addr=addr)
+    if kind == K_TRAP:
+        return Instr(op, imm=word & 0x1FFFFF, addr=addr)
+    if kind == K_NOP:
+        return Instr(op, addr=addr)
+    rd = (word >> 21) & 0x1F
+    rs1 = (word >> 16) & 0x1F
+    if word & (1 << 15):
+        imm = word & 0x7FFF
+        if imm & (1 << 14):
+            imm -= 1 << 15
+        return Instr(op, rd=rd, rs1=rs1, imm=imm, use_imm=True, addr=addr)
+    return Instr(op, rd=rd, rs1=rs1, rs2=word & 0x1F, addr=addr)

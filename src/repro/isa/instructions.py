@@ -1,0 +1,280 @@
+"""Instruction set definition for srisc, the SPARC-V7-inspired ISA.
+
+Every static instruction is decoded once into an :class:`Instr`; the decoded
+form carries everything the engines need (operand indices, immediate,
+functional-unit class, latency and dependence metadata) so the hot simulation
+loops never re-parse anything.
+
+Deviations from SPARC V7, documented here and in DESIGN.md:
+
+* no branch delay slots (branches take effect immediately);
+* 15-bit signed immediates instead of 13-bit (srisc encodes a larger simm);
+* ``sethi`` shifts its immediate left by 12 (so ``%hi``/``%lo`` split at
+  bit 12), and ``call``/``jmpl`` write the address of the jump itself to the
+  link register with ``ret`` returning to ``%i7 + 4``;
+* hardware ``smul``/``sdiv``/``umul``/``udiv`` exist as *multicycle*
+  instructions (SPARC V7 itself had only multiply-step; the compiler emits
+  library calls unless hardware multiply is requested), matching the paper's
+  section 3.9 treatment of multicycle instructions;
+* a single software trap instruction ``ta`` provides exit/putc/print-int
+  services and is *non-schedulable* (section 3.9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+# ---------------------------------------------------------------------------
+# Functional-unit classes (slot typing for non-homogeneous long instructions).
+# ---------------------------------------------------------------------------
+FU_INT = 0
+FU_LS = 1
+FU_FP = 2
+FU_BR = 3
+
+FU_NAMES = {FU_INT: "int", FU_LS: "ls", FU_FP: "fp", FU_BR: "br"}
+
+# Instruction kinds -- drive both semantics dispatch and scheduler policy.
+K_ALU = 0  # integer register/immediate ALU op
+K_SETHI = 1
+K_LOAD = 2
+K_STORE = 3
+K_FLOAD = 4
+K_FSTORE = 5
+K_FPOP = 6
+K_BRANCH = 7  # conditional branch (incl. ba/bn)
+K_CALL = 8
+K_JMPL = 9  # indirect jump / return
+K_SAVE = 10
+K_RESTORE = 11
+K_TRAP = 12
+K_NOP = 13
+
+
+class Opcode:
+    """Static description of one mnemonic."""
+
+    __slots__ = (
+        "name",
+        "kind",
+        "fu",
+        "latency",
+        "sets_cc",
+        "reads_cc",
+        "cond",
+        "index",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: int,
+        fu: int,
+        latency: int = 1,
+        sets_cc: bool = False,
+        reads_cc: bool = False,
+        cond: Optional[str] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.fu = fu
+        self.latency = latency
+        self.sets_cc = sets_cc
+        self.reads_cc = reads_cc
+        self.cond = cond
+        self.index = -1  # assigned at registration
+
+
+OPCODES: Dict[str, Opcode] = {}
+OPCODE_LIST: List[Opcode] = []
+
+
+def _op(name: str, kind: int, fu: int, **kw) -> Opcode:
+    opc = Opcode(name, kind, fu, **kw)
+    opc.index = len(OPCODE_LIST)
+    OPCODES[name] = opc
+    OPCODE_LIST.append(opc)
+    return opc
+
+
+# Integer ALU --------------------------------------------------------------
+for _name in (
+    "add",
+    "sub",
+    "and",
+    "or",
+    "xor",
+    "andn",
+    "orn",
+    "xnor",
+    "sll",
+    "srl",
+    "sra",
+):
+    _op(_name, K_ALU, FU_INT)
+for _name in ("addcc", "subcc", "andcc", "orcc", "xorcc"):
+    _op(_name, K_ALU, FU_INT, sets_cc=True)
+# Multicycle integer ops (section 3.9 / HPCN'99 companion paper).
+_op("smul", K_ALU, FU_INT, latency=4)
+_op("umul", K_ALU, FU_INT, latency=4)
+_op("sdiv", K_ALU, FU_INT, latency=12)
+_op("udiv", K_ALU, FU_INT, latency=12)
+
+_op("sethi", K_SETHI, FU_INT)
+
+# Memory -------------------------------------------------------------------
+_op("ld", K_LOAD, FU_LS)
+_op("ldub", K_LOAD, FU_LS)
+_op("ldsb", K_LOAD, FU_LS)
+_op("st", K_STORE, FU_LS)
+_op("stb", K_STORE, FU_LS)
+_op("ldf", K_FLOAD, FU_LS)
+_op("stf", K_FSTORE, FU_LS)
+
+# Floating point -----------------------------------------------------------
+_op("fadd", K_FPOP, FU_FP)
+_op("fsub", K_FPOP, FU_FP)
+_op("fmul", K_FPOP, FU_FP)
+_op("fdiv", K_FPOP, FU_FP, latency=8)
+_op("fmov", K_FPOP, FU_FP)
+_op("fneg", K_FPOP, FU_FP)
+_op("fitos", K_FPOP, FU_FP)  # int (fp reg bits) -> float
+_op("fstoi", K_FPOP, FU_FP)  # float -> int, truncating
+_op("fcmp", K_FPOP, FU_FP, sets_cc=True)
+
+# Branches -----------------------------------------------------------------
+# ``ba``/``bn`` are unconditional; the scheduler ignores them (section 3.9).
+for _name in (
+    "ba",
+    "bn",
+    "be",
+    "bne",
+    "bl",
+    "ble",
+    "bg",
+    "bge",
+    "blu",
+    "bleu",
+    "bgu",
+    "bgeu",
+    "bpos",
+    "bneg",
+    "bvs",
+    "bvc",
+):
+    _op(_name, K_BRANCH, FU_BR, reads_cc=_name not in ("ba", "bn"), cond=_name)
+
+_op("call", K_CALL, FU_INT)  # writes o7; direction fixed, so schedulable
+_op("jmpl", K_JMPL, FU_BR)  # indirect branch (ret = jmpl i7+8, g0)
+_op("save", K_SAVE, FU_INT)
+_op("restore", K_RESTORE, FU_INT)
+_op("ta", K_TRAP, FU_INT)  # non-schedulable software trap
+_op("nop", K_NOP, FU_INT)
+
+NUM_OPCODES = len(OPCODE_LIST)
+
+UNCONDITIONAL = {"ba", "bn"}
+
+#: conditional branches taken when the condition holds; ``bn`` never.
+COND_BRANCHES = {
+    name
+    for name, opc in OPCODES.items()
+    if opc.kind == K_BRANCH and name not in UNCONDITIONAL
+}
+
+
+class Instr:
+    """One decoded static instruction.
+
+    ``rd``/``rs1``/``rs2`` are visible register indices whose namespace
+    depends on the opcode kind (integer for ALU/memory address registers,
+    fp for FPOP and the data register of ldf/stf).  ``imm`` is the sign- or
+    zero-extended immediate; ``use_imm`` selects rs2 vs imm as the second
+    operand.  For branches/call, ``imm`` holds the *byte* displacement from
+    the instruction's own address (labels are resolved by the assembler).
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "use_imm", "addr")
+
+    def __init__(
+        self,
+        op: Opcode,
+        rd: int = 0,
+        rs1: int = 0,
+        rs2: int = 0,
+        imm: int = 0,
+        use_imm: bool = False,
+        addr: int = 0,
+    ):
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.use_imm = use_imm
+        self.addr = addr
+
+    # -- classification helpers (used outside hot loops) ---------------------
+    @property
+    def is_branch(self) -> bool:
+        return self.op.kind == K_BRANCH
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.op.kind == K_BRANCH and self.op.name not in UNCONDITIONAL
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.op.kind == K_JMPL
+
+    @property
+    def is_load(self) -> bool:
+        return self.op.kind in (K_LOAD, K_FLOAD)
+
+    @property
+    def is_store(self) -> bool:
+        return self.op.kind in (K_STORE, K_FSTORE)
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op.kind in (K_LOAD, K_STORE, K_FLOAD, K_FSTORE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Instr(%s @0x%x)" % (self.text(), self.addr)
+
+    def text(self) -> str:
+        """Best-effort assembly rendering (for traces and error messages)."""
+        from .registers import reg_name
+
+        op = self.op
+        k = op.kind
+        if k == K_NOP:
+            return "nop"
+        if k == K_TRAP:
+            return "ta %d" % self.imm
+        if k == K_BRANCH:
+            return "%s 0x%x" % (op.name, self.addr + self.imm)
+        if k == K_CALL:
+            return "call 0x%x" % (self.addr + self.imm)
+        if k == K_JMPL:
+            return "jmpl %s+%d, %s" % (
+                reg_name(self.rs1),
+                self.imm,
+                reg_name(self.rd),
+            )
+        if k == K_SETHI:
+            return "sethi 0x%x, %s" % (self.imm, reg_name(self.rd))
+        if k in (K_LOAD, K_FLOAD, K_STORE, K_FSTORE):
+            off = (
+                "%d" % self.imm if self.use_imm else reg_name(self.rs2)
+            )
+            mem = "[%s+%s]" % (reg_name(self.rs1), off)
+            if k in (K_LOAD, K_FLOAD):
+                dst = "f%d" % self.rd if k == K_FLOAD else reg_name(self.rd)
+                return "%s %s, %s" % (op.name, mem, dst)
+            src = "f%d" % self.rd if k == K_FSTORE else reg_name(self.rd)
+            return "%s %s, %s" % (op.name, src, mem)
+        if k == K_FPOP:
+            return "%s f%d, f%d, f%d" % (op.name, self.rs1, self.rs2, self.rd)
+        second = str(self.imm) if self.use_imm else reg_name(self.rs2)
+        return "%s %s, %s, %s" % (op.name, reg_name(self.rs1), second, reg_name(self.rd))

@@ -1,0 +1,228 @@
+"""Register model for the srisc ISA (SPARC-V7-inspired).
+
+The visible integer register file has 32 registers split into four groups of
+eight, exactly as in SPARC:
+
+* ``g0``-``g7`` (indices 0-7): globals; ``g0`` always reads as zero.
+* ``o0``-``o7`` (8-15): outs; ``o6`` is the stack pointer, ``o7`` the link
+  register written by ``call``.
+* ``l0``-``l7`` (16-23): locals.
+* ``i0``-``i7`` (24-31): ins; ``i6`` is the frame pointer, ``i7`` holds the
+  return address inside a callee.
+
+Register *windows* make outs/locals/ins aliases into a larger physical file:
+window ``w`` owns 16 physical registers (its ins and locals), and the outs of
+window ``w`` are the ins of window ``(w - 1) mod NWINDOWS`` -- so ``save``
+(which decrements ``cwp``) turns the caller's outs into the callee's ins.
+
+The paper (section 3.9) schedules ``save``/``restore`` like ordinary integer
+instructions by letting the ``cwp`` value accompany each instruction into the
+scheduling list; dependence analysis therefore operates on *physical* register
+indices.  This module provides the precomputed ``cwp -> visible -> physical``
+tables used by the Primary Processor, the Scheduler Unit and the VLIW Engine.
+
+Location-id encoding
+--------------------
+
+The scheduler treats every architectural storage location as a small integer
+so dependence checks are set intersections:
+
+* integer physical registers: their physical index (0 .. 8+16*NWINDOWS-1)
+* integer renaming registers: ``IRR_BASE + k``
+* floating point registers:   ``FPR_BASE + f``
+* fp renaming registers:      ``FRR_BASE + k``
+* the integer condition codes: ``CC_ID``
+* cc renaming registers:      ``CRR_BASE + k``
+* the current window pointer: ``CWP_ID``
+* memory words:               ``MEM_BASE + (byte_address >> 2)``
+* memory renaming buffers:    ``MRR_BASE + k``
+
+Memory dependence granularity is one 32-bit word (byte accesses conservatively
+depend on their containing word).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Number of register windows (SPARC V7 implementations had 2-32).
+DEFAULT_NWINDOWS = 8
+
+#: Well-known visible register indices.
+G0 = 0
+O0 = 8
+SP = 14  # o6
+O7 = 15  # link register written by call
+L0 = 16
+I0 = 24
+FP = 30  # i6
+I7 = 31  # return address in callee
+
+NUM_VISIBLE = 32
+NUM_FPREGS = 32
+
+# ---------------------------------------------------------------------------
+# Location-id bases.  Spaced far apart; they only need to be distinct.
+# ---------------------------------------------------------------------------
+IRR_BASE = 100_000  # integer renaming registers
+FPR_BASE = 200_000  # architectural fp registers
+FRR_BASE = 250_000  # fp renaming registers
+CC_ID = 300_000  # integer condition codes (N,Z,V,C as one location)
+CRR_BASE = 310_000  # cc renaming registers
+CWP_ID = 400_000  # current window pointer (orders save/restore)
+MEMSEQ_ID = 450_000  # pseudo-location serialising memory ops (section 3.11)
+MRR_BASE = 500_000  # memory renaming (store) buffers
+MEM_BASE = 10_000_000  # + word index
+
+
+def fp_loc(f: int) -> int:
+    """Location id of architectural fp register ``f``."""
+    return FPR_BASE + f
+
+
+def mem_loc(addr: int) -> int:
+    """Location id of the memory word containing byte address ``addr``."""
+    return MEM_BASE + (addr >> 2)
+
+
+def num_int_phys(nwindows: int) -> int:
+    """Size of the windowed integer physical file (globals + windows)."""
+    return 8 + 16 * nwindows
+
+
+def build_window_tables(nwindows: int) -> List[List[int]]:
+    """Precompute ``tables[cwp][visible] -> physical`` for every window.
+
+    Physical layout: globals occupy 0-7; window ``w`` owns physical
+    ``8 + 16*w .. 8 + 16*w + 15`` (ins first, then locals).  The outs of
+    window ``w`` alias the ins of window ``(w - 1) mod nwindows``.
+    """
+    tables: List[List[int]] = []
+    for cwp in range(nwindows):
+        row = [0] * NUM_VISIBLE
+        for r in range(8):  # globals
+            row[r] = r
+        prev = (cwp - 1) % nwindows
+        for r in range(8):  # outs -> ins of the window below
+            row[O0 + r] = 8 + 16 * prev + r
+        for r in range(8):  # locals
+            row[L0 + r] = 8 + 16 * cwp + 8 + r
+        for r in range(8):  # ins
+            row[I0 + r] = 8 + 16 * cwp + r
+        tables.append(row)
+    return tables
+
+
+class RegFile:
+    """Architectural register state shared by all engines of the machine.
+
+    Integer registers are stored *physically* (windowed); reads and writes go
+    through the window tables using the current ``cwp``.  ``g0`` is enforced
+    to read as zero by never writing physical register 0.
+    """
+
+    __slots__ = (
+        "nwindows",
+        "tables",
+        "iregs",
+        "fregs",
+        "icc",
+        "cwp",
+        "cansave",
+        "canrestore",
+        "wssp",
+    )
+
+    def __init__(self, nwindows: int = DEFAULT_NWINDOWS):
+        self.nwindows = nwindows
+        self.tables = build_window_tables(nwindows)
+        self.iregs = [0] * num_int_phys(nwindows)
+        self.fregs = [0.0] * NUM_FPREGS
+        # Condition codes packed as an int: bit3=N, bit2=Z, bit1=V, bit0=C.
+        self.icc = 0
+        self.cwp = 0
+        # SPARC-style window occupancy counters.  One window is always
+        # reserved so overflow fires before the in-use window is clobbered.
+        self.cansave = nwindows - 2
+        self.canrestore = 0
+        # Window spill stack pointer (hardware-managed region at the top of
+        # memory); initialised by the machine once memory size is known.
+        self.wssp = 0
+
+    # -- integer registers --------------------------------------------------
+    def read(self, visible: int) -> int:
+        return self.iregs[self.tables[self.cwp][visible]]
+
+    def write(self, visible: int, value: int) -> None:
+        phys = self.tables[self.cwp][visible]
+        if phys != 0:
+            self.iregs[phys] = value & 0xFFFFFFFF
+
+    def phys(self, visible: int, cwp: int | None = None) -> int:
+        """Physical index of ``visible`` under ``cwp`` (default: current)."""
+        return self.tables[self.cwp if cwp is None else cwp][visible]
+
+    # -- fp registers --------------------------------------------------------
+    def fread(self, f: int) -> float:
+        return self.fregs[f]
+
+    def fwrite(self, f: int, value: float) -> None:
+        self.fregs[f] = value
+
+    # -- snapshots (checkpointing, test mode) --------------------------------
+    def snapshot(self) -> tuple:
+        return (
+            list(self.iregs),
+            list(self.fregs),
+            self.icc,
+            self.cwp,
+            self.cansave,
+            self.canrestore,
+            self.wssp,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        iregs, fregs, icc, cwp, cansave, canrestore, wssp = snap
+        self.iregs[:] = iregs
+        self.fregs[:] = fregs
+        self.icc = icc
+        self.cwp = cwp
+        self.cansave = cansave
+        self.canrestore = canrestore
+        self.wssp = wssp
+
+    def state_equal(self, other: "RegFile") -> bool:
+        """Architectural equality (used by the paper's *test mode*)."""
+        return (
+            self.iregs == other.iregs
+            and self.fregs == other.fregs
+            and self.icc == other.icc
+            and self.cwp == other.cwp
+            and self.wssp == other.wssp
+        )
+
+
+#: condition-code bit positions inside ``RegFile.icc``
+ICC_N = 8
+ICC_Z = 4
+ICC_V = 2
+ICC_C = 1
+
+
+REG_NAMES = (
+    ["g%d" % i for i in range(8)]
+    + ["o%d" % i for i in range(8)]
+    + ["l%d" % i for i in range(8)]
+    + ["i%d" % i for i in range(8)]
+)
+
+#: name -> visible index, including ABI aliases.
+REG_ALIASES = {name: i for i, name in enumerate(REG_NAMES)}
+REG_ALIASES.update({"sp": SP, "fp": FP, "r0": 0})
+# Plain rN names (the paper's Figure 2 uses r0, r8, ...).
+REG_ALIASES.update({"r%d" % i: i for i in range(NUM_VISIBLE)})
+
+
+def reg_name(visible: int) -> str:
+    """Canonical name (``g0``..``i7``) of a visible register."""
+    return REG_NAMES[visible]

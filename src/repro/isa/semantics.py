@@ -1,0 +1,421 @@
+"""Functional semantics of srisc instructions.
+
+One ``step`` function advances architectural state by a single instruction;
+it is shared by the reference (*test*) machine and the Primary Processor so
+the two can never disagree about meaning.  The VLIW Engine re-executes
+scheduled operations through the same compute primitives
+(:data:`ALU_FUNCS`, :func:`eval_cond`, :func:`fp_compute`) with pre-resolved
+physical registers.
+
+Architectural exceptions are raised as Python exceptions
+(:mod:`repro.core.errors`); the engines translate them into the paper's
+checkpoint-recovery protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..core.errors import MemFault, ProgramExit, SimError
+from .instructions import (
+    Instr,
+    K_ALU,
+    K_BRANCH,
+    K_CALL,
+    K_FLOAD,
+    K_FPOP,
+    K_FSTORE,
+    K_JMPL,
+    K_LOAD,
+    K_NOP,
+    K_RESTORE,
+    K_SAVE,
+    K_SETHI,
+    K_STORE,
+    K_TRAP,
+)
+from .registers import ICC_C, ICC_N, ICC_V, ICC_Z, RegFile
+
+MASK32 = 0xFFFFFFFF
+SIGN_BIT = 0x80000000
+
+
+def to_signed(x: int) -> int:
+    """Interpret a 32-bit unsigned value as two's-complement."""
+    return x - 0x100000000 if x & SIGN_BIT else x
+
+
+def to_unsigned(x: int) -> int:
+    return x & MASK32
+
+
+# ---------------------------------------------------------------------------
+# Integer ALU compute primitives: (a, b) -> 32-bit result.
+# ---------------------------------------------------------------------------
+def _sdiv(a: int, b: int) -> int:
+    if b == 0:
+        raise MemFault(0, "integer division by zero")
+    sa, sb = to_signed(a), to_signed(b)
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return to_unsigned(q)
+
+
+def _udiv(a: int, b: int) -> int:
+    if b == 0:
+        raise MemFault(0, "integer division by zero")
+    return (a // b) & MASK32
+
+
+ALU_FUNCS: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: (a + b) & MASK32,
+    "addcc": lambda a, b: (a + b) & MASK32,
+    "sub": lambda a, b: (a - b) & MASK32,
+    "subcc": lambda a, b: (a - b) & MASK32,
+    "and": lambda a, b: a & b,
+    "andcc": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "orcc": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "xorcc": lambda a, b: a ^ b,
+    "andn": lambda a, b: a & (~b & MASK32),
+    "orn": lambda a, b: a | (~b & MASK32),
+    "xnor": lambda a, b: (~(a ^ b)) & MASK32,
+    "sll": lambda a, b: (a << (b & 31)) & MASK32,
+    "srl": lambda a, b: a >> (b & 31),
+    "sra": lambda a, b: to_unsigned(to_signed(a) >> (b & 31)),
+    "smul": lambda a, b: to_unsigned(to_signed(a) * to_signed(b)),
+    "umul": lambda a, b: (a * b) & MASK32,
+    "sdiv": _sdiv,
+    "udiv": _udiv,
+    # save/restore compute like add (on the *old* window's sources).
+    "save": lambda a, b: (a + b) & MASK32,
+    "restore": lambda a, b: (a + b) & MASK32,
+}
+
+
+def alu_cc(name: str, a: int, b: int, result: int) -> int:
+    """Condition codes produced by a cc-setting integer op (packed NZVC)."""
+    icc = 0
+    if result & SIGN_BIT:
+        icc |= ICC_N
+    if result == 0:
+        icc |= ICC_Z
+    if name == "addcc":
+        if (~(a ^ b) & (a ^ result)) & SIGN_BIT:
+            icc |= ICC_V
+        if (a + b) > MASK32:
+            icc |= ICC_C
+    elif name == "subcc":
+        if ((a ^ b) & (a ^ result)) & SIGN_BIT:
+            icc |= ICC_V
+        if b > a:  # unsigned borrow
+            icc |= ICC_C
+    # logical cc ops leave V = C = 0
+    return icc
+
+
+# ---------------------------------------------------------------------------
+# Branch condition evaluation over packed NZVC.
+# ---------------------------------------------------------------------------
+def eval_cond(cond: str, icc: int) -> bool:
+    """Evaluate a branch condition against packed NZVC flags."""
+    n = bool(icc & ICC_N)
+    z = bool(icc & ICC_Z)
+    v = bool(icc & ICC_V)
+    c = bool(icc & ICC_C)
+    if cond == "ba":
+        return True
+    if cond == "bn":
+        return False
+    if cond == "be":
+        return z
+    if cond == "bne":
+        return not z
+    if cond == "bl":
+        return n != v
+    if cond == "bge":
+        return n == v
+    if cond == "ble":
+        return z or (n != v)
+    if cond == "bg":
+        return not (z or (n != v))
+    if cond == "blu":
+        return c
+    if cond == "bgeu":
+        return not c
+    if cond == "bleu":
+        return c or z
+    if cond == "bgu":
+        return not (c or z)
+    if cond == "bpos":
+        return not n
+    if cond == "bneg":
+        return n
+    if cond == "bvs":
+        return v
+    if cond == "bvc":
+        return not v
+    raise SimError("unknown branch condition %r" % cond)
+
+
+# ---------------------------------------------------------------------------
+# Floating point compute primitives.
+# ---------------------------------------------------------------------------
+def fp_compute(name: str, a: float, b: float) -> float:
+    """Arithmetic for the two-operand fp instructions."""
+    if name == "fadd":
+        return a + b
+    if name == "fsub":
+        return a - b
+    if name == "fmul":
+        return a * b
+    if name == "fdiv":
+        if b == 0.0:
+            raise MemFault(0, "fp division by zero")
+        return a / b
+    if name == "fmov":
+        return a
+    if name == "fneg":
+        return -a
+    raise SimError("unknown fp op %r" % name)
+
+
+def fcmp_cc(a: float, b: float) -> int:
+    """icc produced by fcmp: Z if equal, N if a < b (simplified fcc)."""
+    icc = 0
+    if a == b:
+        icc |= ICC_Z
+    elif a < b:
+        icc |= ICC_N
+    return icc
+
+
+class StepInfo:
+    """Per-instruction execution record filled by :func:`step`.
+
+    The Primary Processor forwards these fields to the Scheduler Unit
+    (section 3.1: completed instructions are sent on to be scheduled), and
+    the timing model consumes ``taken``/``mem_addr``.
+    """
+
+    __slots__ = (
+        "taken",
+        "target",
+        "mem_addr",
+        "mem_size",
+        "is_load",
+        "is_store",
+        "store_old",
+        "value",
+        "spilled",
+        "cwp_before",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.taken = False
+        self.target = 0
+        self.mem_addr = -1
+        self.mem_size = 0
+        self.is_load = False
+        self.is_store = False
+        self.store_old = 0
+        self.value = 0
+        self.spilled = False
+        self.cwp_before = 0
+
+
+def do_window_spill(rf: RegFile, mem) -> None:
+    """Hardware-managed window overflow: spill the oldest resident window.
+
+    The 16 registers of window ``(cwp + canrestore) mod N`` are pushed onto
+    the dedicated spill stack at the top of memory.  Both the reference
+    machine and the DTSVLIW perform spills identically, keeping *test mode*
+    state comparison exact.
+    """
+    victim = (rf.cwp + rf.canrestore) % rf.nwindows
+    base = 8 + 16 * victim
+    sp = rf.wssp - 64
+    if sp < mem.size - mem.spill_region:
+        raise SimError("window spill stack overflow (call depth too large)")
+    for k in range(16):
+        mem.write_word(sp + 4 * k, rf.iregs[base + k])
+    rf.wssp = sp
+
+
+def do_window_fill(rf: RegFile, mem) -> None:
+    """Hardware-managed window underflow: fill the parent's window."""
+    target = (rf.cwp + 1) % rf.nwindows
+    base = 8 + 16 * target
+    sp = rf.wssp
+    if sp >= mem.size:
+        raise SimError("window fill with empty spill stack")
+    for k in range(16):
+        rf.iregs[base + k] = mem.read_word(sp + 4 * k)
+    rf.wssp = sp + 64
+
+
+def step(rf: RegFile, mem, instr: Instr, services, info: StepInfo) -> int:
+    """Execute ``instr`` sequentially; return the next PC.
+
+    ``services`` must provide ``trap(num, rf, mem)`` (used by ``ta``).
+    Raises :class:`ProgramExit` on the exit trap and architectural
+    exceptions on faults.
+    """
+    op = instr.op
+    kind = op.kind
+    pc = instr.addr
+    info.reset()
+    info.cwp_before = rf.cwp
+
+    if kind == K_ALU:
+        a = rf.read(instr.rs1)
+        b = instr.imm & MASK32 if instr.use_imm else rf.read(instr.rs2)
+        res = ALU_FUNCS[op.name](a, b)
+        rf.write(instr.rd, res)
+        if op.sets_cc:
+            rf.icc = alu_cc(op.name, a, b, res)
+        info.value = res
+        return pc + 4
+
+    if kind == K_SETHI:
+        res = (instr.imm << 12) & MASK32
+        rf.write(instr.rd, res)
+        info.value = res
+        return pc + 4
+
+    if kind == K_LOAD:
+        off = instr.imm if instr.use_imm else rf.read(instr.rs2)
+        addr = (rf.read(instr.rs1) + off) & MASK32
+        info.mem_addr = addr
+        info.is_load = True
+        if op.name == "ld":
+            info.mem_size = 4
+            val = mem.read_word(addr)
+        elif op.name == "ldub":
+            info.mem_size = 1
+            val = mem.read_byte(addr)
+        else:  # ldsb
+            info.mem_size = 1
+            val = mem.read_byte(addr)
+            if val & 0x80:
+                val |= 0xFFFFFF00
+        rf.write(instr.rd, val)
+        info.value = val
+        return pc + 4
+
+    if kind == K_STORE:
+        off = instr.imm if instr.use_imm else rf.read(instr.rs2)
+        addr = (rf.read(instr.rs1) + off) & MASK32
+        val = rf.read(instr.rd)
+        info.mem_addr = addr
+        info.is_store = True
+        if op.name == "st":
+            info.mem_size = 4
+            info.store_old = mem.read_word(addr)
+            mem.write_word(addr, val)
+        else:  # stb
+            info.mem_size = 1
+            info.store_old = mem.read_byte(addr)
+            mem.write_byte(addr, val & 0xFF)
+        info.value = val
+        return pc + 4
+
+    if kind == K_BRANCH:
+        taken = eval_cond(op.cond, rf.icc)
+        info.taken = taken
+        info.target = (pc + instr.imm) & MASK32 if taken else pc + 4
+        return info.target
+
+    if kind == K_CALL:
+        rf.write(15, pc)  # o7 <- address of the call itself (SPARC style)
+        info.taken = True
+        info.target = (pc + instr.imm) & MASK32
+        info.value = pc
+        return info.target
+
+    if kind == K_JMPL:
+        target = (rf.read(instr.rs1) + instr.imm) & MASK32
+        rf.write(instr.rd, pc)
+        if target & 3:
+            raise MemFault(target, "misaligned jump target")
+        info.taken = True
+        info.target = target
+        return target
+
+    if kind == K_SAVE:
+        a = rf.read(instr.rs1)
+        b = instr.imm & MASK32 if instr.use_imm else rf.read(instr.rs2)
+        if rf.cansave == 0:
+            do_window_spill(rf, mem)
+            info.spilled = True
+        else:
+            rf.cansave -= 1
+            rf.canrestore += 1
+        rf.cwp = (rf.cwp - 1) % rf.nwindows
+        rf.write(instr.rd, (a + b) & MASK32)  # rd in the NEW window
+        info.value = (a + b) & MASK32
+        return pc + 4
+
+    if kind == K_RESTORE:
+        a = rf.read(instr.rs1)
+        b = instr.imm & MASK32 if instr.use_imm else rf.read(instr.rs2)
+        if rf.canrestore == 0:
+            do_window_fill(rf, mem)
+            info.spilled = True
+        else:
+            rf.canrestore -= 1
+            rf.cansave += 1
+        rf.cwp = (rf.cwp + 1) % rf.nwindows
+        rf.write(instr.rd, (a + b) & MASK32)
+        info.value = (a + b) & MASK32
+        return pc + 4
+
+    if kind == K_FPOP:
+        name = op.name
+        if name == "fitos":
+            # Cross-file op: integer rs1 -> fp rd (simpler than SPARC's
+            # bit-pattern reinterpretation; documented ISA deviation).
+            rf.fwrite(instr.rd, float(to_signed(rf.read(instr.rs1))))
+        elif name == "fstoi":
+            # fp rs1 -> integer rd, truncating toward zero.
+            rf.write(instr.rd, to_unsigned(int(rf.fread(instr.rs1))))
+        elif name == "fcmp":
+            rf.icc = fcmp_cc(rf.fread(instr.rs1), rf.fread(instr.rs2))
+        else:
+            a = rf.fread(instr.rs1)
+            b = rf.fread(instr.rs2)
+            rf.fwrite(instr.rd, fp_compute(name, a, b))
+        return pc + 4
+
+    if kind == K_FLOAD:
+        off = instr.imm if instr.use_imm else rf.read(instr.rs2)
+        addr = (rf.read(instr.rs1) + off) & MASK32
+        info.mem_addr = addr
+        info.mem_size = 4
+        info.is_load = True
+        rf.fwrite(instr.rd, mem.read_float(addr))
+        return pc + 4
+
+    if kind == K_FSTORE:
+        off = instr.imm if instr.use_imm else rf.read(instr.rs2)
+        addr = (rf.read(instr.rs1) + off) & MASK32
+        info.mem_addr = addr
+        info.mem_size = 4
+        info.is_store = True
+        info.store_old = mem.read_word(addr)
+        mem.write_float(addr, rf.fread(instr.rd))
+        return pc + 4
+
+    if kind == K_TRAP:
+        services.trap(instr.imm, rf, mem)
+        return pc + 4
+
+    if kind == K_NOP:
+        return pc + 4
+
+    raise SimError("unimplemented instruction kind %d (%s)" % (kind, op.name))

@@ -1,0 +1,5 @@
+"""minicc: a small C-subset compiler targeting the srisc ISA."""
+
+from .codegen import CompilerOptions, compile_minicc
+
+__all__ = ["CompilerOptions", "compile_minicc"]

@@ -1,0 +1,296 @@
+"""AST node definitions and the minicc type model.
+
+Types are tuples:
+
+* ``("int",)``, ``("char",)``, ``("float",)``, ``("void",)``
+* ``("ptr", base_type)``
+* ``("array", element_type, length)`` -- decays to pointer in expressions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+Type = Tuple
+
+INT = ("int",)
+CHAR = ("char",)
+FLOAT = ("float",)
+VOID = ("void",)
+
+
+def ptr(base: Type) -> Type:
+    return ("ptr", base)
+
+
+def array(elem: Type, length: int) -> Type:
+    return ("array", elem, length)
+
+
+def sizeof(t: Type) -> int:
+    if t[0] in ("int", "float", "ptr"):
+        return 4
+    if t[0] == "char":
+        return 1
+    if t[0] == "array":
+        return sizeof(t[1]) * t[2]
+    raise ValueError("sizeof(%r)" % (t,))
+
+
+def type_name(t: Type) -> str:
+    if t[0] == "ptr":
+        return type_name(t[1]) + "*"
+    if t[0] == "array":
+        return "%s[%d]" % (type_name(t[1]), t[2])
+    return t[0]
+
+
+def is_float(t: Type) -> bool:
+    return t[0] == "float"
+
+
+def is_pointerish(t: Type) -> bool:
+    return t[0] in ("ptr", "array")
+
+
+def element_type(t: Type) -> Type:
+    if t[0] in ("ptr", "array"):
+        return t[1]
+    raise ValueError("not a pointer type: %r" % (t,))
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+
+# --------------------------------------------------------------------- decls
+class Program(Node):
+    __slots__ = ("globals", "functions")
+
+    def __init__(self, globals_: List["GlobalVar"], functions: List["Function"]):
+        super().__init__()
+        self.globals = globals_
+        self.functions = functions
+
+
+class GlobalVar(Node):
+    __slots__ = ("name", "type", "init")
+
+    def __init__(self, name: str, type_: Type, init, line: int):
+        super().__init__(line)
+        self.name = name
+        self.type = type_
+        self.init = init  # None | int | float | bytes | list of ints
+
+
+class Function(Node):
+    __slots__ = ("name", "ret_type", "params", "body")
+
+    def __init__(self, name, ret_type, params, body, line):
+        super().__init__(line)
+        self.name = name
+        self.ret_type = ret_type
+        self.params = params  # list of (name, Type)
+        self.body = body
+
+
+# ---------------------------------------------------------------- statements
+class Block(Node):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts, line=0):
+        super().__init__(line)
+        self.stmts = stmts
+
+
+class VarDecl(Node):
+    __slots__ = ("name", "type", "init")
+
+    def __init__(self, name, type_, init, line):
+        super().__init__(line)
+        self.name = name
+        self.type = type_
+        self.init = init  # Optional[Expr]
+
+
+class If(Node):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond, then, els, line):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Node):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body, cond, line):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class For(Node):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body, line):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Optional["Node"], line: int):
+        super().__init__(line)
+        self.expr = expr
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line):
+        super().__init__(line)
+        self.expr = expr
+
+
+# --------------------------------------------------------------- expressions
+class IntLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class StrLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bytes, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class Var(Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name, line=0):
+        super().__init__(line)
+        self.name = name
+
+
+class Unary(Node):
+    """op in {'-', '!', '~', '*', '&'}"""
+
+    __slots__ = ("op", "expr")
+
+    def __init__(self, op, expr, line=0):
+        super().__init__(line)
+        self.op = op
+        self.expr = expr
+
+
+class Binary(Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right, line=0):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Assign(Node):
+    """op is '=' or a compound op like '+='."""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op, target, value, line=0):
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class IncDec(Node):
+    """++/-- in pre or post position."""
+
+    __slots__ = ("op", "target", "post")
+
+    def __init__(self, op, target, post, line=0):
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.post = post
+
+
+class Cond(Node):
+    """Ternary ?: expression."""
+
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond, then, els, line=0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class Call(Node):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args, line=0):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+class Index(Node):
+    __slots__ = ("base", "index")
+
+    def __init__(self, base, index, line=0):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Cast(Node):
+    __slots__ = ("type", "expr")
+
+    def __init__(self, type_, expr, line=0):
+        super().__init__(line)
+        self.type = type_
+        self.expr = expr

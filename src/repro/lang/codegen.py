@@ -1,0 +1,1491 @@
+"""srisc code generation for minicc.
+
+Conventions (SPARC-flavoured):
+
+* arguments in ``%o0``-``%o5``; every function opens a register window with
+  ``save %sp, -frame, %sp`` so arguments arrive in ``%i0``-``%i5``;
+* return value in the callee's ``%i0``, moved to the caller's ``%o0`` by the
+  ``restore %i0, 0, %o0`` epilogue (float returns travel in ``%f0``);
+* scalar int/char/pointer locals live in ``%l0``-``%l7`` (spilling to the
+  frame when more than eight); arrays, floats and address-taken locals live
+  on the stack, addressed off ``%fp``;
+* expression temporaries use ``%g1``-``%g4`` plus frame spill slots; all
+  live temporaries are tracked on an explicit value stack so they can be
+  saved around calls (globals are caller-clobbered, window registers are
+  not);
+* ``*``, ``/`` and ``%`` call the software runtime (``__mulsi3`` etc., as on
+  real SPARC V7) unless :attr:`CompilerOptions.hw_mul` selects the
+  multicycle ``smul``/``sdiv`` instructions;
+* builtins ``putchar``/``print_int``/``exit`` expand to the ``ta`` traps.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import SimError
+from . import ast
+from .ast import (
+    element_type,
+    is_float,
+    is_pointerish,
+    sizeof,
+)
+
+INT_TEMPS = ["%g1", "%g2", "%g3", "%g4"]
+FLOAT_TEMPS = ["%f1", "%f2", "%f3", "%f4", "%f5", "%f6", "%f7"]
+LOCAL_REGS = ["%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7"]
+PARAM_REGS = ["%i0", "%i1", "%i2", "%i3", "%i4", "%i5"]
+
+SIMM_MIN, SIMM_MAX = -(1 << 14), (1 << 14) - 1
+
+_CMP_BRANCH = {"==": "be", "!=": "bne", "<": "bl", "<=": "ble", ">": "bg", ">=": "bge"}
+_CMP_INVERT = {"be": "bne", "bne": "be", "bl": "bge", "ble": "bg", "bg": "ble", "bge": "bl"}
+
+
+@dataclass
+class CompilerOptions:
+    """Code generation switches."""
+
+    hw_mul: bool = False  # use smul/sdiv/... multicycle instructions
+    text_base: int = 0x1000
+    #: unroll eligible counted loops this many times (1 = off); see
+    #: :mod:`repro.lang.optimize`
+    unroll: int = 1
+    #: list-schedule basic blocks of the emitted assembly so independent
+    #: chains interleave (see :mod:`repro.asm.schedule`)
+    schedule: bool = False
+
+
+class Value:
+    """Where an expression result currently lives."""
+
+    __slots__ = ("kind", "reg", "offset", "const", "type", "owned")
+
+    def __init__(self, kind, type_, reg=None, offset=0, const=0, owned=False):
+        self.kind = kind  # 'imm' | 'ireg' | 'freg' | 'islot' | 'fslot'
+        self.type = type_
+        self.reg = reg
+        self.offset = offset
+        self.const = const
+        self.owned = owned
+
+    def __repr__(self):  # pragma: no cover
+        return "Value(%s, %s, reg=%s, off=%d, const=%d)" % (
+            self.kind,
+            self.type,
+            self.reg,
+            self.offset,
+            self.const,
+        )
+
+
+class _FnInfo:
+    __slots__ = ("ret_type", "param_types")
+
+    def __init__(self, ret_type, param_types):
+        self.ret_type = ret_type
+        self.param_types = param_types
+
+
+_BUILTINS = {"putchar", "print_int", "exit"}
+
+
+class CodeGenerator:
+    def __init__(self, options: CompilerOptions | None = None):
+        self.opt = options or CompilerOptions()
+        self.lines: List[str] = []
+        self.data_lines: List[str] = []
+        self.label_counter = 0
+        self.globals: Dict[str, ast.Type] = {}
+        self.functions: Dict[str, _FnInfo] = {}
+        self.need_mul = False
+        self.need_div = False
+        self.need_mod = False
+        self.string_labels: Dict[bytes, str] = {}
+        # per-function state
+        self.symtab: Dict[str, Tuple] = {}
+        self.ipool: List[str] = []
+        self.fpool: List[str] = []
+        self.vstack: List[Value] = []
+        self.frame_locals = 0
+        self.spill_slots: List[int] = []
+        self.spill_next = 0
+        self.max_frame = 0
+        self.break_labels: List[str] = []
+        self.continue_labels: List[str] = []
+        self.current_fn: Optional[ast.Function] = None
+        self.epilogue_label = ""
+        # Registers temporarily protected from spilling (see refetch_*).
+        self.pinned: set = set()
+
+    # ---------------------------------------------------------------- helpers
+    def emit(self, line: str) -> None:
+        self.lines.append("        " + line)
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(label + ":")
+
+    def new_label(self, hint: str = "L") -> str:
+        self.label_counter += 1
+        return ".%s%d" % (hint, self.label_counter)
+
+    def err(self, node: ast.Node, msg: str) -> SimError:
+        return SimError("minicc: line %d: %s" % (getattr(node, "line", 0), msg))
+
+    # ------------------------------------------------------- register/slots
+    def alloc_ireg(self) -> str:
+        if self.ipool:
+            # FIFO rotation spreads temp names across registers, avoiding
+            # the false WAR/WAW chains a LIFO pool creates
+            return self.ipool.pop(0)
+        # No free temp register: spill the *oldest* unpinned register temp.
+        for v in self.vstack:
+            if v.kind == "ireg" and v.owned and v.reg not in self.pinned:
+                self._spill_int(v)
+                return self.ipool.pop()
+        raise SimError("minicc: expression too complex (int temps exhausted)")
+
+    def alloc_freg(self) -> str:
+        if self.fpool:
+            return self.fpool.pop()
+        for v in self.vstack:
+            if v.kind == "freg" and v.owned and v.reg not in self.pinned:
+                self._spill_float(v)
+                return self.fpool.pop()
+        raise SimError("minicc: expression too complex (float temps exhausted)")
+
+    def free_value(self, v: Value) -> None:
+        if not v.owned:
+            return
+        if v.kind == "ireg":
+            self.ipool.append(v.reg)
+        elif v.kind == "freg":
+            self.fpool.append(v.reg)
+        elif v.kind in ("islot", "fslot"):
+            self.spill_slots.append(v.offset)
+        v.owned = False
+
+    def alloc_slot(self) -> int:
+        if self.spill_slots:
+            return self.spill_slots.pop()
+        self.spill_next += 4
+        off = self.frame_locals + self.spill_next
+        self.max_frame = max(self.max_frame, off)
+        return off
+
+    def _spill_int(self, v: Value) -> None:
+        off = self.alloc_slot()
+        self.emit("st %s, [%%fp - %d]" % (v.reg, off))
+        self.ipool.append(v.reg)
+        v.kind = "islot"
+        v.offset = off
+        v.reg = None
+
+    def _spill_float(self, v: Value) -> None:
+        off = self.alloc_slot()
+        self.emit("stf %s, [%%fp - %d]" % (v.reg, off))
+        self.fpool.append(v.reg)
+        v.kind = "fslot"
+        v.offset = off
+        v.reg = None
+
+    def spill_for_call(self) -> None:
+        """Save every live temp that a callee could clobber."""
+        for v in self.vstack:
+            if v.kind == "ireg" and v.owned and v.reg.startswith("%g"):
+                self._spill_int(v)
+            elif v.kind == "freg" and v.owned:
+                self._spill_float(v)
+
+    # -------------------------------------------------------- value movement
+    def load_imm(self, reg: str, value: int) -> None:
+        value &= 0xFFFFFFFF
+        signed = value - 0x100000000 if value & 0x80000000 else value
+        if SIMM_MIN <= signed <= SIMM_MAX:
+            self.emit("mov %d, %s" % (signed, reg))
+        else:
+            self.emit("set 0x%x, %s" % (value, reg))
+
+    def into_ireg(self, v: Value) -> Value:
+        """Return an equivalent value held in an integer register."""
+        if v.kind == "ireg":
+            return v
+        if v.kind == "imm":
+            reg = self.alloc_ireg()
+            self.load_imm(reg, v.const)
+            return Value("ireg", v.type, reg=reg, owned=True)
+        if v.kind == "islot":
+            reg = self.alloc_ireg()
+            self.emit("ld [%%fp - %d], %s" % (v.offset, reg))
+            self.spill_slots.append(v.offset)
+            return Value("ireg", v.type, reg=reg, owned=True)
+        if v.kind in ("freg", "fslot"):
+            fv = self.into_freg(v)
+            reg = self.alloc_ireg()
+            self.emit("fstoi %s, %s" % (fv.reg, reg))
+            self.free_value(fv)
+            return Value("ireg", ast.INT, reg=reg, owned=True)
+        raise SimError("cannot move %r into int register" % v)
+
+    def into_freg(self, v: Value) -> Value:
+        if v.kind == "freg":
+            return v
+        if v.kind == "fslot":
+            reg = self.alloc_freg()
+            self.emit("ldf [%%fp - %d], %s" % (v.offset, reg))
+            self.spill_slots.append(v.offset)
+            return Value("freg", v.type, reg=reg, owned=True)
+        # int-ish -> float conversion
+        iv = self.into_ireg(v)
+        reg = self.alloc_freg()
+        self.emit("fitos %s, %s" % (iv.reg, reg))
+        self.free_value(iv)
+        return Value("freg", ast.FLOAT, reg=reg, owned=True)
+
+    def operand(self, v: Value):
+        """Render v as the second ALU operand: immediate if it fits."""
+        if v.kind == "imm" and SIMM_MIN <= v.const <= SIMM_MAX:
+            return str(v.const), None
+        reg_v = self.into_ireg(v)
+        return reg_v.reg, reg_v
+
+    def refetch_int(self, v: Value, pin: Optional[Value] = None) -> Value:
+        """Re-force a (possibly spilled) stacked value into an int register.
+
+        Evaluating a second operand can spill the first one (calls clobber
+        the global temp registers); every two-operand emitter re-fetches the
+        first operand through this helper before using ``.reg``.  ``pin``
+        protects the other operand's register from being chosen as the
+        spill victim while this one reloads.
+        """
+        if v.kind == "ireg":
+            return v
+        pinned_here = None
+        if pin is not None and pin.reg is not None and pin.reg not in self.pinned:
+            self.pinned.add(pin.reg)
+            pinned_here = pin.reg
+        try:
+            nv = self.into_ireg(v)
+        finally:
+            if pinned_here is not None:
+                self.pinned.discard(pinned_here)
+        for i, sv in enumerate(self.vstack):
+            if sv is v:
+                self.vstack[i] = nv
+                break
+        return nv
+
+    def refetch_float(self, v: Value, pin: Optional[Value] = None) -> Value:
+        if v.kind == "freg":
+            return v
+        pinned_here = None
+        if pin is not None and pin.reg is not None and pin.reg not in self.pinned:
+            self.pinned.add(pin.reg)
+            pinned_here = pin.reg
+        try:
+            nv = self.into_freg(v)
+        finally:
+            if pinned_here is not None:
+                self.pinned.discard(pinned_here)
+        for i, sv in enumerate(self.vstack):
+            if sv is v:
+                self.vstack[i] = nv
+                break
+        return nv
+
+    # ------------------------------------------------------------ program
+    def generate(self, program: ast.Program) -> str:
+        """Emit srisc assembly for a whole parsed program."""
+        for g in program.globals:
+            if g.name in self.globals:
+                raise self.err(g, "duplicate global %r" % g.name)
+            self.globals[g.name] = g.type
+        for f in program.functions:
+            self.functions[f.name] = _FnInfo(
+                f.ret_type, [t for _, t in f.params]
+            )
+        if "main" not in self.functions:
+            raise SimError("minicc: no main() defined")
+
+        self.lines.append("        .text")
+        self.emit_label("_start")
+        self.emit("call main")
+        self.emit("ta 0")
+
+        for f in program.functions:
+            self.gen_function(f)
+
+        self.emit_runtime()
+
+        out = list(self.lines)
+        out.append("        .data")
+        for g in program.globals:
+            out.extend(self.gen_global(g))
+        out.extend(self.data_lines)
+        return "\n".join(out) + "\n"
+
+    def gen_global(self, g: ast.GlobalVar) -> List[str]:
+        lines = ["%s:" % g.name]
+        t = g.type
+        if t[0] == "array":
+            elem = t[1]
+            if g.init is None:
+                lines.append("        .space %d" % sizeof(t))
+            elif isinstance(g.init, bytes):
+                esc = "".join(
+                    "\\n" if b == 10 else "\\t" if b == 9 else "\\\\" if b == 92
+                    else '\\"' if b == 34 else chr(b) if 32 <= b < 127
+                    else "\\0" if b == 0 else None
+                    for b in g.init
+                )
+                if None in [c for c in esc]:  # pragma: no cover
+                    raise self.err(g, "unsupported byte in string initializer")
+                lines.append('        .asciz "%s"' % esc)
+                pad = sizeof(t) - (len(g.init) + 1)
+                if pad > 0:
+                    lines.append("        .space %d" % pad)
+            elif isinstance(g.init, list):
+                if elem[0] == "char":
+                    lines.append(
+                        "        .byte " + ", ".join(str(v & 0xFF) for v in g.init)
+                    )
+                    pad = sizeof(t) - len(g.init)
+                else:
+                    lines.append(
+                        "        .word "
+                        + ", ".join(str(v & 0xFFFFFFFF) for v in g.init)
+                    )
+                    pad = sizeof(t) - 4 * len(g.init)
+                if pad > 0:
+                    lines.append("        .space %d" % pad)
+            else:
+                raise self.err(g, "bad array initializer")
+            lines.append("        .align 4")
+        elif t[0] == "float":
+            bits = struct.unpack(">I", struct.pack(">f", float(g.init or 0.0)))[0]
+            lines.append("        .word 0x%x" % bits)
+        elif t[0] == "char":
+            lines.append("        .byte %d" % ((g.init or 0) & 0xFF))
+            lines.append("        .align 4")
+        else:
+            lines.append("        .word %d" % ((g.init or 0) & 0xFFFFFFFF))
+        return lines
+
+    # ------------------------------------------------------------- functions
+    def gen_function(self, f: ast.Function) -> None:
+        """Emit prologue, body and epilogue of one function."""
+        self.current_fn = f
+        self.symtab = {}
+        self.ipool = list(INT_TEMPS)
+        self.fpool = list(FLOAT_TEMPS)
+        self.vstack = []
+        self.frame_locals = 0
+        self.spill_slots = []
+        self.spill_next = 0
+        self.max_frame = 0
+        self.break_labels = []
+        self.continue_labels = []
+        self.epilogue_label = self.new_label("ret_" + f.name + "_")
+
+        addr_taken = _addr_taken_names(f.body)
+
+        # Parameters: register-resident unless address-taken.
+        param_copies = []
+        for i, (name, ptype) in enumerate(f.params):
+            if is_float(ptype):
+                raise self.err(f, "float parameters are not supported")
+            if name in addr_taken:
+                off = self._alloc_local_bytes(4)
+                self.symtab[name] = ("stack", off, ptype)
+                param_copies.append((PARAM_REGS[i], off))
+            else:
+                self.symtab[name] = ("reg", PARAM_REGS[i], ptype)
+
+        # Pre-allocate scalar locals to %l registers (first come first
+        # served), everything else to the frame -- one pass over the body.
+        local_regs = list(LOCAL_REGS)
+        self._declare_block_locals(f.body, addr_taken, local_regs)
+        # leftover window-local registers become extra expression temps
+        # (callee-saved: they need no spilling around calls)
+        self.ipool.extend(local_regs)
+
+        self.emit_label(f.name)
+        save_index = len(self.lines)
+        self.emit("save %sp, -FRAME, %sp")  # patched below
+        for reg, off in param_copies:
+            self.emit("st %s, [%%fp - %d]" % (reg, off))
+
+        self.gen_stmt(f.body)
+
+        self.emit_label(self.epilogue_label)
+        self.emit("restore %i0, 0, %o0")
+        self.emit("retl")
+
+        frame = (self.max_frame + 7) & ~7
+        frame = max(frame, 8)
+        self.lines[save_index] = "        save %%sp, -%d, %%sp" % frame
+        self.current_fn = None
+
+    def _alloc_local_bytes(self, nbytes: int, align: int = 4) -> int:
+        self.frame_locals = (self.frame_locals + align - 1) & ~(align - 1)
+        self.frame_locals += nbytes
+        off = self.frame_locals
+        self.max_frame = max(self.max_frame, off)
+        return off
+
+    def _declare_block_locals(self, block, addr_taken, local_regs) -> None:
+        """Assign storage for every VarDecl in the function body.
+
+        minicc uses function-level scoping for locals (all declarations in
+        any nested block share the function's namespace; redeclaration is an
+        error), which keeps the model simple and C-compilable.
+        """
+        for stmt in _walk_stmts(block):
+            if isinstance(stmt, ast.VarDecl):
+                if stmt.name in self.symtab:
+                    raise self.err(stmt, "duplicate local %r" % stmt.name)
+                t = stmt.type
+                if t[0] == "array":
+                    size = sizeof(t)
+                    off = self._alloc_local_bytes((size + 3) & ~3)
+                    self.symtab[stmt.name] = ("stack", off, t)
+                elif is_float(t):
+                    off = self._alloc_local_bytes(4)
+                    self.symtab[stmt.name] = ("stack", off, t)
+                elif stmt.name in addr_taken or not local_regs:
+                    off = self._alloc_local_bytes(4)
+                    self.symtab[stmt.name] = ("stack", off, t)
+                else:
+                    self.symtab[stmt.name] = ("reg", local_regs.pop(0), t)
+
+    # ------------------------------------------------------------ statements
+    def gen_stmt(self, stmt) -> None:
+        """Emit code for one statement node."""
+        if isinstance(stmt, ast.Block):
+            for s in stmt.stmts:
+                self.gen_stmt(s)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self.gen_assign_to_name(stmt.name, stmt.init, stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            v = self.gen_expr(stmt.expr)
+            self.pop_value(v)
+        elif isinstance(stmt, ast.If):
+            else_label = self.new_label("else")
+            end_label = self.new_label("endif")
+            self.gen_branch(stmt.cond, None, else_label)
+            self.gen_stmt(stmt.then)
+            if stmt.els is not None:
+                self.emit("ba %s" % end_label)
+                self.emit_label(else_label)
+                self.gen_stmt(stmt.els)
+                self.emit_label(end_label)
+            else:
+                self.emit_label(else_label)
+        elif isinstance(stmt, ast.While):
+            top = self.new_label("while")
+            end = self.new_label("endwhile")
+            self.emit_label(top)
+            self.gen_branch(stmt.cond, None, end)
+            self.break_labels.append(end)
+            self.continue_labels.append(top)
+            self.gen_stmt(stmt.body)
+            self.break_labels.pop()
+            self.continue_labels.pop()
+            self.emit("ba %s" % top)
+            self.emit_label(end)
+        elif isinstance(stmt, ast.DoWhile):
+            top = self.new_label("do")
+            cond_label = self.new_label("docond")
+            end = self.new_label("enddo")
+            self.emit_label(top)
+            self.break_labels.append(end)
+            self.continue_labels.append(cond_label)
+            self.gen_stmt(stmt.body)
+            self.break_labels.pop()
+            self.continue_labels.pop()
+            self.emit_label(cond_label)
+            self.gen_branch(stmt.cond, top, None)
+            self.emit_label(end)
+        elif isinstance(stmt, ast.For):
+            top = self.new_label("for")
+            step_label = self.new_label("forstep")
+            end = self.new_label("endfor")
+            if stmt.init is not None:
+                self.pop_value(self.gen_expr(stmt.init))
+            self.emit_label(top)
+            if stmt.cond is not None:
+                self.gen_branch(stmt.cond, None, end)
+            self.break_labels.append(end)
+            self.continue_labels.append(step_label)
+            self.gen_stmt(stmt.body)
+            self.break_labels.pop()
+            self.continue_labels.pop()
+            self.emit_label(step_label)
+            if stmt.step is not None:
+                self.pop_value(self.gen_expr(stmt.step))
+            self.emit("ba %s" % top)
+            self.emit_label(end)
+        elif isinstance(stmt, ast.Return):
+            if stmt.expr is not None:
+                v = self.gen_expr(stmt.expr)
+                self.vstack.pop()
+                if is_float(self.current_fn.ret_type):
+                    fv = self.into_freg(v)
+                    self.emit("fmov %s, %%f0" % fv.reg)
+                    self.free_value(fv)
+                else:
+                    iv = self.into_ireg(v)
+                    self.emit("mov %s, %%i0" % iv.reg)
+                    self.free_value(iv)
+            self.emit("ba %s" % self.epilogue_label)
+        elif isinstance(stmt, ast.Break):
+            if not self.break_labels:
+                raise self.err(stmt, "break outside loop")
+            self.emit("ba %s" % self.break_labels[-1])
+        elif isinstance(stmt, ast.Continue):
+            if not self.continue_labels:
+                raise self.err(stmt, "continue outside loop")
+            self.emit("ba %s" % self.continue_labels[-1])
+        else:
+            raise self.err(stmt, "unsupported statement %r" % stmt)
+
+    def gen_assign_to_name(self, name: str, expr, node) -> None:
+        assign = ast.Assign("=", ast.Var(name, node.line), expr, node.line)
+        self.pop_value(self.gen_expr(assign))
+
+    # --------------------------------------------------- conditional branches
+    def gen_branch(self, cond, true_label: Optional[str], false_label: Optional[str]):
+        """Emit a branch to ``true_label`` when cond holds, else fall through
+        (or branch to ``false_label``).  Exactly one label may be None."""
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self.gen_branch(cond.expr, false_label, true_label)
+            return
+        if isinstance(cond, ast.Binary) and cond.op in ("&&", "||"):
+            if cond.op == "&&":
+                fl = false_label or self.new_label("and_f")
+                self.gen_branch(cond.left, None, fl)
+                self.gen_branch(cond.right, true_label, false_label)
+                if false_label is None:
+                    self.emit_label(fl)
+                return
+            tl = true_label or self.new_label("or_t")
+            self.gen_branch(cond.left, tl, None)
+            self.gen_branch(cond.right, true_label, false_label)
+            if true_label is None:
+                self.emit_label(tl)
+            return
+        if isinstance(cond, ast.Binary) and cond.op in _CMP_BRANCH:
+            lt = self.expr_type(cond.left)
+            rt = self.expr_type(cond.right)
+            if is_float(lt) or is_float(rt):
+                lv = self.push(self.into_freg(self.gen_expr_raw(cond.left)))
+                rv = self.into_freg(self.gen_expr_raw(cond.right))
+                lv = self.refetch_float(lv, pin=rv)
+                self.vstack.pop()
+                self.emit("fcmp %s, %s" % (lv.reg, rv.reg))
+                self.free_value(rv)
+                self.free_value(lv)
+            else:
+                lv = self.push(self.into_ireg(self.gen_expr_raw(cond.left)))
+                rv = self.gen_expr_raw(cond.right)
+                rop, rheld = self.operand(rv)
+                pin = rheld if rheld is not None else (rv if rv.kind == "ireg" else None)
+                lv = self.refetch_int(lv, pin=pin)
+                self.vstack.pop()
+                self.emit("cmp %s, %s" % (lv.reg, rop))
+                if rheld is not None:
+                    self.free_value(rheld)
+                elif rv.owned:
+                    self.free_value(rv)
+                self.free_value(lv)
+            br = _CMP_BRANCH[cond.op]
+            self._emit_cond_branch(br, true_label, false_label)
+            return
+        # generic: value != 0
+        v = self.gen_expr(cond)
+        self.vstack.pop()
+        iv = self.into_ireg(v)
+        self.emit("tst %s" % iv.reg)
+        self.free_value(iv)
+        self._emit_cond_branch("bne", true_label, false_label)
+
+    def _emit_cond_branch(self, br, true_label, false_label):
+        if true_label is not None and false_label is not None:
+            self.emit("%s %s" % (br, true_label))
+            self.emit("ba %s" % false_label)
+        elif true_label is not None:
+            self.emit("%s %s" % (br, true_label))
+        else:
+            self.emit("%s %s" % (_CMP_INVERT[br], false_label))
+
+    # ------------------------------------------------------- expression types
+    def expr_type(self, e) -> ast.Type:
+        """Lightweight type inference (enough to pick int vs float vs ptr)."""
+        if isinstance(e, ast.IntLit):
+            return ast.INT
+        if isinstance(e, ast.FloatLit):
+            return ast.FLOAT
+        if isinstance(e, ast.StrLit):
+            return ast.ptr(ast.CHAR)
+        if isinstance(e, ast.Var):
+            info = self.symtab.get(e.name)
+            if info is not None:
+                return info[2]
+            if e.name in self.globals:
+                return self.globals[e.name]
+            raise self.err(e, "unknown variable %r" % e.name)
+        if isinstance(e, ast.Unary):
+            if e.op == "*":
+                return element_type(self.expr_type(e.expr))
+            if e.op == "&":
+                return ast.ptr(self.expr_type(e.expr))
+            if e.op == "!":
+                return ast.INT
+            return self.expr_type(e.expr)
+        if isinstance(e, ast.Binary):
+            if e.op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+                return ast.INT
+            lt, rt = self.expr_type(e.left), self.expr_type(e.right)
+            if is_pointerish(lt) and is_pointerish(rt):
+                return ast.INT  # pointer difference
+            if is_pointerish(lt):
+                return lt if lt[0] == "ptr" else ast.ptr(lt[1])
+            if is_pointerish(rt):
+                return rt if rt[0] == "ptr" else ast.ptr(rt[1])
+            if is_float(lt) or is_float(rt):
+                return ast.FLOAT
+            return ast.INT
+        if isinstance(e, ast.Assign):
+            return self.expr_type(e.target)
+        if isinstance(e, ast.IncDec):
+            return self.expr_type(e.target)
+        if isinstance(e, ast.Cond):
+            return self.expr_type(e.then)
+        if isinstance(e, ast.Call):
+            if e.name in _BUILTINS:
+                return ast.INT
+            info = self.functions.get(e.name)
+            if info is None:
+                raise self.err(e, "unknown function %r" % e.name)
+            return info.ret_type
+        if isinstance(e, ast.Index):
+            return element_type(self.expr_type(e.base))
+        if isinstance(e, ast.Cast):
+            return e.type
+        raise self.err(e, "cannot type expression %r" % e)
+
+    # ------------------------------------------------------------ expressions
+    def push(self, v: Value) -> Value:
+        self.vstack.append(v)
+        return v
+
+    def pop_value(self, v: Value) -> None:
+        assert self.vstack and self.vstack[-1] is v
+        self.vstack.pop()
+        self.free_value(v)
+
+    def gen_expr(self, e) -> Value:
+        """Generate code for ``e``; the result is pushed on the value stack."""
+        return self.push(self.gen_expr_raw(e))
+
+    def gen_expr_raw(self, e) -> Value:
+        if isinstance(e, ast.IntLit):
+            return Value("imm", ast.INT, const=e.value)
+        if isinstance(e, ast.FloatLit):
+            label = self._float_const_label(e.value)
+            reg = self.alloc_ireg()
+            self.emit("set %s, %s" % (label, reg))
+            freg = self.alloc_freg()
+            self.emit("ldf [%s], %s" % (reg, freg))
+            self.ipool.append(reg)
+            return Value("freg", ast.FLOAT, reg=freg, owned=True)
+        if isinstance(e, ast.StrLit):
+            label = self._string_label(e.value)
+            reg = self.alloc_ireg()
+            self.emit("set %s, %s" % (label, reg))
+            return Value("ireg", ast.ptr(ast.CHAR), reg=reg, owned=True)
+        if isinstance(e, ast.Var):
+            return self._load_var(e)
+        if isinstance(e, ast.Unary):
+            return self._gen_unary(e)
+        if isinstance(e, ast.Binary):
+            return self._gen_binary(e)
+        if isinstance(e, ast.Assign):
+            return self._gen_assign(e)
+        if isinstance(e, ast.IncDec):
+            return self._gen_incdec(e)
+        if isinstance(e, ast.Cond):
+            return self._gen_ternary(e)
+        if isinstance(e, ast.Call):
+            return self._gen_call(e)
+        if isinstance(e, ast.Index):
+            return self._gen_load(
+                self._gen_addr(e), element_type(self.expr_type(e.base))
+            )
+        if isinstance(e, ast.Cast):
+            return self._gen_cast(e)
+        raise self.err(e, "unsupported expression %r" % e)
+
+    def _float_const_label(self, value: float) -> str:
+        bits = struct.unpack(">I", struct.pack(">f", value))[0]
+        label = ".Lfc%x" % bits
+        decl = "%s:" % label
+        if not any(line.startswith(decl) for line in self.data_lines):
+            self.data_lines.append("%s: .word 0x%x" % (label, bits))
+        return label
+
+    def _string_label(self, data: bytes) -> str:
+        if data in self.string_labels:
+            return self.string_labels[data]
+        label = self.new_label("str")
+        self.string_labels[data] = label
+        esc = []
+        for b in data:
+            if b == 10:
+                esc.append("\\n")
+            elif b == 9:
+                esc.append("\\t")
+            elif b == 34:
+                esc.append('\\"')
+            elif b == 92:
+                esc.append("\\\\")
+            elif 32 <= b < 127:
+                esc.append(chr(b))
+            else:
+                raise SimError("minicc: unsupported byte %d in string" % b)
+        self.data_lines.append('%s: .asciz "%s"' % (label, "".join(esc)))
+        self.data_lines.append("        .align 4")
+        return label
+
+    # -- variables ------------------------------------------------------------
+    def _var_info(self, e: ast.Var):
+        info = self.symtab.get(e.name)
+        if info is not None:
+            return info
+        if e.name in self.globals:
+            return ("global", e.name, self.globals[e.name])
+        raise self.err(e, "unknown variable %r" % e.name)
+
+    def _load_var(self, e: ast.Var) -> Value:
+        where, loc, t = self._var_info(e)
+        if t[0] == "array":
+            # arrays decay to a pointer to their first element
+            reg = self.alloc_ireg()
+            if where == "global":
+                self.emit("set %s, %s" % (loc, reg))
+            else:
+                self.emit("sub %%fp, %d, %s" % (loc, reg))
+            return Value("ireg", ast.ptr(t[1]), reg=reg, owned=True)
+        if where == "reg":
+            return Value("ireg", t, reg=loc, owned=False)
+        if where == "stack":
+            if is_float(t):
+                reg = self.alloc_freg()
+                self.emit("ldf [%%fp - %d], %s" % (loc, reg))
+                return Value("freg", t, reg=reg, owned=True)
+            reg = self.alloc_ireg()
+            self.emit("ld [%%fp - %d], %s" % (loc, reg))
+            return Value("ireg", t, reg=reg, owned=True)
+        # global scalar
+        areg = self.alloc_ireg()
+        self.emit("set %s, %s" % (loc, areg))
+        if is_float(t):
+            reg = self.alloc_freg()
+            self.emit("ldf [%s], %s" % (areg, reg))
+            self.ipool.append(areg)
+            return Value("freg", t, reg=reg, owned=True)
+        if t[0] == "char":
+            self.emit("ldub [%s], %s" % (areg, areg))
+        else:
+            self.emit("ld [%s], %s" % (areg, areg))
+        return Value("ireg", t, reg=areg, owned=True)
+
+    # -- addresses (lvalues) ---------------------------------------------------
+    def _gen_addr(self, e) -> Value:
+        """Address of an lvalue, in an integer register (pushed on vstack)."""
+        if isinstance(e, ast.Var):
+            where, loc, t = self._var_info(e)
+            if where == "reg":
+                raise self.err(e, "cannot take the address of register %r" % e.name)
+            reg = self.alloc_ireg()
+            if where == "global":
+                self.emit("set %s, %s" % (loc, reg))
+            else:
+                self.emit("sub %%fp, %d, %s" % (loc, reg))
+            return self.push(Value("ireg", ast.ptr(t), reg=reg, owned=True))
+        if isinstance(e, ast.Unary) and e.op == "*":
+            v = self.gen_expr(e.expr)
+            iv = self.into_ireg(v)
+            self.vstack[-1] = iv
+            return iv
+        if isinstance(e, ast.Index):
+            base_t = self.expr_type(e.base)
+            elem = element_type(base_t)
+            base = self.gen_expr(e.base)
+            base = self.refetch_int(base)
+            idx = self.push(self.gen_expr_raw(e.index))
+            if idx.kind != "imm":
+                idx = self.refetch_int(idx, pin=base if base.kind == "ireg" else None)
+            base = self.refetch_int(base, pin=idx if idx.kind == "ireg" else None)
+            self.vstack.pop()  # idx
+            scale = sizeof(elem)
+            if idx.kind == "imm":
+                off = idx.const * scale
+                if base.owned and SIMM_MIN <= off <= SIMM_MAX:
+                    reg = base.reg
+                    if off != 0:
+                        self.emit("add %s, %d, %s" % (base.reg, off, reg))
+                elif SIMM_MIN <= off <= SIMM_MAX:
+                    reg = self.alloc_ireg()
+                    self.emit("add %s, %d, %s" % (base.reg, off, reg))
+                else:
+                    reg = self.alloc_ireg()
+                    self.load_imm(reg, off)
+                    self.emit("add %s, %s, %s" % (base.reg, reg, reg))
+                out = Value("ireg", ast.ptr(elem), reg=reg, owned=True)
+                self.vstack[-1] = out
+                return out
+            if scale == 4:
+                sreg = idx.reg if idx.owned else self.alloc_ireg()
+                self.emit("sll %s, 2, %s" % (idx.reg, sreg))
+                idx = Value("ireg", idx.type, reg=sreg, owned=True)
+            elif scale != 1:
+                raise self.err(e, "unsupported element size %d" % scale)
+            dest = base.reg if base.owned else self.alloc_ireg()
+            self.emit("add %s, %s, %s" % (base.reg, idx.reg, dest))
+            if idx.reg != dest:
+                self.free_value(idx)
+            out = Value("ireg", ast.ptr(elem), reg=dest, owned=True)
+            self.vstack[-1] = out
+            return out
+        raise self.err(e, "expression is not an lvalue")
+
+    def _gen_load(self, addr: Value, t: ast.Type) -> Value:
+        """Load from the address on top of the value stack; replaces it."""
+        assert self.vstack and self.vstack[-1] is addr
+        self.vstack.pop()
+        if is_float(t):
+            freg = self.alloc_freg()
+            self.emit("ldf [%s], %s" % (addr.reg, freg))
+            self.free_value(addr)
+            return Value("freg", t, reg=freg, owned=True)
+        dest = addr.reg if addr.owned else self.alloc_ireg()
+        if t[0] == "char":
+            self.emit("ldub [%s], %s" % (addr.reg, dest))
+        else:
+            self.emit("ld [%s], %s" % (addr.reg, dest))
+        return Value("ireg", t, reg=dest, owned=True)
+
+    # -- unary ------------------------------------------------------------------
+    def _gen_unary(self, e: ast.Unary) -> Value:
+        if e.op == "*":
+            t = element_type(self.expr_type(e.expr))
+            addr = self.gen_expr(e.expr)
+            addr = self.into_ireg(addr)
+            self.vstack[-1] = addr
+            return self._gen_load(addr, t)
+        if e.op == "&":
+            v = self._gen_addr(e.expr)
+            self.vstack.pop()
+            return v
+        if e.op == "-":
+            t = self.expr_type(e.expr)
+            if is_float(t):
+                v = self.push(self.into_freg(self.gen_expr_raw(e.expr)))
+                self.vstack.pop()
+                dest = v.reg if v.owned else self.alloc_freg()
+                self.emit("fneg %s, %s" % (v.reg, dest))
+                return Value("freg", t, reg=dest, owned=True)
+            v = self.gen_expr(e.expr)
+            self.vstack.pop()
+            if v.kind == "imm":
+                return Value("imm", ast.INT, const=-v.const)
+            iv = self.into_ireg(v)
+            dest = iv.reg if iv.owned else self.alloc_ireg()
+            self.emit("neg %s, %s" % (iv.reg, dest))
+            return Value("ireg", ast.INT, reg=dest, owned=True)
+        if e.op == "~":
+            v = self.gen_expr(e.expr)
+            self.vstack.pop()
+            if v.kind == "imm":
+                return Value("imm", ast.INT, const=~v.const)
+            iv = self.into_ireg(v)
+            dest = iv.reg if iv.owned else self.alloc_ireg()
+            self.emit("not %s, %s" % (iv.reg, dest))
+            return Value("ireg", ast.INT, reg=dest, owned=True)
+        if e.op == "!":
+            # !x == (x == 0)
+            true_l = self.new_label("nott")
+            end_l = self.new_label("notend")
+            dest = self.alloc_ireg()
+            self.gen_branch(e.expr, true_l, None)
+            self.emit("mov 1, %s" % dest)
+            self.emit("ba %s" % end_l)
+            self.emit_label(true_l)
+            self.emit("mov 0, %s" % dest)
+            self.emit_label(end_l)
+            return Value("ireg", ast.INT, reg=dest, owned=True)
+        raise self.err(e, "unsupported unary op %r" % e.op)
+
+    # -- binary -------------------------------------------------------------------
+    _INT_OPS = {
+        "+": "add",
+        "-": "sub",
+        "&": "and",
+        "|": "or",
+        "^": "xor",
+        "<<": "sll",
+        ">>": "sra",
+    }
+    _FLOAT_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+    def _gen_binary(self, e: ast.Binary) -> Value:
+        op = e.op
+        if op in ("&&", "||") or op in _CMP_BRANCH:
+            # produce 0/1 with branches
+            true_l = self.new_label("cmpt")
+            end_l = self.new_label("cmpe")
+            dest = self.alloc_ireg()
+            self.gen_branch(e, true_l, None)
+            self.emit("mov 0, %s" % dest)
+            self.emit("ba %s" % end_l)
+            self.emit_label(true_l)
+            self.emit("mov 1, %s" % dest)
+            self.emit_label(end_l)
+            return Value("ireg", ast.INT, reg=dest, owned=True)
+
+        lt = self.expr_type(e.left)
+        rt = self.expr_type(e.right)
+
+        if is_float(lt) or is_float(rt):
+            if op not in self._FLOAT_OPS:
+                raise self.err(e, "unsupported float op %r" % op)
+            lv = self.push(self.into_freg(self.gen_expr_raw(e.left)))
+            rv = self.into_freg(self.gen_expr_raw(e.right))
+            lv = self.refetch_float(lv, pin=rv)
+            self.vstack.pop()
+            dest = lv.reg if lv.owned else (rv.reg if rv.owned else self.alloc_freg())
+            self.emit("%s %s, %s, %s" % (self._FLOAT_OPS[op], lv.reg, rv.reg, dest))
+            if rv.owned and rv.reg != dest:
+                self.free_value(rv)
+            if lv.owned and lv.reg != dest:
+                self.free_value(lv)
+            return Value("freg", ast.FLOAT, reg=dest, owned=True)
+
+        # pointer arithmetic scaling
+        if op in ("+", "-") and (is_pointerish(lt) or is_pointerish(rt)):
+            return self._gen_pointer_arith(e, lt, rt)
+
+        if op in ("*", "/", "%"):
+            return self._gen_muldiv(e)
+
+        if op not in self._INT_OPS:
+            raise self.err(e, "unsupported int op %r" % op)
+        lv = self.push(self.into_ireg(self.gen_expr_raw(e.left)))
+        rv = self.gen_expr_raw(e.right)
+        rop, rheld = self.operand(rv)
+        pin = rheld if rheld is not None else (rv if rv.kind == "ireg" else None)
+        lv = self.refetch_int(lv, pin=pin)
+        self.vstack.pop()
+        dest = lv.reg if lv.owned else self.alloc_ireg()
+        self.emit("%s %s, %s, %s" % (self._INT_OPS[op], lv.reg, rop, dest))
+        if rheld is not None:
+            self.free_value(rheld)
+        elif rv.owned:
+            self.free_value(rv)
+        return Value("ireg", ast.INT, reg=dest, owned=True)
+
+    def _gen_pointer_arith(self, e, lt, rt) -> Value:
+        op = e.op
+        if is_pointerish(lt) and is_pointerish(rt):
+            if op != "-":
+                raise self.err(e, "cannot add two pointers")
+            scale = sizeof(element_type(lt))
+            lv = self.push(self.into_ireg(self.gen_expr_raw(e.left)))
+            rv = self.push(self.into_ireg(self.gen_expr_raw(e.right)))
+            lv = self.refetch_int(lv, pin=rv)
+            self.vstack.pop()
+            self.vstack.pop()
+            dest = lv.reg if lv.owned else self.alloc_ireg()
+            self.emit("sub %s, %s, %s" % (lv.reg, rv.reg, dest))
+            if scale == 4:
+                self.emit("sra %s, 2, %s" % (dest, dest))
+            elif scale != 1:
+                raise self.err(e, "unsupported element size %d" % scale)
+            self.free_value(rv)
+            if lv.owned and lv.reg != dest:
+                self.free_value(lv)
+            return Value("ireg", ast.INT, reg=dest, owned=True)
+        # normalize so the pointer is on the left
+        pe, ie = (e.left, e.right) if is_pointerish(lt) else (e.right, e.left)
+        ptype = lt if is_pointerish(lt) else rt
+        if ptype[0] == "array":
+            ptype = ast.ptr(ptype[1])
+        if op == "-" and not is_pointerish(lt):
+            raise self.err(e, "cannot subtract pointer from int")
+        scale = sizeof(element_type(ptype))
+        pv = self.push(self.into_ireg(self.gen_expr_raw(pe)))
+        iv = self.push(self.gen_expr_raw(ie))
+        if iv.kind != "imm":
+            iv = self.refetch_int(iv, pin=pv if pv.kind == "ireg" else None)
+        pv = self.refetch_int(pv, pin=iv if iv.kind == "ireg" else None)
+        self.vstack.pop()  # iv
+        self.vstack.pop()  # pv
+        if iv.kind == "imm":
+            off = iv.const * scale
+            dest = pv.reg if pv.owned else self.alloc_ireg()
+            if SIMM_MIN <= off <= SIMM_MAX:
+                self.emit(
+                    "%s %s, %d, %s"
+                    % ("add" if op == "+" else "sub", pv.reg, off, dest)
+                )
+            else:
+                tmp = self.alloc_ireg()
+                self.load_imm(tmp, off)
+                self.emit(
+                    "%s %s, %s, %s"
+                    % ("add" if op == "+" else "sub", pv.reg, tmp, dest)
+                )
+                self.ipool.append(tmp)
+            return Value("ireg", ptype, reg=dest, owned=True)
+        ivr = iv
+        sreg = ivr.reg if ivr.owned else self.alloc_ireg()
+        if scale == 4:
+            self.emit("sll %s, 2, %s" % (ivr.reg, sreg))
+        elif scale == 1:
+            if sreg != ivr.reg:
+                self.emit("mov %s, %s" % (ivr.reg, sreg))
+        else:
+            raise self.err(e, "unsupported element size %d" % scale)
+        dest = pv.reg if pv.owned else self.alloc_ireg()
+        self.emit(
+            "%s %s, %s, %s" % ("add" if op == "+" else "sub", pv.reg, sreg, dest)
+        )
+        if sreg != dest:
+            self.ipool.append(sreg)
+        if not ivr.owned and ivr.reg == sreg:  # pragma: no cover
+            pass
+        return Value("ireg", ptype, reg=dest, owned=True)
+
+    def _gen_muldiv(self, e: ast.Binary) -> Value:
+        op = e.op
+        # power-of-two strength reduction
+        if isinstance(e.right, ast.IntLit) and e.right.value > 0:
+            n = e.right.value
+            if n & (n - 1) == 0:
+                k = n.bit_length() - 1
+                if op == "*":
+                    lv = self.push(self.into_ireg(self.gen_expr_raw(e.left)))
+                    self.vstack.pop()
+                    dest = lv.reg if lv.owned else self.alloc_ireg()
+                    if k:
+                        self.emit("sll %s, %d, %s" % (lv.reg, k, dest))
+                    elif dest != lv.reg:
+                        self.emit("mov %s, %s" % (lv.reg, dest))
+                    return Value("ireg", ast.INT, reg=dest, owned=True)
+        if self.opt.hw_mul:
+            hw = {"*": "smul", "/": "sdiv"}
+            if op in hw:
+                lv = self.push(self.into_ireg(self.gen_expr_raw(e.left)))
+                rv = self.gen_expr_raw(e.right)
+                rop, rheld = self.operand(rv)
+                pin = rheld if rheld is not None else (rv if rv.kind == "ireg" else None)
+                lv = self.refetch_int(lv, pin=pin)
+                self.vstack.pop()
+                dest = lv.reg if lv.owned else self.alloc_ireg()
+                self.emit("%s %s, %s, %s" % (hw[op], lv.reg, rop, dest))
+                if rheld is not None:
+                    self.free_value(rheld)
+                elif rv.owned:
+                    self.free_value(rv)
+                return Value("ireg", ast.INT, reg=dest, owned=True)
+            # a % b  ->  a - (a/b)*b
+            lv = self.push(self.into_ireg(self.gen_expr_raw(e.left)))
+            rv = self.push(self.into_ireg(self.gen_expr_raw(e.right)))
+            lv = self.refetch_int(lv, pin=rv)
+            self.vstack.pop()
+            self.vstack.pop()
+            q = self.alloc_ireg()
+            self.emit("sdiv %s, %s, %s" % (lv.reg, rv.reg, q))
+            self.emit("smul %s, %s, %s" % (q, rv.reg, q))
+            dest = lv.reg if lv.owned else self.alloc_ireg()
+            self.emit("sub %s, %s, %s" % (lv.reg, q, dest))
+            self.ipool.append(q)
+            self.free_value(rv)
+            if lv.owned and lv.reg != dest:
+                self.free_value(lv)
+            return Value("ireg", ast.INT, reg=dest, owned=True)
+        runtime = {"*": "__mulsi3", "/": "__divsi3", "%": "__modsi3"}[op]
+        if op == "*":
+            self.need_mul = True
+        elif op == "/":
+            self.need_div = True
+        else:
+            self.need_mod = True
+        call = ast.Call(runtime, [e.left, e.right], e.line)
+        return self._gen_call(call, runtime_ok=True)
+
+    # -- assignment ------------------------------------------------------------
+    def _gen_assign(self, e: ast.Assign) -> Value:
+        if e.op != "=":
+            # x op= v  ->  x = x op v  (target evaluated twice; fine for
+            # the scalar/array targets minicc supports)
+            binop = ast.Binary(e.op[:-1], e.target, e.value, e.line)
+            return self._gen_assign(ast.Assign("=", e.target, binop, e.line))
+        target = e.target
+        ttype = self.expr_type(target)
+        if isinstance(target, ast.Var):
+            where, loc, t = self._var_info(target)
+            if where == "reg":
+                v = self.gen_expr(e.value)
+                self.vstack.pop()
+                if v.kind == "imm":
+                    self.load_imm(loc, v.const)
+                else:
+                    iv = self.into_ireg(v)
+                    if iv.reg != loc:
+                        self.emit("mov %s, %s" % (iv.reg, loc))
+                    self.free_value(iv)
+                return Value("ireg", t, reg=loc, owned=False)
+        # memory target: the address stays on the value stack while the
+        # value is evaluated (so calls in the value spill/restore it).
+        addr = self._gen_addr(target)
+        v = self.gen_expr_raw(e.value)
+        if is_float(ttype):
+            fv = self.into_freg(v)
+            addr = self.refetch_int(addr)
+            self.vstack.pop()
+            self.emit("stf %s, [%s]" % (fv.reg, addr.reg))
+            self.free_value(addr)
+            return fv
+        iv = self.into_ireg(v)
+        addr = self.refetch_int(addr, pin=iv)
+        self.vstack.pop()
+        if ttype[0] == "char":
+            self.emit("stb %s, [%s]" % (iv.reg, addr.reg))
+        else:
+            self.emit("st %s, [%s]" % (iv.reg, addr.reg))
+        self.free_value(addr)
+        return iv
+
+    def _gen_incdec(self, e: ast.IncDec) -> Value:
+        t = self.expr_type(e.target)
+        if is_float(t):
+            raise self.err(e, "++/-- on float not supported")
+        step = sizeof(element_type(t)) if t[0] == "ptr" else 1
+        opname = "add" if e.op == "++" else "sub"
+        if isinstance(e.target, ast.Var):
+            where, loc, vt = self._var_info(e.target)
+            if where == "reg":
+                if e.post:
+                    dest = self.alloc_ireg()
+                    self.emit("mov %s, %s" % (loc, dest))
+                    self.emit("%s %s, %d, %s" % (opname, loc, step, loc))
+                    return Value("ireg", t, reg=dest, owned=True)
+                self.emit("%s %s, %d, %s" % (opname, loc, step, loc))
+                return Value("ireg", t, reg=loc, owned=False)
+        addr = self._gen_addr(e.target)
+        old = self.alloc_ireg()
+        load = "ldub" if t[0] == "char" else "ld"
+        store = "stb" if t[0] == "char" else "st"
+        self.emit("%s [%s], %s" % (load, addr.reg, old))
+        new = self.alloc_ireg()
+        self.emit("%s %s, %d, %s" % (opname, old, step, new))
+        self.emit("%s %s, [%s]" % (store, new, addr.reg))
+        self.vstack.pop()
+        self.free_value(addr)
+        if e.post:
+            self.ipool.append(new)
+            return Value("ireg", t, reg=old, owned=True)
+        self.ipool.append(old)
+        return Value("ireg", t, reg=new, owned=True)
+
+    def _gen_ternary(self, e: ast.Cond) -> Value:
+        t = self.expr_type(e.then)
+        else_l = self.new_label("terf")
+        end_l = self.new_label("tere")
+        if is_float(t):
+            dest = self.alloc_freg()
+            self.gen_branch(e.cond, None, else_l)
+            tv = self.push(self.into_freg(self.gen_expr_raw(e.then)))
+            self.vstack.pop()
+            self.emit("fmov %s, %s" % (tv.reg, dest))
+            self.free_value(tv)
+            self.emit("ba %s" % end_l)
+            self.emit_label(else_l)
+            fv = self.push(self.into_freg(self.gen_expr_raw(e.els)))
+            self.vstack.pop()
+            self.emit("fmov %s, %s" % (fv.reg, dest))
+            self.free_value(fv)
+            self.emit_label(end_l)
+            return Value("freg", t, reg=dest, owned=True)
+        dest = self.alloc_ireg()
+        self.gen_branch(e.cond, None, else_l)
+        tv = self.gen_expr(e.then)
+        self.vstack.pop()
+        if tv.kind == "imm":
+            self.load_imm(dest, tv.const)
+        else:
+            iv = self.into_ireg(tv)
+            self.emit("mov %s, %s" % (iv.reg, dest))
+            self.free_value(iv)
+        self.emit("ba %s" % end_l)
+        self.emit_label(else_l)
+        fv = self.gen_expr(e.els)
+        self.vstack.pop()
+        if fv.kind == "imm":
+            self.load_imm(dest, fv.const)
+        else:
+            iv = self.into_ireg(fv)
+            self.emit("mov %s, %s" % (iv.reg, dest))
+            self.free_value(iv)
+        self.emit_label(end_l)
+        return Value("ireg", t, reg=dest, owned=True)
+
+    def _gen_cast(self, e: ast.Cast) -> Value:
+        src_t = self.expr_type(e.expr)
+        dst_t = e.type
+        v = self.gen_expr(e.expr)
+        self.vstack.pop()
+        if is_float(dst_t) and not is_float(src_t):
+            fv = self.into_freg(v)
+            return fv
+        if not is_float(dst_t) and is_float(src_t):
+            iv = self.into_ireg(v)
+            iv.type = dst_t
+            return iv
+        if dst_t[0] == "char" and v.kind != "imm":
+            iv = self.into_ireg(v)
+            dest = iv.reg if iv.owned else self.alloc_ireg()
+            self.emit("and %s, 0xff, %s" % (iv.reg, dest))
+            return Value("ireg", dst_t, reg=dest, owned=True)
+        v.type = dst_t
+        return v
+
+    # -- calls -------------------------------------------------------------------
+    def _gen_call(self, e: ast.Call, runtime_ok: bool = False) -> Value:
+        if e.name in _BUILTINS:
+            return self._gen_builtin(e)
+        info = self.functions.get(e.name)
+        if info is None and not runtime_ok:
+            raise self.err(e, "unknown function %r" % e.name)
+        if info is not None and len(e.args) != len(info.param_types):
+            raise self.err(
+                e,
+                "%s expects %d args, got %d"
+                % (e.name, len(info.param_types), len(e.args)),
+            )
+        if len(e.args) > 6:
+            raise self.err(e, "at most 6 arguments supported")
+        # Evaluate arguments left to right onto the value stack.
+        argvals = [self.gen_expr(a) for a in e.args]
+        # Anything in caller-clobbered registers must be saved.
+        self.spill_for_call()
+        # Move arguments into %o registers (temps never live in %o regs,
+        # so these moves cannot clobber each other).
+        for i, v in enumerate(argvals):
+            target = "%%o%d" % i
+            if v.kind == "imm":
+                self.load_imm(target, v.const)
+            elif v.kind == "islot":
+                self.emit("ld [%%fp - %d], %s" % (v.offset, target))
+                self.spill_slots.append(v.offset)
+                v.owned = False
+            elif v.kind == "ireg":
+                self.emit("mov %s, %s" % (v.reg, target))
+            else:
+                fv = self.into_freg(v)
+                iv = self.into_ireg(fv)
+                self.emit("mov %s, %s" % (iv.reg, target))
+                self.free_value(iv)
+        for v in reversed(argvals):
+            if self.vstack and self.vstack[-1] is v:
+                self.vstack.pop()
+            self.free_value(v)
+        self.emit("call %s" % e.name)
+        ret_t = info.ret_type if info is not None else ast.INT
+        if is_float(ret_t):
+            dest = self.alloc_freg()
+            self.emit("fmov %%f0, %s" % dest)
+            return Value("freg", ret_t, reg=dest, owned=True)
+        dest = self.alloc_ireg()
+        self.emit("mov %%o0, %s" % dest)
+        return Value("ireg", ret_t, reg=dest, owned=True)
+
+    def _gen_builtin(self, e: ast.Call) -> Value:
+        traps = {"putchar": 1, "print_int": 2, "exit": 0}
+        if len(e.args) != 1:
+            raise self.err(e, "%s expects 1 argument" % e.name)
+        v = self.gen_expr(e.args[0])
+        self.vstack.pop()
+        if v.kind == "imm":
+            self.load_imm("%o0", v.const)
+        else:
+            iv = self.into_ireg(v)
+            self.emit("mov %s, %%o0" % iv.reg)
+            self.free_value(iv)
+        self.emit("ta %d" % traps[e.name])
+        return Value("imm", ast.INT, const=0)
+
+    # ---------------------------------------------------------------- runtime
+    def emit_runtime(self) -> None:
+        if self.need_mul:
+            self.lines.extend(
+                _RUNTIME_MUL.strip("\n").splitlines()
+            )
+        if self.need_div or self.need_mod:
+            self.lines.extend(_RUNTIME_DIVMOD.strip("\n").splitlines())
+
+
+_RUNTIME_MUL = """
+__mulsi3:                       ; %o0 * %o1 -> %o0  (mod 2^32, sign-agnostic)
+        mov 0, %g2
+.Lmul_loop:
+        tst %o1
+        be .Lmul_done
+        andcc %o1, 1, %g0
+        be .Lmul_skip
+        add %g2, %o0, %g2
+.Lmul_skip:
+        sll %o0, 1, %o0
+        srl %o1, 1, %o1
+        ba .Lmul_loop
+.Lmul_done:
+        mov %g2, %o0
+        retl
+"""
+
+_RUNTIME_DIVMOD = """
+__udivmod:                      ; %o0 / %o1 -> quotient %g2, remainder %g3
+        mov 0, %g2
+        mov 0, %g3
+        mov 32, %g1
+.Ldm_loop:
+        sll %g3, 1, %g3
+        srl %o0, 31, %o2
+        or %g3, %o2, %g3
+        sll %o0, 1, %o0
+        sll %g2, 1, %g2
+        cmp %g3, %o1
+        blu .Ldm_skip
+        sub %g3, %o1, %g3
+        or %g2, 1, %g2
+.Ldm_skip:
+        subcc %g1, 1, %g1
+        bne .Ldm_loop
+        retl
+__divsi3:                       ; signed %o0 / %o1 -> %o0 (truncating)
+        mov %o7, %g4
+        xor %o0, %o1, %o5
+        tst %o0
+        bge .Ldv_apos
+        neg %o0, %o0
+.Ldv_apos:
+        tst %o1
+        bge .Ldv_bpos
+        neg %o1, %o1
+.Ldv_bpos:
+        call __udivmod
+        tst %o5
+        bge .Ldv_pos
+        neg %g2, %g2
+.Ldv_pos:
+        mov %g2, %o0
+        jmpl %g4+4, %g0
+__modsi3:                       ; signed %o0 % %o1 -> %o0 (sign of dividend)
+        mov %o7, %g4
+        mov %o0, %o5
+        tst %o0
+        bge .Lmd_apos
+        neg %o0, %o0
+.Lmd_apos:
+        tst %o1
+        bge .Lmd_bpos
+        neg %o1, %o1
+.Lmd_bpos:
+        call __udivmod
+        tst %o5
+        bge .Lmd_pos
+        neg %g3, %g3
+.Lmd_pos:
+        mov %g3, %o0
+        jmpl %g4+4, %g0
+"""
+
+
+def _addr_taken_names(body) -> set:
+    """Names whose address is taken anywhere in the function body."""
+    names = set()
+
+    def walk_expr(e):
+        if e is None:
+            return
+        if isinstance(e, ast.Unary):
+            if e.op == "&" and isinstance(e.expr, ast.Var):
+                names.add(e.expr.name)
+            walk_expr(e.expr)
+        elif isinstance(e, ast.Binary):
+            walk_expr(e.left)
+            walk_expr(e.right)
+        elif isinstance(e, ast.Assign):
+            walk_expr(e.target)
+            walk_expr(e.value)
+        elif isinstance(e, ast.IncDec):
+            walk_expr(e.target)
+        elif isinstance(e, ast.Cond):
+            walk_expr(e.cond)
+            walk_expr(e.then)
+            walk_expr(e.els)
+        elif isinstance(e, ast.Call):
+            for a in e.args:
+                walk_expr(a)
+        elif isinstance(e, ast.Index):
+            walk_expr(e.base)
+            walk_expr(e.index)
+        elif isinstance(e, ast.Cast):
+            walk_expr(e.expr)
+
+    for stmt in _walk_stmts(body):
+        for attr in ("expr", "cond", "init", "step", "value"):
+            sub = getattr(stmt, attr, None)
+            if isinstance(sub, ast.Node) and not isinstance(
+                sub, (ast.Block,)
+            ):
+                walk_expr(sub)
+    return names
+
+
+def _walk_stmts(stmt):
+    """Yield every statement node in a body, depth first."""
+    yield stmt
+    if isinstance(stmt, ast.Block):
+        for s in stmt.stmts:
+            yield from _walk_stmts(s)
+    elif isinstance(stmt, ast.If):
+        yield from _walk_stmts(stmt.then)
+        if stmt.els is not None:
+            yield from _walk_stmts(stmt.els)
+    elif isinstance(stmt, (ast.While, ast.For, ast.DoWhile)):
+        yield from _walk_stmts(stmt.body)
+
+
+def compile_minicc(source: str, options: CompilerOptions | None = None) -> str:
+    """Compile minicc source to srisc assembly text."""
+    from .optimize import fold_constants, unroll_loops
+    from .parser import parse
+
+    options = options or CompilerOptions()
+    program = parse(source)
+    if options.unroll > 1:
+        program = unroll_loops(program, options.unroll)
+    program = fold_constants(program)
+    asm_text = CodeGenerator(options).generate(program)
+    if options.schedule:
+        from ..asm.schedule import schedule_assembly
+
+        asm_text = schedule_assembly(asm_text)
+    return asm_text

@@ -1,0 +1,117 @@
+"""Tokenizer for minicc, the C subset used to author the workloads.
+
+The SPECint95 analogues in :mod:`repro.workloads` are written in minicc and
+compiled to srisc assembly; compiler-generated code gives the scheduler
+realistic instruction mixes (register-window call convention, branchy
+control flow, address arithmetic), mirroring the paper's use of gcc output.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from ..core.errors import SimError
+
+KEYWORDS = {
+    "int",
+    "char",
+    "float",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "do",
+    "return",
+    "break",
+    "continue",
+}
+
+# Longest-first so '>>=' wins over '>>' wins over '>'.
+_PUNCT = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>\d+\.\d+)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<char>'(\\.|[^'\\])')
+  | (?P<string>"(\\.|[^"\\])*")
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<punct>%s)
+    """
+    % "|".join(re.escape(p) for p in _PUNCT),
+    re.VERBOSE | re.DOTALL,
+)
+
+_CHAR_ESCAPES = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39, '"': 34, "r": 13}
+
+
+class Token(NamedTuple):
+    kind: str  # 'num' | 'float' | 'char' | 'string' | 'ident' | 'kw' | 'punct' | 'eof'
+    value: object
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split minicc source into a Token list ending with ``eof``."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if not m:
+            raise SimError("minicc: line %d: bad character %r" % (line, source[pos]))
+        text = m.group(0)
+        kind = m.lastgroup
+        if kind in ("ws", "comment"):
+            line += text.count("\n")
+        elif kind == "num":
+            tokens.append(Token("num", int(text, 0), line))
+        elif kind == "float":
+            tokens.append(Token("float", float(text), line))
+        elif kind == "char":
+            body = text[1:-1]
+            if body.startswith("\\"):
+                if body[1] not in _CHAR_ESCAPES:
+                    raise SimError("minicc: line %d: bad escape %s" % (line, body))
+                val = _CHAR_ESCAPES[body[1]]
+            else:
+                val = ord(body)
+            tokens.append(Token("num", val, line))
+        elif kind == "string":
+            body = text[1:-1]
+            out = bytearray()
+            i = 0
+            while i < len(body):
+                ch = body[i]
+                if ch == "\\":
+                    esc = body[i + 1]
+                    if esc not in _CHAR_ESCAPES:
+                        raise SimError(
+                            "minicc: line %d: bad escape \\%s" % (line, esc)
+                        )
+                    out.append(_CHAR_ESCAPES[esc])
+                    i += 2
+                else:
+                    out.append(ord(ch))
+                    i += 1
+            tokens.append(Token("string", bytes(out), line))
+        elif kind == "ident":
+            tokens.append(
+                Token("kw" if text in KEYWORDS else "ident", text, line)
+            )
+        else:
+            tokens.append(Token("punct", text, line))
+        pos = m.end()
+    tokens.append(Token("eof", None, line))
+    return tokens

@@ -1,0 +1,442 @@
+"""AST-level optimisations for minicc.
+
+Two passes:
+
+* **constant folding** (always on): integer arithmetic over literals is
+  evaluated at compile time with 32-bit wrap-around semantics, including
+  the literal offsets produced by loop unrolling (``(i + 2) * 4`` inside an
+  unrolled body folds into a single scaled index);
+* **counted-loop unrolling** (``CompilerOptions.unroll``).
+The SPECint95 binaries the paper measured came from optimising gcc; without
+unrolling, minicc loop bodies expose a single iteration of parallelism and
+the DTSVLIW's width is underused.  Unrolling by U rewrites::
+
+    for (i = e0; i < bound; i += s) body
+
+into::
+
+    for (i = e0; i + (U-1)*s < bound; ) { body; i += s; ... U times ... }
+    for (; i < bound; i += s) body        /* remainder */
+
+Only provably safe loops are touched: the induction variable is a plain
+``int`` local, the bound expression is pure (variables/constants/arithmetic),
+the body neither writes the induction variable nor contains
+``break``/``continue``/``return``/declarations, and the step is a positive
+constant (``i++``, ``i += c``).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from . import ast
+
+
+def unroll_loops(program: ast.Program, factor: int) -> ast.Program:
+    """Return ``program`` with eligible for-loops unrolled ``factor`` times."""
+    if factor <= 1:
+        return program
+    for fn in program.functions:
+        fn.body = _rewrite_stmt(fn.body, factor)
+    return program
+
+
+# ---------------------------------------------------------- constant folding
+_MASK32 = 0xFFFFFFFF
+
+
+def _signed(x: int) -> int:
+    x &= _MASK32
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+def _fold_binop(op: str, a: int, b: int):
+    """32-bit wrap-around evaluation; None when not foldable."""
+    if op == "+":
+        return _signed(a + b)
+    if op == "-":
+        return _signed(a - b)
+    if op == "*":
+        return _signed(a * b)
+    if op == "&":
+        return _signed(a & b)
+    if op == "|":
+        return _signed(a | b)
+    if op == "^":
+        return _signed(a ^ b)
+    if op == "<<":
+        return _signed((a & _MASK32) << (b & 31))
+    if op == ">>":
+        return _signed(_signed(a) >> (b & 31))
+    if op == "==":
+        return 1 if a == b else 0
+    if op == "!=":
+        return 1 if a != b else 0
+    if op == "<":
+        return 1 if _signed(a) < _signed(b) else 0
+    if op == "<=":
+        return 1 if _signed(a) <= _signed(b) else 0
+    if op == ">":
+        return 1 if _signed(a) > _signed(b) else 0
+    if op == ">=":
+        return 1 if _signed(a) >= _signed(b) else 0
+    if op == "/" and b != 0:
+        q = abs(a) // abs(b)
+        return _signed(-q if (a < 0) != (b < 0) else q)
+    if op == "%" and b != 0:
+        q = abs(a) // abs(b)
+        q = -q if (a < 0) != (b < 0) else q
+        return _signed(a - q * b)
+    return None
+
+
+def fold_constants(program: ast.Program) -> ast.Program:
+    """Fold integer-literal arithmetic throughout the program."""
+    for fn in program.functions:
+        _fold_stmt(fn.body)
+    return program
+
+
+def _fold_expr(e):
+    """Return a (possibly) folded replacement for expression ``e``."""
+    if e is None:
+        return None
+    if isinstance(e, ast.Binary):
+        e.left = _fold_expr(e.left)
+        e.right = _fold_expr(e.right)
+        if isinstance(e.left, ast.IntLit) and isinstance(e.right, ast.IntLit):
+            v = _fold_binop(e.op, e.left.value, e.right.value)
+            if v is not None:
+                return ast.IntLit(v, e.line)
+        # re-associate (x + c1) + c2 -> x + (c1+c2), common after unrolling
+        if (
+            e.op in ("+",)
+            and isinstance(e.right, ast.IntLit)
+            and isinstance(e.left, ast.Binary)
+            and e.left.op == "+"
+            and isinstance(e.left.right, ast.IntLit)
+        ):
+            folded = _fold_binop("+", e.left.right.value, e.right.value)
+            if folded is not None:
+                return ast.Binary(
+                    "+", e.left.left, ast.IntLit(folded, e.line), e.line
+                )
+        return e
+    if isinstance(e, ast.Unary):
+        e.expr = _fold_expr(e.expr)
+        if isinstance(e.expr, ast.IntLit):
+            if e.op == "-":
+                return ast.IntLit(_signed(-e.expr.value), e.line)
+            if e.op == "~":
+                return ast.IntLit(_signed(~e.expr.value), e.line)
+            if e.op == "!":
+                return ast.IntLit(0 if e.expr.value else 1, e.line)
+        return e
+    if isinstance(e, ast.Assign):
+        e.value = _fold_expr(e.value)
+        e.target = _fold_expr(e.target)
+        return e
+    if isinstance(e, ast.IncDec):
+        return e
+    if isinstance(e, ast.Cond):
+        e.cond = _fold_expr(e.cond)
+        e.then = _fold_expr(e.then)
+        e.els = _fold_expr(e.els)
+        if isinstance(e.cond, ast.IntLit):
+            return e.then if e.cond.value else e.els
+        return e
+    if isinstance(e, ast.Call):
+        e.args = [_fold_expr(a) for a in e.args]
+        return e
+    if isinstance(e, ast.Index):
+        e.base = _fold_expr(e.base)
+        e.index = _fold_expr(e.index)
+        return e
+    if isinstance(e, ast.Cast):
+        e.expr = _fold_expr(e.expr)
+        return e
+    return e
+
+
+def _fold_stmt(s) -> None:
+    if isinstance(s, ast.Block):
+        for x in s.stmts:
+            _fold_stmt(x)
+    elif isinstance(s, ast.VarDecl):
+        s.init = _fold_expr(s.init)
+    elif isinstance(s, ast.If):
+        s.cond = _fold_expr(s.cond)
+        _fold_stmt(s.then)
+        if s.els is not None:
+            _fold_stmt(s.els)
+    elif isinstance(s, (ast.While, ast.DoWhile)):
+        s.cond = _fold_expr(s.cond)
+        _fold_stmt(s.body)
+    elif isinstance(s, ast.For):
+        s.init = _fold_expr(s.init)
+        s.cond = _fold_expr(s.cond)
+        s.step = _fold_expr(s.step)
+        _fold_stmt(s.body)
+    elif isinstance(s, ast.ExprStmt):
+        s.expr = _fold_expr(s.expr)
+    elif isinstance(s, ast.Return):
+        s.expr = _fold_expr(s.expr)
+
+
+# --------------------------------------------------------------- traversal
+def _rewrite_stmt(stmt, factor):
+    if isinstance(stmt, ast.Block):
+        stmt.stmts = [_rewrite_stmt(s, factor) for s in stmt.stmts]
+        return stmt
+    if isinstance(stmt, ast.If):
+        stmt.then = _rewrite_stmt(stmt.then, factor)
+        if stmt.els is not None:
+            stmt.els = _rewrite_stmt(stmt.els, factor)
+        return stmt
+    if isinstance(stmt, (ast.While, ast.DoWhile)):
+        stmt.body = _rewrite_stmt(stmt.body, factor)
+        return stmt
+    if isinstance(stmt, ast.For):
+        stmt.body = _rewrite_stmt(stmt.body, factor)
+        unrolled = _try_unroll(stmt, factor)
+        return unrolled if unrolled is not None else stmt
+    return stmt
+
+
+# --------------------------------------------------------------- analysis
+def _step_of(expr) -> Optional[int]:
+    """Positive constant step from ``i++`` / ``i += c`` / ``i = i + c``."""
+    if isinstance(expr, ast.IncDec) and expr.op == "++":
+        return 1
+    if isinstance(expr, ast.Assign) and isinstance(expr.target, ast.Var):
+        if expr.op == "+=" and isinstance(expr.value, ast.IntLit):
+            return expr.value.value if expr.value.value > 0 else None
+        if (
+            expr.op == "="
+            and isinstance(expr.value, ast.Binary)
+            and expr.value.op == "+"
+            and isinstance(expr.value.left, ast.Var)
+            and expr.value.left.name == expr.target.name
+            and isinstance(expr.value.right, ast.IntLit)
+            and expr.value.right.value > 0
+        ):
+            return expr.value.right.value
+    return None
+
+
+def _step_var(expr) -> Optional[str]:
+    if isinstance(expr, ast.IncDec) and isinstance(expr.target, ast.Var):
+        return expr.target.name
+    if isinstance(expr, ast.Assign) and isinstance(expr.target, ast.Var):
+        return expr.target.name
+    return None
+
+
+def _pure(expr) -> bool:
+    """Side-effect-free and address-stable: safe to duplicate."""
+    if isinstance(expr, (ast.IntLit, ast.Var)):
+        return True
+    if isinstance(expr, ast.Binary):
+        return expr.op not in ("&&", "||") and _pure(expr.left) and _pure(expr.right)
+    if isinstance(expr, ast.Unary):
+        return expr.op in ("-", "~") and _pure(expr.expr)
+    return False
+
+
+class _BodyScan:
+    """Checks the loop body for unrolling blockers."""
+
+    def __init__(self, ivar: str):
+        self.ivar = ivar
+        self.safe = True
+
+    def stmt(self, s) -> None:
+        if not self.safe:
+            return
+        if isinstance(s, (ast.Break, ast.Continue, ast.Return, ast.VarDecl)):
+            self.safe = False
+            return
+        if isinstance(s, ast.Block):
+            for x in s.stmts:
+                self.stmt(x)
+        elif isinstance(s, ast.If):
+            self.expr(s.cond)
+            self.stmt(s.then)
+            if s.els is not None:
+                self.stmt(s.els)
+        elif isinstance(s, (ast.While, ast.DoWhile)):
+            # nested unbounded loops are fine as long as they do not touch i
+            self.expr(s.cond)
+            self.stmt(s.body)
+        elif isinstance(s, ast.For):
+            if s.init is not None:
+                self.expr(s.init)
+            if s.cond is not None:
+                self.expr(s.cond)
+            if s.step is not None:
+                self.expr(s.step)
+            self.stmt(s.body)
+        elif isinstance(s, ast.ExprStmt):
+            self.expr(s.expr)
+
+    def expr(self, e) -> None:
+        if not self.safe or e is None:
+            return
+        if isinstance(e, ast.Assign):
+            if isinstance(e.target, ast.Var) and e.target.name == self.ivar:
+                self.safe = False
+                return
+            self.expr(e.target)
+            self.expr(e.value)
+        elif isinstance(e, ast.IncDec):
+            if isinstance(e.target, ast.Var) and e.target.name == self.ivar:
+                self.safe = False
+                return
+            self.expr(e.target)
+        elif isinstance(e, ast.Unary):
+            if (
+                e.op == "&"
+                and isinstance(e.expr, ast.Var)
+                and e.expr.name == self.ivar
+            ):
+                self.safe = False
+                return
+            self.expr(e.expr)
+        elif isinstance(e, ast.Binary):
+            self.expr(e.left)
+            self.expr(e.right)
+        elif isinstance(e, ast.Cond):
+            self.expr(e.cond)
+            self.expr(e.then)
+            self.expr(e.els)
+        elif isinstance(e, ast.Call):
+            for a in e.args:
+                self.expr(a)
+        elif isinstance(e, ast.Index):
+            self.expr(e.base)
+            self.expr(e.index)
+        elif isinstance(e, ast.Cast):
+            self.expr(e.expr)
+
+
+# ------------------------------------------------------------ the rewrite
+def _try_unroll(loop: ast.For, factor: int) -> Optional[ast.Node]:
+    cond = loop.cond
+    step = loop.step
+    if cond is None or step is None:
+        return None
+    if not (
+        isinstance(cond, ast.Binary)
+        and cond.op in ("<", "<=")
+        and isinstance(cond.left, ast.Var)
+    ):
+        return None
+    ivar = cond.left.name
+    if _step_var(step) != ivar:
+        return None
+    s = _step_of(step)
+    if s is None:
+        return None
+    if not _pure(cond.right):
+        return None
+    scan = _BodyScan(ivar)
+    scan.stmt(loop.body)
+    if not scan.safe:
+        return None
+
+    line = loop.line
+    # guard condition: i + (U-1)*s  <cmp>  bound
+    guard = ast.Binary(
+        cond.op,
+        ast.Binary("+", ast.Var(ivar, line), ast.IntLit((factor - 1) * s, line), line),
+        copy.deepcopy(cond.right),
+        line,
+    )
+    # copies 1..U-1 read (i + k*s) so the iterations stay independent and
+    # the scheduler can overlap them; one induction update at the end
+    body_stmts = [copy.deepcopy(loop.body)]
+    for k in range(1, factor):
+        clone = copy.deepcopy(loop.body)
+        _substitute_ivar(clone, ivar, k * s, line)
+        body_stmts.append(clone)
+    body_stmts.append(
+        ast.ExprStmt(
+            ast.Assign(
+                "+=", ast.Var(ivar, line), ast.IntLit(factor * s, line), line
+            ),
+            line,
+        )
+    )
+    main_loop = ast.For(loop.init, guard, None, ast.Block(body_stmts, line), line)
+    remainder = ast.For(
+        None, copy.deepcopy(cond), copy.deepcopy(step), copy.deepcopy(loop.body), line
+    )
+    return ast.Block([main_loop, remainder], line)
+
+
+def _offset_expr(ivar: str, offset: int, line: int) -> ast.Binary:
+    return ast.Binary("+", ast.Var(ivar, line), ast.IntLit(offset, line), line)
+
+
+def _substitute_ivar(node, ivar: str, offset: int, line: int) -> None:
+    """Replace every read of ``ivar`` inside ``node`` with ``ivar + offset``
+    (the body is known not to write ``ivar``)."""
+
+    def sub(e):
+        if isinstance(e, ast.Var) and e.name == ivar:
+            return _offset_expr(ivar, offset, line)
+        walk_expr(e)
+        return e
+
+    def walk_expr(e):
+        if e is None:
+            return
+        if isinstance(e, ast.Unary):
+            e.expr = sub(e.expr)
+        elif isinstance(e, ast.Binary):
+            e.left = sub(e.left)
+            e.right = sub(e.right)
+        elif isinstance(e, ast.Assign):
+            e.target = sub(e.target)
+            e.value = sub(e.value)
+        elif isinstance(e, ast.IncDec):
+            e.target = sub(e.target)
+        elif isinstance(e, ast.Cond):
+            e.cond = sub(e.cond)
+            e.then = sub(e.then)
+            e.els = sub(e.els)
+        elif isinstance(e, ast.Call):
+            e.args = [sub(a) for a in e.args]
+        elif isinstance(e, ast.Index):
+            e.base = sub(e.base)
+            e.index = sub(e.index)
+        elif isinstance(e, ast.Cast):
+            e.expr = sub(e.expr)
+
+    def walk_stmt(s):
+        if isinstance(s, ast.Block):
+            for x in s.stmts:
+                walk_stmt(x)
+        elif isinstance(s, ast.If):
+            s.cond = sub(s.cond)
+            walk_stmt(s.then)
+            if s.els is not None:
+                walk_stmt(s.els)
+        elif isinstance(s, (ast.While, ast.DoWhile)):
+            s.cond = sub(s.cond)
+            walk_stmt(s.body)
+        elif isinstance(s, ast.For):
+            if s.init is not None:
+                s.init = sub(s.init)
+            if s.cond is not None:
+                s.cond = sub(s.cond)
+            if s.step is not None:
+                s.step = sub(s.step)
+            walk_stmt(s.body)
+        elif isinstance(s, ast.ExprStmt):
+            s.expr = sub(s.expr)
+        elif isinstance(s, ast.Return) and s.expr is not None:
+            s.expr = sub(s.expr)
+
+    walk_stmt(node)

@@ -1,0 +1,413 @@
+"""Recursive-descent parser for minicc.
+
+Grammar (C subset)::
+
+    program     := (global_var | function)*
+    function    := type ident '(' params ')' block
+    global_var  := type declarator ('=' ginit)? ';'
+    declarator  := '*'* ident ('[' num? ']')?
+    block       := '{' (var_decl | stmt)* '}'
+    stmt        := if | while | do-while | for | return | break | continue
+                 | block | expr ';' | ';'
+    expr        := assignment (',' is not supported)
+    assignment  := ternary (('='|'+='|...) assignment)?
+    ternary     := logical_or ('?' expr ':' ternary)?
+    ...usual C precedence down to unary/postfix/primary.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.errors import SimError
+from . import ast
+from .lexer import Token, tokenize
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+# binary precedence levels, loosest first
+_BIN_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------- utilities
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, value=None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def expect(self, kind: str, value=None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            raise SimError(
+                "minicc: line %d: expected %s%s, got %r"
+                % (tok.line, kind, " %r" % value if value else "", tok.value)
+            )
+        return tok
+
+    def error(self, msg: str) -> SimError:
+        return SimError("minicc: line %d: %s" % (self.peek().line, msg))
+
+    # ----------------------------------------------------------------- types
+    def at_type(self) -> bool:
+        return self.at("kw", "int") or self.at("kw", "char") or self.at(
+            "kw", "float"
+        ) or self.at("kw", "void")
+
+    def parse_base_type(self) -> ast.Type:
+        tok = self.next()
+        if tok.kind != "kw" or tok.value not in ("int", "char", "float", "void"):
+            raise SimError("minicc: line %d: expected type" % tok.line)
+        return (tok.value,)
+
+    def parse_pointers(self, base: ast.Type) -> ast.Type:
+        while self.at("punct", "*"):
+            self.next()
+            base = ast.ptr(base)
+        return base
+
+    # --------------------------------------------------------------- program
+    def parse_program(self) -> ast.Program:
+        globals_: List[ast.GlobalVar] = []
+        functions: List[ast.Function] = []
+        while not self.at("eof"):
+            base = self.parse_base_type()
+            typ = self.parse_pointers(base)
+            name_tok = self.expect("ident")
+            if self.at("punct", "("):
+                functions.append(self.parse_function(typ, name_tok))
+            else:
+                globals_.extend(self.parse_global_tail(typ, name_tok))
+        return ast.Program(globals_, functions)
+
+    def parse_global_tail(self, typ, name_tok) -> List[ast.GlobalVar]:
+        out = []
+        while True:
+            gtyp = typ
+            if self.at("punct", "["):
+                self.next()
+                if self.at("punct", "]"):
+                    self.next()
+                    length = None  # from initializer
+                else:
+                    length = self.expect("num").value
+                    self.expect("punct", "]")
+                init = None
+                if self.at("punct", "="):
+                    self.next()
+                    init = self.parse_global_init()
+                if length is None:
+                    if isinstance(init, bytes):
+                        length = len(init) + 1  # NUL
+                    elif isinstance(init, list):
+                        length = len(init)
+                    else:
+                        raise self.error("array size required")
+                gtyp = ast.array(gtyp, length)
+                out.append(ast.GlobalVar(name_tok.value, gtyp, init, name_tok.line))
+            else:
+                init = None
+                if self.at("punct", "="):
+                    self.next()
+                    init = self.parse_global_init()
+                out.append(ast.GlobalVar(name_tok.value, gtyp, init, name_tok.line))
+            if self.at("punct", ","):
+                self.next()
+                name_tok = self.expect("ident")
+                continue
+            self.expect("punct", ";")
+            return out
+
+    def parse_global_init(self):
+        if self.at("string"):
+            return self.next().value
+        if self.at("punct", "{"):
+            self.next()
+            vals = []
+            while not self.at("punct", "}"):
+                vals.append(self.parse_const_int())
+                if self.at("punct", ","):
+                    self.next()
+            self.expect("punct", "}")
+            return vals
+        if self.at("float"):
+            return self.next().value
+        return self.parse_const_int()
+
+    def parse_const_int(self) -> int:
+        neg = False
+        if self.at("punct", "-"):
+            self.next()
+            neg = True
+        val = self.expect("num").value
+        return -val if neg else val
+
+    # -------------------------------------------------------------- function
+    def parse_function(self, ret_type, name_tok) -> ast.Function:
+        self.expect("punct", "(")
+        params = []
+        if not self.at("punct", ")"):
+            if self.at("kw", "void") and self.peek(1).value == ")":
+                self.next()
+            else:
+                while True:
+                    base = self.parse_base_type()
+                    ptype = self.parse_pointers(base)
+                    pname = self.expect("ident")
+                    params.append((pname.value, ptype))
+                    if self.at("punct", ","):
+                        self.next()
+                        continue
+                    break
+        self.expect("punct", ")")
+        if len(params) > 6:
+            raise SimError(
+                "minicc: line %d: at most 6 parameters supported (%s)"
+                % (name_tok.line, name_tok.value)
+            )
+        body = self.parse_block()
+        return ast.Function(name_tok.value, ret_type, params, body, name_tok.line)
+
+    # ------------------------------------------------------------ statements
+    def parse_block(self) -> ast.Block:
+        line = self.expect("punct", "{").line
+        stmts: List[ast.Node] = []
+        while not self.at("punct", "}"):
+            if self.at_type():
+                stmts.extend(self.parse_var_decl())
+            else:
+                stmts.append(self.parse_stmt())
+        self.expect("punct", "}")
+        return ast.Block(stmts, line)
+
+    def parse_var_decl(self) -> List[ast.Node]:
+        base = self.parse_base_type()
+        out: List[ast.Node] = []
+        while True:
+            typ = self.parse_pointers(base)
+            name_tok = self.expect("ident")
+            if self.at("punct", "["):
+                self.next()
+                length = self.expect("num").value
+                self.expect("punct", "]")
+                typ = ast.array(typ, length)
+            init = None
+            if self.at("punct", "="):
+                self.next()
+                init = self.parse_assignment()
+            out.append(ast.VarDecl(name_tok.value, typ, init, name_tok.line))
+            if self.at("punct", ","):
+                self.next()
+                continue
+            break
+        self.expect("punct", ";")
+        return out
+
+    def parse_stmt(self) -> ast.Node:
+        tok = self.peek()
+        if tok.kind == "punct" and tok.value == "{":
+            return self.parse_block()
+        if tok.kind == "punct" and tok.value == ";":
+            self.next()
+            return ast.Block([], tok.line)
+        if tok.kind == "kw":
+            if tok.value == "if":
+                self.next()
+                self.expect("punct", "(")
+                cond = self.parse_expr()
+                self.expect("punct", ")")
+                then = self.parse_stmt()
+                els = None
+                if self.at("kw", "else"):
+                    self.next()
+                    els = self.parse_stmt()
+                return ast.If(cond, then, els, tok.line)
+            if tok.value == "while":
+                self.next()
+                self.expect("punct", "(")
+                cond = self.parse_expr()
+                self.expect("punct", ")")
+                return ast.While(cond, self.parse_stmt(), tok.line)
+            if tok.value == "do":
+                self.next()
+                body = self.parse_stmt()
+                self.expect("kw", "while")
+                self.expect("punct", "(")
+                cond = self.parse_expr()
+                self.expect("punct", ")")
+                self.expect("punct", ";")
+                return ast.DoWhile(body, cond, tok.line)
+            if tok.value == "for":
+                self.next()
+                self.expect("punct", "(")
+                init = None
+                if not self.at("punct", ";"):
+                    init = self.parse_expr()
+                self.expect("punct", ";")
+                cond = None
+                if not self.at("punct", ";"):
+                    cond = self.parse_expr()
+                self.expect("punct", ";")
+                step = None
+                if not self.at("punct", ")"):
+                    step = self.parse_expr()
+                self.expect("punct", ")")
+                return ast.For(init, cond, step, self.parse_stmt(), tok.line)
+            if tok.value == "return":
+                self.next()
+                expr = None
+                if not self.at("punct", ";"):
+                    expr = self.parse_expr()
+                self.expect("punct", ";")
+                return ast.Return(expr, tok.line)
+            if tok.value == "break":
+                self.next()
+                self.expect("punct", ";")
+                node = ast.Break()
+                node.line = tok.line
+                return node
+            if tok.value == "continue":
+                self.next()
+                self.expect("punct", ";")
+                node = ast.Continue()
+                node.line = tok.line
+                return node
+        expr = self.parse_expr()
+        self.expect("punct", ";")
+        return ast.ExprStmt(expr, tok.line)
+
+    # ----------------------------------------------------------- expressions
+    def parse_expr(self) -> ast.Node:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> ast.Node:
+        left = self.parse_ternary()
+        tok = self.peek()
+        if tok.kind == "punct" and tok.value in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assignment()
+            return ast.Assign(tok.value, left, value, tok.line)
+        return left
+
+    def parse_ternary(self) -> ast.Node:
+        cond = self.parse_binary(0)
+        if self.at("punct", "?"):
+            line = self.next().line
+            then = self.parse_expr()
+            self.expect("punct", ":")
+            els = self.parse_ternary()
+            return ast.Cond(cond, then, els, line)
+        return cond
+
+    def parse_binary(self, level: int) -> ast.Node:
+        if level >= len(_BIN_LEVELS):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        ops = _BIN_LEVELS[level]
+        while self.at("punct") and self.peek().value in ops:
+            tok = self.next()
+            right = self.parse_binary(level + 1)
+            left = ast.Binary(tok.value, left, right, tok.line)
+        return left
+
+    def parse_unary(self) -> ast.Node:
+        tok = self.peek()
+        if tok.kind == "punct":
+            if tok.value in ("-", "!", "~", "*", "&"):
+                self.next()
+                return ast.Unary(tok.value, self.parse_unary(), tok.line)
+            if tok.value == "+":
+                self.next()
+                return self.parse_unary()
+            if tok.value in ("++", "--"):
+                self.next()
+                target = self.parse_unary()
+                return ast.IncDec(tok.value, target, post=False, line=tok.line)
+            if tok.value == "(" and self._at_cast():
+                self.next()
+                base = self.parse_base_type()
+                typ = self.parse_pointers(base)
+                self.expect("punct", ")")
+                return ast.Cast(typ, self.parse_unary(), tok.line)
+        return self.parse_postfix()
+
+    def _at_cast(self) -> bool:
+        nxt = self.peek(1)
+        return nxt.kind == "kw" and nxt.value in ("int", "char", "float", "void")
+
+    def parse_postfix(self) -> ast.Node:
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if tok.kind != "punct":
+                return expr
+            if tok.value == "[":
+                self.next()
+                idx = self.parse_expr()
+                self.expect("punct", "]")
+                expr = ast.Index(expr, idx, tok.line)
+            elif tok.value == "(":
+                if not isinstance(expr, ast.Var):
+                    raise self.error("can only call named functions")
+                self.next()
+                args = []
+                if not self.at("punct", ")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if self.at("punct", ","):
+                            self.next()
+                            continue
+                        break
+                self.expect("punct", ")")
+                expr = ast.Call(expr.name, args, tok.line)
+            elif tok.value in ("++", "--"):
+                self.next()
+                expr = ast.IncDec(tok.value, expr, post=True, line=tok.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Node:
+        tok = self.next()
+        if tok.kind == "num":
+            return ast.IntLit(tok.value, tok.line)
+        if tok.kind == "float":
+            return ast.FloatLit(tok.value, tok.line)
+        if tok.kind == "string":
+            return ast.StrLit(tok.value, tok.line)
+        if tok.kind == "ident":
+            return ast.Var(tok.value, tok.line)
+        if tok.kind == "punct" and tok.value == "(":
+            expr = self.parse_expr()
+            self.expect("punct", ")")
+            return expr
+        raise SimError(
+            "minicc: line %d: unexpected token %r" % (tok.line, tok.value)
+        )
+
+
+def parse(source: str) -> ast.Program:
+    """Parse minicc source into an AST Program."""
+    return Parser(source).parse_program()

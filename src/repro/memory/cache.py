@@ -1,0 +1,108 @@
+"""Parametric set-associative cache timing model with LRU replacement.
+
+Purely a *timing* structure: data always lives in :class:`MainMemory`; the
+cache tracks which lines would be resident and charges miss penalties.  Used
+for the Instruction Cache and Data Cache of Table 1 / section 4.4.  A
+``perfect`` cache never misses (the Figure 5-7 experiments use perfect
+instruction and data caches).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SimError
+
+
+class CacheStats:
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class Cache:
+    """Set-associative LRU cache.
+
+    ``access(addr)`` returns the cycle penalty (0 on hit, ``miss_penalty``
+    on miss) and updates residency.  Each set is a most-recent-first list of
+    tags; associativities in the paper are <= 8, so list operations are cheap.
+    """
+
+    __slots__ = (
+        "name",
+        "size",
+        "line_size",
+        "assoc",
+        "miss_penalty",
+        "perfect",
+        "num_sets",
+        "line_shift",
+        "sets",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        line_size: int = 32,
+        assoc: int = 1,
+        miss_penalty: int = 8,
+        perfect: bool = False,
+    ):
+        self.name = name
+        self.size = size
+        self.line_size = line_size
+        self.assoc = assoc
+        self.miss_penalty = miss_penalty
+        self.perfect = perfect
+        if not perfect:
+            if line_size & (line_size - 1):
+                raise SimError("cache line size must be a power of two")
+            num_lines = size // line_size
+            if num_lines % assoc:
+                raise SimError(
+                    "cache %s: %d lines not divisible by assoc %d"
+                    % (name, num_lines, assoc)
+                )
+            self.num_sets = num_lines // assoc
+            self.line_shift = line_size.bit_length() - 1
+            self.sets = [[] for _ in range(self.num_sets)]
+        else:
+            self.num_sets = 0
+            self.line_shift = 0
+            self.sets = []
+        self.stats = CacheStats()
+
+    def access(self, addr: int) -> int:
+        """Touch ``addr``; return the miss penalty in cycles (0 on hit)."""
+        if self.perfect:
+            self.stats.hits += 1
+            return 0
+        line = addr >> self.line_shift
+        s = self.sets[line % self.num_sets]
+        if line in s:
+            self.stats.hits += 1
+            if s[0] != line:
+                s.remove(line)
+                s.insert(0, line)
+            return 0
+        self.stats.misses += 1
+        s.insert(0, line)
+        if len(s) > self.assoc:
+            s.pop()
+        return self.miss_penalty
+
+    def flush(self) -> None:
+        """Drop every resident line."""
+        for s in self.sets:
+            s.clear()

@@ -1,0 +1,85 @@
+"""Flat byte-addressed main memory.
+
+Big-endian (SPARC byte order), bounds- and alignment-checked.  Floats are
+stored as IEEE-754 single precision so ``stf``/``ldf`` round-trips are
+deterministic and identical across engines.
+
+The top :attr:`spill_region` bytes are reserved for the hardware-managed
+register-window spill stack (see :func:`repro.isa.semantics.do_window_spill`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..core.errors import MemFault
+
+_FLOAT = struct.Struct(">f")
+
+
+class MainMemory:
+    """A single linear RAM image shared by all engines of one machine."""
+
+    __slots__ = ("size", "data", "spill_region")
+
+    def __init__(self, size: int = 8 * 1024 * 1024, spill_region: int = 65536):
+        self.size = size
+        self.data = bytearray(size)
+        self.spill_region = spill_region
+
+    # -- word access ---------------------------------------------------------
+    def read_word(self, addr: int) -> int:
+        if addr & 3:
+            raise MemFault(addr, "misaligned word read")
+        if not 0 <= addr <= self.size - 4:
+            raise MemFault(addr, "word read out of range")
+        d = self.data
+        return (d[addr] << 24) | (d[addr + 1] << 16) | (d[addr + 2] << 8) | d[addr + 3]
+
+    def write_word(self, addr: int, value: int) -> None:
+        if addr & 3:
+            raise MemFault(addr, "misaligned word write")
+        if not 0 <= addr <= self.size - 4:
+            raise MemFault(addr, "word write out of range")
+        d = self.data
+        d[addr] = (value >> 24) & 0xFF
+        d[addr + 1] = (value >> 16) & 0xFF
+        d[addr + 2] = (value >> 8) & 0xFF
+        d[addr + 3] = value & 0xFF
+
+    # -- byte access -----------------------------------------------------------
+    def read_byte(self, addr: int) -> int:
+        if not 0 <= addr < self.size:
+            raise MemFault(addr, "byte read out of range")
+        return self.data[addr]
+
+    def write_byte(self, addr: int, value: int) -> None:
+        if not 0 <= addr < self.size:
+            raise MemFault(addr, "byte write out of range")
+        self.data[addr] = value & 0xFF
+
+    # -- float access ----------------------------------------------------------
+    def read_float(self, addr: int) -> float:
+        if addr & 3:
+            raise MemFault(addr, "misaligned float read")
+        if not 0 <= addr <= self.size - 4:
+            raise MemFault(addr, "float read out of range")
+        return _FLOAT.unpack_from(self.data, addr)[0]
+
+    def write_float(self, addr: int, value: float) -> None:
+        if addr & 3:
+            raise MemFault(addr, "misaligned float write")
+        if not 0 <= addr <= self.size - 4:
+            raise MemFault(addr, "float write out of range")
+        _FLOAT.pack_into(self.data, addr, value)
+
+    # -- bulk ----------------------------------------------------------------
+    def load_image(self, image: bytes, base: int) -> None:
+        """Copy a binary image into memory at ``base``."""
+        if base + len(image) > self.size:
+            raise MemFault(base, "image does not fit in memory")
+        self.data[base : base + len(image)] = image
+
+    def snapshot_range(self, lo: int, hi: int) -> bytes:
+        """Immutable copy of the byte range ``[lo, hi)``."""
+        return bytes(self.data[lo:hi])

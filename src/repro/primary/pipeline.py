@@ -1,0 +1,137 @@
+"""The Primary Processor (section 3.1 / Table 1).
+
+A simple four-stage (fetch, decode, execute, write back) in-order pipeline
+with no branch prediction hardware.  Timing is modelled as a per-instruction
+cycle cost over the shared functional semantics:
+
+* base cost 1 cycle;
+* not-taken conditional branches cost a 3-cycle bubble (Table 1 -- the
+  pipeline fetches the branch target eagerly, so the *fall-through* path
+  refills);
+* an instruction consuming the result of the immediately preceding load
+  pays a 1-cycle load-use bubble;
+* instruction/data cache misses add their miss penalties;
+* a register-window spill/fill (hardware-managed) costs
+  ``window_spill_penalty`` cycles and makes the save/restore
+  *non-schedulable* for this execution (section 3.9 treatment of complex
+  operations).
+
+Every completed, schedulable instruction is handed to the Scheduler Unit as
+a :class:`~repro.scheduler.ops.SchedOp` (section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.config import MachineConfig
+from ..core.stats import Stats
+from ..isa.instructions import Instr, K_BRANCH, K_NOP, K_TRAP, UNCONDITIONAL
+from ..isa.semantics import StepInfo, step
+from ..memory.cache import Cache
+from ..scheduler.ops import SchedOp, build_sched_op
+
+
+class PrimaryProcessor:
+    def __init__(
+        self,
+        cfg: MachineConfig,
+        rf,
+        mem,
+        icache: Cache,
+        dcache: Cache,
+        services,
+        stats: Stats,
+    ):
+        self.cfg = cfg
+        self.rf = rf
+        self.mem = mem
+        self.icache = icache
+        self.dcache = dcache
+        self.services = services
+        self.stats = stats
+        self.info = StepInfo()
+        self.last_load_rd: Optional[int] = None  # visible rd of previous load
+
+    def reset_pipeline(self) -> None:
+        """Called on mode switches: the load-use forwarding state dies."""
+        self.last_load_rd = None
+
+    def step(self, instr: Instr) -> Tuple[int, int, Optional[SchedOp], bool]:
+        """Execute one instruction.
+
+        Returns ``(next_pc, cycles, sched_op, non_schedulable)``.
+        ``sched_op`` is None for instructions the Scheduler Unit ignores
+        (nops, unconditional branches) or cannot schedule (traps, spilling
+        save/restore); the latter also set ``non_schedulable`` so the
+        machine flushes the scheduling list (section 3.9).
+        """
+        cfg = self.cfg
+        st = self.stats
+        cycles = 1
+        pen = self.icache.access(instr.addr)
+        if pen:
+            cycles += pen
+            st.icache_stall_cycles += pen
+
+        # load-use bubble: this instruction reads the previous load's result
+        if self.last_load_rd is not None and self._reads_reg(
+            instr, self.last_load_rd
+        ):
+            cycles += cfg.load_use_bubble
+            st.load_use_bubble_cycles += cfg.load_use_bubble
+
+        info = self.info
+        next_pc = step(self.rf, self.mem, instr, self.services, info)
+        st.primary_instructions += 1
+
+        kind = instr.op.kind
+        if info.mem_addr >= 0:
+            pen = self.dcache.access(info.mem_addr)
+            if pen:
+                cycles += pen
+                st.dcache_stall_cycles += pen
+        if kind == K_BRANCH and instr.op.name not in UNCONDITIONAL:
+            if not info.taken:
+                cycles += cfg.branch_not_taken_bubble
+                st.branch_bubble_cycles += cfg.branch_not_taken_bubble
+        if info.spilled:
+            cycles += cfg.window_spill_penalty
+            st.spill_cycles += cfg.window_spill_penalty
+
+        # Only integer loads feed the load-use interlock (ldf writes the fp
+        # file, whose consumers are tracked coarsely enough at 1 cycle).
+        from ..isa.instructions import K_LOAD
+
+        self.last_load_rd = instr.rd if kind == K_LOAD else None
+
+        # Scheduler hand-off (section 3.9 exclusions).  A spilling
+        # save/restore is only non-schedulable when the VLIW Engine cannot
+        # spill inline (the scheduled op carries just the register/cwp
+        # semantics; replay re-checks window occupancy itself).
+        if kind == K_TRAP or (
+            info.spilled and not cfg.vliw_window_spill_inline
+        ):
+            return next_pc, cycles, None, True
+        if kind == K_NOP or (kind == K_BRANCH and instr.op.name in UNCONDITIONAL):
+            return next_pc, cycles, None, False
+        sched = build_sched_op(instr, info, self.rf, self.rf.cwp)
+        return next_pc, cycles, sched, False
+
+    @staticmethod
+    def _reads_reg(instr: Instr, visible: int) -> bool:
+        if visible == 0:
+            return False
+        kind = instr.op.kind
+        if kind in (K_NOP, K_TRAP):
+            return False
+        if instr.rs1 == visible and kind != K_BRANCH:
+            return True
+        if not instr.use_imm and instr.rs2 == visible and kind not in (
+            K_BRANCH,
+        ):
+            return True
+        # stores read their data register
+        from ..isa.instructions import K_STORE
+
+        return kind == K_STORE and instr.rd == visible

@@ -1,0 +1,183 @@
+"""Long instructions and VLIW blocks.
+
+A :class:`LongInstruction` is one row of the scheduling list and, after the
+block is flushed, one fetch unit of the VLIW Cache (section 3.4: the
+DTSVLIW fetches one long instruction per access, unlike DIF's whole-block
+fetch).  It tracks
+
+* typed slots (functional-unit classes for non-homogeneous machines),
+* aggregate read/write location sets of *installed* operations (candidate
+  companions are excluded, exactly as the paper's comparators are disabled
+  for the companion's slot -- section 3.7),
+* the ordered list of control transfers for the branch-tag system
+  (section 3.8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.instructions import FU_BR
+from .ops import SchedOp
+
+
+class LongInstruction:
+    __slots__ = (
+        "width",
+        "slot_classes",
+        "slots",
+        "installed_reads",
+        "installed_writes",
+        "lat_writes",
+        "branches",
+        "mem_effect_stores",
+        "mem_effect_loads",
+        "dense",
+    )
+
+    def __init__(self, width: int, slot_classes: Optional[List[Optional[int]]]):
+        self.width = width
+        self.slot_classes = slot_classes
+        self.slots: List[Optional[SchedOp]] = [None] * width
+        self.installed_reads: set = set()
+        self.installed_writes: set = set()
+        #: writes of installed multicycle ops: loc -> max latency
+        self.lat_writes: dict = {}
+        #: installed control transfers in placement (= program) order
+        self.branches: List[SchedOp] = []
+        self.mem_effect_stores = 0  # stores + memory copies installed
+        self.mem_effect_loads = 0
+        #: dense op list frozen at block flush (the VLIW Engine's hot path)
+        self.dense: List[SchedOp] = []
+
+    # ------------------------------------------------------------------ slots
+    def slot_ok(self, idx: int, op: SchedOp) -> bool:
+        """Can ``op`` legally occupy slot ``idx`` (FU typing)?"""
+        if self.slot_classes is None:
+            return True
+        cls = self.slot_classes[idx]
+        if cls is None:
+            return op.fu != FU_BR
+        return cls == op.fu
+
+    def find_free_slot(self, op: SchedOp, exclude: int = -1) -> int:
+        """First free slot compatible with ``op`` (-1 if none).
+
+        ``exclude`` marks a slot to treat as unavailable (used when checking
+        whether freeing the candidate's companion slot would help)."""
+        for i in range(self.width):
+            if i != exclude and self.slots[i] is None and self.slot_ok(i, op):
+                return i
+        return -1
+
+    def count_free_slots(self, op: SchedOp) -> int:
+        """Number of free slots compatible with ``op``."""
+        n = 0
+        for i in range(self.width):
+            if self.slots[i] is None and self.slot_ok(i, op):
+                n += 1
+        return n
+
+    # ------------------------------------------------------------ companions
+    def place_companion(self, op: SchedOp, slot: int) -> None:
+        self.slots[slot] = op
+        op.slot = slot
+
+    def remove_companion(self, slot: int) -> None:
+        self.slots[slot] = None
+
+    # ---------------------------------------------------------------- install
+    def install(self, op: SchedOp) -> None:
+        """Mark the op in ``op.slot`` as permanently installed."""
+        self.installed_reads |= op.reads
+        self.installed_writes |= op.writes
+        if op.latency > 1:
+            for w in op.writes:
+                if op.latency > self.lat_writes.get(w, 0):
+                    self.lat_writes[w] = op.latency
+        if op.is_branch:
+            self.branches.append(op)
+        if op.is_store_effect or op.commits_memory:
+            self.mem_effect_stores += 1
+        elif op.is_load:
+            self.mem_effect_loads += 1
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.branches)
+
+    def installed_ops(self):
+        """Iterate the operations currently occupying slots."""
+        for op in self.slots:
+            if op is not None:
+                yield op
+
+    def op_count(self) -> int:
+        return sum(1 for s in self.slots if s is not None)
+
+    def text(self) -> str:
+        return " | ".join(
+            op.text() if op is not None else "--" for op in self.slots
+        )
+
+
+class Block:
+    """A flushed block of long instructions, as stored in the VLIW Cache."""
+
+    __slots__ = (
+        "start_addr",
+        "lis",
+        "nba_addr",
+        "nba_line",
+        "entry_cwp",
+        "n_int_rr",
+        "n_fp_rr",
+        "n_cc_rr",
+        "n_mem_rr",
+        "keep_mem_order",
+        "req_canrestore",
+        "req_cansave",
+    )
+
+    def __init__(
+        self,
+        start_addr: int,
+        lis: List[LongInstruction],
+        nba_addr: int,
+        entry_cwp: int,
+        n_int_rr: int,
+        n_fp_rr: int,
+        n_cc_rr: int,
+        n_mem_rr: int,
+        keep_mem_order: bool = False,
+        req_canrestore: int = 0,
+        req_cansave: int = 0,
+    ):
+        self.start_addr = start_addr
+        self.lis = lis
+        for li in lis:  # freeze the execution-order op lists
+            li.dense = [op for op in li.slots if op is not None]
+        self.nba_addr = nba_addr
+        self.nba_line = len(lis) - 1
+        self.entry_cwp = entry_cwp
+        self.n_int_rr = n_int_rr
+        self.n_fp_rr = n_fp_rr
+        self.n_cc_rr = n_cc_rr
+        self.n_mem_rr = n_mem_rr
+        # Set after an aliasing exception: reschedules of this address must
+        # keep memory operations in program order (section 3.11).
+        self.keep_mem_order = keep_mem_order
+        # Window residency requirements at block entry: the VLIW Engine
+        # eagerly fills/spills so hoisted operations find every window they
+        # touch valid (ancestors resident, descendants free).
+        self.req_canrestore = req_canrestore
+        self.req_cansave = req_cansave
+
+    def op_count(self) -> int:
+        return sum(li.op_count() for li in self.lis)
+
+    def text(self) -> str:
+        lines = ["block @0x%x -> 0x%x" % (self.start_addr, self.nba_addr)]
+        for i, li in enumerate(self.lis):
+            lines.append("  [%d] %s" % (i, li.text()))
+        return "\n".join(lines)

@@ -1,0 +1,438 @@
+"""Scheduled operations: the unit that flows from the Primary Processor
+through the Scheduler Unit into VLIW Cache blocks.
+
+When an instruction completes in the Primary Processor, :func:`build_sched_op`
+captures everything scheduling and VLIW re-execution need:
+
+* *dependence footprint*: frozensets of physical location ids (integer
+  registers resolved through the register windows with the ``cwp`` in force
+  at execution, fp registers, the condition codes, the ``cwp`` itself for
+  save/restore ordering, and the memory words observed by loads/stores);
+* *replay recipe*: visible register numbers plus ``cwp`` deltas relative to
+  the block entry window (section 3.9: the cwp accompanies instructions into
+  the scheduling list and VLIW Cache), immediates, and for control transfers
+  the direction observed during scheduling (section 3.5);
+* *renaming state* filled in by splits (section 3.2): renamed outputs and,
+  for COPY operations, the copy actions that commit renamed values to their
+  architectural destinations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.errors import SimError
+from ..isa.instructions import (
+    Instr,
+    K_ALU,
+    K_BRANCH,
+    K_CALL,
+    K_FLOAD,
+    K_FPOP,
+    K_FSTORE,
+    K_JMPL,
+    K_LOAD,
+    K_RESTORE,
+    K_SAVE,
+    K_SETHI,
+    K_STORE,
+)
+from ..isa.registers import CC_ID, CWP_ID, fp_loc, mem_loc
+from ..isa.semantics import StepInfo
+
+#: Execution categories used by the VLIW engine dispatcher.
+X_ALU = 0
+X_SETHI = 1
+X_LOAD = 2
+X_STORE = 3
+X_BRANCH = 4  # conditional branch
+X_JMPL = 5  # indirect branch
+X_CALL = 6  # link-register write with a fixed direction
+X_SAVE = 7
+X_RESTORE = 8
+X_FPOP = 9
+X_FLOAD = 10
+X_FSTORE = 11
+X_COPY = 12
+
+_KIND_TO_X = {
+    K_ALU: X_ALU,
+    K_SETHI: X_SETHI,
+    K_LOAD: X_LOAD,
+    K_STORE: X_STORE,
+    K_BRANCH: X_BRANCH,
+    K_JMPL: X_JMPL,
+    K_CALL: X_CALL,
+    K_SAVE: X_SAVE,
+    K_RESTORE: X_RESTORE,
+    K_FPOP: X_FPOP,
+    K_FLOAD: X_FLOAD,
+    K_FSTORE: X_FSTORE,
+}
+
+
+class SchedOp:
+    """One operation inside the scheduling list / a VLIW block."""
+
+    __slots__ = (
+        "instr",
+        "xkind",
+        "fu",
+        "latency",
+        "addr",
+        "reads",
+        "writes",
+        "cwp_src",
+        "cwp_dst",
+        "cwp_delta_src",
+        "cwp_delta_dst",
+        "mem_addr",
+        "mem_size",
+        "is_load",
+        "is_store_effect",
+        "taken",
+        "target",
+        "dst_rr",
+        "cc_rr",
+        "mem_rr",
+        "copy_actions",
+        "tag_depth",
+        "order",
+        "cross",
+        "slot",
+        "no_split",
+        "int_dst_visible",
+        "win_src",
+        "win_dst",
+        "depth",
+        "src_fields",
+        "base_reads",
+        "rs1_rr",
+        "rs2_rr",
+        "rddata_rr",
+        "ccsrc_rr",
+        "rename_updates",
+    )
+
+    def __init__(self, instr: Instr, xkind: int, fu: int, latency: int):
+        self.instr = instr
+        self.xkind = xkind
+        self.fu = fu
+        self.latency = latency
+        self.addr = instr.addr if instr is not None else 0
+        self.reads: frozenset = frozenset()
+        self.writes: frozenset = frozenset()
+        self.cwp_src = 0
+        self.cwp_dst = 0
+        self.cwp_delta_src = 0
+        self.cwp_delta_dst = 0
+        self.mem_addr = -1
+        self.mem_size = 0
+        self.is_load = False
+        self.is_store_effect = False  # performs an actual memory write
+        self.taken = False
+        self.target = 0
+        # renaming: indices into the per-block renaming register files
+        self.dst_rr: Optional[int] = None  # int or fp result rename
+        self.cc_rr: Optional[int] = None
+        self.mem_rr: Optional[int] = None
+        self.copy_actions: Optional[List[Tuple]] = None  # COPY ops only
+        self.tag_depth = 0
+        self.order = 0
+        self.cross = False
+        self.slot = -1
+        self.no_split = False
+        #: visible register of the integer destination (COPY actions are
+        #: window-relative so blocks work at any re-entry call depth)
+        self.int_dst_visible: Optional[int] = None
+        #: window offsets touched by sources/destination relative to the
+        #: op's own window (0 = ins/locals, -1 = outs); used to compute the
+        #: block's window-residency requirements (eager spill/fill)
+        self.win_src: tuple = ()
+        self.win_dst: tuple = ()
+        #: signed call depth at execution relative to the block entry
+        #: (negative = deeper, assigned by the Scheduler Unit)
+        self.depth = 0
+        #: substitutable source operands: tuple of (field, physical loc)
+        #: where field is 'rs1' | 'rs2' | 'rd' | 'cc'.  The Scheduler Unit
+        #: redirects these to the newest renaming register of the location
+        #: (the paper's Figure 2 shows ``subcc r32, ...`` -- consumers read
+        #: the rename, which is what makes splits shorten critical paths).
+        self.src_fields: Tuple = ()
+        self.base_reads: Optional[frozenset] = None
+        self.rs1_rr: Optional[int] = None
+        self.rs2_rr: Optional[int] = None
+        self.rddata_rr: Optional[int] = None
+        self.ccsrc_rr: Optional[int] = None
+        #: set by split_candidate: [(original loc, new rename loc), ...]
+        self.rename_updates: Optional[List[Tuple[int, int]]] = None
+
+    # -- classification -------------------------------------------------------
+    @property
+    def is_branch(self) -> bool:
+        return self.xkind in (X_BRANCH, X_JMPL)
+
+    @property
+    def is_copy(self) -> bool:
+        return self.xkind == X_COPY
+
+    @property
+    def commits_memory(self) -> bool:
+        """True for memory COPY ops (they perform the actual store)."""
+        return self.xkind == X_COPY and any(
+            act[0] == "mem" for act in self.copy_actions or ()
+        )
+
+    @property
+    def is_mem_effect(self) -> bool:
+        """Reads or writes memory when executed (split stores do not --
+        their effect happens at the memory COPY)."""
+        return self.is_load or self.is_store_effect
+
+    def text(self) -> str:
+        if self.xkind == X_COPY:
+            parts = []
+            for act in self.copy_actions or []:
+                parts.append("%s%s->%s" % (act[0], act[1], act[2:]))
+            return "COPY " + ", ".join(parts)
+        base = self.instr.text()
+        extra = []
+        for field, rr in (
+            ("rs1", self.rs1_rr),
+            ("rs2", self.rs2_rr),
+            ("rd", self.rddata_rr),
+            ("cc", self.ccsrc_rr),
+        ):
+            if rr is not None:
+                extra.append("%s<-rr%d" % (field, rr))
+        if self.dst_rr is not None:
+            extra.append("rd->rr%d" % self.dst_rr)
+        if self.cc_rr is not None:
+            extra.append("cc->crr%d" % self.cc_rr)
+        if self.mem_rr is not None:
+            extra.append("mem->mrr%d" % self.mem_rr)
+        if self.tag_depth:
+            extra.append("tag%d" % self.tag_depth)
+        return base + (" {%s}" % ",".join(extra) if extra else "")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "SchedOp(%s)" % self.text()
+
+
+def build_sched_op(instr: Instr, info: StepInfo, rf, cwp_after: int) -> SchedOp:
+    """Create a :class:`SchedOp` from one completed Primary execution.
+
+    ``info`` is the :class:`StepInfo` produced by ``semantics.step``;
+    ``rf`` supplies the window tables; ``cwp_after`` is the window pointer
+    after the instruction executed.
+    """
+    op = instr.op
+    kind = op.kind
+    xkind = _KIND_TO_X.get(kind)
+    if xkind is None:
+        raise SimError("unschedulable kind for %s" % instr.text())
+    so = SchedOp(instr, xkind, op.fu, op.latency)
+    cwp_before = info.cwp_before
+    so.cwp_src = cwp_before
+    so.cwp_dst = cwp_after
+    table_src = rf.tables[cwp_before]
+    table_dst = rf.tables[cwp_after]
+
+    reads = []
+    writes = []
+
+    if kind == K_ALU:
+        reads.append(table_src[instr.rs1])
+        if not instr.use_imm:
+            reads.append(table_src[instr.rs2])
+        d = table_src[instr.rd]
+        if d:
+            writes.append(d)
+        if op.sets_cc:
+            writes.append(CC_ID)
+    elif kind == K_SETHI:
+        d = table_src[instr.rd]
+        if d:
+            writes.append(d)
+    elif kind == K_LOAD:
+        reads.append(table_src[instr.rs1])
+        if not instr.use_imm:
+            reads.append(table_src[instr.rs2])
+        reads.append(mem_loc(info.mem_addr))
+        d = table_src[instr.rd]
+        if d:
+            writes.append(d)
+        so.is_load = True
+        so.mem_addr = info.mem_addr
+        so.mem_size = info.mem_size
+    elif kind == K_STORE:
+        reads.append(table_src[instr.rs1])
+        if not instr.use_imm:
+            reads.append(table_src[instr.rs2])
+        reads.append(table_src[instr.rd])
+        writes.append(mem_loc(info.mem_addr))
+        so.is_store_effect = True
+        so.mem_addr = info.mem_addr
+        so.mem_size = info.mem_size
+    elif kind == K_BRANCH:
+        if op.reads_cc:
+            reads.append(CC_ID)
+        so.taken = info.taken
+        so.target = info.target
+        so.no_split = True
+    elif kind == K_CALL:
+        d = table_src[15]  # o7
+        writes.append(d)
+        so.taken = True
+        so.target = info.target
+    elif kind == K_JMPL:
+        reads.append(table_src[instr.rs1])
+        d = table_src[instr.rd]
+        if d:
+            writes.append(d)
+        so.taken = True
+        so.target = info.target
+        so.no_split = True
+    elif kind in (K_SAVE, K_RESTORE):
+        reads.append(table_src[instr.rs1])
+        if not instr.use_imm:
+            reads.append(table_src[instr.rs2])
+        reads.append(CWP_ID)
+        writes.append(CWP_ID)
+        d = table_dst[instr.rd]  # destination is in the NEW window
+        if d:
+            writes.append(d)
+        so.no_split = True  # the cwp change cannot be renamed
+    elif kind == K_FPOP:
+        name = op.name
+        if name == "fitos":
+            reads.append(table_src[instr.rs1])
+            writes.append(fp_loc(instr.rd))
+        elif name == "fstoi":
+            reads.append(fp_loc(instr.rs1))
+            d = table_src[instr.rd]
+            if d:
+                writes.append(d)
+        elif name == "fcmp":
+            reads.append(fp_loc(instr.rs1))
+            reads.append(fp_loc(instr.rs2))
+            writes.append(CC_ID)
+        elif name in ("fmov", "fneg"):
+            reads.append(fp_loc(instr.rs1))
+            writes.append(fp_loc(instr.rd))
+        else:
+            reads.append(fp_loc(instr.rs1))
+            reads.append(fp_loc(instr.rs2))
+            writes.append(fp_loc(instr.rd))
+    elif kind == K_FLOAD:
+        reads.append(table_src[instr.rs1])
+        if not instr.use_imm:
+            reads.append(table_src[instr.rs2])
+        reads.append(mem_loc(info.mem_addr))
+        writes.append(fp_loc(instr.rd))
+        so.is_load = True
+        so.mem_addr = info.mem_addr
+        so.mem_size = 4
+    elif kind == K_FSTORE:
+        reads.append(table_src[instr.rs1])
+        if not instr.use_imm:
+            reads.append(table_src[instr.rs2])
+        reads.append(fp_loc(instr.rd))
+        writes.append(mem_loc(info.mem_addr))
+        so.is_store_effect = True
+        so.mem_addr = info.mem_addr
+        so.mem_size = 4
+
+    # Record the visible integer destination for window-relative renaming.
+    if kind in (K_ALU, K_SETHI, K_LOAD, K_JMPL, K_SAVE, K_RESTORE):
+        if instr.rd != 0:
+            so.int_dst_visible = instr.rd
+    elif kind == K_CALL:
+        so.int_dst_visible = 15  # o7
+    elif kind == K_FPOP and op.name == "fstoi" and instr.rd != 0:
+        so.int_dst_visible = instr.rd
+
+    # Window offsets of integer register accesses (for the block's window
+    # residency requirements): 0 for ins/locals, -1 for outs (the outs of a
+    # window physically live one window below).
+    src_wins = []
+    src_regs = []
+    if kind in (K_ALU, K_LOAD, K_STORE, K_JMPL, K_SAVE, K_RESTORE, K_FLOAD, K_FSTORE):
+        src_regs.append(instr.rs1)
+        if (
+            kind in (K_ALU, K_SAVE, K_RESTORE, K_LOAD, K_STORE, K_FLOAD, K_FSTORE)
+            and not instr.use_imm
+        ):
+            src_regs.append(instr.rs2)
+    if kind == K_STORE:
+        src_regs.append(instr.rd)
+    if kind == K_FPOP and op.name == "fitos":
+        src_regs.append(instr.rs1)
+    for v in src_regs:
+        if 8 <= v <= 15:
+            src_wins.append(-1)
+        elif v >= 16:
+            src_wins.append(0)
+    so.win_src = tuple(src_wins)
+    v = so.int_dst_visible
+    if v is not None:
+        so.win_dst = ((-1,) if 8 <= v <= 15 else (0,) if v >= 16 else ())
+
+    # Substitutable source fields (physical locations) for the scheduler's
+    # rename map.
+    src_fields = []
+    if kind in (K_ALU, K_LOAD, K_STORE, K_JMPL, K_SAVE, K_RESTORE, K_FLOAD, K_FSTORE):
+        if table_src[instr.rs1]:
+            src_fields.append(("rs1", table_src[instr.rs1]))
+        if (
+            not instr.use_imm
+            and kind != K_JMPL
+            and table_src[instr.rs2]
+        ):
+            src_fields.append(("rs2", table_src[instr.rs2]))
+    if kind == K_STORE and table_src[instr.rd]:
+        src_fields.append(("rd", table_src[instr.rd]))
+    elif kind == K_FSTORE:
+        src_fields.append(("rd", fp_loc(instr.rd)))
+    elif kind == K_BRANCH and op.reads_cc:
+        src_fields.append(("cc", CC_ID))
+    elif kind == K_FPOP:
+        name = op.name
+        if name == "fitos":
+            if table_src[instr.rs1]:
+                src_fields.append(("rs1", table_src[instr.rs1]))
+        elif name in ("fstoi", "fmov", "fneg"):
+            src_fields.append(("rs1", fp_loc(instr.rs1)))
+        else:  # fadd/fsub/fmul/fdiv/fcmp
+            src_fields.append(("rs1", fp_loc(instr.rs1)))
+            src_fields.append(("rs2", fp_loc(instr.rs2)))
+    so.src_fields = tuple(src_fields)
+
+    # g0 reads are harmless (nothing ever writes physical register 0) but
+    # excluding them keeps the dependence sets minimal.
+    so.reads = frozenset(r for r in reads if r != 0)
+    so.writes = frozenset(writes)
+    if not so.writes and not so.is_branch:
+        # Nothing to rename: an op with no outputs cannot be split (and a
+        # speculative faulting load would have nowhere to defer into).
+        so.no_split = True
+    return so
+
+
+def make_copy_op(actions: List[Tuple], fu: int) -> SchedOp:
+    """Build a COPY operation committing renamed outputs (section 3.2).
+
+    ``actions`` entries:
+
+    * ``("int", rr, visible_rd, cwp_delta)`` -- integer rename -> register
+    * ``("irr", rr_src, rr_dst)``            -- rename -> earlier rename
+    * ``("fp", rr, f)``                      -- fp rename -> fp register
+    * ``("frr", rr_src, rr_dst)``
+    * ``("cc", rr)``                         -- cc rename -> icc
+    * ``("crr", rr_src, rr_dst)``
+    * ``("mem", mrr)``                       -- store buffer -> memory
+    * ``("mrr", mrr_src, mrr_dst)``
+    """
+    so = SchedOp(None, X_COPY, fu, 1)
+    so.copy_actions = actions
+    return so

@@ -1,0 +1,223 @@
+"""Split-based register renaming (section 3.2 / 3.8).
+
+A *split* renames the candidate's offending outputs to fresh renaming
+registers and turns its companion into a COPY pinned in the long instruction
+the candidate is leaving.  The COPY commits the renamed values to the
+original destinations; because only committed COPYs write architectural
+state, the renamed instruction may execute speculatively above conditional
+and indirect branches, with exceptions deferred in the renaming register
+(section 3.8).
+
+Renaming registers come in four classes -- integer, floating point,
+condition-code and memory (store buffers) -- matching the Table 3 resource
+columns.  Pools are per-block: the scheduling list is the lifetime of every
+rename.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.errors import SimError
+from ..isa.registers import (
+    CC_ID,
+    CRR_BASE,
+    CWP_ID,
+    FPR_BASE,
+    FRR_BASE,
+    IRR_BASE,
+    MEM_BASE,
+    MRR_BASE,
+)
+from .ops import SchedOp, make_copy_op
+
+
+def irr_loc(k: int) -> int:
+    return IRR_BASE + k
+
+
+def frr_loc(k: int) -> int:
+    return FRR_BASE + k
+
+
+def crr_loc(k: int) -> int:
+    return CRR_BASE + k
+
+
+def mrr_loc(k: int) -> int:
+    return MRR_BASE + k
+
+
+# location classes
+_INT, _FP, _CC, _MEM = 0, 1, 2, 3
+
+
+def _classify(w: int) -> Tuple[int, str]:
+    """-> (rename class, location kind) for an output location id."""
+    if w < IRR_BASE:
+        return _INT, "arch_int"
+    if IRR_BASE <= w < FPR_BASE:
+        return _INT, "irr"
+    if FPR_BASE <= w < FRR_BASE:
+        return _FP, "arch_fp"
+    if FRR_BASE <= w < CC_ID:
+        return _FP, "frr"
+    if w == CC_ID:
+        return _CC, "arch_cc"
+    if CRR_BASE <= w < CWP_ID:
+        return _CC, "crr"
+    if CWP_ID <= w < MRR_BASE:
+        raise SimError("location %d (cwp/memseq) cannot be renamed" % w)
+    if MRR_BASE <= w < MEM_BASE:
+        return _MEM, "mrr"
+    return _MEM, "mem"
+
+
+class RenamePools:
+    """Per-block renaming register allocator with high-water tracking."""
+
+    __slots__ = ("counts", "limits")
+
+    def __init__(
+        self,
+        limit_int: Optional[int] = None,
+        limit_fp: Optional[int] = None,
+        limit_cc: Optional[int] = None,
+        limit_mem: Optional[int] = None,
+    ):
+        self.counts = [0, 0, 0, 0]
+        self.limits = [limit_int, limit_fp, limit_cc, limit_mem]
+
+    def reset(self) -> None:
+        self.counts = [0, 0, 0, 0]
+
+    @property
+    def n_int(self) -> int:
+        return self.counts[_INT]
+
+    @property
+    def n_fp(self) -> int:
+        return self.counts[_FP]
+
+    @property
+    def n_cc(self) -> int:
+        return self.counts[_CC]
+
+    @property
+    def n_mem(self) -> int:
+        return self.counts[_MEM]
+
+    def can_alloc(self, needs: List[int]) -> bool:
+        for cls in range(4):
+            limit = self.limits[cls]
+            if limit is not None and self.counts[cls] + needs[cls] > limit:
+                return False
+        return True
+
+    def alloc(self, cls: int) -> int:
+        k = self.counts[cls]
+        self.counts[cls] = k + 1
+        return k
+
+
+def split_candidate(
+    cand: SchedOp,
+    offending: set,
+    rename_all: bool,
+    pools: RenamePools,
+) -> Optional[SchedOp]:
+    """Rename the candidate's outputs; return the COPY op to pin behind.
+
+    ``offending`` is the set of output locations that caused the anti/output
+    dependency; with ``rename_all`` (control dependency) every output is
+    renamed.  Returns ``None`` -- the split is impossible (renaming pool
+    exhausted or nothing to rename) and the candidate must install instead --
+    without mutating the candidate or the pools.
+    """
+    to_rename = [
+        w for w in cand.writes if rename_all or w in offending
+    ]
+    if not to_rename:
+        return None
+
+    # Check pool capacity up front so failure has no side effects.
+    needs = [0, 0, 0, 0]
+    for w in to_rename:
+        needs[_classify(w)[0]] += 1
+    if not pools.can_alloc(needs):
+        return None
+
+    actions: List[Tuple] = []
+    copy_reads = set()
+    copy_writes = set()
+    new_writes = set(cand.writes)
+    mem_effect_copy = False
+    rename_updates: List[Tuple[int, int]] = []
+
+    for w in to_rename:
+        cls, kind = _classify(w)
+        k = pools.alloc(cls)
+        new_writes.discard(w)
+        if cls != _MEM:
+            # later readers are redirected to the newest rename (Figure 2's
+            # ``subcc r32, ...``); memory reads are never redirected
+            new_loc = (
+                irr_loc(k) if cls == _INT else frr_loc(k) if cls == _FP else crr_loc(k)
+            )
+            rename_updates.append((w, new_loc))
+        if cls == _INT:
+            new_writes.add(irr_loc(k))
+            copy_reads.add(irr_loc(k))
+            copy_writes.add(w)
+            if kind == "irr":
+                actions.append(("irr", k, w - IRR_BASE))
+            else:
+                # Window-relative destination: (visible reg, cwp delta).
+                if cand.int_dst_visible is None:
+                    raise SimError(
+                        "split of %s: integer output without a visible "
+                        "destination" % cand.text()
+                    )
+                actions.append(
+                    ("int", k, cand.int_dst_visible, cand.cwp_delta_dst)
+                )
+            cand.dst_rr = k
+        elif cls == _FP:
+            new_writes.add(frr_loc(k))
+            copy_reads.add(frr_loc(k))
+            copy_writes.add(w)
+            actions.append(
+                ("frr", k, w - FRR_BASE) if kind == "frr" else ("fp", k, w - FPR_BASE)
+            )
+            cand.dst_rr = k
+        elif cls == _CC:
+            new_writes.add(crr_loc(k))
+            copy_reads.add(crr_loc(k))
+            copy_writes.add(w)
+            actions.append(("crr", k, w - CRR_BASE) if kind == "crr" else ("cc", k))
+            cand.cc_rr = k
+        else:  # memory word or an existing store buffer
+            new_writes.add(mrr_loc(k))
+            copy_reads.add(mrr_loc(k))
+            copy_writes.add(w)
+            actions.append(("mrr", k, w - MRR_BASE) if kind == "mrr" else ("mem", k))
+            cand.mem_rr = k
+            if kind == "mem":
+                mem_effect_copy = True
+
+    cand.writes = frozenset(new_writes)
+
+    copy = make_copy_op(actions, cand.fu)
+    copy.reads = frozenset(copy_reads)
+    copy.writes = frozenset(copy_writes)
+    copy.addr = cand.addr
+    copy.rename_updates = rename_updates
+    if mem_effect_copy:
+        # The actual memory write now happens at the COPY (the renamed
+        # store only fills a buffer); aliasing bookkeeping moves with it.
+        copy.is_store_effect = True
+        copy.mem_addr = cand.mem_addr
+        copy.mem_size = cand.mem_size
+        copy.order = cand.order
+        cand.is_store_effect = False
+    return copy

@@ -1,0 +1,542 @@
+"""The Scheduler Unit: a hardware FCFS list scheduler (sections 3.1-3.3, 3.7-3.10).
+
+Completed instructions arrive from the Primary Processor strictly in program
+order, one per cycle at most.  Each is inserted at the tail of the
+*scheduling list*; on every following cycle its *candidate* copy moves one
+element up until a dependence or resource conflict installs it.  The
+install/split decisions are computed with the carry-lookahead recurrences of
+section 3.7::
+
+    install(0) = 1
+    install(i) = Td(i) | Rd(i) | ((CTd(i) | CRd(i)) & install(i-1))
+    split(i)   = Od(i) | Ad(i) | Cd(i) | (COd(i) & install(i-1))
+
+where the plain signals compare the candidate against *installed* operations
+(Td/Rd/Od against long instruction ``i-1``, Ad/Cd against the candidate's own
+long instruction ``i``) and the C-prefixed ones against the candidate of
+element ``i-1`` alone.  Install wins over split; a candidate that does
+neither moves up.
+
+The circular head/tail/output-pointer organisation of section 3.2 is
+modelled with flush-at-once semantics: because instructions are inserted at
+most one per cycle while the old block drains one long instruction per
+cycle, the tail can never overrun the output pointer, so draining never
+stalls the Primary Processor and block contents are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.config import MachineConfig
+from ..core.errors import SimError
+from ..core.stats import Stats
+from ..isa.registers import MEMSEQ_ID
+from .long_instruction import Block, LongInstruction
+from .ops import SchedOp
+from .renaming import RenamePools, split_candidate
+
+#: flush reasons (recorded in stats)
+FLUSH_FULL = "full"
+FLUSH_HIT = "hit"
+FLUSH_NONSCHED = "nonsched"
+FLUSH_DRAIN = "drain"
+
+
+class Entry:
+    """One scheduling-list element: a long instruction plus its candidate.
+
+    The element's line-index field (section 3.3) equals its position from
+    the head because blocks are built head-first and elements are only
+    retired wholesale at a flush.
+    """
+
+    __slots__ = ("li", "candidate")
+
+    def __init__(self, li: LongInstruction):
+        self.li = li
+        self.candidate: Optional[SchedOp] = None
+
+
+class SchedulerUnit:
+    def __init__(self, cfg: MachineConfig, stats: Stats):
+        self.cfg = cfg
+        self.stats = stats
+        self.entries: List[Entry] = []
+        self.pools = RenamePools(
+            cfg.int_renaming_limit,
+            cfg.fp_renaming_limit,
+            cfg.cc_renaming_limit,
+            cfg.mem_renaming_limit,
+        )
+        self.block_start_addr = 0
+        self.block_entry_cwp = 0
+        self.ls_order = 0  # load/store order counter (section 3.10)
+        self.keep_mem_order = False
+        self.n_candidates = 0
+        self.has_multicycle = False
+        self.max_latency = 1
+        #: block start addresses that previously raised aliasing exceptions
+        self.alias_addrs: set = set()
+        # signed call depth within the block and the window-residency
+        # requirements it accumulates (eager spill/fill at VLIW block entry)
+        self.signed_depth = 0
+        self.req_canrestore = 0
+        self.req_cansave = 0
+        #: newest live rename of each architectural location in the block
+        #: (readers are redirected here -- the paper's Figure 2 shows
+        #: ``subcc r32, ...`` reading a renaming register)
+        self.rename_map: dict = {}
+        #: newest writer op of each architectural location: a split only
+        #: publishes its rename when the candidate is still the newest
+        #: definition (a later instruction may have redefined the location)
+        self.newest_writer: dict = {}
+
+    # --------------------------------------------------------------- queries
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    # ----------------------------------------------------------------- clock
+    def tick(self, cycles: int) -> None:
+        """Advance candidate movement by ``cycles`` scheduler clocks."""
+        for _ in range(cycles):
+            if self.n_candidates == 0:
+                return
+            self._resolve_candidates()
+
+    def _resolve_candidates(self) -> None:
+        """One parallel step: every candidate installs, splits or moves up."""
+        entries = self.entries
+        decisions = []  # (p, cand, action, offending_set)
+        # ``prev_stays`` gates the C-signals: the candidate of the element
+        # above keeps its footprint in that long instruction when it
+        # installs *or splits* (the paper's formulas use install(i-1) alone;
+        # a split leaves the COPY in the companion slot writing the original
+        # locations, so it must gate identically -- see DESIGN.md).
+        prev_stays = True
+        prev_cand: Optional[SchedOp] = None
+
+        for p, entry in enumerate(entries):
+            cand = entry.candidate
+            if cand is None:
+                prev_stays = False
+                prev_cand = None
+                continue
+            if p == 0:
+                decisions.append((p, cand, "install", None))
+                prev_stays = True
+                prev_cand = cand  # its companion footprint still gates entry 1
+                continue
+            above = entries[p - 1]
+            ali = above.li
+
+            td = bool(cand.reads & ali.installed_writes)
+            if not td and self.has_multicycle:
+                td = self._latency_violation(p, cand)
+            od_set = cand.writes & ali.installed_writes
+            ad_set = cand.writes & entry.li.installed_reads
+            cd = entry.li.num_branches > 0
+
+            # resource signals
+            free = ali.count_free_slots(cand)
+            rd = False
+            crd = False
+            if free == 0:
+                if (
+                    prev_cand is not None
+                    and prev_cand.slot >= 0
+                    and ali.slot_ok(prev_cand.slot, cand)
+                ):
+                    crd = True
+                else:
+                    rd = True
+
+            ctd = prev_cand is not None and bool(cand.reads & prev_cand.writes)
+            cod_set = (
+                (cand.writes & prev_cand.writes) if prev_cand is not None else set()
+            )
+
+            install = td or rd or ((ctd or crd) and prev_stays)
+            split = bool(od_set or ad_set or cd or (cod_set and prev_stays))
+
+            if install:
+                decisions.append((p, cand, "install", None))
+                prev_stays = True
+            elif split:
+                offending = set(od_set)
+                if cod_set and prev_stays:
+                    offending |= cod_set
+                decisions.append((p, cand, "split", (offending, set(ad_set), cd)))
+                prev_stays = True  # the COPY keeps the slot and the writes
+            else:
+                decisions.append((p, cand, "move", None))
+                prev_stays = False
+            prev_cand = cand
+
+        # Apply head-side first so slots freed by a move become visible to
+        # the candidate right below (the signal chain already accounted
+        # for occupancy).
+        for p, cand, action, extra in decisions:
+            entry = entries[p]
+            if action == "install":
+                self._install(entry, cand)
+            elif action == "move":
+                self._move_up(p, cand)
+            else:
+                self._split_and_move(p, cand, extra)
+
+    def _latency_violation(self, p: int, cand: SchedOp) -> bool:
+        """Multicycle-aware flow check: moving to ``p-1`` must keep the
+        candidate at least ``latency`` long instructions below each
+        producer ([14])."""
+        # After moving to p-1, the distance to a producer in entry p-m is
+        # m-1, so any producer there with latency >= m blocks the move.
+        for m in range(1, min(self.max_latency, p) + 1):
+            lw = self.entries[p - m].li.lat_writes
+            if m == 1:
+                if cand.reads & self.entries[p - 1].li.installed_writes:
+                    return True
+            if lw:
+                for loc in cand.reads:
+                    if lw.get(loc, 0) >= m:
+                        return True
+        return False
+
+    # ------------------------------------------------------------- mutations
+    def _install(self, entry: Entry, cand: SchedOp) -> None:
+        entry.li.install(cand)
+        entry.candidate = None
+        self.n_candidates -= 1
+        self.stats.installs_on_dependence += 1
+
+    def _move_up(self, p: int, cand: SchedOp) -> None:
+        entries = self.entries
+        entry = entries[p]
+        above = entries[p - 1]
+        # cross bit (section 3.10): the op is leaving a long instruction
+        # whose memory effects it will now precede in execution order.
+        li = entry.li
+        if cand.is_load and li.mem_effect_stores > 0:
+            cand.cross = True
+        elif cand.is_store_effect and (
+            li.mem_effect_stores > 0 or li.mem_effect_loads > 0
+        ):
+            cand.cross = True
+        slot = above.li.find_free_slot(cand)
+        if slot < 0:
+            raise SimError("scheduler: move-up with no free slot (signal bug)")
+        li.remove_companion(cand.slot)
+        above.li.place_companion(cand, slot)
+        cand.tag_depth = above.li.num_branches
+        if above.candidate is not None:
+            raise SimError("scheduler: two candidates in one element")
+        above.candidate = cand
+        entry.candidate = None
+        self.stats.moves += 1
+
+    def _split_and_move(self, p: int, cand: SchedOp, extra) -> None:
+        offending_out, offending_anti, cd = extra
+        if cand.no_split:
+            self._install(self.entries[p], cand)
+            return
+        copy = split_candidate(
+            cand, offending_out | offending_anti, rename_all=cd, pools=self.pools
+        )
+        if copy is None:
+            # Renaming impossible (pool exhausted / nothing to rename).
+            self._install(self.entries[p], cand)
+            return
+        entry = self.entries[p]
+        li = entry.li
+        # The COPY takes over the companion's slot, permanently.
+        copy.slot = cand.slot
+        copy.tag_depth = cand.tag_depth
+        li.slots[cand.slot] = copy
+        li.install(copy)
+        cand.slot = copy.slot  # candidate keeps the slot id until re-placed
+        # future readers of the renamed locations read the rename directly,
+        # but only while this candidate is still the newest definition
+        from ..isa.registers import IRR_BASE
+
+        for orig, new in copy.rename_updates or ():
+            if orig >= IRR_BASE:  # a re-split: retarget existing mappings
+                for key, val in list(self.rename_map.items()):
+                    if val == orig:
+                        self.rename_map[key] = new
+            elif self.newest_writer.get(orig) is cand:
+                self.rename_map[orig] = new
+        self.stats.splits += 1
+        # Now move the renamed candidate up.
+        above = self.entries[p - 1]
+        if cand.is_load and li.mem_effect_stores > 0:
+            cand.cross = True
+        elif cand.is_store_effect and (
+            li.mem_effect_stores > 0 or li.mem_effect_loads > 0
+        ):
+            cand.cross = True
+        slot = above.li.find_free_slot(cand)
+        if slot < 0:
+            raise SimError("scheduler: split move-up with no free slot")
+        above.li.place_companion(cand, slot)
+        cand.tag_depth = above.li.num_branches
+        if above.candidate is not None:
+            raise SimError("scheduler: two candidates in one element (split)")
+        above.candidate = cand
+        entry.candidate = None
+        self.stats.moves += 1
+
+    # ------------------------------------------------------------- insertion
+    def insert(self, op: SchedOp) -> Optional[Block]:
+        """Insert one completed instruction; may flush a full block.
+
+        Returns the flushed :class:`Block` when insertion found the list
+        full (the incoming op then starts a fresh block), else None.
+        """
+        flushed = None
+        if op.base_reads is None:
+            op.base_reads = op.reads
+        if self.entries:
+            self._substitute_sources(op)
+            self._apply_mem_order(op)
+            tail = self.entries[-1]
+            if (
+                self._fits_tail(op, tail)
+                and self._mc_pad(op, len(self.entries) - 1) == 0
+            ):
+                self._place(op, tail)
+                return None
+            pad = self._mc_pad(op, len(self.entries))
+            if len(self.entries) + pad >= self.cfg.block_height:
+                flushed = self.flush(FLUSH_FULL, op.addr)
+            else:
+                for _ in range(pad):
+                    # empty long instructions keep the consumer a full
+                    # latency below its multicycle producer ([14]); they
+                    # execute as bubbles -- the honest cost of the latency
+                    self.entries.append(
+                        Entry(
+                            LongInstruction(
+                                self.cfg.block_width, self.cfg.slot_classes
+                            )
+                        )
+                    )
+        if not self.entries:
+            self._start_block(op)
+            self._substitute_sources(op)  # empty map: restores originals
+            self._apply_mem_order(op)
+        self._open_entry(op)
+        return flushed
+
+    def _mc_pad(self, op: SchedOp, idx: int) -> int:
+        """Extra empty elements needed so that placing ``op`` at element
+        ``idx`` respects every multicycle producer's latency."""
+        if not self.has_multicycle:
+            return 0
+        need = 0
+        lo = max(0, idx - self.max_latency)
+        hi = min(idx, len(self.entries))
+        for j in range(lo, hi):
+            lw = self.entries[j].li.lat_writes
+            if not lw:
+                continue
+            for r in op.reads:
+                lat = lw.get(r)
+                if lat and j + lat > idx + need:
+                    need = j + lat - idx
+        return need
+
+    def _substitute_sources(self, op: SchedOp) -> None:
+        """Redirect source operands to the newest renames of their
+        locations.  Recomputed from ``base_reads`` so an op that triggers a
+        flush (and lands in a fresh block with an empty map) reverts to its
+        architectural sources."""
+        op.rs1_rr = op.rs2_rr = op.rddata_rr = op.ccsrc_rr = None
+        rmap = self.rename_map
+        if not rmap or not op.src_fields:
+            if op.reads is not op.base_reads:
+                op.reads = op.base_reads
+            return
+        reads = set(op.base_reads)
+        for field, loc in op.src_fields:
+            new = rmap.get(loc)
+            if new is None:
+                continue
+            reads.discard(loc)
+            reads.add(new)
+            k = new % 10_000  # index within its renaming file
+            if field == "rs1":
+                op.rs1_rr = k
+            elif field == "rs2":
+                op.rs2_rr = k
+            elif field == "rd":
+                op.rddata_rr = k
+            else:
+                op.ccsrc_rr = k
+        op.reads = frozenset(reads)
+
+    def _apply_mem_order(self, op: SchedOp) -> None:
+        """Reschedule-after-aliasing constraint (section 3.11): artificial
+        flow dependences through a pseudo-location keep every memory access
+        of the block in program order."""
+        if self.keep_mem_order and op.is_mem_effect and MEMSEQ_ID not in op.writes:
+            op.reads = op.reads | {MEMSEQ_ID}
+            op.writes = op.writes | {MEMSEQ_ID}
+            op.no_split = True
+
+    def _start_block(self, op: SchedOp) -> None:
+        self.block_start_addr = op.addr
+        self.block_entry_cwp = op.cwp_src
+        self.ls_order = 0
+        self.pools.reset()
+        self.has_multicycle = False
+        self.max_latency = 1
+        self.keep_mem_order = op.addr in self.alias_addrs
+        self.signed_depth = 0
+        self.req_canrestore = 0
+        self.req_cansave = 0
+        self.rename_map = {}
+        self.newest_writer = {}
+
+    def _fits_tail(self, op: SchedOp, tail: Entry) -> bool:
+        li = tail.li
+        if op.is_branch:
+            # Control transfers may share a long instruction (section 3.8);
+            # only data and resource dependencies force a new element.
+            if op.reads & li.installed_writes:
+                return False
+            if op.writes & (li.installed_reads | li.installed_writes):
+                return False
+            return li.find_free_slot(op) >= 0
+        if li.num_branches > 0:  # control dependency
+            return False
+        if op.reads & li.installed_writes:
+            return False
+        if op.writes & (li.installed_reads | li.installed_writes):
+            return False
+        return li.find_free_slot(op) >= 0
+
+    def _prepare(self, op: SchedOp) -> None:
+        nw = self.cfg.nwindows
+        op.cwp_delta_src = (op.cwp_src - self.block_entry_cwp) % nw
+        op.cwp_delta_dst = (op.cwp_dst - self.block_entry_cwp) % nw
+        # Window residency requirements: an op that was hoisted above the
+        # save/restore it follows in program order must still find its
+        # window's physical registers valid, so the block records how far
+        # above (resident ancestors) and below (free windows) the entry
+        # window it reaches; the VLIW Engine spills/fills eagerly at block
+        # entry to satisfy this (see DESIGN.md).
+        d = self.signed_depth
+        op.depth = d
+        from ..isa.instructions import K_RESTORE, K_SAVE
+
+        kind = op.instr.op.kind if op.instr is not None else None
+        dd = d - 1 if kind == K_SAVE else d + 1 if kind == K_RESTORE else d
+        for k in op.win_src:
+            self._note_window(d + k)
+        for k in op.win_dst:
+            self._note_window(dd + k)
+        if kind == K_SAVE:
+            self._note_window(d - 1)  # the window being entered
+            self.signed_depth = d - 1
+        elif kind == K_RESTORE:
+            self._note_window(d + 1)  # the parent frame being re-entered
+            self.signed_depth = d + 1
+        if op.is_mem_effect:
+            op.order = self.ls_order
+            self.ls_order += 1
+        # this op's (architectural) writes are now the newest definitions
+        for w in op.writes:
+            self.newest_writer[w] = op
+            if self.rename_map:
+                self.rename_map.pop(w, None)
+        if op.latency > 1 and self.cfg.multicycle:
+            self.has_multicycle = True
+            if op.latency > self.max_latency:
+                self.max_latency = op.latency
+        elif not self.cfg.multicycle:
+            op.latency = 1
+        self.stats.instructions_scheduled += 1
+
+    def _place(self, op: SchedOp, entry: Entry) -> None:
+        """Insert into an existing tail element."""
+        self._prepare(op)
+        slot = entry.li.find_free_slot(op)
+        entry.li.place_companion(op, slot)
+        op.tag_depth = entry.li.num_branches
+        if op.is_branch:
+            entry.li.install(op)  # branches never move (section 3.8)
+        else:
+            if entry.candidate is not None:
+                raise SimError("scheduler: tail candidate not resolved")
+            entry.candidate = op
+            self.n_candidates += 1
+
+    def _open_entry(self, op: SchedOp) -> None:
+        """Append a new tail element holding ``op``."""
+        self._prepare(op)
+        li = LongInstruction(self.cfg.block_width, self.cfg.slot_classes)
+        entry = Entry(li)
+        self.entries.append(entry)
+        slot = li.find_free_slot(op)
+        if slot < 0:
+            raise SimError(
+                "instruction %s fits no slot of an empty long instruction "
+                "(functional unit mix too restrictive)" % op.text()
+            )
+        li.place_companion(op, slot)
+        op.tag_depth = 0
+        if op.is_branch:
+            li.install(op)
+        else:
+            entry.candidate = op
+            self.n_candidates += 1
+
+    # ----------------------------------------------------------------- flush
+    def flush(self, reason: str, next_addr: int) -> Optional[Block]:
+        """Finalize and emit the current block (None when list is empty)."""
+        if not self.entries:
+            return None
+        for entry in self.entries:
+            if entry.candidate is not None:
+                entry.li.install(entry.candidate)
+                entry.candidate = None
+                self.n_candidates -= 1
+        block = Block(
+            self.block_start_addr,
+            [e.li for e in self.entries],
+            next_addr,
+            self.block_entry_cwp,
+            self.pools.n_int,
+            self.pools.n_fp,
+            self.pools.n_cc,
+            self.pools.n_mem,
+            keep_mem_order=self.keep_mem_order,
+            req_canrestore=self.req_canrestore,
+            req_cansave=self.req_cansave,
+        )
+        st = self.stats
+        st.blocks_flushed += 1
+        if reason == FLUSH_FULL:
+            st.blocks_flushed_full += 1
+        elif reason == FLUSH_HIT:
+            st.blocks_flushed_hit += 1
+        elif reason == FLUSH_NONSCHED:
+            st.blocks_flushed_nonsched += 1
+        st.long_instructions_saved += len(block.lis)
+        st.slots_filled += block.op_count()
+        st.slots_total += self.cfg.block_width * self.cfg.block_height
+        st.max_int_renaming = max(st.max_int_renaming, self.pools.n_int)
+        st.max_fp_renaming = max(st.max_fp_renaming, self.pools.n_fp)
+        st.max_cc_renaming = max(st.max_cc_renaming, self.pools.n_cc)
+        st.max_mem_renaming = max(st.max_mem_renaming, self.pools.n_mem)
+        self.entries = []
+        self.n_candidates = 0
+        return block
+
+    def _note_window(self, k: int) -> None:
+        """Record that the block touches window ``entry + k``."""
+        if k > 0 and k > self.req_canrestore:
+            self.req_canrestore = k
+        elif k < -1 and (-k - 1) > self.req_cansave:
+            self.req_cansave = -k - 1

@@ -1,0 +1,85 @@
+"""The VLIW Cache (section 3.4).
+
+Set-associative, LRU, with one *block* of long instructions per line,
+tagged with the ISA address of the first instruction the Scheduler Unit
+placed in the block.  Each line carries the ``nba`` (next block address)
+store: the fall-through block's start address plus the line index of the
+block's last valid long instruction, giving bubble-free block chaining
+during VLIW fetch (section 3.5).
+
+In this simulator the per-line nba is carried inside the :class:`Block`
+object (``nba_addr``/``nba_line``); the cache maps addresses to blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..scheduler.long_instruction import Block
+
+
+class VLIWCache:
+    __slots__ = ("num_sets", "assoc", "sets", "hits", "misses", "insertions")
+
+    def __init__(self, total_blocks: int, assoc: int):
+        if total_blocks < assoc:
+            assoc = max(1, total_blocks)
+        self.assoc = assoc
+        self.num_sets = max(1, total_blocks // assoc)
+        # Each set is a most-recently-used-first list of (tag, Block).
+        self.sets: List[List[Tuple[int, Block]]] = [
+            [] for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+
+    def _set_for(self, addr: int) -> List[Tuple[int, Block]]:
+        return self.sets[(addr >> 2) % self.num_sets]
+
+    def lookup(self, addr: int) -> Optional[Block]:
+        """Tag-match ``addr``; returns the block and refreshes LRU."""
+        s = self._set_for(addr)
+        for i, (tag, block) in enumerate(s):
+            if tag == addr:
+                self.hits += 1
+                if i:
+                    s.insert(0, s.pop(i))
+                return block
+        self.misses += 1
+        return None
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive presence check (does not touch LRU/stats)."""
+        s = self._set_for(addr)
+        return any(tag == addr for tag, _ in s)
+
+    def insert(self, block: Block) -> None:
+        """Write a flushed block; replaces a same-tag line, else LRU."""
+        addr = block.start_addr
+        s = self._set_for(addr)
+        for i, (tag, _) in enumerate(s):
+            if tag == addr:
+                s.pop(i)
+                break
+        s.insert(0, (addr, block))
+        if len(s) > self.assoc:
+            s.pop()
+        self.insertions += 1
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the block tagged ``addr``; True when it was resident."""
+        s = self._set_for(addr)
+        for i, (tag, _) in enumerate(s):
+            if tag == addr:
+                s.pop(i)
+                return True
+        return False
+
+    def flush_all(self) -> None:
+        for s in self.sets:
+            s.clear()
+
+    def resident_blocks(self) -> int:
+        """Total blocks currently cached (all sets)."""
+        return sum(len(s) for s in self.sets)

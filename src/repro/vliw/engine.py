@@ -1,0 +1,875 @@
+"""The VLIW Engine (sections 3.5, 3.8, 3.10, 3.11).
+
+Executes cached blocks one long instruction per cycle.  Each long
+instruction is processed in two phases, matching the hardware's
+read-then-write register file discipline:
+
+* **phase 1** -- every operation reads start-of-cycle state and computes its
+  results; conditional/indirect branches are evaluated against the direction
+  recorded during scheduling; architectural exceptions are captured, not
+  raised.
+* **phase 2** -- operations whose branch tags are valid (every control
+  transfer placed earlier in the same long instruction followed its recorded
+  direction) commit their writes; renamed outputs go to the block's renaming
+  registers, COPYs move renamed values to architectural state, stores write
+  memory under checkpoint protection, and the cross-bit/order-field aliasing
+  checks of section 3.10 run.
+
+A mispredicted branch annuls deeper-tagged operations, redirects the PC to
+the actual target (line index zero) and costs one bubble cycle.  Exceptions
+roll the whole block back via the Hwu/Patt checkpoint (shadow registers +
+checkpoint recovery store list) and are reported to the machine, which
+decides between aliasing-reschedule and exception-mode re-execution.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from ..core.config import MachineConfig
+from ..core.errors import AliasingException, ArchException, MemFault, SimError, WindowOverflow, WindowUnderflow
+from ..core.stats import Stats
+from ..isa.semantics import ALU_FUNCS, alu_cc, eval_cond, fcmp_cc, fp_compute, to_signed, to_unsigned
+from ..scheduler.long_instruction import Block
+from ..scheduler.ops import (
+    SchedOp,
+    X_ALU,
+    X_BRANCH,
+    X_CALL,
+    X_COPY,
+    X_FLOAD,
+    X_FPOP,
+    X_FSTORE,
+    X_JMPL,
+    X_LOAD,
+    X_RESTORE,
+    X_SAVE,
+    X_SETHI,
+    X_STORE,
+)
+
+MASK32 = 0xFFFFFFFF
+
+
+class WindowResidencyUnsatisfiable(ArchException):
+    """A block's window requirements cannot be met in the current machine
+    context (typically a block built deep in a call chain re-entered at a
+    shallower depth, where its recorded return would mispredict anyway).
+    The machine invalidates the block and rebuilds it from the real
+    context."""
+
+
+class WindowDivergence(ArchException):
+    """Raised when a mispredicted early exit leaves eager window fills
+    unconsumed: the occupancy counters no longer match the lazy sequential
+    semantics, so the block rolls back and the region re-executes on the
+    Primary Processor (exception mode)."""
+
+
+class _Exc:
+    """A deferred exception stored in a renaming register (section 3.8)."""
+
+    __slots__ = ("exception",)
+
+    def __init__(self, exception: ArchException):
+        self.exception = exception
+
+
+class BlockOutcome:
+    __slots__ = ("kind", "next_addr", "cycles", "exception", "fault_addr")
+
+    def __init__(self, kind, next_addr, cycles, exception=None, fault_addr=0):
+        self.kind = kind  # 'ok' | 'mispredict' | 'aliasing' | 'exception'
+        self.next_addr = next_addr
+        self.cycles = cycles
+        self.exception = exception
+        self.fault_addr = fault_addr
+
+
+class VLIWEngine:
+    def __init__(self, cfg: MachineConfig, rf, mem, dcache, stats: Stats):
+        self.cfg = cfg
+        self.rf = rf
+        self.mem = mem
+        self.dcache = dcache
+        self.stats = stats
+        # per-block state
+        self.int_rr: List = []
+        self.fp_rr: List = []
+        self.cc_rr: List = []
+        self.mem_rr: List = []
+        self.load_list: List[Tuple[int, int, int]] = []  # (addr, size, order)
+        self.store_list: List[Tuple[int, int, int]] = []
+        self.ckpt_list: List[Tuple[int, int, int]] = []  # (addr, size, old)
+        self.data_store_list: List[Tuple[int, int, int, int]] = []  # +order
+        self.entry_cwp = 0
+        self._tables = None
+        self._li_dcache_penalty = 0
+        self._li_extra_cycles = 0
+        self._eager_count = 0
+        self._sr_entry = (0, 0, 0)
+        self._sr_log: List[str] = []
+        self._redirect_branch_addr = 0
+
+    # ------------------------------------------------------------ top level
+    def execute_block(self, block: Block) -> BlockOutcome:
+        rf = self.rf
+        self.entry_cwp = rf.cwp
+        self._tables = rf.tables
+        self.int_rr = [None] * block.n_int_rr
+        self.fp_rr = [None] * block.n_fp_rr
+        self.cc_rr = [None] * block.n_cc_rr
+        self.mem_rr = [None] * block.n_mem_rr
+        self.load_list.clear()
+        self.store_list.clear()
+        self.ckpt_list.clear()
+        self.data_store_list.clear()
+
+        shadow = rf.snapshot()  # checkpoint (section 3.11)
+        cycles = 0
+        st = self.stats
+        st.vliw_block_entries += 1
+        self._eager_count = 0
+        self._sr_entry = (rf.cansave, rf.canrestore, rf.wssp)
+        self._sr_log = []
+        try:
+            # Window residency: hoisted operations may touch ancestor or
+            # descendant windows before the save/restore they follow in
+            # program order commits, so satisfy the block's requirements up
+            # front (checkpointed; counters converge exactly with the lazy
+            # sequential spill/fill semantics when the block runs to a
+            # point past the corresponding save/restore).
+            if (
+                block.req_canrestore > rf.canrestore
+                or block.req_cansave > rf.cansave
+            ):
+                self._li_extra_cycles = 0
+                self._satisfy_window_reqs(block)
+                cycles += self._li_extra_cycles
+            for li in block.lis:
+                cycles += 1
+                redirect = self._execute_li(li)
+                # dcache time: charged via self._li_dcache_penalty
+                if self._li_dcache_penalty:
+                    cycles += self._li_dcache_penalty
+                    st.dcache_stall_cycles += self._li_dcache_penalty
+                if self._li_extra_cycles:
+                    cycles += self._li_extra_cycles
+                if redirect is not None:
+                    if self._eager_count and not self._sr_converged():
+                        exc = WindowDivergence(
+                            "early exit with unconsumed eager window "
+                            "fills at 0x%x" % self._redirect_branch_addr
+                        )
+                        exc.fault_addr = self._redirect_branch_addr
+                        raise exc
+                    st.mispredicts += 1
+                    cycles += self.cfg.mispredict_penalty
+                    st.mispredict_cycles += self.cfg.mispredict_penalty
+                    self._drain_data_store_list()
+                    return BlockOutcome("mispredict", redirect, cycles)
+            self._drain_data_store_list()
+            return BlockOutcome("ok", block.nba_addr, cycles)
+        except ArchException as exc:
+            # Checkpoint recovery: restore registers, undo stores.
+            recovery = len(self.ckpt_list) + 4
+            for addr, size, old in reversed(self.ckpt_list):
+                if size == 4:
+                    self.mem.write_word(addr, old)
+                else:
+                    self.mem.write_byte(addr, old)
+            rf.restore(shadow)
+            cycles += recovery
+            fault_addr = getattr(exc, "fault_addr", 0)
+            kind = "aliasing" if isinstance(exc, AliasingException) else "exception"
+            if kind == "aliasing":
+                st.aliasing_exceptions += 1
+            else:
+                st.other_exceptions += 1
+            return BlockOutcome(kind, block.start_addr, cycles, exc, fault_addr)
+
+    # --------------------------------------------------------- long instr
+    def _execute_li(self, li) -> Optional[int]:
+        """Execute one long instruction; returns a redirect address on a
+        branch misprediction, else None."""
+        rf = self.rf
+        self._li_dcache_penalty = 0
+        self._li_extra_cycles = 0
+
+        ops = li.dense
+        results = []  # (op, payload) payload: ('ok', data) | ('exc', e)
+        branch_outcomes = {}  # id(op) -> (mismatch, actual_target)
+
+        for op in ops:
+            try:
+                payload = self._phase1(op)
+                results.append((op, ("ok", payload)))
+                if op.xkind == X_BRANCH or op.xkind == X_JMPL:
+                    branch_outcomes[id(op)] = payload[1]
+            except ArchException as e:
+                e.fault_addr = op.addr
+                results.append((op, ("exc", e)))
+                if op.xkind == X_BRANCH or op.xkind == X_JMPL:
+                    branch_outcomes[id(op)] = ("exc", e)
+
+        # Tag validation (section 3.8): find the first control transfer that
+        # deviates from its recorded direction.
+        limit = 1 << 30
+        redirect = None
+        for k, br in enumerate(li.branches):
+            outcome = branch_outcomes[id(br)]
+            if outcome[0] == "exc":
+                # A faulting control transfer with a valid tag is a real
+                # architectural exception (e.g. misaligned jmpl target).
+                raise outcome[1]
+            mismatch, actual = outcome
+            if mismatch:
+                limit = k
+                redirect = actual
+                self._redirect_branch_addr = br.addr
+                break
+
+        # Phase 2: commit ops whose tag is valid.
+        li_loads: List[Tuple[int, int, int]] = []
+        li_stores: List[Tuple[int, int, int]] = []
+        committed_mem: List[SchedOp] = []
+        st = self.stats
+        for op, (status, payload) in results:
+            st.vliw_ops_executed += 1
+            if op.tag_depth > limit:
+                st.speculative_annulled += 1
+                continue
+            st.vliw_ops_committed += 1
+            if status == "exc":
+                if self._all_outputs_renamed(op):
+                    self._defer(op, payload)
+                    continue
+                raise payload
+            try:
+                self._commit(op, payload, li_loads, li_stores, committed_mem)
+            except ArchException as e:
+                if not hasattr(e, "fault_addr"):
+                    e.fault_addr = op.addr
+                raise
+
+        # Aliasing detection (section 3.10).
+        if li_loads or li_stores:
+            self._aliasing_checks(li_loads, li_stores, committed_mem)
+
+        return redirect
+
+
+    # -- renamed-source fetch helpers (Figure 2: consumers read renames) ----
+    def _rr_int(self, k):
+        v = self.int_rr[k]
+        if type(v) is _Exc:
+            raise v.exception
+        if v is None:
+            raise SimError("read of unwritten integer renaming register %d" % k)
+        return v
+
+    def _rr_fp(self, k):
+        v = self.fp_rr[k]
+        if type(v) is _Exc:
+            raise v.exception
+        if v is None:
+            raise SimError("read of unwritten fp renaming register %d" % k)
+        return v
+
+    def _rr_cc(self, k):
+        v = self.cc_rr[k]
+        if type(v) is _Exc:
+            raise v.exception
+        if v is None:
+            raise SimError("read of unwritten cc renaming register %d" % k)
+        return v
+
+    # -------------------------------------------------------------- phase 1
+    def _phase1(self, op: SchedOp):
+        """Compute the op's results against start-of-cycle state."""
+        rf = self.rf
+        xk = op.xkind
+        if xk == X_COPY:
+            values = []
+            for act in op.copy_actions:
+                tag = act[0]
+                if tag in ("int", "irr"):
+                    values.append(self.int_rr[act[1]])
+                elif tag in ("fp", "frr"):
+                    values.append(self.fp_rr[act[1]])
+                elif tag in ("cc", "crr"):
+                    values.append(self.cc_rr[act[1]])
+                else:  # mem / mrr
+                    values.append(self.mem_rr[act[1]])
+            return values
+
+        instr = op.instr
+        nw = rf.nwindows
+        src_t = self._tables[(self.entry_cwp + op.cwp_delta_src) % nw]
+        iregs = rf.iregs
+
+        if xk == X_ALU:
+            a = (
+                self._rr_int(op.rs1_rr)
+                if op.rs1_rr is not None
+                else iregs[src_t[instr.rs1]]
+            )
+            if instr.use_imm:
+                b = instr.imm & MASK32
+            elif op.rs2_rr is not None:
+                b = self._rr_int(op.rs2_rr)
+            else:
+                b = iregs[src_t[instr.rs2]]
+            res = ALU_FUNCS[instr.op.name](a, b)
+            cc = alu_cc(instr.op.name, a, b, res) if instr.op.sets_cc else None
+            return (res, cc)
+        if xk == X_SETHI:
+            return ((instr.imm << 12) & MASK32, None)
+        if xk == X_LOAD:
+            base = (
+                self._rr_int(op.rs1_rr)
+                if op.rs1_rr is not None
+                else iregs[src_t[instr.rs1]]
+            )
+            if instr.use_imm:
+                off = instr.imm
+            elif op.rs2_rr is not None:
+                off = self._rr_int(op.rs2_rr)
+            else:
+                off = iregs[src_t[instr.rs2]]
+            addr = (base + off) & MASK32
+            penalty = self.dcache.access(addr)
+            if penalty > self._li_dcache_penalty:
+                self._li_dcache_penalty = penalty
+            val = self._load_value(addr, instr.op.name)
+            return (val, addr)
+        if xk == X_STORE:
+            base = (
+                self._rr_int(op.rs1_rr)
+                if op.rs1_rr is not None
+                else iregs[src_t[instr.rs1]]
+            )
+            if instr.use_imm:
+                off = instr.imm
+            elif op.rs2_rr is not None:
+                off = self._rr_int(op.rs2_rr)
+            else:
+                off = iregs[src_t[instr.rs2]]
+            addr = (base + off) & MASK32
+            val = (
+                self._rr_int(op.rddata_rr)
+                if op.rddata_rr is not None
+                else iregs[src_t[instr.rd]]
+            )
+            size = 4 if instr.op.name == "st" else 1
+            return (addr, size, val)
+        if xk == X_BRANCH:
+            cc = self._rr_cc(op.ccsrc_rr) if op.ccsrc_rr is not None else rf.icc
+            taken = eval_cond(instr.op.cond, cc)
+            actual = (
+                (instr.addr + instr.imm) & MASK32 if taken else instr.addr + 4
+            )
+            mismatch = taken != op.taken
+            return (None, (mismatch, actual))
+        if xk == X_JMPL:
+            base = (
+                self._rr_int(op.rs1_rr)
+                if op.rs1_rr is not None
+                else iregs[src_t[instr.rs1]]
+            )
+            target = (base + instr.imm) & MASK32
+            if target & 3:
+                raise MemFault(target, "misaligned jump target")
+            mismatch = target != op.target
+            return (instr.addr, (mismatch, target))
+        if xk == X_CALL:
+            return (instr.addr, None)
+        if xk in (X_SAVE, X_RESTORE):
+            a = (
+                self._rr_int(op.rs1_rr)
+                if op.rs1_rr is not None
+                else iregs[src_t[instr.rs1]]
+            )
+            if instr.use_imm:
+                b = instr.imm & MASK32
+            elif op.rs2_rr is not None:
+                b = self._rr_int(op.rs2_rr)
+            else:
+                b = iregs[src_t[instr.rs2]]
+            return ((a + b) & MASK32, None)
+        if xk == X_FPOP:
+            name = instr.op.name
+            fregs = rf.fregs
+            if name == "fitos":
+                a = (
+                    self._rr_int(op.rs1_rr)
+                    if op.rs1_rr is not None
+                    else iregs[src_t[instr.rs1]]
+                )
+                return (float(to_signed(a)), None)
+            fa = (
+                self._rr_fp(op.rs1_rr)
+                if op.rs1_rr is not None
+                else fregs[instr.rs1]
+            )
+            if name == "fstoi":
+                return (to_unsigned(int(fa)), None)
+            if name in ("fmov", "fneg"):
+                return (fp_compute(name, fa, 0.0), None)
+            fb = (
+                self._rr_fp(op.rs2_rr)
+                if op.rs2_rr is not None
+                else fregs[instr.rs2]
+            )
+            if name == "fcmp":
+                return (None, fcmp_cc(fa, fb))
+            return (fp_compute(name, fa, fb), None)
+        if xk == X_FLOAD:
+            base = (
+                self._rr_int(op.rs1_rr)
+                if op.rs1_rr is not None
+                else iregs[src_t[instr.rs1]]
+            )
+            if instr.use_imm:
+                off = instr.imm
+            elif op.rs2_rr is not None:
+                off = self._rr_int(op.rs2_rr)
+            else:
+                off = iregs[src_t[instr.rs2]]
+            addr = (base + off) & MASK32
+            penalty = self.dcache.access(addr)
+            if penalty > self._li_dcache_penalty:
+                self._li_dcache_penalty = penalty
+            return (self._load_float(addr), addr)
+        if xk == X_FSTORE:
+            base = (
+                self._rr_int(op.rs1_rr)
+                if op.rs1_rr is not None
+                else iregs[src_t[instr.rs1]]
+            )
+            if instr.use_imm:
+                off = instr.imm
+            elif op.rs2_rr is not None:
+                off = self._rr_int(op.rs2_rr)
+            else:
+                off = iregs[src_t[instr.rs2]]
+            addr = (base + off) & MASK32
+            data = (
+                self._rr_fp(op.rddata_rr)
+                if op.rddata_rr is not None
+                else rf.fregs[instr.rd]
+            )
+            return (addr, 4, data)
+        raise SimError("VLIW engine: unknown xkind %d" % xk)
+
+    def _load_value(self, addr: int, name: str) -> int:
+        if self.cfg.data_store_list:
+            hit = self._dsl_lookup(addr, 4 if name == "ld" else 1)
+            if hit is not None:
+                val = hit
+                if name == "ldsb" and val & 0x80:
+                    val |= 0xFFFFFF00
+                return val
+        if name == "ld":
+            return self.mem.read_word(addr)
+        val = self.mem.read_byte(addr)
+        if name == "ldsb" and val & 0x80:
+            val |= 0xFFFFFF00
+        return val
+
+    def _load_float(self, addr: int):
+        if self.cfg.data_store_list:
+            hit = self._dsl_lookup_raw(addr, 4)
+            if hit is not None:
+                import struct
+
+                return struct.unpack(">f", hit.to_bytes(4, "big"))[0]
+        return self.mem.read_float(addr)
+
+    # -------------------------------------------------------------- phase 2
+    def _commit(self, op: SchedOp, payload, li_loads, li_stores, committed_mem):
+        rf = self.rf
+        xk = op.xkind
+        nw = rf.nwindows
+
+        if xk == X_COPY:
+            values = payload
+            for act, value in zip(op.copy_actions, values):
+                if value is None:
+                    raise SimError(
+                        "COPY at 0x%x reads unwritten renaming register"
+                        % op.addr
+                    )
+                if isinstance(value, _Exc):
+                    raise value.exception
+                tag = act[0]
+                if tag == "int":
+                    _, _, visible, delta = act
+                    phys = self._tables[(self.entry_cwp + delta) % nw][visible]
+                    if phys:
+                        rf.iregs[phys] = value
+                elif tag == "irr":
+                    self.int_rr[act[2]] = value
+                elif tag == "fp":
+                    rf.fregs[act[2]] = value
+                elif tag == "frr":
+                    self.fp_rr[act[2]] = value
+                elif tag == "cc":
+                    rf.icc = value
+                elif tag == "crr":
+                    self.cc_rr[act[2]] = value
+                elif tag == "mem":
+                    addr, size, val = value
+                    self._do_store(addr, size, val)
+                    li_stores.append((addr, size, op.order))
+                    op.mem_addr = addr
+                    op.mem_size = size
+                    committed_mem.append(op)
+                elif tag == "mrr":
+                    self.mem_rr[act[2]] = value
+            self.stats.copies_executed += 1
+            return
+
+        if xk in (X_ALU, X_SETHI, X_CALL):
+            res, cc = payload
+            self._write_int(op, res)
+            if cc is not None:
+                self._write_cc(op, cc)
+            return
+        if xk == X_LOAD:
+            val, addr = payload
+            self._write_int(op, val)
+            li_loads.append((addr, op.mem_size, op.order))
+            op.mem_addr = addr  # execution-time address for list insertion
+            committed_mem.append(op)
+            return
+        if xk == X_STORE or xk == X_FSTORE:
+            addr, size, val = payload
+            if op.mem_rr is not None:
+                self.mem_rr[op.mem_rr] = (addr, size, val)
+                return
+            penalty = self.dcache.access(addr)
+            if penalty > self._li_dcache_penalty:
+                self._li_dcache_penalty = penalty
+            self._do_store(addr, size, val)
+            li_stores.append((addr, size, op.order))
+            op.mem_addr = addr
+            committed_mem.append(op)
+            return
+        if xk == X_BRANCH:
+            return  # direction handled by tag validation
+        if xk == X_JMPL:
+            res, _ = payload
+            self._write_int(op, res)
+            return
+        if xk == X_SAVE:
+            res, _ = payload
+            self._sr_log.append("s")
+            if rf.cansave == 0:
+                if not self.cfg.vliw_window_spill_inline:
+                    raise WindowOverflow("save at 0x%x" % op.addr)
+                self._inline_spill()
+            else:
+                rf.cansave -= 1
+                rf.canrestore += 1
+            rf.cwp = (rf.cwp - 1) % nw
+            self._write_int(op, res)
+            return
+        if xk == X_RESTORE:
+            res, _ = payload
+            self._sr_log.append("r")
+            if rf.canrestore == 0:
+                if not self.cfg.vliw_window_spill_inline:
+                    raise WindowUnderflow("restore at 0x%x" % op.addr)
+                self._inline_fill()
+            else:
+                rf.canrestore -= 1
+                rf.cansave += 1
+            rf.cwp = (rf.cwp + 1) % nw
+            self._write_int(op, res)
+            return
+        if xk == X_FPOP:
+            res, cc = payload
+            name = op.instr.op.name
+            if name == "fcmp":
+                self._write_cc(op, cc)
+            elif name == "fstoi":
+                self._write_int(op, res)
+            else:
+                self._write_fp(op, res)
+            return
+        if xk == X_FLOAD:
+            val, addr = payload
+            self._write_fp(op, val)
+            li_loads.append((addr, op.mem_size, op.order))
+            op.mem_addr = addr
+            committed_mem.append(op)
+            return
+        raise SimError("VLIW commit: unknown xkind %d" % xk)
+
+    # ------------------------------------------------------------- helpers
+    def _write_int(self, op: SchedOp, value: int, dst: bool = True) -> None:
+        if op.dst_rr is not None:
+            self.int_rr[op.dst_rr] = value
+            return
+        visible = op.int_dst_visible
+        if visible is None:
+            return  # destination was g0
+        # The destination delta differs from the source delta only for
+        # save/restore (which write into the new window).
+        delta = op.cwp_delta_dst
+        phys = self._tables[(self.entry_cwp + delta) % self.rf.nwindows][visible]
+        if phys:
+            self.rf.iregs[phys] = value
+
+    def _write_fp(self, op: SchedOp, value: float) -> None:
+        if op.dst_rr is not None:
+            self.fp_rr[op.dst_rr] = value
+            return
+        self.rf.fregs[op.instr.rd] = value
+
+    def _write_cc(self, op: SchedOp, cc: int) -> None:
+        if op.cc_rr is not None:
+            self.cc_rr[op.cc_rr] = cc
+        else:
+            self.rf.icc = cc
+
+    def _satisfy_window_reqs(self, block: Block) -> None:
+        rf = self.rf
+        if block.req_canrestore + block.req_cansave > rf.nwindows - 2:
+            # Can never be satisfied (this bound also guarantees no block
+            # may write a window that eager spilling saved, keeping the
+            # spill-stack contents identical to lazy sequential execution).
+            raise WindowResidencyUnsatisfiable(
+                "block @0x%x needs %d resident + %d free windows"
+                % (block.start_addr, block.req_canrestore, block.req_cansave)
+            )
+        needed_fills = block.req_canrestore - rf.canrestore
+        if needed_fills > 0:
+            on_stack = (self.mem.size - rf.wssp) // 64
+            if needed_fills > on_stack:
+                # the ancestors this block touches do not exist in the
+                # current context: its recorded trace cannot apply here
+                raise WindowResidencyUnsatisfiable(
+                    "block @0x%x needs %d spilled ancestors, stack has %d"
+                    % (block.start_addr, needed_fills, on_stack)
+                )
+        while rf.canrestore < block.req_canrestore:
+            if rf.cansave == 0:
+                raise WindowUnderflow("cannot fill: no free windows")
+            self._inline_fill(eager=True)
+            self._eager_count += 1
+        while rf.cansave < block.req_cansave:
+            if rf.canrestore == 0:
+                raise WindowOverflow("cannot spill: no resident ancestors")
+            self._inline_spill(eager=True)
+            self._eager_count += 1
+
+    def _sr_converged(self) -> bool:
+        """Replay the committed save/restore sequence under the lazy
+        sequential spill rules; True when the machine's occupancy counters
+        and spill stack pointer match (all eager actions were consumed)."""
+        cs, cr, wssp = self._sr_entry
+        for e in self._sr_log:
+            if e == "s":
+                if cs:
+                    cs -= 1
+                    cr += 1
+                else:
+                    wssp -= 64
+            else:
+                if cr:
+                    cr -= 1
+                    cs += 1
+                else:
+                    wssp += 64
+        rf = self.rf
+        return (
+            cs == rf.cansave and cr == rf.canrestore and wssp == rf.wssp
+        )
+
+    def _inline_spill(self, eager: bool = False) -> None:
+        """Checkpointed hardware window spill during VLIW execution.
+
+        Mirrors :func:`repro.isa.semantics.do_window_spill` but routes the
+        memory writes through the checkpointed store path so block rollback
+        stays exact.  The spill region is dedicated (top of memory) and
+        never touched by program loads/stores, so no aliasing bookkeeping
+        is needed.  ``eager`` spills (block entry) adjust the occupancy
+        counters so the in-block save takes the normal path; the counters
+        converge with the lazy sequential semantics.
+        """
+        rf = self.rf
+        victim = (rf.cwp + rf.canrestore) % rf.nwindows
+        base = 8 + 16 * victim
+        sp = rf.wssp - 64
+        if sp < self.mem.size - self.mem.spill_region:
+            raise SimError("window spill stack overflow (call depth too large)")
+        for k in range(16):
+            self._do_store(sp + 4 * k, 4, rf.iregs[base + k])
+        rf.wssp = sp
+        if eager:
+            rf.cansave += 1
+            rf.canrestore -= 1
+        self._li_extra_cycles += self.cfg.window_spill_penalty
+        self.stats.spill_cycles += self.cfg.window_spill_penalty
+
+    def _inline_fill(self, eager: bool = False) -> None:
+        """Checkpointed hardware window fill during VLIW execution."""
+        rf = self.rf
+        target = (rf.cwp + rf.canrestore + 1) % rf.nwindows if eager else (
+            rf.cwp + 1
+        ) % rf.nwindows
+        base = 8 + 16 * target
+        sp = rf.wssp
+        if sp >= self.mem.size:
+            # the frame this block expects was never spilled in the current
+            # context: the recorded trace does not apply here
+            raise WindowResidencyUnsatisfiable("fill with empty spill stack")
+        for k in range(16):
+            rf.iregs[base + k] = self._load_value(sp + 4 * k, "ld")
+        rf.wssp = sp + 64
+        if eager:
+            rf.canrestore += 1
+            rf.cansave -= 1
+        self._li_extra_cycles += self.cfg.window_spill_penalty
+        self.stats.spill_cycles += self.cfg.window_spill_penalty
+
+    def _defer(self, op: SchedOp, exc: ArchException) -> None:
+        marker = _Exc(exc)
+        if op.dst_rr is not None:
+            if op.xkind in (X_FPOP, X_FLOAD) and op.instr.op.name != "fstoi":
+                self.fp_rr[op.dst_rr] = marker
+            else:
+                self.int_rr[op.dst_rr] = marker
+        if op.cc_rr is not None:
+            self.cc_rr[op.cc_rr] = marker
+        if op.mem_rr is not None:
+            self.mem_rr[op.mem_rr] = marker
+
+    def _all_outputs_renamed(self, op: SchedOp) -> bool:
+        """True when the op is control-speculative: every architectural
+        output was renamed, so its exception can be deferred."""
+        if op.xkind == X_COPY:
+            return False
+        has_rename = (
+            op.dst_rr is not None or op.cc_rr is not None or op.mem_rr is not None
+        )
+        if not has_rename:
+            return False
+        # If any write still targets an architectural location, the op is on
+        # the committed path and must raise.
+        from ..isa.registers import IRR_BASE, MEM_BASE
+
+        for w in op.writes:
+            if w < IRR_BASE or w >= MEM_BASE:
+                return False
+        return True
+
+    def _do_store(self, addr: int, size: int, value) -> None:
+        mem = self.mem
+        if self.cfg.data_store_list:
+            order = len(self.data_store_list)
+            if isinstance(value, float):
+                import struct
+
+                raw = struct.unpack(">I", struct.pack(">f", value))[0]
+                self.data_store_list.append((addr, size, raw, order))
+            else:
+                self.data_store_list.append((addr, size, value, order))
+            if len(self.data_store_list) > self.stats.max_ckpt_list:
+                self.stats.max_ckpt_list = len(self.data_store_list)
+            return
+        if size == 4:
+            if isinstance(value, float):
+                old = mem.read_word(addr)
+                self.ckpt_list.append((addr, 4, old))
+                mem.write_float(addr, value)
+            else:
+                old = mem.read_word(addr)
+                self.ckpt_list.append((addr, 4, old))
+                mem.write_word(addr, value)
+        else:
+            old = mem.read_byte(addr)
+            self.ckpt_list.append((addr, 1, old))
+            mem.write_byte(addr, value & 0xFF)
+        if len(self.ckpt_list) > self.stats.max_ckpt_list:
+            self.stats.max_ckpt_list = len(self.ckpt_list)
+
+    # ---------------------------------------------- data store list scheme
+    def _dsl_lookup(self, addr: int, size: int):
+        """Latest matching entry in the data store list (section 3.11 alt)."""
+        for a, s, v, _ in reversed(self.data_store_list):
+            if a == addr and s == size:
+                return v if size == 4 else v & 0xFF
+            if a < addr + size and addr < a + s:
+                # partial overlap: force in-order reschedule
+                raise AliasingException(0, 0)
+        return None
+
+    def _dsl_lookup_raw(self, addr: int, size: int):
+        for a, s, v, _ in reversed(self.data_store_list):
+            if a == addr and s == size:
+                return v
+            if a < addr + size and addr < a + s:
+                raise AliasingException(0, 0)
+        return None
+
+    def _drain_data_store_list(self) -> None:
+        """Commit buffered stores to memory in order-field order."""
+        if not self.cfg.data_store_list or not self.data_store_list:
+            return
+        for addr, size, value, _ in sorted(
+            self.data_store_list, key=lambda e: e[3]
+        ):
+            if size == 4:
+                self.mem.write_word(addr, value)
+            else:
+                self.mem.write_byte(addr, value & 0xFF)
+        self.data_store_list.clear()
+
+    # ------------------------------------------------------------- aliasing
+    def _aliasing_checks(self, li_loads, li_stores, committed_mem) -> None:
+        """Order-field aliasing detection (section 3.10).
+
+        Same-long-instruction pairs: a load reads before a program-earlier
+        store writes, so a *program-later* load matching a store is the
+        violation here; across long instructions the lists catch operations
+        that executed before program-earlier ones.
+        """
+        for laddr, lsize, lorder in li_loads:
+            for saddr, ssize, sorder in li_stores:
+                if laddr < saddr + ssize and saddr < laddr + lsize:
+                    if lorder > sorder:
+                        raise AliasingException(lorder, sorder)
+            for saddr, ssize, sorder in self.store_list:
+                if laddr < saddr + ssize and saddr < laddr + lsize:
+                    if lorder < sorder:
+                        raise AliasingException(lorder, sorder)
+        for i, (saddr, ssize, sorder) in enumerate(li_stores):
+            for j in range(i + 1, len(li_stores)):
+                oaddr, osize, oorder = li_stores[j]
+                if saddr < oaddr + osize and oaddr < saddr + ssize:
+                    raise AliasingException(sorder, oorder)
+            for laddr, lsize, lorder in self.load_list:
+                if laddr < saddr + ssize and saddr < laddr + lsize:
+                    if sorder < lorder:
+                        raise AliasingException(lorder, sorder)
+            for oaddr, osize, oorder in self.store_list:
+                if saddr < oaddr + osize and oaddr < saddr + ssize:
+                    if sorder < oorder:
+                        raise AliasingException(sorder, oorder)
+        # list insertion happens after all checks (section 3.10: only ops
+        # with the cross bit enter the lists)
+        for op in committed_mem:
+            if not op.cross:
+                continue
+            if op.is_store_effect or op.commits_memory:
+                self.store_list.append((op.mem_addr, op.mem_size, op.order))
+            else:
+                self.load_list.append((op.mem_addr, op.mem_size, op.order))
+        if len(self.store_list) > self.stats.max_store_list:
+            self.stats.max_store_list = len(self.store_list)
+        if len(self.load_list) > self.stats.max_load_list:
+            self.stats.max_load_list = len(self.load_list)

@@ -1,0 +1,30 @@
+"""Shared pieces for the SPECint95-analogue workloads.
+
+Each workload module exposes ``NAME``, ``DESCRIPTION``, ``MIRRORS`` (which
+SPECint95 program it stands in for and why) and ``source(scale)`` returning
+minicc source.  Programs are deterministic: they print a checksum with
+``print_int`` and exit with ``checksum & 0xff``, so the reference machine
+validates every configuration's output byte for byte.
+
+The PRNG is a xorshift (shift/xor only -- no multiplies) so random data
+generation does not drown the workload's own character in software-multiply
+library calls.
+"""
+
+XORSHIFT = """
+int rng_state = 2463534242;
+int rng() {
+  int x = rng_state;
+  x = x ^ (x << 13);
+  x = x ^ ((x >> 17) & 32767);
+  x = x ^ (x << 5);
+  rng_state = x;
+  return x;
+}
+"""
+
+
+def scaled(n: int, scale: float, lo: int = 1) -> int:
+    """Scale a workload parameter, clamped below at ``lo``."""
+    v = int(n * scale)
+    return v if v >= lo else lo

@@ -1,0 +1,96 @@
+"""``compress`` analogue: byte-stream compression with hashing.
+
+Mirrors SPECint95 129.compress: tight byte loops over a buffer, a rolling
+hash probing a code table, run-length emission -- small instruction working
+set, very loop-dominated (the paper notes compress is insensitive to VLIW
+cache size).
+"""
+
+from .common import XORSHIFT, scaled
+
+NAME = "compress"
+DESCRIPTION = "RLE + rolling-hash byte compressor over synthetic text"
+MIRRORS = (
+    "129.compress: byte-granularity loops, hash-table probes, small code "
+    "footprint"
+)
+
+
+def source(scale: float = 1.0) -> str:
+    """minicc source at the given size multiplier."""
+    size = scaled(1500, scale, lo=64)
+    passes = scaled(6, scale, lo=1)
+    return (
+        XORSHIFT
+        + """
+char input[%(size)d];
+char output[%(osize)d];
+int table[256];
+
+int fill_input() {
+  int i;
+  /* skewed distribution with runs, like text */
+  for (i = 0; i < %(size)d; i++) {
+    int r = rng() & 255;
+    if (r < 90) input[i] = 'e';
+    else if (r < 140) input[i] = ' ';
+    else if (r < 200) input[i] = 'a' + (r & 15);
+    else input[i] = r;
+  }
+  return 0;
+}
+
+int compress_pass() {
+  int i = 0;
+  int out = 0;
+  int hash = 0;
+  while (i < %(size)d) {
+    int c = input[i];
+    int run = 1;
+    while (i + run < %(size)d && input[i + run] == c && run < 35)
+      run++;
+    hash = ((hash << 5) + hash + c) & 255;
+    if (run > 3) {
+      output[out] = 27;           /* escape */
+      output[out + 1] = c;
+      output[out + 2] = run;
+      out = out + 3;
+      table[hash] = table[hash] + run;
+    } else {
+      int k;
+      for (k = 0; k < run; k++) output[out + k] = c;
+      out = out + run;
+      table[hash]++;
+    }
+    i = i + run;
+  }
+  return out;
+}
+
+float ratio_acc = 0.0;
+
+int track_ratio(int out_bytes) {
+  /* running compression-ratio estimate, like compress's reporting */
+  float ratio = (float)out_bytes / %(size)d.0;
+  ratio_acc = ratio_acc * 0.75 + ratio * 25.0;
+  return (int)ratio_acc;
+}
+
+int main() {
+  int p;
+  int check = 0;
+  int i;
+  for (i = 0; i < 256; i++) table[i] = 0;
+  for (p = 0; p < %(passes)d; p++) {
+    fill_input();
+    int out = compress_pass();
+    check = check + out + track_ratio(out);
+    for (i = 0; i < out; i = i + 7) check = (check + output[i]) & 0xffffff;
+  }
+  for (i = 0; i < 256; i++) check = (check + table[i]) & 0xffffff;
+  print_int(check);
+  return check & 0xff;
+}
+"""
+        % {"size": size, "osize": size + size // 2 + 8, "passes": passes}
+    )

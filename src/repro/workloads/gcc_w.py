@@ -1,0 +1,107 @@
+"""``gcc`` analogue: recursive-descent expression compiler.
+
+Mirrors SPECint95 126.gcc: call-heavy, branchy traversal of token streams
+with many distinct code paths (large static footprint relative to the other
+workloads), recursion through the precedence levels and a constant-folding
+'optimisation' pass.
+"""
+
+from .common import XORSHIFT, scaled
+
+NAME = "gcc"
+DESCRIPTION = "recursive-descent parser + constant folder over generated expressions"
+MIRRORS = "126.gcc: branchy, call-heavy, larger instruction working set"
+
+
+def source(scale: float = 1.0) -> str:
+    """minicc source at the given size multiplier."""
+    exprs = scaled(400, scale, lo=4)
+    return (
+        XORSHIFT
+        + """
+/* token kinds: 0=num 1=+ 2=- 3=* 4=( 5=) 6=end */
+int tokens[96];
+int values[96];
+int ntok = 0;
+int pos = 0;
+int fold_count = 0;
+
+int gen_expr(int depth) {
+  /* grammar-directed random generation, bounded depth */
+  if (depth <= 0 || (rng() & 7) < 3) {
+    tokens[ntok] = 0;
+    values[ntok] = rng() & 1023;
+    ntok++;
+    return 0;
+  }
+  int r = rng() & 7;
+  if (r < 2 && ntok < 80) {
+    tokens[ntok] = 4; ntok++;
+    gen_expr(depth - 1);
+    tokens[ntok] = 5; ntok++;
+    return 0;
+  }
+  gen_expr(depth - 1);
+  int op = 1 + (rng() & 1);
+  if ((rng() & 7) == 0) op = 3;
+  tokens[ntok] = op; ntok++;
+  if (ntok < 88) gen_expr(depth - 1);
+  else { tokens[ntok] = 0; values[ntok] = 1; ntok++; }
+  return 0;
+}
+
+/* minicc resolves calls after reading every function, so mutual
+   recursion needs no prototypes */
+int parse_expr() {
+  int v = parse_term();
+  while (tokens[pos] == 1 || tokens[pos] == 2) {
+    int op = tokens[pos];
+    pos++;
+    int r = parse_term();
+    if (op == 1) v = v + r; else v = v - r;
+    fold_count++;
+  }
+  return v & 0xffffff;
+}
+
+int parse_term() {
+  int v = parse_primary();
+  while (tokens[pos] == 3) {
+    pos++;
+    int r = parse_primary();
+    /* strength-reduced multiply: the 'compiler' folds by shifts */
+    v = ((v << 1) + (v >> 1) + r) & 0xffffff;
+    fold_count++;
+  }
+  return v;
+}
+
+int parse_primary() {
+  if (tokens[pos] == 4) {
+    pos++;
+    int v = parse_expr();
+    if (tokens[pos] == 5) pos++;
+    return v;
+  }
+  int w = values[pos];
+  pos++;
+  return w;
+}
+
+int main() {
+  int check = 0;
+  int e;
+  for (e = 0; e < %(exprs)d; e++) {
+    ntok = 0;
+    gen_expr(5);
+    tokens[ntok] = 6;
+    pos = 0;
+    check = (check + parse_expr()) & 0xffffff;
+  }
+  check = (check + fold_count) & 0xffffff;
+  print_int(check);
+  return check & 0xff;
+}
+"""
+        % {"exprs": exprs}
+    )

@@ -1,0 +1,92 @@
+"""``go`` analogue: alpha-beta game-tree search.
+
+Mirrors SPECint95 099.go: deep irregular recursion, data-dependent branches
+over a board array, a large evaluation function -- the benchmark with the
+biggest instruction working set in the paper (go keeps benefitting from
+larger VLIW caches).
+"""
+
+from .common import scaled
+
+NAME = "go"
+DESCRIPTION = "alpha-beta search over a 1-D territory game"
+MIRRORS = "099.go: game tree search, irregular branches, large working set"
+
+
+def source(scale: float = 1.0) -> str:
+    """minicc source at the given size multiplier."""
+    games = scaled(3, scale, lo=1)
+    depth = 4
+    return """
+int board[16];
+int nodes = 0;
+
+int evaluate(int side) {
+  int s = 0;
+  int i;
+  for (i = 0; i < 16; i++) {
+    int v = board[i];
+    if (v == side) {
+      s = s + 4;
+      if (i > 0 && board[i - 1] == side) s = s + 3;   /* connection */
+      if (i < 15 && board[i + 1] == side) s = s + 3;
+      if (i > 0 && board[i - 1] == 3 - side) s = s - 1; /* contact */
+    } else if (v == 3 - side) {
+      s = s - 4;
+    } else {
+      /* empty: territory if flanked */
+      int left = i > 0 ? board[i - 1] : 0;
+      int right = i < 15 ? board[i + 1] : 0;
+      if (left == side && right == side) s = s + 2;
+      if (left == 3 - side && right == 3 - side) s = s - 2;
+    }
+  }
+  return s;
+}
+
+int search(int side, int depth, int alpha, int beta) {
+  nodes++;
+  if (depth == 0) return evaluate(side);
+  int best = -32000;
+  int i;
+  int moves = 0;
+  for (i = 0; i < 16; i++) {
+    if (board[i] != 0) continue;
+    /* forward pruning: skip isolated points at depth >= 3 */
+    if (depth >= 3) {
+      int l = i > 0 ? board[i - 1] : 0;
+      int r = i < 15 ? board[i + 1] : 0;
+      if (l == 0 && r == 0 && i != 7 && i != 8) continue;
+    }
+    moves++;
+    board[i] = side;
+    int v = -search(3 - side, depth - 1, -beta, -alpha);
+    board[i] = 0;
+    if (v > best) best = v;
+    if (best > alpha) alpha = best;
+    if (alpha >= beta) break;
+  }
+  if (moves == 0) return evaluate(side);
+  return best;
+}
+
+int main() {
+  int check = 0;
+  int g;
+  for (g = 0; g < %(games)d; g++) {
+    int i;
+    for (i = 0; i < 16; i++) board[i] = 0;
+    /* seed position varies per game */
+    board[(g * 3) & 15] = 1;
+    board[(g * 5 + 2) & 15] = 2;
+    int score = search(1, %(depth)d, -32000, 32000);
+    check = (check + score + 100) & 0xffffff;
+  }
+  check = (check + nodes) & 0xffffff;
+  print_int(check);
+  return check & 0xff;
+}
+""" % {
+        "games": games,
+        "depth": depth,
+    }

@@ -1,0 +1,130 @@
+"""``ijpeg`` analogue: integer DCT + quantisation over an image.
+
+Mirrors SPECint95 132.ijpeg: regular 8x8 loop nests with abundant
+instruction-level parallelism concentrated in one hot loop -- the paper's
+standout benchmark (ijpeg hits IPC ~7 at 16x16 blocks because several loop
+iterations overlap inside one block).
+"""
+
+from .common import XORSHIFT, scaled
+
+NAME = "ijpeg"
+DESCRIPTION = "integer 8x8 DCT-like transform + quantisation over an image"
+MIRRORS = "132.ijpeg: one hot, regular, ILP-rich loop nest"
+
+
+def source(scale: float = 1.0) -> str:
+    """minicc source at the given size multiplier."""
+    blocks = scaled(56, scale, lo=2)
+    return (
+        XORSHIFT
+        + """
+int image[64];
+int coef[64];
+int quant[64];
+int histogram[32];
+
+int load_block(int seed) {
+  int i;
+  int base = seed & 127;
+  for (i = 0; i < 64; i++) {
+    /* smooth gradient + noise, like photographic data */
+    int row = i >> 3;
+    int col = i & 7;
+    image[i] = base + row * 3 + col * 2 + (rng() & 7);
+  }
+  return 0;
+}
+
+int dct_rows() {
+  int r;
+  for (r = 0; r < 8; r++) {
+    int b = r << 3;
+    int s0 = image[b] + image[b + 7];
+    int s1 = image[b + 1] + image[b + 6];
+    int s2 = image[b + 2] + image[b + 5];
+    int s3 = image[b + 3] + image[b + 4];
+    int d0 = image[b] - image[b + 7];
+    int d1 = image[b + 1] - image[b + 6];
+    int d2 = image[b + 2] - image[b + 5];
+    int d3 = image[b + 3] - image[b + 4];
+    coef[b] = s0 + s1 + s2 + s3;
+    coef[b + 4] = (s0 + s3) - (s1 + s2);
+    coef[b + 2] = (s0 - s3) + ((s1 - s2) >> 1);
+    coef[b + 6] = ((s0 - s3) >> 1) - (s1 - s2);
+    coef[b + 1] = d0 + (d1 >> 1) + (d2 >> 2);
+    coef[b + 3] = d1 - d3 + (d0 >> 2);
+    coef[b + 5] = d2 + (d3 >> 1) - (d1 >> 2);
+    coef[b + 7] = d3 - (d0 >> 1) + (d2 >> 1);
+  }
+  return 0;
+}
+
+int dct_cols() {
+  int c;
+  for (c = 0; c < 8; c++) {
+    int s0 = coef[c] + coef[c + 56];
+    int s1 = coef[c + 8] + coef[c + 48];
+    int s2 = coef[c + 16] + coef[c + 40];
+    int s3 = coef[c + 24] + coef[c + 32];
+    int d0 = coef[c] - coef[c + 56];
+    int d1 = coef[c + 8] - coef[c + 48];
+    int d2 = coef[c + 16] - coef[c + 40];
+    int d3 = coef[c + 24] - coef[c + 32];
+    coef[c] = (s0 + s1 + s2 + s3) >> 3;
+    coef[c + 32] = ((s0 + s3) - (s1 + s2)) >> 3;
+    coef[c + 16] = ((s0 - s3) + ((s1 - s2) >> 1)) >> 3;
+    coef[c + 48] = (((s0 - s3) >> 1) - (s1 - s2)) >> 3;
+    coef[c + 8] = (d0 + (d1 >> 1) + (d2 >> 2)) >> 3;
+    coef[c + 24] = (d1 - d3 + (d0 >> 2)) >> 3;
+    coef[c + 40] = (d2 + (d3 >> 1) - (d1 >> 2)) >> 3;
+    coef[c + 56] = (d3 - (d0 >> 1) + (d2 >> 1)) >> 3;
+  }
+  return 0;
+}
+
+int quantise() {
+  int i;
+  int nz = 0;
+  for (i = 0; i < 64; i++) {
+    int q = 1 + ((i >> 3) + (i & 7) >> 1);
+    int v = coef[i] >> q;
+    quant[i] = v;
+    if (v != 0) nz++;
+    int mag = v < 0 ? -v : v;
+    if (mag > 31) mag = 31;
+    histogram[mag]++;
+  }
+  return nz;
+}
+
+float activity = 0.0;
+
+int track_activity(int nz) {
+  /* adaptive-quantisation activity estimate (fp, like the encoder's
+     rate-control arithmetic) */
+  float a = (float)nz * 0.125;
+  activity = activity * 0.5 + a * a;
+  return (int)activity;
+}
+
+int main() {
+  int check = 0;
+  int b;
+  int i;
+  for (i = 0; i < 32; i++) histogram[i] = 0;
+  for (b = 0; b < %(blocks)d; b++) {
+    load_block(b * 17);
+    dct_rows();
+    dct_cols();
+    int nz = quantise();
+    check = (check + nz + track_activity(nz)) & 0xffffff;
+    check = (check + quant[0] + quant[9] + quant[63]) & 0xffffff;
+  }
+  for (i = 0; i < 32; i++) check = (check + histogram[i]) & 0xffffff;
+  print_int(check);
+  return check & 0xff;
+}
+"""
+        % {"blocks": blocks}
+    )

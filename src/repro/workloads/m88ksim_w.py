@@ -1,0 +1,93 @@
+"""``m88ksim`` analogue: a bytecode CPU interpreter.
+
+Mirrors SPECint95 124.m88ksim (a Motorola 88100 simulator): the classic
+fetch-decode-dispatch interpreter loop with a register-file array and an
+embedded guest program, giving indirect-branch-like dispatch behaviour and
+moderate ILP.
+"""
+
+from .common import scaled
+
+NAME = "m88ksim"
+DESCRIPTION = "bytecode CPU simulator running an embedded guest program"
+MIRRORS = "124.m88ksim: interpreter dispatch loop over a register machine"
+
+
+def source(scale: float = 1.0) -> str:
+    """minicc source at the given size multiplier."""
+    runs = scaled(22, scale, lo=2)
+    # guest ISA: op r1 r2 r3 packed in one int: (op<<12)|(a<<8)|(b<<4)|c
+    # ops: 0 halt, 1 li(c imm=b), 2 add, 3 sub, 4 shl, 5 shr, 6 and,
+    #      7 or, 8 xor, 9 bnz(a, target=b*16+c), 10 ld, 11 st, 12 mov
+    guest = [
+        (1, 0, 12, 0),  # r0 = 12  (loop counter)
+        (1, 1, 0, 1),  # r1 = 0   (sum)
+        (1, 2, 1, 2),  # r2 = 1
+        (1, 3, 0, 3),  # r3 = 0   (mem index)
+        # loop:
+        (11, 1, 0, 3),  # mem[r3] = r1
+        (2, 1, 1, 0),  # r1 += r0
+        (4, 2, 2, 1),  # r2 = r2 << 1 ... encoded as shl r2, r2, imm1
+        (10, 4, 0, 3),  # r4 = mem[r3]
+        (8, 1, 1, 4),  # r1 ^= r4
+        (2, 3, 3, 2),  # r3 += r2 (mod mask applied by interpreter)
+        (3, 0, 0, 2),  # r0 -= r2? no: r0 = r0 - r2 -> use imm-ish
+        (9, 0, 0, 4),  # bnz r0 -> loop (target slot 4)
+        (0, 0, 0, 0),  # halt
+    ]
+    words = ", ".join(
+        str((op << 12) | (a << 8) | (b << 4) | c) for (op, a, b, c) in guest
+    )
+    return """
+int prog[%(proglen)d] = {%(words)s};
+int regs[16];
+int gmem[32];
+int executed = 0;
+
+int run_guest(int seed) {
+  int pc = 0;
+  int steps = 0;
+  int i;
+  for (i = 0; i < 16; i++) regs[i] = 0;
+  for (i = 0; i < 32; i++) gmem[i] = seed + i;
+  while (steps < 600) {
+    int insn = prog[pc];
+    int op = (insn >> 12) & 15;
+    int a = (insn >> 8) & 15;
+    int b = (insn >> 4) & 15;
+    int c = insn & 15;
+    pc++;
+    steps++;
+    executed++;
+    if (op == 0) break;
+    else if (op == 1) regs[a] = b;
+    else if (op == 2) regs[a] = regs[b] + regs[c];
+    else if (op == 3) regs[a] = regs[b] - regs[c];
+    else if (op == 4) regs[a] = regs[b] << (c & 7);
+    else if (op == 5) regs[a] = (regs[b] >> (c & 7)) & 0xffffff;
+    else if (op == 6) regs[a] = regs[b] & regs[c];
+    else if (op == 7) regs[a] = regs[b] | regs[c];
+    else if (op == 8) regs[a] = regs[b] ^ regs[c];
+    else if (op == 9) { if (regs[a] != 0) pc = b * 16 + c; }
+    else if (op == 10) regs[a] = gmem[regs[c] & 31];
+    else if (op == 11) gmem[regs[c] & 31] = regs[a];
+    else if (op == 12) regs[a] = regs[b];
+  }
+  return regs[1];
+}
+
+int main() {
+  int check = 0;
+  int r;
+  for (r = 0; r < %(runs)d; r++) {
+    check = (check + run_guest(r * 7 + 1)) & 0xffffff;
+  }
+  check = (check + executed) & 0xffffff;
+  print_int(check);
+  return check & 0xff;
+}
+""" % {
+        "runs": runs,
+        "proglen": len(guest),
+        "words": words,
+    }

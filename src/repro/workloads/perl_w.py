@@ -1,0 +1,92 @@
+"""``perl`` analogue: string scanning and hashing.
+
+Mirrors SPECint95 134.perl: byte-wise string scanning, word splitting,
+hash-table accumulation and a naive pattern-match loop -- branchy,
+data-dependent control flow over character data.
+"""
+
+from .common import XORSHIFT, scaled
+
+NAME = "perl"
+DESCRIPTION = "word split + hash count + substring matching over text"
+MIRRORS = "134.perl: string scanning, hashing, branchy byte loops"
+
+
+def source(scale: float = 1.0) -> str:
+    """minicc source at the given size multiplier."""
+    text_len = scaled(900, scale, lo=64)
+    passes = scaled(5, scale, lo=1)
+    return (
+        XORSHIFT
+        + """
+char text[%(tlen)d];
+int hashtab[128];
+int hashcnt[128];
+char pattern[] = "the";
+
+int make_text() {
+  int i = 0;
+  while (i < %(tlen)d - 8) {
+    int r = rng() & 15;
+    if (r < 3) { text[i] = ' '; i++; }
+    else if (r < 5) {
+      text[i] = 't'; text[i+1] = 'h'; text[i+2] = 'e'; i = i + 3;
+    } else {
+      int len = 1 + (rng() & 3);
+      int k;
+      for (k = 0; k < len; k++) { text[i] = 'a' + (rng() & 15); i++; }
+    }
+  }
+  while (i < %(tlen)d) { text[i] = ' '; i++; }
+  text[%(tlen)d - 1] = 0;
+  return 0;
+}
+
+int count_words() {
+  int i = 0;
+  int words = 0;
+  while (text[i]) {
+    while (text[i] == ' ') i++;
+    if (!text[i]) break;
+    int h = 5381;
+    while (text[i] && text[i] != ' ') {
+      h = ((h << 5) + h + text[i]) & 127;
+      i++;
+    }
+    hashtab[h] = h;
+    hashcnt[h]++;
+    words++;
+  }
+  return words;
+}
+
+int match_pattern() {
+  int i;
+  int hits = 0;
+  for (i = 0; text[i + 2]; i++) {
+    if (text[i] == pattern[0]) {
+      int j = 1;
+      while (pattern[j] && text[i + j] == pattern[j]) j++;
+      if (!pattern[j]) hits++;
+    }
+  }
+  return hits;
+}
+
+int main() {
+  int check = 0;
+  int p;
+  int i;
+  for (i = 0; i < 128; i++) { hashtab[i] = 0; hashcnt[i] = 0; }
+  for (p = 0; p < %(passes)d; p++) {
+    make_text();
+    check = (check + count_words()) & 0xffffff;
+    check = (check + match_pattern() * 16) & 0xffffff;
+  }
+  for (i = 0; i < 128; i++) check = (check + hashcnt[i]) & 0xffffff;
+  print_int(check);
+  return check & 0xff;
+}
+"""
+        % {"tlen": text_len, "passes": passes}
+    )

@@ -1,0 +1,108 @@
+"""Workload registry: the Table 2 analogue.
+
+Maps benchmark names to their minicc sources, compiles and caches the
+assembled :class:`~repro.asm.program.Program` objects, and caches the
+reference-machine instruction counts (the IPC numerator) per
+``(name, scale, hw_mul)`` so parameter sweeps do not re-run the reference
+for every machine configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..asm.assembler import assemble
+from ..asm.program import Program
+from ..core.errors import SimError
+from ..core.reference import ReferenceMachine
+from ..lang import CompilerOptions, compile_minicc
+from . import (
+    compress_w,
+    gcc_w,
+    go_w,
+    ijpeg_w,
+    m88ksim_w,
+    perl_w,
+    vortex_w,
+    xlisp_w,
+)
+
+_MODULES = {
+    m.NAME: m
+    for m in (
+        compress_w,
+        gcc_w,
+        go_w,
+        ijpeg_w,
+        m88ksim_w,
+        perl_w,
+        vortex_w,
+        xlisp_w,
+    )
+}
+
+#: the paper's benchmark order (Table 2)
+BENCHMARKS = [
+    "compress",
+    "gcc",
+    "go",
+    "ijpeg",
+    "m88ksim",
+    "perl",
+    "vortex",
+    "xlisp",
+]
+
+_program_cache: Dict[Tuple, Program] = {}
+_reference_cache: Dict[Tuple, Tuple[int, bytes, int]] = {}
+
+
+def workload_info(name: str) -> Tuple[str, str]:
+    """-> (description, which SPECint95 program it mirrors)."""
+    mod = _MODULES.get(name)
+    if mod is None:
+        raise SimError("unknown workload %r (have: %s)" % (name, BENCHMARKS))
+    return mod.DESCRIPTION, mod.MIRRORS
+
+
+def workload_source(name: str, scale: float = 1.0) -> str:
+    """The minicc source of workload ``name`` at ``scale``."""
+    mod = _MODULES.get(name)
+    if mod is None:
+        raise SimError("unknown workload %r (have: %s)" % (name, BENCHMARKS))
+    return mod.source(scale)
+
+
+def load_program(
+    name: str, scale: float = 1.0, hw_mul: bool = False, optimize: bool = True
+) -> Program:
+    """Compile and cache one workload.
+
+    ``optimize=True`` (default) compiles like the paper's methodology (its
+    SPECint95 binaries came from optimising gcc): counted loops unrolled
+    twice and basic blocks list-scheduled so independent chains interleave.
+    ``optimize=False`` gives the naive straight-line code for the
+    compiler-quality ablation.
+    """
+    key = (name, scale, hw_mul, optimize)
+    if key not in _program_cache:
+        src = workload_source(name, scale)
+        opts = CompilerOptions(
+            hw_mul=hw_mul,
+            unroll=2 if optimize else 1,
+            schedule=optimize,
+        )
+        _program_cache[key] = assemble(compile_minicc(src, opts))
+    return _program_cache[key]
+
+
+def reference_run(
+    name: str, scale: float = 1.0, hw_mul: bool = False, optimize: bool = True
+) -> Tuple[int, bytes, int]:
+    """-> (instruction count, output, exit code) of the reference machine."""
+    key = (name, scale, hw_mul, optimize)
+    if key not in _reference_cache:
+        ref = ReferenceMachine(load_program(name, scale, hw_mul, optimize))
+        count = ref.run(max_instructions=1_000_000_000)
+        _reference_cache[key] = (count, ref.output, ref.exit_code)
+    return _reference_cache[key]

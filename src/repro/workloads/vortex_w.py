@@ -1,0 +1,114 @@
+"""``vortex`` analogue: an in-memory object database.
+
+Mirrors SPECint95 147.vortex: record insertion/lookup/deletion through a
+hash index with chained buckets -- pointer-style traversals over parallel
+arrays (minicc has no structs), mixed with field updates.
+"""
+
+from .common import XORSHIFT, scaled
+
+NAME = "vortex"
+DESCRIPTION = "hashed record store: insert / lookup / update / delete cycles"
+MIRRORS = "147.vortex: OO database transactions, chained hash lookups"
+
+
+def source(scale: float = 1.0) -> str:
+    """minicc source at the given size multiplier."""
+    ops = scaled(3000, scale, lo=16)
+    nrec = 128
+    return (
+        XORSHIFT
+        + """
+/* record fields as parallel arrays; 0 is the null "pointer" */
+int rec_key[%(nrec)d];
+int rec_val[%(nrec)d];
+int rec_next[%(nrec)d];
+int buckets[32];
+int freelist = 0;
+int live = 0;
+
+int db_init() {
+  int i;
+  for (i = 1; i < %(nrec)d - 1; i++) rec_next[i] = i + 1;
+  rec_next[%(nrec)d - 1] = 0;
+  freelist = 1;
+  for (i = 0; i < 32; i++) buckets[i] = 0;
+  return 0;
+}
+
+int db_insert(int key, int val) {
+  if (freelist == 0) return 0;
+  int r = freelist;
+  freelist = rec_next[r];
+  int b = key & 31;
+  rec_key[r] = key;
+  rec_val[r] = val;
+  rec_next[r] = buckets[b];
+  buckets[b] = r;
+  live++;
+  return r;
+}
+
+int db_lookup(int key) {
+  int r = buckets[key & 31];
+  while (r != 0) {
+    if (rec_key[r] == key) return r;
+    r = rec_next[r];
+  }
+  return 0;
+}
+
+int db_delete(int key) {
+  int b = key & 31;
+  int r = buckets[b];
+  int prev = 0;
+  while (r != 0) {
+    if (rec_key[r] == key) {
+      if (prev == 0) buckets[b] = rec_next[r];
+      else rec_next[prev] = rec_next[r];
+      rec_next[r] = freelist;
+      freelist = r;
+      live--;
+      return 1;
+    }
+    prev = r;
+    r = rec_next[r];
+  }
+  return 0;
+}
+
+int main() {
+  int check = 0;
+  int i;
+  db_init();
+  for (i = 0; i < %(ops)d; i++) {
+    int key = rng() & 255;
+    int action = rng() & 7;
+    if (action < 4) {
+      if (db_lookup(key) == 0) db_insert(key, key * 2 + 1);
+      else check = (check + 1) & 0xffffff;
+    } else if (action < 6) {
+      int r = db_lookup(key);
+      if (r != 0) {
+        rec_val[r] = (rec_val[r] + i) & 0xffff;
+        check = (check + rec_val[r]) & 0xffffff;
+      }
+    } else {
+      check = (check + db_delete(key)) & 0xffffff;
+    }
+  }
+  /* walk every chain for the final checksum */
+  for (i = 0; i < 32; i++) {
+    int w = buckets[i];
+    while (w != 0) {
+      check = (check + rec_key[w] + rec_val[w]) & 0xffffff;
+      w = rec_next[w];
+    }
+  }
+  check = (check + live * 64) & 0xffffff;
+  print_int(check);
+  return check & 0xff;
+}
+"""
+        % {"nrec": nrec, "ops": ops}
+    )

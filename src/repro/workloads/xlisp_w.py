@@ -1,0 +1,138 @@
+"""``xlisp`` analogue: cons-cell s-expression evaluator with mark-sweep GC.
+
+Mirrors SPECint95 130.li (xlisp): recursive evaluation over boxed cons
+cells, pointer chasing through an arena, allocation pressure and a
+mark/sweep collection phase.
+"""
+
+from .common import XORSHIFT, scaled
+
+NAME = "xlisp"
+DESCRIPTION = "cons-cell expression evaluator with mark-sweep collection"
+MIRRORS = "130.li: recursive eval, cons allocation, pointer chasing, GC"
+
+
+def source(scale: float = 1.0) -> str:
+    """minicc source at the given size multiplier."""
+    rounds = scaled(26, scale, lo=2)
+    ncells = 512
+    return (
+        XORSHIFT
+        + """
+/* cell tags: 0 free, 1 number (car=value), 2 op node (car=op, cdr=args
+   pair), 3 pair (car=child cell, cdr=next pair) */
+int tag[%(n)d];
+int car_[%(n)d];
+int cdr_[%(n)d];
+int marks[%(n)d];
+int free_head = 0;
+int allocs = 0;
+int gcs = 0;
+int oom = 0;
+
+int heap_init() {
+  int i;
+  for (i = 1; i < %(n)d - 1; i++) { tag[i] = 0; cdr_[i] = i + 1; }
+  tag[%(n)d - 1] = 0;
+  cdr_[%(n)d - 1] = 0;
+  free_head = 1;
+  for (i = 0; i < %(n)d; i++) marks[i] = 0;
+  return 0;
+}
+
+int valid(int p) { return p > 0 && p < %(n)d; }
+
+int mark(int p) {
+  while (valid(p) && marks[p] == 0) {
+    marks[p] = 1;
+    int t = tag[p];
+    if (t == 2) { p = cdr_[p]; }
+    else if (t == 3) { mark(car_[p]); p = cdr_[p]; }
+    else p = 0;
+  }
+  return 0;
+}
+
+int sweep() {
+  int i;
+  int freed = 0;
+  free_head = 0;
+  for (i = 1; i < %(n)d; i++) {
+    if (marks[i] == 0) {
+      tag[i] = 0;
+      cdr_[i] = free_head;
+      free_head = i;
+      freed++;
+    }
+    marks[i] = 0;
+  }
+  gcs++;
+  return freed;
+}
+
+int alloc() {
+  if (free_head == 0) { oom++; return 0; }
+  int p = free_head;
+  free_head = cdr_[p];
+  allocs++;
+  return p;
+}
+
+int make_num(int v) {
+  int p = alloc();
+  if (p == 0) return 0;
+  tag[p] = 1;
+  car_[p] = v & 1023;
+  cdr_[p] = 0;
+  return p;
+}
+
+int make_tree(int depth) {
+  if (depth == 0 || (rng() & 7) < 2) return make_num(rng());
+  int left = make_tree(depth - 1);
+  int right = make_tree(depth - 1);
+  int pr = alloc();              /* pair holding right */
+  int pl = alloc();              /* pair holding left */
+  int node = alloc();
+  if (node == 0 || pl == 0 || pr == 0) return left;
+  tag[pr] = 3; car_[pr] = right; cdr_[pr] = 0;
+  tag[pl] = 3; car_[pl] = left;  cdr_[pl] = pr;
+  tag[node] = 2; car_[node] = rng() & 3; cdr_[node] = pl;
+  return node;
+}
+
+int eval_cell(int p) {
+  if (!valid(p)) return 0;
+  int t = tag[p];
+  if (t == 1) return car_[p];
+  if (t != 2) return 0;
+  int op = car_[p];
+  int pl = cdr_[p];
+  if (!valid(pl)) return 0;
+  int a = eval_cell(car_[pl]);
+  int pr = cdr_[pl];
+  int b = valid(pr) ? eval_cell(car_[pr]) : 0;
+  if (op == 0) return (a + b) & 0xffff;
+  if (op == 1) return (a - b) & 0xffff;
+  if (op == 2) return a > b ? a : b;
+  return (a & 1) + (b & 1);
+}
+
+int main() {
+  int check = 0;
+  int r;
+  heap_init();
+  for (r = 0; r < %(rounds)d; r++) {
+    int tree = make_tree(5);
+    check = (check + eval_cell(tree)) & 0xffffff;
+    check = (check + eval_cell(tree)) & 0xffffff;
+    /* collect every other round, keeping the current tree live */
+    if ((r & 1) == 1) { mark(tree); check = (check + sweep()) & 0xffffff; }
+  }
+  check = (check + allocs + gcs * 256 + oom) & 0xffffff;
+  print_int(check);
+  return check & 0xff;
+}
+"""
+        % {"n": ncells, "rounds": rounds}
+    )

@@ -1,0 +1,144 @@
+"""Unit tests for the basic-block assembly scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asm.assembler import assemble
+from repro.asm.schedule import _Line, schedule_assembly
+from repro.core.reference import ReferenceMachine
+
+
+def body_lines(text: str):
+    return [
+        l.strip()
+        for l in text.splitlines()
+        if l.strip()
+        and not l.strip().startswith(".")
+        and not l.strip().endswith(":")
+    ]
+
+
+class TestDependenceExtraction:
+    def test_three_op(self):
+        l = _Line("        add %l0, %l1, %l2", 0)
+        assert l.reads == {"l0", "l1"}
+        assert l.writes == {"l2"}
+
+    def test_immediate_operand(self):
+        l = _Line("        add %l0, 4, %l2", 0)
+        assert l.reads == {"l0"}
+
+    def test_cc_writer_and_reader(self):
+        w = _Line("        subcc %l0, 1, %l0", 0)
+        assert "%cc" in w.writes
+        c = _Line("        cmp %l0, 3", 0)
+        assert "%cc" in c.writes and c.writes == {"%cc"}
+
+    def test_load_store(self):
+        ld = _Line("        ld [%fp - 8], %g1", 0)
+        assert ld.is_load and ld.reads == {"i6"} and ld.writes == {"g1"}
+        stl = _Line("        st %g1, [%fp - 8]", 0)
+        assert stl.is_store and stl.reads == {"g1", "i6"} and not stl.writes
+
+    def test_alias_normalisation(self):
+        a = _Line("        st %g1, [%sp]", 0)
+        b = _Line("        add %o6, 8, %g2", 0)
+        assert "o6" in a.reads and "o6" in b.reads
+
+    def test_g0_writes_ignored(self):
+        l = _Line("        add %l0, %l1, %g0", 0)
+        assert not l.writes
+
+    def test_set_pseudo(self):
+        l = _Line("        set buf, %g3", 0)
+        assert l.writes == {"g3"} and not l.reads
+
+    def test_mov_register(self):
+        l = _Line("        mov %o0, %g3", 0)
+        assert l.reads == {"o0"} and l.writes == {"g3"}
+
+
+class TestBlockScheduling:
+    def test_dependent_order_preserved(self):
+        asm = """
+        .text
+_start: mov 1, %l0
+        add %l0, 1, %l0
+        add %l0, 1, %l0
+        ta 0
+"""
+        out = schedule_assembly(asm)
+        assert body_lines(out) == body_lines(asm)
+
+    def test_store_load_order_preserved(self):
+        asm = """
+        .text
+_start:
+        st %l0, [%l1]
+        ld [%l2], %l3
+        st %l3, [%l4]
+        ta 0
+"""
+        out = schedule_assembly(asm)
+        body = body_lines(out)
+        assert body.index("st %l0, [%l1]") < body.index("ld [%l2], %l3")
+        assert body.index("ld [%l2], %l3") < body.index("st %l3, [%l4]")
+
+    def test_loads_may_reorder_between_themselves(self):
+        asm = """
+        .text
+_start: ld [%l0], %g1
+        ld [%l1], %g2
+        add %g2, 1, %g3
+        add %g1, %g3, %g4
+        ta 0
+"""
+        out = schedule_assembly(asm)
+        body = body_lines(out)
+        assert len(body) == len(body_lines(asm))
+
+    def test_branches_stay_at_block_ends(self):
+        asm = """
+        .text
+_start:
+        cmp %l0, 3
+        be done
+        add %l1, 1, %l1
+        add %l2, 1, %l2
+done:   ta 0
+"""
+        out = schedule_assembly(asm)
+        body = [l for l in out.splitlines() if l.strip()]
+        be_pos = next(i for i, l in enumerate(body) if l.strip().startswith("be "))
+        cmp_pos = next(i for i, l in enumerate(body) if l.strip().startswith("cmp"))
+        assert cmp_pos < be_pos
+
+    def test_data_section_untouched(self):
+        asm = """
+        .text
+_start: ta 0
+        .data
+x:      .word 3, 4
+y:      .byte 1
+"""
+        out = schedule_assembly(asm)
+        assert ".word 3, 4" in out and ".byte 1" in out
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=2, max_size=12), st.integers(0, 3))
+    def test_scheduled_program_equivalent(self, adds, seed):
+        """Random straight-line programs compute the same result after
+        scheduling (execution-level equivalence oracle)."""
+        lines = ["        mov %d, %%l0" % (seed + 1), "        mov 7, %l1"]
+        regs = ["%l0", "%l1", "%l2", "%l3", "%g1", "%g2"]
+        for i, k in enumerate(adds):
+            dst = regs[(i + 2) % len(regs)]
+            a = regs[k % len(regs)]
+            b = regs[(k + i) % len(regs)]
+            lines.append("        add %s, %s, %s" % (a, b, dst))
+        lines.append("        add %l0, %l1, %o0")
+        src = ".text\n_start:\n" + "\n".join(lines) + "\n        ta 0\n"
+        base = ReferenceMachine(assemble(src))
+        base.run()
+        sched = ReferenceMachine(assemble(schedule_assembly(src)))
+        sched.run()
+        assert sched.rf.iregs == base.rf.iregs

@@ -1,0 +1,295 @@
+"""Tests for the two-pass assembler and the binary encoding round-trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm.assembler import assemble
+from repro.asm.parsing import eval_expr, parse_line, split_operands
+from repro.core.errors import SimError
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import (
+    Instr,
+    K_ALU,
+    K_BRANCH,
+    K_CALL,
+    K_FPOP,
+    K_JMPL,
+    K_LOAD,
+    K_RESTORE,
+    K_SAVE,
+    K_SETHI,
+    K_STORE,
+    K_TRAP,
+    OPCODE_LIST,
+    OPCODES,
+)
+
+
+class TestParsing:
+    def test_split_operands_brackets(self):
+        assert split_operands("%l1, [%l0+4]") == ["%l1", "[%l0+4]"]
+
+    def test_split_operands_string(self):
+        assert split_operands('"a,b", 3') == ['"a,b"', "3"]
+
+    def test_comment_stripping(self):
+        stmt = parse_line("  add %l0, 1, %l0  ; comment, with comma", 1)
+        assert stmt.mnemonic == "add"
+        assert stmt.operands == ["%l0", "1", "%l0"]
+
+    def test_label_only_line(self):
+        stmt = parse_line("loop:", 3)
+        assert stmt.label == "loop"
+        assert stmt.mnemonic is None
+
+    def test_expr_arithmetic(self):
+        assert eval_expr("4*0", {}, 1) if False else True
+        assert eval_expr("10+2", {}, 1) == 12
+        assert eval_expr("10-2-3", {}, 1) == 5
+        assert eval_expr("0x10", {}, 1) == 16
+        assert eval_expr("sym+4", {"sym": 100}, 1) == 104
+
+    def test_expr_hi_lo(self):
+        v = 0x12345678
+        hi = eval_expr("%hi(0x12345678)", {}, 1)
+        lo = eval_expr("%lo(0x12345678)", {}, 1)
+        assert ((hi << 12) | lo) & 0xFFFFFFFF == v
+
+    def test_expr_char_literal(self):
+        assert eval_expr("'A'", {}, 1) == 65
+        assert eval_expr("'\\n'", {}, 1) == 10
+
+    def test_expr_unknown_symbol(self):
+        with pytest.raises(SimError):
+            eval_expr("nosuch", {}, 1)
+
+
+class TestAssembler:
+    def test_labels_and_sections(self):
+        p = assemble(
+            """
+            .text
+    _start: nop
+            ba _start
+            .data
+    x:      .word 1, 2, 3
+    msg:    .asciz "hi"
+    buf:    .space 10
+    end:    .byte 0xff
+            """
+        )
+        assert p.symbols["_start"] == p.text_base
+        assert p.symbols["x"] == p.data_base
+        assert p.symbols["msg"] == p.data_base + 12
+        assert p.symbols["buf"] == p.data_base + 15
+        assert p.symbols["end"] == p.data_base + 25
+        assert p.data_image[0:4] == b"\x00\x00\x00\x01"
+        assert p.data_image[12:15] == b"hi\x00"
+        assert p.data_image[25] == 0xFF
+
+    def test_align_directive(self):
+        p = assemble(
+            """
+            .data
+    a:      .byte 1
+            .align 4
+    b:      .word 2
+            """
+        )
+        assert p.symbols["b"] == p.data_base + 4
+
+    def test_align_label_points_past_padding(self):
+        p = assemble(
+            """
+            .data
+    x:      .byte 1
+    y:      .align 4
+            .word 7
+            """
+        )
+        assert p.symbols["y"] == p.data_base + 4
+
+    def test_equ(self):
+        p = assemble(
+            """
+            .equ SIZE, 64
+            .text
+    _start: mov SIZE, %o0
+            ta 0
+            """
+        )
+        instr = p.fetch(p.text_base)
+        assert instr.imm == 64
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(SimError):
+            assemble("a: nop\na: nop\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(SimError):
+            assemble("  frobnicate %o0, %o1, %o2\n")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SimError):
+            assemble("  add %o0, %o1\n")
+
+    def test_branch_displacement(self):
+        p = assemble(
+            """
+    _start: nop
+            nop
+            be _start
+            """
+        )
+        br = p.fetch(p.text_base + 8)
+        assert br.imm == -8
+
+    def test_set_expands_to_two_words(self):
+        p = assemble(
+            """
+    _start: set 0xdeadbeef, %l0
+            ta 0
+            """
+        )
+        assert len(p.text_words) == 3
+        # execute the pair by hand: sethi then or
+        hi = p.fetch(p.text_base)
+        lo = p.fetch(p.text_base + 4)
+        assert ((hi.imm << 12) | lo.imm) == 0xDEADBEEF
+
+    def test_pseudo_expansion(self):
+        p = assemble(
+            """
+    _start: mov 5, %l0
+            cmp %l0, 3
+            tst %l0
+            neg %l0, %l1
+            not %l0, %l2
+            retl
+            """
+        )
+        texts = [p.fetch(p.text_base + 4 * i).text() for i in range(6)]
+        assert texts[0] == "or g0, 5, l0"
+        assert texts[1] == "subcc l0, 3, g0"
+        assert texts[2] == "orcc g0, l0, g0"
+        assert texts[3] == "sub g0, l0, l1"
+        assert texts[4] == "xnor l0, g0, l2"
+        assert "jmpl o7+4" in texts[5]
+
+    def test_memory_operand_forms(self):
+        p = assemble(
+            """
+    _start: ld [%l0], %l1
+            ld [%l0+8], %l1
+            ld [%l0 - 4], %l1
+            st %l1, [%sp+96]
+            """
+        )
+        assert p.fetch(p.text_base).imm == 0
+        assert p.fetch(p.text_base + 4).imm == 8
+        assert p.fetch(p.text_base + 8).imm == -4
+        st = p.fetch(p.text_base + 12)
+        assert st.rs1 == 14 and st.imm == 96
+
+    def test_disassemble_roundtrip_mentions_labels(self):
+        p = assemble("_start: nop\nfoo: ba foo\n")
+        text = p.disassemble()
+        assert "_start:" in text and "foo:" in text
+
+    def test_instruction_outside_text_rejected(self):
+        with pytest.raises(SimError):
+            assemble(".data\n  add %o0, %o1, %o2\n")
+
+
+def _instr_strategy():
+    """Generate random valid instructions for the encode/decode round-trip."""
+    regs = st.integers(0, 31)
+    alu_names = [
+        o.name
+        for o in OPCODE_LIST
+        if o.kind == K_ALU or o.kind in (K_SAVE, K_RESTORE, K_JMPL)
+    ]
+    mem_names = ["ld", "ldub", "ldsb", "st", "stb", "ldf", "stf"]
+
+    def build_alu(name, rd, rs1, rs2, imm, use_imm):
+        return Instr(
+            OPCODES[name],
+            rd=rd,
+            rs1=rs1,
+            rs2=rs2,
+            imm=imm if use_imm else 0,
+            use_imm=use_imm,
+        )
+
+    alu = st.builds(
+        build_alu,
+        st.sampled_from(alu_names + mem_names),
+        regs,
+        regs,
+        regs,
+        st.integers(-(1 << 14), (1 << 14) - 1),
+        st.booleans(),
+    )
+    branch = st.builds(
+        lambda name, disp: Instr(OPCODES[name], imm=disp * 4),
+        st.sampled_from([o.name for o in OPCODE_LIST if o.kind == K_BRANCH]),
+        st.integers(-(1 << 20), (1 << 20) - 1),
+    )
+    call = st.builds(
+        lambda disp: Instr(OPCODES["call"], imm=disp * 4),
+        st.integers(-(1 << 25), (1 << 25) - 1),
+    )
+    sethi = st.builds(
+        lambda rd, imm: Instr(OPCODES["sethi"], rd=rd, imm=imm),
+        regs,
+        st.integers(0, (1 << 21) - 1),
+    )
+    trap = st.builds(lambda n: Instr(OPCODES["ta"], imm=n), st.integers(0, 100))
+    fpop = st.builds(
+        lambda name, rd, rs1, rs2: Instr(OPCODES[name], rd=rd, rs1=rs1, rs2=rs2),
+        st.sampled_from([o.name for o in OPCODE_LIST if o.kind == K_FPOP]),
+        regs,
+        regs,
+        regs,
+    )
+    return st.one_of(alu, branch, call, sethi, trap, fpop)
+
+
+class TestEncoding:
+    @given(_instr_strategy())
+    def test_roundtrip(self, instr):
+        word = encode(instr)
+        assert 0 <= word < (1 << 32)
+        back = decode(word)
+        assert back.op is instr.op
+        assert back.imm == instr.imm
+        assert back.use_imm == instr.use_imm
+        if instr.op.kind not in (K_BRANCH, K_CALL, K_TRAP):
+            assert back.rd == instr.rd
+        if instr.op.kind not in (K_BRANCH, K_CALL, K_TRAP, K_SETHI):
+            assert back.rs1 == instr.rs1
+            if not instr.use_imm:
+                assert back.rs2 == instr.rs2
+
+    def test_immediate_out_of_range_rejected(self):
+        with pytest.raises(SimError):
+            encode(Instr(OPCODES["add"], rd=1, rs1=1, imm=1 << 20, use_imm=True))
+
+    def test_illegal_opcode_rejected(self):
+        with pytest.raises(SimError):
+            decode(0xFFFFFFFF)
+
+    def test_program_words_decode_to_same_text(self):
+        p = assemble(
+            """
+    _start: mov 3, %o0
+            add %o0, %o0, %o1
+            st %o1, [%sp]
+            be _start
+            call _start
+            ta 0
+            """
+        )
+        for i, word in enumerate(p.text_words):
+            addr = p.text_base + 4 * i
+            assert decode(word, addr).text() == p.fetch(addr).text()

@@ -1,0 +1,147 @@
+"""Tests for the DIF and scalar baselines."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.baselines.dif import DIFMachine, DIFScheduler
+from repro.baselines.scalar import ScalarMachine
+from repro.core.config import MachineConfig
+from repro.core.reference import ReferenceMachine
+from repro.core.stats import Stats
+from repro.lang import compile_minicc
+from repro.workloads import registry
+
+SMALL = 0.08
+
+
+def run_all_three(source: str):
+    program = assemble(compile_minicc(source))
+    ref = ReferenceMachine(program)
+    ref.run()
+    cfg = MachineConfig.fig9(test_mode=False)
+    results = {}
+    for name, machine in [
+        ("scalar", ScalarMachine(program, cfg)),
+        ("dif", DIFMachine(program, cfg)),
+    ]:
+        stats = machine.run(max_cycles=200_000_000)
+        assert machine.exit_code == ref.exit_code, name
+        assert machine.output == ref.output, name
+        results[name] = stats
+    return ref, results
+
+
+class TestScalarMachine:
+    def test_correctness_and_ipc_below_one(self):
+        ref, res = run_all_three(
+            """
+            int main(){int i;int s=0;for(i=0;i<200;i++)s+=i&7;return s&0xff;}
+            """
+        )
+        assert res["scalar"].ref_instructions == ref.instret
+        assert res["scalar"].ipc <= 1.0  # in-order scalar cannot beat 1
+
+    @pytest.mark.parametrize("name", ["compress", "go", "vortex"])
+    def test_workloads(self, name):
+        program = registry.load_program(name, SMALL)
+        count, out, code = registry.reference_run(name, SMALL)
+        m = ScalarMachine(program, MachineConfig.fig9(test_mode=False))
+        stats = m.run(max_cycles=200_000_000)
+        assert m.exit_code == code and m.output == out
+        assert stats.ref_instructions == count
+
+
+class TestDIFMachine:
+    @pytest.mark.parametrize("name", registry.BENCHMARKS)
+    def test_workload_correctness(self, name):
+        program = registry.load_program(name, SMALL)
+        count, out, code = registry.reference_run(name, SMALL)
+        m = DIFMachine(program, MachineConfig.fig9(test_mode=False))
+        stats = m.run(max_cycles=200_000_000)
+        assert m.exit_code == code
+        assert m.output == out
+
+    def test_beats_scalar(self):
+        ref, res = run_all_three(
+            """
+            int data[64];
+            int main(){int i;int s=0;
+            for(i=0;i<64;i++)data[i]=i*3;
+            for(i=0;i<64;i++)s+=data[i]^i;
+            return s&0xff;}
+            """
+        )
+        assert ref.instret / res["dif"].cycles > res["scalar"].ipc
+
+    def test_groups_are_cached_and_reused(self):
+        program = registry.load_program("perl", SMALL)
+        m = DIFMachine(program, MachineConfig.fig9(test_mode=False))
+        stats = m.run(max_cycles=200_000_000)
+        assert stats.vliw_cache_hits > 0
+        assert stats.vliw_block_entries > 0
+        assert stats.blocks_flushed > 0
+
+    def test_renaming_instances_tracked(self):
+        program = registry.load_program("ijpeg", SMALL)
+        m = DIFMachine(program, MachineConfig.fig9(test_mode=False))
+        stats = m.run(max_cycles=200_000_000)
+        assert stats.max_int_renaming > 0
+
+
+class TestDIFScheduler:
+    def _op(self, opid, reads=(), writes=(), branch=False):
+        from tests.test_scheduler_unit import make_op
+
+        return make_op(opid, reads=reads, writes=writes, branch=branch)
+
+    def test_greedy_places_independent_ops_in_li0(self):
+        cfg = MachineConfig.fig9(test_mode=False)
+        s = DIFScheduler(cfg, Stats())
+        s.start_group(0x1000)
+        for i in range(3):
+            assert s.try_place(self._op(i, writes={i + 1}))
+        assert s.max_li == 0  # all three in the first long instruction
+
+    def test_dependence_chain_uses_height(self):
+        cfg = MachineConfig.fig9(test_mode=False)
+        s = DIFScheduler(cfg, Stats())
+        s.start_group(0x1000)
+        assert s.try_place(self._op(0, writes={1}))
+        assert s.try_place(self._op(1, reads={1}, writes={2}))
+        assert s.try_place(self._op(2, reads={2}, writes={3}))
+        assert s.max_li == 2
+
+    def test_group_full_returns_false(self):
+        cfg = MachineConfig.fig9(test_mode=False)
+        s = DIFScheduler(cfg, Stats())
+        s.start_group(0x1000)
+        prev = 0
+        placed = 0
+        for i in range(20):
+            op = self._op(i, reads={prev + 1}, writes={i + 2})
+            prev = i + 1
+            if not s.try_place(op):
+                break
+            placed += 1
+        assert placed == cfg.block_height  # serial chain: one per LI
+
+    def test_branch_anchors_after_earlier_ops(self):
+        cfg = MachineConfig.fig9(test_mode=False)
+        s = DIFScheduler(cfg, Stats())
+        s.start_group(0x1000)
+        s.try_place(self._op(0, writes={1}))
+        s.try_place(self._op(1, reads={1}, writes={2}))  # li 1
+        br = self._op(2, branch=True)
+        assert s.try_place(br)
+        # the branch's exit map must cover both earlier ops
+        assert s.group.trace[-1][1] >= 1
+
+    def test_exit_map_accounting(self):
+        cfg = MachineConfig.fig9(test_mode=False)
+        s = DIFScheduler(cfg, Stats())
+        s.start_group(0x1000)
+        s.try_place(self._op(0, writes={1}))
+        s.try_place(self._op(1, branch=True))
+        g = s.flush(0x2000)
+        assert g.exits == 2  # group end + one branch
+        assert g.exit_map_bytes() == 38

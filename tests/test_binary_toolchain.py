@@ -1,0 +1,113 @@
+"""Tests for the binary executable format and the cc/asm/exec CLI."""
+
+import pytest
+
+from repro import DTSVLIW, MachineConfig, compile_and_load
+from repro.asm.binary import load_program, save_program
+from repro.core.errors import SimError
+from repro.core.reference import ReferenceMachine
+from repro.harness.cli import main as cli_main
+
+SOURCE = """
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { print_int(fib(10)); return fib(10) & 0xff; }
+"""
+
+
+class TestBinaryFormat:
+    def test_roundtrip_preserves_execution(self, tmp_path):
+        program = compile_and_load(SOURCE)
+        path = tmp_path / "fib.bin"
+        save_program(program, path)
+        loaded = load_program(path)
+        m1 = ReferenceMachine(program)
+        m1.run()
+        m2 = ReferenceMachine(loaded)
+        m2.run()
+        assert m2.output == m1.output == b"55"
+        assert m2.exit_code == m1.exit_code
+
+    def test_roundtrip_preserves_symbols_and_layout(self, tmp_path):
+        program = compile_and_load(SOURCE)
+        path = tmp_path / "fib.bin"
+        save_program(program, path)
+        loaded = load_program(path)
+        assert loaded.entry == program.entry
+        assert loaded.text_base == program.text_base
+        assert loaded.text_words == program.text_words
+        assert loaded.data_image == program.data_image
+        assert loaded.symbols == program.symbols
+
+    def test_loaded_binary_runs_on_dtsvliw(self, tmp_path):
+        program = compile_and_load(SOURCE)
+        path = tmp_path / "fib.bin"
+        save_program(program, path)
+        machine = DTSVLIW(load_program(path), MachineConfig.paper_fixed(8, 8))
+        machine.run()
+        assert machine.output == b"55"
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"ELF\x7f" + b"\x00" * 64)
+        with pytest.raises(SimError):
+            load_program(path)
+
+    def test_truncated_rejected(self, tmp_path):
+        program = compile_and_load(SOURCE)
+        path = tmp_path / "fib.bin"
+        save_program(program, path)
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(SimError):
+            load_program(path)
+
+
+class TestToolchainCLI:
+    def test_cc_exec_pipeline(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(SOURCE)
+        binary = tmp_path / "prog.bin"
+        assert cli_main(["cc", str(src), "-o", str(binary)]) == 0
+        assert cli_main(["exec", str(binary), "--test-mode"]) == 0
+        out = capsys.readouterr().out
+        assert "55" in out and "ipc=" in out
+
+    def test_cc_emit_asm(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text("int main() { return 3; }")
+        asm = tmp_path / "prog.s"
+        assert cli_main(["cc", str(src), "-S", "-o", str(asm)]) == 0
+        text = asm.read_text()
+        assert "_start:" in text and "call main" in text
+
+    def test_asm_command(self, tmp_path, capsys):
+        src = tmp_path / "tiny.s"
+        src.write_text("        .text\n_start: mov 9, %o0\n        ta 0\n")
+        binary = tmp_path / "tiny.bin"
+        assert cli_main(["asm", str(src), "-o", str(binary)]) == 0
+        assert cli_main(["exec", str(binary), "--machine", "scalar"]) == 0
+        out = capsys.readouterr().out
+        assert "exit=9" in out
+
+    def test_cc_with_optimisations(self, tmp_path, capsys):
+        src = tmp_path / "loop.c"
+        src.write_text(
+            """
+            int a[16];
+            int main() {
+              int i; int s = 0;
+              for (i = 0; i < 16; i++) a[i] = i;
+              for (i = 0; i < 16; i++) s += a[i];
+              return s;
+            }
+            """
+        )
+        binary = tmp_path / "loop.bin"
+        assert (
+            cli_main(
+                ["cc", str(src), "--unroll", "4", "--schedule", "-o", str(binary)]
+            )
+            == 0
+        )
+        assert cli_main(["exec", str(binary), "--test-mode"]) == 0
+        out = capsys.readouterr().out
+        assert "exit=120" in out

@@ -1,0 +1,76 @@
+"""Cross-configuration interaction matrix: combinations of the optional
+mechanisms must compose without corrupting execution (all lockstep)."""
+
+import pytest
+
+from repro import DTSVLIW, MachineConfig, compile_and_load
+from repro.core.config import CacheConfig
+
+PROGRAM = """
+int table[32];
+int mix(int a, int b) { return ((a << 3) ^ b) + (a & 7); }
+int rec(int n) { if (n <= 0) return 1; return rec(n - 1) + (n & 3); }
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 32; i++) table[i] = mix(i, i * 3);
+  for (i = 0; i < 32; i++) {
+    if (table[i] & 1) s += table[i];
+    else s -= table[(i + 5) & 31];
+  }
+  s += rec(12);
+  print_int(s & 0xffffff);
+  return s & 0xff;
+}
+"""
+
+CONFIGS = {
+    "baseline": dict(),
+    "dsl": dict(data_store_list=True),
+    "predictor": dict(next_block_prediction=True, next_li_miss_penalty=1),
+    "strict_windows": dict(vliw_window_spill_inline=False),
+    "dsl+strict": dict(data_store_list=True, vliw_window_spill_inline=False),
+    "dsl+predictor": dict(
+        data_store_list=True,
+        next_block_prediction=True,
+        next_li_miss_penalty=1,
+    ),
+    "tight_renaming": dict(
+        int_renaming_limit=1, cc_renaming_limit=1, mem_renaming_limit=1
+    ),
+    "no_multicycle": dict(multicycle=False),
+    "few_windows": dict(nwindows=4),
+    "few_windows+dsl": dict(nwindows=4, data_store_list=True),
+    "everything": dict(
+        data_store_list=True,
+        next_block_prediction=True,
+        next_li_miss_penalty=1,
+        nwindows=4,
+        int_renaming_limit=4,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+@pytest.mark.parametrize("geom", [(4, 4), (8, 8)], ids=lambda g: "%dx%d" % g)
+def test_config_combination(name, geom):
+    cfg = MachineConfig.paper_fixed(*geom, **CONFIGS[name])
+    machine = DTSVLIW(compile_and_load(PROGRAM), cfg)
+    stats = machine.run(max_cycles=50_000_000)  # lockstep oracle active
+    assert stats.ipc > 0.3
+
+
+def test_feasible_with_everything():
+    cfg = MachineConfig.feasible(
+        data_store_list=True, next_block_prediction=True
+    )
+    machine = DTSVLIW(compile_and_load(PROGRAM), cfg)
+    machine.run(max_cycles=50_000_000)
+
+
+def test_realistic_caches_with_dsl():
+    cfg = MachineConfig.paper_fixed(8, 8, data_store_list=True)
+    cfg.icache = CacheConfig(size=512, line_size=32, assoc=1, miss_penalty=6)
+    cfg.dcache = CacheConfig(size=512, line_size=32, assoc=1, miss_penalty=6)
+    machine = DTSVLIW(compile_and_load(PROGRAM), cfg)
+    stats = machine.run(max_cycles=50_000_000)
+    assert stats.dcache_stall_cycles > 0

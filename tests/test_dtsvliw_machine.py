@@ -1,0 +1,250 @@
+"""Integration tests for the full DTSVLIW machine.
+
+Every test runs with the paper's *test mode* enabled: the lockstep
+reference machine compares architectural state after each Primary
+instruction and after each VLIW block, and the final memory image and
+program output are compared byte for byte.
+"""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core.config import MachineConfig
+from repro.core.errors import SimError
+from repro.core.machine import DTSVLIW
+from repro.core.reference import ReferenceMachine
+from repro.lang import CompilerOptions, compile_minicc
+
+
+def run_both(source, cfg=None, max_cycles=50_000_000, asm=False, hw_mul=False):
+    program = assemble(
+        source if asm else compile_minicc(source, CompilerOptions(hw_mul=hw_mul))
+    )
+    ref = ReferenceMachine(program)
+    ref.run()
+    m = DTSVLIW(program, cfg or MachineConfig.paper_fixed(8, 8))
+    stats = m.run(max_cycles=max_cycles)
+    assert m.exit_code == ref.exit_code
+    assert m.output == ref.output
+    return m, ref, stats
+
+
+PROGRAMS = {
+    "loop_sum": "int main(){int i;int s=0;for(i=0;i<50;i++)s+=i;return s%251;}",
+    "fib": "int fib(int n){if(n<2)return n;return fib(n-1)+fib(n-2);}"
+    "int main(){return fib(13) & 0xff;}",
+    "sieve": """int flags[80];
+int main(){int i;int j;int c=0;
+for(i=2;i<80;i++)flags[i]=1;
+for(i=2;i<80;i++){if(flags[i]){c++;for(j=i+i;j<80;j+=i)flags[j]=0;}}
+return c;}""",
+    "string_hash": """char t[] = "dynamically trace scheduled vliw";
+int main(){int h=5381;char*p=t;while(*p){h=h*33+*p;p++;}return h&0xff;}""",
+    "division": "int main(){int a=0;int i;for(i=1;i<30;i++)a+=(999/i)%5;return a&0xff;}",
+    "deep_recursion": "int d(int n){if(n==0)return 0;return 1+d(n-1);}"
+    "int main(){return d(40) & 0xff;}",
+    "floats": """int main(){float a=1.25;float s=0.0;int i;
+for(i=0;i<15;i++){s=s+a;a=a*1.5;}return ((int)s)&0xff;}""",
+    "pointer_chase": """int nodes[64];
+int main(){int i;
+for(i=0;i<31;i++)nodes[i*2]=(i+1)*2;   /* next "pointers" */
+for(i=0;i<32;i++)nodes[i*2+1]=i;        /* payloads */
+int p=0;int s=0;
+while(nodes[p]){s+=nodes[p+1];p=nodes[p];}
+return s&0xff;}""",
+}
+
+GEOMETRIES = [(2, 2), (4, 4), (8, 4), (4, 8), (8, 8), (16, 16)]
+
+
+class TestLockstepMatrix:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    @pytest.mark.parametrize("geom", GEOMETRIES, ids=lambda g: "%dx%d" % g)
+    def test_program_geometry(self, name, geom):
+        run_both(PROGRAMS[name], MachineConfig.paper_fixed(*geom))
+
+
+class TestConfigurations:
+    def test_feasible_machine(self):
+        m, ref, stats = run_both(PROGRAMS["sieve"], MachineConfig.feasible())
+        assert stats.ipc > 0.5
+
+    def test_fig9_machine(self):
+        run_both(PROGRAMS["fib"], MachineConfig.fig9())
+
+    def test_small_vliw_cache_still_correct(self):
+        cfg = MachineConfig.paper_fixed(8, 8)
+        cfg.vliw_cache_bytes = 2 * cfg.block_bytes  # pathologically small
+        run_both(PROGRAMS["sieve"], cfg)
+
+    def test_realistic_caches(self):
+        from repro.core.config import CacheConfig
+
+        cfg = MachineConfig.paper_fixed(8, 8)
+        cfg.icache = CacheConfig(size=1024, line_size=32, assoc=1, miss_penalty=8)
+        cfg.dcache = CacheConfig(size=1024, line_size=32, assoc=1, miss_penalty=8)
+        m, ref, stats = run_both(PROGRAMS["sieve"], cfg)
+        assert stats.icache_stall_cycles > 0
+
+    def test_data_store_list_scheme(self):
+        cfg = MachineConfig.paper_fixed(8, 8, data_store_list=True)
+        run_both(PROGRAMS["sieve"], cfg)
+        run_both(PROGRAMS["fib"], cfg)
+
+    def test_hw_mul_multicycle(self):
+        cfg = MachineConfig.paper_fixed(8, 8)
+        run_both(PROGRAMS["division"], cfg, hw_mul=True)
+
+    def test_multicycle_disabled(self):
+        cfg = MachineConfig.paper_fixed(8, 8, multicycle=False)
+        run_both(PROGRAMS["division"], cfg, hw_mul=True)
+
+    def test_strict_window_exceptions(self):
+        # With lazy inline spill disabled, spilling saves become
+        # non-schedulable in the Primary Processor; the eager block-entry
+        # fills (required for correctness of hoisted window reads) still
+        # run, so execution stays exact and spill work is still charged.
+        cfg = MachineConfig.paper_fixed(8, 8, vliw_window_spill_inline=False)
+        m, ref, stats = run_both(PROGRAMS["deep_recursion"], cfg)
+        assert stats.spill_cycles > 0 or stats.blocks_flushed_nonsched > 0
+
+    def test_next_block_prediction_correct_and_not_slower(self):
+        cfg0 = MachineConfig.feasible()
+        cfg1 = MachineConfig.feasible(next_block_prediction=True)
+        _, _, s0 = run_both(PROGRAMS["sieve"], cfg0)
+        m, ref, s1 = run_both(PROGRAMS["sieve"], cfg1)
+        assert s1.cycles <= s0.cycles
+        assert s1.extra.get("next_block_pred_hits", 0) > 0
+
+    def test_renaming_limits_respected(self):
+        cfg = MachineConfig.paper_fixed(
+            8, 8, int_renaming_limit=2, cc_renaming_limit=1
+        )
+        m, ref, stats = run_both(PROGRAMS["fib"], cfg)
+        assert stats.max_int_renaming <= 2
+        assert stats.max_cc_renaming <= 1
+
+
+ALIAS_ASM = """
+        .text
+_start: set idx1, %l0
+        set idx2, %l1
+        set buf, %l2
+        mov 12, %l3
+        mov 0, %l5
+loop:   ld [%l0], %g1
+        ld [%l1], %g2
+        sll %g1, 2, %g1
+        sll %g2, 2, %g2
+        add %l2, %g1, %g1
+        add %l2, %g2, %g2
+        mov 7, %g3
+        st %g3, [%g1]
+        ld [%g2], %g4
+        add %l5, %g4, %l5
+        add %l0, 4, %l0
+        add %l1, 4, %l1
+        subcc %l3, 1, %l3
+        bne loop
+        mov %l5, %o0
+        ta 0
+        .data
+idx1:   .word 0, 1, 2, 3, 4, 5, 6, 6, 6, 6, 6, 6
+idx2:   .word 1, 2, 3, 4, 5, 6, 6, 6, 6, 6, 6, 6
+buf:    .word 10, 20, 30, 40, 50, 60, 70, 80
+"""
+
+
+class TestAliasing:
+    def test_aliasing_detected_and_recovered(self):
+        m, ref, stats = run_both(ALIAS_ASM, MachineConfig.paper_fixed(8, 8), asm=True)
+        assert stats.aliasing_exceptions >= 1
+        assert stats.block_invalidations >= 1
+
+    def test_rescheduled_block_keeps_memory_order(self):
+        m, ref, stats = run_both(ALIAS_ASM, MachineConfig.paper_fixed(8, 8), asm=True)
+        # the offending block address is remembered for ordered rescheduling
+        assert m.scheduler.alias_addrs
+
+    def test_aliasing_with_data_store_list(self):
+        cfg = MachineConfig.paper_fixed(8, 8, data_store_list=True)
+        m, ref, stats = run_both(ALIAS_ASM, cfg, asm=True)
+        assert stats.aliasing_exceptions >= 1
+
+
+class TestRegisterWindows:
+    def test_window_spills_during_vliw(self):
+        m, ref, stats = run_both(
+            PROGRAMS["deep_recursion"], MachineConfig.paper_fixed(8, 8)
+        )
+        assert stats.spill_cycles > 0
+
+    def test_block_reentry_at_different_depth(self):
+        # one function called from two different call depths: the cached
+        # blocks must resolve windows relative to the entry cwp
+        src = """
+        int leaf(int x) { return x * 2 + 1; }
+        int mid(int x) { return leaf(x) + 1; }
+        int main() {
+          int s = 0; int i;
+          for (i = 0; i < 10; i++) { s += leaf(i); s += mid(i); }
+          return s & 0xff;
+        }
+        """
+        run_both(src, MachineConfig.paper_fixed(8, 8))
+
+    def test_more_windows(self):
+        cfg = MachineConfig.paper_fixed(8, 8, nwindows=16)
+        m, ref, stats = run_both(PROGRAMS["fib"], cfg)
+
+
+class TestStatistics:
+    def test_cycle_accounting_consistent(self):
+        m, ref, stats = run_both(PROGRAMS["sieve"])
+        assert stats.cycles == (
+            stats.primary_cycles + stats.vliw_cycles + stats.switch_cycles
+        )
+        assert stats.ref_instructions == ref.instret
+        assert 0 < stats.ipc < m.cfg.block_width + 1
+
+    def test_vliw_fraction_high_for_loops(self):
+        m, ref, stats = run_both(PROGRAMS["sieve"])
+        assert stats.vliw_cycle_fraction > 0.7
+
+    def test_slot_occupancy_bounds(self):
+        m, ref, stats = run_both(PROGRAMS["sieve"])
+        assert 0 < stats.slot_occupancy <= 1
+
+    def test_blocks_flushed_reasons_sum(self):
+        m, ref, stats = run_both(PROGRAMS["fib"])
+        assert (
+            stats.blocks_flushed_full
+            + stats.blocks_flushed_hit
+            + stats.blocks_flushed_nonsched
+            <= stats.blocks_flushed
+        )
+
+    def test_wider_blocks_do_not_reduce_ipc_much(self):
+        # block size is not strictly monotone per program (longer traces
+        # expose more mid-block exits), but it must stay in the same band
+        _, _, s44 = run_both(PROGRAMS["sieve"], MachineConfig.paper_fixed(4, 4))
+        _, _, s88 = run_both(PROGRAMS["sieve"], MachineConfig.paper_fixed(8, 8))
+        assert s88.ipc >= 0.7 * s44.ipc
+
+    def test_scalar_slower_than_vliw(self):
+        """1x1 geometry (one op per LI) must not beat a wide machine."""
+        _, _, narrow = run_both(PROGRAMS["sieve"], MachineConfig.paper_fixed(1, 4))
+        _, _, wide = run_both(PROGRAMS["sieve"], MachineConfig.paper_fixed(8, 8))
+        assert wide.ipc > narrow.ipc
+
+
+class TestRunawayProtection:
+    def test_max_cycles_raises(self):
+        src = """
+        .text
+_start: ba _start
+"""
+        program = assemble(src)
+        m = DTSVLIW(program, MachineConfig.paper_fixed(4, 4))
+        with pytest.raises(SimError):
+            m.run(max_cycles=5000)

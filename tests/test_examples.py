@@ -1,0 +1,45 @@
+"""The example scripts must keep running end to end (they are the
+documentation's executable half)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "IPC" in out
+    assert "18" in out  # 18 primes below 64
+
+
+def test_figure2_scheduling():
+    out = run_example("figure2_scheduling.py")
+    assert "block flushed to the VLIW Cache" in out
+    assert "COPY" in out  # the paper's split example
+    assert "sum of vector prefix): 36" in out
+
+
+def test_explore_geometry():
+    out = run_example("explore_geometry.py", "vortex", "0.05")
+    assert "16x16" in out and "ipc" in out
+
+
+def test_compare_machines():
+    out = run_example("compare_machines.py")
+    assert "dtsvliw" in out and "dif" in out and "scalar" in out
+    assert "diverged" not in out

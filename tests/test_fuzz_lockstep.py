@@ -1,0 +1,132 @@
+"""Differential fuzzing: random minicc programs, executed on the DTSVLIW in
+lockstep test mode (plus a DIF run) against the sequential reference.
+
+The generator only produces terminating, memory-safe programs (counted
+loops, power-of-two array sizes indexed through masks), but otherwise
+mixes arithmetic, control flow, array traffic, calls and recursion freely
+-- this is the widest net for scheduler/engine interaction bugs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import DTSVLIW, MachineConfig, compile_and_load, CompilerOptions
+from repro.asm.assembler import assemble
+from repro.baselines.dif import DIFMachine
+from repro.core.reference import ReferenceMachine
+from repro.lang import compile_minicc
+
+ARRAY = 32  # power of two; indices masked with & 31
+
+EXPR_LEAVES = ["a", "b", "c", "i", "j", "3", "7", "25", "100"]
+BIN_OPS = ["+", "-", "&", "|", "^", "<<", ">>"]  # * via helper only (mul is slow in software)
+CMP_OPS = ["<", "<=", "==", "!=", ">", ">="]
+
+
+def gen_expr(draw, depth):
+    if depth <= 0 or draw(st.integers(0, 2)) == 0:
+        leaf = draw(st.sampled_from(EXPR_LEAVES + ["data[(%s) & 31]" % draw(st.sampled_from(EXPR_LEAVES))]))
+        return leaf
+    op = draw(st.sampled_from(BIN_OPS))
+    left = gen_expr(draw, depth - 1)
+    right = gen_expr(draw, depth - 1)
+    if op == ">>":
+        return "((%s) >> ((%s) & 7))" % (left, right)
+    if op == "<<":
+        return "((%s) << ((%s) & 7))" % (left, right)
+    return "((%s) %s (%s))" % (left, op, right)
+
+
+def gen_stmt(draw, depth, allow_loop=True):
+    kind = draw(st.integers(0, 5 if allow_loop else 4))
+    if kind == 0:
+        var = draw(st.sampled_from(["a", "b", "c"]))
+        return "%s = (%s) & 0xffff;" % (var, gen_expr(draw, depth))
+    if kind == 1:
+        return "data[(%s) & 31] = (%s) & 0xffff;" % (
+            gen_expr(draw, 1),
+            gen_expr(draw, depth),
+        )
+    if kind == 2:
+        cmp_ = draw(st.sampled_from(CMP_OPS))
+        return "if ((%s) %s (%s)) { %s } else { %s }" % (
+            gen_expr(draw, 1),
+            cmp_,
+            gen_expr(draw, 1),
+            gen_stmt(draw, depth - 1, allow_loop),
+            gen_stmt(draw, depth - 1, allow_loop),
+        )
+    if kind == 3:
+        return "a = helper((%s) & 255, b);" % gen_expr(draw, 1)
+    if kind == 4:
+        return "b = b + rec((%s) & 7);" % gen_expr(draw, 1)
+    # counted loop over j: the body must not contain another j-loop
+    # (nested loops sharing the induction variable would not terminate)
+    body = gen_stmt(draw, depth - 1, allow_loop=False)
+    return "for (j = 0; j < %d; j++) { %s }" % (draw(st.integers(1, 6)), body)
+
+
+@st.composite
+def program_source(draw):
+    n_stmts = draw(st.integers(2, 6))
+    body = "\n      ".join(gen_stmt(draw, 2) for _ in range(n_stmts))
+    return (
+        """
+int data[%d];
+int helper(int x, int y) { return (x ^ y) + (x & 15); }
+int rec(int n) { if (n <= 0) return 1; return rec(n - 1) + n; }
+int main() {
+  int a = 5; int b = 9; int c = 12; int i; int j = 0;
+  for (i = 0; i < %d; i++) data[i] = i * 3;
+  for (i = 0; i < 8; i++) {
+      %s
+  }
+  int s = a + b + c;
+  for (i = 0; i < %d; i++) s += data[i];
+  print_int(s & 0xffffff);
+  return s & 0xff;
+}
+"""
+        % (ARRAY, ARRAY, body, ARRAY)
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(program_source(), st.sampled_from([(4, 4), (8, 8), (2, 6), (6, 2)]))
+def test_random_programs_lockstep(source, geom):
+    program = compile_and_load(source)
+    ref = ReferenceMachine(program)
+    ref.run(max_instructions=5_000_000)
+    machine = DTSVLIW(program, MachineConfig.paper_fixed(*geom))
+    machine.run(max_cycles=50_000_000)  # test mode verifies every step
+    assert machine.exit_code == ref.exit_code
+    assert machine.output == ref.output
+
+
+@settings(max_examples=6, deadline=None)
+@given(program_source())
+def test_random_programs_optimized_compile(source):
+    """Unroll + schedule + fold must preserve behaviour on random programs."""
+    base = ReferenceMachine(compile_and_load(source))
+    base.run(max_instructions=5_000_000)
+    opt_prog = assemble(
+        compile_minicc(source, CompilerOptions(unroll=3, schedule=True))
+    )
+    opt = ReferenceMachine(opt_prog)
+    opt.run(max_instructions=5_000_000)
+    assert opt.output == base.output
+    assert opt.exit_code == base.exit_code
+    machine = DTSVLIW(opt_prog, MachineConfig.paper_fixed(8, 8))
+    machine.run(max_cycles=50_000_000)
+    assert machine.output == base.output
+
+
+@settings(max_examples=5, deadline=None)
+@given(program_source())
+def test_random_programs_on_dif(source):
+    program = compile_and_load(source)
+    ref = ReferenceMachine(program)
+    ref.run(max_instructions=5_000_000)
+    dif = DIFMachine(program, MachineConfig.fig9(test_mode=False))
+    dif.run(max_cycles=100_000_000)
+    assert dif.exit_code == ref.exit_code
+    assert dif.output == ref.output

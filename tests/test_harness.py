@@ -1,0 +1,142 @@
+"""Tests for the experiment harness: runner, experiments, reporting, CLI."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.errors import SimError
+from repro.harness import experiments
+from repro.harness.cli import main as cli_main
+from repro.harness.reporting import format_bars, format_stacked, format_table
+from repro.harness.runner import run_workload
+
+SMALL = 0.08
+
+
+class TestRunner:
+    def test_run_returns_validated_result(self):
+        cfg = MachineConfig.paper_fixed(4, 4, test_mode=False)
+        res = run_workload("perl", cfg, scale=SMALL)
+        assert res.benchmark == "perl"
+        assert res.machine == "dtsvliw"
+        assert res.cycles > 0
+        assert 0.3 < res.ipc < 5
+
+    def test_machine_kinds(self):
+        cfg = MachineConfig.fig9(test_mode=False)
+        for kind in ("dtsvliw", "dif", "scalar"):
+            res = run_workload("vortex", cfg, machine=kind, scale=SMALL)
+            assert res.cycles > 0
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SimError):
+            run_workload("perl", MachineConfig(), machine="tomasulo", scale=SMALL)
+
+    def test_ipc_uses_reference_count(self):
+        from repro.workloads import registry
+
+        cfg = MachineConfig.paper_fixed(4, 4, test_mode=False)
+        res = run_workload("xlisp", cfg, scale=SMALL)
+        count, _, _ = registry.reference_run("xlisp", SMALL)
+        assert res.ref_instructions == count
+
+
+class TestExperiments:
+    def test_fig5_subset(self):
+        data = experiments.fig5_geometry(
+            ["perl"], geometries=[(4, 4), (8, 8)], scale=SMALL
+        )
+        assert set(data) == {"perl"}
+        assert set(data["perl"]) == {"4x4", "8x8"}
+
+    def test_fig6_subset(self):
+        data = experiments.fig6_cache_size(
+            ["xlisp"], sizes_kb=[48, 384], scale=SMALL
+        )
+        assert set(data["xlisp"]) == {48, 384}
+
+    def test_fig8_segments_cover_ideal(self):
+        data = experiments.fig8_feasible(["vortex"], scale=SMALL)
+        row = data["vortex"]
+        total = sum(row[s] for s in experiments.FIG8_SEGMENTS)
+        assert total == pytest.approx(row["ideal"], abs=0.2)
+
+    def test_fig9_subset(self):
+        data = experiments.fig9_dif_comparison(["m88ksim"], scale=SMALL)
+        row = data["m88ksim"]
+        assert row["dtsvliw"] > 0 and row["dif"] > 0
+
+    def test_table3_columns(self):
+        data = experiments.table3_feasible(["compress"], scale=SMALL)
+        row = data["compress"]
+        for col in (
+            "ipc",
+            "int_renaming",
+            "aliasing",
+            "vliw_cycles_pct",
+            "slot_occupancy_pct",
+        ):
+            assert col in row
+
+
+class TestReporting:
+    DATA = {
+        "alpha": {"a": 1.25, "b": 2.0},
+        "beta": {"a": 0.5, "b": 1.0},
+    }
+
+    def test_table_contains_rows_and_average(self):
+        text = format_table(self.DATA, ["a", "b"])
+        assert "alpha" in text and "beta" in text
+        assert "average" in text
+        assert "0.88" in text  # avg of column a
+
+    def test_table_handles_non_numeric(self):
+        text = format_table({"x": {"a": "hello", "b": 1}}, ["a", "b"])
+        assert "hello" in text
+
+    def test_bars_scale_to_max(self):
+        text = format_bars(self.DATA, width=10)
+        lines = [l for l in text.splitlines() if "#" in l]
+        assert max(l.count("#") for l in lines) == 10
+
+    def test_stacked_legend_and_totals(self):
+        data = {"x": {"s1": 1.0, "s2": 0.5}}
+        text = format_stacked(data, ["s1", "s2"])
+        assert "total=1.50" in text
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert cli_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "block_width" in out
+
+    def test_run_command(self, capsys):
+        assert (
+            cli_main(
+                [
+                    "run",
+                    "--workload",
+                    "vortex",
+                    "--width",
+                    "4",
+                    "--height",
+                    "4",
+                    "--scale",
+                    str(SMALL),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ipc=" in out
+
+    def test_fig5_with_subset(self, capsys):
+        assert (
+            cli_main(
+                ["fig5", "--benchmarks", "vortex", "--scale", str(SMALL)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "vortex" in out and "16x16" in out

@@ -1,0 +1,397 @@
+"""Unit tests for srisc instruction semantics."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core.errors import MemFault, ProgramExit, SimError
+from repro.core.reference import ReferenceMachine
+from repro.isa.registers import ICC_C, ICC_N, ICC_V, ICC_Z
+from repro.isa.semantics import ALU_FUNCS, alu_cc, eval_cond, to_signed
+
+
+def run_asm(body: str, max_instructions: int = 1_000_000) -> ReferenceMachine:
+    """Assemble a text fragment with an exit trap appended and run it."""
+    src = "        .text\n_start:\n" + body
+    m = ReferenceMachine(assemble(src))
+    m.run(max_instructions)
+    return m
+
+
+class TestAluCompute:
+    def test_add_wraps(self):
+        assert ALU_FUNCS["add"](0xFFFFFFFF, 1) == 0
+
+    def test_sub_wraps(self):
+        assert ALU_FUNCS["sub"](0, 1) == 0xFFFFFFFF
+
+    def test_logical(self):
+        assert ALU_FUNCS["and"](0xF0F0, 0xFF00) == 0xF000
+        assert ALU_FUNCS["or"](0xF0F0, 0x0F00) == 0xFFF0
+        assert ALU_FUNCS["xor"](0xFF, 0x0F) == 0xF0
+        assert ALU_FUNCS["andn"](0xFF, 0x0F) == 0xF0
+        assert ALU_FUNCS["orn"](0, 0) == 0xFFFFFFFF
+        assert ALU_FUNCS["xnor"](0xFFFFFFFF, 0xFFFFFFFF) == 0xFFFFFFFF
+
+    def test_shifts(self):
+        assert ALU_FUNCS["sll"](1, 31) == 0x80000000
+        assert ALU_FUNCS["srl"](0x80000000, 31) == 1
+        assert ALU_FUNCS["sra"](0x80000000, 31) == 0xFFFFFFFF
+        # shift counts are taken mod 32
+        assert ALU_FUNCS["sll"](1, 33) == 2
+
+    def test_mul(self):
+        assert ALU_FUNCS["smul"](to_signed(0xFFFFFFFF) & 0xFFFFFFFF, 3) == 0xFFFFFFFD
+        assert ALU_FUNCS["umul"](0x10000, 0x10000) == 0
+
+    def test_div(self):
+        assert ALU_FUNCS["sdiv"](7, 2) == 3
+        assert ALU_FUNCS["sdiv"](0xFFFFFFF9, 2) == 0xFFFFFFFD  # -7 / 2 = -3
+        assert ALU_FUNCS["udiv"](0xFFFFFFFF, 2) == 0x7FFFFFFF
+
+    def test_div_by_zero_faults(self):
+        with pytest.raises(MemFault):
+            ALU_FUNCS["sdiv"](1, 0)
+        with pytest.raises(MemFault):
+            ALU_FUNCS["udiv"](1, 0)
+
+
+class TestConditionCodes:
+    def test_subcc_equal_sets_z(self):
+        cc = alu_cc("subcc", 5, 5, 0)
+        assert cc & ICC_Z
+        assert not cc & ICC_N
+
+    def test_subcc_borrow_sets_c(self):
+        res = ALU_FUNCS["subcc"](1, 2)
+        cc = alu_cc("subcc", 1, 2, res)
+        assert cc & ICC_C
+        assert cc & ICC_N
+
+    def test_addcc_overflow(self):
+        res = ALU_FUNCS["addcc"](0x7FFFFFFF, 1)
+        cc = alu_cc("addcc", 0x7FFFFFFF, 1, res)
+        assert cc & ICC_V
+        assert cc & ICC_N
+
+    def test_addcc_carry(self):
+        res = ALU_FUNCS["addcc"](0xFFFFFFFF, 1)
+        cc = alu_cc("addcc", 0xFFFFFFFF, 1, res)
+        assert cc & ICC_C
+        assert cc & ICC_Z
+
+    def test_logic_cc_clears_vc(self):
+        res = ALU_FUNCS["andcc"](0x80000000, 0x80000000)
+        cc = alu_cc("andcc", 0x80000000, 0x80000000, res)
+        assert cc & ICC_N
+        assert not cc & ICC_V
+        assert not cc & ICC_C
+
+
+class TestCondEval:
+    def test_signed_comparisons(self):
+        # 1 < 2 (signed): subcc 1,2 -> N=1,V=0 -> bl taken
+        res = ALU_FUNCS["subcc"](1, 2)
+        cc = alu_cc("subcc", 1, 2, res)
+        assert eval_cond("bl", cc)
+        assert not eval_cond("bge", cc)
+        assert eval_cond("ble", cc)
+        assert not eval_cond("bg", cc)
+
+    def test_signed_overflow_case(self):
+        # -2^31 < 1 signed, but subtraction overflows
+        a, b = 0x80000000, 1
+        res = ALU_FUNCS["subcc"](a, b)
+        cc = alu_cc("subcc", a, b, res)
+        assert eval_cond("bl", cc)
+
+    def test_unsigned_comparisons(self):
+        a, b = 1, 0xFFFFFFFF
+        res = ALU_FUNCS["subcc"](a, b)
+        cc = alu_cc("subcc", a, b, res)
+        assert eval_cond("blu", cc)
+        assert not eval_cond("bgu", cc)
+        assert eval_cond("bleu", cc)
+
+    def test_always_never(self):
+        assert eval_cond("ba", 0)
+        assert not eval_cond("bn", 0)
+
+    def test_unknown_condition_raises(self):
+        with pytest.raises(SimError):
+            eval_cond("bxx", 0)
+
+
+class TestProgramExecution:
+    def test_exit_code(self):
+        m = run_asm(
+            """
+            mov 42, %o0
+            ta 0
+            """
+        )
+        assert m.exit_code == 42
+
+    def test_arith_sequence(self):
+        m = run_asm(
+            """
+            mov 10, %l0
+            add %l0, 32, %l1
+            sub %l1, %l0, %o0   ; 32
+            ta 0
+            """
+        )
+        assert m.exit_code == 32
+
+    def test_sethi_set(self):
+        m = run_asm(
+            """
+            set 0x12345678, %l0
+            srl %l0, 16, %o0
+            ta 0
+            """
+        )
+        assert m.exit_code == 0x1234
+
+    def test_branch_taken_and_not_taken(self):
+        m = run_asm(
+            """
+            mov 0, %l0
+            mov 5, %l1
+    loop:   add %l0, %l1, %l0
+            subcc %l1, 1, %l1
+            bne loop
+            mov %l0, %o0        ; 5+4+3+2+1 = 15
+            ta 0
+            """
+        )
+        assert m.exit_code == 15
+
+    def test_memory_word_roundtrip(self):
+        m = run_asm(
+            """
+            set buf, %l0
+            set 0xdeadbeef, %l1
+            st %l1, [%l0+4]
+            ld [%l0+4], %l2
+            srl %l2, 28, %o0
+            ta 0
+            .data
+    buf:    .space 16
+            """
+        )
+        assert m.exit_code == 0xD
+
+    def test_byte_memory(self):
+        m = run_asm(
+            """
+            set buf, %l0
+            mov 0x80, %l1
+            stb %l1, [%l0]
+            ldub [%l0], %l2     ; 0x80
+            ldsb [%l0], %l3     ; -128
+            add %l2, %l3, %o0   ; 0x80 + (-128) = 0
+            ta 0
+            .data
+    buf:    .space 4
+            """
+        )
+        assert m.exit_code == 0
+
+    def test_call_ret_with_windows(self):
+        # No delay slots: the epilogue is ``restore`` (moving the result to
+        # the caller's %o0) followed by ``retl`` (the caller's %o7 holds the
+        # return address written by call).
+        m = run_asm(
+            """
+            mov 7, %o0
+            call double
+            mov %o0, %o0
+            ta 0
+    double: save %sp, -96, %sp
+            add %i0, %i0, %i0
+            restore %i0, 0, %o0
+            retl
+            """
+        )
+        assert m.exit_code == 14
+
+    def test_traps_output(self):
+        m = run_asm(
+            """
+            mov 'H', %o0
+            ta 1
+            mov 'i', %o0
+            ta 1
+            mov -5, %o0
+            ta 2
+            mov 0, %o0
+            ta 0
+            """
+        )
+        assert m.output == b"Hi-5"
+
+    def test_jmpl_indirect(self):
+        m = run_asm(
+            """
+            set target, %l0
+            jmpl %l0+0, %g0
+            mov 1, %o0          ; skipped
+            ta 0
+    target: mov 99, %o0
+            ta 0
+            """
+        )
+        assert m.exit_code == 99
+
+    def test_fp_ops(self):
+        m = run_asm(
+            """
+            mov 3, %l0
+            fitos %l0, %f1
+            mov 4, %l0
+            fitos %l0, %f2
+            fmul %f1, %f2, %f3
+            fadd %f3, %f1, %f3  ; 15.0
+            fstoi %f3, %o0
+            ta 0
+            """
+        )
+        assert m.exit_code == 15
+
+    def test_fp_memory(self):
+        m = run_asm(
+            """
+            mov 9, %l0
+            fitos %l0, %f0
+            set buf, %l1
+            stf %f0, [%l1]
+            ldf [%l1], %f5
+            fstoi %f5, %o0
+            ta 0
+            .data
+    buf:    .space 8
+            """
+        )
+        assert m.exit_code == 9
+
+    def test_fcmp(self):
+        m = run_asm(
+            """
+            mov 2, %l0
+            fitos %l0, %f0
+            mov 3, %l0
+            fitos %l0, %f1
+            fcmp %f0, %f1
+            bl less
+            mov 0, %o0
+            ta 0
+    less:   mov 1, %o0
+            ta 0
+            """
+        )
+        assert m.exit_code == 1
+
+
+class TestRegisterWindows:
+    def test_g0_is_zero(self):
+        m = run_asm(
+            """
+            mov 55, %g0
+            mov %g0, %o0
+            ta 0
+            """
+        )
+        assert m.exit_code == 0
+
+    def test_window_overlap(self):
+        # Callee's i0 is caller's o0.
+        m = run_asm(
+            """
+            mov 11, %o0
+            save %sp, -96, %sp
+            mov %i0, %l0
+            restore
+            mov %l0, %l0        ; l0 is the caller's l0 again (untouched)
+            save %sp, -96, %sp
+            mov %i0, %o1        ; i0 still 11
+            restore %o1, 0, %o0 ; restore computes in old window -> caller o0
+            ta 0
+            """
+        )
+        assert m.exit_code == 11
+
+    def test_deep_recursion_spills(self):
+        # Recursion depth 20 > 8 windows: exercises hardware spill/fill.
+        m = run_asm(
+            """
+            mov 20, %o0
+            call sumto
+            nop
+            ta 0
+    sumto:  save %sp, -96, %sp
+            cmp %i0, 0
+            be base
+            sub %i0, 1, %o0
+            call sumto
+            nop
+            add %o0, %i0, %i0
+            restore %i0, 0, %o0
+            retl
+    base:   restore %g0, 0, %o0
+            retl
+            """
+        )
+        assert m.exit_code == 210
+
+    def test_very_deep_recursion(self):
+        m = run_asm(
+            """
+            mov 200, %o0
+            call sumto
+            nop
+            ta 0
+    sumto:  save %sp, -96, %sp
+            cmp %i0, 0
+            be base
+            sub %i0, 1, %o0
+            call sumto
+            nop
+            add %o0, %i0, %i0
+            restore %i0, 0, %o0
+            retl
+    base:   restore %g0, 0, %o0
+            retl
+            """
+        )
+        assert m.exit_code == 20100
+
+
+class TestFaults:
+    def test_misaligned_load_faults(self):
+        with pytest.raises(MemFault):
+            run_asm(
+                """
+                mov 1, %l0
+                ld [%l0+0], %l1
+                ta 0
+                """
+            )
+
+    def test_out_of_range_faults(self):
+        with pytest.raises(MemFault):
+            run_asm(
+                """
+                set 0x7ffffff0, %l0
+                ld [%l0+0], %l1
+                ta 0
+                """
+            )
+
+    def test_runaway_detected(self):
+        with pytest.raises(SimError):
+            run_asm(
+                """
+        spin:   ba spin
+                """,
+                max_instructions=1000,
+            )

@@ -1,0 +1,137 @@
+"""Unit tests for the minicc lexer and parser (front end details not
+covered by the end-to-end compiler tests)."""
+
+import pytest
+
+from repro.core.errors import SimError
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+
+
+class TestLexer:
+    def test_numbers(self):
+        toks = tokenize("0x1F 42 7")
+        assert [t.value for t in toks[:-1]] == [31, 42, 7]
+
+    def test_float_literal(self):
+        toks = tokenize("3.25")
+        assert toks[0].kind == "float" and toks[0].value == 3.25
+
+    def test_char_literals(self):
+        toks = tokenize(r"'a' '\n' '\\' '\0'")
+        assert [t.value for t in toks[:-1]] == [97, 10, 92, 0]
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\tb\n"')
+        assert toks[0].value == b"a\tb\n"
+
+    def test_line_and_block_comments(self):
+        toks = tokenize("a // line\n b /* block\n more */ c")
+        assert [t.value for t in toks[:-1]] == ["a", "b", "c"]
+
+    def test_compound_operators_longest_match(self):
+        toks = tokenize("a <<= b >>= c << d >> e <= f")
+        ops = [t.value for t in toks if t.kind == "punct"]
+        assert ops == ["<<=", ">>=", "<<", ">>", "<="]
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("int integer if iffy")
+        kinds = [(t.kind, t.value) for t in toks[:-1]]
+        assert kinds == [
+            ("kw", "int"),
+            ("ident", "integer"),
+            ("kw", "if"),
+            ("ident", "iffy"),
+        ]
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(SimError):
+            tokenize("int a = `1`;")
+
+    def test_line_numbers_tracked(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+
+class TestParser:
+    def test_precedence(self):
+        prog = parse("int main() { return 1 + 2 * 3; }")
+        ret = prog.functions[0].body.stmts[0]
+        assert isinstance(ret.expr, ast.Binary) and ret.expr.op == "+"
+        assert isinstance(ret.expr.right, ast.Binary) and ret.expr.right.op == "*"
+
+    def test_associativity_left(self):
+        prog = parse("int main() { return 10 - 3 - 2; }")
+        e = prog.functions[0].body.stmts[0].expr
+        assert e.op == "-" and isinstance(e.left, ast.Binary)
+
+    def test_assignment_right_associative(self):
+        prog = parse("int main() { int a; int b; a = b = 3; return a; }")
+        stmt = prog.functions[0].body.stmts[2]
+        assert isinstance(stmt.expr, ast.Assign)
+        assert isinstance(stmt.expr.value, ast.Assign)
+
+    def test_ternary_nesting(self):
+        prog = parse("int main() { int x; return x ? 1 : x ? 2 : 3; }")
+        e = prog.functions[0].body.stmts[1].expr
+        assert isinstance(e, ast.Cond) and isinstance(e.els, ast.Cond)
+
+    def test_pointer_declarations(self):
+        prog = parse("int main() { int *p; int **q; return 0; }")
+        decls = prog.functions[0].body.stmts
+        assert decls[0].type == ("ptr", ("int",))
+        assert decls[1].type == ("ptr", ("ptr", ("int",)))
+
+    def test_array_global_sizes(self):
+        prog = parse('char msg[] = "hi"; int t[] = {1,2,3}; int z[5];')
+        g = {v.name: v for v in prog.globals}
+        assert g["msg"].type == ("array", ("char",), 3)  # + NUL
+        assert g["t"].type == ("array", ("int",), 3)
+        assert g["z"].type == ("array", ("int",), 5)
+
+    def test_cast_vs_parenthesised_expr(self):
+        prog = parse("int main() { int x; return (int)x + (x); }")
+        e = prog.functions[0].body.stmts[1].expr
+        assert isinstance(e.left, ast.Cast)
+        assert isinstance(e.right, ast.Var)
+
+    def test_postfix_chains(self):
+        prog = parse("int a[3]; int main() { return a[0]++; }")
+        e = prog.functions[0].body.stmts[0].expr
+        assert isinstance(e, ast.IncDec) and e.post
+        assert isinstance(e.target, ast.Index)
+
+    def test_for_with_empty_clauses(self):
+        prog = parse("int main() { int i; for (;;) break; return 0; }")
+        loop = prog.functions[0].body.stmts[1]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_seven_params_rejected(self):
+        with pytest.raises(SimError):
+            parse("int f(int a,int b,int c,int d,int e,int g,int h){return 0;}")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(SimError):
+            parse("int main() { return 0 }")
+
+    def test_calling_non_function_rejected(self):
+        with pytest.raises(SimError):
+            parse("int main() { return (1+2)(); }")
+
+    def test_void_param_list(self):
+        prog = parse("int main(void) { return 0; }")
+        assert prog.functions[0].params == []
+
+    def test_do_while(self):
+        prog = parse("int main() { int i; do i++; while (i < 3); return i; }")
+        assert isinstance(prog.functions[0].body.stmts[1], ast.DoWhile)
+
+    def test_type_utilities(self):
+        assert ast.sizeof(("array", ("int",), 6)) == 24
+        assert ast.sizeof(("char",)) == 1
+        assert ast.type_name(("ptr", ("char",))) == "char*"
+        assert ast.type_name(("array", ("int",), 4)) == "int[4]"
+        assert ast.element_type(("ptr", ("int",))) == ("int",)
+        with pytest.raises(ValueError):
+            ast.element_type(("int",))

@@ -1,0 +1,115 @@
+"""Tests of machine-level mode switching, probing and prediction
+accounting (sections 3.6 / 5)."""
+
+import pytest
+
+from repro import DTSVLIW, MachineConfig, compile_and_load
+from repro.core.reference import ReferenceMachine
+
+LOOP = """
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 120; i++) s += i & 7;
+  return s & 0xff;
+}
+"""
+
+
+def run(src, cfg):
+    program = compile_and_load(src)
+    machine = DTSVLIW(program, cfg)
+    stats = machine.run(max_cycles=50_000_000)
+    return machine, stats
+
+
+class TestModeSwitching:
+    def test_switch_costs_accounted(self):
+        machine, stats = run(LOOP, MachineConfig.paper_fixed(8, 8))
+        cfg = machine.cfg
+        assert stats.mode_switches >= 2  # at least one round trip
+        expected = 0
+        # every probe hit costs switch_to_vliw, every VLIW exit costs
+        # switch_to_primary; the totals must be consistent
+        assert stats.switch_cycles == (
+            stats.vliw_cache_hits * cfg.switch_to_vliw_cost
+            + (stats.mode_switches - stats.vliw_cache_hits)
+            * cfg.switch_to_primary_cost
+        )
+
+    def test_probes_counted_per_primary_instruction(self):
+        machine, stats = run(LOOP, MachineConfig.paper_fixed(8, 8))
+        assert stats.vliw_cache_probes >= stats.vliw_cache_hits
+        # one probe per primary execute-stage instruction plus the probes
+        # that hit (whose instruction is annulled rather than executed)
+        assert (
+            stats.vliw_cache_probes
+            <= stats.primary_instructions
+            + stats.vliw_cache_hits
+            + stats.mode_switches
+        )
+
+    def test_loop_converges_to_vliw_execution(self):
+        machine, stats = run(LOOP, MachineConfig.paper_fixed(8, 8))
+        assert stats.vliw_cycle_fraction > 0.8
+
+    def test_blocks_chain_through_nba(self):
+        machine, stats = run(LOOP, MachineConfig.paper_fixed(4, 4))
+        # the loop spans several chained blocks executed back to back
+        assert stats.vliw_block_entries > stats.mode_switches
+
+    def test_straightline_program_never_reenters(self):
+        machine, stats = run(
+            "int main() { return 1 + 2 + 3; }", MachineConfig.paper_fixed(4, 4)
+        )
+        assert stats.vliw_cache_hits == 0
+        assert stats.vliw_cycles == 0
+
+
+class TestNextBlockPredictorAccounting:
+    def test_hit_and_total_counters(self):
+        cfg = MachineConfig.feasible(next_block_prediction=True)
+        machine, stats = run(LOOP, cfg)
+        total = stats.extra.get("next_block_predictions", 0)
+        hits = stats.extra.get("next_block_pred_hits", 0)
+        assert 0 < hits <= total
+
+    def test_predictor_state_is_per_machine(self):
+        cfg = MachineConfig.feasible(next_block_prediction=True)
+        m1, _ = run(LOOP, cfg)
+        m2, _ = run(LOOP, cfg)
+        assert m1._next_block_pred is not m2._next_block_pred
+
+    def test_disabled_predictor_keeps_counters_empty(self):
+        machine, stats = run(LOOP, MachineConfig.feasible())
+        assert "next_block_predictions" not in stats.extra
+
+
+class TestTestModeOracle:
+    def test_divergence_detected(self):
+        """Corrupt the machine state mid-run: test mode must catch it."""
+        from repro.core.errors import TestModeMismatch
+
+        program = compile_and_load(LOOP)
+        machine = DTSVLIW(program, MachineConfig.paper_fixed(8, 8))
+
+        original = machine.engine.execute_block
+        state = {"corrupted": False}
+
+        def corrupt(block):
+            out = original(block)
+            if not state["corrupted"]:
+                state["corrupted"] = True
+                machine.rf.write(17, 0xDEAD)  # clobber %l1 behind its back
+            return out
+
+        machine.engine.execute_block = corrupt
+        with pytest.raises(TestModeMismatch):
+            machine.run(max_cycles=50_000_000)
+
+    def test_final_memory_comparison(self):
+        program = compile_and_load(
+            "int g[4]; int main() { g[2] = 7; return g[2]; }"
+        )
+        machine = DTSVLIW(program, MachineConfig.paper_fixed(4, 4))
+        machine.run()
+        assert machine.mem.data == machine.reference.mem.data

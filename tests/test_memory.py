@@ -1,0 +1,135 @@
+"""Tests for main memory and the cache timing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import MemFault, SimError
+from repro.memory.cache import Cache
+from repro.memory.main_memory import MainMemory
+
+
+class TestMainMemory:
+    def test_word_roundtrip(self):
+        m = MainMemory(4096)
+        m.write_word(100, 0xDEADBEEF)
+        assert m.read_word(100) == 0xDEADBEEF
+
+    def test_big_endian_layout(self):
+        m = MainMemory(4096)
+        m.write_word(0, 0x11223344)
+        assert m.read_byte(0) == 0x11
+        assert m.read_byte(3) == 0x44
+
+    def test_byte_write_modifies_word(self):
+        m = MainMemory(4096)
+        m.write_word(8, 0)
+        m.write_byte(9, 0xAB)
+        assert m.read_word(8) == 0x00AB0000
+
+    def test_misaligned_word_faults(self):
+        m = MainMemory(4096)
+        with pytest.raises(MemFault):
+            m.read_word(2)
+        with pytest.raises(MemFault):
+            m.write_word(5, 1)
+
+    def test_out_of_range_faults(self):
+        m = MainMemory(4096)
+        with pytest.raises(MemFault):
+            m.read_word(4096)
+        with pytest.raises(MemFault):
+            m.read_byte(-1)
+        with pytest.raises(MemFault):
+            m.write_word(4094, 1)
+
+    def test_float_roundtrip_is_f32(self):
+        m = MainMemory(4096)
+        m.write_float(16, 1.5)
+        assert m.read_float(16) == 1.5
+        # values are rounded to binary32
+        m.write_float(16, 0.1)
+        assert abs(m.read_float(16) - 0.1) < 1e-7
+        assert m.read_float(16) != 0.1
+
+    def test_load_image(self):
+        m = MainMemory(4096)
+        m.load_image(b"\x01\x02\x03\x04", 32)
+        assert m.read_word(32) == 0x01020304
+        with pytest.raises(MemFault):
+            m.load_image(b"\x00" * 8, 4092)
+
+    @given(st.integers(0, 1020), st.integers(0, 0xFFFFFFFF))
+    def test_word_roundtrip_property(self, off, value):
+        m = MainMemory(1024 + 16)
+        addr = off & ~3
+        m.write_word(addr, value)
+        assert m.read_word(addr) == value
+
+
+class TestCacheModel:
+    def test_first_access_misses(self):
+        c = Cache("t", 1024, line_size=32, assoc=1, miss_penalty=8)
+        assert c.access(0) == 8
+        assert c.access(4) == 0  # same line
+        assert c.access(31) == 0
+        assert c.access(32) == 8  # next line
+
+    def test_direct_mapped_conflict(self):
+        c = Cache("t", 128, line_size=32, assoc=1, miss_penalty=5)
+        # 4 sets; addresses 0 and 128 map to the same set
+        assert c.access(0) == 5
+        assert c.access(128) == 5
+        assert c.access(0) == 5  # evicted
+
+    def test_two_way_keeps_both(self):
+        c = Cache("t", 256, line_size=32, assoc=2, miss_penalty=5)
+        # 4 sets of 2 ways: 0 and 128 share a set but both fit
+        assert c.access(0) == 5
+        assert c.access(128) == 5
+        assert c.access(0) == 0
+        assert c.access(128) == 0
+
+    def test_lru_replacement(self):
+        c = Cache("t", 256, line_size=32, assoc=2, miss_penalty=5)
+        c.access(0)
+        c.access(128)
+        c.access(0)  # 0 now MRU
+        c.access(256)  # evicts 128 (LRU)
+        assert c.access(0) == 0
+        assert c.access(128) == 5
+
+    def test_perfect_cache_never_misses(self):
+        c = Cache("t", 0, perfect=True)
+        for addr in (0, 4096, 1 << 20):
+            assert c.access(addr) == 0
+        assert c.stats.misses == 0
+
+    def test_stats(self):
+        c = Cache("t", 1024, line_size=32, assoc=1, miss_penalty=8)
+        c.access(0)
+        c.access(4)
+        c.access(64)
+        assert c.stats.misses == 2
+        assert c.stats.hits == 1
+        assert 0 < c.stats.miss_rate < 1
+
+    def test_flush(self):
+        c = Cache("t", 1024, line_size=32, assoc=2, miss_penalty=8)
+        c.access(0)
+        c.flush()
+        assert c.access(0) == 8
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(SimError):
+            Cache("t", 1024, line_size=48, assoc=1)
+        with pytest.raises(SimError):
+            Cache("t", 96, line_size=32, assoc=2)
+
+    @given(st.lists(st.integers(0, 4095), min_size=1, max_size=200))
+    def test_residency_invariant(self, addrs):
+        """A second access to the same address with no intervening
+        same-set misses beyond associativity always hits."""
+        c = Cache("t", 512, line_size=32, assoc=2, miss_penalty=1)
+        for a in addrs:
+            c.access(a)
+            assert c.access(a) == 0  # immediate re-access always hits

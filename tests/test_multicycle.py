@@ -1,0 +1,134 @@
+"""Tests for multicycle-instruction scheduling ([14] / section 3.9)."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core.config import MachineConfig
+from repro.core.machine import DTSVLIW
+from repro.core.reference import ReferenceMachine
+from repro.core.stats import Stats
+from repro.isa.instructions import FU_INT, Instr, OPCODES
+from repro.scheduler.ops import SchedOp, X_ALU
+from repro.scheduler.unit import FLUSH_DRAIN, SchedulerUnit
+
+from tests.test_scheduler_unit import make_op, run_schedule, sched
+
+
+def make_mc_op(opid, reads=(), writes=(), latency=4):
+    op = make_op(opid, reads=reads, writes=writes)
+    op.latency = latency
+    return op
+
+
+def li_index_of(block, addr):
+    for i, li in enumerate(block.lis):
+        for op in li.installed_ops():
+            if op.addr == addr:
+                return i
+    raise AssertionError("op not found")
+
+
+class TestLatencyAwarePlacement:
+    def test_consumer_keeps_latency_distance(self):
+        unit = sched(4, 16)
+        producer = make_mc_op(0, writes={1}, latency=4)
+        consumer = make_op(1, reads={1}, writes={2})
+        (block,) = run_schedule(unit, [producer, consumer])
+        p = li_index_of(block, producer.addr)
+        c = li_index_of(block, consumer.addr)
+        assert c - p >= 4
+
+    def test_unit_latency_distance_is_one(self):
+        unit = sched(4, 16)
+        producer = make_op(0, writes={1})
+        consumer = make_op(1, reads={1}, writes={2})
+        (block,) = run_schedule(unit, [producer, consumer])
+        assert (
+            li_index_of(block, consumer.addr)
+            - li_index_of(block, producer.addr)
+            == 1
+        )
+
+    def test_independent_op_may_sit_between(self):
+        unit = sched(4, 16)
+        producer = make_mc_op(0, writes={1}, latency=3)
+        free = make_op(1, reads=(), writes={5})
+        consumer = make_op(2, reads={1}, writes={2})
+        (block,) = run_schedule(unit, [producer, free, consumer])
+        assert li_index_of(block, free.addr) <= li_index_of(block, consumer.addr)
+
+    def test_multicycle_disabled_ignores_latency(self):
+        unit = sched(4, 16, multicycle=False)
+        producer = make_mc_op(0, writes={1}, latency=4)
+        consumer = make_op(1, reads={1}, writes={2})
+        (block,) = run_schedule(unit, [producer, consumer])
+        assert (
+            li_index_of(block, consumer.addr)
+            - li_index_of(block, producer.addr)
+            == 1
+        )
+
+    def test_chain_of_multicycle_ops(self):
+        unit = sched(4, 16)
+        ops = [
+            make_mc_op(0, writes={1}, latency=3),
+            make_mc_op(1, reads={1}, writes={2}, latency=3),
+            make_op(2, reads={2}, writes={3}),
+        ]
+        (block,) = run_schedule(unit, ops)
+        i0 = li_index_of(block, ops[0].addr)
+        i1 = li_index_of(block, ops[1].addr)
+        i2 = li_index_of(block, ops[2].addr)
+        assert i1 - i0 >= 3
+        assert i2 - i1 >= 3
+
+
+class TestHardwareMulDiv:
+    SRC = """
+        .text
+_start: mov 7, %l0
+        mov 6, %l1
+        smul %l0, %l1, %l2
+        add %l2, 0, %l3
+        mov 100, %l4
+        sdiv %l4, %l0, %l5
+        add %l3, %l5, %o0
+        ta 0
+"""
+
+    def test_smul_sdiv_semantics(self):
+        m = ReferenceMachine(assemble(self.SRC))
+        m.run()
+        assert m.exit_code == 42 + 14
+
+    def test_lockstep_with_multicycle_units(self):
+        program = assemble(self.SRC)
+        ref = ReferenceMachine(program)
+        ref.run()
+        for flag in (True, False):
+            machine = DTSVLIW(
+                assemble(self.SRC),
+                MachineConfig.paper_fixed(4, 16, multicycle=flag),
+            )
+            machine.run()
+            assert machine.exit_code == ref.exit_code
+
+    def test_mc_loop_lockstep(self):
+        src = """
+        .text
+_start: mov 0, %l0
+        mov 1, %l1
+loop:   smul %l1, 3, %l1
+        and %l1, 0xfff, %l1
+        add %l0, 1, %l0
+        cmp %l0, 30
+        bl loop
+        mov %l1, %o0
+        ta 0
+"""
+        program = assemble(src)
+        ref = ReferenceMachine(program)
+        ref.run()
+        machine = DTSVLIW(program, MachineConfig.paper_fixed(8, 8))
+        machine.run()
+        assert machine.exit_code == ref.exit_code

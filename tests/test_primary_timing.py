@@ -1,0 +1,141 @@
+"""Timing tests for the Primary Processor (Table 1 parameters)."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.baselines.scalar import ScalarMachine
+from repro.core.config import CacheConfig, MachineConfig
+from repro.core.reference import ReferenceMachine
+
+
+def cycles_of(body: str, cfg: MachineConfig | None = None) -> int:
+    src = "        .text\n_start:\n" + body + "        mov 0, %o0\n        ta 0\n"
+    program = assemble(src)
+    m = ScalarMachine(program, cfg or MachineConfig.paper_fixed(4, 4))
+    stats = m.run()
+    return stats.cycles
+
+
+class TestScalarTiming:
+    def test_straight_line_is_one_cycle_per_instruction(self):
+        base = cycles_of("")
+        plus4 = cycles_of("        add %g0, 1, %l0\n" * 4)
+        assert plus4 - base == 4
+
+    def test_not_taken_branch_costs_three_bubbles(self):
+        # cmp makes the branch not taken -> 1 + 3 bubble cycles
+        base = cycles_of("        cmp %g0, 1\n")
+        with_nt = cycles_of("        cmp %g0, 1\n        be nowhere\nnowhere2:\n        nop\nnowhere:\n")
+        # be is not taken (0 != 1): cost = 1 + 3; plus the extra nop 1
+        assert with_nt - base == 1 + 3 + 1
+
+    def test_taken_branch_is_free(self):
+        base = cycles_of("        cmp %g0, 0\n")
+        with_taken = cycles_of(
+            "        cmp %g0, 0\n        be target\n        nop\ntarget:\n"
+        )
+        # be taken (0 == 0): 1 cycle; the nop is skipped
+        assert with_taken - base == 1
+
+    def test_load_use_bubble(self):
+        no_use = cycles_of(
+            """
+        set buf, %l0
+        ld [%l0], %l1
+        add %g0, 1, %l2
+        add %l1, 1, %l3
+"""
+            + "        .data\nbuf:    .word 7\n        .text\n"
+        )
+        with_use = cycles_of(
+            """
+        set buf, %l0
+        ld [%l0], %l1
+        add %l1, 1, %l3
+        add %g0, 1, %l2
+"""
+            + "        .data\nbuf:    .word 7\n        .text\n"
+        )
+        assert with_use - no_use == 1
+
+    def test_store_data_register_triggers_load_use(self):
+        apart = cycles_of(
+            """
+        set buf, %l0
+        ld [%l0], %l1
+        add %g0, 1, %l2
+        st %l1, [%l0+4]
+"""
+            + "        .data\nbuf:    .word 7, 0\n        .text\n"
+        )
+        adjacent = cycles_of(
+            """
+        set buf, %l0
+        ld [%l0], %l1
+        st %l1, [%l0+4]
+        add %g0, 1, %l2
+"""
+            + "        .data\nbuf:    .word 7, 0\n        .text\n"
+        )
+        assert adjacent - apart == 1
+
+    def test_icache_miss_penalty(self):
+        cfg = MachineConfig.paper_fixed(4, 4)
+        cfg.icache = CacheConfig(
+            size=1024, line_size=32, assoc=1, miss_penalty=8
+        )
+        base = MachineConfig.paper_fixed(4, 4)
+        # 8 instructions = 32 bytes = exactly one extra line
+        body = "        add %g0, 1, %l0\n" * 8
+        diff = cycles_of(body, cfg) - cycles_of(body, base)
+        # one miss per 32-byte line touched
+        assert diff >= 8
+
+    def test_dcache_miss_penalty(self):
+        cfg = MachineConfig.paper_fixed(4, 4)
+        cfg.dcache = CacheConfig(
+            size=1024, line_size=32, assoc=1, miss_penalty=8
+        )
+        body = (
+            """
+        set buf, %l0
+        ld [%l0], %l1
+        ld [%l0], %l2
+"""
+            + "        .data\nbuf:    .word 1\n        .text\n"
+        )
+        base_cfg = MachineConfig.paper_fixed(4, 4)
+        diff = cycles_of(body, cfg) - cycles_of(body, base_cfg)
+        assert diff == 8  # first load misses, second hits
+
+    def test_window_spill_penalty(self):
+        cfg = MachineConfig.paper_fixed(4, 4)
+        deep = "".join(
+            "        save %sp, -16, %sp\n" for _ in range(8)
+        ) + "".join("        restore\n" for _ in range(8))
+        shallow = "".join(
+            "        save %sp, -16, %sp\n" for _ in range(4)
+        ) + "".join("        restore\n" for _ in range(4))
+        d = cycles_of(deep, cfg)
+        s = cycles_of(shallow, cfg)
+        # 8 deep with 8 windows (cansave=6): 2 spills + 2 fills at 16 cycles
+        extra_ops = 8  # four more save/restore pairs
+        assert d - s == extra_ops + 4 * cfg.window_spill_penalty
+
+
+class TestInstructionCounting:
+    def test_scalar_count_matches_reference(self):
+        src = """
+        .text
+_start: mov 5, %l0
+loop:   subcc %l0, 1, %l0
+        bne loop
+        mov 0, %o0
+        ta 0
+"""
+        program = assemble(src)
+        ref = ReferenceMachine(program)
+        n = ref.run()
+        m = ScalarMachine(program, MachineConfig.paper_fixed(4, 4))
+        stats = m.run()
+        assert stats.ref_instructions == n

