@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Emit BENCH_sweep.json: wall-clock and sweep counters per figure driver.
+
+CI runs this after the test suite so every PR leaves a comparable perf
+trajectory point (cells simulated, executor, wall-clock per figure).  The
+result cache is bypassed -- a timing that replays cached rows measures
+nothing.
+
+Run:  PYTHONPATH=src python benchmarks/bench_sweep.py --scale 0.05 --jobs 2
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.harness import experiments, sweep
+
+#: driver name -> callable(benchmarks, scale=, jobs=, use_cache=)
+DRIVERS = {
+    "fig5": experiments.fig5_geometry,
+    "fig6": experiments.fig6_cache_size,
+    "fig7": experiments.fig7_associativity,
+    "fig8": experiments.fig8_feasible,
+    "fig9": experiments.fig9_dif_comparison,
+    "table3": experiments.table3_feasible,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument(
+        "--benchmarks", default="compress,xlisp",
+        help="comma-separated workload subset (empty: all eight)",
+    )
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    args = parser.parse_args(argv)
+
+    names = [b for b in args.benchmarks.split(",") if b] or None
+    figures = {}
+    for fig, driver in DRIVERS.items():
+        t0 = time.perf_counter()
+        driver(names, scale=args.scale, jobs=args.jobs, use_cache=False)
+        elapsed = time.perf_counter() - t0
+        summary = sweep.last_summary()
+        figures[fig] = {
+            "wall_clock_s": round(elapsed, 3),
+            "cells": summary.total,
+            "simulated": summary.simulated,
+            "executor": summary.executor,
+            "jobs": summary.jobs,
+        }
+        print("%-7s %6.2fs  %s" % (fig, elapsed, summary.line()), flush=True)
+
+    payload = {
+        "scale": args.scale,
+        "benchmarks": names or "all",
+        "python": platform.python_version(),
+        "figures": figures,
+        "total_wall_clock_s": round(
+            sum(f["wall_clock_s"] for f in figures.values()), 3
+        ),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,11 @@
 ``REPRO_BENCH_SCALE`` shrinks or grows every workload (default 0.25: the
 full suite regenerates every paper table and figure in a few minutes;
 set 1.0 for the full-size runs recorded in EXPERIMENTS.md).
+
+``REPRO_JOBS`` fans each figure's sweep out over worker processes (the
+result tables are bit-identical to serial runs).  The persistent result
+cache is disabled while benchmarking -- a timing run that replays cached
+rows would measure nothing; set ``REPRO_BENCH_CACHE=1`` to keep it on.
 """
 
 import os
@@ -16,6 +21,29 @@ def bench_scale() -> float:
         return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
     except ValueError:
         return 0.25
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    try:
+        return int(os.environ.get("REPRO_JOBS", "1"))
+    except ValueError:
+        return 1
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_cache_off():
+    """Benchmark wall-clocks must measure simulations, not cache replay."""
+    if os.environ.get("REPRO_BENCH_CACHE") == "1":
+        yield
+        return
+    old = os.environ.get("REPRO_NO_CACHE")
+    os.environ["REPRO_NO_CACHE"] = "1"
+    yield
+    if old is None:
+        del os.environ["REPRO_NO_CACHE"]
+    else:
+        os.environ["REPRO_NO_CACHE"] = old
 
 
 def run_once(benchmark, fn):

@@ -11,10 +11,10 @@ from repro.harness.reporting import format_table
 SUBSET = ["compress", "ijpeg", "m88ksim", "xlisp"]
 
 
-def test_ablation_multicycle(benchmark, bench_scale):
+def test_ablation_multicycle(benchmark, bench_scale, bench_jobs):
     data = run_once(
         benchmark,
-        lambda: experiments.ablation_multicycle(SUBSET, scale=bench_scale),
+        lambda: experiments.ablation_multicycle(SUBSET, scale=bench_scale, jobs=bench_jobs),
     )
     print()
     print(format_table(data))
@@ -24,10 +24,10 @@ def test_ablation_multicycle(benchmark, bench_scale):
         assert row["latency_aware"] > 0 and row["latency_blind"] > 0
 
 
-def test_ablation_store_scheme(benchmark, bench_scale):
+def test_ablation_store_scheme(benchmark, bench_scale, bench_jobs):
     data = run_once(
         benchmark,
-        lambda: experiments.ablation_store_scheme(SUBSET, scale=bench_scale),
+        lambda: experiments.ablation_store_scheme(SUBSET, scale=bench_scale, jobs=bench_jobs),
     )
     print()
     print(format_table(data))
@@ -38,10 +38,10 @@ def test_ablation_store_scheme(benchmark, bench_scale):
         assert 0.8 <= ratio <= 1.2, name
 
 
-def test_ablation_splitting(benchmark, bench_scale):
+def test_ablation_splitting(benchmark, bench_scale, bench_jobs):
     data = run_once(
         benchmark,
-        lambda: experiments.ablation_splitting(SUBSET, scale=bench_scale),
+        lambda: experiments.ablation_splitting(SUBSET, scale=bench_scale, jobs=bench_jobs),
     )
     print()
     print(format_table(data))
@@ -52,14 +52,14 @@ def test_ablation_splitting(benchmark, bench_scale):
     assert avg_on > avg_off
 
 
-def test_next_block_prediction(benchmark, bench_scale):
+def test_next_block_prediction(benchmark, bench_scale, bench_jobs):
     """The paper's section 5 future work, implemented: a last-successor
     next-block predictor hides most of the next-LI miss penalty (the
     largest cost segment in our Figure 8 decomposition)."""
     data = run_once(
         benchmark,
         lambda: experiments.ablation_next_block_prediction(
-            SUBSET, scale=bench_scale
+            SUBSET, scale=bench_scale, jobs=bench_jobs
         ),
     )
     print()
@@ -69,10 +69,10 @@ def test_next_block_prediction(benchmark, bench_scale):
         assert row["hit_rate_pct"] > 30, name
 
 
-def test_compiler_quality(benchmark, bench_scale):
+def test_compiler_quality(benchmark, bench_scale, bench_jobs):
     data = run_once(
         benchmark,
-        lambda: experiments.ablation_compiler(SUBSET, scale=bench_scale),
+        lambda: experiments.ablation_compiler(SUBSET, scale=bench_scale, jobs=bench_jobs),
     )
     print()
     print(format_table(data))
@@ -82,10 +82,10 @@ def test_compiler_quality(benchmark, bench_scale):
     assert avg_opt > avg_naive * 0.95
 
 
-def test_speedup_vs_scalar(benchmark, bench_scale):
+def test_speedup_vs_scalar(benchmark, bench_scale, bench_jobs):
     data = run_once(
         benchmark,
-        lambda: experiments.speedup_vs_scalar(SUBSET, scale=bench_scale),
+        lambda: experiments.speedup_vs_scalar(SUBSET, scale=bench_scale, jobs=bench_jobs),
     )
     print()
     print(format_table(data))

@@ -16,9 +16,9 @@ from repro.harness import experiments
 from repro.harness.reporting import format_table
 
 
-def test_fig5_geometry(benchmark, bench_scale):
+def test_fig5_geometry(benchmark, bench_scale, bench_jobs):
     data = run_once(
-        benchmark, lambda: experiments.fig5_geometry(scale=bench_scale)
+        benchmark, lambda: experiments.fig5_geometry(scale=bench_scale, jobs=bench_jobs)
     )
     cols = ["%dx%d" % g for g in experiments.FIG5_GEOMETRIES]
     print()

@@ -12,9 +12,9 @@ from repro.harness import experiments
 from repro.harness.reporting import format_table
 
 
-def test_fig6_cache_size(benchmark, bench_scale):
+def test_fig6_cache_size(benchmark, bench_scale, bench_jobs):
     data = run_once(
-        benchmark, lambda: experiments.fig6_cache_size(scale=bench_scale)
+        benchmark, lambda: experiments.fig6_cache_size(scale=bench_scale, jobs=bench_jobs)
     )
     print()
     print(format_table(data, experiments.FIG6_SIZES_KB))

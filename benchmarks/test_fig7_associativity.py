@@ -11,9 +11,9 @@ from repro.harness import experiments
 from repro.harness.reporting import format_table
 
 
-def test_fig7_associativity(benchmark, bench_scale):
+def test_fig7_associativity(benchmark, bench_scale, bench_jobs):
     data = run_once(
-        benchmark, lambda: experiments.fig7_associativity(scale=bench_scale)
+        benchmark, lambda: experiments.fig7_associativity(scale=bench_scale, jobs=bench_jobs)
     )
     cols = [
         "%dKB/%d-way" % (kb, a)

@@ -13,9 +13,9 @@ from repro.harness import experiments
 from repro.harness.reporting import format_stacked, format_table
 
 
-def test_fig8_feasible(benchmark, bench_scale):
+def test_fig8_feasible(benchmark, bench_scale, bench_jobs):
     data = run_once(
-        benchmark, lambda: experiments.fig8_feasible(scale=bench_scale)
+        benchmark, lambda: experiments.fig8_feasible(scale=bench_scale, jobs=bench_jobs)
     )
     print()
     print(format_stacked(data, experiments.FIG8_SEGMENTS))

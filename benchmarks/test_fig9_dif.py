@@ -17,9 +17,9 @@ from repro.harness import experiments
 from repro.harness.reporting import format_table
 
 
-def test_fig9_dif(benchmark, bench_scale):
+def test_fig9_dif(benchmark, bench_scale, bench_jobs):
     data = run_once(
-        benchmark, lambda: experiments.fig9_dif_comparison(scale=bench_scale)
+        benchmark, lambda: experiments.fig9_dif_comparison(scale=bench_scale, jobs=bench_jobs)
     )
     print()
     print(

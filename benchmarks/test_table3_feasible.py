@@ -26,9 +26,9 @@ COLS = [
 ]
 
 
-def test_table3_feasible(benchmark, bench_scale):
+def test_table3_feasible(benchmark, bench_scale, bench_jobs):
     data = run_once(
-        benchmark, lambda: experiments.table3_feasible(scale=bench_scale)
+        benchmark, lambda: experiments.table3_feasible(scale=bench_scale, jobs=bench_jobs)
     )
     print()
     print(format_table(data, COLS))

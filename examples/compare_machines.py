@@ -2,20 +2,18 @@
 """Compare the three machines on your own program: the DTSVLIW, the DIF
 baseline (Nair & Hopkins) and the scalar Primary Processor alone.
 
-Edit SOURCE below or pass a path to a minicc file.
+Edit SOURCE below or pass a path to a minicc file.  The three runs go
+through the harness sweep layer, so they parallelize (``--jobs 3``) and
+land in the persistent result cache like any experiment cell -- re-running
+on an unchanged program and simulator replays instantly.
 
-Run:  python examples/compare_machines.py [path/to/program.c]
+Run:  python examples/compare_machines.py [path/to/program.c] [--jobs N] [--no-cache]
 """
 
-import sys
+import argparse
 
-from repro.asm.assembler import assemble
-from repro.baselines.dif import DIFMachine
-from repro.baselines.scalar import ScalarMachine
 from repro.core.config import MachineConfig
-from repro.core.machine import DTSVLIW
-from repro.core.reference import ReferenceMachine
-from repro.lang import compile_minicc
+from repro.harness.sweep import RunSpec, run_sweep
 
 SOURCE = """
 /* string reversal + checksum: a small pointer-heavy kernel */
@@ -39,31 +37,44 @@ int main() {
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("source", nargs="?", help="minicc source file")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result cache",
+    )
+    args = parser.parse_args()
+
     source = SOURCE
-    if len(sys.argv) > 1:
-        with open(sys.argv[1]) as fh:
+    if args.source:
+        with open(args.source) as fh:
             source = fh.read()
 
-    program = assemble(compile_minicc(source))
-    ref = ReferenceMachine(program)
-    instructions = ref.run()
-    print("reference: %d instructions, output %r" % (instructions, ref.output))
+    cfg = MachineConfig.fig9(test_mode=False)
+    specs = [
+        RunSpec("compare", cfg, machine=kind, source=source)
+        for kind in ("scalar", "dtsvliw", "dif")
+    ]
+    run = run_sweep(
+        specs, jobs=args.jobs, use_cache=False if args.no_cache else None
+    )
+
+    instructions = run.results[0].ref_instructions
+    print("reference: %d instructions (each machine validated against it)" % instructions)
     print()
     print("%-8s  %10s  %8s  %9s" % ("machine", "cycles", "ipc", "speedup"))
-
-    cfg = MachineConfig.fig9(test_mode=False)
-    rows = []
-    for name, machine in [
-        ("scalar", ScalarMachine(program, cfg)),
-        ("dtsvliw", DTSVLIW(program, cfg)),
-        ("dif", DIFMachine(program, cfg)),
-    ]:
-        stats = machine.run()
-        assert machine.output == ref.output, "%s diverged!" % name
-        rows.append((name, stats.cycles, instructions / stats.cycles))
-    base = rows[0][1]
-    for name, cycles, ipc in rows:
-        print("%-8s  %10d  %8.2f  %8.2fx" % (name, cycles, ipc, base / cycles))
+    base = run.results[0].cycles
+    for spec, res in run:
+        print(
+            "%-8s  %10d  %8.2f  %8.2fx"
+            % (spec.machine, res.cycles, res.ipc, base / res.cycles)
+        )
+    print()
+    print(run.summary.line())
 
 
 if __name__ == "__main__":

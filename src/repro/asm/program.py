@@ -52,6 +52,23 @@ class Program:
             addr = text_base + 4 * i
             self.instrs[addr] = decode(word, addr)
 
+    def __getstate__(self):
+        # Pickle only the constructor arguments; the decoded-instruction
+        # cache is rebuilt on unpickling (decode is deterministic, and the
+        # image stays a fraction of the size of pickled Instr objects).
+        return (
+            self.text_base,
+            self.text_words,
+            self.data_base,
+            self.data_image,
+            self.symbols,
+            self.entry,
+            self.source_lines,
+        )
+
+    def __setstate__(self, state):
+        self.__init__(*state)
+
     @property
     def text_size(self) -> int:
         return 4 * len(self.text_words)

@@ -17,8 +17,10 @@ named constructors build the configurations used by each experiment:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, List, Optional
 
 from ..isa.instructions import FU_BR, FU_FP, FU_INT, FU_LS
 
@@ -30,6 +32,14 @@ class CacheConfig:
     assoc: int = 1
     miss_penalty: int = 8
     perfect: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-safe representation (see MachineConfig.to_dict)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "CacheConfig":
+        return cls(**d)
 
 
 def _feasible_slots() -> List[int]:
@@ -161,3 +171,48 @@ class MachineConfig:
     def with_(self, **kw) -> "MachineConfig":
         """Return a copy with fields replaced."""
         return replace(self, **kw)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-safe dict covering every field.
+
+        ``from_dict(to_dict(cfg)) == cfg`` holds for any configuration, and
+        the dict is the input of :meth:`config_key` (the sweep layer's
+        content hash), so every field that influences simulation must appear
+        here -- adding a field to the dataclass is enough.
+        """
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, CacheConfig):
+                value = value.to_dict()
+            elif isinstance(value, list):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "MachineConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys loudly so a
+        cache entry written by a different code version cannot be silently
+        misinterpreted."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(
+                "unknown MachineConfig fields %s" % sorted(unknown)
+            )
+        kw = dict(d)
+        for name in ("icache", "dcache"):
+            if isinstance(kw.get(name), dict):
+                kw[name] = CacheConfig.from_dict(kw[name])
+        return cls(**kw)
+
+    def config_key(self) -> str:
+        """Stable content hash of the configuration (hex, 16 chars).
+
+        Two configs compare equal iff their keys match; used by
+        :mod:`repro.harness.resultcache` to key persisted results.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,19 @@
+"""Experiment harness: runner, sweep layer, experiment drivers, CLI.
+
+The sweep layer (``RunSpec`` -> ``run_sweep`` -> ``SweepRun``) is the
+public surface new experiments should build on; see DESIGN.md section 3.
+"""
+
+from .runner import RunResult, run_workload
+from .sweep import RunSpec, Sweep, SweepRun, SweepSummary, last_summary, run_sweep
+
+__all__ = [
+    "RunResult",
+    "RunSpec",
+    "Sweep",
+    "SweepRun",
+    "SweepSummary",
+    "last_summary",
+    "run_sweep",
+    "run_workload",
+]

@@ -18,15 +18,31 @@ import time
 
 from ..core.config import MachineConfig
 from ..workloads import registry
-from . import experiments
+from . import experiments, sweep
 from .reporting import format_bars, format_stacked, format_table
-from .runner import run_workload
+from .sweep import RunSpec, run_sweep
 
 
 def _benchmarks(args) -> list | None:
     if args.benchmarks:
         return [b.strip() for b in args.benchmarks.split(",")]
     return None
+
+
+def _sweep_opts(args) -> dict:
+    """The executor/cache kwargs every experiment driver accepts."""
+    return {
+        "jobs": args.jobs,
+        "use_cache": False if args.no_cache else None,
+    }
+
+
+def _print_summary() -> None:
+    """One line of sweep counters (cells simulated vs replayed from cache)."""
+    summary = sweep.last_summary()
+    if summary is not None:
+        print()
+        print(summary.line())
 
 
 def cmd_table1(args) -> None:
@@ -57,20 +73,28 @@ def cmd_table2(args) -> None:
 
 
 def cmd_fig5(args) -> None:
-    data = experiments.fig5_geometry(_benchmarks(args), scale=args.scale)
+    data = experiments.fig5_geometry(
+        _benchmarks(args), scale=args.scale, **_sweep_opts(args)
+    )
     cols = ["%dx%d" % g for g in experiments.FIG5_GEOMETRIES]
     print("Figure 5: IPC vs block size and geometry (ideal memory)\n")
     print(format_table(data, cols))
+    _print_summary()
 
 
 def cmd_fig6(args) -> None:
-    data = experiments.fig6_cache_size(_benchmarks(args), scale=args.scale)
+    data = experiments.fig6_cache_size(
+        _benchmarks(args), scale=args.scale, **_sweep_opts(args)
+    )
     print("Figure 6: IPC vs VLIW Cache size (KB), 8x8 blocks, 4-way\n")
     print(format_table(data, experiments.FIG6_SIZES_KB))
+    _print_summary()
 
 
 def cmd_fig7(args) -> None:
-    data = experiments.fig7_associativity(_benchmarks(args), scale=args.scale)
+    data = experiments.fig7_associativity(
+        _benchmarks(args), scale=args.scale, **_sweep_opts(args)
+    )
     cols = [
         "%dKB/%d-way" % (kb, a)
         for kb in experiments.FIG7_SIZES_KB
@@ -78,10 +102,13 @@ def cmd_fig7(args) -> None:
     ]
     print("Figure 7: IPC vs VLIW Cache associativity, 8x8 blocks\n")
     print(format_table(data, cols))
+    _print_summary()
 
 
 def cmd_fig8(args) -> None:
-    data = experiments.fig8_feasible(_benchmarks(args), scale=args.scale)
+    data = experiments.fig8_feasible(
+        _benchmarks(args), scale=args.scale, **_sweep_opts(args)
+    )
     print("Figure 8: feasible machine cost breakdown (stacked)\n")
     print(format_stacked(data, experiments.FIG8_SEGMENTS))
     print()
@@ -91,10 +118,13 @@ def cmd_fig8(args) -> None:
             ["ilp", "next_li_cost", "dcache_cost", "icache_cost", "fu_cost", "ideal"],
         )
     )
+    _print_summary()
 
 
 def cmd_table3(args) -> None:
-    data = experiments.table3_feasible(_benchmarks(args), scale=args.scale)
+    data = experiments.table3_feasible(
+        _benchmarks(args), scale=args.scale, **_sweep_opts(args)
+    )
     cols = [
         "ipc",
         "int_renaming",
@@ -110,39 +140,48 @@ def cmd_table3(args) -> None:
     ]
     print("Table 3: feasible DTSVLIW performance and resources\n")
     print(format_table(data, cols))
+    _print_summary()
 
 
 def cmd_fig9(args) -> None:
-    data = experiments.fig9_dif_comparison(_benchmarks(args), scale=args.scale)
+    data = experiments.fig9_dif_comparison(
+        _benchmarks(args), scale=args.scale, **_sweep_opts(args)
+    )
     print("Figure 9: DTSVLIW vs DIF (shared configuration)\n")
     print(format_table(data, ["dtsvliw", "dif", "dtsvliw_renaming", "dif_renaming"]))
     print()
     print(format_bars({k: {"dtsvliw": v["dtsvliw"], "dif": v["dif"]} for k, v in data.items()}))
+    _print_summary()
 
 
 def cmd_speedup(args) -> None:
-    data = experiments.speedup_vs_scalar(_benchmarks(args), scale=args.scale)
+    data = experiments.speedup_vs_scalar(
+        _benchmarks(args), scale=args.scale, **_sweep_opts(args)
+    )
     print("DTSVLIW speed-up over the scalar Primary Processor\n")
     print(format_table(data, ["dtsvliw_ipc", "scalar_ipc", "speedup"]))
+    _print_summary()
 
 
 def cmd_ablations(args) -> None:
+    names, opts = _benchmarks(args), _sweep_opts(args)
     print("Ablation: multicycle-aware scheduling (hardware mul/div)\n")
-    print(format_table(experiments.ablation_multicycle(_benchmarks(args), scale=args.scale)))
+    print(format_table(experiments.ablation_multicycle(names, scale=args.scale, **opts)))
     print("\nAblation: store handling scheme (section 3.11)\n")
-    print(format_table(experiments.ablation_store_scheme(_benchmarks(args), scale=args.scale)))
+    print(format_table(experiments.ablation_store_scheme(names, scale=args.scale, **opts)))
     print("\nAblation: split-based renaming on/off\n")
-    print(format_table(experiments.ablation_splitting(_benchmarks(args), scale=args.scale)))
+    print(format_table(experiments.ablation_splitting(names, scale=args.scale, **opts)))
     print("\nAblation: compiler quality (unrolled+scheduled vs naive)\n")
-    print(format_table(experiments.ablation_compiler(_benchmarks(args), scale=args.scale)))
+    print(format_table(experiments.ablation_compiler(names, scale=args.scale, **opts)))
     print("\nExtension: next-block prediction (the paper's future work)\n")
     print(
         format_table(
             experiments.ablation_next_block_prediction(
-                _benchmarks(args), scale=args.scale
+                names, scale=args.scale, **opts
             )
         )
     )
+    _print_summary()
 
 
 def cmd_blocks(args) -> None:
@@ -238,7 +277,8 @@ def cmd_exec(args) -> None:
 def cmd_run(args) -> None:
     cfg = MachineConfig.paper_fixed(args.width, args.height, test_mode=args.test_mode)
     t0 = time.time()
-    res = run_workload(args.workload, cfg, machine=args.machine, scale=args.scale)
+    spec = RunSpec(args.workload, cfg, machine=args.machine, scale=args.scale)
+    res = run_sweep([spec], **_sweep_opts(args)).results[0]
     dt = time.time() - t0
     print(
         "%s on %s (%dx%d): ipc=%.3f over %d instructions, %d cycles (%.1fs)"
@@ -247,6 +287,7 @@ def cmd_run(args) -> None:
     )
     print()
     print(res.stats.summary())
+    _print_summary()
 
 
 def main(argv=None) -> int:
@@ -266,6 +307,17 @@ def main(argv=None) -> int:
         "--benchmarks",
         default="",
         help="comma-separated subset of benchmarks",
+    )
+    common.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel worker processes for sweeps (default: $REPRO_JOBS or 1)",
+    )
+    common.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent result cache (results/.cache/)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     for name, fn, help_ in [

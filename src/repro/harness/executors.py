@@ -1,0 +1,88 @@
+"""Pluggable executors for parameter sweeps.
+
+Every executor maps a picklable function over a list of items and returns
+the results **in submission order** -- the ordering contract is what makes
+a parallel sweep bit-identical to a serial one (each simulation is itself
+deterministic).
+
+* :class:`SerialExecutor` -- in-process, zero overhead, the default.
+* :class:`ProcessPoolExecutor` -- ``concurrent.futures`` worker processes.
+  Workloads are *not* shipped to workers: each worker compiles through the
+  per-process memoized :mod:`repro.workloads.registry`, so only the
+  :class:`~repro.harness.sweep.RunSpec` goes out and only the
+  :class:`~repro.harness.runner.RunResult` comes back.
+
+``$REPRO_JOBS`` (or ``--jobs N`` on the CLI) selects the worker count;
+``jobs <= 1`` always means serial.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from concurrent import futures
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+log = logging.getLogger(__name__)
+
+_warned_jobs = False
+
+
+def env_jobs(default: int = 1) -> int:
+    """Worker count from ``$REPRO_JOBS`` (fallback: ``default``)."""
+    global _warned_jobs
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        if not _warned_jobs:
+            _warned_jobs = True
+            log.warning("ignoring malformed REPRO_JOBS=%r", raw)
+        return default
+
+
+class SerialExecutor:
+    """Run every cell in-process, in submission order (deterministic)."""
+
+    name = "serial"
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ProcessPoolExecutor:
+    """Fan cells out to ``jobs`` worker processes.
+
+    ``futures.ProcessPoolExecutor.map`` yields results in submission order
+    regardless of completion order, preserving the determinism contract.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int):
+        if jobs < 2:
+            raise ValueError("ProcessPoolExecutor needs jobs >= 2, got %d" % jobs)
+        self.jobs = jobs
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        workers = min(self.jobs, len(items))
+        with futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items, chunksize=1))
+
+
+def get_executor(jobs: int | None = None):
+    """Executor for ``jobs`` workers (``None``: ``$REPRO_JOBS``, then serial)."""
+    if jobs is None:
+        jobs = env_jobs(1)
+    if jobs <= 1:
+        return SerialExecutor()
+    return ProcessPoolExecutor(jobs)

@@ -1,8 +1,15 @@
-"""Experiment drivers: one function per table/figure of the paper.
+"""Experiment drivers: one sweep declaration per table/figure of the paper.
 
-Each returns plain data structures (dict keyed by benchmark); rendering
+Each driver expands its parameter grid into :class:`~repro.harness.sweep.RunSpec`
+cells, dispatches them through :func:`~repro.harness.sweep.run_sweep` (so
+``jobs``/``use_cache`` parallelize and memoize every figure identically),
+and reshapes the results into the same plain dicts as before -- rendering
 lives in :mod:`repro.harness.reporting`.  EXPERIMENTS.md records the
 paper-vs-measured comparison for every one of these.
+
+All drivers accept ``jobs`` (``None``: ``$REPRO_JOBS``) and ``use_cache``
+(``None``: on unless ``$REPRO_NO_CACHE``); per-driver sweep counters are
+available afterwards via :func:`repro.harness.sweep.last_summary`.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import MachineConfig
 from ..workloads import registry
-from .runner import run_workload
+from .sweep import RunSpec, Sweep, run_sweep
 
 #: Figure 5 geometries: (instructions per LI, LIs per block)
 FIG5_GEOMETRIES: List[Tuple[int, int]] = [
@@ -43,16 +50,16 @@ def fig5_geometry(
     benchmarks: Optional[Sequence[str]] = None,
     geometries: Optional[Sequence[Tuple[int, int]]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """IPC vs block size and geometry (ideal memory system)."""
-    out: Dict[str, Dict[str, float]] = {}
-    for name in _benchmarks(benchmarks):
-        row: Dict[str, float] = {}
-        for (w, h) in geometries or FIG5_GEOMETRIES:
-            cfg = MachineConfig.paper_fixed(w, h, test_mode=False)
-            row["%dx%d" % (w, h)] = run_workload(name, cfg, scale=scale).ipc
-        out[name] = row
-    return out
+    columns = [
+        ("%dx%d" % (w, h), MachineConfig.paper_fixed(w, h, test_mode=False))
+        for (w, h) in (geometries or FIG5_GEOMETRIES)
+    ]
+    sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale)
+    return sweep.run(jobs=jobs, use_cache=use_cache).table()
 
 
 # ---------------------------------------------------------------- Figure 6
@@ -60,54 +67,54 @@ def fig6_cache_size(
     benchmarks: Optional[Sequence[str]] = None,
     sizes_kb: Optional[Sequence[int]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> Dict[str, Dict[int, float]]:
     """IPC vs VLIW Cache size, 8x8 geometry, 4-way associative."""
-    out: Dict[str, Dict[int, float]] = {}
-    for name in _benchmarks(benchmarks):
-        row: Dict[int, float] = {}
-        for kb in sizes_kb or FIG6_SIZES_KB:
-            cfg = MachineConfig.paper_fixed(8, 8, test_mode=False)
-            cfg.vliw_cache_bytes = kb * 1024
-            cfg.vliw_cache_assoc = 4
-            row[kb] = run_workload(name, cfg, scale=scale).ipc
-        out[name] = row
-    return out
+    columns = [
+        (
+            kb,
+            MachineConfig.paper_fixed(8, 8, test_mode=False).with_(
+                vliw_cache_bytes=kb * 1024, vliw_cache_assoc=4
+            ),
+        )
+        for kb in (sizes_kb or FIG6_SIZES_KB)
+    ]
+    sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale)
+    return sweep.run(jobs=jobs, use_cache=use_cache).table()
 
 
 # ---------------------------------------------------------------- Figure 7
 def fig7_associativity(
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """IPC vs VLIW Cache associativity for 96 KB and 384 KB caches."""
-    out: Dict[str, Dict[str, float]] = {}
-    for name in _benchmarks(benchmarks):
-        row: Dict[str, float] = {}
-        for kb in FIG7_SIZES_KB:
-            for assoc in FIG7_ASSOCS:
-                cfg = MachineConfig.paper_fixed(8, 8, test_mode=False)
-                cfg.vliw_cache_bytes = kb * 1024
-                cfg.vliw_cache_assoc = assoc
-                row["%dKB/%d-way" % (kb, assoc)] = run_workload(
-                    name, cfg, scale=scale
-                ).ipc
-        out[name] = row
-    return out
+    columns = [
+        (
+            "%dKB/%d-way" % (kb, assoc),
+            MachineConfig.paper_fixed(8, 8, test_mode=False).with_(
+                vliw_cache_bytes=kb * 1024, vliw_cache_assoc=assoc
+            ),
+        )
+        for kb in FIG7_SIZES_KB
+        for assoc in FIG7_ASSOCS
+    ]
+    sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale)
+    return sweep.run(jobs=jobs, use_cache=use_cache).table()
 
 
 # ---------------------------------------------------------------- Figure 8
 FIG8_SEGMENTS = ["ilp", "next_li_cost", "dcache_cost", "icache_cost", "fu_cost"]
 
+#: the walk from the ideal machine to the feasible one (Figure 8's steps)
+FIG8_STEPS = ["ideal", "typed_fu", "icache", "dcache", "feasible"]
 
-def fig8_feasible(
-    benchmarks: Optional[Sequence[str]] = None,
-    scale: Optional[float] = None,
-) -> Dict[str, Dict[str, float]]:
-    """Feasible-machine cost breakdown: the stacked contributions of the
-    functional-unit mix, instruction cache, data cache and next-LI misses,
-    sitting on top of the delivered ILP (Figure 8's stacked bars).
 
-    Measured by walking from the ideal machine to the feasible one:
+def _fig8_columns() -> List[Tuple[str, MachineConfig]]:
+    """The five configurations stepping from ideal to feasible:
 
     1. 10 homogeneous slots, perfect caches, no next-LI penalty
     2. + the feasible FU mix (4 int / 2 ld-st / 2 fp / 2 branch)
@@ -115,26 +122,31 @@ def fig8_feasible(
     4. + the 32 KB direct-mapped data cache
     5. + the 1-cycle next-long-instruction miss penalty (= section 4.4)
     """
+    feas = MachineConfig.feasible(test_mode=False)
+    ideal = MachineConfig.paper_fixed(10, 8, test_mode=False).with_(
+        vliw_cache_bytes=feas.vliw_cache_bytes,
+        vliw_cache_assoc=feas.vliw_cache_assoc,
+    )
+    typed = ideal.with_(slot_classes=list(feas.slot_classes))
+    with_ic = typed.with_(icache=feas.icache)
+    with_dc = with_ic.with_(dcache=feas.dcache)
+    return list(zip(FIG8_STEPS, [ideal, typed, with_ic, with_dc, feas]))
+
+
+def fig8_feasible(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Feasible-machine cost breakdown: the stacked contributions of the
+    functional-unit mix, instruction cache, data cache and next-LI misses,
+    sitting on top of the delivered ILP (Figure 8's stacked bars)."""
+    sweep = Sweep.grid(_benchmarks(benchmarks), _fig8_columns(), scale=scale)
+    steps = sweep.run(jobs=jobs, use_cache=use_cache).table()
     out: Dict[str, Dict[str, float]] = {}
-    for name in _benchmarks(benchmarks):
-        feas = MachineConfig.feasible(test_mode=False)
-
-        ideal = MachineConfig.paper_fixed(10, 8, test_mode=False)
-        ideal.vliw_cache_bytes = feas.vliw_cache_bytes
-        ideal.vliw_cache_assoc = feas.vliw_cache_assoc
-        ipc0 = run_workload(name, ideal, scale=scale).ipc
-
-        typed = ideal.with_(slot_classes=list(feas.slot_classes))
-        ipc1 = run_workload(name, typed, scale=scale).ipc
-
-        with_ic = typed.with_(icache=feas.icache)
-        ipc2 = run_workload(name, with_ic, scale=scale).ipc
-
-        with_dc = with_ic.with_(dcache=feas.dcache)
-        ipc3 = run_workload(name, with_dc, scale=scale).ipc
-
-        ipc4 = run_workload(name, feas, scale=scale).ipc
-
+    for name, row in steps.items():
+        ipc0, ipc1, ipc2, ipc3, ipc4 = (row[s] for s in FIG8_STEPS)
         out[name] = {
             "ilp": ipc4,
             "next_li_cost": max(0.0, ipc3 - ipc4),
@@ -150,14 +162,19 @@ def fig8_feasible(
 def table3_feasible(
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Performance and resource consumption of the feasible machine."""
+    specs = [
+        RunSpec(name, MachineConfig.feasible(test_mode=False), scale=scale)
+        for name in _benchmarks(benchmarks)
+    ]
+    run = run_sweep(specs, jobs=jobs, use_cache=use_cache)
     out: Dict[str, Dict[str, float]] = {}
-    for name in _benchmarks(benchmarks):
-        cfg = MachineConfig.feasible(test_mode=False)
-        res = run_workload(name, cfg, scale=scale)
+    for spec, res in run:
         s = res.stats
-        out[name] = {
+        out[spec.benchmark] = {
             "ipc": res.ipc,
             "int_renaming": s.max_int_renaming,
             "fp_renaming": s.max_fp_renaming,
@@ -177,13 +194,27 @@ def table3_feasible(
 def fig9_dif_comparison(
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """DTSVLIW vs DIF on the shared Figure 9 configuration."""
+    names = _benchmarks(benchmarks)
+    specs = [
+        RunSpec(
+            name,
+            MachineConfig.fig9(test_mode=False),
+            machine=kind,
+            scale=scale,
+        )
+        for name in names
+        for kind in ("dtsvliw", "dif")
+    ]
+    run = run_sweep(specs, jobs=jobs, use_cache=use_cache)
+    by_cell = {(s.benchmark, s.machine): r for s, r in run}
     out: Dict[str, Dict[str, float]] = {}
-    for name in _benchmarks(benchmarks):
-        cfg_d = MachineConfig.fig9(test_mode=False)
-        dts = run_workload(name, cfg_d, scale=scale)
-        dif = run_workload(name, MachineConfig.fig9(test_mode=False), machine="dif", scale=scale)
+    for name in names:
+        dts = by_cell[(name, "dtsvliw")]
+        dif = by_cell[(name, "dif")]
         out[name] = {
             "dtsvliw": dts.ipc,
             "dif": dif.ipc,
@@ -198,14 +229,27 @@ def fig9_dif_comparison(
 def speedup_vs_scalar(
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """DTSVLIW speed-up over the scalar Primary Processor alone (not a
     paper figure, but the sanity check every reader wants)."""
+    names = _benchmarks(benchmarks)
+    specs = [
+        RunSpec(
+            name,
+            MachineConfig.feasible(test_mode=False),
+            machine=kind,
+            scale=scale,
+        )
+        for name in names
+        for kind in ("dtsvliw", "scalar")
+    ]
+    run = run_sweep(specs, jobs=jobs, use_cache=use_cache)
+    by_cell = {(s.benchmark, s.machine): r for s, r in run}
     out: Dict[str, Dict[str, float]] = {}
-    for name in _benchmarks(benchmarks):
-        cfg = MachineConfig.feasible(test_mode=False)
-        dts = run_workload(name, cfg, scale=scale)
-        sca = run_workload(name, cfg, machine="scalar", scale=scale)
+    for name in names:
+        dts, sca = by_cell[(name, "dtsvliw")], by_cell[(name, "scalar")]
         out[name] = {
             "dtsvliw_ipc": dts.ipc,
             "scalar_ipc": sca.ipc,
@@ -218,52 +262,61 @@ def speedup_vs_scalar(
 def ablation_multicycle(
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Multicycle-instruction scheduling ([14]): hardware mul/div with
     latency-aware placement vs latency-blind placement."""
-    out: Dict[str, Dict[str, float]] = {}
-    for name in _benchmarks(benchmarks):
-        on = MachineConfig.paper_fixed(8, 8, test_mode=False, multicycle=True)
-        off = MachineConfig.paper_fixed(8, 8, test_mode=False, multicycle=False)
-        out[name] = {
-            "latency_aware": run_workload(name, on, scale=scale, hw_mul=True).ipc,
-            "latency_blind": run_workload(name, off, scale=scale, hw_mul=True).ipc,
-        }
-    return out
+    columns = [
+        ("latency_aware", MachineConfig.paper_fixed(8, 8, test_mode=False, multicycle=True)),
+        ("latency_blind", MachineConfig.paper_fixed(8, 8, test_mode=False, multicycle=False)),
+    ]
+    sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale, hw_mul=True)
+    return sweep.run(jobs=jobs, use_cache=use_cache).table()
 
 
 def ablation_store_scheme(
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Section 3.11's two store-handling schemes: checkpoint recovery
     store list (default) vs the alternative data store list."""
-    out: Dict[str, Dict[str, float]] = {}
-    for name in _benchmarks(benchmarks):
-        ck = MachineConfig.paper_fixed(8, 8, test_mode=False)
-        dsl = MachineConfig.paper_fixed(8, 8, test_mode=False, data_store_list=True)
-        out[name] = {
-            "checkpoint_list": run_workload(name, ck, scale=scale).ipc,
-            "data_store_list": run_workload(name, dsl, scale=scale).ipc,
-        }
-    return out
+    columns = [
+        ("checkpoint_list", MachineConfig.paper_fixed(8, 8, test_mode=False)),
+        ("data_store_list", MachineConfig.paper_fixed(8, 8, test_mode=False, data_store_list=True)),
+    ]
+    sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale)
+    return sweep.run(jobs=jobs, use_cache=use_cache).table()
 
 
 def ablation_next_block_prediction(
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Section 5 future work: next-block (next long instruction)
     prediction hides the feasible machine's 1-cycle next-LI miss penalty
     when the last-successor predictor guesses the following block."""
-    out: Dict[str, Dict[str, float]] = {}
-    for name in _benchmarks(benchmarks):
-        base = MachineConfig.feasible(test_mode=False)
-        pred = MachineConfig.feasible(
-            test_mode=False, next_block_prediction=True
+    names = _benchmarks(benchmarks)
+    specs = [
+        RunSpec(
+            name,
+            MachineConfig.feasible(test_mode=False, next_block_prediction=pred),
+            scale=scale,
+            meta={"col": "prediction" if pred else "no_prediction"},
         )
-        r0 = run_workload(name, base, scale=scale)
-        r1 = run_workload(name, pred, scale=scale)
+        for name in names
+        for pred in (False, True)
+    ]
+    run = run_sweep(specs, jobs=jobs, use_cache=use_cache)
+    by_cell = {(s.benchmark, s.meta["col"]): r for s, r in run}
+    out: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        r0 = by_cell[(name, "no_prediction")]
+        r1 = by_cell[(name, "prediction")]
         hits = r1.stats.extra.get("next_block_pred_hits", 0)
         total = r1.stats.extra.get("next_block_predictions", 1)
         out[name] = {
@@ -277,48 +330,48 @@ def ablation_next_block_prediction(
 def ablation_compiler(
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Compiler-quality sensitivity: the paper's SPECint95 inputs came from
     optimising gcc; this measures how much of the DTSVLIW's parallelism
     depends on unrolled/scheduled code versus naive straight-line output."""
-    from ..workloads import registry
-    from ..core.machine import DTSVLIW
-
-    out: Dict[str, Dict[str, float]] = {}
-    for name in _benchmarks(benchmarks):
-        row: Dict[str, float] = {}
-        for label, optimize in (("optimized", True), ("naive", False)):
-            s = scale if scale is not None else 1.0
-            program = registry.load_program(name, s, optimize=optimize)
-            count, outp, code = registry.reference_run(name, s, optimize=optimize)
-            m = DTSVLIW(program, MachineConfig.paper_fixed(8, 8, test_mode=False))
-            stats = m.run(max_cycles=400_000_000)
-            assert m.output == outp and m.exit_code == code
-            row[label] = count / stats.cycles
-        out[name] = row
-    return out
+    specs = [
+        RunSpec(
+            name,
+            MachineConfig.paper_fixed(8, 8, test_mode=False),
+            scale=scale,
+            optimize=optimize,
+            meta={"col": label},
+        )
+        for name in _benchmarks(benchmarks)
+        for label, optimize in (("optimized", True), ("naive", False))
+    ]
+    return run_sweep(specs, jobs=jobs, use_cache=use_cache).table()
 
 
 def ablation_splitting(
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Value of split-based renaming: unlimited renaming registers vs
     none (candidates install instead of splitting)."""
-    out: Dict[str, Dict[str, float]] = {}
-    for name in _benchmarks(benchmarks):
-        on = MachineConfig.paper_fixed(8, 8, test_mode=False)
-        off = MachineConfig.paper_fixed(
-            8,
-            8,
-            test_mode=False,
-            int_renaming_limit=0,
-            fp_renaming_limit=0,
-            cc_renaming_limit=0,
-            mem_renaming_limit=0,
-        )
-        out[name] = {
-            "splitting": run_workload(name, on, scale=scale).ipc,
-            "no_splitting": run_workload(name, off, scale=scale).ipc,
-        }
-    return out
+    columns = [
+        ("splitting", MachineConfig.paper_fixed(8, 8, test_mode=False)),
+        (
+            "no_splitting",
+            MachineConfig.paper_fixed(
+                8,
+                8,
+                test_mode=False,
+                int_renaming_limit=0,
+                fp_renaming_limit=0,
+                cc_renaming_limit=0,
+                mem_renaming_limit=0,
+            ),
+        ),
+    ]
+    sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale)
+    return sweep.run(jobs=jobs, use_cache=use_cache).table()

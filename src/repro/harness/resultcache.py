@@ -1,0 +1,93 @@
+"""Persistent on-disk cache of sweep results.
+
+One JSON file per simulated cell under ``results/.cache/`` (override with
+``$REPRO_CACHE_DIR``), keyed by the :class:`~repro.harness.sweep.RunSpec`
+content hash **plus a fingerprint of the simulator source tree** -- any
+edit under ``src/repro/`` invalidates every entry, so a cache hit can
+never mask a behaviour change.  Re-running ``dtsvliw fig5`` after an
+unrelated doc edit replays cached rows instead of re-simulating.
+
+``$REPRO_NO_CACHE=1`` (or ``--no-cache`` on the CLI) disables the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+log = logging.getLogger(__name__)
+
+#: default cache location, relative to the working directory
+DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
+
+_code_version: Optional[str] = None
+
+
+def cache_enabled_default() -> bool:
+    """Cache on unless ``$REPRO_NO_CACHE`` is set to a truthy value."""
+    return os.environ.get("REPRO_NO_CACHE", "") in ("", "0")
+
+
+def cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+def code_version() -> str:
+    """Fingerprint of every ``*.py`` file under the installed package.
+
+    Computed once per process; a few dozen small files, so the one-time
+    cost is milliseconds.  Part of every cache key: results produced by a
+    different simulator version never collide with the current one.
+    """
+    global _code_version
+    if _code_version is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro/
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode("utf-8"))
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_version = h.hexdigest()[:16]
+    return _code_version
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` payloads with atomic writes."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = Path(root if root is not None else cache_dir())
+
+    def path(self, key: str) -> Path:
+        return self.root / ("%s.json" % key)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or None (corrupt files miss)."""
+        try:
+            with open(self.path(key), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` (atomic rename, best-effort)."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.root), prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, sort_keys=True)
+                os.replace(tmp, self.path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError as exc:
+            # A read-only or full disk degrades to "no cache", not a crash.
+            log.warning("result cache write failed for %s: %s", key, exc)

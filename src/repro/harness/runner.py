@@ -6,17 +6,25 @@ reference count is cached per workload (``registry.reference_run``) so a
 parameter sweep pays for one reference execution per benchmark, not one
 per configuration.
 
-``REPRO_SCALE`` (environment) scales every workload; experiments default
-to ``test_mode=False`` for speed -- correctness is covered by the test
-suite, and every run still asserts the exit code and output against the
-reference.
+Environment knobs (all optional):
+
+* ``REPRO_SCALE`` scales every workload (malformed values warn once and
+  fall back to the caller's default);
+* ``REPRO_MAX_CYCLES`` overrides :data:`DEFAULT_MAX_CYCLES`, the
+  divergence/timeout guard of every simulation.
+
+Experiments default to ``test_mode=False`` for speed -- correctness is
+covered by the test suite, and every run still asserts the exit code and
+output against the reference.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import logging
 import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..baselines.dif import DIFMachine
 from ..baselines.scalar import ScalarMachine
@@ -26,15 +34,38 @@ from ..core.machine import DTSVLIW
 from ..core.stats import Stats
 from ..workloads import registry
 
+log = logging.getLogger(__name__)
+
 DEFAULT_MAX_CYCLES = 400_000_000
+
+#: environment variables already warned about (warn once per process)
+_warned_env: set = set()
+
+
+def _env_number(var: str, default, parse):
+    """Parse ``$var`` with ``parse``; warn once (not silently) when malformed."""
+    raw = os.environ.get(var)
+    if raw is None:
+        return default
+    try:
+        return parse(raw)
+    except ValueError:
+        if var not in _warned_env:
+            _warned_env.add(var)
+            log.warning(
+                "ignoring malformed %s=%r (using default %s)", var, raw, default
+            )
+        return default
 
 
 def env_scale(default: float = 1.0) -> float:
     """Workload scale from ``$REPRO_SCALE`` (fallback: ``default``)."""
-    try:
-        return float(os.environ.get("REPRO_SCALE", default))
-    except ValueError:
-        return default
+    return _env_number("REPRO_SCALE", default, float)
+
+
+def default_max_cycles() -> int:
+    """Cycle limit from ``$REPRO_MAX_CYCLES`` (fallback: 400M)."""
+    return _env_number("REPRO_MAX_CYCLES", DEFAULT_MAX_CYCLES, int)
 
 
 @dataclass
@@ -49,19 +80,44 @@ class RunResult:
     def ipc(self) -> float:
         return self.ref_instructions / self.cycles if self.cycles else 0.0
 
+    # Serialization for the on-disk result cache (resultcache.py).
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "machine": self.machine,
+            "ref_instructions": self.ref_instructions,
+            "cycles": self.cycles,
+            "stats": dataclasses.asdict(self.stats),
+        }
 
-def run_workload(
-    name: str,
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunResult":
+        return cls(
+            benchmark=d["benchmark"],
+            machine=d["machine"],
+            stats=Stats(**d["stats"]),
+            ref_instructions=d["ref_instructions"],
+            cycles=d["cycles"],
+        )
+
+
+def run_program(
+    program,
+    reference: Tuple[int, bytes, int],
     cfg: MachineConfig,
     machine: str = "dtsvliw",
-    scale: Optional[float] = None,
-    hw_mul: bool = False,
-    max_cycles: int = DEFAULT_MAX_CYCLES,
+    name: str = "<inline>",
+    max_cycles: Optional[int] = None,
 ) -> RunResult:
-    """Run one benchmark under one configuration and validate its output."""
-    scale = env_scale() if scale is None else scale
-    program = registry.load_program(name, scale, hw_mul)
-    ref_count, ref_out, ref_code = registry.reference_run(name, scale, hw_mul)
+    """Run one compiled program on one machine and validate its output.
+
+    ``reference`` is ``(instruction count, output, exit code)`` from the
+    reference machine; it supplies the IPC numerator and the oracle the
+    run is checked against.
+    """
+    if max_cycles is None:
+        max_cycles = default_max_cycles()
+    ref_count, ref_out, ref_code = reference
     if machine == "dtsvliw":
         m = DTSVLIW(program, cfg)
     elif machine == "dif":
@@ -70,12 +126,45 @@ def run_workload(
         m = ScalarMachine(program, cfg)
     else:
         raise SimError("unknown machine kind %r" % machine)
-    stats = m.run(max_cycles=max_cycles)
+    try:
+        stats = m.run(max_cycles=max_cycles)
+    except SimError as exc:
+        # Keep failed sweep cells diagnosable from logs: name the cell and
+        # the cycle limit in force.
+        raise SimError(
+            "%s on %s failed (max_cycles=%d): %s"
+            % (machine, name, max_cycles, exc)
+        ) from exc
     if not stats.ref_instructions:
         stats.ref_instructions = ref_count
     if m.exit_code != ref_code or m.output != ref_out:
         raise SimError(
-            "%s on %s diverged from the reference (exit %d vs %d)"
-            % (machine, name, m.exit_code, ref_code)
+            "%s on %s diverged from the reference (exit %d vs %d, "
+            "max_cycles=%d)"
+            % (machine, name, m.exit_code, ref_code, max_cycles)
         )
     return RunResult(name, machine, stats, ref_count, stats.cycles)
+
+
+def run_workload(
+    name: str,
+    cfg: MachineConfig,
+    machine: str = "dtsvliw",
+    scale: Optional[float] = None,
+    hw_mul: bool = False,
+    max_cycles: Optional[int] = None,
+    optimize: bool = True,
+    default_scale: float = 1.0,
+) -> RunResult:
+    """Run one benchmark under one configuration and validate its output.
+
+    ``scale=None`` resolves through ``$REPRO_SCALE`` and then
+    ``default_scale`` (callers with their own default now forward it
+    instead of being overridden by the 1.0 fallback).
+    """
+    scale = env_scale(default_scale) if scale is None else scale
+    program = registry.load_program(name, scale, hw_mul, optimize)
+    reference = registry.reference_run(name, scale, hw_mul, optimize)
+    return run_program(
+        program, reference, cfg, machine=machine, name=name, max_cycles=max_cycles
+    )

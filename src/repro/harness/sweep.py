@@ -1,0 +1,314 @@
+"""Declarative sweep layer: every experiment is a grid of RunSpecs.
+
+The paper's methodology is hundreds of independent cycle-level
+simulations; this module makes the *sweep* the first-class object instead
+of the single run.  A :class:`RunSpec` names one cell (workload, machine
+kind, :class:`~repro.core.config.MachineConfig`, scale, hw_mul) and has a
+stable content hash; :func:`run_sweep` expands a list of specs through a
+pluggable executor (:mod:`repro.harness.executors`) and an optional
+persistent result cache (:mod:`repro.harness.resultcache`).
+
+Determinism contract: results come back in spec order and each simulation
+is deterministic, so a ``--jobs 8`` sweep is bit-identical to a serial
+one, and a warm cache replays the same numbers with zero simulations
+(check :attr:`SweepRun.summary`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import MachineConfig
+from . import resultcache
+from .executors import get_executor
+from .runner import (
+    RunResult,
+    default_max_cycles,
+    env_scale,
+    run_program,
+    run_workload,
+)
+
+log = logging.getLogger(__name__)
+
+_last_summary: Optional["SweepSummary"] = None
+
+
+# ------------------------------------------------------------------ RunSpec
+@dataclass
+class RunSpec:
+    """One sweep cell, fully described by value (picklable, hashable).
+
+    ``meta`` carries presentation labels (row/column names) and is
+    excluded from the content hash; everything else changes the result
+    and therefore the hash.  ``source`` optionally replaces the registry
+    workload with inline minicc source (used by the examples).
+    """
+
+    benchmark: str
+    config: MachineConfig
+    machine: str = "dtsvliw"
+    scale: Optional[float] = None
+    hw_mul: bool = False
+    optimize: bool = True
+    max_cycles: Optional[int] = None
+    source: Optional[str] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def resolved(self, default_scale: float = 1.0) -> "RunSpec":
+        """A copy with env-dependent fields pinned to concrete values, so
+        the content hash never depends on the caller's environment."""
+        return dataclasses.replace(
+            self,
+            scale=env_scale(default_scale) if self.scale is None else self.scale,
+            max_cycles=(
+                default_max_cycles() if self.max_cycles is None else self.max_cycles
+            ),
+        )
+
+    def to_dict(self, include_meta: bool = False) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "benchmark": self.benchmark,
+            "config": self.config.to_dict(),
+            "machine": self.machine,
+            "scale": self.scale,
+            "hw_mul": self.hw_mul,
+            "optimize": self.optimize,
+            "max_cycles": self.max_cycles,
+            "source": self.source,
+        }
+        if include_meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RunSpec":
+        kw = dict(d)
+        kw["config"] = MachineConfig.from_dict(kw["config"])
+        return cls(**kw)
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the *resolved* spec (hex, 24 chars)."""
+        blob = json.dumps(
+            self.resolved().to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+    def cache_key(self) -> str:
+        """Cache key: content hash + simulator source fingerprint."""
+        return "%s-%s" % (self.spec_hash(), resultcache.code_version())
+
+
+# ------------------------------------------------- inline-source workloads
+# Per-process memo of compiled inline sources (mirrors workloads.registry).
+_inline_cache: Dict[Tuple, Tuple[Any, Tuple[int, bytes, int]]] = {}
+
+
+def _inline_program(source: str, hw_mul: bool, optimize: bool):
+    from ..asm.assembler import assemble
+    from ..core.reference import ReferenceMachine
+    from ..lang import CompilerOptions, compile_minicc
+
+    key = (hashlib.sha256(source.encode("utf-8")).hexdigest(), hw_mul, optimize)
+    if key not in _inline_cache:
+        opts = CompilerOptions(
+            hw_mul=hw_mul, unroll=2 if optimize else 1, schedule=optimize
+        )
+        program = assemble(compile_minicc(source, opts))
+        ref = ReferenceMachine(program)
+        count = ref.run(max_instructions=1_000_000_000)
+        _inline_cache[key] = (program, (count, ref.output, ref.exit_code))
+    return _inline_cache[key]
+
+
+def simulate_spec(spec: RunSpec) -> RunResult:
+    """Execute one cell (module-level so executors can pickle it).
+
+    Workload compilation stays behind the per-process memoized registry
+    (or the inline memo above): only the spec crosses a process boundary,
+    never a compiled program image.
+    """
+    spec = spec.resolved()
+    if spec.source is not None:
+        program, reference = _inline_program(
+            spec.source, spec.hw_mul, spec.optimize
+        )
+        return run_program(
+            program,
+            reference,
+            spec.config,
+            machine=spec.machine,
+            name=spec.benchmark,
+            max_cycles=spec.max_cycles,
+        )
+    return run_workload(
+        spec.benchmark,
+        spec.config,
+        machine=spec.machine,
+        scale=spec.scale,
+        hw_mul=spec.hw_mul,
+        max_cycles=spec.max_cycles,
+        optimize=spec.optimize,
+    )
+
+
+# ------------------------------------------------------------------ results
+@dataclass
+class SweepSummary:
+    """Counters for one sweep (the CLI prints ``line()`` after each run)."""
+
+    total: int = 0
+    simulated: int = 0
+    cached: int = 0
+    jobs: int = 1
+    executor: str = "serial"
+    elapsed: float = 0.0
+
+    def line(self) -> str:
+        return (
+            "sweep: %d cells (%d simulated, %d cached) via %s jobs=%d in %.1fs"
+            % (
+                self.total,
+                self.simulated,
+                self.cached,
+                self.executor,
+                self.jobs,
+                self.elapsed,
+            )
+        )
+
+
+@dataclass
+class SweepRun:
+    """Specs and their results, index-aligned, plus the run counters."""
+
+    specs: List[RunSpec]
+    results: List[RunResult]
+    summary: SweepSummary
+
+    def __iter__(self):
+        return iter(zip(self.specs, self.results))
+
+    def table(
+        self, value: Callable[[RunResult], Any] = lambda r: r.ipc
+    ) -> Dict[str, Dict[Any, Any]]:
+        """Rows/columns from each spec's ``meta`` (``row`` defaults to the
+        benchmark name, ``col`` to the machine kind) -- the shape every
+        reporting helper consumes."""
+        out: Dict[str, Dict[Any, Any]] = {}
+        for spec, res in self:
+            row = spec.meta.get("row", spec.benchmark)
+            col = spec.meta.get("col", spec.machine)
+            out.setdefault(row, {})[col] = value(res)
+        return out
+
+
+def last_summary() -> Optional[SweepSummary]:
+    """Counters of the most recent :func:`run_sweep` in this process."""
+    return _last_summary
+
+
+# ------------------------------------------------------------------ driver
+def run_sweep(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache: Optional[resultcache.ResultCache] = None,
+    executor=None,
+) -> SweepRun:
+    """Execute every spec; returns results in spec order.
+
+    ``jobs=None`` consults ``$REPRO_JOBS`` (default serial); ``use_cache``
+    ``None`` consults ``$REPRO_NO_CACHE`` (default on).  Passing a
+    ``cache`` instance forces that cache regardless of ``use_cache``.
+    """
+    global _last_summary
+    t0 = time.perf_counter()
+    specs = [s.resolved() for s in specs]
+    executor = executor if executor is not None else get_executor(jobs)
+    if cache is None:
+        enabled = (
+            resultcache.cache_enabled_default() if use_cache is None else use_cache
+        )
+        cache = resultcache.ResultCache() if enabled else None
+
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    todo: List[int] = []
+    if cache is not None:
+        for i, spec in enumerate(specs):
+            payload = cache.get(spec.cache_key())
+            if payload is not None:
+                results[i] = RunResult.from_dict(payload["result"])
+            else:
+                todo.append(i)
+    else:
+        todo = list(range(len(specs)))
+
+    fresh = executor.map(simulate_spec, [specs[i] for i in todo])
+    for i, res in zip(todo, fresh):
+        results[i] = res
+        if cache is not None:
+            cache.put(
+                specs[i].cache_key(),
+                {
+                    "spec": specs[i].to_dict(),
+                    "result": res.to_dict(),
+                    "code_version": resultcache.code_version(),
+                },
+            )
+
+    summary = SweepSummary(
+        total=len(specs),
+        simulated=len(todo),
+        cached=len(specs) - len(todo),
+        jobs=getattr(executor, "jobs", 1),
+        executor=getattr(executor, "name", type(executor).__name__),
+        elapsed=time.perf_counter() - t0,
+    )
+    _last_summary = summary
+    log.debug(summary.line())
+    return SweepRun(specs=specs, results=results, summary=summary)
+
+
+class Sweep:
+    """A declared grid of specs; thin sugar over :func:`run_sweep`."""
+
+    def __init__(self, specs: Sequence[RunSpec]):
+        self.specs = list(specs)
+
+    @classmethod
+    def grid(
+        cls,
+        benchmarks: Sequence[str],
+        columns: Sequence[Tuple[Any, MachineConfig]],
+        machine: str = "dtsvliw",
+        scale: Optional[float] = None,
+        hw_mul: bool = False,
+    ) -> "Sweep":
+        """Cross product of ``benchmarks`` x ``(label, config)`` columns;
+        the label lands in ``meta['col']`` for :meth:`SweepRun.table`."""
+        return cls(
+            [
+                RunSpec(
+                    benchmark=name,
+                    config=cfg,
+                    machine=machine,
+                    scale=scale,
+                    hw_mul=hw_mul,
+                    meta={"col": label},
+                )
+                for name in benchmarks
+                for label, cfg in columns
+            ]
+        )
+
+    def run(self, jobs=None, use_cache=None, cache=None, executor=None) -> SweepRun:
+        return run_sweep(
+            self.specs, jobs=jobs, use_cache=use_cache, cache=cache, executor=executor
+        )

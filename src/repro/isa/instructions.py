@@ -84,6 +84,16 @@ class Opcode:
         self.cond = cond
         self.index = -1  # assigned at registration
 
+    def __reduce__(self):
+        # Unpickle by registry lookup: every process has exactly one Opcode
+        # per mnemonic, so instructions shipped across process boundaries
+        # (parallel sweeps) keep identity with the local OPCODES table.
+        return (_opcode_by_name, (self.name,))
+
+
+def _opcode_by_name(name: str) -> "Opcode":
+    return OPCODES[name]
+
 
 OPCODES: Dict[str, Opcode] = {}
 OPCODE_LIST: List[Opcode] = []

@@ -1,0 +1,236 @@
+"""Tests for the sweep/execution layer: declarative RunSpecs, pluggable
+executors (serial vs process-pool parity), the persistent result cache,
+and the canonical MachineConfig serialization it is keyed by."""
+
+import logging
+import pickle
+
+import pytest
+
+from repro.core.config import CacheConfig, MachineConfig
+from repro.harness import runner
+from repro.harness.executors import (
+    ProcessPoolExecutor,
+    SerialExecutor,
+    env_jobs,
+    get_executor,
+)
+from repro.harness.resultcache import ResultCache, code_version
+from repro.harness.runner import RunResult, default_max_cycles, env_scale
+from repro.harness.sweep import RunSpec, Sweep, run_sweep, simulate_spec
+from repro.workloads import registry
+
+SMALL = 0.08
+
+PRESETS = [
+    MachineConfig(),
+    MachineConfig.paper_fixed(4, 4, test_mode=False),
+    MachineConfig.paper_fixed(16, 16),
+    MachineConfig.feasible(test_mode=False),
+    MachineConfig.fig9(test_mode=False),
+    MachineConfig.feasible(next_block_prediction=True),
+    MachineConfig.paper_fixed(8, 8, int_renaming_limit=0, data_store_list=True),
+]
+
+
+def _spec(name="perl", cfg=None, **kw):
+    cfg = cfg or MachineConfig.paper_fixed(4, 4, test_mode=False)
+    kw.setdefault("scale", SMALL)
+    return RunSpec(name, cfg, **kw)
+
+
+class TestConfigSerialization:
+    @pytest.mark.parametrize("cfg", PRESETS, ids=lambda c: c.config_key())
+    def test_round_trip(self, cfg):
+        assert MachineConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_config_key_stable_and_distinct(self):
+        a = MachineConfig.paper_fixed(8, 8, test_mode=False)
+        b = MachineConfig.paper_fixed(8, 8, test_mode=False)
+        assert a.config_key() == b.config_key()
+        assert a.config_key() != a.with_(vliw_cache_assoc=2).config_key()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        d = MachineConfig().to_dict()
+        d["warp_drive"] = True
+        with pytest.raises(ValueError, match="warp_drive"):
+            MachineConfig.from_dict(d)
+
+    def test_cache_config_round_trip(self):
+        cc = CacheConfig(size=4096, line_size=64, assoc=2, miss_penalty=3)
+        assert CacheConfig.from_dict(cc.to_dict()) == cc
+
+
+class TestRunSpec:
+    def test_hash_ignores_meta(self):
+        a = _spec(meta={"col": "4x4"})
+        b = _spec(meta={"col": "different"})
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_hash_tracks_config_and_scale(self):
+        a = _spec()
+        assert a.spec_hash() != _spec(scale=0.1).spec_hash()
+        assert (
+            a.spec_hash()
+            != _spec(cfg=MachineConfig.paper_fixed(8, 4, test_mode=False)).spec_hash()
+        )
+
+    def test_resolved_pins_env_fields(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        spec = RunSpec("perl", MachineConfig())
+        res = spec.resolved()
+        assert res.scale == 0.5
+        assert res.max_cycles == default_max_cycles()
+
+    def test_round_trip(self):
+        spec = _spec(machine="dif", hw_mul=True, optimize=False)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_spec_and_result_picklable(self):
+        spec = _spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        res = simulate_spec(spec)
+        res2 = pickle.loads(pickle.dumps(res))
+        assert res2.ipc == res.ipc and res2.stats.cycles == res.stats.cycles
+
+
+class TestProgramPickling:
+    def test_program_round_trip_preserves_opcodes(self):
+        program = registry.load_program("perl", SMALL)
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.text_words == program.text_words
+        assert clone.entry == program.entry
+        # Opcodes unpickle by registry lookup, keeping identity.
+        for addr, instr in program.instrs.items():
+            assert clone.instrs[addr].op is instr.op
+
+
+class TestExecutors:
+    def test_env_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert env_jobs(1) == 1
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert env_jobs(1) == 4
+        assert isinstance(get_executor(None), ProcessPoolExecutor)
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        assert env_jobs(1) == 1
+
+    def test_get_executor_kinds(self):
+        assert isinstance(get_executor(1), SerialExecutor)
+        assert isinstance(get_executor(3), ProcessPoolExecutor)
+
+    def test_parallel_matches_serial(self):
+        """The acceptance bar: process-pool IPC tables are bit-identical
+        to the serial run on two workloads."""
+        columns = [
+            ("4x4", MachineConfig.paper_fixed(4, 4, test_mode=False)),
+            ("8x8", MachineConfig.paper_fixed(8, 8, test_mode=False)),
+        ]
+        sweep = Sweep.grid(["perl", "compress"], columns, scale=SMALL)
+        serial = sweep.run(jobs=1, use_cache=False)
+        parallel = sweep.run(jobs=2, use_cache=False)
+        assert serial.table() == parallel.table()
+        assert parallel.summary.executor == "process"
+        assert parallel.summary.simulated == 4
+
+
+class TestResultCache:
+    def _run(self, tmp_path, specs, **kw):
+        return run_sweep(specs, cache=ResultCache(str(tmp_path)), **kw)
+
+    def test_hit_after_miss(self, tmp_path):
+        specs = [_spec("perl"), _spec("xlisp")]
+        cold = self._run(tmp_path, specs)
+        assert (cold.summary.simulated, cold.summary.cached) == (2, 0)
+        warm = self._run(tmp_path, specs)
+        assert (warm.summary.simulated, warm.summary.cached) == (0, 2)
+        assert [r.ipc for r in warm.results] == [r.ipc for r in cold.results]
+        assert [r.stats.cycles for r in warm.results] == [
+            r.stats.cycles for r in cold.results
+        ]
+
+    def test_config_change_invalidates(self, tmp_path):
+        self._run(tmp_path, [_spec()])
+        changed = _spec(cfg=MachineConfig.paper_fixed(4, 8, test_mode=False))
+        run = self._run(tmp_path, [changed])
+        assert run.summary.simulated == 1
+
+    def test_code_version_invalidates(self, tmp_path, monkeypatch):
+        specs = [_spec()]
+        self._run(tmp_path, specs)
+        monkeypatch.setattr(
+            "repro.harness.resultcache._code_version", "deadbeefdeadbeef"
+        )
+        run = self._run(tmp_path, specs)
+        assert run.summary.simulated == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        specs = [_spec()]
+        self._run(tmp_path, specs)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        run = self._run(tmp_path, specs)
+        assert run.summary.simulated == 1
+
+    def test_use_cache_false_skips(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        run_sweep([_spec()], use_cache=True)
+        run = run_sweep([_spec()], use_cache=False)
+        assert run.summary.simulated == 1
+
+    def test_code_version_is_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+
+class TestRunnerSatellites:
+    def test_env_scale_forwards_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert env_scale(0.3) == 0.3
+
+    def test_malformed_scale_warns_once(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_SCALE", "not-a-number")
+        monkeypatch.setattr(runner, "_warned_env", set())
+        with caplog.at_level(logging.WARNING, logger="repro.harness.runner"):
+            assert env_scale(0.7) == 0.7
+            assert env_scale(0.7) == 0.7
+        warnings = [r for r in caplog.records if "REPRO_SCALE" in r.getMessage()]
+        assert len(warnings) == 1
+
+    def test_max_cycles_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_CYCLES", "12345")
+        assert default_max_cycles() == 12345
+        monkeypatch.setenv("REPRO_MAX_CYCLES", "garbage")
+        assert default_max_cycles() == runner.DEFAULT_MAX_CYCLES
+
+    def test_timeout_error_names_cell_and_limit(self):
+        from repro.core.errors import SimError
+
+        with pytest.raises(SimError, match=r"max_cycles=50"):
+            runner.run_workload(
+                "perl",
+                MachineConfig.paper_fixed(4, 4, test_mode=False),
+                scale=SMALL,
+                max_cycles=50,
+            )
+
+
+class TestInlineSource:
+    SRC = "int main() { int i; int s = 0; for (i = 0; i < 20; i++) s = s + i; print_int(s); return 0; }"
+
+    def test_inline_spec_runs_all_machines(self):
+        cfg = MachineConfig.fig9(test_mode=False)
+        specs = [
+            RunSpec("inline", cfg, machine=kind, source=self.SRC)
+            for kind in ("scalar", "dtsvliw", "dif")
+        ]
+        run = run_sweep(specs, use_cache=False)
+        assert all(r.cycles > 0 for r in run.results)
+        counts = {r.ref_instructions for r in run.results}
+        assert len(counts) == 1  # one shared reference count
+
+    def test_inline_source_changes_hash(self):
+        cfg = MachineConfig.fig9(test_mode=False)
+        a = RunSpec("inline", cfg, source=self.SRC, scale=1.0)
+        b = RunSpec("inline", cfg, source=self.SRC + " ", scale=1.0)
+        assert a.spec_hash() != b.spec_hash()
