@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Emit BENCH_interp.json: interpreter throughput (MIPS) per workload.
+
+Measures the predecoded-closure interpreter against the generic ``step``
+oracle on the same workloads -- reference-machine simulated instructions
+per wall-clock second -- plus the end-to-end DTSVLIW run in test mode,
+asserting both paths produce bit-identical statistics, output and exit
+codes while they are being timed.
+
+CI runs this after the test suite so every PR leaves a comparable
+interpreter-performance trajectory point.
+
+Run:  PYTHONPATH=src python benchmarks/bench_interp.py --scale 0.3
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.core.config import MachineConfig
+from repro.core.machine import DTSVLIW
+from repro.core.reference import ReferenceMachine
+from repro.workloads import registry
+
+
+def time_reference(program, generic):
+    """-> (instructions, seconds, output, exit_code) for one full run."""
+    m = ReferenceMachine(program, generic_step=generic)
+    count = m.run(max_instructions=1_000_000_000)
+    return count, m.wall_time_s, m.output, m.exit_code
+
+
+def time_dtsvliw(program, cfg):
+    """-> (stats, seconds, output, exit_code) for one test-mode run."""
+    m = DTSVLIW(program, cfg)
+    t0 = time.perf_counter()
+    stats = m.run(max_cycles=2_000_000_000)
+    return stats, time.perf_counter() - t0, m.output, m.exit_code
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument(
+        "--benchmarks", default="",
+        help="comma-separated workload subset (empty: all eight)",
+    )
+    parser.add_argument(
+        "--machine-benchmarks", default="compress,xlisp",
+        help="workloads for the end-to-end test-mode DTSVLIW timing",
+    )
+    parser.add_argument("--out", default="BENCH_interp.json")
+    args = parser.parse_args(argv)
+
+    names = [b for b in args.benchmarks.split(",") if b] or registry.BENCHMARKS
+    workloads = {}
+    total_instr = {"generic": 0, "specialized": 0}
+    total_wall = {"generic": 0.0, "specialized": 0.0}
+    for name in names:
+        program = registry.load_program(name, args.scale)
+        n_gen, t_gen, out_gen, code_gen = time_reference(program, True)
+        n_spec, t_spec, out_spec, code_spec = time_reference(program, False)
+        assert n_spec == n_gen, "%s: instruction counts differ" % name
+        assert out_spec == out_gen, "%s: outputs differ" % name
+        assert code_spec == code_gen, "%s: exit codes differ" % name
+        total_instr["generic"] += n_gen
+        total_wall["generic"] += t_gen
+        total_instr["specialized"] += n_spec
+        total_wall["specialized"] += t_spec
+        workloads[name] = {
+            "instructions": n_gen,
+            "generic_mips": round(n_gen / t_gen / 1e6, 3),
+            "specialized_mips": round(n_spec / t_spec / 1e6, 3),
+            "speedup": round(t_gen / t_spec, 3),
+        }
+        print(
+            "%-8s %9d instr  generic %6.2f MIPS  specialized %6.2f MIPS"
+            "  speedup %.2fx"
+            % (
+                name,
+                n_gen,
+                workloads[name]["generic_mips"],
+                workloads[name]["specialized_mips"],
+                workloads[name]["speedup"],
+            ),
+            flush=True,
+        )
+
+    machine = {}
+    mnames = [b for b in args.machine_benchmarks.split(",") if b]
+    for name in mnames:
+        program = registry.load_program(name, args.scale)
+        cfg = MachineConfig.paper_fixed(8, 8)
+        os.environ["REPRO_GENERIC_STEP"] = "1"
+        s_gen, t_gen, out_gen, code_gen = time_dtsvliw(program, cfg)
+        os.environ.pop("REPRO_GENERIC_STEP")
+        s_spec, t_spec, out_spec, code_spec = time_dtsvliw(program, cfg)
+        # Stats equality excludes wall_time_s (compare=False): every
+        # architectural counter must be bit-identical between the paths.
+        assert s_spec == s_gen, "%s: stats differ between paths" % name
+        assert (out_spec, code_spec) == (out_gen, code_gen), name
+        machine[name] = {
+            "generic_wall_s": round(t_gen, 3),
+            "specialized_wall_s": round(t_spec, 3),
+            "speedup": round(t_gen / t_spec, 3),
+        }
+        print(
+            "dtsvliw/%-8s test-mode  generic %6.2fs  specialized %6.2fs"
+            "  speedup %.2fx"
+            % (name, t_gen, t_spec, machine[name]["speedup"]),
+            flush=True,
+        )
+
+    overall = (total_wall["generic"] / total_wall["specialized"]
+               if total_wall["specialized"] else 0.0)
+    payload = {
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "workloads": workloads,
+        "dtsvliw_test_mode": machine,
+        "generic_mips": round(
+            total_instr["generic"] / total_wall["generic"] / 1e6, 3
+        ),
+        "specialized_mips": round(
+            total_instr["specialized"] / total_wall["specialized"] / 1e6, 3
+        ),
+        "overall_speedup": round(overall, 3),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(
+        "overall: generic %.2f MIPS, specialized %.2f MIPS, %.2fx"
+        % (payload["generic_mips"], payload["specialized_mips"], overall)
+    )
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ from typing import Dict, List
 from ..core.errors import SimError
 from ..isa.encoding import decode
 from ..isa.instructions import Instr
+from ..isa.predecode import predecode_program
 
 #: Default load address of the text segment.
 TEXT_BASE = 0x1000
@@ -26,6 +27,8 @@ class Program:
         "symbols",
         "entry",
         "instrs",
+        "exec_table",
+        "run_table",
         "source_lines",
     )
 
@@ -51,6 +54,9 @@ class Program:
         for i, word in enumerate(text_words):
             addr = text_base + 4 * i
             self.instrs[addr] = decode(word, addr)
+        # Specialize every instruction once (addr -> execution closure);
+        # the engines dispatch through this instead of the generic step().
+        predecode_program(self)
 
     def __getstate__(self):
         # Pickle only the constructor arguments; the decoded-instruction

@@ -32,6 +32,8 @@ operation (its exit map must cover them).
 
 from __future__ import annotations
 
+import time
+
 from typing import Dict, List, Optional, Tuple
 
 from ..asm.program import Program
@@ -39,7 +41,8 @@ from ..core.config import MachineConfig
 from ..core.errors import ProgramExit, SimError
 from ..core.reference import TrapServices, setup_state
 from ..core.stats import Stats
-from ..isa.instructions import FU_BR
+from ..isa.instructions import FU_BR, K_BRANCH, K_NOP, UNCONDITIONAL
+from ..isa.predecode import generic_step_forced
 from ..isa.registers import RegFile
 from ..isa.semantics import StepInfo, step
 from ..memory.cache import Cache
@@ -242,6 +245,7 @@ class DIFMachine:
         )
         self.halted = False
         self.info = StepInfo()
+        self.use_exec = not generic_step_forced()
 
     @property
     def output(self) -> bytes:
@@ -255,11 +259,14 @@ class DIFMachine:
     def run(self, max_cycles: int = 2_000_000_000) -> Stats:
         """Run to the exit trap; returns the statistics."""
         st = self.stats
+        t0 = time.perf_counter()
         try:
             while st.cycles < max_cycles:
                 self._primary_mode(max_cycles)
         except ProgramExit:
             self.halted = True
+        finally:
+            st.wall_time_s += time.perf_counter() - t0
         if not self.halted:
             raise SimError("DIF machine exceeded %d cycles" % max_cycles)
         st.ref_instructions = st.primary_instructions + st.extra.get(
@@ -344,9 +351,8 @@ class DIFMachine:
         Unscheduled instructions on the recorded path (nops, unconditional
         branches) are executed for free; any other deviation bails out to
         the Primary Processor at the current pc."""
-        from ..isa.instructions import K_BRANCH, K_NOP, UNCONDITIONAL
-
         rf, mem, services, info = self.rf, self.mem, self.services, self.info
+        use_exec = self.use_exec
         fetch = self.program.instrs
         st = self.stats
         max_li = -1
@@ -368,10 +374,18 @@ class DIFMachine:
                 )
                 if not free_rider:
                     break  # path deviates: resume in the Primary Processor
-                pc = step(rf, mem, instr, services, info)
+                fn = instr.exec_fn
+                if fn is not None and use_exec:
+                    pc = fn(rf, mem, services, info)
+                else:
+                    pc = step(rf, mem, instr, services, info)
                 executed += 1
                 continue
-            next_pc = step(rf, mem, instr, services, info)
+            fn = instr.exec_fn
+            if fn is not None and use_exec:
+                next_pc = fn(rf, mem, services, info)
+            else:
+                next_pc = step(rf, mem, instr, services, info)
             executed += 1
             idx += 1
             if li > max_li:

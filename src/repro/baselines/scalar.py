@@ -7,6 +7,8 @@ reference for speed-up plots).
 
 from __future__ import annotations
 
+import time
+
 from ..asm.program import Program
 from ..core.config import MachineConfig
 from ..core.errors import ProgramExit, SimError
@@ -63,6 +65,7 @@ class ScalarMachine:
         """Run to the exit trap; returns the statistics."""
         st = self.stats
         fetch = self.program.instrs.get
+        t0 = time.perf_counter()
         try:
             while st.cycles < max_cycles:
                 instr = fetch(self.pc)
@@ -78,6 +81,8 @@ class ScalarMachine:
             st.primary_cycles += 1
             st.ref_instructions += 1  # the exit trap itself
             self.halted = True
+        finally:
+            st.wall_time_s += time.perf_counter() - t0
         if not self.halted:
             raise SimError("scalar machine exceeded %d cycles" % max_cycles)
         return st

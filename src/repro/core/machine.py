@@ -18,6 +18,8 @@ state.  The reference instruction count is the IPC numerator.
 
 from __future__ import annotations
 
+import time
+
 from typing import Optional
 
 from ..asm.program import Program
@@ -27,7 +29,7 @@ from ..memory.main_memory import MainMemory
 from ..primary.pipeline import PrimaryProcessor
 from ..scheduler.unit import FLUSH_HIT, FLUSH_NONSCHED, SchedulerUnit
 from ..vliw.cache import VLIWCache
-from ..vliw.engine import VLIWEngine
+from ..vliw.engine import VLIWEngine, WindowResidencyUnsatisfiable
 from .config import MachineConfig
 from .errors import ProgramExit, SimError, TestModeMismatch
 from .reference import ReferenceMachine, TrapServices, setup_state
@@ -96,11 +98,14 @@ class DTSVLIW:
     def run(self, max_cycles: int = 2_000_000_000) -> Stats:
         """Run to the exit trap (or ``max_cycles``); returns the stats."""
         self._max_cycles = max_cycles
+        t0 = time.perf_counter()
         try:
             while not self.halted and self.stats.cycles < max_cycles:
                 self._primary_mode()
         except ProgramExit:
             self.halted = True
+        finally:
+            self.stats.wall_time_s += time.perf_counter() - t0
         if not self.halted:
             raise SimError("DTSVLIW exceeded %d cycles" % max_cycles)
         if self.reference is not None:
@@ -182,13 +187,9 @@ class DTSVLIW:
             if cfg.next_li_miss_penalty:
                 hit = cfg.next_block_prediction and predicted_next == addr
                 if predicted_next is not None and cfg.next_block_prediction:
-                    st.extra["next_block_predictions"] = (
-                        st.extra.get("next_block_predictions", 0) + 1
-                    )
+                    st.next_block_predictions += 1
                     if hit:
-                        st.extra["next_block_pred_hits"] = (
-                            st.extra.get("next_block_pred_hits", 0) + 1
-                        )
+                        st.next_block_pred_hits += 1
                 if not hit:
                     st.cycles += cfg.next_li_miss_penalty
                     st.vliw_cycles += cfg.next_li_miss_penalty
@@ -210,8 +211,6 @@ class DTSVLIW:
             st.mode_switches += 1
             st.switch_cycles += cfg.switch_to_primary_cost
             st.cycles += cfg.switch_to_primary_cost
-            from ..vliw.engine import WindowResidencyUnsatisfiable
-
             if outcome.kind == "aliasing":
                 # section 3.11: invalidate and reschedule with ordered
                 # memory accesses

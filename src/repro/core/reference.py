@@ -10,7 +10,10 @@ Primary Processor.  It provides two services (section 4):
 
 from __future__ import annotations
 
+import time
+
 from ..asm.program import Program
+from ..isa.predecode import generic_step_forced
 from ..isa.registers import O0, RegFile, SP
 from ..isa.semantics import StepInfo, step, to_signed
 from ..memory.main_memory import MainMemory
@@ -60,7 +63,17 @@ def setup_state(
 
 
 class ReferenceMachine:
-    """Sequential execution of a program, one instruction per ``step()``."""
+    """Sequential execution of a program, one instruction per ``step()``.
+
+    By default the hot loop dispatches through the program's predecoded
+    *lean* closure table (:mod:`repro.isa.predecode`) -- the reference
+    machine compares architectural state only, so it skips the StepInfo
+    bookkeeping the timing engines need; ``generic_step=True`` -- or
+    ``REPRO_GENERIC_STEP=1`` in the environment -- forces the generic
+    :func:`~repro.isa.semantics.step` oracle instead.  All paths are
+    observationally identical (the differential test suite holds them to
+    that, instruction by instruction).
+    """
 
     def __init__(
         self,
@@ -68,6 +81,7 @@ class ReferenceMachine:
         mem_size: int = 8 * 1024 * 1024,
         nwindows: int = 8,
         services: TrapServices | None = None,
+        generic_step: bool | None = None,
     ):
         self.program = program
         self.mem = MainMemory(mem_size)
@@ -77,6 +91,15 @@ class ReferenceMachine:
         self.instret = 0
         self.halted = False
         self.info = StepInfo()
+        self.generic_step = (
+            generic_step_forced() if generic_step is None else generic_step
+        )
+        self.wall_time_s = 0.0
+        self._run = (
+            None
+            if self.generic_step
+            else getattr(program, "run_table", None)
+        )
 
     @property
     def output(self) -> bytes:
@@ -86,8 +109,28 @@ class ReferenceMachine:
     def exit_code(self) -> int:
         return self.services.exit_code
 
+    @property
+    def mips(self) -> float:
+        """Simulated (sequential) instructions per wall-clock microsecond."""
+        return (
+            self.instret / self.wall_time_s / 1e6 if self.wall_time_s else 0.0
+        )
+
     def step_one(self) -> None:
         """Execute exactly one instruction."""
+        run_table = self._run
+        if run_table is not None:
+            fn = run_table.get(self.pc)
+            if fn is None:
+                raise SimError("fetch outside text segment: 0x%x" % self.pc)
+            try:
+                self.pc = fn(self.rf, self.mem, self.services)
+            except ProgramExit:
+                self.instret += 1
+                self.halted = True
+                raise
+            self.instret += 1
+            return
         instr = self.program.fetch(self.pc)
         try:
             self.pc = step(self.rf, self.mem, instr, self.services, self.info)
@@ -99,23 +142,37 @@ class ReferenceMachine:
 
     def run(self, max_instructions: int = 100_000_000) -> int:
         """Run to the exit trap; returns the instruction count."""
-        fetch = self.program.instrs.get
-        rf, mem, services, info = self.rf, self.mem, self.services, self.info
+        rf, mem, services = self.rf, self.mem, self.services
         pc = self.pc
         n = self.instret
+        t0 = time.perf_counter()
+        run_table = self._run
         try:
-            while n < max_instructions:
-                instr = fetch(pc)
-                if instr is None:
-                    raise SimError("fetch outside text segment: 0x%x" % pc)
-                pc = step(rf, mem, instr, services, info)
-                n += 1
+            if run_table is not None:
+                # lean closures: no StepInfo bookkeeping in the hot loop
+                fns = run_table.get
+                while n < max_instructions:
+                    fn = fns(pc)
+                    if fn is None:
+                        raise SimError("fetch outside text segment: 0x%x" % pc)
+                    pc = fn(rf, mem, services)
+                    n += 1
+            else:
+                info = self.info
+                fetch = self.program.instrs.get
+                while n < max_instructions:
+                    instr = fetch(pc)
+                    if instr is None:
+                        raise SimError("fetch outside text segment: 0x%x" % pc)
+                    pc = step(rf, mem, instr, services, info)
+                    n += 1
         except ProgramExit:
             n += 1
             self.halted = True
         finally:
             self.pc = pc
             self.instret = n
+            self.wall_time_s += time.perf_counter() - t0
         if not self.halted:
             raise SimError(
                 "reference machine exceeded %d instructions" % max_instructions

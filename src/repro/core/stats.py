@@ -67,6 +67,13 @@ class Stats:
     vliw_cache_probes: int = 0
     vliw_block_entries: int = 0
     block_invalidations: int = 0
+    next_block_predictions: int = 0
+    next_block_pred_hits: int = 0
+
+    # -- host-side measurement -----------------------------------------------------------
+    #: host wall-clock seconds spent in the run loop.  Excluded from
+    #: equality so two architecturally identical runs still compare equal.
+    wall_time_s: float = field(default=0.0, compare=False)
 
     extra: Dict[str, float] = field(default_factory=dict)
 
@@ -89,6 +96,14 @@ class Stats:
         Cache (~33% for the feasible machine in the paper)."""
         return self.slots_filled / self.slots_total if self.slots_total else 0.0
 
+    @property
+    def mips(self) -> float:
+        """Simulator throughput: simulated (sequential) instructions per
+        host wall-clock microsecond."""
+        if not self.wall_time_s:
+            return 0.0
+        return self.ref_instructions / self.wall_time_s / 1e6
+
     def summary(self) -> str:
         """Multi-line human-readable digest of the run."""
         lines = [
@@ -108,5 +123,7 @@ class Stats:
             % (self.max_load_list, self.max_store_list, self.max_ckpt_list),
             "aliasing=%d mispredicts=%d blocks=%d"
             % (self.aliasing_exceptions, self.mispredicts, self.blocks_flushed),
+            "host: wall=%.3fs throughput=%.2f MIPS"
+            % (self.wall_time_s, self.mips),
         ]
         return "\n".join(lines)

@@ -317,8 +317,8 @@ def ablation_next_block_prediction(
     for name in names:
         r0 = by_cell[(name, "no_prediction")]
         r1 = by_cell[(name, "prediction")]
-        hits = r1.stats.extra.get("next_block_pred_hits", 0)
-        total = r1.stats.extra.get("next_block_predictions", 1)
+        hits = r1.stats.next_block_pred_hits
+        total = r1.stats.next_block_predictions
         out[name] = {
             "no_prediction": r0.ipc,
             "prediction": r1.ipc,

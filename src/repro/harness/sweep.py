@@ -169,9 +169,20 @@ class SweepSummary:
     jobs: int = 1
     executor: str = "serial"
     elapsed: float = 0.0
+    #: simulated sequential instructions / run-loop wall seconds, summed
+    #: over the freshly simulated cells (cached cells replay no work).
+    sim_instructions: int = 0
+    sim_wall_s: float = 0.0
+
+    @property
+    def mips(self) -> float:
+        """Aggregate simulator throughput of the freshly simulated cells."""
+        if not self.sim_wall_s:
+            return 0.0
+        return self.sim_instructions / self.sim_wall_s / 1e6
 
     def line(self) -> str:
-        return (
+        out = (
             "sweep: %d cells (%d simulated, %d cached) via %s jobs=%d in %.1fs"
             % (
                 self.total,
@@ -182,6 +193,9 @@ class SweepSummary:
                 self.elapsed,
             )
         )
+        if self.sim_wall_s:
+            out += " at %.2f MIPS" % self.mips
+        return out
 
 
 @dataclass
@@ -270,6 +284,8 @@ def run_sweep(
         jobs=getattr(executor, "jobs", 1),
         executor=getattr(executor, "name", type(executor).__name__),
         elapsed=time.perf_counter() - t0,
+        sim_instructions=sum(results[i].stats.ref_instructions for i in todo),
+        sim_wall_s=sum(results[i].stats.wall_time_s for i in todo),
     )
     _last_summary = summary
     log.debug(summary.line())

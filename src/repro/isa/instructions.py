@@ -192,6 +192,16 @@ COND_BRANCHES = {
     if opc.kind == K_BRANCH and name not in UNCONDITIONAL
 }
 
+# Scheduler hand-off classes precomputed at decode time (section 3.9): how
+# the Primary Processor forwards a completed instruction to the Scheduler
+# Unit without re-deriving the classification per dynamic instance.
+SCHED_NORMAL = 0  # build a SchedOp
+SCHED_SKIP = 1  # nop / unconditional branch: the Scheduler Unit ignores it
+SCHED_NONSCHED = 2  # trap: non-schedulable, flushes the scheduling list
+
+#: memory access width by mnemonic (0 for non-memory instructions)
+_MEM_SIZES = {"ld": 4, "st": 4, "ldf": 4, "stf": 4, "ldub": 1, "ldsb": 1, "stb": 1}
+
 
 class Instr:
     """One decoded static instruction.
@@ -204,7 +214,26 @@ class Instr:
     the instruction's own address (labels are resolved by the assembler).
     """
 
-    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "use_imm", "addr")
+    __slots__ = (
+        "op",
+        "rd",
+        "rs1",
+        "rs2",
+        "imm",
+        "use_imm",
+        "addr",
+        # -- decode-time specialization (filled here and by isa.predecode) --
+        "exec_fn",
+        "alu_fn",
+        "cc_fn",
+        "cond_fn",
+        "fp_fn",
+        "mem_size",
+        "ld_signed",
+        "lu_regs",
+        "sched_class",
+        "cond_branch",
+    )
 
     def __init__(
         self,
@@ -223,6 +252,45 @@ class Instr:
         self.imm = imm
         self.use_imm = use_imm
         self.addr = addr
+        # Semantics-bound specializations (resolved ALU/cc/cond/fp functions
+        # and the full execution closure) are installed by
+        # :func:`repro.isa.predecode.specialize`; ``None`` means "use the
+        # generic :func:`repro.isa.semantics.step` oracle".
+        self.exec_fn = None
+        self.alu_fn = None
+        self.cc_fn = None
+        self.cond_fn = None
+        self.fp_fn = None
+        # Cheap structural metadata is always available (it only depends on
+        # this module), so every engine can consume it even for hand-built
+        # instructions that never went through a Program.
+        kind = op.kind
+        name = op.name
+        self.mem_size = _MEM_SIZES.get(name, 0)
+        self.ld_signed = name == "ldsb"
+        self.cond_branch = kind == K_BRANCH and name not in UNCONDITIONAL
+        if kind == K_TRAP:
+            self.sched_class = SCHED_NONSCHED
+        elif kind == K_NOP or (kind == K_BRANCH and name in UNCONDITIONAL):
+            self.sched_class = SCHED_SKIP
+        else:
+            self.sched_class = SCHED_NORMAL
+        # Visible integer registers whose read triggers the load-use
+        # interlock (mirrors the Primary Processor's historical
+        # ``_reads_reg`` exactly, including its conservative treatment of
+        # fp-namespace rs1/rs2; g0 never interlocks).
+        if kind in (K_NOP, K_TRAP):
+            self.lu_regs = ()
+        else:
+            regs = []
+            if kind != K_BRANCH:
+                if rs1:
+                    regs.append(rs1)
+                if not use_imm and rs2 and rs2 != rs1:
+                    regs.append(rs2)
+            if kind == K_STORE and rd and rd not in regs:
+                regs.append(rd)
+            self.lu_regs = tuple(regs)
 
     # -- classification helpers (used outside hot loops) ---------------------
     @property

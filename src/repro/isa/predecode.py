@@ -1,0 +1,1026 @@
+"""Predecoded micro-op interpreter: one specialization pass per static
+instruction, closures everywhere after that.
+
+The generic :func:`repro.isa.semantics.step` re-discovers everything about
+an instruction on every dynamic execution: it walks an if/elif chain over
+the opcode kind, resolves ALU semantics through the string-keyed
+:data:`~repro.isa.semantics.ALU_FUNCS` table, re-evaluates branch
+conditions by name and re-extends immediates.  With 50M+ instruction
+traces (and *test mode* repeating every instruction on the lockstep
+reference), that decode work dominates simulation time.
+
+This module performs the classic fast-interpreter fix -- the same
+first-time-vs-cached split the DTSVLIW itself exploits: each static
+:class:`~repro.isa.instructions.Instr` is compiled **once** into a bound
+execution closure with signature ``fn(rf, mem, services, info) -> next_pc``
+whose operand indices, sign-extended immediates, ALU function, cc updater
+and trap/branch behaviour were resolved at decode time.  The closure is
+observationally identical to ``step`` -- same architectural effects, same
+:class:`~repro.isa.semantics.StepInfo` fields, same exceptions in the same
+order -- which ``tests/test_predecode_differential.py`` enforces against
+the generic oracle instruction by instruction.
+
+:func:`predecode_program` specializes every instruction of a
+:class:`~repro.asm.program.Program` (called from ``Program.__init__``, so
+any program a machine can load is predecoded) and builds the
+``addr -> closure`` dispatch table the reference machine's hot loop runs
+on.  Setting ``REPRO_GENERIC_STEP=1`` forces every engine back onto the
+generic ``step`` oracle path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+from ..core.errors import MemFault
+from .instructions import (
+    Instr,
+    K_ALU,
+    K_BRANCH,
+    K_CALL,
+    K_FLOAD,
+    K_FPOP,
+    K_FSTORE,
+    K_JMPL,
+    K_LOAD,
+    K_NOP,
+    K_RESTORE,
+    K_SAVE,
+    K_SETHI,
+    K_STORE,
+    K_TRAP,
+)
+from .registers import ICC_C, ICC_N, ICC_V, ICC_Z
+from .semantics import (
+    ALU_FUNCS,
+    MASK32,
+    SIGN_BIT,
+    do_window_fill,
+    do_window_spill,
+    fcmp_cc,
+    to_signed,
+    to_unsigned,
+)
+
+#: closure signature shared by every compiled instruction
+ExecFn = Callable[..., int]
+
+
+def generic_step_forced() -> bool:
+    """True when ``$REPRO_GENERIC_STEP`` forces the generic ``step`` oracle
+    (the escape hatch used to measure baselines and to debug the
+    specialized path)."""
+    return os.environ.get("REPRO_GENERIC_STEP", "") not in ("", "0")
+
+
+# ---------------------------------------------------------------------------
+# Pre-resolved branch conditions over packed NZVC.  Every function returns a
+# real bool: the VLIW Engine compares the result against the recorded
+# direction with ``!=``, where an int would falsely mismatch ``True``.
+# ---------------------------------------------------------------------------
+COND_FUNCS: Dict[str, Callable[[int], bool]] = {
+    "ba": lambda icc: True,
+    "bn": lambda icc: False,
+    "be": lambda icc: bool(icc & ICC_Z),
+    "bne": lambda icc: not icc & ICC_Z,
+    "bl": lambda icc: bool(icc & ICC_N) != bool(icc & ICC_V),
+    "bge": lambda icc: bool(icc & ICC_N) == bool(icc & ICC_V),
+    "ble": lambda icc: bool(icc & ICC_Z)
+    or bool(icc & ICC_N) != bool(icc & ICC_V),
+    "bg": lambda icc: not (
+        bool(icc & ICC_Z) or bool(icc & ICC_N) != bool(icc & ICC_V)
+    ),
+    "blu": lambda icc: bool(icc & ICC_C),
+    "bgeu": lambda icc: not icc & ICC_C,
+    "bleu": lambda icc: bool(icc & (ICC_C | ICC_Z)),
+    "bgu": lambda icc: not icc & (ICC_C | ICC_Z),
+    "bpos": lambda icc: not icc & ICC_N,
+    "bneg": lambda icc: bool(icc & ICC_N),
+    "bvs": lambda icc: bool(icc & ICC_V),
+    "bvc": lambda icc: not icc & ICC_V,
+}
+
+
+# ---------------------------------------------------------------------------
+# Specialized cc updaters: (a, b, result) -> packed NZVC, one function per
+# cc-setting mnemonic instead of string comparisons inside ``alu_cc``.
+# ---------------------------------------------------------------------------
+def _cc_add(a: int, b: int, res: int) -> int:
+    icc = 0
+    if res & SIGN_BIT:
+        icc |= ICC_N
+    if res == 0:
+        icc |= ICC_Z
+    if (~(a ^ b) & (a ^ res)) & SIGN_BIT:
+        icc |= ICC_V
+    if (a + b) > MASK32:
+        icc |= ICC_C
+    return icc
+
+
+def _cc_sub(a: int, b: int, res: int) -> int:
+    icc = 0
+    if res & SIGN_BIT:
+        icc |= ICC_N
+    if res == 0:
+        icc |= ICC_Z
+    if ((a ^ b) & (a ^ res)) & SIGN_BIT:
+        icc |= ICC_V
+    if b > a:  # unsigned borrow
+        icc |= ICC_C
+    return icc
+
+
+def _cc_logic(a: int, b: int, res: int) -> int:
+    icc = 0
+    if res & SIGN_BIT:
+        icc |= ICC_N
+    if res == 0:
+        icc |= ICC_Z
+    return icc
+
+
+CC_FUNCS: Dict[str, Callable[[int, int, int], int]] = {
+    "addcc": _cc_add,
+    "subcc": _cc_sub,
+    "andcc": _cc_logic,
+    "orcc": _cc_logic,
+    "xorcc": _cc_logic,
+}
+
+
+# ---------------------------------------------------------------------------
+# Pre-resolved two-operand fp compute (one-operand ops ignore ``b``).
+# ---------------------------------------------------------------------------
+def _fp_div(a: float, b: float) -> float:
+    if b == 0.0:
+        raise MemFault(0, "fp division by zero")
+    return a / b
+
+
+FP_FUNCS: Dict[str, Callable[[float, float], float]] = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": _fp_div,
+    "fmov": lambda a, b: a,
+    "fneg": lambda a, b: -a,
+}
+
+
+# ---------------------------------------------------------------------------
+# Per-kind closure compilers.  Each mirrors the corresponding branch of the
+# generic ``step`` exactly: identical StepInfo fields in identical order,
+# identical write-before-raise quirks, identical masking.
+# ---------------------------------------------------------------------------
+def _compile_alu(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    fn = ALU_FUNCS[instr.op.name]
+    next_pc = instr.addr + 4
+    if instr.op.sets_cc:
+        cc_fn = CC_FUNCS[instr.op.name]
+        if instr.use_imm:
+            b = instr.imm & MASK32
+
+            def run(rf, mem, services, info):
+                info.reset()
+                info.cwp_before = rf.cwp
+                t = rf.tables[rf.cwp]
+                a = rf.iregs[t[rs1]]
+                res = fn(a, b)
+                p = t[rd]
+                if p:
+                    rf.iregs[p] = res & MASK32
+                rf.icc = cc_fn(a, b, res)
+                info.value = res
+                return next_pc
+
+            return run
+
+        def run(rf, mem, services, info):
+            info.reset()
+            info.cwp_before = rf.cwp
+            t = rf.tables[rf.cwp]
+            iregs = rf.iregs
+            a = iregs[t[rs1]]
+            b = iregs[t[rs2]]
+            res = fn(a, b)
+            p = t[rd]
+            if p:
+                iregs[p] = res & MASK32
+            rf.icc = cc_fn(a, b, res)
+            info.value = res
+            return next_pc
+
+        return run
+    if instr.use_imm:
+        b = instr.imm & MASK32
+
+        def run(rf, mem, services, info):
+            info.reset()
+            info.cwp_before = rf.cwp
+            t = rf.tables[rf.cwp]
+            res = fn(rf.iregs[t[rs1]], b)
+            p = t[rd]
+            if p:
+                rf.iregs[p] = res & MASK32
+            info.value = res
+            return next_pc
+
+        return run
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        res = fn(iregs[t[rs1]], iregs[t[rs2]])
+        p = t[rd]
+        if p:
+            iregs[p] = res & MASK32
+        info.value = res
+        return next_pc
+
+    return run
+
+
+def _compile_sethi(instr: Instr) -> ExecFn:
+    rd = instr.rd
+    res = (instr.imm << 12) & MASK32
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        p = rf.tables[rf.cwp][rd]
+        if p:
+            rf.iregs[p] = res
+        info.value = res
+        return next_pc
+
+    return run
+
+
+def _compile_load(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    imm, use_imm = instr.imm, instr.use_imm
+    next_pc = instr.addr + 4
+    name = instr.op.name
+    if name == "ld":
+
+        def run(rf, mem, services, info):
+            info.reset()
+            info.cwp_before = rf.cwp
+            t = rf.tables[rf.cwp]
+            iregs = rf.iregs
+            off = imm if use_imm else iregs[t[rs2]]
+            addr = (iregs[t[rs1]] + off) & MASK32
+            info.mem_addr = addr
+            info.is_load = True
+            info.mem_size = 4
+            val = mem.read_word(addr)
+            p = t[rd]
+            if p:
+                iregs[p] = val
+            info.value = val
+            return next_pc
+
+        return run
+    signed = name == "ldsb"
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        off = imm if use_imm else iregs[t[rs2]]
+        addr = (iregs[t[rs1]] + off) & MASK32
+        info.mem_addr = addr
+        info.is_load = True
+        info.mem_size = 1
+        val = mem.read_byte(addr)
+        if signed and val & 0x80:
+            val |= 0xFFFFFF00
+        p = t[rd]
+        if p:
+            iregs[p] = val
+        info.value = val
+        return next_pc
+
+    return run
+
+
+def _compile_store(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    imm, use_imm = instr.imm, instr.use_imm
+    next_pc = instr.addr + 4
+    if instr.op.name == "st":
+
+        def run(rf, mem, services, info):
+            info.reset()
+            info.cwp_before = rf.cwp
+            t = rf.tables[rf.cwp]
+            iregs = rf.iregs
+            off = imm if use_imm else iregs[t[rs2]]
+            addr = (iregs[t[rs1]] + off) & MASK32
+            val = iregs[t[rd]]
+            info.mem_addr = addr
+            info.is_store = True
+            info.mem_size = 4
+            info.store_old = mem.read_word(addr)
+            mem.write_word(addr, val)
+            info.value = val
+            return next_pc
+
+        return run
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        off = imm if use_imm else iregs[t[rs2]]
+        addr = (iregs[t[rs1]] + off) & MASK32
+        val = iregs[t[rd]]
+        info.mem_addr = addr
+        info.is_store = True
+        info.mem_size = 1
+        info.store_old = mem.read_byte(addr)
+        mem.write_byte(addr, val & 0xFF)
+        info.value = val
+        return next_pc
+
+    return run
+
+
+def _compile_branch(instr: Instr) -> ExecFn:
+    taken_target = (instr.addr + instr.imm) & MASK32
+    not_taken = instr.addr + 4
+    cond = instr.op.cond
+    if cond == "ba":
+
+        def run(rf, mem, services, info):
+            info.reset()
+            info.cwp_before = rf.cwp
+            info.taken = True
+            info.target = taken_target
+            return taken_target
+
+        return run
+    if cond == "bn":
+
+        def run(rf, mem, services, info):
+            info.reset()
+            info.cwp_before = rf.cwp
+            info.target = not_taken
+            return not_taken
+
+        return run
+    cond_fn = COND_FUNCS[cond]
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        if cond_fn(rf.icc):
+            info.taken = True
+            info.target = taken_target
+            return taken_target
+        info.target = not_taken
+        return not_taken
+
+    return run
+
+
+def _compile_call(instr: Instr) -> ExecFn:
+    pc = instr.addr
+    target = (instr.addr + instr.imm) & MASK32
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        # o7 <- address of the call itself (never physical g0)
+        rf.iregs[rf.tables[rf.cwp][15]] = pc
+        info.taken = True
+        info.target = target
+        info.value = pc
+        return target
+
+    return run
+
+
+def _compile_jmpl(instr: Instr) -> ExecFn:
+    rs1, rd = instr.rs1, instr.rd
+    imm = instr.imm
+    pc = instr.addr
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        t = rf.tables[rf.cwp]
+        target = (rf.iregs[t[rs1]] + imm) & MASK32
+        p = t[rd]
+        if p:
+            rf.iregs[p] = pc
+        if target & 3:
+            raise MemFault(target, "misaligned jump target")
+        info.taken = True
+        info.target = target
+        return target
+
+    return run
+
+
+def _compile_save(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    imm, use_imm = instr.imm & MASK32, instr.use_imm
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        a = iregs[t[rs1]]
+        b = imm if use_imm else iregs[t[rs2]]
+        if rf.cansave == 0:
+            do_window_spill(rf, mem)
+            info.spilled = True
+        else:
+            rf.cansave -= 1
+            rf.canrestore += 1
+        rf.cwp = (rf.cwp - 1) % rf.nwindows
+        res = (a + b) & MASK32
+        p = rf.tables[rf.cwp][rd]  # rd in the NEW window
+        if p:
+            iregs[p] = res
+        info.value = res
+        return next_pc
+
+    return run
+
+
+def _compile_restore(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    imm, use_imm = instr.imm & MASK32, instr.use_imm
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        a = iregs[t[rs1]]
+        b = imm if use_imm else iregs[t[rs2]]
+        if rf.canrestore == 0:
+            do_window_fill(rf, mem)
+            info.spilled = True
+        else:
+            rf.canrestore -= 1
+            rf.cansave += 1
+        rf.cwp = (rf.cwp + 1) % rf.nwindows
+        res = (a + b) & MASK32
+        p = rf.tables[rf.cwp][rd]
+        if p:
+            iregs[p] = res
+        info.value = res
+        return next_pc
+
+    return run
+
+
+def _compile_fpop(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    next_pc = instr.addr + 4
+    name = instr.op.name
+    if name == "fitos":
+
+        def run(rf, mem, services, info):
+            info.reset()
+            info.cwp_before = rf.cwp
+            rf.fregs[rd] = float(to_signed(rf.iregs[rf.tables[rf.cwp][rs1]]))
+            return next_pc
+
+        return run
+    if name == "fstoi":
+
+        def run(rf, mem, services, info):
+            info.reset()
+            info.cwp_before = rf.cwp
+            p = rf.tables[rf.cwp][rd]
+            if p:
+                rf.iregs[p] = to_unsigned(int(rf.fregs[rs1]))
+            return next_pc
+
+        return run
+    if name == "fcmp":
+
+        def run(rf, mem, services, info):
+            info.reset()
+            info.cwp_before = rf.cwp
+            rf.icc = fcmp_cc(rf.fregs[rs1], rf.fregs[rs2])
+            return next_pc
+
+        return run
+    fp_fn = FP_FUNCS[name]
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        fregs = rf.fregs
+        fregs[rd] = fp_fn(fregs[rs1], fregs[rs2])
+        return next_pc
+
+    return run
+
+
+def _compile_fload(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    imm, use_imm = instr.imm, instr.use_imm
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        off = imm if use_imm else iregs[t[rs2]]
+        addr = (iregs[t[rs1]] + off) & MASK32
+        info.mem_addr = addr
+        info.mem_size = 4
+        info.is_load = True
+        rf.fregs[rd] = mem.read_float(addr)
+        return next_pc
+
+    return run
+
+
+def _compile_fstore(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    imm, use_imm = instr.imm, instr.use_imm
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        off = imm if use_imm else iregs[t[rs2]]
+        addr = (iregs[t[rs1]] + off) & MASK32
+        info.mem_addr = addr
+        info.mem_size = 4
+        info.is_store = True
+        info.store_old = mem.read_word(addr)
+        mem.write_float(addr, rf.fregs[rd])
+        return next_pc
+
+    return run
+
+
+def _compile_trap(instr: Instr) -> ExecFn:
+    num = instr.imm
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        services.trap(num, rf, mem)
+        return next_pc
+
+    return run
+
+
+def _compile_nop(instr: Instr) -> ExecFn:
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services, info):
+        info.reset()
+        info.cwp_before = rf.cwp
+        return next_pc
+
+    return run
+
+
+_COMPILERS: Dict[int, Callable[[Instr], ExecFn]] = {
+    K_ALU: _compile_alu,
+    K_SETHI: _compile_sethi,
+    K_LOAD: _compile_load,
+    K_STORE: _compile_store,
+    K_BRANCH: _compile_branch,
+    K_CALL: _compile_call,
+    K_JMPL: _compile_jmpl,
+    K_SAVE: _compile_save,
+    K_RESTORE: _compile_restore,
+    K_FPOP: _compile_fpop,
+    K_FLOAD: _compile_fload,
+    K_FSTORE: _compile_fstore,
+    K_TRAP: _compile_trap,
+    K_NOP: _compile_nop,
+}
+
+
+# ---------------------------------------------------------------------------
+# Lean closures: ``fn(rf, mem, services) -> next_pc`` with **no** StepInfo
+# bookkeeping.  The pure reference interpreter never reads StepInfo (it
+# compares architectural state only), so its throughput loop skips the
+# per-instruction info stores -- and the read-before-write a store performs
+# solely to record ``store_old``.  Architectural effects are identical to
+# the full closures; the differential suite checks lean and full paths
+# against the generic oracle separately.
+# ---------------------------------------------------------------------------
+def _lean_alu(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    fn = ALU_FUNCS[instr.op.name]
+    next_pc = instr.addr + 4
+    if instr.op.sets_cc:
+        cc_fn = CC_FUNCS[instr.op.name]
+        if instr.use_imm:
+            b = instr.imm & MASK32
+
+            def run(rf, mem, services):
+                t = rf.tables[rf.cwp]
+                a = rf.iregs[t[rs1]]
+                res = fn(a, b)
+                p = t[rd]
+                if p:
+                    rf.iregs[p] = res & MASK32
+                rf.icc = cc_fn(a, b, res)
+                return next_pc
+
+            return run
+
+        def run(rf, mem, services):
+            t = rf.tables[rf.cwp]
+            iregs = rf.iregs
+            a = iregs[t[rs1]]
+            b = iregs[t[rs2]]
+            res = fn(a, b)
+            p = t[rd]
+            if p:
+                iregs[p] = res & MASK32
+            rf.icc = cc_fn(a, b, res)
+            return next_pc
+
+        return run
+    name = instr.op.name
+    if instr.use_imm:
+        b = instr.imm & MASK32
+        if name == "add":
+
+            def run(rf, mem, services):
+                t = rf.tables[rf.cwp]
+                p = t[rd]
+                if p:
+                    rf.iregs[p] = (rf.iregs[t[rs1]] + b) & MASK32
+                return next_pc
+
+            return run
+        if name == "sub":
+
+            def run(rf, mem, services):
+                t = rf.tables[rf.cwp]
+                p = t[rd]
+                if p:
+                    rf.iregs[p] = (rf.iregs[t[rs1]] - b) & MASK32
+                return next_pc
+
+            return run
+
+        def run(rf, mem, services):
+            t = rf.tables[rf.cwp]
+            res = fn(rf.iregs[t[rs1]], b)
+            p = t[rd]
+            if p:
+                rf.iregs[p] = res & MASK32
+            return next_pc
+
+        return run
+    if name == "add":
+
+        def run(rf, mem, services):
+            t = rf.tables[rf.cwp]
+            iregs = rf.iregs
+            p = t[rd]
+            if p:
+                iregs[p] = (iregs[t[rs1]] + iregs[t[rs2]]) & MASK32
+            return next_pc
+
+        return run
+
+    def run(rf, mem, services):
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        res = fn(iregs[t[rs1]], iregs[t[rs2]])
+        p = t[rd]
+        if p:
+            iregs[p] = res & MASK32
+        return next_pc
+
+    return run
+
+
+def _lean_sethi(instr: Instr) -> ExecFn:
+    rd = instr.rd
+    res = (instr.imm << 12) & MASK32
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services):
+        p = rf.tables[rf.cwp][rd]
+        if p:
+            rf.iregs[p] = res
+        return next_pc
+
+    return run
+
+
+def _lean_load(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    imm, use_imm = instr.imm, instr.use_imm
+    next_pc = instr.addr + 4
+    if instr.op.name == "ld":
+
+        def run(rf, mem, services):
+            t = rf.tables[rf.cwp]
+            iregs = rf.iregs
+            off = imm if use_imm else iregs[t[rs2]]
+            val = mem.read_word((iregs[t[rs1]] + off) & MASK32)
+            p = t[rd]
+            if p:
+                iregs[p] = val
+            return next_pc
+
+        return run
+    signed = instr.ld_signed
+
+    def run(rf, mem, services):
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        off = imm if use_imm else iregs[t[rs2]]
+        val = mem.read_byte((iregs[t[rs1]] + off) & MASK32)
+        if signed and val & 0x80:
+            val |= 0xFFFFFF00
+        p = t[rd]
+        if p:
+            iregs[p] = val
+        return next_pc
+
+    return run
+
+
+def _lean_store(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    imm, use_imm = instr.imm, instr.use_imm
+    next_pc = instr.addr + 4
+    if instr.op.name == "st":
+
+        def run(rf, mem, services):
+            t = rf.tables[rf.cwp]
+            iregs = rf.iregs
+            off = imm if use_imm else iregs[t[rs2]]
+            mem.write_word((iregs[t[rs1]] + off) & MASK32, iregs[t[rd]])
+            return next_pc
+
+        return run
+
+    def run(rf, mem, services):
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        off = imm if use_imm else iregs[t[rs2]]
+        mem.write_byte((iregs[t[rs1]] + off) & MASK32, iregs[t[rd]] & 0xFF)
+        return next_pc
+
+    return run
+
+
+def _lean_branch(instr: Instr) -> ExecFn:
+    taken_target = (instr.addr + instr.imm) & MASK32
+    not_taken = instr.addr + 4
+    cond = instr.op.cond
+    if cond == "ba":
+        return lambda rf, mem, services: taken_target
+    if cond == "bn":
+        return lambda rf, mem, services: not_taken
+    cond_fn = COND_FUNCS[cond]
+
+    def run(rf, mem, services):
+        return taken_target if cond_fn(rf.icc) else not_taken
+
+    return run
+
+
+def _lean_call(instr: Instr) -> ExecFn:
+    pc = instr.addr
+    target = (instr.addr + instr.imm) & MASK32
+
+    def run(rf, mem, services):
+        rf.iregs[rf.tables[rf.cwp][15]] = pc
+        return target
+
+    return run
+
+
+def _lean_jmpl(instr: Instr) -> ExecFn:
+    rs1, rd = instr.rs1, instr.rd
+    imm = instr.imm
+    pc = instr.addr
+
+    def run(rf, mem, services):
+        t = rf.tables[rf.cwp]
+        target = (rf.iregs[t[rs1]] + imm) & MASK32
+        p = t[rd]
+        if p:
+            rf.iregs[p] = pc
+        if target & 3:
+            raise MemFault(target, "misaligned jump target")
+        return target
+
+    return run
+
+
+def _lean_save(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    imm, use_imm = instr.imm & MASK32, instr.use_imm
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services):
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        a = iregs[t[rs1]]
+        b = imm if use_imm else iregs[t[rs2]]
+        if rf.cansave == 0:
+            do_window_spill(rf, mem)
+        else:
+            rf.cansave -= 1
+            rf.canrestore += 1
+        rf.cwp = (rf.cwp - 1) % rf.nwindows
+        p = rf.tables[rf.cwp][rd]  # rd in the NEW window
+        if p:
+            iregs[p] = (a + b) & MASK32
+        return next_pc
+
+    return run
+
+
+def _lean_restore(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    imm, use_imm = instr.imm & MASK32, instr.use_imm
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services):
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        a = iregs[t[rs1]]
+        b = imm if use_imm else iregs[t[rs2]]
+        if rf.canrestore == 0:
+            do_window_fill(rf, mem)
+        else:
+            rf.canrestore -= 1
+            rf.cansave += 1
+        rf.cwp = (rf.cwp + 1) % rf.nwindows
+        p = rf.tables[rf.cwp][rd]
+        if p:
+            iregs[p] = (a + b) & MASK32
+        return next_pc
+
+    return run
+
+
+def _lean_fpop(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    next_pc = instr.addr + 4
+    name = instr.op.name
+    if name == "fitos":
+
+        def run(rf, mem, services):
+            rf.fregs[rd] = float(to_signed(rf.iregs[rf.tables[rf.cwp][rs1]]))
+            return next_pc
+
+        return run
+    if name == "fstoi":
+
+        def run(rf, mem, services):
+            p = rf.tables[rf.cwp][rd]
+            if p:
+                rf.iregs[p] = to_unsigned(int(rf.fregs[rs1]))
+            return next_pc
+
+        return run
+    if name == "fcmp":
+
+        def run(rf, mem, services):
+            rf.icc = fcmp_cc(rf.fregs[rs1], rf.fregs[rs2])
+            return next_pc
+
+        return run
+    fp_fn = FP_FUNCS[name]
+
+    def run(rf, mem, services):
+        fregs = rf.fregs
+        fregs[rd] = fp_fn(fregs[rs1], fregs[rs2])
+        return next_pc
+
+    return run
+
+
+def _lean_fload(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    imm, use_imm = instr.imm, instr.use_imm
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services):
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        off = imm if use_imm else iregs[t[rs2]]
+        rf.fregs[rd] = mem.read_float((iregs[t[rs1]] + off) & MASK32)
+        return next_pc
+
+    return run
+
+
+def _lean_fstore(instr: Instr) -> ExecFn:
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    imm, use_imm = instr.imm, instr.use_imm
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services):
+        t = rf.tables[rf.cwp]
+        iregs = rf.iregs
+        off = imm if use_imm else iregs[t[rs2]]
+        mem.write_float((iregs[t[rs1]] + off) & MASK32, rf.fregs[rd])
+        return next_pc
+
+    return run
+
+
+def _lean_trap(instr: Instr) -> ExecFn:
+    num = instr.imm
+    next_pc = instr.addr + 4
+
+    def run(rf, mem, services):
+        services.trap(num, rf, mem)
+        return next_pc
+
+    return run
+
+
+def _lean_nop(instr: Instr) -> ExecFn:
+    next_pc = instr.addr + 4
+    return lambda rf, mem, services: next_pc
+
+
+_LEAN_COMPILERS: Dict[int, Callable[[Instr], ExecFn]] = {
+    K_ALU: _lean_alu,
+    K_SETHI: _lean_sethi,
+    K_LOAD: _lean_load,
+    K_STORE: _lean_store,
+    K_BRANCH: _lean_branch,
+    K_CALL: _lean_call,
+    K_JMPL: _lean_jmpl,
+    K_SAVE: _lean_save,
+    K_RESTORE: _lean_restore,
+    K_FPOP: _lean_fpop,
+    K_FLOAD: _lean_fload,
+    K_FSTORE: _lean_fstore,
+    K_TRAP: _lean_trap,
+    K_NOP: _lean_nop,
+}
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+def specialize(instr: Instr) -> Instr:
+    """Resolve every dynamic lookup of ``instr`` once, in place.
+
+    Installs the full execution closure (``exec_fn``) plus the pre-resolved
+    compute functions the VLIW Engine replays scheduled operations with
+    (``alu_fn``/``cc_fn``/``cond_fn``/``fp_fn``).
+    """
+    op = instr.op
+    kind = op.kind
+    if kind in (K_ALU, K_SAVE, K_RESTORE):
+        instr.alu_fn = ALU_FUNCS[op.name]
+        if op.sets_cc:
+            instr.cc_fn = CC_FUNCS[op.name]
+    elif kind == K_BRANCH:
+        instr.cond_fn = COND_FUNCS[op.cond]
+    elif kind == K_FPOP:
+        instr.fp_fn = FP_FUNCS.get(op.name)
+    instr.exec_fn = _COMPILERS[kind](instr)
+    return instr
+
+
+def predecode_program(program) -> Dict[int, ExecFn]:
+    """Specialize every decoded instruction of ``program`` and build its
+    dispatch tables: ``program.exec_table`` (full closures, StepInfo kept
+    accurate for the timing engines) and ``program.run_table`` (lean
+    closures for the reference interpreter's throughput loop)."""
+    table: Dict[int, ExecFn] = {}
+    lean: Dict[int, ExecFn] = {}
+    for addr, instr in program.instrs.items():
+        specialize(instr)
+        table[addr] = instr.exec_fn
+        lean[addr] = _LEAN_COMPILERS[instr.op.kind](instr)
+    program.exec_table = table
+    program.run_table = lean
+    return table

@@ -26,7 +26,17 @@ from typing import Optional, Tuple
 
 from ..core.config import MachineConfig
 from ..core.stats import Stats
-from ..isa.instructions import Instr, K_BRANCH, K_NOP, K_TRAP, UNCONDITIONAL
+from ..isa.instructions import (
+    Instr,
+    K_BRANCH,
+    K_LOAD,
+    K_NOP,
+    K_STORE,
+    K_TRAP,
+    SCHED_NONSCHED,
+    SCHED_SKIP,
+)
+from ..isa.predecode import generic_step_forced
 from ..isa.semantics import StepInfo, step
 from ..memory.cache import Cache
 from ..scheduler.ops import SchedOp, build_sched_op
@@ -52,6 +62,9 @@ class PrimaryProcessor:
         self.stats = stats
         self.info = StepInfo()
         self.last_load_rd: Optional[int] = None  # visible rd of previous load
+        #: dispatch through predecoded closures (REPRO_GENERIC_STEP=1 forces
+        #: the generic step() oracle instead)
+        self.use_exec = not generic_step_forced()
 
     def reset_pipeline(self) -> None:
         """Called on mode switches: the load-use forwarding state dies."""
@@ -75,14 +88,18 @@ class PrimaryProcessor:
             st.icache_stall_cycles += pen
 
         # load-use bubble: this instruction reads the previous load's result
-        if self.last_load_rd is not None and self._reads_reg(
-            instr, self.last_load_rd
-        ):
+        # (lu_regs is precomputed at decode time; g0 is never in it)
+        last = self.last_load_rd
+        if last is not None and last in instr.lu_regs:
             cycles += cfg.load_use_bubble
             st.load_use_bubble_cycles += cfg.load_use_bubble
 
         info = self.info
-        next_pc = step(self.rf, self.mem, instr, self.services, info)
+        fn = instr.exec_fn
+        if fn is not None and self.use_exec:
+            next_pc = fn(self.rf, self.mem, self.services, info)
+        else:
+            next_pc = step(self.rf, self.mem, instr, self.services, info)
         st.primary_instructions += 1
 
         kind = instr.op.kind
@@ -91,35 +108,35 @@ class PrimaryProcessor:
             if pen:
                 cycles += pen
                 st.dcache_stall_cycles += pen
-        if kind == K_BRANCH and instr.op.name not in UNCONDITIONAL:
-            if not info.taken:
-                cycles += cfg.branch_not_taken_bubble
-                st.branch_bubble_cycles += cfg.branch_not_taken_bubble
+        if instr.cond_branch and not info.taken:
+            cycles += cfg.branch_not_taken_bubble
+            st.branch_bubble_cycles += cfg.branch_not_taken_bubble
         if info.spilled:
             cycles += cfg.window_spill_penalty
             st.spill_cycles += cfg.window_spill_penalty
 
         # Only integer loads feed the load-use interlock (ldf writes the fp
         # file, whose consumers are tracked coarsely enough at 1 cycle).
-        from ..isa.instructions import K_LOAD
-
         self.last_load_rd = instr.rd if kind == K_LOAD else None
 
         # Scheduler hand-off (section 3.9 exclusions).  A spilling
         # save/restore is only non-schedulable when the VLIW Engine cannot
         # spill inline (the scheduled op carries just the register/cwp
         # semantics; replay re-checks window occupancy itself).
-        if kind == K_TRAP or (
+        sc = instr.sched_class
+        if sc == SCHED_NONSCHED or (
             info.spilled and not cfg.vliw_window_spill_inline
         ):
             return next_pc, cycles, None, True
-        if kind == K_NOP or (kind == K_BRANCH and instr.op.name in UNCONDITIONAL):
+        if sc == SCHED_SKIP:
             return next_pc, cycles, None, False
         sched = build_sched_op(instr, info, self.rf, self.rf.cwp)
         return next_pc, cycles, sched, False
 
     @staticmethod
     def _reads_reg(instr: Instr, visible: int) -> bool:
+        """Historical oracle for the load-use interlock; the hot path uses
+        the equivalent precomputed ``instr.lu_regs`` tuple instead."""
         if visible == 0:
             return False
         kind = instr.op.kind
@@ -132,6 +149,4 @@ class PrimaryProcessor:
         ):
             return True
         # stores read their data register
-        from ..isa.instructions import K_STORE
-
         return kind == K_STORE and instr.rd == visible

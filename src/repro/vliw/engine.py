@@ -30,7 +30,7 @@ from typing import List, Optional, Tuple
 from ..core.config import MachineConfig
 from ..core.errors import AliasingException, ArchException, MemFault, SimError, WindowOverflow, WindowUnderflow
 from ..core.stats import Stats
-from ..isa.semantics import ALU_FUNCS, alu_cc, eval_cond, fcmp_cc, fp_compute, to_signed, to_unsigned
+from ..isa.semantics import fcmp_cc, to_signed, to_unsigned
 from ..scheduler.long_instruction import Block
 from ..scheduler.ops import (
     SchedOp,
@@ -321,8 +321,10 @@ class VLIWEngine:
                 b = self._rr_int(op.rs2_rr)
             else:
                 b = iregs[src_t[instr.rs2]]
-            res = ALU_FUNCS[instr.op.name](a, b)
-            cc = alu_cc(instr.op.name, a, b, res) if instr.op.sets_cc else None
+            # alu_fn/cc_fn were resolved once at decode time (isa.predecode)
+            res = instr.alu_fn(a, b)
+            cc_fn = instr.cc_fn
+            cc = cc_fn(a, b, res) if cc_fn is not None else None
             return (res, cc)
         if xk == X_SETHI:
             return ((instr.imm << 12) & MASK32, None)
@@ -342,7 +344,7 @@ class VLIWEngine:
             penalty = self.dcache.access(addr)
             if penalty > self._li_dcache_penalty:
                 self._li_dcache_penalty = penalty
-            val = self._load_value(addr, instr.op.name)
+            val = self._load_value(addr, instr.mem_size, instr.ld_signed)
             return (val, addr)
         if xk == X_STORE:
             base = (
@@ -362,11 +364,10 @@ class VLIWEngine:
                 if op.rddata_rr is not None
                 else iregs[src_t[instr.rd]]
             )
-            size = 4 if instr.op.name == "st" else 1
-            return (addr, size, val)
+            return (addr, instr.mem_size, val)
         if xk == X_BRANCH:
             cc = self._rr_cc(op.ccsrc_rr) if op.ccsrc_rr is not None else rf.icc
-            taken = eval_cond(instr.op.cond, cc)
+            taken = instr.cond_fn(cc)
             actual = (
                 (instr.addr + instr.imm) & MASK32 if taken else instr.addr + 4
             )
@@ -416,7 +417,7 @@ class VLIWEngine:
             if name == "fstoi":
                 return (to_unsigned(int(fa)), None)
             if name in ("fmov", "fneg"):
-                return (fp_compute(name, fa, 0.0), None)
+                return (instr.fp_fn(fa, 0.0), None)
             fb = (
                 self._rr_fp(op.rs2_rr)
                 if op.rs2_rr is not None
@@ -424,7 +425,7 @@ class VLIWEngine:
             )
             if name == "fcmp":
                 return (None, fcmp_cc(fa, fb))
-            return (fp_compute(name, fa, fb), None)
+            return (instr.fp_fn(fa, fb), None)
         if xk == X_FLOAD:
             base = (
                 self._rr_int(op.rs1_rr)
@@ -463,18 +464,18 @@ class VLIWEngine:
             return (addr, 4, data)
         raise SimError("VLIW engine: unknown xkind %d" % xk)
 
-    def _load_value(self, addr: int, name: str) -> int:
+    def _load_value(self, addr: int, size: int, signed: bool) -> int:
         if self.cfg.data_store_list:
-            hit = self._dsl_lookup(addr, 4 if name == "ld" else 1)
+            hit = self._dsl_lookup(addr, size)
             if hit is not None:
                 val = hit
-                if name == "ldsb" and val & 0x80:
+                if signed and val & 0x80:
                     val |= 0xFFFFFF00
                 return val
-        if name == "ld":
+        if size == 4:
             return self.mem.read_word(addr)
         val = self.mem.read_byte(addr)
-        if name == "ldsb" and val & 0x80:
+        if signed and val & 0x80:
             val |= 0xFFFFFF00
         return val
 
@@ -482,8 +483,6 @@ class VLIWEngine:
         if self.cfg.data_store_list:
             hit = self._dsl_lookup_raw(addr, 4)
             if hit is not None:
-                import struct
-
                 return struct.unpack(">f", hit.to_bytes(4, "big"))[0]
         return self.mem.read_float(addr)
 
@@ -728,7 +727,7 @@ class VLIWEngine:
             # context: the recorded trace does not apply here
             raise WindowResidencyUnsatisfiable("fill with empty spill stack")
         for k in range(16):
-            rf.iregs[base + k] = self._load_value(sp + 4 * k, "ld")
+            rf.iregs[base + k] = self._load_value(sp + 4 * k, 4, False)
         rf.wssp = sp + 64
         if eager:
             rf.canrestore += 1
@@ -772,8 +771,6 @@ class VLIWEngine:
         if self.cfg.data_store_list:
             order = len(self.data_store_list)
             if isinstance(value, float):
-                import struct
-
                 raw = struct.unpack(">I", struct.pack(">f", value))[0]
                 self.data_store_list.append((addr, size, raw, order))
             else:

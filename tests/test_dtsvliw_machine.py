@@ -114,7 +114,7 @@ class TestConfigurations:
         _, _, s0 = run_both(PROGRAMS["sieve"], cfg0)
         m, ref, s1 = run_both(PROGRAMS["sieve"], cfg1)
         assert s1.cycles <= s0.cycles
-        assert s1.extra.get("next_block_pred_hits", 0) > 0
+        assert s1.next_block_pred_hits > 0
 
     def test_renaming_limits_respected(self):
         cfg = MachineConfig.paper_fixed(

@@ -69,8 +69,8 @@ class TestNextBlockPredictorAccounting:
     def test_hit_and_total_counters(self):
         cfg = MachineConfig.feasible(next_block_prediction=True)
         machine, stats = run(LOOP, cfg)
-        total = stats.extra.get("next_block_predictions", 0)
-        hits = stats.extra.get("next_block_pred_hits", 0)
+        total = stats.next_block_predictions
+        hits = stats.next_block_pred_hits
         assert 0 < hits <= total
 
     def test_predictor_state_is_per_machine(self):
@@ -81,7 +81,8 @@ class TestNextBlockPredictorAccounting:
 
     def test_disabled_predictor_keeps_counters_empty(self):
         machine, stats = run(LOOP, MachineConfig.feasible())
-        assert "next_block_predictions" not in stats.extra
+        assert stats.next_block_predictions == 0
+        assert stats.next_block_pred_hits == 0
 
 
 class TestTestModeOracle:

@@ -1,0 +1,230 @@
+"""Differential verification of the predecoded interpreter.
+
+The specialized closures of :mod:`repro.isa.predecode` claim to be
+observationally identical to the generic :func:`repro.isa.semantics.step`
+oracle.  This suite holds them to that claim *instruction by instruction*
+with a three-way lockstep:
+
+* the **generic** oracle (a reference machine forced onto ``step``),
+* the **full** closures (``instr.exec_fn``, driven directly so their
+  StepInfo output is visible) -- after every instruction pc, every
+  StepInfo field and the cheap register-file scalars must match the
+  oracle, with periodic (and final) whole-register-file checks, and
+* the **lean** closures (the default reference machine path, which skips
+  StepInfo bookkeeping) -- held to identical architectural state.
+
+At the end, register files, memory images, trap output and exit codes of
+all three must agree bit for bit.  Inputs are randomized minicc programs
+(the lockstep fuzz generator) plus every registry workload, so the
+closures see real instruction mixes, window spill/fill traffic and trap
+output, not just hand-picked cases.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import compile_and_load
+from repro.core.errors import ProgramExit
+from repro.core.reference import ReferenceMachine, TrapServices, setup_state
+from repro.isa.predecode import generic_step_forced
+from repro.isa.registers import RegFile
+from repro.isa.semantics import StepInfo
+from repro.memory.main_memory import MainMemory
+from repro.workloads import registry
+
+from tests.test_fuzz_lockstep import program_source
+
+SMALL = 0.08  # same tiny workload inputs as tests/test_workloads.py
+
+#: every StepInfo slot, compared after every instruction
+INFO_FIELDS = (
+    "taken",
+    "target",
+    "mem_addr",
+    "mem_size",
+    "is_load",
+    "is_store",
+    "store_old",
+    "value",
+    "spilled",
+    "cwp_before",
+)
+
+
+class _FullClosureMachine:
+    """Minimal machine stepping ``instr.exec_fn`` (the full closures)."""
+
+    def __init__(self, program, mem_size, nwindows):
+        self.instrs = program.instrs
+        self.mem = MainMemory(mem_size)
+        self.rf = RegFile(nwindows)
+        self.services = TrapServices()
+        self.pc = setup_state(program, self.mem, self.rf)
+        self.info = StepInfo()
+        self.halted = False
+
+    def step_one(self):
+        fn = self.instrs[self.pc].exec_fn
+        try:
+            self.pc = fn(self.rf, self.mem, self.services, self.info)
+        except ProgramExit:
+            self.halted = True
+
+
+def lockstep_diff(program, max_lockstep=200_000, full_check_every=64):
+    """Three-way lockstep: generic oracle vs full vs lean closures.
+
+    Past ``max_lockstep`` instructions the machines run free to completion
+    (bounding test time on big workloads) and only final states compare.
+    """
+    mem_size, nwindows = 8 * 1024 * 1024, 8
+    gen = ReferenceMachine(program, mem_size, nwindows, generic_step=True)
+    lean = ReferenceMachine(program, mem_size, nwindows, generic_step=False)
+    full = _FullClosureMachine(program, mem_size, nwindows)
+    assert gen._run is None
+    assert lean._run is not None
+
+    n = 0
+    while not gen.halted and n < max_lockstep:
+        pc = gen.pc
+        try:
+            gen.step_one()
+        except ProgramExit:
+            pass
+        try:
+            lean.step_one()
+        except ProgramExit:
+            pass
+        full.step_one()
+        n += 1
+        assert full.pc == gen.pc and lean.pc == gen.pc, (
+            "pc after 0x%x: full=0x%x lean=0x%x oracle=0x%x"
+            % (pc, full.pc, lean.pc, gen.pc)
+        )
+        fi, gi = full.info, gen.info
+        for name in INFO_FIELDS:
+            a, b = getattr(fi, name), getattr(gi, name)
+            assert a == b and type(a) is type(b), (
+                "StepInfo.%s after 0x%x: %r != %r" % (name, pc, a, b)
+            )
+        grf = gen.rf
+        for rf in (full.rf, lean.rf):
+            assert rf.icc == grf.icc, "icc after 0x%x" % pc
+            assert rf.cwp == grf.cwp, "cwp after 0x%x" % pc
+            assert rf.wssp == grf.wssp, "wssp after 0x%x" % pc
+        if n % full_check_every == 0:
+            assert full.rf.state_equal(grf), "full rf after 0x%x" % pc
+            assert lean.rf.state_equal(grf), "lean rf after 0x%x" % pc
+
+    if not gen.halted:  # big program: finish all three off the lockstep loop
+        gen.run(max_instructions=100_000_000)
+        lean.run(max_instructions=100_000_000)
+        while not full.halted:
+            full.step_one()
+
+    assert lean.halted == gen.halted and full.halted == gen.halted
+    assert lean.instret == gen.instret
+    for m in (full, lean):
+        assert m.rf.state_equal(gen.rf)
+        assert m.mem.data == gen.mem.data
+        assert bytes(m.services.output) == gen.output
+        assert m.services.exit_code == gen.exit_code
+    return gen.instret
+
+
+class TestDirected:
+    def test_deep_recursion_spill_fill(self):
+        """Recursion past the window count: spill/fill closures lockstep."""
+        program = compile_and_load(
+            """
+            int rec(int n) { if (n <= 0) return 1; return rec(n - 1) + n; }
+            int main() { print_int(rec(40)); return 0; }
+            """
+        )
+        lockstep_diff(program)
+
+    def test_arithmetic_and_memory_mix(self):
+        program = compile_and_load(
+            """
+            int data[64];
+            int main() {
+              int i; int acc = 0;
+              for (i = 0; i < 64; i++) data[i] = (i * 7) - 100;
+              for (i = 0; i < 64; i++) {
+                if (data[i] < 0) acc = acc - data[i];
+                else acc = acc + (data[i] >> 1);
+              }
+              print_int(acc);
+              return acc & 0xff;
+            }
+            """
+        )
+        lockstep_diff(program)
+
+
+@settings(max_examples=10, deadline=None)
+@given(program_source())
+def test_random_programs_differential(source):
+    """Randomized instruction sequences: closures vs the generic oracle."""
+    lockstep_diff(compile_and_load(source))
+
+
+@pytest.mark.parametrize("name", registry.BENCHMARKS)
+def test_workload_differential(name):
+    """Every workload, instruction by instruction (up to the lockstep cap)."""
+    program = registry.load_program(name, SMALL)
+    instret = lockstep_diff(program)
+    assert instret > 0
+
+
+class TestEscapeHatch:
+    def test_env_var_forces_generic_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GENERIC_STEP", "1")
+        assert generic_step_forced()
+        program = compile_and_load("int main() { return 42; }")
+        m = ReferenceMachine(program)
+        assert m.generic_step and m._run is None
+        m.run()
+        assert m.exit_code == 42
+
+    def test_zero_and_empty_do_not_force(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GENERIC_STEP", "0")
+        assert not generic_step_forced()
+        monkeypatch.delenv("REPRO_GENERIC_STEP")
+        assert not generic_step_forced()
+
+    def test_machines_honour_the_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GENERIC_STEP", "1")
+        from repro import DTSVLIW, MachineConfig
+        from repro.baselines.dif import DIFMachine
+
+        program = compile_and_load("int main() { return 7; }")
+        m = DTSVLIW(program, MachineConfig.paper_fixed(4, 4))
+        assert not m.primary.use_exec
+        m.run()
+        assert m.exit_code == 7
+        d = DIFMachine(program, MachineConfig.fig9(test_mode=False))
+        assert not d.use_exec and not d.primary.use_exec
+        d.run()
+        assert d.exit_code == 7
+
+
+class TestPredecodeTable:
+    def test_every_instruction_is_specialized(self):
+        program = compile_and_load("int main() { return 3 + 4; }")
+        assert set(program.exec_table) == set(program.instrs)
+        assert set(program.run_table) == set(program.instrs)
+        for addr, instr in program.instrs.items():
+            assert instr.exec_fn is program.exec_table[addr]
+            assert callable(instr.exec_fn)
+            assert callable(program.run_table[addr])
+
+    def test_pickle_round_trip_re_predecodes(self):
+        import pickle
+
+        program = compile_and_load("int main() { return 5; }")
+        clone = pickle.loads(pickle.dumps(program))
+        assert set(clone.exec_table) == set(program.exec_table)
+        m = ReferenceMachine(clone)
+        m.run()
+        assert m.exit_code == 5
