@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Emit BENCH_trace.json: trace capture/replay vs execution-driven sweeps.
+
+Times one multi-configuration sweep of trace-drivable cells (DIF and
+scalar machines, several configs, one workload) three ways:
+
+* ``execution``: ``REPRO_EXECUTION_DRIVEN=1`` -- every cell executes the
+  program (the pre-trace-layer behaviour);
+* ``cold``: empty trace store -- the sweep captures the workload trace
+  once, then every cell replays it;
+* ``warm``: the same store again -- pure replay, no capture.
+
+All three must produce bit-identical Stats per cell (asserted while
+timing); the headline number is ``speedup_warm`` (execution / warm),
+which the trace layer promises to keep >= 1.5x.
+
+Run:  PYTHONPATH=src python benchmarks/bench_trace.py --scale 0.2 --jobs 2
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+from repro.core.config import MachineConfig
+from repro.harness.sweep import RunSpec, run_sweep
+
+
+def _specs(benchmark: str, scale: float):
+    columns = [
+        ("dif-fig9", "dif", MachineConfig.fig9()),
+        ("dif-nw4", "dif", MachineConfig.fig9().with_(nwindows=4)),
+        ("scalar-feasible", "scalar", MachineConfig.feasible()),
+        ("scalar-paper", "scalar", MachineConfig.paper_fixed()),
+    ]
+    return [
+        RunSpec(
+            benchmark=benchmark,
+            config=cfg,
+            machine=machine,
+            scale=scale,
+            meta={"col": label},
+        )
+        for label, machine, cfg in columns
+    ]
+
+
+def _timed_sweep(specs, jobs, env):
+    """One fresh-process sweep under ``env`` overrides; returns
+    (wall_clock_s, results).  A fresh executor pool per mode keeps the
+    per-process memo playing field level."""
+    old = {k: os.environ.get(k) for k in env}
+    os.environ.update(env)
+    try:
+        t0 = time.perf_counter()
+        run = run_sweep(specs, jobs=jobs, use_cache=False)
+        return time.perf_counter() - t0, run.results
+    finally:
+        for k, v in old.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--benchmark", default="compress")
+    parser.add_argument("--out", default="BENCH_trace.json")
+    args = parser.parse_args(argv)
+
+    specs = _specs(args.benchmark, args.scale)
+    modes = {}
+    with tempfile.TemporaryDirectory(prefix="repro-traces-") as tdir:
+        runs = {}
+        for mode, env in [
+            ("execution", {"REPRO_EXECUTION_DRIVEN": "1", "REPRO_TRACE_DIR": tdir}),
+            ("cold", {"REPRO_EXECUTION_DRIVEN": "0", "REPRO_TRACE_DIR": tdir}),
+            ("warm", {"REPRO_EXECUTION_DRIVEN": "0", "REPRO_TRACE_DIR": tdir}),
+        ]:
+            elapsed, results = _timed_sweep(specs, args.jobs, env)
+            runs[mode] = results
+            modes[mode] = {"wall_clock_s": round(elapsed, 3), "cells": len(specs)}
+            print("%-9s %6.2fs  (%d cells)" % (mode, elapsed, len(specs)), flush=True)
+        captured = len([f for f in os.listdir(tdir) if f.endswith(".trc")])
+
+    for mode in ("cold", "warm"):
+        for spec, a, b in zip(specs, runs["execution"], runs[mode]):
+            assert a.stats == b.stats, (mode, spec.meta["col"])
+            assert a.cycles == b.cycles, (mode, spec.meta["col"])
+    print("stats bit-identical across all three modes")
+
+    exec_s = modes["execution"]["wall_clock_s"]
+    speedup_cold = exec_s / modes["cold"]["wall_clock_s"]
+    speedup_warm = exec_s / modes["warm"]["wall_clock_s"]
+    payload = {
+        "benchmark": args.benchmark,
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "python": platform.python_version(),
+        "modes": modes,
+        "traces_captured": captured,
+        "speedup_cold": round(speedup_cold, 2),
+        "speedup_warm": round(speedup_warm, 2),
+        "bit_identical": True,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(
+        "wrote %s  (cold %.2fx, warm %.2fx vs execution-driven)"
+        % (args.out, speedup_cold, speedup_warm)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,8 @@ from ..memory.cache import Cache
 from ..memory.main_memory import MainMemory
 from ..primary.pipeline import PrimaryProcessor
 from ..scheduler.ops import SchedOp
+from ..trace.events import Trace
+from ..trace.replay import replay_source_for
 
 
 class DIFGroup:
@@ -216,9 +218,22 @@ class DIFCache:
 
 
 class DIFMachine:
-    """Execution-driven DIF simulation sharing the srisc substrate."""
+    """DIF simulation sharing the srisc substrate.
 
-    def __init__(self, program: Program, cfg: Optional[MachineConfig] = None):
+    Execution-driven by default; unlike the DTSVLIW (whose VLIW Engine
+    re-executes register *values*), the DIF statistics depend only on the
+    committed instruction stream -- addresses, branch directions, memory
+    addresses, window spills -- so passing ``trace=`` replays a captured
+    trace bit-identically without executing anything (groups are walked
+    by :meth:`_execute_group_replay` instead of :meth:`_execute_group`).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        cfg: Optional[MachineConfig] = None,
+        trace: Optional[Trace] = None,
+    ):
         self.program = program
         self.cfg = cfg or MachineConfig.fig9()
         c = self.cfg
@@ -239,9 +254,13 @@ class DIFMachine:
         total_groups = max(1, c.vliw_cache_bytes // group_bytes)
         self.dif_cache = DIFCache(total_groups, c.vliw_cache_assoc)
         self.scheduler = DIFScheduler(c, self.stats)
+        self.source = replay_source_for(
+            trace, program, self.rf, self.services, c
+        )
+        self.replay = self.source is not None
         self.primary = PrimaryProcessor(
             c, self.rf, self.mem, self.icache, self.dcache, self.services,
-            self.stats,
+            self.stats, source=self.source,
         )
         self.halted = False
         self.info = StepInfo()
@@ -269,9 +288,7 @@ class DIFMachine:
             st.wall_time_s += time.perf_counter() - t0
         if not self.halted:
             raise SimError("DIF machine exceeded %d cycles" % max_cycles)
-        st.ref_instructions = st.primary_instructions + st.extra.get(
-            "dif_instructions", 0
-        )
+        st.ref_instructions = st.primary_instructions + st.dif_instructions
         return st
 
     def _primary_mode(self, max_cycles: int) -> None:
@@ -336,7 +353,10 @@ class DIFMachine:
             st.vliw_block_entries += 1
             st.cycles += 1  # whole-group fetch
             st.vliw_cycles += 1
-            next_addr, cycles = self._execute_group(group)
+            if self.replay:
+                next_addr, cycles = self._execute_group_replay(group)
+            else:
+                next_addr, cycles = self._execute_group(group)
             st.cycles += cycles
             st.vliw_cycles += cycles
             addr = next_addr
@@ -406,12 +426,83 @@ class DIFMachine:
                     deviated_to = next_pc
                     break
             pc = next_pc
-        st.extra["dif_instructions"] = (
-            st.extra.get("dif_instructions", 0) + executed
-        )
+        st.dif_instructions += executed
         cycles = (group.height_used if max_li < 0 else max_li + 1) + sum(
             li_pen.values()
         )
         if deviated_to is not None:
             return deviated_to, max(cycles, 1) + self.cfg.mispredict_penalty
         return pc, max(cycles, 1)
+
+    def _execute_group_replay(self, group: DIFGroup) -> Tuple[int, int]:
+        """Replay counterpart of :meth:`_execute_group`.
+
+        With instances, an executed group is architecturally the
+        sequential prefix of the committed stream, so during replay the
+        machine pc is always ``pcs[cursor]`` and "executing" an operation
+        means consuming its trace event.  Free riders, deviation
+        detection (branch direction/target against the recording),
+        per-LI worst data-cache penalties and the instruction count all
+        mirror the live walk decision for decision; the exit trap is
+        never inside a group (traps are non-schedulable), so the walk
+        always bails out to the Primary Processor before it.
+        """
+        src = self.source
+        st = self.stats
+        pcs = src.pcs
+        instrs = src.instrs
+        flags = src.flags
+        aux = src.aux
+        cur = src.i
+        max_li = -1
+        executed = 0
+        idx = 0
+        trace = group.trace
+        li_pen: Dict[int, int] = {}
+        deviated_to = None
+        while idx < len(trace):
+            addr, li, is_branch, rec_taken, rec_target = trace[idx]
+            if pcs[cur] != addr:
+                instr = instrs[cur]
+                kind = instr.op.kind
+                free_rider = kind == K_NOP or (
+                    kind == K_BRANCH and instr.op.name in UNCONDITIONAL
+                )
+                if not free_rider:
+                    break  # path deviates: resume in the Primary Processor
+                cur += 1
+                executed += 1
+                continue
+            instr = instrs[cur]
+            taken = (flags[cur] & 1) != 0
+            mem_size = instr.mem_size
+            a = aux[cur]
+            cur += 1
+            executed += 1
+            idx += 1
+            if li > max_li:
+                max_li = li
+            if mem_size:
+                pen = self.dcache.access(a)
+                if pen:
+                    st.dcache_stall_cycles += pen
+                    if pen > li_pen.get(li, 0):
+                        li_pen[li] = pen
+            if is_branch:
+                next_pc = pcs[cur]
+                deviates = taken != rec_taken or (
+                    taken and next_pc != rec_target
+                )
+                if deviates:
+                    st.mispredicts += 1
+                    deviated_to = next_pc
+                    break
+        src.i = cur
+        self.rf.cwp = src.cwp[cur]
+        st.dif_instructions += executed
+        cycles = (group.height_used if max_li < 0 else max_li + 1) + sum(
+            li_pen.values()
+        )
+        if deviated_to is not None:
+            return deviated_to, max(cycles, 1) + self.cfg.mispredict_penalty
+        return pcs[cur], max(cycles, 1)

@@ -3,6 +3,16 @@
 Useful to quantify how much of the DTSVLIW speed-up comes from VLIW
 execution versus the scalar pipeline's own behaviour (and as the x1
 reference for speed-up plots).
+
+There is no Scheduler Unit here, so the pipeline runs with
+``build_sched=False`` (no dependence footprints are built for ops nobody
+consumes), and the machine is fully *trace-drivable*: its statistics
+depend only on instruction addresses, memory addresses, branch directions
+and window spills -- all recorded in a captured trace -- so passing
+``trace=`` replays the committed stream through a dedicated loop that
+charges the exact Table 1 timing without executing anything.  Replay is
+bit-identical to live execution (the differential tests enforce it);
+``REPRO_EXECUTION_DRIVEN=1`` disables it.
 """
 
 from __future__ import annotations
@@ -14,16 +24,24 @@ from ..core.config import MachineConfig
 from ..core.errors import ProgramExit, SimError
 from ..core.reference import TrapServices, setup_state
 from ..core.stats import Stats
+from ..isa.instructions import K_LOAD
 from ..isa.registers import RegFile
 from ..memory.cache import Cache
 from ..memory.main_memory import MainMemory
 from ..primary.pipeline import PrimaryProcessor
+from ..trace.events import Trace
+from ..trace.replay import replay_source_for
 
 
 class ScalarMachine:
     """In-order scalar execution with the Table 1 Primary timing."""
 
-    def __init__(self, program: Program, cfg: MachineConfig | None = None):
+    def __init__(
+        self,
+        program: Program,
+        cfg: MachineConfig | None = None,
+        trace: Trace | None = None,
+    ):
         self.program = program
         self.cfg = cfg or MachineConfig()
         c = self.cfg
@@ -48,8 +66,19 @@ class ScalarMachine:
             c.dcache.miss_penalty,
             c.dcache.perfect,
         )
+        self.source = replay_source_for(
+            trace, program, self.rf, self.services, c
+        )
         self.primary = PrimaryProcessor(
-            c, self.rf, self.mem, self.icache, self.dcache, self.services, self.stats
+            c,
+            self.rf,
+            self.mem,
+            self.icache,
+            self.dcache,
+            self.services,
+            self.stats,
+            source=self.source,
+            build_sched=False,
         )
         self.halted = False
 
@@ -63,6 +92,8 @@ class ScalarMachine:
 
     def run(self, max_cycles: int = 2_000_000_000) -> Stats:
         """Run to the exit trap; returns the statistics."""
+        if self.source is not None:
+            return self._run_replay(max_cycles)
         st = self.stats
         fetch = self.program.instrs.get
         t0 = time.perf_counter()
@@ -81,6 +112,84 @@ class ScalarMachine:
             st.primary_cycles += 1
             st.ref_instructions += 1  # the exit trap itself
             self.halted = True
+        finally:
+            st.wall_time_s += time.perf_counter() - t0
+        if not self.halted:
+            raise SimError("scalar machine exceeded %d cycles" % max_cycles)
+        return st
+
+    def _run_replay(self, max_cycles: int) -> Stats:
+        """Replay loop over the bound trace columns.
+
+        Mirrors the live loop's timing decisions field for field: icache
+        access and stall, the load-use bubble off the previous committed
+        load, the data-cache access per memory event, the not-taken
+        branch bubble and the window-spill penalty -- in the live
+        ordering, including the exit-trap special case (its icache stall
+        is recorded but the instruction is charged exactly one cycle).
+        """
+        src = self.source
+        st = self.stats
+        cfg = self.cfg
+        instrs = src.instrs
+        pcs = src.pcs
+        flags = src.flags
+        aux = src.aux
+        spilled = src.spilled
+        last_idx = src.last
+        ic = self.icache.access
+        dc = self.dcache.access
+        lu_bubble = cfg.load_use_bubble
+        bnt_bubble = cfg.branch_not_taken_bubble
+        spill_pen = cfg.window_spill_penalty
+        last_load_rd = None
+        i = 0
+        t0 = time.perf_counter()
+        try:
+            while st.cycles < max_cycles:
+                instr = instrs[i]
+                if i == last_idx:
+                    # the exit trap: icache stall recorded, then the live
+                    # machine charges exactly one cycle for the trap itself
+                    pen = ic(instr.addr)
+                    if pen:
+                        st.icache_stall_cycles += pen
+                    st.cycles += 1
+                    st.primary_cycles += 1
+                    st.ref_instructions += 1
+                    self.pc = instr.addr
+                    services = self.services
+                    services.output[:] = src.trace.output
+                    services.exit_code = src.trace.exit_code
+                    src.i = i + 1
+                    self.halted = True
+                    break
+                cycles = 1
+                pen = ic(instr.addr)
+                if pen:
+                    cycles += pen
+                    st.icache_stall_cycles += pen
+                if last_load_rd is not None and last_load_rd in instr.lu_regs:
+                    cycles += lu_bubble
+                    st.load_use_bubble_cycles += lu_bubble
+                st.primary_instructions += 1
+                if instr.mem_size:
+                    pen = dc(aux[i])
+                    if pen:
+                        cycles += pen
+                        st.dcache_stall_cycles += pen
+                if instr.cond_branch and not (flags[i] & 1):
+                    cycles += bnt_bubble
+                    st.branch_bubble_cycles += bnt_bubble
+                if spilled[i]:
+                    cycles += spill_pen
+                    st.spill_cycles += spill_pen
+                last_load_rd = instr.rd if instr.op.kind == K_LOAD else None
+                st.cycles += cycles
+                st.primary_cycles += cycles
+                st.ref_instructions += 1
+                i += 1
+                self.pc = pcs[i]
         finally:
             st.wall_time_s += time.perf_counter() - t0
         if not self.halted:

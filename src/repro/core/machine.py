@@ -14,6 +14,16 @@ Test mode (section 4): a reference machine with its own memory runs in
 lockstep -- stepwise in primary mode, catching up to the machine PC after
 every VLIW block -- and every synchronisation point compares architectural
 state.  The reference instruction count is the IPC numerator.
+
+Trace layer: the Primary Processor consumes its committed stream from a
+:class:`~repro.trace.replay.LiveTraceSource`.  The DTSVLIW always drives
+it live -- the VLIW Engine re-executes *values* through renaming
+registers, including speculatively for later-annulled operations, so its
+data-cache traffic depends on register contents a committed trace does
+not record.  The trace-drivable machines are the DIF and scalar
+baselines (:mod:`repro.baselines`); the DTSVLIW still benefits from a
+captured trace indirectly, through its reference-run header (see
+:mod:`repro.harness.runner`).
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from ..memory.cache import Cache
 from ..memory.main_memory import MainMemory
 from ..primary.pipeline import PrimaryProcessor
 from ..scheduler.unit import FLUSH_HIT, FLUSH_NONSCHED, SchedulerUnit
+from ..trace.replay import LiveTraceSource
 from ..vliw.cache import VLIWCache
 from ..vliw.engine import VLIWEngine, WindowResidencyUnsatisfiable
 from .config import MachineConfig
@@ -68,9 +79,12 @@ class DTSVLIW:
         self.vcache = VLIWCache(c.vliw_cache_blocks, c.vliw_cache_assoc)
         self.scheduler = SchedulerUnit(c, self.stats)
         self.engine = VLIWEngine(c, self.rf, self.mem, self.dcache, self.stats)
+        # Always execution-driven: the VLIW Engine needs real register and
+        # memory values, so the committed stream must be generated live.
         self.primary = PrimaryProcessor(
             c, self.rf, self.mem, self.icache, self.dcache, self.services, self.stats
         )
+        self.source: LiveTraceSource = self.primary.source
 
         self.halted = False
         self._max_cycles = 2_000_000_000

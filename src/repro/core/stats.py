@@ -35,6 +35,7 @@ class Stats:
     vliw_ops_committed: int = 0
     copies_executed: int = 0
     speculative_annulled: int = 0
+    dif_instructions: int = 0  # instructions executed inside DIF groups
 
     # -- scheduler / blocks -------------------------------------------------------
     blocks_flushed: int = 0

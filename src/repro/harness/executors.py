@@ -55,6 +55,12 @@ class SerialExecutor:
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         return [fn(item) for item in items]
 
+    def warm(self, fn: Callable[[T], R], items: Sequence[T]) -> None:
+        """Run ``fn`` over ``items`` for its side effects (shared-state
+        priming: trace capture, compile memos) before a :meth:`map`."""
+        for item in items:
+            fn(item)
+
 
 class ProcessPoolExecutor:
     """Fan cells out to ``jobs`` worker processes.
@@ -77,6 +83,12 @@ class ProcessPoolExecutor:
         workers = min(self.jobs, len(items))
         with futures.ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items, chunksize=1))
+
+    def warm(self, fn: Callable[[T], R], items: Sequence[T]) -> None:
+        """Parallel side-effect pass.  Only state that reaches *disk*
+        (e.g. the trace store) survives into the later :meth:`map`
+        workers -- per-process memos die with the warming processes."""
+        self.map(fn, items)
 
 
 def get_executor(jobs: int | None = None):

@@ -37,8 +37,33 @@ def cache_dir() -> str:
     return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
 
 
+#: directory names whose contents are run *artifacts*, not simulator
+#: source -- excluded from the fingerprint so producing results (caches,
+#: traces, benchmark JSON) never invalidates the cache that holds them
+_FINGERPRINT_EXCLUDE = {"results", "__pycache__"}
+
+
+def _compute_code_version(root: Path) -> str:
+    """Fingerprint of every ``*.py`` file under ``root``.
+
+    Only source files count: anything inside :data:`_FINGERPRINT_EXCLUDE`
+    directories is skipped, and non-``*.py`` artifacts (``*.json``
+    results, ``*.trc`` traces) never match the glob in the first place.
+    """
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        if _FINGERPRINT_EXCLUDE.intersection(rel.parts[:-1]):
+            continue
+        h.update(str(rel).encode("utf-8"))
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()[:16]
+
+
 def code_version() -> str:
-    """Fingerprint of every ``*.py`` file under the installed package.
+    """Fingerprint of the installed package's source tree.
 
     Computed once per process; a few dozen small files, so the one-time
     cost is milliseconds.  Part of every cache key: results produced by a
@@ -46,14 +71,9 @@ def code_version() -> str:
     """
     global _code_version
     if _code_version is None:
-        root = Path(__file__).resolve().parent.parent  # src/repro/
-        h = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            h.update(str(path.relative_to(root)).encode("utf-8"))
-            h.update(b"\0")
-            h.update(path.read_bytes())
-            h.update(b"\0")
-        _code_version = h.hexdigest()[:16]
+        _code_version = _compute_code_version(
+            Path(__file__).resolve().parent.parent  # src/repro/
+        )
     return _code_version
 
 

@@ -32,7 +32,13 @@ from ..core.config import MachineConfig
 from ..core.errors import SimError
 from ..core.machine import DTSVLIW
 from ..core.stats import Stats
+from ..trace.capture import workload_trace
+from ..trace.replay import execution_driven_forced
 from ..workloads import registry
+
+#: machine kinds whose statistics never read register values, so a
+#: captured trace replays them bit-identically (see repro.trace)
+TRACE_DRIVABLE = ("dif", "scalar")
 
 log = logging.getLogger(__name__)
 
@@ -108,12 +114,16 @@ def run_program(
     machine: str = "dtsvliw",
     name: str = "<inline>",
     max_cycles: Optional[int] = None,
+    trace=None,
 ) -> RunResult:
     """Run one compiled program on one machine and validate its output.
 
     ``reference`` is ``(instruction count, output, exit code)`` from the
     reference machine; it supplies the IPC numerator and the oracle the
-    run is checked against.
+    run is checked against.  ``trace`` optionally replays a captured
+    trace on the machines in :data:`TRACE_DRIVABLE` (bit-identical to
+    execution-driven; ignored by the DTSVLIW, whose VLIW Engine must
+    execute real values).
     """
     if max_cycles is None:
         max_cycles = default_max_cycles()
@@ -121,9 +131,9 @@ def run_program(
     if machine == "dtsvliw":
         m = DTSVLIW(program, cfg)
     elif machine == "dif":
-        m = DIFMachine(program, cfg)
+        m = DIFMachine(program, cfg, trace=trace)
     elif machine == "scalar":
-        m = ScalarMachine(program, cfg)
+        m = ScalarMachine(program, cfg, trace=trace)
     else:
         raise SimError("unknown machine kind %r" % machine)
     try:
@@ -161,10 +171,37 @@ def run_workload(
     ``scale=None`` resolves through ``$REPRO_SCALE`` and then
     ``default_scale`` (callers with their own default now forward it
     instead of being overridden by the 1.0 fallback).
+
+    Trace-drivable machines run off the shared per-(workload, scale)
+    trace -- captured on first use, loaded from the trace store after
+    (sweeps pre-capture it once and fan it out to every configuration).
+    The trace header doubles as the reference tuple, so such runs never
+    pay for a separate reference execution; ``REPRO_EXECUTION_DRIVEN=1``
+    restores the execution-driven path everywhere.
     """
     scale = env_scale(default_scale) if scale is None else scale
     program = registry.load_program(name, scale, hw_mul, optimize)
-    reference = registry.reference_run(name, scale, hw_mul, optimize)
+    trace = None
+    if machine in TRACE_DRIVABLE and not execution_driven_forced():
+        trace = workload_trace(
+            name, scale, hw_mul, optimize, mem_size=cfg.mem_size
+        )
+    elif machine == "dtsvliw":
+        # never capture just for the header (costlier than a reference
+        # run), but reuse one that is already cached
+        trace = workload_trace(
+            name, scale, hw_mul, optimize, mem_size=cfg.mem_size, capture=False
+        )
+    if trace is not None:
+        reference = (trace.count, bytes(trace.output), trace.exit_code)
+    else:
+        reference = registry.reference_run(name, scale, hw_mul, optimize)
     return run_program(
-        program, reference, cfg, machine=machine, name=name, max_cycles=max_cycles
+        program,
+        reference,
+        cfg,
+        machine=machine,
+        name=name,
+        max_cycles=max_cycles,
+        trace=trace if machine in TRACE_DRIVABLE else None,
     )

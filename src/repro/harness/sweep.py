@@ -12,6 +12,13 @@ Determinism contract: results come back in spec order and each simulation
 is deterministic, so a ``--jobs 8`` sweep is bit-identical to a serial
 one, and a warm cache replays the same numbers with zero simulations
 (check :attr:`SweepRun.summary`).
+
+Trace sharing: before the main map, the driver captures each distinct
+``(workload, scale, hw_mul, optimize, mem_size)`` trace once (through the
+same executor) so every trace-drivable cell -- the DIF and scalar
+baselines -- replays it instead of re-executing the program, across
+worker processes via the on-disk trace store (see :mod:`repro.trace`).
+``REPRO_EXECUTION_DRIVEN=1`` disables the whole mechanism.
 """
 
 from __future__ import annotations
@@ -158,6 +165,61 @@ def simulate_spec(spec: RunSpec) -> RunResult:
     )
 
 
+# ------------------------------------------------------------ trace sharing
+def _trace_needs(specs: Sequence[RunSpec]) -> List[Tuple]:
+    """Unique ``workload_trace`` argument tuples the trace-drivable cells
+    in ``specs`` will ask for (registry workloads only; deduplicated in
+    first-appearance order)."""
+    from .runner import TRACE_DRIVABLE
+
+    seen = set()
+    out: List[Tuple] = []
+    for spec in specs:
+        if spec.machine not in TRACE_DRIVABLE or spec.source is not None:
+            continue
+        key = (
+            spec.benchmark,
+            spec.scale,
+            spec.hw_mul,
+            spec.optimize,
+            spec.config.mem_size,
+        )
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+    return out
+
+
+def _capture_trace_for(key: Tuple) -> bool:
+    """Capture one workload trace into the store (module-level so process
+    pools can pickle it); True when a trace ends up available."""
+    from ..trace.capture import workload_trace
+
+    name, scale, hw_mul, optimize, mem_size = key
+    return workload_trace(name, scale, hw_mul, optimize, mem_size) is not None
+
+
+def _precapture_traces(specs: Sequence[RunSpec], executor) -> None:
+    """Capture each missing shared trace once, through the executor.
+
+    Runs before the main map so every (workload, scale) trace is captured
+    exactly once and fanned out to all cells -- across processes via the
+    on-disk store (workers re-load from disk; see ``Executor.warm``).
+    Degrades gracefully: if a store write is lost, the worker simply
+    captures for itself.
+    """
+    from ..trace.capture import trace_cached
+    from ..trace.replay import execution_driven_forced
+
+    if execution_driven_forced():
+        return
+    missing = [k for k in _trace_needs(specs) if not trace_cached(*k)]
+    if not missing:
+        return
+    log.debug("pre-capturing %d workload trace(s)", len(missing))
+    executor.warm(_capture_trace_for, missing)
+
+
 # ------------------------------------------------------------------ results
 @dataclass
 class SweepSummary:
@@ -264,7 +326,9 @@ def run_sweep(
     else:
         todo = list(range(len(specs)))
 
-    fresh = executor.map(simulate_spec, [specs[i] for i in todo])
+    todo_specs = [specs[i] for i in todo]
+    _precapture_traces(todo_specs, executor)
+    fresh = executor.map(simulate_spec, todo_specs)
     for i, res in zip(todo, fresh):
         results[i] = res
         if cache is not None:

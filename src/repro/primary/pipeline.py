@@ -16,8 +16,16 @@ cycle cost over the shared functional semantics:
   *non-schedulable* for this execution (section 3.9 treatment of complex
   operations).
 
+The committed stream itself comes from a *trace source*
+(:mod:`repro.trace.replay`): live execution by default (the oracle), or a
+captured trace replayed without touching architectural state -- the
+timing and scheduler hand-off logic here is shared between the two, which
+is what makes trace-driven runs bit-identical to execution-driven ones.
+
 Every completed, schedulable instruction is handed to the Scheduler Unit as
-a :class:`~repro.scheduler.ops.SchedOp` (section 3.1).
+a :class:`~repro.scheduler.ops.SchedOp` (section 3.1); machines with no
+scheduler (the scalar baseline) pass ``build_sched=False`` to skip the
+dependence-footprint construction nobody would consume.
 """
 
 from __future__ import annotations
@@ -37,9 +45,10 @@ from ..isa.instructions import (
     SCHED_SKIP,
 )
 from ..isa.predecode import generic_step_forced
-from ..isa.semantics import StepInfo, step
+from ..isa.semantics import StepInfo
 from ..memory.cache import Cache
 from ..scheduler.ops import SchedOp, build_sched_op
+from ..trace.replay import LiveTraceSource
 
 
 class PrimaryProcessor:
@@ -52,6 +61,8 @@ class PrimaryProcessor:
         dcache: Cache,
         services,
         stats: Stats,
+        source=None,
+        build_sched: bool = True,
     ):
         self.cfg = cfg
         self.rf = rf
@@ -65,6 +76,14 @@ class PrimaryProcessor:
         #: dispatch through predecoded closures (REPRO_GENERIC_STEP=1 forces
         #: the generic step() oracle instead)
         self.use_exec = not generic_step_forced()
+        #: where committed instructions come from: live execution unless a
+        #: replay source was injected (see module docstring)
+        self.source = (
+            source
+            if source is not None
+            else LiveTraceSource(rf, mem, services, self.use_exec)
+        )
+        self.build_sched = build_sched
 
     def reset_pipeline(self) -> None:
         """Called on mode switches: the load-use forwarding state dies."""
@@ -95,11 +114,7 @@ class PrimaryProcessor:
             st.load_use_bubble_cycles += cfg.load_use_bubble
 
         info = self.info
-        fn = instr.exec_fn
-        if fn is not None and self.use_exec:
-            next_pc = fn(self.rf, self.mem, self.services, info)
-        else:
-            next_pc = step(self.rf, self.mem, instr, self.services, info)
+        next_pc = self.source.execute(instr, info)
         st.primary_instructions += 1
 
         kind = instr.op.kind
@@ -128,7 +143,7 @@ class PrimaryProcessor:
             info.spilled and not cfg.vliw_window_spill_inline
         ):
             return next_pc, cycles, None, True
-        if sc == SCHED_SKIP:
+        if sc == SCHED_SKIP or not self.build_sched:
             return next_pc, cycles, None, False
         sched = build_sched_op(instr, info, self.rf, self.rf.cwp)
         return next_pc, cycles, sched, False

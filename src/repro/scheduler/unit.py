@@ -1,7 +1,10 @@
 """The Scheduler Unit: a hardware FCFS list scheduler (sections 3.1-3.3, 3.7-3.10).
 
 Completed instructions arrive from the Primary Processor strictly in program
-order, one per cycle at most.  Each is inserted at the tail of the
+order, one per cycle at most.  The Primary produces them from its *trace
+source* (:mod:`repro.trace.replay`) -- live execution or a captured trace
+replayed in committed order; the scheduler is agnostic to which, since a
+:class:`~repro.scheduler.ops.SchedOp` carries everything it reads.  Each is inserted at the tail of the
 *scheduling list*; on every following cycle its *candidate* copy moves one
 element up until a dependence or resource conflict installs it.  The
 install/split decisions are computed with the carry-lookahead recurrences of

@@ -1,0 +1,46 @@
+"""The dynamic-trace layer: capture, serialize, replay.
+
+The committed-instruction stream is config-independent, so a parameter
+sweep captures it once per ``(workload, scale)`` and replays it into
+every machine configuration; see DESIGN.md section 10.
+"""
+
+from .capture import capture_trace, trace_cached, trace_key, workload_trace
+from .events import (
+    FLAG_TAKEN,
+    BoundTrace,
+    Trace,
+    TraceDesync,
+    TraceEvent,
+    WindowPlan,
+    program_fingerprint,
+)
+from .replay import (
+    LiveTraceSource,
+    ReplayTraceSource,
+    execution_driven_forced,
+    replay_source_for,
+)
+from .store import TraceFormatError, TraceStore, decode_trace, encode_trace
+
+__all__ = [
+    "FLAG_TAKEN",
+    "BoundTrace",
+    "LiveTraceSource",
+    "ReplayTraceSource",
+    "Trace",
+    "TraceDesync",
+    "TraceEvent",
+    "TraceFormatError",
+    "TraceStore",
+    "WindowPlan",
+    "capture_trace",
+    "decode_trace",
+    "encode_trace",
+    "execution_driven_forced",
+    "program_fingerprint",
+    "replay_source_for",
+    "trace_cached",
+    "trace_key",
+    "workload_trace",
+]

@@ -1,0 +1,169 @@
+"""Trace capture: one architectural execution recorded as a
+:class:`~repro.trace.events.Trace`.
+
+Capture runs the program once through the predecoded reference loop (the
+full ``exec_fn`` closures, whose :class:`~repro.isa.semantics.StepInfo`
+bookkeeping supplies the branch direction, memory address and indirect
+target each event stores; ``REPRO_GENERIC_STEP=1`` falls back to the
+generic ``step`` oracle like every other engine).  The capture run *is* a
+reference-quality run: its ``(count, output, exit_code)`` header replaces
+a separate reference execution for trace-driven simulations.
+
+:func:`workload_trace` is the registry-style accessor: one capture per
+``(workload, scale, hw_mul, optimize, mem_size)`` per machine, shared
+through the per-process memo and the on-disk
+:class:`~repro.trace.store.TraceStore` -- which is how a parallel sweep's
+worker processes all replay a trace captured once.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import ProgramExit, SimError
+from ..core.reference import TrapServices, setup_state
+from ..isa.predecode import generic_step_forced
+from ..isa.registers import RegFile
+from ..isa.semantics import StepInfo, step
+from ..memory.main_memory import MainMemory
+from .events import Trace, program_fingerprint
+from .store import TraceStore
+
+DEFAULT_MEM_SIZE = 8 * 1024 * 1024
+
+#: capture runs with the architectural default; the committed stream is
+#: independent of the window count (see events.WindowPlan).
+_CAPTURE_NWINDOWS = 8
+
+_memo: Dict[Tuple, Optional[Trace]] = {}
+
+
+def capture_trace(
+    program,
+    mem_size: int = DEFAULT_MEM_SIZE,
+    max_instructions: int = 1_000_000_000,
+) -> Trace:
+    """Execute ``program`` once, recording every committed instruction."""
+    mem = MainMemory(mem_size)
+    rf = RegFile(_CAPTURE_NWINDOWS)
+    services = TrapServices()
+    pc = setup_state(program, mem, rf)
+    info = StepInfo()
+    flags = bytearray()
+    aux = array("I")
+    use_exec = not generic_step_forced()
+    exec_table = program.exec_table if use_exec else None
+    fetch = program.instrs.get
+    n = 0
+    try:
+        while n < max_instructions:
+            if exec_table is not None:
+                fn = exec_table.get(pc)
+                if fn is None:
+                    raise SimError("fetch outside text segment: 0x%x" % pc)
+                pc = fn(rf, mem, services, info)
+            else:
+                instr = fetch(pc)
+                if instr is None:
+                    raise SimError("fetch outside text segment: 0x%x" % pc)
+                pc = step(rf, mem, instr, services, info)
+            ma = info.mem_addr
+            if ma >= 0:
+                flags.append(0)
+                aux.append(ma)
+            elif info.taken:
+                flags.append(1)
+                aux.append(info.target)
+            else:
+                flags.append(0)
+                aux.append(0)
+            n += 1
+    except ProgramExit:
+        # the exit trap is a committed instruction too (instret counts it)
+        flags.append(0)
+        aux.append(0)
+        n += 1
+    else:
+        raise SimError("trace capture exceeded %d instructions" % max_instructions)
+    return Trace(
+        program_fingerprint(program),
+        mem_size,
+        n,
+        bytes(flags),
+        aux,
+        bytes(services.output),
+        services.exit_code,
+    )
+
+
+def trace_key(
+    name: str,
+    scale: float,
+    hw_mul: bool,
+    optimize: bool,
+    mem_size: int,
+    fingerprint: bytes,
+) -> str:
+    """Stable store key; the fingerprint prefix pins the program content."""
+    return "%s-s%g-m%d-o%d-mem%d-%s" % (
+        name,
+        scale,
+        int(hw_mul),
+        int(optimize),
+        mem_size,
+        fingerprint[:12].hex(),
+    )
+
+
+def workload_trace(
+    name: str,
+    scale: float = 1.0,
+    hw_mul: bool = False,
+    optimize: bool = True,
+    mem_size: int = DEFAULT_MEM_SIZE,
+    capture: bool = True,
+) -> Optional[Trace]:
+    """The committed trace of one registry workload.
+
+    Resolution order: per-process memo, on-disk store, fresh capture
+    (written back to the store).  ``capture=False`` probes the first two
+    only -- used where a trace is merely an *optimisation* (e.g. reusing
+    its header as the reference tuple) and capturing would cost more than
+    it saves.
+    """
+    from ..workloads import registry
+
+    program = registry.load_program(name, scale, hw_mul, optimize)
+    fp = program_fingerprint(program)
+    key = trace_key(name, scale, hw_mul, optimize, mem_size, fp)
+    if key in _memo and _memo[key] is not None:
+        return _memo[key]
+    store = TraceStore()
+    trace = store.get(key)
+    if trace is not None and (
+        trace.fingerprint != fp or trace.mem_size != mem_size
+    ):
+        trace = None  # stale or colliding file: treat as a miss
+    if trace is None and capture:
+        trace = capture_trace(program, mem_size=mem_size)
+        store.put(key, trace)
+    if trace is not None:
+        _memo[key] = trace
+    return trace
+
+
+def trace_cached(
+    name: str,
+    scale: float,
+    hw_mul: bool,
+    optimize: bool,
+    mem_size: int = DEFAULT_MEM_SIZE,
+) -> bool:
+    """True when the trace is already in the memo or the on-disk store."""
+    return (
+        workload_trace(
+            name, scale, hw_mul, optimize, mem_size=mem_size, capture=False
+        )
+        is not None
+    )

@@ -1,0 +1,304 @@
+"""The committed-instruction trace: the paper's central object made
+explicit.
+
+The *dynamic trace* -- the sequence of instructions a program commits --
+is what the DTSVLIW schedules (the paper's title).  This module gives it a
+first-class representation with two layers:
+
+* :class:`Trace` -- the portable, serializable record.  It stores only
+  what cannot be rederived from the static program: one flags byte and one
+  32-bit auxiliary word per committed instruction (branch direction;
+  memory address or indirect-jump target), plus the run's architectural
+  outcome (instruction count, output bytes, exit code).  Everything else
+  an engine consumes -- pc, static instruction, reads/writes footprint,
+  mem size/kind, trap number -- is a *function of the program*, recovered
+  exactly by binding.
+* :class:`BoundTrace` -- a trace joined with its :class:`Program`:
+  per-event ``pcs``/``instrs`` columns reconstructed by walking the
+  control flow recorded in the flags/aux columns (the walk doubles as an
+  integrity check), plus per-``nwindows`` register-window plans
+  (:class:`WindowPlan`) giving each event's ``cwp`` and spill/fill flag.
+  The committed stream itself is independent of the window count -- only
+  *when* overflow traps fire depends on it -- which is why window state is
+  derived at bind time instead of being stored.
+
+:class:`TraceEvent` is the logical per-event view (inspection, tests,
+debugging); the replay hot paths index the columns directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from array import array
+from typing import Dict, List, Optional
+
+from ..core.errors import SimError
+from ..core.reference import TRAP_EXIT
+from ..isa.instructions import (
+    Instr,
+    K_BRANCH,
+    K_CALL,
+    K_JMPL,
+    K_RESTORE,
+    K_SAVE,
+    K_TRAP,
+)
+from ..isa.semantics import MASK32
+
+#: flags column bit 0: the instruction transferred control (conditional
+#: branch taken, or any call/jmpl -- mirrors ``StepInfo.taken``).
+FLAG_TAKEN = 0x1
+
+#: window-spill stack slot size in bytes (16 words per window).
+_SPILL_BYTES = 64
+
+
+class TraceDesync(SimError):
+    """A trace does not match the program (or machine state) replaying it."""
+
+
+def program_fingerprint(program) -> bytes:
+    """32-byte content hash binding a trace to the exact program image."""
+    h = hashlib.sha256()
+    h.update(program.text_base.to_bytes(4, "big"))
+    h.update(program.text_image())
+    h.update(program.data_base.to_bytes(4, "big"))
+    h.update(program.data_image)
+    h.update(program.entry.to_bytes(4, "big"))
+    return h.digest()
+
+
+class TraceEvent:
+    """Logical view of one committed instruction (non-hot-path)."""
+
+    __slots__ = (
+        "index",
+        "pc",
+        "instr",
+        "taken",
+        "target",
+        "mem_addr",
+        "mem_size",
+        "trap_num",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        pc: int,
+        instr: Instr,
+        taken: bool,
+        target: int,
+        mem_addr: int,
+        mem_size: int,
+        trap_num: int,
+    ):
+        self.index = index
+        self.pc = pc
+        self.instr = instr
+        self.taken = taken
+        self.target = target
+        self.mem_addr = mem_addr
+        self.mem_size = mem_size
+        self.trap_num = trap_num
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TraceEvent(%d @0x%x %s)" % (self.index, self.pc, self.instr.text())
+
+
+class Trace:
+    """One captured committed-instruction stream plus its outcome.
+
+    ``flags`` is one byte per event (:data:`FLAG_TAKEN`); ``aux`` one
+    unsigned 32-bit word per event -- the memory address for loads/stores,
+    the jump target for taken control transfers, 0 otherwise.  ``count``
+    equals the reference machine's ``instret`` (the exit trap included),
+    so the header alone replaces a reference run: ``(count, output,
+    exit_code)`` is exactly the tuple :func:`~repro.harness.runner
+    .run_program` validates against.
+    """
+
+    __slots__ = (
+        "fingerprint",
+        "mem_size",
+        "count",
+        "flags",
+        "aux",
+        "output",
+        "exit_code",
+        "_bound",
+    )
+
+    def __init__(
+        self,
+        fingerprint: bytes,
+        mem_size: int,
+        count: int,
+        flags: bytes,
+        aux: array,
+        output: bytes,
+        exit_code: int,
+    ):
+        if len(flags) != count or len(aux) != count:
+            raise TraceDesync(
+                "trace columns disagree with count=%d (flags=%d aux=%d)"
+                % (count, len(flags), len(aux))
+            )
+        self.fingerprint = fingerprint
+        self.mem_size = mem_size
+        self.count = count
+        self.flags = flags
+        self.aux = aux
+        self.output = output
+        self.exit_code = exit_code
+        self._bound: Dict[int, "BoundTrace"] = {}
+
+    def matches(self, program) -> bool:
+        return self.fingerprint == program_fingerprint(program)
+
+    def bind(self, program) -> "BoundTrace":
+        """Join with ``program`` (memoized per program identity)."""
+        bound = self._bound.get(id(program))
+        if bound is None:
+            bound = BoundTrace(self, program)
+            self._bound[id(program)] = bound
+        return bound
+
+
+class WindowPlan:
+    """Register-window state along the trace for one window count.
+
+    ``cwp`` has ``count + 1`` entries (each event's window-before plus the
+    final window); ``spilled`` marks save/restore events that overflow or
+    underflow -- the events the Primary Processor charges
+    ``window_spill_penalty`` for and treats as non-schedulable.  ``valid``
+    is False when the spill stack itself would overflow or underflow: the
+    live machine raises mid-run there, so replay refuses such a
+    (trace, nwindows) pairing and the caller falls back to execution.
+    """
+
+    __slots__ = ("nwindows", "cwp", "spilled", "valid")
+
+    def __init__(self, nwindows: int, cwp: array, spilled: bytearray, valid: bool):
+        self.nwindows = nwindows
+        self.cwp = cwp
+        self.spilled = spilled
+        self.valid = valid
+
+
+class BoundTrace:
+    """A :class:`Trace` joined with its program: derived event columns."""
+
+    __slots__ = ("trace", "program", "pcs", "instrs", "_plans")
+
+    def __init__(self, trace: Trace, program):
+        if not trace.matches(program):
+            raise TraceDesync("trace fingerprint does not match the program")
+        self.trace = trace
+        self.program = program
+        self._plans: Dict[int, WindowPlan] = {}
+        n = trace.count
+        flags = trace.flags
+        aux = trace.aux
+        instr_map = program.instrs
+        pcs = array("I", bytes(4 * n))
+        instrs: List[Instr] = [None] * n  # type: ignore[list-item]
+        pc = program.entry
+        for i in range(n):
+            instr = instr_map.get(pc)
+            if instr is None:
+                raise TraceDesync(
+                    "trace walks outside the text segment at event %d (0x%x)"
+                    % (i, pc)
+                )
+            pcs[i] = pc
+            instrs[i] = instr
+            kind = instr.op.kind
+            if kind == K_BRANCH:
+                pc = (
+                    (pc + instr.imm) & MASK32
+                    if flags[i] & FLAG_TAKEN
+                    else pc + 4
+                )
+            elif kind == K_CALL:
+                pc = (pc + instr.imm) & MASK32
+            elif kind == K_JMPL:
+                pc = aux[i]
+            else:
+                pc = pc + 4
+        last = instrs[-1] if n else None
+        if last is None or last.op.kind != K_TRAP or last.imm != TRAP_EXIT:
+            raise TraceDesync("trace does not end at the exit trap")
+        self.pcs = pcs
+        self.instrs = instrs
+
+    def event(self, i: int) -> TraceEvent:
+        """The logical record of event ``i`` (non-hot-path accessor)."""
+        instr = self.instrs[i]
+        taken = bool(self.trace.flags[i] & FLAG_TAKEN)
+        mem_addr = self.trace.aux[i] if instr.mem_size else -1
+        target = 0
+        if taken and i + 1 < self.trace.count:
+            target = self.pcs[i + 1]
+        return TraceEvent(
+            i,
+            self.pcs[i],
+            instr,
+            taken,
+            target,
+            mem_addr,
+            instr.mem_size,
+            instr.imm if instr.op.kind == K_TRAP else -1,
+        )
+
+    def window_plan(self, nwindows: int) -> WindowPlan:
+        """Window state per event for ``nwindows`` (memoized).
+
+        Mirrors the save/restore counter semantics of
+        :func:`repro.isa.semantics.step` exactly: spill when ``cansave``
+        is exhausted, fill when ``canrestore`` is, the window-spill stack
+        pointer moving through the reserved region at the top of memory.
+        """
+        plan = self._plans.get(nwindows)
+        if plan is not None:
+            return plan
+        n = self.trace.count
+        mem_size = self.trace.mem_size
+        spill_floor = mem_size - 65536  # MainMemory's default spill_region
+        cwp_col = array("B", bytes(n + 1))
+        spilled = bytearray(n)
+        cwp = 0
+        cansave = nwindows - 2
+        canrestore = 0
+        wssp = mem_size
+        valid = True
+        instrs = self.instrs
+        for i in range(n):
+            cwp_col[i] = cwp
+            kind = instrs[i].op.kind
+            if kind == K_SAVE:
+                if cansave == 0:
+                    if wssp - _SPILL_BYTES < spill_floor:
+                        valid = False
+                        break
+                    wssp -= _SPILL_BYTES
+                    spilled[i] = 1
+                else:
+                    cansave -= 1
+                    canrestore += 1
+                cwp = (cwp - 1) % nwindows
+            elif kind == K_RESTORE:
+                if canrestore == 0:
+                    if wssp >= mem_size:
+                        valid = False
+                        break
+                    wssp += _SPILL_BYTES
+                    spilled[i] = 1
+                else:
+                    canrestore -= 1
+                    cansave += 1
+                cwp = (cwp + 1) % nwindows
+        cwp_col[n] = cwp
+        plan = WindowPlan(nwindows, cwp_col, spilled, valid)
+        self._plans[nwindows] = plan
+        return plan

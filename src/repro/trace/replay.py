@@ -1,0 +1,162 @@
+"""Trace sources: where the Primary Processor's committed stream comes
+from.
+
+A *trace source* answers one question per committed instruction --
+``execute(instr, info) -> next_pc`` -- filling the
+:class:`~repro.isa.semantics.StepInfo` fields the timing model and the
+schedulers consume (``taken``/``target``/``mem_addr``/``mem_size``/
+``spilled``/``cwp_before``).  Two implementations:
+
+* :class:`LiveTraceSource` -- execution-driven: runs the instruction's
+  predecoded closure (or the generic ``step`` oracle) against real
+  architectural state.  This is the oracle; the DTSVLIW always uses it
+  because its VLIW Engine genuinely re-executes values.
+* :class:`ReplayTraceSource` -- a cursor over a captured
+  :class:`~repro.trace.events.BoundTrace`: no register or memory state is
+  touched, every ``StepInfo`` field is synthesized from the trace columns
+  and the window plan.  Machines whose statistics never read register
+  *values* (the DIF and scalar baselines) produce bit-identical
+  :class:`~repro.core.stats.Stats` this way -- the differential test
+  suite enforces it workload by workload.
+
+``REPRO_EXECUTION_DRIVEN=1`` forces the live path everywhere (the escape
+hatch mirroring ``REPRO_GENERIC_STEP``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..core.errors import ProgramExit
+from ..isa.semantics import step
+from .events import BoundTrace, Trace, TraceDesync
+
+
+def execution_driven_forced() -> bool:
+    """True when ``$REPRO_EXECUTION_DRIVEN`` disables trace replay (every
+    engine then derives the committed stream by executing, as the seed
+    simulator did)."""
+    return os.environ.get("REPRO_EXECUTION_DRIVEN", "") not in ("", "0")
+
+
+class LiveTraceSource:
+    """Execution-driven source: the program is the trace generator."""
+
+    kind = "live"
+
+    __slots__ = ("rf", "mem", "services", "use_exec")
+
+    def __init__(self, rf, mem, services, use_exec: bool = True):
+        self.rf = rf
+        self.mem = mem
+        self.services = services
+        self.use_exec = use_exec
+
+    def execute(self, instr, info) -> int:
+        fn = instr.exec_fn
+        if fn is not None and self.use_exec:
+            return fn(self.rf, self.mem, self.services, info)
+        return step(self.rf, self.mem, instr, self.services, info)
+
+
+class ReplayTraceSource:
+    """Replay a captured trace without executing anything.
+
+    The cursor exposes its columns (``pcs``/``instrs``/``flags``/``aux``)
+    so group-replay loops (the DIF engine) can walk events directly; the
+    invariant is that the machine's committed stream *is* the captured
+    stream, so the machine pc always equals ``pcs[i]`` (enforced per
+    event -- a mismatch raises :class:`TraceDesync` rather than silently
+    diverging).
+
+    ``execute`` keeps ``rf.cwp`` current (from the window plan) because
+    the schedulers resolve visible registers through the window tables;
+    no other architectural state is maintained.  At the exit-trap event
+    it publishes the recorded output and exit code to the machine's trap
+    services and raises :class:`ProgramExit` exactly like a live run.
+    """
+
+    kind = "replay"
+
+    __slots__ = (
+        "bound",
+        "trace",
+        "rf",
+        "services",
+        "pcs",
+        "instrs",
+        "flags",
+        "aux",
+        "cwp",
+        "spilled",
+        "i",
+        "last",
+    )
+
+    def __init__(self, bound: BoundTrace, rf, services):
+        plan = bound.window_plan(rf.nwindows)
+        if not plan.valid:
+            raise TraceDesync(
+                "window spill stack over/underflows with nwindows=%d; "
+                "replay refused" % rf.nwindows
+            )
+        self.bound = bound
+        self.trace = bound.trace
+        self.rf = rf
+        self.services = services
+        self.pcs = bound.pcs
+        self.instrs = bound.instrs
+        self.flags = self.trace.flags
+        self.aux = self.trace.aux
+        self.cwp = plan.cwp
+        self.spilled = plan.spilled
+        self.i = 0
+        self.last = self.trace.count - 1
+
+    def execute(self, instr, info) -> int:
+        i = self.i
+        pcs = self.pcs
+        if instr.addr != pcs[i]:
+            raise TraceDesync(
+                "replay desync at event %d: machine pc=0x%x, trace pc=0x%x"
+                % (i, instr.addr, pcs[i])
+            )
+        if i == self.last:
+            trace = self.trace
+            services = self.services
+            services.output[:] = trace.output
+            services.exit_code = trace.exit_code
+            self.i = i + 1
+            raise ProgramExit(trace.exit_code)
+        info.taken = (self.flags[i] & 1) != 0
+        ms = instr.mem_size
+        if ms:
+            info.mem_addr = self.aux[i]
+            info.mem_size = ms
+        else:
+            info.mem_addr = -1
+            info.mem_size = 0
+        info.spilled = self.spilled[i] != 0
+        info.cwp_before = self.cwp[i]
+        self.rf.cwp = self.cwp[i + 1]
+        nxt = pcs[i + 1]
+        info.target = nxt
+        self.i = i + 1
+        return nxt
+
+
+def replay_source_for(
+    trace: Optional[Trace], program, rf, services, cfg
+) -> Optional[ReplayTraceSource]:
+    """A replay source for ``trace`` on a machine, or None when the live
+    path must be used (no trace, escape hatch set, mismatched memory
+    size, or a window plan the live machine would fault on)."""
+    if trace is None or execution_driven_forced():
+        return None
+    if trace.mem_size != cfg.mem_size:
+        return None
+    bound = trace.bind(program)
+    if not bound.window_plan(rf.nwindows).valid:
+        return None
+    return ReplayTraceSource(bound, rf, services)

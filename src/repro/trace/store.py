@@ -1,0 +1,188 @@
+"""Versioned binary serialization and the on-disk trace cache.
+
+Format (version 1, all integers little-endian, columns zlib-compressed)::
+
+    magic "RTRC" | u16 version | 32B program fingerprint | u32 count
+    | u32 mem_size | i32 exit_code | u32 output_len | output bytes
+    | u32 clen | zlib(flags column)  | u32 clen | zlib(aux column, u32 LE)
+    | 32B sha256 of everything above
+
+Decoding never unpickles anything: every field is fixed-layout ``struct``
+data, the digest is verified before any column is inflated, and any
+truncation, corruption or version skew raises :class:`TraceFormatError`
+(a plain cache *miss* for the store, a hard error for explicit loads).
+
+The :class:`TraceStore` keeps one ``<key>.trc`` file per
+``(workload, scale, hw_mul, optimize, mem_size, program fingerprint)``
+under ``results/traces/`` (override with ``$REPRO_TRACE_DIR``), with the
+same atomic-rename discipline as the result cache -- parallel sweep
+workers race benignly on it.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import struct
+import sys
+import tempfile
+import zlib
+from array import array
+from hashlib import sha256
+from pathlib import Path
+from typing import Optional
+
+from ..core.errors import SimError
+from .events import Trace
+
+log = logging.getLogger(__name__)
+
+MAGIC = b"RTRC"
+VERSION = 1
+
+#: default trace-cache location, relative to the working directory
+DEFAULT_TRACE_DIR = os.path.join("results", "traces")
+
+_HEADER = struct.Struct("<4sH32sIIiI")
+_U32 = struct.Struct("<I")
+_DIGEST_LEN = 32
+
+
+class TraceFormatError(SimError):
+    """A trace file or byte string is truncated, corrupt or wrong-version."""
+
+
+def trace_dir() -> str:
+    return os.environ.get("REPRO_TRACE_DIR", DEFAULT_TRACE_DIR)
+
+
+def _aux_to_le(aux: array) -> bytes:
+    if sys.byteorder == "little":
+        return aux.tobytes()
+    swapped = array("I", aux)
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
+def _aux_from_le(raw: bytes) -> array:
+    aux = array("I")
+    aux.frombytes(raw)
+    if sys.byteorder != "little":
+        aux.byteswap()
+    return aux
+
+
+def encode_trace(trace: Trace) -> bytes:
+    """Serialize ``trace`` (deterministic: re-encoding decoded bytes is
+    the identity, which the round-trip property test pins down)."""
+    out = bytearray()
+    out += _HEADER.pack(
+        MAGIC,
+        VERSION,
+        trace.fingerprint,
+        trace.count,
+        trace.mem_size,
+        trace.exit_code,
+        len(trace.output),
+    )
+    out += trace.output
+    for column in (bytes(trace.flags), _aux_to_le(trace.aux)):
+        comp = zlib.compress(column, 6)
+        out += _U32.pack(len(comp))
+        out += comp
+    out += sha256(out).digest()
+    return bytes(out)
+
+
+def decode_trace(data: bytes) -> Trace:
+    """Parse ``data``; raises :class:`TraceFormatError` on any defect."""
+    if len(data) < _HEADER.size + _DIGEST_LEN:
+        raise TraceFormatError("trace truncated (%d bytes)" % len(data))
+    body, digest = data[:-_DIGEST_LEN], data[-_DIGEST_LEN:]
+    if sha256(body).digest() != digest:
+        raise TraceFormatError("trace integrity digest mismatch")
+    magic, version, fingerprint, count, mem_size, exit_code, output_len = (
+        _HEADER.unpack_from(body, 0)
+    )
+    if magic != MAGIC:
+        raise TraceFormatError("bad trace magic %r" % magic)
+    if version != VERSION:
+        raise TraceFormatError(
+            "unsupported trace version %d (expected %d)" % (version, VERSION)
+        )
+    off = _HEADER.size
+    if off + output_len > len(body):
+        raise TraceFormatError("trace output column truncated")
+    output = body[off:off + output_len]
+    off += output_len
+    columns = []
+    for expected in (count, 4 * count):
+        if off + _U32.size > len(body):
+            raise TraceFormatError("trace column header truncated")
+        (clen,) = _U32.unpack_from(body, off)
+        off += _U32.size
+        if off + clen > len(body):
+            raise TraceFormatError("trace column truncated")
+        try:
+            raw = zlib.decompress(body[off:off + clen])
+        except zlib.error as exc:
+            raise TraceFormatError("trace column corrupt: %s" % exc) from exc
+        if len(raw) != expected:
+            raise TraceFormatError(
+                "trace column length %d != expected %d" % (len(raw), expected)
+            )
+        columns.append(raw)
+        off += clen
+    if off != len(body):
+        raise TraceFormatError("%d trailing bytes after trace" % (len(body) - off))
+    return Trace(
+        fingerprint,
+        mem_size,
+        count,
+        columns[0],
+        _aux_from_le(columns[1]),
+        output,
+        exit_code,
+    )
+
+
+class TraceStore:
+    """Directory of ``<key>.trc`` files with atomic writes.
+
+    Reads degrade to misses on any I/O or format problem (a half-written
+    or stale file can never poison a run -- the caller recaptures); writes
+    degrade to warnings on read-only or full disks.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = Path(root if root is not None else trace_dir())
+
+    def path(self, key: str) -> Path:
+        return self.root / ("%s.trc" % key)
+
+    def get(self, key: str) -> Optional[Trace]:
+        try:
+            data = self.path(key).read_bytes()
+        except OSError:
+            return None
+        try:
+            return decode_trace(data)
+        except TraceFormatError as exc:
+            log.warning("ignoring unreadable trace %s: %s", key, exc)
+            return None
+
+    def put(self, key: str, trace: Trace) -> None:
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.root), prefix=".tmp-", suffix=".trc"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(encode_trace(trace))
+                os.replace(tmp, self.path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError as exc:
+            log.warning("trace cache write failed for %s: %s", key, exc)

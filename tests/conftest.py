@@ -1,0 +1,20 @@
+"""Shared fixtures: keep test runs from writing into the repo tree.
+
+The trace store (repro.trace.store) defaults to ``results/traces/`` in
+the working directory; tests share one session-scoped temporary store
+instead so running the suite leaves no artifacts behind.  Individual
+tests that need a private store monkeypatch ``REPRO_TRACE_DIR`` again
+(the test body runs after this fixture, so its value wins).
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def _session_trace_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("traces"))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_trace_store(_session_trace_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", _session_trace_dir)

@@ -182,6 +182,23 @@ class TestResultCache:
         assert code_version() == code_version()
         assert len(code_version()) == 16
 
+    def test_fingerprint_ignores_artifacts(self, tmp_path):
+        """Producing results must never invalidate the cache holding them:
+        results/, __pycache__/ and non-*.py files are outside the
+        source-tree fingerprint."""
+        from repro.harness.resultcache import _compute_code_version
+
+        (tmp_path / "sim.py").write_text("x = 1\n")
+        base = _compute_code_version(tmp_path)
+        (tmp_path / "results" / ".cache").mkdir(parents=True)
+        (tmp_path / "results" / ".cache" / "gen.py").write_text("artifact\n")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "sim.py").write_text("stale\n")
+        (tmp_path / "BENCH_sweep.json").write_text("{}")
+        assert _compute_code_version(tmp_path) == base
+        (tmp_path / "sim.py").write_text("x = 2\n")
+        assert _compute_code_version(tmp_path) != base
+
 
 class TestRunnerSatellites:
     def test_env_scale_forwards_default(self, monkeypatch):

@@ -1,0 +1,214 @@
+"""The trace layer: capture, store, bind, replay, and harness wiring.
+
+Bit-identity of replayed runs over the full workload/config matrix lives
+in test_trace_replay_differential.py; serialization round-trip properties
+in test_trace_roundtrip.py.  This file covers the layer's contracts:
+capture headers, the on-disk store, bound-trace derivation, desync
+detection, the ``REPRO_EXECUTION_DRIVEN`` escape hatch, and trace sharing
+through run_workload/run_sweep.
+"""
+
+import os
+
+import pytest
+
+from repro.baselines.dif import DIFMachine
+from repro.baselines.scalar import ScalarMachine
+from repro.core.config import MachineConfig
+from repro.harness.runner import run_workload
+from repro.harness.sweep import RunSpec, run_sweep
+from repro.isa.instructions import K_TRAP
+from repro.trace import capture as capture_mod
+from repro.trace.capture import capture_trace, trace_cached, workload_trace
+from repro.trace.events import TraceDesync, program_fingerprint
+from repro.trace.replay import (
+    ReplayTraceSource,
+    execution_driven_forced,
+    replay_source_for,
+)
+from repro.workloads.registry import load_program, reference_run
+
+SCALE = 0.05
+MEM = 8 * 1024 * 1024
+
+
+@pytest.fixture()
+def fresh_memo(monkeypatch):
+    """Empty per-process trace memo, so store hits/misses are observable."""
+    monkeypatch.setattr(capture_mod, "_memo", {})
+
+
+def _program():
+    return load_program("compress", SCALE)
+
+
+def _trace():
+    return capture_trace(_program(), MEM)
+
+
+class TestCapture:
+    def test_header_matches_reference_run(self):
+        trace = _trace()
+        count, out, code = reference_run("compress", SCALE)
+        assert trace.count == count
+        assert bytes(trace.output) == out
+        assert trace.exit_code == code
+        assert trace.fingerprint == program_fingerprint(_program())
+        assert trace.mem_size == MEM
+
+    def test_columns_are_dense(self):
+        trace = _trace()
+        assert len(trace.flags) == trace.count
+        assert len(trace.aux) == trace.count
+
+    def test_matches_rejects_other_program(self):
+        trace = _trace()
+        other = load_program("xlisp", SCALE)
+        assert trace.matches(_program())
+        assert not trace.matches(other)
+
+
+class TestBoundTrace:
+    def test_walk_derives_pcs(self):
+        prog = _program()
+        bound = _trace().bind(prog)
+        assert bound.pcs[0] == prog.entry
+        assert len(bound.pcs) == bound.trace.count
+        last = bound.instrs[bound.trace.count - 1]
+        assert last.op.kind == K_TRAP  # the exit trap ends every trace
+
+    def test_window_plan_tracks_cwp(self):
+        bound = _trace().bind(_program())
+        plan = bound.window_plan(8)
+        assert plan.valid
+        assert len(plan.cwp) == bound.trace.count + 1
+        assert plan.cwp[0] == 0
+        # compress certainly calls functions: cwp must move at some point
+        assert any(c != 0 for c in plan.cwp)
+
+    def test_window_plan_memoized(self):
+        bound = _trace().bind(_program())
+        assert bound.window_plan(8) is bound.window_plan(8)
+        assert bound.window_plan(4) is not bound.window_plan(8)
+
+
+class TestStore:
+    def test_workload_trace_writes_and_reloads(self, tmp_path, monkeypatch, fresh_memo):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        assert not trace_cached("compress", SCALE, False, True, MEM)
+        trace = workload_trace("compress", SCALE, mem_size=MEM)
+        assert trace is not None
+        files = list(tmp_path.glob("*.trc"))
+        assert len(files) == 1
+        # a fresh memo must hit the disk store, not re-capture
+        monkeypatch.setattr(capture_mod, "_memo", {})
+        monkeypatch.setattr(
+            capture_mod,
+            "capture_trace",
+            lambda *a, **k: pytest.fail("re-captured despite disk store"),
+        )
+        reloaded = workload_trace("compress", SCALE, mem_size=MEM)
+        assert reloaded is not None
+        assert reloaded.count == trace.count
+        assert bytes(reloaded.flags) == bytes(trace.flags)
+        assert list(reloaded.aux) == list(trace.aux)
+        assert trace_cached("compress", SCALE, False, True, MEM)
+
+    def test_capture_false_never_captures(self, tmp_path, monkeypatch, fresh_memo):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        assert workload_trace("compress", SCALE, mem_size=MEM, capture=False) is None
+        assert not list(tmp_path.glob("*.trc"))
+
+    def test_corrupt_store_file_degrades_to_miss(
+        self, tmp_path, monkeypatch, fresh_memo
+    ):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        workload_trace("compress", SCALE, mem_size=MEM)
+        (path,) = tmp_path.glob("*.trc")
+        path.write_bytes(b"garbage" * 10)
+        monkeypatch.setattr(capture_mod, "_memo", {})
+        assert workload_trace("compress", SCALE, mem_size=MEM, capture=False) is None
+
+
+class TestReplaySource:
+    def test_replay_source_for_gates(self, monkeypatch):
+        prog = _program()
+        trace = _trace()
+        cfg = MachineConfig.fig9()
+        m = ScalarMachine(prog, cfg)
+        assert replay_source_for(None, prog, m.rf, m.services, cfg) is None
+        src = replay_source_for(trace, prog, m.rf, m.services, cfg)
+        assert isinstance(src, ReplayTraceSource)
+        # mem_size mismatch: the recorded stack layout would differ
+        small = cfg.with_(mem_size=4 * 1024 * 1024)
+        assert replay_source_for(trace, prog, m.rf, m.services, small) is None
+        monkeypatch.setenv("REPRO_EXECUTION_DRIVEN", "1")
+        assert execution_driven_forced()
+        assert replay_source_for(trace, prog, m.rf, m.services, cfg) is None
+
+    def test_desync_raises(self):
+        prog = _program()
+        bound = _trace().bind(prog)
+        m = ScalarMachine(prog, MachineConfig.fig9())
+        src = ReplayTraceSource(bound, m.rf, m.services)
+        wrong = bound.instrs[1] if bound.instrs[1].addr != prog.entry else bound.instrs[2]
+        with pytest.raises(TraceDesync):
+            src.execute(wrong, m.primary.info)
+
+    def test_machines_expose_replay_flag(self):
+        prog, trace = _program(), _trace()
+        cfg = MachineConfig.fig9()
+        assert ScalarMachine(prog, cfg).source is None
+        assert ScalarMachine(prog, cfg, trace=trace).source is not None
+        assert DIFMachine(prog, cfg).replay is False
+        assert DIFMachine(prog, cfg, trace=trace).replay is True
+
+
+class TestTypedDifCounter:
+    def test_dif_instructions_is_typed(self):
+        m = DIFMachine(_program(), MachineConfig.fig9())
+        st = m.run()
+        assert st.dif_instructions > 0
+        assert "dif_instructions" not in st.extra
+        assert st.ref_instructions == st.primary_instructions + st.dif_instructions
+
+
+class TestHarnessWiring:
+    def test_run_workload_replays_and_matches_live(self, monkeypatch):
+        cfg = MachineConfig.fig9()
+        replayed = run_workload("compress", cfg, machine="dif", scale=SCALE)
+        monkeypatch.setenv("REPRO_EXECUTION_DRIVEN", "1")
+        live = run_workload("compress", cfg, machine="dif", scale=SCALE)
+        assert replayed.stats == live.stats
+        assert replayed.ref_instructions == live.ref_instructions
+
+    def test_sweep_precaptures_once_and_is_execution_identical(
+        self, tmp_path, monkeypatch, fresh_memo
+    ):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        cols = [("fig9", MachineConfig.fig9()), ("feasible", MachineConfig.feasible())]
+        specs = [
+            RunSpec(benchmark="compress", config=cfg, machine=m, scale=SCALE, meta={"col": label})
+            for label, cfg in cols
+            for m in ("dif", "scalar")
+        ]
+        run = run_sweep(specs, use_cache=False)
+        # 4 cells sharing one (workload, scale): exactly one capture
+        assert len(list(tmp_path.glob("*.trc"))) == 1
+        monkeypatch.setenv("REPRO_EXECUTION_DRIVEN", "1")
+        live = run_sweep(specs, use_cache=False)
+        for a, b in zip(run.results, live.results):
+            assert a.stats == b.stats
+            assert a.cycles == b.cycles
+
+    def test_dtsvliw_reuses_cached_header_but_never_captures(
+        self, tmp_path, monkeypatch, fresh_memo
+    ):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        cfg = MachineConfig.fig9()
+        run_workload("compress", cfg, machine="dtsvliw", scale=SCALE)
+        assert not list(tmp_path.glob("*.trc"))  # header not worth a capture
+        baseline = run_workload("compress", cfg, machine="scalar", scale=SCALE)
+        assert len(list(tmp_path.glob("*.trc"))) == 1
+        again = run_workload("compress", cfg, machine="dtsvliw", scale=SCALE)
+        assert again.ref_instructions == baseline.ref_instructions

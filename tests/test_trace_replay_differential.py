@@ -1,0 +1,70 @@
+"""Differential oracle for trace replay: execution-driven vs trace-driven.
+
+The central claim of the trace layer (DESIGN.md section 10) is that for
+machines whose statistics never read register *values* -- the DIF and
+scalar baselines -- replaying a captured trace is **bit-identical** to
+executing the program: same Stats (dataclass equality, wall time
+excluded), same cycle count, same output bytes, same exit code.  This
+suite pins that claim over every registry workload and a spread of
+machine configurations, so any future edit to the timing model that
+forgets one of the two paths fails loudly.
+"""
+
+import pytest
+
+from repro.baselines.dif import DIFMachine
+from repro.baselines.scalar import ScalarMachine
+from repro.core.config import MachineConfig
+from repro.trace.capture import capture_trace
+from repro.workloads.registry import BENCHMARKS, load_program
+
+SCALE = 0.05
+MEM = 8 * 1024 * 1024
+
+CONFIGS = [
+    ("fig9", MachineConfig.fig9()),
+    ("feasible", MachineConfig.feasible()),
+    ("paper_fixed", MachineConfig.paper_fixed()),
+    # fewer windows than the capture machine: spills happen at different
+    # events, so this exercises the per-nwindows window-plan derivation
+    ("fig9_nw4", MachineConfig.fig9().with_(nwindows=4)),
+]
+
+MACHINES = {"scalar": ScalarMachine, "dif": DIFMachine}
+
+_traces = {}
+
+
+def _workload(name):
+    prog = load_program(name, SCALE)
+    if name not in _traces:
+        _traces[name] = capture_trace(prog, MEM)
+    return prog, _traces[name]
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_replay_is_bit_identical(name):
+    prog, trace = _workload(name)
+    for cfg_name, cfg in CONFIGS:
+        for m_name, mk in MACHINES.items():
+            live = mk(prog, cfg)
+            s_live = live.run()
+            replay = mk(prog, cfg, trace=trace)
+            assert replay.source is not None, (name, cfg_name, m_name)
+            s_replay = replay.run()
+            assert s_replay == s_live, (name, cfg_name, m_name)
+            assert s_replay.cycles == s_live.cycles
+            assert replay.output == live.output, (name, cfg_name, m_name)
+            assert replay.exit_code == live.exit_code, (name, cfg_name, m_name)
+
+
+@pytest.mark.parametrize("name", ["compress", "xlisp"])
+def test_replay_consumes_whole_trace(name):
+    """The replay cursor must end exactly past the exit event -- anything
+    else means live and replay disagreed about the committed stream."""
+    prog, trace = _workload(name)
+    for _, cfg in CONFIGS:
+        for mk in MACHINES.values():
+            m = mk(prog, cfg, trace=trace)
+            m.run()
+            assert m.source.i == trace.count

@@ -1,0 +1,86 @@
+"""Property tests for the trace serialization format (store.py).
+
+Three invariants:
+
+* encode -> decode -> encode is the byte identity (the format is
+  canonical: little-endian aux column, deterministic zlib level);
+* decode(encode(t)) reproduces every field of ``t``;
+* any truncation or corruption raises :class:`TraceFormatError` -- and
+  decoding never unpickles anything, so hostile bytes cannot execute.
+"""
+
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.events import Trace
+from repro.trace.store import TraceFormatError, decode_trace, encode_trace
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@st.composite
+def traces(draw):
+    count = draw(st.integers(min_value=0, max_value=300))
+    return Trace(
+        draw(st.binary(min_size=32, max_size=32)),
+        draw(U32),
+        count,
+        draw(st.binary(min_size=count, max_size=count)),
+        array("I", draw(st.lists(U32, min_size=count, max_size=count))),
+        draw(st.binary(max_size=200)),
+        draw(st.integers(min_value=-(2**31), max_value=2**31 - 1)),
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(traces())
+def test_round_trip_is_byte_identity(trace):
+    blob = encode_trace(trace)
+    decoded = decode_trace(blob)
+    assert encode_trace(decoded) == blob
+    assert decoded.fingerprint == trace.fingerprint
+    assert decoded.mem_size == trace.mem_size
+    assert decoded.count == trace.count
+    assert bytes(decoded.flags) == bytes(trace.flags)
+    assert list(decoded.aux) == list(trace.aux)
+    assert bytes(decoded.output) == bytes(trace.output)
+    assert decoded.exit_code == trace.exit_code
+
+
+@settings(max_examples=100, deadline=None)
+@given(traces(), st.data())
+def test_truncation_raises(trace, data):
+    blob = encode_trace(trace)
+    cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    with pytest.raises(TraceFormatError):
+        decode_trace(blob[:cut])
+
+
+@settings(max_examples=150, deadline=None)
+@given(traces(), st.data())
+def test_corruption_raises(trace, data):
+    """Any single flipped byte is caught (the digest covers everything)."""
+    blob = bytearray(encode_trace(trace))
+    pos = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    blob[pos] ^= flip
+    with pytest.raises(TraceFormatError):
+        decode_trace(bytes(blob))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(max_size=400))
+def test_garbage_raises_not_crashes(blob):
+    with pytest.raises(TraceFormatError):
+        decode_trace(blob)
+
+
+def test_pickle_bytes_are_rejected():
+    import pickle
+
+    evil = pickle.dumps({"never": "unpickled"})
+    with pytest.raises(TraceFormatError):
+        decode_trace(evil)
