@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Emit BENCH_obs.json: observability overhead per probe depth.
+
+Times the end-to-end DTSVLIW test-mode run (the same measurement as
+``bench_interp.py``'s ``dtsvliw_test_mode`` section) at every probe
+depth -- probes off, :class:`NullProbe`, :class:`CounterProbe`,
+:class:`EventProbe` -- asserting the architectural outcome is
+bit-identical across all of them while they are being timed.
+
+``--baseline BENCH_interp.json`` turns the script into a regression
+gate: the probes-off wall time of each workload must stay within
+``--tolerance`` (default 2%) of the baseline's ``specialized_wall_s``,
+i.e. merely *carrying* the instrumentation may not slow the uninstrumented
+simulator down.  CI runs the gate right after bench_interp.py, so both
+measurements come from the same machine and process environment.
+
+Run:  PYTHONPATH=src python benchmarks/bench_obs.py --scale 0.3 \
+          --baseline BENCH_interp.json
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.core.config import MachineConfig
+from repro.core.machine import DTSVLIW
+from repro.obs import CounterProbe, EventProbe, NullProbe
+from repro.workloads import registry
+
+DEPTHS = ("off", "null", "counters", "events")
+
+
+def make_probe(depth):
+    return {
+        "off": lambda: None,
+        "null": NullProbe,
+        "counters": CounterProbe,
+        "events": EventProbe,
+    }[depth]()
+
+
+def time_run(program, cfg, probe):
+    m = DTSVLIW(program, cfg, probe=probe)
+    t0 = time.perf_counter()
+    stats = m.run(max_cycles=2_000_000_000)
+    return stats, time.perf_counter() - t0, m.output, m.exit_code
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument(
+        "--benchmarks", default="compress,xlisp",
+        help="comma-separated workloads (matches bench_interp's test-mode set)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=2,
+        help="timed repetitions per depth; best (min) wall time is kept",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="BENCH_interp.json to gate probes-off wall time against",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.02,
+        help="allowed probes-off regression vs the baseline (fraction)",
+    )
+    parser.add_argument("--out", default="BENCH_obs.json")
+    args = parser.parse_args(argv)
+
+    os.environ.pop("REPRO_PROBE", None)  # the 'off' depth must mean off
+    names = [b for b in args.benchmarks.split(",") if b]
+    cfg = MachineConfig.paper_fixed(8, 8)
+    results = {}
+    for name in names:
+        program = registry.load_program(name, args.scale)
+        walls = {}
+        oracle = None
+        for depth in DEPTHS:
+            best = None
+            for _ in range(max(1, args.repeat)):
+                stats, wall, out, code = time_run(
+                    program, cfg, make_probe(depth)
+                )
+                best = wall if best is None else min(best, wall)
+                # Stats equality excludes wall_time_s (compare=False):
+                # every architectural counter, the output bytes and the
+                # exit code must be identical at every depth.
+                if oracle is None:
+                    oracle = (stats, out, code)
+                else:
+                    assert (stats, out, code) == oracle, (
+                        "%s: probe depth %r changed the outcome" % (name, depth)
+                    )
+            walls[depth] = best
+        results[name] = {
+            "off_wall_s": round(walls["off"], 3),
+            "null_wall_s": round(walls["null"], 3),
+            "counters_wall_s": round(walls["counters"], 3),
+            "events_wall_s": round(walls["events"], 3),
+            "counters_overhead": round(walls["counters"] / walls["off"] - 1, 4),
+            "events_overhead": round(walls["events"] / walls["off"] - 1, 4),
+        }
+        print(
+            "%-8s off %6.2fs  null %6.2fs  counters %6.2fs (%+5.1f%%)"
+            "  events %6.2fs (%+5.1f%%)"
+            % (
+                name,
+                walls["off"],
+                walls["null"],
+                walls["counters"],
+                100 * results[name]["counters_overhead"],
+                walls["events"],
+                100 * results[name]["events_overhead"],
+            ),
+            flush=True,
+        )
+
+    payload = {
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "workloads": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print("wrote %s" % args.out)
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            base = json.load(fh)
+        entries = base.get("dtsvliw_test_mode", {})
+        failures = []
+        for name in names:
+            if name not in entries:
+                continue
+            ref = entries[name]["specialized_wall_s"]
+            off = results[name]["off_wall_s"]
+            ratio = off / ref if ref else 0.0
+            verdict = "ok" if ratio <= 1 + args.tolerance else "REGRESSION"
+            print(
+                "gate %-8s probes-off %6.2fs vs baseline %6.2fs (%+.1f%%) %s"
+                % (name, off, ref, 100 * (ratio - 1), verdict)
+            )
+            if verdict != "ok":
+                failures.append(name)
+        if failures:
+            print(
+                "probes-off throughput regressed >%.0f%% on: %s"
+                % (100 * args.tolerance, ", ".join(failures))
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,16 @@ from ..isa.registers import RegFile
 from ..isa.semantics import StepInfo, step
 from ..memory.cache import Cache
 from ..memory.main_memory import MainMemory
+from ..obs.probe import (
+    EV_BLOCK_ENTRY,
+    EV_BLOCK_FLUSH,
+    EV_BLOCK_OPEN,
+    EV_CACHE_STALL,
+    EV_MISPREDICT,
+    EV_MODE_SWITCH,
+    EV_VCACHE_PROBE,
+    resolve_probe,
+)
 from ..primary.pipeline import PrimaryProcessor
 from ..scheduler.ops import SchedOp
 from ..trace.events import Trace
@@ -86,9 +96,11 @@ class DIFGroup:
 class DIFScheduler:
     """Greedy resource-table scheduling into a group (section 3.12)."""
 
-    def __init__(self, cfg: MachineConfig, stats: Stats):
+    def __init__(self, cfg: MachineConfig, stats: Stats, probe=None):
         self.cfg = cfg
         self.stats = stats
+        #: active probe or None (group lifecycle events)
+        self.probe = probe
         self.instance_limit = 4  # instances of each register ([9])
         self.group: Optional[DIFGroup] = None
         self._reset_tables()
@@ -117,6 +129,8 @@ class DIFScheduler:
         h = self.cfg.block_height
         self.slots_free = [normal] * h
         self.branch_slots_free = [br] * h
+        if self.probe is not None:
+            self.probe.emit(EV_BLOCK_OPEN, addr)
 
     def try_place(self, op: SchedOp) -> bool:
         """Place one op in the current group; False => the group is full
@@ -186,16 +200,29 @@ class DIFScheduler:
         st.long_instructions_saved += g.height_used
         if g.max_instances > st.max_int_renaming:
             st.max_int_renaming = g.max_instances
+        if self.probe is not None:
+            self.probe.emit(
+                EV_BLOCK_FLUSH,
+                g.start_addr,
+                "group",
+                g.height_used,
+                g.op_count,
+                self.cfg.block_width * self.cfg.block_height,
+                g.max_instances,
+                0,
+                0,
+                0,
+            )
         return g
 
 
 class DIFCache:
     """Group-granularity cache; lines sized by block + exit maps."""
 
-    def __init__(self, total_groups: int, assoc: int):
+    def __init__(self, total_groups: int, assoc: int, probe=None):
         from ..vliw.cache import VLIWCache
 
-        self._c = VLIWCache(total_groups, assoc)
+        self._c = VLIWCache(total_groups, assoc, probe=probe)
 
     def probe(self, addr: int) -> bool:
         return self._c.probe(addr)
@@ -233,34 +260,40 @@ class DIFMachine:
         program: Program,
         cfg: Optional[MachineConfig] = None,
         trace: Optional[Trace] = None,
+        probe=None,
     ):
         self.program = program
         self.cfg = cfg or MachineConfig.fig9()
         c = self.cfg
         self.stats = Stats()
+        #: active probe or None (``probe=None`` consults ``$REPRO_PROBE``);
+        #: group replay emits the same events as the live group walk
+        self.probe = resolve_probe(probe)
         self.mem = MainMemory(c.mem_size)
         self.rf = RegFile(c.nwindows)
         self.services = TrapServices()
         self.pc = setup_state(program, self.mem, self.rf)
         self.icache = Cache(
             "icache", c.icache.size, c.icache.line_size, c.icache.assoc,
-            c.icache.miss_penalty, c.icache.perfect,
+            c.icache.miss_penalty, c.icache.perfect, probe=self.probe,
         )
         self.dcache = Cache(
             "dcache", c.dcache.size, c.dcache.line_size, c.dcache.assoc,
-            c.dcache.miss_penalty, c.dcache.perfect,
+            c.dcache.miss_penalty, c.dcache.perfect, probe=self.probe,
         )
         group_bytes = c.block_bytes + 19 * (c.block_height + 1)
         total_groups = max(1, c.vliw_cache_bytes // group_bytes)
-        self.dif_cache = DIFCache(total_groups, c.vliw_cache_assoc)
-        self.scheduler = DIFScheduler(c, self.stats)
+        self.dif_cache = DIFCache(
+            total_groups, c.vliw_cache_assoc, probe=self.probe
+        )
+        self.scheduler = DIFScheduler(c, self.stats, probe=self.probe)
         self.source = replay_source_for(
             trace, program, self.rf, self.services, c
         )
         self.replay = self.source is not None
         self.primary = PrimaryProcessor(
             c, self.rf, self.mem, self.icache, self.dcache, self.services,
-            self.stats, source=self.source,
+            self.stats, source=self.source, probe=self.probe,
         )
         self.halted = False
         self.info = StepInfo()
@@ -296,11 +329,15 @@ class DIFMachine:
         cfg = self.cfg
         fetch = self.program.instrs.get
         sched = self.scheduler
+        probe = self.probe
         while st.cycles < max_cycles:
             pc = self.pc
             st.vliw_cache_probes += 1
             if self.dif_cache.probe(pc):
                 st.vliw_cache_hits += 1
+                if probe is not None:
+                    probe.emit(EV_VCACHE_PROBE, pc, 1)
+                    probe.emit(EV_MODE_SWITCH, 0, pc)
                 group = sched.flush(pc)
                 if group is not None:
                     self.dif_cache.insert(group)
@@ -310,6 +347,8 @@ class DIFMachine:
                 self._dif_mode(pc)
                 self.primary.reset_pipeline()
                 continue
+            if probe is not None:
+                probe.emit(EV_VCACHE_PROBE, pc, 0)
             instr = fetch(pc)
             if instr is None:
                 raise SimError("fetch outside text segment: 0x%x" % pc)
@@ -342,15 +381,20 @@ class DIFMachine:
         instruction, sequential-prefix commit semantics (see module doc)."""
         st = self.stats
         cfg = self.cfg
+        probe = self.probe
         while True:
             group = self.dif_cache.lookup(addr)
             if group is None:
                 st.mode_switches += 1
+                if probe is not None:
+                    probe.emit(EV_MODE_SWITCH, 1, addr)
                 st.switch_cycles += cfg.switch_to_primary_cost
                 st.cycles += cfg.switch_to_primary_cost
                 self.pc = addr
                 return
             st.vliw_block_entries += 1
+            if probe is not None:
+                probe.emit(EV_BLOCK_ENTRY, group.start_addr)
             st.cycles += 1  # whole-group fetch
             st.vliw_cycles += 1
             if self.replay:
@@ -375,6 +419,7 @@ class DIFMachine:
         use_exec = self.use_exec
         fetch = self.program.instrs
         st = self.stats
+        probe = self.probe
         max_li = -1
         executed = 0
         pc = group.start_addr
@@ -414,6 +459,8 @@ class DIFMachine:
                 pen = self.dcache.access(info.mem_addr)
                 if pen:
                     st.dcache_stall_cycles += pen
+                    if probe is not None:
+                        probe.emit(EV_CACHE_STALL, "dcache", pen)
                     if pen > li_pen.get(li, 0):
                         li_pen[li] = pen
             if is_branch:
@@ -423,6 +470,8 @@ class DIFMachine:
                 )
                 if deviates:
                     st.mispredicts += 1
+                    if probe is not None:
+                        probe.emit(EV_MISPREDICT, addr, next_pc)
                     deviated_to = next_pc
                     break
             pc = next_pc
@@ -449,6 +498,7 @@ class DIFMachine:
         """
         src = self.source
         st = self.stats
+        probe = self.probe
         pcs = src.pcs
         instrs = src.instrs
         flags = src.flags
@@ -486,6 +536,8 @@ class DIFMachine:
                 pen = self.dcache.access(a)
                 if pen:
                     st.dcache_stall_cycles += pen
+                    if probe is not None:
+                        probe.emit(EV_CACHE_STALL, "dcache", pen)
                     if pen > li_pen.get(li, 0):
                         li_pen[li] = pen
             if is_branch:
@@ -495,6 +547,8 @@ class DIFMachine:
                 )
                 if deviates:
                     st.mispredicts += 1
+                    if probe is not None:
+                        probe.emit(EV_MISPREDICT, addr, next_pc)
                     deviated_to = next_pc
                     break
         src.i = cur

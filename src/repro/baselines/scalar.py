@@ -28,6 +28,7 @@ from ..isa.instructions import K_LOAD
 from ..isa.registers import RegFile
 from ..memory.cache import Cache
 from ..memory.main_memory import MainMemory
+from ..obs.probe import EV_CACHE_STALL, EV_WINDOW_SPILL, resolve_probe
 from ..primary.pipeline import PrimaryProcessor
 from ..trace.events import Trace
 from ..trace.replay import replay_source_for
@@ -41,11 +42,15 @@ class ScalarMachine:
         program: Program,
         cfg: MachineConfig | None = None,
         trace: Trace | None = None,
+        probe=None,
     ):
         self.program = program
         self.cfg = cfg or MachineConfig()
         c = self.cfg
         self.stats = Stats()
+        #: active probe or None (``probe=None`` consults ``$REPRO_PROBE``);
+        #: the replay loop emits the same events as live execution
+        self.probe = resolve_probe(probe)
         self.mem = MainMemory(c.mem_size)
         self.rf = RegFile(c.nwindows)
         self.services = TrapServices()
@@ -57,6 +62,7 @@ class ScalarMachine:
             c.icache.assoc,
             c.icache.miss_penalty,
             c.icache.perfect,
+            probe=self.probe,
         )
         self.dcache = Cache(
             "dcache",
@@ -65,6 +71,7 @@ class ScalarMachine:
             c.dcache.assoc,
             c.dcache.miss_penalty,
             c.dcache.perfect,
+            probe=self.probe,
         )
         self.source = replay_source_for(
             trace, program, self.rf, self.services, c
@@ -79,6 +86,7 @@ class ScalarMachine:
             self.stats,
             source=self.source,
             build_sched=False,
+            probe=self.probe,
         )
         self.halted = False
 
@@ -142,6 +150,7 @@ class ScalarMachine:
         lu_bubble = cfg.load_use_bubble
         bnt_bubble = cfg.branch_not_taken_bubble
         spill_pen = cfg.window_spill_penalty
+        probe = self.probe
         last_load_rd = None
         i = 0
         t0 = time.perf_counter()
@@ -154,6 +163,8 @@ class ScalarMachine:
                     pen = ic(instr.addr)
                     if pen:
                         st.icache_stall_cycles += pen
+                        if probe is not None:
+                            probe.emit(EV_CACHE_STALL, "icache", pen)
                     st.cycles += 1
                     st.primary_cycles += 1
                     st.ref_instructions += 1
@@ -169,6 +180,8 @@ class ScalarMachine:
                 if pen:
                     cycles += pen
                     st.icache_stall_cycles += pen
+                    if probe is not None:
+                        probe.emit(EV_CACHE_STALL, "icache", pen)
                 if last_load_rd is not None and last_load_rd in instr.lu_regs:
                     cycles += lu_bubble
                     st.load_use_bubble_cycles += lu_bubble
@@ -178,12 +191,16 @@ class ScalarMachine:
                     if pen:
                         cycles += pen
                         st.dcache_stall_cycles += pen
+                        if probe is not None:
+                            probe.emit(EV_CACHE_STALL, "dcache", pen)
                 if instr.cond_branch and not (flags[i] & 1):
                     cycles += bnt_bubble
                     st.branch_bubble_cycles += bnt_bubble
                 if spilled[i]:
                     cycles += spill_pen
                     st.spill_cycles += spill_pen
+                    if probe is not None:
+                        probe.emit(EV_WINDOW_SPILL, spill_pen)
                 last_load_rd = instr.rd if instr.op.kind == K_LOAD else None
                 st.cycles += cycles
                 st.primary_cycles += cycles

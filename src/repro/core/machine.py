@@ -36,6 +36,7 @@ from ..asm.program import Program
 from ..isa.registers import RegFile
 from ..memory.cache import Cache
 from ..memory.main_memory import MainMemory
+from ..obs.probe import EV_MODE_SWITCH, EV_VCACHE_PROBE, resolve_probe
 from ..primary.pipeline import PrimaryProcessor
 from ..scheduler.unit import FLUSH_HIT, FLUSH_NONSCHED, SchedulerUnit
 from ..trace.replay import LiveTraceSource
@@ -50,11 +51,19 @@ from .stats import Stats
 class DTSVLIW:
     """An execution-driven DTSVLIW simulator for one program run."""
 
-    def __init__(self, program: Program, cfg: Optional[MachineConfig] = None):
+    def __init__(
+        self,
+        program: Program,
+        cfg: Optional[MachineConfig] = None,
+        probe=None,
+    ):
         self.program = program
         self.cfg = cfg or MachineConfig()
         c = self.cfg
         self.stats = Stats()
+        #: active probe threaded through every subcomponent, or None
+        #: (``probe=None`` consults ``$REPRO_PROBE``)
+        self.probe = resolve_probe(probe)
         self.mem = MainMemory(c.mem_size)
         self.rf = RegFile(c.nwindows)
         self.services = TrapServices()
@@ -67,6 +76,7 @@ class DTSVLIW:
             c.icache.assoc,
             c.icache.miss_penalty,
             c.icache.perfect,
+            probe=self.probe,
         )
         self.dcache = Cache(
             "dcache",
@@ -75,14 +85,26 @@ class DTSVLIW:
             c.dcache.assoc,
             c.dcache.miss_penalty,
             c.dcache.perfect,
+            probe=self.probe,
         )
-        self.vcache = VLIWCache(c.vliw_cache_blocks, c.vliw_cache_assoc)
-        self.scheduler = SchedulerUnit(c, self.stats)
-        self.engine = VLIWEngine(c, self.rf, self.mem, self.dcache, self.stats)
+        self.vcache = VLIWCache(
+            c.vliw_cache_blocks, c.vliw_cache_assoc, probe=self.probe
+        )
+        self.scheduler = SchedulerUnit(c, self.stats, probe=self.probe)
+        self.engine = VLIWEngine(
+            c, self.rf, self.mem, self.dcache, self.stats, probe=self.probe
+        )
         # Always execution-driven: the VLIW Engine needs real register and
         # memory values, so the committed stream must be generated live.
         self.primary = PrimaryProcessor(
-            c, self.rf, self.mem, self.icache, self.dcache, self.services, self.stats
+            c,
+            self.rf,
+            self.mem,
+            self.icache,
+            self.dcache,
+            self.services,
+            self.stats,
+            probe=self.probe,
         )
         self.source: LiveTraceSource = self.primary.source
 
@@ -133,6 +155,7 @@ class DTSVLIW:
         st = self.stats
         cfg = self.cfg
         fetch = self.program.instrs.get
+        probe = self.probe
         self.primary.reset_pipeline()
         while not self.halted and st.cycles < self._max_cycles:
             pc = self.pc
@@ -141,6 +164,9 @@ class DTSVLIW:
                 st.vliw_cache_probes += 1
                 if self.vcache.probe(pc):
                     st.vliw_cache_hits += 1
+                    if probe is not None:
+                        probe.emit(EV_VCACHE_PROBE, pc, 1)
+                        probe.emit(EV_MODE_SWITCH, 0, pc)
                     block = self.scheduler.flush(FLUSH_HIT, pc)
                     if block is not None:
                         self.vcache.insert(block)
@@ -150,6 +176,8 @@ class DTSVLIW:
                     self._vliw_mode(pc)
                     self.primary.reset_pipeline()
                     continue
+                if probe is not None:
+                    probe.emit(EV_VCACHE_PROBE, pc, 0)
             instr = fetch(pc)
             if instr is None:
                 raise SimError("fetch outside text segment: 0x%x" % pc)
@@ -189,11 +217,14 @@ class DTSVLIW:
         """Execute cached blocks until a VLIW Cache miss or an exception."""
         st = self.stats
         cfg = self.cfg
+        probe = self.probe
         predicted_next = None  # last-successor next-block prediction
         while True:
             block = self.vcache.lookup(addr)
             if block is None:
                 st.mode_switches += 1
+                if probe is not None:
+                    probe.emit(EV_MODE_SWITCH, 1, addr)
                 st.switch_cycles += cfg.switch_to_primary_cost
                 st.cycles += cfg.switch_to_primary_cost
                 self.pc = addr
@@ -223,6 +254,8 @@ class DTSVLIW:
             # exception paths: state has been rolled back to block entry
             self.pc = block.start_addr
             st.mode_switches += 1
+            if probe is not None:
+                probe.emit(EV_MODE_SWITCH, 1, block.start_addr)
             st.switch_cycles += cfg.switch_to_primary_cost
             st.cycles += cfg.switch_to_primary_cost
             if outcome.kind == "aliasing":

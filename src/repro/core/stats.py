@@ -10,7 +10,6 @@ cycles) plus the slot-occupancy figure quoted in section 4.4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
 
 
 @dataclass
@@ -76,8 +75,6 @@ class Stats:
     #: equality so two architecturally identical runs still compare equal.
     wall_time_s: float = field(default=0.0, compare=False)
 
-    extra: Dict[str, float] = field(default_factory=dict)
-
     # ------------------------------------------------------------------ metrics
     @property
     def ipc(self) -> float:
@@ -105,8 +102,14 @@ class Stats:
             return 0.0
         return self.ref_instructions / self.wall_time_s / 1e6
 
-    def summary(self) -> str:
-        """Multi-line human-readable digest of the run."""
+    def summary(self, probe=None) -> str:
+        """Multi-line human-readable digest of the run.
+
+        With an active ``probe`` attached (one that collected anything), a
+        final line reports its event counts; an absent, inactive or empty
+        probe adds nothing -- the architectural digest never changes shape
+        based on observability depth.
+        """
         lines = [
             "cycles=%d (primary=%d vliw=%d switch=%d)"
             % (self.cycles, self.primary_cycles, self.vliw_cycles, self.switch_cycles),
@@ -127,4 +130,12 @@ class Stats:
             "host: wall=%.3fs throughput=%.2f MIPS"
             % (self.wall_time_s, self.mips),
         ]
+        counts = getattr(probe, "counts", None)
+        if counts:
+            lines.append(
+                "probe: "
+                + " ".join(
+                    "%s=%d" % (k, n) for k, n in sorted(counts.items()) if n
+                )
+            )
         return "\n".join(lines)

@@ -290,6 +290,42 @@ def cmd_run(args) -> None:
     _print_summary()
 
 
+def cmd_profile(args) -> None:
+    """Profile runs: export per-cell event telemetry and print the digest.
+
+    Reports are rendered from the *exported* JSONL (not the in-memory
+    event list), so every invocation also exercises the round trip
+    through :mod:`repro.obs.export`.
+    """
+    from ..obs import load_profile, profile_report
+
+    cfg = MachineConfig.paper_fixed(
+        args.width, args.height, test_mode=args.test_mode
+    )
+    names = _benchmarks(args) or list(registry.BENCHMARKS)
+    specs = [
+        RunSpec(name, cfg, machine=args.machine, scale=args.scale)
+        for name in names
+    ]
+    run = run_sweep(specs, profile=True, **_sweep_opts(args))
+    for spec, res, path in zip(run.specs, run.results, run.profile_paths):
+        meta, events = load_profile(path)
+        print(profile_report(spec.benchmark, events))
+        print(
+            "  ipc=%.3f over %d instructions, %d cycles"
+            % (res.ipc, res.ref_instructions, res.cycles)
+        )
+        print("  profile: %s (%d events)" % (path, len(events)))
+        if args.events:
+            shown = events if args.events < 0 else events[: args.events]
+            for ev in shown:
+                print("  " + " ".join(str(x) for x in ev))
+            if len(shown) < len(events):
+                print("  ... %d more events in %s" % (len(events) - len(shown), path))
+        print()
+    _print_summary()
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(
@@ -349,6 +385,24 @@ def main(argv=None) -> int:
     p.add_argument("--height", type=int, default=8)
     p.add_argument("--test-mode", action="store_true")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "profile",
+        help="event-telemetry profile of one or more runs",
+        parents=[common],
+    )
+    p.add_argument("--machine", default="dtsvliw", choices=["dtsvliw", "dif", "scalar"])
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--height", type=int, default=8)
+    p.add_argument("--test-mode", action="store_true")
+    p.add_argument(
+        "--events",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also dump the first N raw events (-1 for all)",
+    )
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("cc", help="compile minicc to an srisc binary")
     p.add_argument("source")

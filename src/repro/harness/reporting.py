@@ -11,9 +11,11 @@ def format_table(
     columns: Optional[Sequence] = None,
     row_header: str = "benchmark",
     precision: int = 2,
+    average: bool = True,
 ) -> str:
     """Render {row: {column: value}} as an aligned text table with an
-    'average' footer for numeric columns."""
+    'average' footer for numeric columns (``average=False`` drops the
+    footer -- rows whose mean is meaningless, e.g. mixed rates)."""
     rows = list(data.keys())
     if columns is None:
         columns = list(next(iter(data.values())).keys()) if data else []
@@ -45,8 +47,11 @@ def format_table(
     ]
     for row in body[:-1]:
         lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
-    lines.append("  ".join("-" * w for w in widths))
-    lines.append("  ".join(avg_row[i].ljust(widths[i]) for i in range(len(avg_row))))
+    if average:
+        lines.append("  ".join("-" * w for w in widths))
+        lines.append(
+            "  ".join(avg_row[i].ljust(widths[i]) for i in range(len(avg_row)))
+        )
     return "\n".join(lines)
 
 

@@ -115,6 +115,7 @@ def run_program(
     name: str = "<inline>",
     max_cycles: Optional[int] = None,
     trace=None,
+    probe=None,
 ) -> RunResult:
     """Run one compiled program on one machine and validate its output.
 
@@ -123,17 +124,19 @@ def run_program(
     run is checked against.  ``trace`` optionally replays a captured
     trace on the machines in :data:`TRACE_DRIVABLE` (bit-identical to
     execution-driven; ignored by the DTSVLIW, whose VLIW Engine must
-    execute real values).
+    execute real values).  ``probe`` attaches an observability probe
+    (:mod:`repro.obs`) to the machine; it records telemetry in both the
+    execution-driven and trace-replay paths and never changes results.
     """
     if max_cycles is None:
         max_cycles = default_max_cycles()
     ref_count, ref_out, ref_code = reference
     if machine == "dtsvliw":
-        m = DTSVLIW(program, cfg)
+        m = DTSVLIW(program, cfg, probe=probe)
     elif machine == "dif":
-        m = DIFMachine(program, cfg, trace=trace)
+        m = DIFMachine(program, cfg, trace=trace, probe=probe)
     elif machine == "scalar":
-        m = ScalarMachine(program, cfg, trace=trace)
+        m = ScalarMachine(program, cfg, trace=trace, probe=probe)
     else:
         raise SimError("unknown machine kind %r" % machine)
     try:
@@ -165,6 +168,7 @@ def run_workload(
     max_cycles: Optional[int] = None,
     optimize: bool = True,
     default_scale: float = 1.0,
+    probe=None,
 ) -> RunResult:
     """Run one benchmark under one configuration and validate its output.
 
@@ -204,4 +208,5 @@ def run_workload(
         name=name,
         max_cycles=max_cycles,
         trace=trace if machine in TRACE_DRIVABLE else None,
+        probe=probe,
     )

@@ -27,8 +27,10 @@ import dataclasses
 import hashlib
 import json
 import logging
+import re
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import MachineConfig
@@ -134,7 +136,7 @@ def _inline_program(source: str, hw_mul: bool, optimize: bool):
     return _inline_cache[key]
 
 
-def simulate_spec(spec: RunSpec) -> RunResult:
+def simulate_spec(spec: RunSpec, probe=None) -> RunResult:
     """Execute one cell (module-level so executors can pickle it).
 
     Workload compilation stays behind the per-process memoized registry
@@ -153,6 +155,7 @@ def simulate_spec(spec: RunSpec) -> RunResult:
             machine=spec.machine,
             name=spec.benchmark,
             max_cycles=spec.max_cycles,
+            probe=probe,
         )
     return run_workload(
         spec.benchmark,
@@ -162,7 +165,55 @@ def simulate_spec(spec: RunSpec) -> RunResult:
         hw_mul=spec.hw_mul,
         max_cycles=spec.max_cycles,
         optimize=spec.optimize,
+        probe=probe,
     )
+
+
+# ------------------------------------------------------------- profiling
+def profile_path_for(spec: RunSpec) -> Path:
+    """Where the per-cell event profile of ``spec`` lives on disk.
+
+    The name embeds the resolved spec hash, so a profile file is valid for
+    exactly one cell content -- reusing one can never mix configurations.
+    """
+    from ..obs.export import profile_dir
+
+    slug = re.sub(r"[^A-Za-z0-9._-]", "_", spec.benchmark)
+    return Path(profile_dir()) / (
+        "%s-%s-%s.jsonl" % (slug, spec.machine, spec.spec_hash())
+    )
+
+
+def _profile_valid(path: Path) -> bool:
+    from ..obs.export import ProfileFormatError, load_profile
+
+    try:
+        load_profile(path)
+        return True
+    except ProfileFormatError:
+        return False
+
+
+def simulate_spec_profiled(spec: RunSpec) -> Tuple[RunResult, str]:
+    """Execute one cell with an :class:`~repro.obs.EventProbe` attached and
+    export its profile (module-level, picklable).  Returns the result and
+    the written profile path."""
+    from ..obs import EventProbe, write_profile
+
+    spec = spec.resolved()
+    probe = EventProbe()
+    res = simulate_spec(spec, probe=probe)
+    path = write_profile(
+        profile_path_for(spec),
+        probe.events,
+        meta={
+            "benchmark": spec.benchmark,
+            "machine": spec.machine,
+            "spec_hash": spec.spec_hash(),
+            "scale": spec.scale,
+        },
+    )
+    return res, str(path)
 
 
 # ------------------------------------------------------------ trace sharing
@@ -262,11 +313,17 @@ class SweepSummary:
 
 @dataclass
 class SweepRun:
-    """Specs and their results, index-aligned, plus the run counters."""
+    """Specs and their results, index-aligned, plus the run counters.
+
+    ``profile_paths`` is populated (index-aligned with ``specs``) only by
+    profiled sweeps (``run_sweep(..., profile=True)``); it stays ``None``
+    otherwise so plain sweeps are unchanged.
+    """
 
     specs: List[RunSpec]
     results: List[RunResult]
     summary: SweepSummary
+    profile_paths: Optional[List[str]] = None
 
     def __iter__(self):
         return iter(zip(self.specs, self.results))
@@ -297,12 +354,18 @@ def run_sweep(
     use_cache: Optional[bool] = None,
     cache: Optional[resultcache.ResultCache] = None,
     executor=None,
+    profile: bool = False,
 ) -> SweepRun:
     """Execute every spec; returns results in spec order.
 
     ``jobs=None`` consults ``$REPRO_JOBS`` (default serial); ``use_cache``
     ``None`` consults ``$REPRO_NO_CACHE`` (default on).  Passing a
     ``cache`` instance forces that cache regardless of ``use_cache``.
+
+    ``profile=True`` attaches an event probe to every cell and exports a
+    per-cell profile (see :mod:`repro.obs`); the result cache keys are
+    untouched -- a cached cell reuses its profile from disk when a valid
+    one exists and is re-simulated (same deterministic result) when not.
     """
     global _last_summary
     t0 = time.perf_counter()
@@ -315,21 +378,36 @@ def run_sweep(
         cache = resultcache.ResultCache() if enabled else None
 
     results: List[Optional[RunResult]] = [None] * len(specs)
+    paths: Optional[List[Optional[str]]] = [None] * len(specs) if profile else None
     todo: List[int] = []
     if cache is not None:
         for i, spec in enumerate(specs):
             payload = cache.get(spec.cache_key())
-            if payload is not None:
-                results[i] = RunResult.from_dict(payload["result"])
-            else:
+            if payload is None:
                 todo.append(i)
+                continue
+            if profile:
+                path = profile_path_for(spec)
+                if not _profile_valid(path):
+                    # the profile is gone/stale: re-simulate this cell
+                    # (deterministic, so the cached result is unchanged)
+                    todo.append(i)
+                    continue
+                paths[i] = str(path)
+            results[i] = RunResult.from_dict(payload["result"])
     else:
         todo = list(range(len(specs)))
 
     todo_specs = [specs[i] for i in todo]
     _precapture_traces(todo_specs, executor)
-    fresh = executor.map(simulate_spec, todo_specs)
+    if profile:
+        fresh = executor.map(simulate_spec_profiled, todo_specs)
+    else:
+        fresh = executor.map(simulate_spec, todo_specs)
     for i, res in zip(todo, fresh):
+        if profile:
+            res, path = res
+            paths[i] = path
         results[i] = res
         if cache is not None:
             cache.put(
@@ -353,7 +431,9 @@ def run_sweep(
     )
     _last_summary = summary
     log.debug(summary.line())
-    return SweepRun(specs=specs, results=results, summary=summary)
+    return SweepRun(
+        specs=specs, results=results, summary=summary, profile_paths=paths
+    )
 
 
 class Sweep:

@@ -10,6 +10,7 @@ instruction and data caches).
 from __future__ import annotations
 
 from ..core.errors import SimError
+from ..obs.probe import EV_CACHE_MISS
 
 
 class CacheStats:
@@ -48,6 +49,7 @@ class Cache:
         "line_shift",
         "sets",
         "stats",
+        "probe",
     )
 
     def __init__(
@@ -58,6 +60,7 @@ class Cache:
         assoc: int = 1,
         miss_penalty: int = 8,
         perfect: bool = False,
+        probe=None,
     ):
         self.name = name
         self.size = size
@@ -82,6 +85,8 @@ class Cache:
             self.line_shift = 0
             self.sets = []
         self.stats = CacheStats()
+        #: active probe or None (miss events only -- hits stay untouched)
+        self.probe = probe
 
     def access(self, addr: int) -> int:
         """Touch ``addr``; return the miss penalty in cycles (0 on hit)."""
@@ -97,6 +102,8 @@ class Cache:
                 s.insert(0, line)
             return 0
         self.stats.misses += 1
+        if self.probe is not None:
+            self.probe.emit(EV_CACHE_MISS, self.name)
         s.insert(0, line)
         if len(s) > self.assoc:
             s.pop()

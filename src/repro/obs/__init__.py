@@ -1,0 +1,41 @@
+"""Observability layer: probes, derived metrics and the profile exporter.
+
+See DESIGN.md section 11.  Quick use::
+
+    from repro.obs import EventProbe
+    from repro.harness.runner import run_workload
+
+    probe = EventProbe()
+    result = run_workload("compress", probe=probe)
+    print(len(probe.events), probe.counts)
+
+or set ``REPRO_PROBE=counters|events`` to attach one to every machine.
+"""
+
+from .probe import (  # noqa: F401
+    EVENT_SCHEMA,
+    CounterProbe,
+    Event,
+    EventProbe,
+    NullProbe,
+    Probe,
+    probe_from_env,
+    resolve_probe,
+)
+from .export import (  # noqa: F401
+    ProfileFormatError,
+    decode_profile,
+    encode_profile,
+    load_profile,
+    profile_dir,
+    write_csv,
+    write_profile,
+)
+from .metrics import (  # noqa: F401
+    Histogram,
+    cache_miss_counts,
+    profile_metrics,
+    profile_report,
+    recompute_counters,
+    renaming_highwater,
+)

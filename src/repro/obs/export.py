@@ -1,0 +1,198 @@
+"""Versioned on-disk profile format for probe event streams.
+
+A profile is plain JSONL (version 1)::
+
+    {"format": "repro-profile", "version": 1, "events": N,
+     "schema": {...}, "meta": {...}}          <- header line
+    ["mode_switch", 0, 4096]                  <- one line per event
+    ...
+    {"end": true, "events": N, "sha256": "<hex over all prior bytes>"}
+
+Pure JSON end to end -- nothing is ever pickled or eval'd.  The trailing
+digest is verified before any event is handed to a caller, so truncation,
+bit flips, version skew and foreign files all raise
+:class:`ProfileFormatError` instead of yielding silently wrong metrics
+(property-tested in ``tests/test_obs_export.py``).
+
+Files live under ``results/profiles/`` (override with
+``$REPRO_PROFILE_DIR``) and are written atomically -- parallel sweep
+workers race benignly.  A lossy CSV export rides along for spreadsheet
+use; only the JSONL form round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import SimError
+from .probe import EVENT_SCHEMA, Event
+
+FORMAT = "repro-profile"
+VERSION = 1
+
+#: default profile location, relative to the working directory
+DEFAULT_PROFILE_DIR = os.path.join("results", "profiles")
+
+
+class ProfileFormatError(SimError):
+    """A profile file or byte string is truncated, corrupt or wrong-version."""
+
+
+def profile_dir() -> str:
+    return os.environ.get("REPRO_PROFILE_DIR", DEFAULT_PROFILE_DIR)
+
+
+def _dumps(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def encode_profile(events: List[Event], meta: Optional[Dict] = None) -> bytes:
+    """Serialize an event stream (deterministic for a given input, so
+    re-encoding a decoded profile is the identity)."""
+    header = {
+        "format": FORMAT,
+        "version": VERSION,
+        "events": len(events),
+        "schema": {k: list(v) for k, v in sorted(EVENT_SCHEMA.items())},
+        "meta": dict(meta or {}),
+    }
+    lines = [_dumps(header)]
+    for ev in events:
+        for arg in ev[1:]:
+            if not isinstance(arg, (int, str)) or isinstance(arg, bool):
+                raise ProfileFormatError(
+                    "non-scalar %r arg in %r event" % (arg, ev[0])
+                )
+        lines.append(_dumps(list(ev)))
+    body = ("\n".join(lines) + "\n").encode("utf-8")
+    footer = {
+        "end": True,
+        "events": len(events),
+        "sha256": sha256(body).hexdigest(),
+    }
+    return body + (_dumps(footer) + "\n").encode("utf-8")
+
+
+def decode_profile(data: bytes) -> Tuple[Dict, List[Event]]:
+    """Parse profile bytes into ``(meta, events)``.
+
+    Raises :class:`ProfileFormatError` on any defect; never executes or
+    unpickles the input.
+    """
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProfileFormatError("profile is not UTF-8: %s" % exc) from exc
+    if not text.endswith("\n"):
+        raise ProfileFormatError("profile truncated (no trailing newline)")
+    lines = text[:-1].split("\n")
+    if len(lines) < 2:
+        raise ProfileFormatError("profile truncated (%d lines)" % len(lines))
+    footer_line = lines[-1]
+    body = text[: len(text) - len(footer_line) - 1].encode("utf-8")
+    footer = _load_json_line(footer_line, "footer")
+    if not isinstance(footer, dict) or footer.get("end") is not True:
+        raise ProfileFormatError("profile truncated (footer missing)")
+    if footer.get("sha256") != sha256(body).hexdigest():
+        raise ProfileFormatError("profile integrity digest mismatch")
+    header = _load_json_line(lines[0], "header")
+    if not isinstance(header, dict) or header.get("format") != FORMAT:
+        raise ProfileFormatError("not a %s file" % FORMAT)
+    version = header.get("version")
+    if version != VERSION:
+        raise ProfileFormatError(
+            "unsupported profile version %r (expected %d)" % (version, VERSION)
+        )
+    count = header.get("events")
+    event_lines = lines[1:-1]
+    if count != len(event_lines) or footer.get("events") != count:
+        raise ProfileFormatError(
+            "profile event count mismatch (header says %r, found %d)"
+            % (count, len(event_lines))
+        )
+    events: List[Event] = []
+    for i, line in enumerate(event_lines):
+        row = _load_json_line(line, "event %d" % i)
+        if (
+            not isinstance(row, list)
+            or not row
+            or not isinstance(row[0], str)
+            or any(
+                not isinstance(a, (int, str)) or isinstance(a, bool)
+                for a in row[1:]
+            )
+        ):
+            raise ProfileFormatError("malformed event %d: %r" % (i, row))
+        events.append(tuple(row))
+    meta = header.get("meta")
+    return (meta if isinstance(meta, dict) else {}), events
+
+
+def _load_json_line(line: str, what: str):
+    try:
+        return json.loads(line)
+    except ValueError as exc:
+        raise ProfileFormatError("profile %s is not JSON: %s" % (what, exc)) from exc
+
+
+def write_profile(
+    path, events: List[Event], meta: Optional[Dict] = None
+) -> Path:
+    """Atomically write a profile; creates parent directories."""
+    path = Path(path)
+    data = encode_profile(events, meta)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=".tmp-", suffix=path.suffix or ".jsonl"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+    return path
+
+
+def load_profile(path) -> Tuple[Dict, List[Event]]:
+    """Read and validate a profile file.
+
+    I/O problems surface as :class:`ProfileFormatError` too -- an explicit
+    load has no cache-miss fallback.
+    """
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise ProfileFormatError("cannot read profile %s: %s" % (path, exc)) from exc
+    return decode_profile(data)
+
+
+def write_csv(path, events: List[Event]) -> Path:
+    """Lossy spreadsheet export: ``kind,field,value`` triples per arg.
+
+    One row per event argument keeps the file rectangular regardless of
+    event arity; the JSONL form is the one that round-trips.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = ["seq,kind,field,value"]
+    for seq, ev in enumerate(events):
+        fields = EVENT_SCHEMA.get(ev[0], ())
+        for j, arg in enumerate(ev[1:]):
+            name = fields[j] if j < len(fields) else "arg%d" % j
+            rows.append("%d,%s,%s,%s" % (seq, ev[0], name, arg))
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-", suffix=".csv")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(("\n".join(rows) + "\n").encode("utf-8"))
+        os.replace(tmp, path)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+    return path

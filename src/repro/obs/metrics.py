@@ -1,0 +1,282 @@
+"""Derived metrics over probe event streams.
+
+Two consumers:
+
+* the ``profile`` CLI turns an event stream into histograms (block
+  length, LI commit occupancy, block residency), a renaming-pressure
+  high-water series and derived rates, rendered with
+  :mod:`repro.harness.reporting`;
+* ``tests/test_obs_counters.py`` uses :func:`recompute_counters` to
+  re-derive every recomputable :class:`~repro.core.stats.Stats` counter
+  from events alone and assert exact equality -- the events and the
+  counters are charged at the same sites, so any drift between them is a
+  bug in one of the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .probe import (
+    EV_BLOCK_ENTRY,
+    EV_BLOCK_FLUSH,
+    EV_BLOCK_INVALIDATE,
+    EV_CACHE_MISS,
+    EV_CACHE_STALL,
+    EV_EXCEPTION,
+    EV_INSTALL,
+    EV_LI_EXEC,
+    EV_MISPREDICT,
+    EV_MODE_SWITCH,
+    EV_MOVE,
+    EV_SCHED,
+    EV_SPLIT,
+    EV_VCACHE_PROBE,
+    EV_WINDOW_SPILL,
+    Event,
+)
+
+
+class Histogram:
+    """Sparse integer histogram with the usual summary moments."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = {}
+
+    def add(self, value: int, n: int = 1) -> None:
+        self.counts[value] = self.counts.get(value, 0) + n
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def mean(self) -> float:
+        t = self.total
+        return sum(v * n for v, n in self.counts.items()) / t if t else 0.0
+
+    @property
+    def max(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    def bars(self) -> Dict[str, int]:
+        """Dense ``{str(value): count}`` mapping for ``format_bars``."""
+        if not self.counts:
+            return {}
+        lo, hi = min(self.counts), max(self.counts)
+        return {str(v): self.counts.get(v, 0) for v in range(lo, hi + 1)}
+
+    def to_dict(self) -> Dict[str, int]:
+        return {str(v): n for v, n in sorted(self.counts.items())}
+
+
+def recompute_counters(events: Iterable[Event]) -> Dict[str, int]:
+    """Re-derive every :class:`Stats` field that the event stream fully
+    determines.  Keys are Stats attribute names; values must match the
+    run's Stats exactly (cross-validation contract)."""
+    c: Dict[str, int] = {
+        "mode_switches": 0,
+        "vliw_cache_probes": 0,
+        "vliw_cache_hits": 0,
+        "blocks_flushed": 0,
+        "blocks_flushed_full": 0,
+        "blocks_flushed_hit": 0,
+        "blocks_flushed_nonsched": 0,
+        "long_instructions_saved": 0,
+        "slots_filled": 0,
+        "slots_total": 0,
+        "instructions_scheduled": 0,
+        "splits": 0,
+        "installs_on_dependence": 0,
+        "moves": 0,
+        "mispredicts": 0,
+        "aliasing_exceptions": 0,
+        "other_exceptions": 0,
+        "vliw_block_entries": 0,
+        "block_invalidations": 0,
+        "spill_cycles": 0,
+        "icache_stall_cycles": 0,
+        "dcache_stall_cycles": 0,
+        "max_int_renaming": 0,
+        "max_fp_renaming": 0,
+        "max_cc_renaming": 0,
+        "max_mem_renaming": 0,
+    }
+    for ev in events:
+        kind = ev[0]
+        if kind == EV_MODE_SWITCH:
+            c["mode_switches"] += 1
+        elif kind == EV_VCACHE_PROBE:
+            c["vliw_cache_probes"] += 1
+            c["vliw_cache_hits"] += ev[2]
+        elif kind == EV_BLOCK_FLUSH:
+            _, _addr, reason, n_lis, ops, slots, n_int, n_fp, n_cc, n_mem = ev
+            c["blocks_flushed"] += 1
+            key = "blocks_flushed_%s" % reason
+            if key in c:
+                c[key] += 1
+            c["long_instructions_saved"] += n_lis
+            c["slots_filled"] += ops
+            c["slots_total"] += slots
+            c["max_int_renaming"] = max(c["max_int_renaming"], n_int)
+            c["max_fp_renaming"] = max(c["max_fp_renaming"], n_fp)
+            c["max_cc_renaming"] = max(c["max_cc_renaming"], n_cc)
+            c["max_mem_renaming"] = max(c["max_mem_renaming"], n_mem)
+        elif kind == EV_SCHED:
+            c["instructions_scheduled"] += 1
+        elif kind == EV_SPLIT:
+            c["splits"] += 1
+        elif kind == EV_INSTALL:
+            c["installs_on_dependence"] += 1
+        elif kind == EV_MOVE:
+            c["moves"] += 1
+        elif kind == EV_MISPREDICT:
+            c["mispredicts"] += 1
+        elif kind == EV_EXCEPTION:
+            if ev[1] == 0:
+                c["aliasing_exceptions"] += 1
+            else:
+                c["other_exceptions"] += 1
+        elif kind == EV_BLOCK_ENTRY:
+            c["vliw_block_entries"] += 1
+        elif kind == EV_BLOCK_INVALIDATE:
+            c["block_invalidations"] += 1
+        elif kind == EV_WINDOW_SPILL:
+            c["spill_cycles"] += ev[1]
+        elif kind == EV_CACHE_STALL:
+            if ev[1] == "icache":
+                c["icache_stall_cycles"] += ev[2]
+            elif ev[1] == "dcache":
+                c["dcache_stall_cycles"] += ev[2]
+    return c
+
+
+def cache_miss_counts(events: Iterable[Event]) -> Dict[str, int]:
+    """``{cache_name: misses}`` -- cross-validates ``CacheStats.misses``."""
+    out: Dict[str, int] = {}
+    for ev in events:
+        if ev[0] == EV_CACHE_MISS:
+            out[ev[1]] = out.get(ev[1], 0) + 1
+    return out
+
+
+def renaming_highwater(events: Iterable[Event]) -> List[Tuple[int, int, int, int, int]]:
+    """Running renaming-pressure maxima over time: one
+    ``(flush_index, int, fp, cc, mem)`` row per block flush."""
+    series: List[Tuple[int, int, int, int, int]] = []
+    hi = [0, 0, 0, 0]
+    i = 0
+    for ev in events:
+        if ev[0] != EV_BLOCK_FLUSH:
+            continue
+        for j, v in enumerate(ev[6:10]):
+            if v > hi[j]:
+                hi[j] = v
+        series.append((i, hi[0], hi[1], hi[2], hi[3]))
+        i += 1
+    return series
+
+
+def profile_metrics(events: List[Event]) -> Dict:
+    """Everything the ``profile`` report shows, as plain data."""
+    block_len = Histogram()  # long instructions per flushed block
+    block_ops = Histogram()  # valid ops per flushed block
+    li_commit = Histogram()  # committed ops per executed LI
+    residency: Dict[int, int] = {}  # entries per distinct block address
+    counters = recompute_counters(events)
+    for ev in events:
+        kind = ev[0]
+        if kind == EV_BLOCK_FLUSH:
+            block_len.add(ev[3])
+            block_ops.add(ev[4])
+        elif kind == EV_LI_EXEC:
+            li_commit.add(ev[2])
+        elif kind == EV_BLOCK_ENTRY:
+            residency[ev[1]] = residency.get(ev[1], 0) + 1
+    block_residency = Histogram()
+    for n in residency.values():
+        block_residency.add(n)
+    probes = counters["vliw_cache_probes"]
+    entries = counters["vliw_block_entries"]
+    sched = counters["instructions_scheduled"]
+    rates = {
+        "vcache_hit_rate": counters["vliw_cache_hits"] / probes if probes else 0.0,
+        "mispredicts_per_entry": counters["mispredicts"] / entries if entries else 0.0,
+        "splits_per_sched": counters["splits"] / sched if sched else 0.0,
+        "slot_occupancy": (
+            counters["slots_filled"] / counters["slots_total"]
+            if counters["slots_total"]
+            else 0.0
+        ),
+        "mean_block_lis": block_len.mean,
+        "mean_li_commit": li_commit.mean,
+        "mean_block_entries": block_residency.mean,
+    }
+    return {
+        "counters": counters,
+        "rates": rates,
+        "block_len": block_len,
+        "block_ops": block_ops,
+        "li_commit": li_commit,
+        "block_residency": block_residency,
+        "renaming_highwater": renaming_highwater(events),
+        "cache_misses": cache_miss_counts(events),
+    }
+
+
+def profile_report(name: str, events: List[Event], width: int = 40) -> str:
+    """Human-readable per-workload report (tables + bar charts)."""
+    from ..harness.reporting import format_bars, format_table
+
+    m = profile_metrics(events)
+    counters = m["counters"]
+    rates = m["rates"]
+    lines = ["== %s: %d events ==" % (name, len(events))]
+
+    rate_rows = {
+        "vcache hit rate": {"value": rates["vcache_hit_rate"]},
+        "slot occupancy": {"value": rates["slot_occupancy"]},
+        "mispredicts / block entry": {"value": rates["mispredicts_per_entry"]},
+        "splits / scheduled instr": {"value": rates["splits_per_sched"]},
+        "mean block length (LIs)": {"value": rates["mean_block_lis"]},
+        "mean LI commit width": {"value": rates["mean_li_commit"]},
+        "mean entries / cached block": {"value": rates["mean_block_entries"]},
+    }
+    lines.append(
+        format_table(
+            rate_rows, ["value"], row_header="rate", precision=3, average=False
+        )
+    )
+
+    for title, hist in (
+        ("block length (long instructions per flushed block)", m["block_len"]),
+        ("LI commit width (ops committed per long instruction)", m["li_commit"]),
+        ("block residency (VLIW-engine entries per cached block)", m["block_residency"]),
+    ):
+        bars = hist.bars()
+        if bars:
+            lines.append("")
+            lines.append(title + ":")
+            lines.append(format_bars({"n": bars}, width=width, precision=0))
+
+    hw = m["renaming_highwater"]
+    if hw:
+        last = hw[-1]
+        lines.append("")
+        lines.append(
+            "renaming high-water after %d flushes: int=%d fp=%d cc=%d mem=%d"
+            % (last[0] + 1, last[1], last[2], last[3], last[4])
+        )
+    if m["cache_misses"]:
+        lines.append(
+            "cache misses: "
+            + "  ".join("%s=%d" % kv for kv in sorted(m["cache_misses"].items()))
+        )
+    top = sorted(counters.items(), key=lambda kv: -kv[1])
+    lines.append(
+        "top counters: "
+        + "  ".join("%s=%d" % kv for kv in top[:6] if kv[1])
+    )
+    return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""Probe interface: event-level telemetry for every simulation engine.
+
+A *probe* is the single observer object threaded through a machine and its
+subcomponents (Primary Processor, Scheduler Unit, VLIW Engine, caches).
+Instrumentation sites call ``probe.emit(kind, *args)`` at exactly the
+points where the corresponding :class:`~repro.core.stats.Stats` counters
+are charged, which is what makes every recomputable counter derivable
+from the event stream (``tests/test_obs_counters.py`` asserts equality).
+
+Three depths, selected by ``$REPRO_PROBE`` or an explicit ``probe=``
+constructor argument:
+
+* ``off`` (default) -- no probe object is attached at all.  Hot paths see
+  ``None`` and skip emission with a single local ``is not None`` test,
+  almost always nested inside a conditional that already existed (miss
+  paths, flush paths), so throughput is unchanged
+  (``benchmarks/bench_obs.py`` enforces the +-2% contract against
+  ``BENCH_interp.json``).
+* ``counters`` -- :class:`CounterProbe` keeps one integer per event kind.
+* ``events`` -- :class:`EventProbe` additionally records every event as a
+  ``(kind, *args)`` tuple, the input of :mod:`repro.obs.metrics` and the
+  :mod:`repro.obs.export` serializer.
+
+Probes only ever *read* simulation state: attaching one may never change
+``Stats``, output bytes or the exit code (the zero-overhead differential
+tests pin this down, including on trace-replay runs -- every replay loop
+emits the same events as its live counterpart).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+log = logging.getLogger(__name__)
+
+# ------------------------------------------------------------- event kinds
+#: primary<->VLIW engine swap; args: (direction, pc) with direction
+#: 0 = primary->vliw, 1 = vliw->primary
+EV_MODE_SWITCH = "mode_switch"
+#: Fetch Unit VLIW-cache probe in primary mode; args: (pc, hit)
+EV_VCACHE_PROBE = "vcache_probe"
+#: Scheduler Unit opened a fresh scheduling-list block; args: (addr,)
+EV_BLOCK_OPEN = "block_open"
+#: one instruction entered the scheduling list; args: (addr,)
+EV_SCHED = "sched"
+#: candidate installed on a dependence/resource signal; args: (addr,)
+EV_INSTALL = "install"
+#: candidate moved one element up; args: (addr,)
+EV_MOVE = "move"
+#: split-based renaming: a COPY was left behind; args: (addr,)
+EV_SPLIT = "split"
+#: block flushed to the VLIW cache; args: (addr, reason, n_lis, ops,
+#: slots, n_int, n_fp, n_cc, n_mem) -- the last four are the block's
+#: renaming high-water marks (the renaming-pressure sample stream)
+EV_BLOCK_FLUSH = "block_flush"
+#: block written into the VLIW/DIF cache; args: (addr, evicted_addr|-1)
+EV_BLOCK_INSTALL = "block_install"
+#: block dropped from the VLIW cache; args: (addr, was_resident)
+EV_BLOCK_INVALIDATE = "block_invalidate"
+#: VLIW engine started executing a cached block/group; args: (addr,)
+EV_BLOCK_ENTRY = "block_entry"
+#: one long instruction executed; args: (issued, committed) slot widths
+EV_LI_EXEC = "li_exec"
+#: a conventional cache line miss; args: (cache_name,)
+EV_CACHE_MISS = "cache_miss"
+#: cache stall cycles actually charged; args: (cache_name, cycles)
+EV_CACHE_STALL = "cache_stall"
+#: mispredicted control transfer; args: (branch_addr, actual_target)
+EV_MISPREDICT = "mispredict"
+#: VLIW block rolled back; args: (kind, fault_addr) with kind
+#: 0 = aliasing, 1 = other architectural exception
+EV_EXCEPTION = "exception"
+#: register-window spill/fill penalty charged; args: (cycles,)
+EV_WINDOW_SPILL = "window_spill"
+
+#: event kind -> ordered field names (the exporter writes this as the
+#: schema header; bump :data:`repro.obs.export.VERSION` when it changes)
+EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
+    EV_MODE_SWITCH: ("direction", "pc"),
+    EV_VCACHE_PROBE: ("pc", "hit"),
+    EV_BLOCK_OPEN: ("addr",),
+    EV_SCHED: ("addr",),
+    EV_INSTALL: ("addr",),
+    EV_MOVE: ("addr",),
+    EV_SPLIT: ("addr",),
+    EV_BLOCK_FLUSH: (
+        "addr",
+        "reason",
+        "n_lis",
+        "ops",
+        "slots",
+        "n_int",
+        "n_fp",
+        "n_cc",
+        "n_mem",
+    ),
+    EV_BLOCK_INSTALL: ("addr", "evicted"),
+    EV_BLOCK_INVALIDATE: ("addr", "resident"),
+    EV_BLOCK_ENTRY: ("addr",),
+    EV_LI_EXEC: ("issued", "committed"),
+    EV_CACHE_MISS: ("cache",),
+    EV_CACHE_STALL: ("cache", "cycles"),
+    EV_MISPREDICT: ("addr", "target"),
+    EV_EXCEPTION: ("kind", "addr"),
+    EV_WINDOW_SPILL: ("cycles",),
+}
+
+Event = Tuple  # (kind, *args) -- args are ints or short strings only
+
+
+class Probe:
+    """Base probe: the interface every depth implements.
+
+    ``active`` gates attachment: machines normalise an inactive probe to
+    ``None`` internally, so a :class:`NullProbe` run takes the *identical*
+    code path as probes-off (that is the zero-overhead dispatch).
+    """
+
+    active = False
+
+    __slots__ = ()
+
+    def emit(self, kind: str, *args) -> None:  # pragma: no cover - no-op
+        pass
+
+
+class NullProbe(Probe):
+    """The default probe: records nothing, costs nothing."""
+
+    __slots__ = ()
+
+
+class CounterProbe(Probe):
+    """Depth ``counters``: one integer per event kind, no event objects."""
+
+    active = True
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def emit(self, kind: str, *args) -> None:
+        counts = self.counts
+        counts[kind] = counts.get(kind, 0) + 1
+
+    def count(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+
+class EventProbe(CounterProbe):
+    """Depth ``events``: the full typed event stream, in emission order."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[Event] = []
+
+    def emit(self, kind: str, *args) -> None:
+        self.events.append((kind,) + args)
+        counts = self.counts
+        counts[kind] = counts.get(kind, 0) + 1
+
+    # ------------------------------------------------------------- queries
+    def select(self, kind: str) -> Iterator[Event]:
+        """Events of one kind, in emission order."""
+        return (e for e in self.events if e[0] == kind)
+
+
+# --------------------------------------------------------------- selection
+_PROBE_DEPTHS = ("off", "counters", "events")
+_warned_probe_env = False
+
+
+def probe_from_env() -> Optional[Probe]:
+    """Probe selected by ``$REPRO_PROBE`` (``off``/``counters``/``events``;
+    default off -> None).  Unknown values warn once and mean off."""
+    global _warned_probe_env
+    raw = os.environ.get("REPRO_PROBE", "off").strip().lower()
+    if raw in ("", "off", "0"):
+        return None
+    if raw == "counters":
+        return CounterProbe()
+    if raw == "events":
+        return EventProbe()
+    if not _warned_probe_env:
+        _warned_probe_env = True
+        log.warning(
+            "ignoring unknown REPRO_PROBE=%r (expected one of %s)",
+            raw,
+            "/".join(_PROBE_DEPTHS),
+        )
+    return None
+
+
+def resolve_probe(probe: Optional[Probe]) -> Optional[Probe]:
+    """Normalise a constructor's ``probe`` argument.
+
+    ``None`` consults ``$REPRO_PROBE``; an inactive probe (e.g.
+    :class:`NullProbe`) becomes ``None`` so every emission site reduces to
+    one ``is not None`` test on a local -- probes-off and NullProbe runs
+    are literally the same machine code.
+    """
+    if probe is None:
+        return probe_from_env()
+    return probe if probe.active else None

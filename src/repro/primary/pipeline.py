@@ -47,6 +47,7 @@ from ..isa.instructions import (
 from ..isa.predecode import generic_step_forced
 from ..isa.semantics import StepInfo
 from ..memory.cache import Cache
+from ..obs.probe import EV_CACHE_STALL, EV_WINDOW_SPILL
 from ..scheduler.ops import SchedOp, build_sched_op
 from ..trace.replay import LiveTraceSource
 
@@ -63,6 +64,7 @@ class PrimaryProcessor:
         stats: Stats,
         source=None,
         build_sched: bool = True,
+        probe=None,
     ):
         self.cfg = cfg
         self.rf = rf
@@ -84,6 +86,9 @@ class PrimaryProcessor:
             else LiveTraceSource(rf, mem, services, self.use_exec)
         )
         self.build_sched = build_sched
+        #: active probe or None; emissions live inside the stall/spill
+        #: conditionals so the common per-instruction path is untouched
+        self.probe = probe
 
     def reset_pipeline(self) -> None:
         """Called on mode switches: the load-use forwarding state dies."""
@@ -105,6 +110,8 @@ class PrimaryProcessor:
         if pen:
             cycles += pen
             st.icache_stall_cycles += pen
+            if self.probe is not None:
+                self.probe.emit(EV_CACHE_STALL, "icache", pen)
 
         # load-use bubble: this instruction reads the previous load's result
         # (lu_regs is precomputed at decode time; g0 is never in it)
@@ -123,12 +130,16 @@ class PrimaryProcessor:
             if pen:
                 cycles += pen
                 st.dcache_stall_cycles += pen
+                if self.probe is not None:
+                    self.probe.emit(EV_CACHE_STALL, "dcache", pen)
         if instr.cond_branch and not info.taken:
             cycles += cfg.branch_not_taken_bubble
             st.branch_bubble_cycles += cfg.branch_not_taken_bubble
         if info.spilled:
             cycles += cfg.window_spill_penalty
             st.spill_cycles += cfg.window_spill_penalty
+            if self.probe is not None:
+                self.probe.emit(EV_WINDOW_SPILL, cfg.window_spill_penalty)
 
         # Only integer loads feed the load-use interlock (ldf writes the fp
         # file, whose consumers are tracked coarsely enough at 1 cycle).

@@ -35,6 +35,14 @@ from ..core.config import MachineConfig
 from ..core.errors import SimError
 from ..core.stats import Stats
 from ..isa.registers import MEMSEQ_ID
+from ..obs.probe import (
+    EV_BLOCK_FLUSH,
+    EV_BLOCK_OPEN,
+    EV_INSTALL,
+    EV_MOVE,
+    EV_SCHED,
+    EV_SPLIT,
+)
 from .long_instruction import Block, LongInstruction
 from .ops import SchedOp
 from .renaming import RenamePools, split_candidate
@@ -62,9 +70,11 @@ class Entry:
 
 
 class SchedulerUnit:
-    def __init__(self, cfg: MachineConfig, stats: Stats):
+    def __init__(self, cfg: MachineConfig, stats: Stats, probe=None):
         self.cfg = cfg
         self.stats = stats
+        #: active probe or None (block lifecycle + list-scheduling events)
+        self.probe = probe
         self.entries: List[Entry] = []
         self.pools = RenamePools(
             cfg.int_renaming_limit,
@@ -212,6 +222,8 @@ class SchedulerUnit:
         entry.candidate = None
         self.n_candidates -= 1
         self.stats.installs_on_dependence += 1
+        if self.probe is not None:
+            self.probe.emit(EV_INSTALL, cand.addr)
 
     def _move_up(self, p: int, cand: SchedOp) -> None:
         entries = self.entries
@@ -237,6 +249,8 @@ class SchedulerUnit:
         above.candidate = cand
         entry.candidate = None
         self.stats.moves += 1
+        if self.probe is not None:
+            self.probe.emit(EV_MOVE, cand.addr)
 
     def _split_and_move(self, p: int, cand: SchedOp, extra) -> None:
         offending_out, offending_anti, cd = extra
@@ -270,6 +284,8 @@ class SchedulerUnit:
             elif self.newest_writer.get(orig) is cand:
                 self.rename_map[orig] = new
         self.stats.splits += 1
+        if self.probe is not None:
+            self.probe.emit(EV_SPLIT, cand.addr)
         # Now move the renamed candidate up.
         above = self.entries[p - 1]
         if cand.is_load and li.mem_effect_stores > 0:
@@ -288,6 +304,8 @@ class SchedulerUnit:
         above.candidate = cand
         entry.candidate = None
         self.stats.moves += 1
+        if self.probe is not None:
+            self.probe.emit(EV_MOVE, cand.addr)
 
     # ------------------------------------------------------------- insertion
     def insert(self, op: SchedOp) -> Optional[Block]:
@@ -400,6 +418,8 @@ class SchedulerUnit:
         self.req_cansave = 0
         self.rename_map = {}
         self.newest_writer = {}
+        if self.probe is not None:
+            self.probe.emit(EV_BLOCK_OPEN, op.addr)
 
     def _fits_tail(self, op: SchedOp, tail: Entry) -> bool:
         li = tail.li
@@ -460,6 +480,8 @@ class SchedulerUnit:
         elif not self.cfg.multicycle:
             op.latency = 1
         self.stats.instructions_scheduled += 1
+        if self.probe is not None:
+            self.probe.emit(EV_SCHED, op.addr)
 
     def _place(self, op: SchedOp, entry: Entry) -> None:
         """Insert into an existing tail element."""
@@ -533,6 +555,19 @@ class SchedulerUnit:
         st.max_fp_renaming = max(st.max_fp_renaming, self.pools.n_fp)
         st.max_cc_renaming = max(st.max_cc_renaming, self.pools.n_cc)
         st.max_mem_renaming = max(st.max_mem_renaming, self.pools.n_mem)
+        if self.probe is not None:
+            self.probe.emit(
+                EV_BLOCK_FLUSH,
+                block.start_addr,
+                reason,
+                len(block.lis),
+                block.op_count(),
+                self.cfg.block_width * self.cfg.block_height,
+                self.pools.n_int,
+                self.pools.n_fp,
+                self.pools.n_cc,
+                self.pools.n_mem,
+            )
         self.entries = []
         self.n_candidates = 0
         return block

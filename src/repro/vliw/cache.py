@@ -15,13 +15,22 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..obs.probe import EV_BLOCK_INSTALL, EV_BLOCK_INVALIDATE
 from ..scheduler.long_instruction import Block
 
 
 class VLIWCache:
-    __slots__ = ("num_sets", "assoc", "sets", "hits", "misses", "insertions")
+    __slots__ = (
+        "num_sets",
+        "assoc",
+        "sets",
+        "hits",
+        "misses",
+        "insertions",
+        "obs",
+    )
 
-    def __init__(self, total_blocks: int, assoc: int):
+    def __init__(self, total_blocks: int, assoc: int, probe=None):
         if total_blocks < assoc:
             assoc = max(1, total_blocks)
         self.assoc = assoc
@@ -33,6 +42,10 @@ class VLIWCache:
         self.hits = 0
         self.misses = 0
         self.insertions = 0
+        #: active observability probe or None (install/invalidate
+        #: lifecycle events); named ``obs`` because ``probe`` is the
+        #: cache's architectural presence-check method below
+        self.obs = probe
 
     def _set_for(self, addr: int) -> List[Tuple[int, Block]]:
         return self.sets[(addr >> 2) % self.num_sets]
@@ -63,18 +76,25 @@ class VLIWCache:
                 s.pop(i)
                 break
         s.insert(0, (addr, block))
+        evicted = -1
         if len(s) > self.assoc:
-            s.pop()
+            evicted = s.pop()[0]
         self.insertions += 1
+        if self.obs is not None:
+            self.obs.emit(EV_BLOCK_INSTALL, addr, evicted)
 
     def invalidate(self, addr: int) -> bool:
         """Drop the block tagged ``addr``; True when it was resident."""
         s = self._set_for(addr)
+        found = False
         for i, (tag, _) in enumerate(s):
             if tag == addr:
                 s.pop(i)
-                return True
-        return False
+                found = True
+                break
+        if self.obs is not None:
+            self.obs.emit(EV_BLOCK_INVALIDATE, addr, int(found))
+        return found
 
     def flush_all(self) -> None:
         for s in self.sets:

@@ -31,6 +31,14 @@ from ..core.config import MachineConfig
 from ..core.errors import AliasingException, ArchException, MemFault, SimError, WindowOverflow, WindowUnderflow
 from ..core.stats import Stats
 from ..isa.semantics import fcmp_cc, to_signed, to_unsigned
+from ..obs.probe import (
+    EV_BLOCK_ENTRY,
+    EV_CACHE_STALL,
+    EV_EXCEPTION,
+    EV_LI_EXEC,
+    EV_MISPREDICT,
+    EV_WINDOW_SPILL,
+)
 from ..scheduler.long_instruction import Block
 from ..scheduler.ops import (
     SchedOp,
@@ -88,12 +96,14 @@ class BlockOutcome:
 
 
 class VLIWEngine:
-    def __init__(self, cfg: MachineConfig, rf, mem, dcache, stats: Stats):
+    def __init__(self, cfg: MachineConfig, rf, mem, dcache, stats: Stats, probe=None):
         self.cfg = cfg
         self.rf = rf
         self.mem = mem
         self.dcache = dcache
         self.stats = stats
+        #: active probe or None (block entry / LI width / rollback events)
+        self.probe = probe
         # per-block state
         self.int_rr: List = []
         self.fp_rr: List = []
@@ -130,6 +140,9 @@ class VLIWEngine:
         cycles = 0
         st = self.stats
         st.vliw_block_entries += 1
+        probe = self.probe
+        if probe is not None:
+            probe.emit(EV_BLOCK_ENTRY, block.start_addr)
         self._eager_count = 0
         self._sr_entry = (rf.cansave, rf.canrestore, rf.wssp)
         self._sr_log = []
@@ -149,11 +162,25 @@ class VLIWEngine:
                 cycles += self._li_extra_cycles
             for li in block.lis:
                 cycles += 1
-                redirect = self._execute_li(li)
+                if probe is not None:
+                    ex0 = st.vliw_ops_executed
+                    cm0 = st.vliw_ops_committed
+                    redirect = self._execute_li(li)
+                    probe.emit(
+                        EV_LI_EXEC,
+                        st.vliw_ops_executed - ex0,
+                        st.vliw_ops_committed - cm0,
+                    )
+                else:
+                    redirect = self._execute_li(li)
                 # dcache time: charged via self._li_dcache_penalty
                 if self._li_dcache_penalty:
                     cycles += self._li_dcache_penalty
                     st.dcache_stall_cycles += self._li_dcache_penalty
+                    if probe is not None:
+                        probe.emit(
+                            EV_CACHE_STALL, "dcache", self._li_dcache_penalty
+                        )
                 if self._li_extra_cycles:
                     cycles += self._li_extra_cycles
                 if redirect is not None:
@@ -165,6 +192,10 @@ class VLIWEngine:
                         exc.fault_addr = self._redirect_branch_addr
                         raise exc
                     st.mispredicts += 1
+                    if probe is not None:
+                        probe.emit(
+                            EV_MISPREDICT, self._redirect_branch_addr, redirect
+                        )
                     cycles += self.cfg.mispredict_penalty
                     st.mispredict_cycles += self.cfg.mispredict_penalty
                     self._drain_data_store_list()
@@ -187,6 +218,10 @@ class VLIWEngine:
                 st.aliasing_exceptions += 1
             else:
                 st.other_exceptions += 1
+            if probe is not None:
+                probe.emit(
+                    EV_EXCEPTION, 0 if kind == "aliasing" else 1, fault_addr
+                )
             return BlockOutcome(kind, block.start_addr, cycles, exc, fault_addr)
 
     # --------------------------------------------------------- long instr
@@ -713,6 +748,8 @@ class VLIWEngine:
             rf.canrestore -= 1
         self._li_extra_cycles += self.cfg.window_spill_penalty
         self.stats.spill_cycles += self.cfg.window_spill_penalty
+        if self.probe is not None:
+            self.probe.emit(EV_WINDOW_SPILL, self.cfg.window_spill_penalty)
 
     def _inline_fill(self, eager: bool = False) -> None:
         """Checkpointed hardware window fill during VLIW execution."""
@@ -734,6 +771,8 @@ class VLIWEngine:
             rf.cansave -= 1
         self._li_extra_cycles += self.cfg.window_spill_penalty
         self.stats.spill_cycles += self.cfg.window_spill_penalty
+        if self.probe is not None:
+            self.probe.emit(EV_WINDOW_SPILL, self.cfg.window_spill_penalty)
 
     def _defer(self, op: SchedOp, exc: ArchException) -> None:
         marker = _Exc(exc)

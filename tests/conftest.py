@@ -2,9 +2,12 @@
 
 The trace store (repro.trace.store) defaults to ``results/traces/`` in
 the working directory; tests share one session-scoped temporary store
-instead so running the suite leaves no artifacts behind.  Individual
-tests that need a private store monkeypatch ``REPRO_TRACE_DIR`` again
-(the test body runs after this fixture, so its value wins).
+instead so running the suite leaves no artifacts behind.  The profile
+exporter (repro.obs.export) gets the same treatment via
+``REPRO_PROFILE_DIR``.  Individual tests that need a private store
+monkeypatch the variable again (the test body runs after this fixture,
+so its value wins).  ``REPRO_PROBE`` is cleared so an ambient probe in
+the developer's shell can never alter what a test observes.
 """
 
 import pytest
@@ -15,6 +18,17 @@ def _session_trace_dir(tmp_path_factory):
     return str(tmp_path_factory.mktemp("traces"))
 
 
+@pytest.fixture(scope="session")
+def _session_profile_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("profiles"))
+
+
 @pytest.fixture(autouse=True)
 def _isolated_trace_store(_session_trace_dir, monkeypatch):
     monkeypatch.setenv("REPRO_TRACE_DIR", _session_trace_dir)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_profile_dir(_session_profile_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE_DIR", _session_profile_dir)
+    monkeypatch.delenv("REPRO_PROBE", raising=False)

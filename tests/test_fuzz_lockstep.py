@@ -12,8 +12,10 @@ from hypothesis import given, settings, strategies as st
 from repro import DTSVLIW, MachineConfig, compile_and_load, CompilerOptions
 from repro.asm.assembler import assemble
 from repro.baselines.dif import DIFMachine
+from repro.baselines.scalar import ScalarMachine
 from repro.core.reference import ReferenceMachine
 from repro.lang import compile_minicc
+from repro.obs import EventProbe, NullProbe
 
 ARRAY = 32  # power of two; indices masked with & 31
 
@@ -130,3 +132,34 @@ def test_random_programs_on_dif(source):
     dif.run(max_cycles=100_000_000)
     assert dif.exit_code == ref.exit_code
     assert dif.output == ref.output
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    program_source(),
+    st.sampled_from(
+        [
+            ("dtsvliw", DTSVLIW, lambda: MachineConfig.paper_fixed(4, 4)),
+            ("dif", DIFMachine, lambda: MachineConfig.fig9(test_mode=False)),
+            ("scalar", ScalarMachine, lambda: MachineConfig.fig9(test_mode=False)),
+        ]
+    ),
+)
+def test_probes_are_observers_only(source, machine_kind):
+    """Zero-overhead differential on random programs: attaching a probe --
+    at any depth -- may never change the architectural outcome.
+
+    ``Stats`` excludes host wall time from equality, so the comparison
+    covers every cycle, instruction, scheduler and event counter; output
+    bytes and exit code make it a full behavioural identity.
+    """
+    _name, cls, mk_cfg = machine_kind
+    program = compile_and_load(source)
+    outcomes = []
+    for probe in (None, NullProbe(), EventProbe()):
+        m = cls(program, mk_cfg(), probe=probe)
+        stats = m.run(max_cycles=50_000_000)
+        outcomes.append((stats, m.output, m.exit_code))
+    off, nullp, events = outcomes
+    assert off == nullp
+    assert off == events

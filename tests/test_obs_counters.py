@@ -1,0 +1,142 @@
+"""Counter cross-validation: the probe event stream is the Stats ledger.
+
+Every emission site sits at exactly the point where the corresponding
+``Stats`` counter is charged, so recomputing the counters from a recorded
+event stream must reproduce the Stats object field for field -- across
+every workload, both reference configurations, all three machine kinds,
+and (for the trace-drivable baselines) both the live and the replayed
+execution paths.  A divergence here means an instrumentation site drifted
+away from its counter, which is precisely the bug class these tests
+exist to catch.
+"""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.machine import DTSVLIW
+from repro.harness.runner import run_workload
+from repro.obs import (
+    CounterProbe,
+    EventProbe,
+    NullProbe,
+    cache_miss_counts,
+    recompute_counters,
+    resolve_probe,
+)
+from repro.workloads import registry
+
+SCALE = 0.05
+
+CONFIGS = [
+    ("paper8x8", MachineConfig.paper_fixed(8, 8, test_mode=False)),
+    ("feasible", MachineConfig.feasible(test_mode=False)),
+]
+
+
+def _assert_recomputable(stats, events):
+    rec = recompute_counters(events)
+    assert rec, "no recomputable counters derived from %d events" % len(events)
+    mismatches = {
+        k: (v, getattr(stats, k)) for k, v in rec.items() if v != getattr(stats, k)
+    }
+    assert not mismatches, (
+        "event-derived counters diverge from Stats (derived, actual): %r"
+        % mismatches
+    )
+
+
+class TestDTSVLIWCrossValidation:
+    @pytest.mark.parametrize("bench", registry.BENCHMARKS)
+    @pytest.mark.parametrize(
+        "cfg", [c for _, c in CONFIGS], ids=[label for label, _ in CONFIGS]
+    )
+    def test_all_workloads_both_configs(self, bench, cfg):
+        probe = EventProbe()
+        res = run_workload(bench, cfg, scale=SCALE, probe=probe)
+        assert probe.events, "probed run recorded no events"
+        _assert_recomputable(res.stats, probe.events)
+
+    def test_cache_miss_events_match_cache_stats(self):
+        probe = EventProbe()
+        program = registry.load_program("compress", SCALE)
+        m = DTSVLIW(program, MachineConfig.feasible(test_mode=False), probe=probe)
+        m.run()
+        misses = cache_miss_counts(probe.events)
+        assert misses.get("icache", 0) == m.icache.stats.misses
+        assert misses.get("dcache", 0) == m.dcache.stats.misses
+
+
+class TestBaselineCrossValidation:
+    @pytest.mark.parametrize("machine", ["dif", "scalar"])
+    def test_baselines_recompute(self, machine):
+        probe = EventProbe()
+        res = run_workload(
+            "compress", MachineConfig.fig9(), machine=machine, scale=SCALE, probe=probe
+        )
+        _assert_recomputable(res.stats, probe.events)
+
+    @pytest.mark.parametrize("machine", ["dif", "scalar"])
+    def test_replay_emits_identical_events(self, machine, monkeypatch):
+        """The trace-replay loops emit the same stream as live execution."""
+        cfg = MachineConfig.fig9()
+        replayed = EventProbe()
+        run_workload("compress", cfg, machine=machine, scale=SCALE, probe=replayed)
+        monkeypatch.setenv("REPRO_EXECUTION_DRIVEN", "1")
+        live = EventProbe()
+        res = run_workload("compress", cfg, machine=machine, scale=SCALE, probe=live)
+        assert replayed.events == live.events
+        _assert_recomputable(res.stats, live.events)
+
+
+class TestProbeDepths:
+    def test_counter_probe_counts_match_event_probe(self):
+        cfg = MachineConfig.paper_fixed(8, 8, test_mode=False)
+        counters = CounterProbe()
+        run_workload("compress", cfg, scale=SCALE, probe=counters)
+        events = EventProbe()
+        run_workload("compress", cfg, scale=SCALE, probe=events)
+        assert counters.counts == events.counts
+        assert events.count("block_flush") == sum(
+            1 for _ in events.select("block_flush")
+        )
+
+    def test_probe_differential_on_workload(self):
+        """Stats (wall time excluded by design), cycles and IPC are
+        bit-identical with and without an attached event probe."""
+        cfg = MachineConfig.feasible(test_mode=False)
+        res_off = run_workload("compress", cfg, scale=SCALE)
+        res_ev = run_workload("compress", cfg, scale=SCALE, probe=EventProbe())
+        assert res_off.stats == res_ev.stats
+        assert res_off.cycles == res_ev.cycles
+        assert res_off.ipc == res_ev.ipc
+
+    def test_resolve_probe_depths(self, monkeypatch):
+        assert resolve_probe(NullProbe()) is None
+        probe = EventProbe()
+        assert resolve_probe(probe) is probe
+        monkeypatch.delenv("REPRO_PROBE", raising=False)
+        assert resolve_probe(None) is None
+        monkeypatch.setenv("REPRO_PROBE", "counters")
+        assert isinstance(resolve_probe(None), CounterProbe)
+        monkeypatch.setenv("REPRO_PROBE", "events")
+        assert isinstance(resolve_probe(None), EventProbe)
+        monkeypatch.setenv("REPRO_PROBE", "off")
+        assert resolve_probe(None) is None
+        monkeypatch.setenv("REPRO_PROBE", "bogus")
+        assert resolve_probe(None) is None  # unknown depth warns and means off
+
+    def test_env_probe_reaches_machine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROBE", "counters")
+        program = registry.load_program("compress", SCALE)
+        m = DTSVLIW(program, MachineConfig.paper_fixed(8, 8, test_mode=False))
+        m.run()
+        assert isinstance(m.probe, CounterProbe)
+        assert m.probe.counts
+
+    def test_summary_probe_line_is_optional(self):
+        cfg = MachineConfig.paper_fixed(8, 8, test_mode=False)
+        probe = EventProbe()
+        res = run_workload("compress", cfg, scale=SCALE, probe=probe)
+        assert "probe:" not in res.stats.summary()
+        assert "probe:" not in res.stats.summary(NullProbe())
+        assert "probe:" in res.stats.summary(probe)

@@ -1,0 +1,158 @@
+"""Property tests for the profile serialization format (obs/export.py).
+
+Mirrors test_trace_roundtrip.py for the other on-disk artifact:
+
+* encode -> decode -> encode is the byte identity (canonical JSON,
+  sorted keys, fixed separators);
+* decode(encode(events, meta)) reproduces the stream and the metadata;
+* any truncation, bit flip, version skew or foreign bytes raises
+  :class:`ProfileFormatError` -- and decoding never unpickles anything,
+  so hostile bytes cannot execute.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import EVENT_SCHEMA
+from repro.obs.export import (
+    VERSION,
+    ProfileFormatError,
+    decode_profile,
+    encode_profile,
+    load_profile,
+    write_csv,
+    write_profile,
+)
+
+ARG = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\n"),
+        max_size=12,
+    ),
+)
+
+
+@st.composite
+def events(draw):
+    kind = draw(st.sampled_from(sorted(EVENT_SCHEMA)))
+    arity = len(EVENT_SCHEMA[kind])
+    return (kind,) + tuple(draw(ARG) for _ in range(arity))
+
+
+EVENT_LISTS = st.lists(events(), max_size=80)
+META = st.dictionaries(
+    st.text(max_size=8), st.one_of(st.integers(), st.text(max_size=8)), max_size=4
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(EVENT_LISTS, META)
+def test_round_trip_is_byte_identity(evs, meta):
+    blob = encode_profile(evs, meta)
+    out_meta, out_events = decode_profile(blob)
+    assert out_events == evs
+    assert out_meta == meta
+    assert encode_profile(out_events, out_meta) == blob
+
+
+@settings(max_examples=80, deadline=None)
+@given(EVENT_LISTS, META, st.data())
+def test_truncation_raises(evs, meta, data):
+    blob = encode_profile(evs, meta)
+    cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    with pytest.raises(ProfileFormatError):
+        decode_profile(blob[:cut])
+
+
+@settings(max_examples=100, deadline=None)
+@given(EVENT_LISTS, META, st.data())
+def test_corruption_raises(evs, meta, data):
+    """Any single flipped byte is caught: the digest covers header and
+    body, and a flip inside the footer breaks one of its own checks."""
+    blob = bytearray(encode_profile(evs, meta))
+    pos = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    blob[pos] ^= flip
+    with pytest.raises(ProfileFormatError):
+        decode_profile(bytes(blob))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(max_size=400))
+def test_garbage_raises_not_crashes(blob):
+    with pytest.raises(ProfileFormatError):
+        decode_profile(blob)
+
+
+def _reseal(lines):
+    """Re-sign arbitrary profile lines with a valid footer, so tests reach
+    the checks *behind* the digest verification."""
+    from hashlib import sha256
+
+    body = ("\n".join(lines) + "\n").encode("utf-8")
+    footer = {
+        "end": True,
+        "events": 0,
+        "sha256": sha256(body).hexdigest(),
+    }
+    return body + (
+        json.dumps(footer, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def test_wrong_version_raises():
+    blob = encode_profile([], {})
+    header = json.loads(blob.decode().split("\n", 1)[0])
+    header["version"] = VERSION + 1
+    forged = _reseal([json.dumps(header, sort_keys=True, separators=(",", ":"))])
+    with pytest.raises(ProfileFormatError, match="version"):
+        decode_profile(forged)
+
+
+def test_wrong_format_raises():
+    header = {"format": "not-a-profile", "version": VERSION, "events": 0, "meta": {}}
+    forged = _reseal([json.dumps(header, sort_keys=True, separators=(",", ":"))])
+    with pytest.raises(ProfileFormatError):
+        decode_profile(forged)
+
+
+def test_pickle_bytes_are_rejected():
+    import pickle
+
+    evil = pickle.dumps({"never": "unpickled"})
+    with pytest.raises(ProfileFormatError):
+        decode_profile(evil)
+
+
+def test_non_scalar_args_are_rejected_at_encode():
+    with pytest.raises(ProfileFormatError):
+        encode_profile([("mode_switch", [1, 2])])
+    with pytest.raises(ProfileFormatError):
+        encode_profile([("mode_switch", True)])  # bools are not counters
+
+
+def test_write_and_load_profile(tmp_path):
+    evs = [("mode_switch", 0, 4096), ("cache_miss", "dcache")]
+    path = write_profile(tmp_path / "p.jsonl", evs, {"benchmark": "compress"})
+    meta, out = load_profile(path)
+    assert out == evs
+    assert meta == {"benchmark": "compress"}
+    assert not list(tmp_path.glob(".tmp-*"))  # atomic write left no temp file
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(ProfileFormatError):
+        load_profile(tmp_path / "absent.jsonl")
+
+
+def test_csv_export_is_lossy_but_rectangular(tmp_path):
+    evs = [("mode_switch", 0, 4096), ("block_flush", 8, "full", 3, 9, 64, 1, 0, 0, 2)]
+    path = write_csv(tmp_path / "p.csv", evs)
+    rows = path.read_text().strip().split("\n")
+    assert rows[0] == "seq,kind,field,value"
+    assert all(len(r.split(",")) == 4 for r in rows[1:])
+    assert len(rows) == 1 + 2 + 9

@@ -169,7 +169,8 @@ class TestTypedDifCounter:
         m = DIFMachine(_program(), MachineConfig.fig9())
         st = m.run()
         assert st.dif_instructions > 0
-        assert "dif_instructions" not in st.extra
+        # the catch-all dict is gone: one canonical, typed counter set
+        assert not hasattr(st, "extra")
         assert st.ref_instructions == st.primary_instructions + st.dif_instructions
 
 
