@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Emit BENCH_batched.json: per-cell warm replay vs family-batched sweeps.
+
+Times the fig5-fig9 paper grids twice over a warm trace store (the result
+cache bypassed -- a timing that replays cached rows measures nothing):
+
+* ``per_cell``: ``batch=False`` -- every cell simulated on its own, the
+  pre-batch-layer behaviour (DIF/scalar replay the shared trace, DTSVLIW
+  executes live);
+* ``batched``: ``batch=True`` -- cells sharing ``(workload, scale,
+  optimize, mem_size)`` are grouped into families and one task walks the
+  bound trace once per family, advancing a timing-model state per cell
+  (see ``src/repro/batch/``).
+
+Both modes must produce bit-identical Stats for every cell (asserted
+while timing).  The headline number is ``speedup`` (per_cell / batched
+over the whole fig5-fig9 run), which the batch layer promises to keep
+>= the ``--gate`` (default 3x); the script exits non-zero below the gate
+so CI can use it as a perf regression check.
+
+Run:  PYTHONPATH=src python benchmarks/bench_batched.py --scale 0.1
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.harness.experiments import figure_specs
+from repro.harness.sweep import run_sweep
+
+FIGURES = ["fig5", "fig6", "fig7", "fig8", "fig9"]
+
+
+def _timed(specs, batch, jobs):
+    t0 = time.perf_counter()
+    run = run_sweep(specs, jobs=jobs, use_cache=False, batch=batch)
+    return time.perf_counter() - t0, run
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "0.1")),
+    )
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument(
+        "--benchmarks", default="compress,xlisp",
+        help="comma-separated workload subset (empty: all eight)",
+    )
+    parser.add_argument("--figures", default=",".join(FIGURES))
+    parser.add_argument(
+        "--gate", type=float, default=3.0,
+        help="minimum per_cell/batched speedup (exit 1 below it; 0: off)",
+    )
+    parser.add_argument("--out", default="BENCH_batched.json")
+    args = parser.parse_args(argv)
+
+    names = [b for b in args.benchmarks.split(",") if b] or None
+    figs = [f for f in args.figures.split(",") if f]
+    grids = {fig: figure_specs(fig, names, scale=args.scale) for fig in figs}
+
+    # Warm the trace store (and the in-process trace memo) once, outside
+    # the timed region, so *both* modes measure pure warm evaluation.
+    for fig, specs in grids.items():
+        run_sweep(specs, use_cache=False, batch=True)
+
+    figures = {}
+    per_cell_total = batched_total = 0.0
+    for fig, specs in grids.items():
+        t_cell, run_cell = _timed(specs, False, args.jobs)
+        t_batch, run_batch = _timed(specs, True, args.jobs)
+        for spec, a, b in zip(specs, run_cell.results, run_batch.results):
+            assert a.stats == b.stats, (fig, spec.benchmark, spec.meta)
+            assert a.cycles == b.cycles, (fig, spec.benchmark, spec.meta)
+        per_cell_total += t_cell
+        batched_total += t_batch
+        figures[fig] = {
+            "cells": len(specs),
+            "per_cell_s": round(t_cell, 3),
+            "batched_s": round(t_batch, 3),
+            "batched_cells": run_batch.summary.batched,
+            "live_cells": run_batch.summary.live,
+            "speedup": round(t_cell / t_batch, 2),
+        }
+        print(
+            "%-6s %3d cells  per-cell %6.2fs  batched %6.2fs  (%.2fx, %d/%d batched)"
+            % (
+                fig,
+                len(specs),
+                t_cell,
+                t_batch,
+                t_cell / t_batch,
+                run_batch.summary.batched,
+                len(specs),
+            ),
+            flush=True,
+        )
+
+    speedup = per_cell_total / batched_total
+    payload = {
+        "scale": args.scale,
+        "benchmarks": names or "all",
+        "python": platform.python_version(),
+        "figures": figures,
+        "per_cell_total_s": round(per_cell_total, 3),
+        "batched_total_s": round(batched_total, 3),
+        "speedup": round(speedup, 2),
+        "gate": args.gate,
+        "bit_identical": True,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(
+        "wrote %s  (%.2fx end-to-end, stats bit-identical; gate %.1fx)"
+        % (args.out, speedup, args.gate)
+    )
+    if args.gate and speedup < args.gate:
+        print(
+            "FAIL: batched sweep speedup %.2fx below the %.1fx gate"
+            % (speedup, args.gate),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

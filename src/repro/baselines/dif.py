@@ -283,8 +283,13 @@ class DIFMachine:
         )
         group_bytes = c.block_bytes + 19 * (c.block_height + 1)
         total_groups = max(1, c.vliw_cache_bytes // group_bytes)
+        # Group lines are larger than VLIW-cache blocks, so the requested
+        # associativity can exceed *this* cache's capacity even when the
+        # config-level geometry is fine; clamp against our own line count.
         self.dif_cache = DIFCache(
-            total_groups, c.vliw_cache_assoc, probe=self.probe
+            total_groups,
+            min(c.vliw_cache_assoc, total_groups),
+            probe=self.probe,
         )
         self.scheduler = DIFScheduler(c, self.stats, probe=self.probe)
         self.source = replay_source_for(

@@ -1,0 +1,28 @@
+"""Batched sweep evaluation: walk a shared trace once, time N configs.
+
+See :mod:`repro.batch.evaluator` for the family task and
+:mod:`repro.batch.columns` for the config-independent trace columns it
+reduces over.  DESIGN.md section 12 describes the execution/timing split
+this layer completes.
+"""
+
+from .columns import TraceColumns, columns_for
+from .evaluator import (
+    BATCHED,
+    LIVE,
+    batch_enabled_default,
+    batchable,
+    evaluate_family,
+    family_key,
+)
+
+__all__ = [
+    "TraceColumns",
+    "columns_for",
+    "BATCHED",
+    "LIVE",
+    "batch_enabled_default",
+    "batchable",
+    "evaluate_family",
+    "family_key",
+]

@@ -1,0 +1,181 @@
+"""Config-independent timing columns of a bound trace.
+
+The batched evaluator's core observation: once execution is captured as a
+trace, most of what a timing model consumes is a *function of the trace
+alone*, not of the machine configuration.  One pass over the committed
+stream yields
+
+* the load-use hazard count (previous committed load's destination read
+  by the next instruction),
+* the not-taken conditional-branch count,
+* the memory-event address column (the data-cache access stream),
+
+and those never change across the configurations of a sweep family.  The
+per-configuration residue is tiny: cache miss profiles (a function of the
+address stream and the cache *geometry* only, memoized per geometry so
+e.g. every Figure 8 column with the same icache shares one profile) and
+the window-spill count (a function of ``nwindows``, read off the bound
+trace's :class:`~repro.trace.events.WindowPlan`).
+
+NumPy, when available, vectorizes the direct-mapped miss profile (a
+stable sort by set index turns LRU bookkeeping into one neighbour
+comparison); set-associative profiles fall back to the shared scalar
+:func:`~repro.memory.lru.lru_miss_count` walk, and everything works --
+merely slower -- when NumPy is absent entirely.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Optional, Tuple
+
+from ..isa.instructions import K_LOAD
+from ..memory.lru import lru_miss_count
+
+try:  # optional accelerator; every path has a pure-Python fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+
+def cache_geometry_ok(size: int, line_size: int, assoc: int) -> bool:
+    """Would :class:`~repro.memory.cache.Cache` accept this geometry?
+
+    Mirrors the constructor's validation; the batched path refuses
+    (falls back to per-cell machines) rather than re-raise, so invalid
+    configurations fail with the live machine's own error message.
+    """
+    if line_size <= 0 or line_size & (line_size - 1):
+        return False
+    num_lines = size // line_size
+    if assoc < 1 or num_lines < 1 or num_lines % assoc:
+        return False
+    return (num_lines // assoc) >= 1
+
+
+def _miss_profile(addrs, size: int, line_size: int, assoc: int) -> Tuple[int, bool]:
+    """(miss count, did the final access miss) of an LRU cache over
+    ``addrs`` -- exactly :meth:`Cache.access`'s residency decisions."""
+    n = len(addrs)
+    if n == 0:
+        return 0, False
+    num_sets = (size // line_size) // assoc
+    line_shift = line_size.bit_length() - 1
+    if _np is not None:
+        a = addrs if isinstance(addrs, _np.ndarray) else _np.frombuffer(addrs, dtype=_np.uint32)
+        lines = a >> line_shift
+        sets = lines % num_sets
+        if assoc == 1:
+            # Direct-mapped: a miss is "first touch of the set, or a
+            # different line than the set's previous access".  Stable
+            # sort by set groups each set's accesses in time order.
+            order = _np.argsort(sets, kind="stable")
+            s_sorted = sets[order]
+            l_sorted = lines[order]
+            miss_sorted = _np.empty(n, dtype=bool)
+            miss_sorted[0] = True
+            miss_sorted[1:] = (s_sorted[1:] != s_sorted[:-1]) | (
+                l_sorted[1:] != l_sorted[:-1]
+            )
+            miss = _np.empty(n, dtype=bool)
+            miss[order] = miss_sorted
+            return int(miss.sum()), bool(miss[-1])
+        set_ids = sets.tolist()
+        tags = lines.tolist()
+    else:
+        set_ids = [0] * n
+        tags = [0] * n
+        for i, addr in enumerate(addrs):
+            line = addr >> line_shift
+            tags[i] = line
+            set_ids[i] = line % num_sets
+    mask = bytearray(n)
+    total = lru_miss_count(set_ids, tags, num_sets, assoc, mask)
+    return total, bool(mask[-1])
+
+
+class TraceColumns:
+    """One bound trace's reusable timing columns (see module docstring)."""
+
+    __slots__ = (
+        "bound",
+        "n",
+        "lu_count",
+        "bnt_count",
+        "mem_addrs",
+        "_spills",
+        "_ic",
+        "_dc",
+    )
+
+    def __init__(self, bound):
+        self.bound = bound
+        n = bound.trace.count
+        self.n = n
+        instrs = bound.instrs
+        flags = bound.trace.flags
+        aux = bound.trace.aux
+        lu = 0
+        bnt = 0
+        mem_addrs = array("I")
+        last_load_rd = None
+        # The exit-trap event (index n-1) charges no hazards, touches no
+        # data cache and is never a spill -- the ranges stop before it.
+        for i in range(n - 1):
+            instr = instrs[i]
+            if last_load_rd is not None and last_load_rd in instr.lu_regs:
+                lu += 1
+            if instr.mem_size:
+                mem_addrs.append(aux[i])
+            if instr.cond_branch and not (flags[i] & 1):
+                bnt += 1
+            last_load_rd = instr.rd if instr.op.kind == K_LOAD else None
+        self.lu_count = lu
+        self.bnt_count = bnt
+        self.mem_addrs = mem_addrs
+        self._spills: Dict[int, Optional[int]] = {}
+        self._ic: Dict[Tuple[int, int, int], Tuple[int, bool]] = {}
+        self._dc: Dict[Tuple[int, int, int], int] = {}
+
+    def spill_count(self, nwindows: int) -> Optional[int]:
+        """Window spill/fill events for ``nwindows`` -- ``None`` when the
+        window plan is invalid (the live machine faults mid-run there, so
+        the caller must fall back to execution)."""
+        if nwindows not in self._spills:
+            plan = self.bound.window_plan(nwindows)
+            self._spills[nwindows] = sum(plan.spilled) if plan.valid else None
+        return self._spills[nwindows]
+
+    def icache_profile(self, size: int, line_size: int, assoc: int) -> Tuple[int, bool]:
+        """(total icache misses over every event, whether the exit-trap
+        fetch missed) -- the exit miss is recorded as stall cycles by the
+        scalar machine but never charged to the cycle count."""
+        key = (size, line_size, assoc)
+        prof = self._ic.get(key)
+        if prof is None:
+            prof = _miss_profile(self.bound.pcs, size, line_size, assoc)
+            self._ic[key] = prof
+        return prof
+
+    def dcache_misses(self, size: int, line_size: int, assoc: int) -> int:
+        """Total dcache misses over the memory-event address column."""
+        key = (size, line_size, assoc)
+        total = self._dc.get(key)
+        if total is None:
+            total, _last = _miss_profile(self.mem_addrs, size, line_size, assoc)
+            self._dc[key] = total
+        return total
+
+
+#: per-process memo: id(bound) -> (bound, columns).  The bound trace is
+#: kept in the value so the id can never be recycled while memoized.
+_columns_memo: Dict[int, Tuple[object, TraceColumns]] = {}
+
+
+def columns_for(bound) -> TraceColumns:
+    """The memoized :class:`TraceColumns` of ``bound``."""
+    entry = _columns_memo.get(id(bound))
+    if entry is None or entry[0] is not bound:
+        entry = (bound, TraceColumns(bound))
+        _columns_memo[id(bound)] = entry
+    return entry[1]

@@ -1,0 +1,203 @@
+"""Batched sweep-family evaluation: one trace pass, N configurations.
+
+A sweep *family* is the set of cells sharing ``(workload, scale, hw_mul,
+optimize, mem_size)`` -- i.e. sharing one program image and one captured
+trace.  :func:`evaluate_family` is the module-level (picklable) task a
+sweep executor maps over families: it loads the program and binds the
+shared trace **once**, derives the config-independent timing columns
+(:mod:`repro.batch.columns`) once, and then advances one timing-model
+state per cell:
+
+* ``scalar`` cells need no machine at all -- their entire
+  :class:`~repro.core.stats.Stats` is a handful of O(1) reductions over
+  the shared columns (NumPy-vectorized miss profiles where available);
+* ``dif`` and replay-eligible ``dtsvliw`` cells fall back to per-config
+  scalar timing objects: a full trace-replay machine per cell, but fed
+  from the family's single in-memory trace and program.
+
+Cells the trace cannot drive bit-identically -- an invalid window plan
+for the cell's ``nwindows``, a cache geometry the live machine rejects,
+``REPRO_EXECUTION_DRIVEN=1`` -- fall back to the ordinary per-cell path
+(:func:`~repro.harness.sweep.simulate_spec`).  Either way every result is
+bit-identical to the unbatched sweep; the differential tests enforce it.
+
+``REPRO_NO_BATCH=1`` (or ``--no-batch`` / ``run_sweep(batch=False)``)
+disables family batching entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Sequence, Tuple
+
+from ..core.errors import SimError
+from ..core.machine import DTSVLIW
+from ..core.stats import Stats
+from ..harness.runner import RunResult, default_max_cycles, run_program
+from ..scheduler.memo import shared_memo
+from ..trace.capture import workload_trace
+from ..trace.replay import execution_driven_forced
+from ..workloads import registry
+from .columns import TraceColumns, cache_geometry_ok, columns_for
+
+#: provenance tags carried back to the sweep driver (summary counters)
+BATCHED = "batched"
+LIVE = "live"
+
+
+def batch_enabled_default() -> bool:
+    """Batching on unless ``$REPRO_NO_BATCH`` disables it."""
+    return os.environ.get("REPRO_NO_BATCH", "") in ("", "0")
+
+
+def family_key(spec) -> Tuple:
+    """The grouping key: cells with equal keys share program and trace."""
+    return (
+        spec.benchmark,
+        spec.scale,
+        spec.hw_mul,
+        spec.optimize,
+        spec.config.mem_size,
+    )
+
+
+def batchable(spec) -> bool:
+    """Can this cell be evaluated from a shared captured trace?
+
+    The trace-drivable baselines always can; the DTSVLIW can exactly when
+    its configuration is replay-eligible (perfect data cache, no
+    test-mode value checking, checkpoint store handling -- see
+    :meth:`~repro.core.machine.DTSVLIW.replay_eligible`).  Inline-source
+    cells are excluded: the trace store is keyed by registry workload.
+    """
+    if spec.source is not None:
+        return False
+    machine = spec.machine
+    if machine in ("scalar", "dif"):
+        return True
+    if machine == "dtsvliw":
+        return DTSVLIW.replay_eligible(spec.config)
+    return False
+
+
+def _vector_model_ok(cfg) -> bool:
+    """True when the closed-form scalar model covers ``cfg``'s caches.
+
+    A geometry the live machine would reject is routed to the per-cell
+    machine instead, so the error surfaces with the live constructor's
+    own message.
+    """
+    ic, dc = cfg.icache, cfg.dcache
+    if not ic.perfect and not cache_geometry_ok(ic.size, ic.line_size, ic.assoc):
+        return False
+    if not dc.perfect and not cache_geometry_ok(dc.size, dc.line_size, dc.assoc):
+        return False
+    return True
+
+
+def _scalar_cell(spec, cols: TraceColumns, spills: int) -> RunResult:
+    """Close the scalar baseline's replay loop into O(1) reductions.
+
+    Mirrors :meth:`ScalarMachine._run_replay` term by term: one base
+    cycle per committed instruction, icache stalls (the exit-trap fetch
+    is *recorded* but not charged), dcache stalls over the memory events,
+    the load-use and branch-not-taken bubbles, and the window-spill
+    penalty.  The cycle-budget check reduces exactly: the loop's guard
+    binds at the exit event, where the accumulated count is one below the
+    final total.
+    """
+    t0 = time.perf_counter()
+    cfg = spec.config
+    n = cols.n
+    ic, dc = cfg.icache, cfg.dcache
+    if ic.perfect:
+        ic_miss, ic_last = 0, False
+    else:
+        ic_miss, ic_last = cols.icache_profile(ic.size, ic.line_size, ic.assoc)
+    dc_miss = 0 if dc.perfect else cols.dcache_misses(dc.size, dc.line_size, dc.assoc)
+    st = Stats()
+    st.ref_instructions = n
+    st.primary_instructions = n - 1
+    st.icache_stall_cycles = ic.miss_penalty * ic_miss
+    st.dcache_stall_cycles = dc.miss_penalty * dc_miss
+    st.load_use_bubble_cycles = cfg.load_use_bubble * cols.lu_count
+    st.branch_bubble_cycles = cfg.branch_not_taken_bubble * cols.bnt_count
+    st.spill_cycles = cfg.window_spill_penalty * spills
+    cycles = (
+        n
+        + st.icache_stall_cycles
+        - (ic.miss_penalty if ic_last else 0)
+        + st.dcache_stall_cycles
+        + st.load_use_bubble_cycles
+        + st.branch_bubble_cycles
+        + st.spill_cycles
+    )
+    max_cycles = (
+        default_max_cycles() if spec.max_cycles is None else spec.max_cycles
+    )
+    if cycles - 1 >= max_cycles:
+        # the same two-layer message run_program wraps around the live
+        # machine's cycle-budget SimError
+        raise SimError(
+            "scalar on %s failed (max_cycles=%d): "
+            "scalar machine exceeded %d cycles"
+            % (spec.benchmark, max_cycles, max_cycles)
+        )
+    st.cycles = cycles
+    st.primary_cycles = cycles
+    st.wall_time_s = time.perf_counter() - t0
+    return RunResult(spec.benchmark, "scalar", st, n, cycles)
+
+
+def evaluate_family(item) -> List[Tuple[RunResult, str]]:
+    """Evaluate one family's cells off its shared trace (picklable task).
+
+    ``item`` is ``(family_key, specs)``.  Returns ``(result, provenance)``
+    per spec, in order; provenance is :data:`BATCHED` for cells evaluated
+    from the shared trace and :data:`LIVE` for per-cell execution
+    fallbacks.
+    """
+    from ..harness.sweep import simulate_spec  # sweep imports this module
+
+    key, specs = item
+    name, scale, hw_mul, optimize, mem_size = key
+    trace = None
+    if not execution_driven_forced():
+        trace = workload_trace(name, scale, hw_mul, optimize, mem_size=mem_size)
+    if trace is None:
+        return [(simulate_spec(spec), LIVE) for spec in specs]
+    program = registry.load_program(name, scale, hw_mul, optimize)
+    reference = (trace.count, bytes(trace.output), trace.exit_code)
+    cols = columns_for(trace.bind(program))
+    # One segment memo per family, shared process-wide: blocks scheduled
+    # once are re-applied by every later cell whose stint content matches
+    # (the memo key excludes VLIW Cache geometry on purpose), and by
+    # later sweeps over the same family -- fig6 after fig5 pays for the
+    # shared scheduling work once.  See repro/scheduler/memo.py.
+    memo = shared_memo(key)
+    out: List[Tuple[RunResult, str]] = []
+    for spec in specs:
+        spec = spec.resolved()
+        spills = cols.spill_count(spec.config.nwindows)
+        if spills is None:
+            # window spill stack over/underflows: replay refuses, the
+            # live machine's own mid-run behaviour is authoritative
+            out.append((simulate_spec(spec), LIVE))
+            continue
+        if spec.machine == "scalar" and _vector_model_ok(spec.config):
+            out.append((_scalar_cell(spec, cols, spills), BATCHED))
+            continue
+        res = run_program(
+            program,
+            reference,
+            spec.config,
+            machine=spec.machine,
+            name=spec.benchmark,
+            max_cycles=spec.max_cycles,
+            trace=trace,
+            dtsvliw_replay=spec.machine == "dtsvliw",
+            sched_memo=memo if spec.machine == "dtsvliw" else None,
+        )
+        out.append((res, BATCHED))
+    return out

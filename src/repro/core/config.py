@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..isa.instructions import FU_BR, FU_FP, FU_INT, FU_LS
 
@@ -44,6 +45,11 @@ class CacheConfig:
 
 def _feasible_slots() -> List[int]:
     return [FU_INT] * 4 + [FU_LS] * 2 + [FU_FP] * 2 + [FU_BR] * 2
+
+
+#: VLIW-cache geometries already warned about (warn once per geometry per
+#: process, not once per constructed config -- sweeps build thousands).
+_warned_geometries: Set[Tuple[int, int]] = set()
 
 
 @dataclass
@@ -111,6 +117,21 @@ class MachineConfig:
                 "slot_classes length %d != block width %d"
                 % (len(self.slot_classes), self.block_width)
             )
+        if self.vliw_cache_assoc < 1:
+            raise ValueError(
+                "vliw_cache_assoc must be >= 1 (got %d)" % self.vliw_cache_assoc
+            )
+        blocks = self.vliw_cache_blocks
+        if blocks < self.vliw_cache_assoc:
+            key = (blocks, self.vliw_cache_assoc)
+            if key not in _warned_geometries:
+                _warned_geometries.add(key)
+                warnings.warn(
+                    "VLIW cache holds only %d block(s); clamping the"
+                    " requested %d-way associativity to %d"
+                    % (blocks, self.vliw_cache_assoc, min(self.vliw_cache_assoc, blocks)),
+                    stacklevel=2,
+                )
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -120,6 +141,13 @@ class MachineConfig:
     @property
     def vliw_cache_blocks(self) -> int:
         return max(1, self.vliw_cache_bytes // self.block_bytes)
+
+    @property
+    def vliw_cache_effective_assoc(self) -> int:
+        """The associativity the VLIW cache is actually built with: the
+        requested ``vliw_cache_assoc``, clamped (with a one-time warning at
+        construction) when the cache holds fewer blocks than ways."""
+        return min(self.vliw_cache_assoc, self.vliw_cache_blocks)
 
     # ------------------------------------------------------------ constructors
     @classmethod

@@ -16,14 +16,19 @@ every VLIW block -- and every synchronisation point compares architectural
 state.  The reference instruction count is the IPC numerator.
 
 Trace layer: the Primary Processor consumes its committed stream from a
-:class:`~repro.trace.replay.LiveTraceSource`.  The DTSVLIW always drives
-it live -- the VLIW Engine re-executes *values* through renaming
-registers, including speculatively for later-annulled operations, so its
-data-cache traffic depends on register contents a committed trace does
-not record.  The trace-drivable machines are the DIF and scalar
-baselines (:mod:`repro.baselines`); the DTSVLIW still benefits from a
-captured trace indirectly, through its reference-run header (see
-:mod:`repro.harness.runner`).
+:class:`~repro.trace.replay.LiveTraceSource` by default.  When a captured
+trace is supplied *and* the configuration is replay-eligible
+(:meth:`DTSVLIW.replay_eligible`: perfect data cache, no test-mode
+lockstep, no data-store-list ablation), the machine instead runs fully
+trace-driven: the Primary replays the committed stream through a
+:class:`~repro.trace.replay.WindowReplayTraceSource` and the VLIW Engine
+is swapped for its timing twin
+(:class:`~repro.vliw.replay_engine.ReplayVLIWEngine`), which derives
+block outcomes from the trace cursor without executing values.  Stats
+are bit-identical to the live run (enforced by the differential suite);
+a real data cache keeps the live path, because the engine's speculative
+data-cache traffic depends on register contents the trace does not
+record.
 """
 
 from __future__ import annotations
@@ -34,14 +39,28 @@ from typing import Optional
 
 from ..asm.program import Program
 from ..isa.registers import RegFile
+from ..isa.semantics import StepInfo
 from ..memory.cache import Cache
 from ..memory.main_memory import MainMemory
 from ..obs.probe import EV_MODE_SWITCH, EV_VCACHE_PROBE, resolve_probe
 from ..primary.pipeline import PrimaryProcessor
+from ..scheduler.memo import (
+    SEG_FULL,
+    SEG_HIT,
+    SEG_NONSCHED,
+    ScheduleMemo,
+    SegmentRecord,
+    collision_pattern,
+    memo_disabled,
+    pattern_matches,
+)
+from ..scheduler.ops import build_sched_op
 from ..scheduler.unit import FLUSH_HIT, FLUSH_NONSCHED, SchedulerUnit
-from ..trace.replay import LiveTraceSource
+from ..trace.events import Trace
+from ..trace.replay import LiveTraceSource, replay_source_for
 from ..vliw.cache import VLIWCache
 from ..vliw.engine import VLIWEngine, WindowResidencyUnsatisfiable
+from ..vliw.replay_engine import ReplayVLIWEngine
 from .config import MachineConfig
 from .errors import ProgramExit, SimError, TestModeMismatch
 from .reference import ReferenceMachine, TrapServices, setup_state
@@ -56,6 +75,8 @@ class DTSVLIW:
         program: Program,
         cfg: Optional[MachineConfig] = None,
         probe=None,
+        trace: Optional[Trace] = None,
+        sched_memo: Optional[ScheduleMemo] = None,
     ):
         self.program = program
         self.cfg = cfg or MachineConfig()
@@ -88,14 +109,36 @@ class DTSVLIW:
             probe=self.probe,
         )
         self.vcache = VLIWCache(
-            c.vliw_cache_blocks, c.vliw_cache_assoc, probe=self.probe
+            c.vliw_cache_blocks,
+            c.vliw_cache_effective_assoc,
+            probe=self.probe,
         )
         self.scheduler = SchedulerUnit(c, self.stats, probe=self.probe)
-        self.engine = VLIWEngine(
-            c, self.rf, self.mem, self.dcache, self.stats, probe=self.probe
-        )
-        # Always execution-driven: the VLIW Engine needs real register and
-        # memory values, so the committed stream must be generated live.
+        # Trace-driven when eligible and a trace was supplied; otherwise
+        # execution-driven (the VLIW Engine then needs real register and
+        # memory values, so the committed stream must be generated live).
+        replay_src = None
+        if trace is not None and self.replay_eligible(c):
+            replay_src = replay_source_for(
+                trace, program, self.rf, self.services, c, windows=True
+            )
+        #: True when this run is fully trace-driven (replay twin engine)
+        self.replay = replay_src is not None
+        if self.replay:
+            self.engine = ReplayVLIWEngine(
+                c,
+                self.rf,
+                self.mem,
+                self.dcache,
+                self.stats,
+                replay_src,
+                program,
+                probe=self.probe,
+            )
+        else:
+            self.engine = VLIWEngine(
+                c, self.rf, self.mem, self.dcache, self.stats, probe=self.probe
+            )
         self.primary = PrimaryProcessor(
             c,
             self.rf,
@@ -104,9 +147,10 @@ class DTSVLIW:
             self.dcache,
             self.services,
             self.stats,
+            source=replay_src,
             probe=self.probe,
         )
-        self.source: LiveTraceSource = self.primary.source
+        self.source = self.primary.source
 
         self.halted = False
         self._max_cycles = 2_000_000_000
@@ -116,6 +160,17 @@ class DTSVLIW:
         self.exception_target = 0
         self._exception_budget = 0
 
+        # Segment memo (repro.scheduler.memo): replay-only, and only when
+        # primary-mode timing is trace-determined (perfect icache; the
+        # perfect dcache is implied by replay eligibility) and nothing
+        # observes the per-event work the memo skips (no probe).
+        self._seg_owner: Optional[ScheduleMemo] = None
+        self._seg_table: Optional[dict] = None
+        self._seg_info = StepInfo()
+        if self.replay and self.probe is None and c.icache.perfect and not memo_disabled():
+            self._seg_owner = sched_memo if sched_memo is not None else ScheduleMemo()
+            self._seg_table = self._seg_owner.table_for(c)
+
         self.reference: Optional[ReferenceMachine] = None
         if c.test_mode:
             self.reference = ReferenceMachine(
@@ -123,6 +178,18 @@ class DTSVLIW:
             )
 
     # ------------------------------------------------------------------- API
+    @staticmethod
+    def replay_eligible(cfg: MachineConfig) -> bool:
+        """Can a DTSVLIW with ``cfg`` be driven from a captured trace?
+
+        The timing twin never executes values, so every consumer of them
+        must be off: a real data cache (speculative access addresses
+        depend on register contents), the test-mode lockstep (compares
+        architectural state) and the data-store-list ablation (forwards
+        store values to loads).
+        """
+        return cfg.dcache.perfect and not cfg.test_mode and not cfg.data_store_list
+
     @property
     def output(self) -> bytes:
         return bytes(self.services.output)
@@ -137,7 +204,10 @@ class DTSVLIW:
         t0 = time.perf_counter()
         try:
             while not self.halted and self.stats.cycles < max_cycles:
-                self._primary_mode()
+                if self._seg_table is not None:
+                    self._primary_mode_replay()
+                else:
+                    self._primary_mode()
         except ProgramExit:
             self.halted = True
         finally:
@@ -211,6 +281,337 @@ class DTSVLIW:
                         % self.exception_target
                     )
             self._test_step()
+
+    # ------------------------------------------------- primary mode (replay)
+    def _primary_mode_replay(self) -> None:
+        """Trace-driven primary mode with segment memoization.
+
+        Identical, event for event, to :meth:`_primary_mode` on a replay
+        source (no test mode, so the lockstep hooks are no-ops there) --
+        except that stints between flush boundaries are recorded into the
+        segment memo and, when the committed stream revisits equivalent
+        content, replayed as a Stats delta + block insert + cursor jump
+        instead of being re-scheduled (see :mod:`repro.scheduler.memo`).
+        """
+        st = self.stats
+        cfg = self.cfg
+        fetch = self.program.instrs.get
+        sched = self.scheduler
+        primary = self.primary
+        vcache = self.vcache
+        rf = self.rf
+        src = self.source
+        pcs = src.pcs
+        owner = self._seg_owner
+        table = self._seg_table
+        primary.reset_pipeline()
+
+        # ``ext``: the canonical scheduler state at the last witnessed
+        # boundary (True = one pending spillover op); None until the first
+        # boundary when the list is non-empty at entry (re-entry safety).
+        ext = False if not sched.entries else None
+        rec_base = -1  # base event index of the recording stint, -1 = off
+        rec_key = rec_snap = None
+        rec_keep = False
+        rec_cs = rec_cr = rec_wp = 0
+
+        while not self.halted and st.cycles < self._max_cycles:
+            pc = self.pc
+            if not self.exception_mode:
+                hit = vcache.probe(pc)
+                if not hit and rec_base < 0 and ext is not None:
+                    key = (pc, rf.cwp, primary.last_load_rd, ext)
+                    bucket = table.get(key)
+                    if bucket is not None:
+                        applied = None
+                        for rec in bucket:
+                            if self._seg_apply(rec):
+                                applied = rec
+                                break
+                        if applied is not None:
+                            owner.applied += 1
+                            ext = applied.kind == SEG_FULL
+                            continue
+                    # no record fits: record this stint
+                    rec_base = src.i - 1 if ext else src.i
+                    rec_key = key
+                    rec_snap = dict(st.__dict__)
+                    rec_keep = sched.keep_mem_order if ext else False
+                    rec_cs = rf.cansave
+                    rec_cr = rf.canrestore
+                    rec_wp = rf.wssp
+                st.vliw_cache_probes += 1
+                if hit:
+                    st.vliw_cache_hits += 1
+                    block = sched.flush(FLUSH_HIT, pc)
+                    if block is not None:
+                        vcache.insert(block)
+                    st.mode_switches += 1
+                    st.switch_cycles += cfg.switch_to_vliw_cost
+                    st.cycles += cfg.switch_to_vliw_cost
+                    if rec_base >= 0:
+                        self._seg_store(
+                            SEG_HIT, ext, rec_key, rec_base, block,
+                            rec_snap, rec_keep, rec_cs, rec_cr, rec_wp,
+                        )
+                        rec_base = -1
+                    ext = False
+                    self._vliw_mode(pc)
+                    primary.reset_pipeline()
+                    continue
+            instr = fetch(pc)
+            if instr is None:
+                raise SimError("fetch outside text segment: 0x%x" % pc)
+            try:
+                next_pc, cycles, sop, nonsched = primary.step(instr)
+            except ProgramExit:
+                st.cycles += 1
+                st.primary_cycles += 1
+                raise
+            st.cycles += cycles
+            st.primary_cycles += cycles
+            self.pc = next_pc
+            if not self.exception_mode:
+                sched.tick(cycles)
+                if nonsched:
+                    block = sched.flush(FLUSH_NONSCHED, instr.addr)
+                    if block is not None:
+                        vcache.insert(block)
+                    if rec_base >= 0:
+                        self._seg_store(
+                            SEG_NONSCHED, ext, rec_key, rec_base, block,
+                            rec_snap, rec_keep, rec_cs, rec_cr, rec_wp,
+                        )
+                        rec_base = -1
+                    ext = False
+                elif sop is not None:
+                    block = sched.insert(sop)
+                    if block is not None:
+                        vcache.insert(block)
+                        if rec_base >= 0:
+                            self._seg_store(
+                                SEG_FULL, ext, rec_key, rec_base, block,
+                                rec_snap, rec_keep, rec_cs, rec_cr, rec_wp,
+                            )
+                            rec_base = -1
+                        ext = True
+            else:
+                self._exception_budget -= 1
+                if instr.addr == self.exception_target:
+                    self.exception_mode = False
+                    # exception mode is only ever entered from VLIW mode,
+                    # whose hit boundary flushed the list: empty is known
+                    ext = False
+                elif self._exception_budget <= 0:
+                    raise SimError(
+                        "exception mode never reached 0x%x"
+                        % self.exception_target
+                    )
+
+    def _seg_store(
+        self, kind, ext, key, base, block, snap, keep_entry, cs0, cr0, wp0
+    ) -> None:
+        """Close the recording stint at the current cursor and store it.
+
+        ``base`` is the first event the record covers (the pending
+        spillover op's event when ``ext``); the cursor now sits on the
+        boundary's next event.  Anything that smells off -- an unexpected
+        Stats field, a build-op/event misalignment -- silently drops the
+        record: a missing memo entry costs time, never correctness.
+        """
+        from ..isa.instructions import SCHED_NONSCHED, SCHED_SKIP
+
+        owner = self._seg_owner
+        if self._seg_table.records >= owner.max_records:
+            return
+        src = self.source
+        st = self.stats
+        rf = self.rf
+        end = src.i
+        n = end - base
+        pcs = src.pcs
+        instrs = src.instrs
+        spilled = src.spilled
+        inline = self.cfg.vliw_window_spill_inline
+
+        # scheduled events, in order (the build ops of the block under
+        # construction; for SEG_FULL the last one spilled into the next
+        # block and is rebuilt live on apply)
+        sched_offs = []
+        first = 1 if ext else 0
+        if ext:
+            sched_offs.append(0)
+        for k in range(first, n):
+            ins = instrs[base + k]
+            sc = ins.sched_class
+            if sc == SCHED_NONSCHED or sc == SCHED_SKIP:
+                continue
+            if spilled[base + k] and not inline:
+                continue
+            sched_offs.append(k)
+        if kind == SEG_FULL:
+            sched_offs.pop()
+        bops = block.build_ops if block is not None else None
+        if len(bops or ()) != len(sched_offs):
+            return
+        mem_fix = []
+        if bops is not None:
+            for j, off in enumerate(sched_offs):
+                op = bops[j]
+                if op.addr != pcs[base + off]:
+                    return
+                if op.instr is not None and op.instr.mem_size:
+                    mem_fix.append((j, off))
+
+        # additive Stats delta; renaming maxima come from the block
+        from ..scheduler.memo import _MAX_FIELDS
+
+        delta = {}
+        cur = st.__dict__
+        for k, v0 in snap.items():
+            v1 = cur[k]
+            if v1 == v0:
+                continue
+            if k in _MAX_FIELDS:
+                if block is None:
+                    return
+                continue
+            if k == "wall_time_s":
+                return
+            delta[k] = v1 - v0
+        if kind == SEG_FULL:
+            # apply re-inserts the spillover op live; its _prepare bumps
+            # instructions_scheduled again
+            d = delta.get("instructions_scheduled", 0) - 1
+            if d:
+                delta["instructions_scheduled"] = d
+            else:
+                delta.pop("instructions_scheduled", None)
+
+        aux = src.aux
+        mem_offs = tuple(
+            k for k in range(n) if instrs[base + k].mem_size
+        )
+        rec = SegmentRecord()
+        rec.kind = kind
+        rec.ext = ext
+        rec.pcs = pcs[base : end + 1]
+        rec.flags = src.flags[base:end]
+        rec.spilled = spilled[base:end]
+        rec.mem_offs = mem_offs
+        rec.mem_pat = collision_pattern(aux, base, mem_offs)
+        rec.probe_addrs = tuple(set(pcs[base + first : end]))
+        rec.block = block
+        rec.mem_fix = tuple(mem_fix)
+        rec.delta = tuple(delta.items())
+        rec.d_cycles = delta.get("cycles", 0)
+        rec.keep_entry = (
+            keep_entry if ext else block.keep_mem_order if block is not None else False
+        )
+        rec.start_op_addr = None if ext or block is None else block.start_addr
+        rec.d_cansave = rf.cansave - cs0
+        rec.d_canrestore = rf.canrestore - cr0
+        rec.d_wssp = rf.wssp - wp0
+        rec.end_llr = self.primary.last_load_rd
+        rec.end_cwp = rf.cwp
+        owner.admit(self._seg_table, key, rec)
+
+    def _seg_apply(self, rec: SegmentRecord) -> bool:
+        """Verify ``rec`` against the cursor; replay its effect if exact.
+
+        Returns False (having changed nothing) on any mismatch -- the
+        stint then simply runs live and is re-recorded under this key.
+        """
+        st = self.stats
+        if st.cycles + rec.d_cycles >= self._max_cycles:
+            # the live loop would stop mid-stint; let it
+            return False
+        src = self.source
+        i0 = src.i
+        base = i0 - 1 if rec.ext else i0
+        rpcs = rec.pcs
+        m = len(rpcs)  # events + the boundary pc
+        pcs = src.pcs
+        if pcs[base : base + m] != rpcs:
+            return False
+        end = base + m - 1
+        if src.flags[base:end] != rec.flags:
+            return False
+        if src.spilled[base:end] != rec.spilled:
+            return False
+        sched = self.scheduler
+        if rec.ext:
+            if sched.keep_mem_order != rec.keep_entry:
+                return False
+        elif rec.start_op_addr is not None:
+            if (rec.start_op_addr in sched.alias_addrs) != rec.keep_entry:
+                return False
+        vcache = self.vcache
+        for a in rec.probe_addrs:
+            if vcache.probe(a):
+                return False
+        if rec.kind == SEG_HIT and not vcache.probe(rpcs[-1]):
+            return False
+        aux = src.aux
+        if rec.mem_offs and not pattern_matches(rec, aux, base):
+            return False
+
+        # exact match: replay the stint's effect
+        cur = st.__dict__
+        for k, d in rec.delta:
+            cur[k] += d
+        block = rec.block
+        if block is not None:
+            bops = block.build_ops
+            for j, off in rec.mem_fix:
+                bops[j].mem_addr = aux[base + off]
+            if block.n_int_rr > st.max_int_renaming:
+                st.max_int_renaming = block.n_int_rr
+            if block.n_fp_rr > st.max_fp_renaming:
+                st.max_fp_renaming = block.n_fp_rr
+            if block.n_cc_rr > st.max_cc_renaming:
+                st.max_cc_renaming = block.n_cc_rr
+            if block.n_mem_rr > st.max_mem_renaming:
+                st.max_mem_renaming = block.n_mem_rr
+            vcache.insert(block)
+        rf = self.rf
+        rf.cansave += rec.d_cansave
+        rf.canrestore += rec.d_canrestore
+        rf.wssp += rec.d_wssp
+        rf.cwp = rec.end_cwp
+        src.i = end
+        self.pc = rpcs[-1]
+        self.primary.last_load_rd = rec.end_llr
+        # every segment ends at a flush: the pending spillover op (when
+        # ext) now lives inside the recorded block as build_ops[0], so
+        # the live scheduling list is emptied exactly as flush() does
+        if sched.entries:
+            sched.entries = []
+            sched.n_candidates = 0
+            sched.build_ops = []
+        if rec.kind == SEG_FULL:
+            # rebuild the spillover op from the boundary event and insert
+            # it live: renaming state and keep_mem_order come from the
+            # applying machine, exactly as in the unmemoized flush path
+            t = end - 1
+            ins = src.instrs[t]
+            info = self._seg_info
+            info.taken = (src.flags[t] & 1) != 0
+            ms = ins.mem_size
+            if ms:
+                info.mem_addr = aux[t]
+                info.mem_size = ms
+            else:
+                info.mem_addr = -1
+                info.mem_size = 0
+            info.spilled = src.spilled[t] != 0
+            info.cwp_before = src.cwp[t]
+            info.target = self.pc
+            sched.insert(build_sched_op(ins, info, rf, rec.end_cwp))
+        elif rec.kind == SEG_HIT:
+            self._vliw_mode(self.pc)
+            self.primary.reset_pipeline()
+        return True
 
     # --------------------------------------------------------------- VLIW mode
     def _vliw_mode(self, addr: int) -> None:

@@ -34,6 +34,7 @@ def _sweep_opts(args) -> dict:
     return {
         "jobs": args.jobs,
         "use_cache": False if args.no_cache else None,
+        "batch": False if args.no_batch else None,
     }
 
 
@@ -354,6 +355,11 @@ def main(argv=None) -> int:
         "--no-cache",
         action="store_true",
         help="skip the persistent result cache (results/.cache/)",
+    )
+    common.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable batched family evaluation (strictly per-cell sweeps)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     for name, fn, help_ in [

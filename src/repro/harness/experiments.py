@@ -7,9 +7,11 @@ and reshapes the results into the same plain dicts as before -- rendering
 lives in :mod:`repro.harness.reporting`.  EXPERIMENTS.md records the
 paper-vs-measured comparison for every one of these.
 
-All drivers accept ``jobs`` (``None``: ``$REPRO_JOBS``) and ``use_cache``
-(``None``: on unless ``$REPRO_NO_CACHE``); per-driver sweep counters are
-available afterwards via :func:`repro.harness.sweep.last_summary`.
+All drivers accept ``jobs`` (``None``: ``$REPRO_JOBS``), ``use_cache``
+(``None``: on unless ``$REPRO_NO_CACHE``) and ``batch`` (``None``: on
+unless ``$REPRO_NO_BATCH`` -- family-batched trace evaluation, see
+:mod:`repro.batch`); per-driver sweep counters are available afterwards
+via :func:`repro.harness.sweep.last_summary`.
 """
 
 from __future__ import annotations
@@ -45,32 +47,19 @@ def _benchmarks(benchmarks: Optional[Sequence[str]]) -> List[str]:
     return list(benchmarks) if benchmarks else list(registry.BENCHMARKS)
 
 
-# ---------------------------------------------------------------- Figure 5
-def fig5_geometry(
-    benchmarks: Optional[Sequence[str]] = None,
-    geometries: Optional[Sequence[Tuple[int, int]]] = None,
-    scale: Optional[float] = None,
-    jobs: Optional[int] = None,
-    use_cache: Optional[bool] = None,
-) -> Dict[str, Dict[str, float]]:
-    """IPC vs block size and geometry (ideal memory system)."""
+# -------------------------------------------------------------- spec grids
+# One builder per figure/table, shared between the drivers below and
+# figure_specs() (which differential tests and benchmarks/bench_batched.py
+# use to sweep the exact driver cells with full per-cell results in hand).
+def _fig5_specs(names, scale, geometries=None):
     columns = [
         ("%dx%d" % (w, h), MachineConfig.paper_fixed(w, h, test_mode=False))
         for (w, h) in (geometries or FIG5_GEOMETRIES)
     ]
-    sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale)
-    return sweep.run(jobs=jobs, use_cache=use_cache).table()
+    return Sweep.grid(names, columns, scale=scale).specs
 
 
-# ---------------------------------------------------------------- Figure 6
-def fig6_cache_size(
-    benchmarks: Optional[Sequence[str]] = None,
-    sizes_kb: Optional[Sequence[int]] = None,
-    scale: Optional[float] = None,
-    jobs: Optional[int] = None,
-    use_cache: Optional[bool] = None,
-) -> Dict[str, Dict[int, float]]:
-    """IPC vs VLIW Cache size, 8x8 geometry, 4-way associative."""
+def _fig6_specs(names, scale, sizes_kb=None):
     columns = [
         (
             kb,
@@ -80,18 +69,10 @@ def fig6_cache_size(
         )
         for kb in (sizes_kb or FIG6_SIZES_KB)
     ]
-    sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale)
-    return sweep.run(jobs=jobs, use_cache=use_cache).table()
+    return Sweep.grid(names, columns, scale=scale).specs
 
 
-# ---------------------------------------------------------------- Figure 7
-def fig7_associativity(
-    benchmarks: Optional[Sequence[str]] = None,
-    scale: Optional[float] = None,
-    jobs: Optional[int] = None,
-    use_cache: Optional[bool] = None,
-) -> Dict[str, Dict[str, float]]:
-    """IPC vs VLIW Cache associativity for 96 KB and 384 KB caches."""
+def _fig7_specs(names, scale):
     columns = [
         (
             "%dKB/%d-way" % (kb, assoc),
@@ -102,8 +83,103 @@ def fig7_associativity(
         for kb in FIG7_SIZES_KB
         for assoc in FIG7_ASSOCS
     ]
-    sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale)
-    return sweep.run(jobs=jobs, use_cache=use_cache).table()
+    return Sweep.grid(names, columns, scale=scale).specs
+
+
+def _fig8_specs(names, scale):
+    return Sweep.grid(names, _fig8_columns(), scale=scale).specs
+
+
+def _fig9_specs(names, scale):
+    return [
+        RunSpec(
+            name,
+            MachineConfig.fig9(test_mode=False),
+            machine=kind,
+            scale=scale,
+        )
+        for name in names
+        for kind in ("dtsvliw", "dif")
+    ]
+
+
+def _table3_specs(names, scale):
+    return [
+        RunSpec(name, MachineConfig.feasible(test_mode=False), scale=scale)
+        for name in names
+    ]
+
+
+_FIGURE_SPECS = {
+    "fig5": _fig5_specs,
+    "fig6": _fig6_specs,
+    "fig7": _fig7_specs,
+    "fig8": _fig8_specs,
+    "fig9": _fig9_specs,
+    "table3": _table3_specs,
+}
+
+
+def figure_specs(
+    figure: str,
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+) -> List[RunSpec]:
+    """The exact :class:`RunSpec` grid behind one paper figure/table.
+
+    Valid names: ``fig5``, ``fig6``, ``fig7``, ``fig8``, ``fig9``,
+    ``table3``.  Run the returned specs through ``run_sweep`` to get the
+    same cells the driver would, with full per-cell results.
+    """
+    try:
+        builder = _FIGURE_SPECS[figure]
+    except KeyError:
+        raise ValueError(
+            "unknown figure %r (have %s)"
+            % (figure, ", ".join(sorted(_FIGURE_SPECS)))
+        )
+    return builder(_benchmarks(benchmarks), scale)
+
+
+# ---------------------------------------------------------------- Figure 5
+def fig5_geometry(
+    benchmarks: Optional[Sequence[str]] = None,
+    geometries: Optional[Sequence[Tuple[int, int]]] = None,
+    scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    batch: Optional[bool] = None,
+) -> Dict[str, Dict[str, float]]:
+    """IPC vs block size and geometry (ideal memory system)."""
+    sweep = Sweep(_fig5_specs(_benchmarks(benchmarks), scale, geometries))
+    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
+
+
+# ---------------------------------------------------------------- Figure 6
+def fig6_cache_size(
+    benchmarks: Optional[Sequence[str]] = None,
+    sizes_kb: Optional[Sequence[int]] = None,
+    scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    batch: Optional[bool] = None,
+) -> Dict[str, Dict[int, float]]:
+    """IPC vs VLIW Cache size, 8x8 geometry, 4-way associative."""
+    sweep = Sweep(_fig6_specs(_benchmarks(benchmarks), scale, sizes_kb))
+    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
+
+
+# ---------------------------------------------------------------- Figure 7
+def fig7_associativity(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    batch: Optional[bool] = None,
+) -> Dict[str, Dict[str, float]]:
+    """IPC vs VLIW Cache associativity for 96 KB and 384 KB caches."""
+    sweep = Sweep(_fig7_specs(_benchmarks(benchmarks), scale))
+    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
 
 
 # ---------------------------------------------------------------- Figure 8
@@ -138,12 +214,13 @@ def fig8_feasible(
     scale: Optional[float] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    batch: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Feasible-machine cost breakdown: the stacked contributions of the
     functional-unit mix, instruction cache, data cache and next-LI misses,
     sitting on top of the delivered ILP (Figure 8's stacked bars)."""
-    sweep = Sweep.grid(_benchmarks(benchmarks), _fig8_columns(), scale=scale)
-    steps = sweep.run(jobs=jobs, use_cache=use_cache).table()
+    sweep = Sweep(_fig8_specs(_benchmarks(benchmarks), scale))
+    steps = sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
     out: Dict[str, Dict[str, float]] = {}
     for name, row in steps.items():
         ipc0, ipc1, ipc2, ipc3, ipc4 = (row[s] for s in FIG8_STEPS)
@@ -164,13 +241,11 @@ def table3_feasible(
     scale: Optional[float] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    batch: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Performance and resource consumption of the feasible machine."""
-    specs = [
-        RunSpec(name, MachineConfig.feasible(test_mode=False), scale=scale)
-        for name in _benchmarks(benchmarks)
-    ]
-    run = run_sweep(specs, jobs=jobs, use_cache=use_cache)
+    specs = _table3_specs(_benchmarks(benchmarks), scale)
+    run = run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch)
     out: Dict[str, Dict[str, float]] = {}
     for spec, res in run:
         s = res.stats
@@ -196,20 +271,12 @@ def fig9_dif_comparison(
     scale: Optional[float] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    batch: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """DTSVLIW vs DIF on the shared Figure 9 configuration."""
     names = _benchmarks(benchmarks)
-    specs = [
-        RunSpec(
-            name,
-            MachineConfig.fig9(test_mode=False),
-            machine=kind,
-            scale=scale,
-        )
-        for name in names
-        for kind in ("dtsvliw", "dif")
-    ]
-    run = run_sweep(specs, jobs=jobs, use_cache=use_cache)
+    specs = _fig9_specs(names, scale)
+    run = run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch)
     by_cell = {(s.benchmark, s.machine): r for s, r in run}
     out: Dict[str, Dict[str, float]] = {}
     for name in names:
@@ -231,6 +298,7 @@ def speedup_vs_scalar(
     scale: Optional[float] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    batch: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """DTSVLIW speed-up over the scalar Primary Processor alone (not a
     paper figure, but the sanity check every reader wants)."""
@@ -245,7 +313,7 @@ def speedup_vs_scalar(
         for name in names
         for kind in ("dtsvliw", "scalar")
     ]
-    run = run_sweep(specs, jobs=jobs, use_cache=use_cache)
+    run = run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch)
     by_cell = {(s.benchmark, s.machine): r for s, r in run}
     out: Dict[str, Dict[str, float]] = {}
     for name in names:
@@ -264,6 +332,7 @@ def ablation_multicycle(
     scale: Optional[float] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    batch: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Multicycle-instruction scheduling ([14]): hardware mul/div with
     latency-aware placement vs latency-blind placement."""
@@ -272,7 +341,7 @@ def ablation_multicycle(
         ("latency_blind", MachineConfig.paper_fixed(8, 8, test_mode=False, multicycle=False)),
     ]
     sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale, hw_mul=True)
-    return sweep.run(jobs=jobs, use_cache=use_cache).table()
+    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
 
 
 def ablation_store_scheme(
@@ -280,6 +349,7 @@ def ablation_store_scheme(
     scale: Optional[float] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    batch: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Section 3.11's two store-handling schemes: checkpoint recovery
     store list (default) vs the alternative data store list."""
@@ -288,7 +358,7 @@ def ablation_store_scheme(
         ("data_store_list", MachineConfig.paper_fixed(8, 8, test_mode=False, data_store_list=True)),
     ]
     sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale)
-    return sweep.run(jobs=jobs, use_cache=use_cache).table()
+    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
 
 
 def ablation_next_block_prediction(
@@ -296,6 +366,7 @@ def ablation_next_block_prediction(
     scale: Optional[float] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    batch: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Section 5 future work: next-block (next long instruction)
     prediction hides the feasible machine's 1-cycle next-LI miss penalty
@@ -311,7 +382,7 @@ def ablation_next_block_prediction(
         for name in names
         for pred in (False, True)
     ]
-    run = run_sweep(specs, jobs=jobs, use_cache=use_cache)
+    run = run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch)
     by_cell = {(s.benchmark, s.meta["col"]): r for s, r in run}
     out: Dict[str, Dict[str, float]] = {}
     for name in names:
@@ -332,6 +403,7 @@ def ablation_compiler(
     scale: Optional[float] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    batch: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Compiler-quality sensitivity: the paper's SPECint95 inputs came from
     optimising gcc; this measures how much of the DTSVLIW's parallelism
@@ -347,7 +419,7 @@ def ablation_compiler(
         for name in _benchmarks(benchmarks)
         for label, optimize in (("optimized", True), ("naive", False))
     ]
-    return run_sweep(specs, jobs=jobs, use_cache=use_cache).table()
+    return run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch).table()
 
 
 def ablation_splitting(
@@ -355,6 +427,7 @@ def ablation_splitting(
     scale: Optional[float] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    batch: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Value of split-based renaming: unlimited renaming registers vs
     none (candidates install instead of splitting)."""
@@ -374,4 +447,4 @@ def ablation_splitting(
         ),
     ]
     sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale)
-    return sweep.run(jobs=jobs, use_cache=use_cache).table()
+    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()

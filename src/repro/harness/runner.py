@@ -116,6 +116,8 @@ def run_program(
     max_cycles: Optional[int] = None,
     trace=None,
     probe=None,
+    dtsvliw_replay: bool = False,
+    sched_memo=None,
 ) -> RunResult:
     """Run one compiled program on one machine and validate its output.
 
@@ -123,16 +125,27 @@ def run_program(
     reference machine; it supplies the IPC numerator and the oracle the
     run is checked against.  ``trace`` optionally replays a captured
     trace on the machines in :data:`TRACE_DRIVABLE` (bit-identical to
-    execution-driven; ignored by the DTSVLIW, whose VLIW Engine must
-    execute real values).  ``probe`` attaches an observability probe
-    (:mod:`repro.obs`) to the machine; it records telemetry in both the
-    execution-driven and trace-replay paths and never changes results.
+    execution-driven).  The DTSVLIW defaults to live execution; with
+    ``dtsvliw_replay=True`` (and a replay-eligible ``cfg`` -- see
+    :meth:`DTSVLIW.replay_eligible`) it runs fully trace-driven through
+    the VLIW timing twin, again bit-identical.  ``probe`` attaches an
+    observability probe (:mod:`repro.obs`) to the machine; it records
+    telemetry in both the execution-driven and trace-replay paths and
+    never changes results.  ``sched_memo`` shares one segment memo
+    (:class:`repro.scheduler.memo.ScheduleMemo`) across the replay-twin
+    runs of a batched sweep family.
     """
     if max_cycles is None:
         max_cycles = default_max_cycles()
     ref_count, ref_out, ref_code = reference
     if machine == "dtsvliw":
-        m = DTSVLIW(program, cfg, probe=probe)
+        m = DTSVLIW(
+            program,
+            cfg,
+            probe=probe,
+            trace=trace if dtsvliw_replay else None,
+            sched_memo=sched_memo,
+        )
     elif machine == "dif":
         m = DIFMachine(program, cfg, trace=trace, probe=probe)
     elif machine == "scalar":
@@ -169,6 +182,7 @@ def run_workload(
     optimize: bool = True,
     default_scale: float = 1.0,
     probe=None,
+    dtsvliw_replay: bool = False,
 ) -> RunResult:
     """Run one benchmark under one configuration and validate its output.
 
@@ -190,6 +204,10 @@ def run_workload(
         trace = workload_trace(
             name, scale, hw_mul, optimize, mem_size=cfg.mem_size
         )
+    elif machine == "dtsvliw" and dtsvliw_replay and not execution_driven_forced():
+        trace = workload_trace(
+            name, scale, hw_mul, optimize, mem_size=cfg.mem_size
+        )
     elif machine == "dtsvliw":
         # never capture just for the header (costlier than a reference
         # run), but reuse one that is already cached
@@ -207,6 +225,7 @@ def run_workload(
         machine=machine,
         name=name,
         max_cycles=max_cycles,
-        trace=trace if machine in TRACE_DRIVABLE else None,
+        trace=trace if (machine in TRACE_DRIVABLE or dtsvliw_replay) else None,
         probe=probe,
+        dtsvliw_replay=dtsvliw_replay,
     )

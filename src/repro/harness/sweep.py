@@ -19,6 +19,17 @@ same executor) so every trace-drivable cell -- the DIF and scalar
 baselines -- replays it instead of re-executing the program, across
 worker processes via the on-disk trace store (see :mod:`repro.trace`).
 ``REPRO_EXECUTION_DRIVEN=1`` disables the whole mechanism.
+
+Family batching: cells sharing a trace (same workload, scale, hw_mul,
+optimize and memory size) are grouped into *families* and evaluated by
+one :func:`~repro.batch.evaluate_family` task each -- the trace is bound
+once, its config-independent timing columns derived once, and each cell
+reduced to a per-config timing state (closed-form for the scalar
+baseline, trace-replay machines for DIF and the replay-eligible
+DTSVLIW).  Results are bit-identical to the unbatched path; the summary
+reports how many cells were cached / batched / simulated live, and
+``batch=False`` (or ``$REPRO_NO_BATCH``, or ``--no-batch``) restores
+strictly per-cell simulation.
 """
 
 from __future__ import annotations
@@ -217,16 +228,24 @@ def simulate_spec_profiled(spec: RunSpec) -> Tuple[RunResult, str]:
 
 
 # ------------------------------------------------------------ trace sharing
-def _trace_needs(specs: Sequence[RunSpec]) -> List[Tuple]:
+def _trace_needs(specs: Sequence[RunSpec], batch: bool = False) -> List[Tuple]:
     """Unique ``workload_trace`` argument tuples the trace-drivable cells
     in ``specs`` will ask for (registry workloads only; deduplicated in
-    first-appearance order)."""
+    first-appearance order).  With ``batch=True`` the replay-eligible
+    DTSVLIW cells count too -- family batching drives them off the same
+    shared trace."""
+    from ..batch import batchable
     from .runner import TRACE_DRIVABLE
 
     seen = set()
     out: List[Tuple] = []
     for spec in specs:
-        if spec.machine not in TRACE_DRIVABLE or spec.source is not None:
+        if spec.source is not None:
+            continue
+        if batch:
+            if not batchable(spec):
+                continue
+        elif spec.machine not in TRACE_DRIVABLE:
             continue
         key = (
             spec.benchmark,
@@ -250,7 +269,9 @@ def _capture_trace_for(key: Tuple) -> bool:
     return workload_trace(name, scale, hw_mul, optimize, mem_size) is not None
 
 
-def _precapture_traces(specs: Sequence[RunSpec], executor) -> None:
+def _precapture_traces(
+    specs: Sequence[RunSpec], executor, batch: bool = False
+) -> None:
     """Capture each missing shared trace once, through the executor.
 
     Runs before the main map so every (workload, scale) trace is captured
@@ -264,7 +285,7 @@ def _precapture_traces(specs: Sequence[RunSpec], executor) -> None:
 
     if execution_driven_forced():
         return
-    missing = [k for k in _trace_needs(specs) if not trace_cached(*k)]
+    missing = [k for k in _trace_needs(specs, batch=batch) if not trace_cached(*k)]
     if not missing:
         return
     log.debug("pre-capturing %d workload trace(s)", len(missing))
@@ -279,6 +300,9 @@ class SweepSummary:
     total: int = 0
     simulated: int = 0
     cached: int = 0
+    #: fresh cells evaluated from a shared family trace (repro.batch);
+    #: the remaining ``simulated - batched`` ran per-cell ("live")
+    batched: int = 0
     jobs: int = 1
     executor: str = "serial"
     elapsed: float = 0.0
@@ -286,6 +310,11 @@ class SweepSummary:
     #: over the freshly simulated cells (cached cells replay no work).
     sim_instructions: int = 0
     sim_wall_s: float = 0.0
+
+    @property
+    def live(self) -> int:
+        """Fresh cells that ran a per-cell simulation (not batched)."""
+        return self.simulated - self.batched
 
     @property
     def mips(self) -> float:
@@ -296,11 +325,13 @@ class SweepSummary:
 
     def line(self) -> str:
         out = (
-            "sweep: %d cells (%d simulated, %d cached) via %s jobs=%d in %.1fs"
+            "sweep: %d cells (%d cached, %d batched, %d live) "
+            "via %s jobs=%d in %.1fs"
             % (
                 self.total,
-                self.simulated,
                 self.cached,
+                self.batched,
+                self.live,
                 self.executor,
                 self.jobs,
                 self.elapsed,
@@ -355,6 +386,7 @@ def run_sweep(
     cache: Optional[resultcache.ResultCache] = None,
     executor=None,
     profile: bool = False,
+    batch: Optional[bool] = None,
 ) -> SweepRun:
     """Execute every spec; returns results in spec order.
 
@@ -362,11 +394,20 @@ def run_sweep(
     ``None`` consults ``$REPRO_NO_CACHE`` (default on).  Passing a
     ``cache`` instance forces that cache regardless of ``use_cache``.
 
+    ``batch=None`` consults ``$REPRO_NO_BATCH`` (default on): cells
+    sharing a captured trace are grouped into families and evaluated by
+    one :func:`~repro.batch.evaluate_family` task each, bit-identical to
+    the per-cell path (see the module docstring).
+
     ``profile=True`` attaches an event probe to every cell and exports a
     per-cell profile (see :mod:`repro.obs`); the result cache keys are
     untouched -- a cached cell reuses its profile from disk when a valid
     one exists and is re-simulated (same deterministic result) when not.
+    Profiled sweeps are never batched: telemetry comes from the per-cell
+    machines.
     """
+    from ..batch import batch_enabled_default, batchable, evaluate_family, family_key
+
     global _last_summary
     t0 = time.perf_counter()
     specs = [s.resolved() for s in specs]
@@ -376,6 +417,7 @@ def run_sweep(
             resultcache.cache_enabled_default() if use_cache is None else use_cache
         )
         cache = resultcache.ResultCache() if enabled else None
+    batch_on = (batch_enabled_default() if batch is None else batch) and not profile
 
     results: List[Optional[RunResult]] = [None] * len(specs)
     paths: Optional[List[Optional[str]]] = [None] * len(specs) if profile else None
@@ -399,22 +441,54 @@ def run_sweep(
         todo = list(range(len(specs)))
 
     todo_specs = [specs[i] for i in todo]
-    _precapture_traces(todo_specs, executor)
-    if profile:
-        fresh = executor.map(simulate_spec_profiled, todo_specs)
+    _precapture_traces(todo_specs, executor, batch=batch_on)
+
+    # Partition the fresh cells into trace-sharing families (one batched
+    # task each) and the per-cell remainder, preserving spec order within
+    # each family and across the remainder.
+    families: Dict[Tuple, List[int]] = {}
+    rest: List[int] = []
+    if batch_on:
+        for pos, spec in enumerate(todo_specs):
+            if batchable(spec):
+                families.setdefault(family_key(spec), []).append(pos)
+            else:
+                rest.append(pos)
     else:
-        fresh = executor.map(simulate_spec, todo_specs)
-    for i, res in zip(todo, fresh):
+        rest = list(range(len(todo_specs)))
+
+    batched = 0
+    if families:
+        items = [
+            (key, tuple(todo_specs[p] for p in poss))
+            for key, poss in families.items()
+        ]
+        for (key, poss), cells in zip(
+            families.items(), executor.map(evaluate_family, items)
+        ):
+            for p, (res, provenance) in zip(poss, cells):
+                results[todo[p]] = res
+                if provenance == "batched":
+                    batched += 1
+
+    rest_specs = [todo_specs[p] for p in rest]
+    if profile:
+        fresh = executor.map(simulate_spec_profiled, rest_specs)
+    else:
+        fresh = executor.map(simulate_spec, rest_specs)
+    for p, res in zip(rest, fresh):
         if profile:
             res, path = res
-            paths[i] = path
-        results[i] = res
-        if cache is not None:
+            paths[todo[p]] = path
+        results[todo[p]] = res
+
+    if cache is not None:
+        for i in todo:
             cache.put(
                 specs[i].cache_key(),
                 {
                     "spec": specs[i].to_dict(),
-                    "result": res.to_dict(),
+                    "result": results[i].to_dict(),
                     "code_version": resultcache.code_version(),
                 },
             )
@@ -423,6 +497,7 @@ def run_sweep(
         total=len(specs),
         simulated=len(todo),
         cached=len(specs) - len(todo),
+        batched=batched,
         jobs=getattr(executor, "jobs", 1),
         executor=getattr(executor, "name", type(executor).__name__),
         elapsed=time.perf_counter() - t0,
@@ -468,7 +543,14 @@ class Sweep:
             ]
         )
 
-    def run(self, jobs=None, use_cache=None, cache=None, executor=None) -> SweepRun:
+    def run(
+        self, jobs=None, use_cache=None, cache=None, executor=None, batch=None
+    ) -> SweepRun:
         return run_sweep(
-            self.specs, jobs=jobs, use_cache=use_cache, cache=cache, executor=executor
+            self.specs,
+            jobs=jobs,
+            use_cache=use_cache,
+            cache=cache,
+            executor=executor,
+            batch=batch,
         )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..core.errors import SimError
 from ..obs.probe import EV_CACHE_MISS
+from .lru import LRUSets
 
 
 class CacheStats:
@@ -34,8 +35,9 @@ class Cache:
     """Set-associative LRU cache.
 
     ``access(addr)`` returns the cycle penalty (0 on hit, ``miss_penalty``
-    on miss) and updates residency.  Each set is a most-recent-first list of
-    tags; associativities in the paper are <= 8, so list operations are cheap.
+    on miss) and updates residency.  Residency bookkeeping is the shared
+    :class:`~repro.memory.lru.LRUSets` structure (one MRU-first tag list
+    per set), also used by the VLIW cache and the batched timing models.
     """
 
     __slots__ = (
@@ -47,7 +49,7 @@ class Cache:
         "perfect",
         "num_sets",
         "line_shift",
-        "sets",
+        "lru",
         "stats",
         "probe",
     )
@@ -79,11 +81,11 @@ class Cache:
                 )
             self.num_sets = num_lines // assoc
             self.line_shift = line_size.bit_length() - 1
-            self.sets = [[] for _ in range(self.num_sets)]
+            self.lru = LRUSets(self.num_sets, assoc)
         else:
             self.num_sets = 0
             self.line_shift = 0
-            self.sets = []
+            self.lru = None
         self.stats = CacheStats()
         #: active probe or None (miss events only -- hits stay untouched)
         self.probe = probe
@@ -94,22 +96,18 @@ class Cache:
             self.stats.hits += 1
             return 0
         line = addr >> self.line_shift
-        s = self.sets[line % self.num_sets]
-        if line in s:
+        idx = line % self.num_sets
+        hit, _ = self.lru.lookup(idx, line)
+        if hit:
             self.stats.hits += 1
-            if s[0] != line:
-                s.remove(line)
-                s.insert(0, line)
             return 0
         self.stats.misses += 1
         if self.probe is not None:
             self.probe.emit(EV_CACHE_MISS, self.name)
-        s.insert(0, line)
-        if len(s) > self.assoc:
-            s.pop()
+        self.lru.fill(idx, line)
         return self.miss_penalty
 
     def flush(self) -> None:
         """Drop every resident line."""
-        for s in self.sets:
-            s.clear()
+        if self.lru is not None:
+            self.lru.clear()

@@ -1,0 +1,127 @@
+"""Shared set-associative LRU bookkeeping.
+
+One parameterized implementation of the "most-recently-used-first list per
+set" structure that was previously written twice (the conventional
+:class:`~repro.memory.cache.Cache` and the
+:class:`~repro.vliw.cache.VLIWCache`) and is now also the scalar fallback
+of the batched cache timing models (:mod:`repro.batch`).
+
+The class deliberately knows nothing about addresses, line sizes or miss
+penalties: callers map an address to ``(set index, tag)`` themselves and
+attach whatever payload they need (the VLIW cache stores the
+:class:`~repro.scheduler.long_instruction.Block`; the conventional caches
+store nothing).  Associativities in the paper are <= 8, so plain list
+scans beat any fancier structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+
+class LRUSets:
+    """``num_sets`` independent MRU-first lists of ``(tag, payload)``."""
+
+    __slots__ = ("num_sets", "assoc", "sets")
+
+    def __init__(self, num_sets: int, assoc: int):
+        if num_sets < 1 or assoc < 1:
+            raise ValueError(
+                "LRUSets needs num_sets >= 1 and assoc >= 1 (got %d, %d)"
+                % (num_sets, assoc)
+            )
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.sets: List[List[Tuple[int, Any]]] = [[] for _ in range(num_sets)]
+
+    def lookup(self, index: int, tag: int) -> Tuple[bool, Any]:
+        """``(hit, payload)``; a hit refreshes the tag's recency."""
+        s = self.sets[index]
+        for i, (t, payload) in enumerate(s):
+            if t == tag:
+                if i:
+                    s.insert(0, s.pop(i))
+                return True, payload
+        return False, None
+
+    def probe(self, index: int, tag: int) -> bool:
+        """Non-destructive presence check (LRU order untouched)."""
+        return any(t == tag for t, _ in self.sets[index])
+
+    def insert(self, index: int, tag: int, payload: Any = None) -> int:
+        """Install ``tag`` as MRU, replacing any same-tag entry.
+
+        Returns the evicted victim's tag, or -1 when nothing was evicted.
+        """
+        s = self.sets[index]
+        for i, (t, _) in enumerate(s):
+            if t == tag:
+                s.pop(i)
+                break
+        s.insert(0, (tag, payload))
+        if len(s) > self.assoc:
+            return s.pop()[0]
+        return -1
+
+    def fill(self, index: int, tag: int, payload: Any = None) -> int:
+        """Miss-path install: like :meth:`insert` but the caller guarantees
+        ``tag`` is absent (skips the same-tag scan).  Returns the victim's
+        tag or -1."""
+        s = self.sets[index]
+        s.insert(0, (tag, payload))
+        if len(s) > self.assoc:
+            return s.pop()[0]
+        return -1
+
+    def remove(self, index: int, tag: int) -> bool:
+        """Drop ``tag``; True when it was resident."""
+        s = self.sets[index]
+        for i, (t, _) in enumerate(s):
+            if t == tag:
+                s.pop(i)
+                return True
+        return False
+
+    def clear(self) -> None:
+        for s in self.sets:
+            s.clear()
+
+    def occupancy(self) -> int:
+        """Total resident entries across all sets."""
+        return sum(len(s) for s in self.sets)
+
+    def entries(self) -> List[Tuple[int, Any]]:
+        """All resident ``(tag, payload)`` pairs (inspection/debugging)."""
+        out: List[Tuple[int, Any]] = []
+        for s in self.sets:
+            out.extend(s)
+        return out
+
+
+def lru_miss_count(
+    set_ids,
+    tags,
+    num_sets: int,
+    assoc: int,
+    miss_mask: Optional[list] = None,
+) -> int:
+    """Replay an access stream through a fresh :class:`LRUSets`, counting
+    misses.  ``set_ids``/``tags`` are parallel sequences; when
+    ``miss_mask`` (a mutable sequence of the same length) is given, each
+    miss position is marked 1.  This is the scalar fallback the batched
+    cache timing model uses for associativities its vectorized path does
+    not cover."""
+    sets = LRUSets(num_sets, assoc)
+    lookup = sets.lookup
+    fill = sets.fill
+    misses = 0
+    for i in range(len(tags)):
+        idx = set_ids[i]
+        tag = tags[i]
+        hit, _ = lookup(idx, tag)
+        if not hit:
+            fill(idx, tag)
+            misses += 1
+            if miss_mask is not None:
+                miss_mask[i] = 1
+    return misses

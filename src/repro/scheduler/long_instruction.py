@@ -137,6 +137,8 @@ class Block:
         "keep_mem_order",
         "req_canrestore",
         "req_cansave",
+        "build_ops",
+        "replay_plan",
     )
 
     def __init__(
@@ -152,6 +154,7 @@ class Block:
         keep_mem_order: bool = False,
         req_canrestore: int = 0,
         req_cansave: int = 0,
+        build_ops: Optional[List["SchedOp"]] = None,
     ):
         self.start_addr = start_addr
         self.lis = lis
@@ -172,6 +175,11 @@ class Block:
         # touch valid (ancestors resident, descendants free).
         self.req_canrestore = req_canrestore
         self.req_cansave = req_cansave
+        # Ops in build (program) order -- the committed stream the block
+        # covers; None for blocks built outside the Scheduler Unit (tests).
+        self.build_ops = build_ops
+        # Lazily built trace-replay flow plan (repro.vliw.replay_engine).
+        self.replay_plan = None
 
     def op_count(self) -> int:
         return sum(li.op_count() for li in self.lis)

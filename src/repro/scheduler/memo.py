@@ -1,0 +1,283 @@
+"""Content-keyed memoization of trace-driven scheduling stints.
+
+A replay-eligible DTSVLIW run spends most of its host time in *primary
+mode*: every committed instruction walks the pipeline timing model, the
+Scheduler Unit ticks and the block under construction grows until a
+flush hands it to the VLIW Cache.  All of that work is a pure function
+of the committed-stream content between two flush boundaries -- the
+machine never reads register or memory *values* on the replay path --
+so when the trace revisits the same code (loop bodies re-entering
+primary mode after an eviction, or the same workload evaluated under a
+different VLIW Cache geometry), the stint's entire effect can be
+replayed from a record: a Stats delta, the flushed :class:`Block`, and
+the cursor/window fast-forward.
+
+A *segment* runs from one canonical scheduler state (empty list, or
+exactly the one spillover op a ``FLUSH_FULL`` left behind) to the next
+flush boundary:
+
+* ``full``  -- ``insert`` flushed a full block; the incoming op starts
+  the next block (rebuilt live on apply, so its renaming state and the
+  ``keep_mem_order`` decision come from the applying machine);
+* ``nonsched`` -- a non-schedulable instruction flushed the list;
+* ``hit``   -- the Fetch Unit probe hit: the partial block is flushed
+  (chained to the hit address) and the segment ends just before the
+  VLIW excursion, which always runs live (its cost depends on VLIW
+  Cache contents the segment key deliberately ignores).
+
+Records are validated before every apply, never trusted:
+
+* the event slice must match exactly (``pcs``/taken flags/spill plan);
+* memory addresses are compared as a *collision pattern* over
+  word-granular :func:`~repro.isa.registers.mem_loc` ids -- the only
+  property scheduling reads from them -- and every baked ``op.mem_addr``
+  is rewritten from the applying cursor's ``aux`` column, which is also
+  what keeps post-deviation aliasing checks in the replay twin
+  bit-identical;
+* every in-segment Fetch Unit probe must still miss (and, for ``hit``
+  segments, the boundary probe must still hit) -- segments never insert
+  mid-stint, so probing the unique addresses once is exact;
+* the reschedule-after-aliasing state must agree (``keep_mem_order``
+  for the block under construction, membership of ``alias_addrs`` for
+  a block started in-segment).
+
+The table is keyed by a *config signature* covering every field the
+primary-mode walk reads (block geometry, renaming limits, pipeline
+bubbles, window count...) and deliberately **excluding** the VLIW Cache
+geometry: a batched sweep family (``src/repro/batch``) shares one
+:class:`ScheduleMemo` across all its cells, so a block built once at
+2KB is reused by the 4KB..3MB cells -- this is what collapses the
+config-invariant scheduling work of a figure sweep to roughly one
+cell's worth.  ``REPRO_NO_SCHED_MEMO=1`` disables the memo everywhere
+(the differential suite runs both ways).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+#: segment kinds (flush boundary that closed the segment)
+SEG_FULL = 0
+SEG_NONSCHED = 1
+SEG_HIT = 2
+
+
+def memo_disabled() -> bool:
+    """True when ``$REPRO_NO_SCHED_MEMO`` turns segment memoization off."""
+    return os.environ.get("REPRO_NO_SCHED_MEMO", "") not in ("", "0")
+
+
+def config_sig(cfg) -> Tuple:
+    """Everything the primary-mode stint walk reads from the config.
+
+    Two configs with equal signatures schedule identical committed
+    streams into identical blocks with identical Stats deltas.  VLIW
+    Cache geometry and VLIW-engine costs are *excluded* on purpose:
+    probes are verified per apply and the VLIW excursion always runs
+    live, so fig5/fig6/fig7 sweep cells share one table.
+    """
+    return (
+        cfg.block_width,
+        cfg.block_height,
+        tuple(cfg.slot_classes) if cfg.slot_classes is not None else None,
+        cfg.int_renaming_limit,
+        cfg.fp_renaming_limit,
+        cfg.cc_renaming_limit,
+        cfg.mem_renaming_limit,
+        cfg.nwindows,
+        cfg.multicycle,
+        cfg.vliw_window_spill_inline,
+        cfg.load_use_bubble,
+        cfg.branch_not_taken_bubble,
+        cfg.window_spill_penalty,
+        cfg.switch_to_vliw_cost,
+        cfg.mem_size,
+    )
+
+
+class SegmentRecord:
+    """One recorded stint: verification material plus the replayable
+    effect (see module docstring)."""
+
+    __slots__ = (
+        "kind",
+        "ext",
+        "pcs",
+        "flags",
+        "spilled",
+        "mem_offs",
+        "mem_pat",
+        "probe_addrs",
+        "block",
+        "mem_fix",
+        "delta",
+        "d_cycles",
+        "keep_entry",
+        "start_op_addr",
+        "d_cansave",
+        "d_canrestore",
+        "d_wssp",
+        "end_llr",
+        "end_cwp",
+    )
+
+    def __init__(self):
+        self.kind = SEG_FULL
+        #: entered with the previous FULL flush's spillover op pending
+        self.ext = False
+        #: pcs[base : end+1] -- events plus the boundary pc (= the hit
+        #: address for SEG_HIT, the block nba / resume pc otherwise)
+        self.pcs = None
+        self.flags = None
+        self.spilled = None
+        #: offsets (relative to base) of memory events, and the
+        #: first-occurrence collision pattern of their word ids
+        self.mem_offs: Tuple[int, ...] = ()
+        self.mem_pat: Tuple[int, ...] = ()
+        #: unique addresses the Fetch Unit probed (all missed)
+        self.probe_addrs: Tuple[int, ...] = ()
+        #: the Block this segment flushed into the VLIW Cache, or None
+        self.block = None
+        #: (build_ops index, event offset) pairs whose ``mem_addr`` is
+        #: rewritten from the applying cursor's aux column
+        self.mem_fix: Tuple[Tuple[int, int], ...] = ()
+        #: additive Stats delta (the four renaming maxima are excluded:
+        #: they are re-derived from the block's high-water marks)
+        self.delta: Tuple[Tuple[str, int], ...] = ()
+        self.d_cycles = 0
+        #: ``keep_mem_order`` in force at entry (ext) / for the block
+        #: started in-segment (via its start address, checked against
+        #: the applying machine's ``alias_addrs``)
+        self.keep_entry = False
+        self.start_op_addr: Optional[int] = None
+        self.d_cansave = 0
+        self.d_canrestore = 0
+        self.d_wssp = 0
+        self.end_llr: Optional[int] = None
+        self.end_cwp = 0
+
+
+#: Stats fields whose segment change is a max, not a sum -- re-derived
+#: from the flushed block's renaming high-water marks on apply.
+_MAX_FIELDS = {
+    "max_int_renaming": "n_int_rr",
+    "max_fp_renaming": "n_fp_rr",
+    "max_cc_renaming": "n_cc_rr",
+    "max_mem_renaming": "n_mem_rr",
+}
+
+
+class MemoTable(dict):
+    """One config signature's lookup table, with its own record count.
+
+    The admission cap is per table: a sweep touching many signatures
+    (fig5 varies the block geometry cell by cell) must not starve the
+    tables of a later sweep sharing the same memo."""
+
+    __slots__ = ("records",)
+
+    def __init__(self):
+        super().__init__()
+        self.records = 0
+
+
+class ScheduleMemo:
+    """A per-family store of :class:`SegmentRecord` tables, one table
+    per config signature.
+
+    Shared across the sequentially-evaluated cells of a batched sweep
+    family -- and, via :func:`shared_memo`, across the sweeps of one
+    process; never pickled (pool workers each build their own).
+    """
+
+    def __init__(self, max_records: int = 8192, bucket_cap: int = 8,
+                 max_tables: int = 64):
+        self._by_sig: Dict[Tuple, MemoTable] = {}
+        #: per-table (per config signature) record cap
+        self.max_records = max_records
+        self.bucket_cap = bucket_cap
+        self.max_tables = max_tables
+        #: diagnostics: segments applied / recorded
+        self.applied = 0
+        self.stored = 0
+
+    def table_for(self, cfg) -> MemoTable:
+        """The lookup table for ``cfg``'s signature (created on demand).
+
+        Keys are ``(pc, cwp, last_load_rd, ext)``; values are lists of
+        candidate records (verified content-first on every apply)."""
+        sig = config_sig(cfg)
+        table = self._by_sig.get(sig)
+        if table is None:
+            if len(self._by_sig) >= self.max_tables:
+                self._by_sig.clear()
+            table = self._by_sig[sig] = MemoTable()
+        return table
+
+    def admit(self, table: MemoTable, key: Tuple, rec: SegmentRecord) -> bool:
+        """Store ``rec`` under ``key`` unless the caps say no."""
+        if table.records >= self.max_records:
+            return False
+        bucket = table.get(key)
+        if bucket is None:
+            bucket = table[key] = []
+        elif len(bucket) >= self.bucket_cap:
+            return False
+        bucket.append(rec)
+        table.records += 1
+        self.stored += 1
+        return True
+
+
+#: process-global registry of family memos.  Consecutive sweeps over the
+#: same family reuse each other's scheduling work: fig6 after fig5 (same
+#: workload, same trace, overlapping config signatures), or a warm re-run
+#: of the same figure.  Per-process only -- pool workers grow their own.
+_shared: Dict[Tuple, "ScheduleMemo"] = {}
+
+#: distinct families kept before the registry is dropped wholesale (each
+#: family's memo is itself capped by ``max_records``)
+_SHARED_FAMILY_CAP = 32
+
+
+def shared_memo(family_key: Tuple) -> "ScheduleMemo":
+    """The process-wide :class:`ScheduleMemo` for one sweep family.
+
+    ``family_key`` is the batch layer's grouping key (workload, scale,
+    hw_mul, optimize, mem_size): cells with equal keys replay the same
+    captured trace, so their segment records are mutually applicable --
+    and every apply re-verifies content, so a stale record can only cost
+    a lookup, never correctness."""
+    memo = _shared.get(family_key)
+    if memo is None:
+        if len(_shared) >= _SHARED_FAMILY_CAP:
+            _shared.clear()
+        memo = _shared[family_key] = ScheduleMemo()
+    return memo
+
+
+def collision_pattern(aux, base: int, offs) -> Tuple[int, ...]:
+    """First-occurrence canonical form of the memory events' word ids.
+
+    Scheduling only ever compares ``mem_loc`` ids for equality (flow /
+    output / anti dependences through memory words), so two stints whose
+    addresses collide in the same pattern build identical blocks even
+    when the absolute addresses differ."""
+    seen: Dict[int, int] = {}
+    pat = []
+    for k, off in enumerate(offs):
+        w = aux[base + off] >> 2
+        pat.append(seen.setdefault(w, k))
+    return tuple(pat)
+
+
+def pattern_matches(rec: SegmentRecord, aux, base: int) -> bool:
+    """Does the applying cursor's aux column collide like the record's?"""
+    seen: Dict[int, int] = {}
+    pat = rec.mem_pat
+    for k, off in enumerate(rec.mem_offs):
+        w = aux[base + off] >> 2
+        if seen.setdefault(w, k) != pat[k]:
+            return False
+    return True

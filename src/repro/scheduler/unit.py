@@ -104,6 +104,10 @@ class SchedulerUnit:
         #: publishes its rename when the candidate is still the newest
         #: definition (a later instruction may have redefined the location)
         self.newest_writer: dict = {}
+        #: ops of the current block in *build* (program) order -- the
+        #: committed-stream order a trace-driven replay of the block walks
+        #: (see repro.vliw.replay_engine); carried on the flushed Block
+        self.build_ops: List[SchedOp] = []
 
     # --------------------------------------------------------------- queries
     @property
@@ -418,6 +422,7 @@ class SchedulerUnit:
         self.req_cansave = 0
         self.rename_map = {}
         self.newest_writer = {}
+        self.build_ops = []
         if self.probe is not None:
             self.probe.emit(EV_BLOCK_OPEN, op.addr)
 
@@ -480,6 +485,7 @@ class SchedulerUnit:
         elif not self.cfg.multicycle:
             op.latency = 1
         self.stats.instructions_scheduled += 1
+        self.build_ops.append(op)
         if self.probe is not None:
             self.probe.emit(EV_SCHED, op.addr)
 
@@ -539,6 +545,7 @@ class SchedulerUnit:
             keep_mem_order=self.keep_mem_order,
             req_canrestore=self.req_canrestore,
             req_cansave=self.req_cansave,
+            build_ops=self.build_ops,
         )
         st = self.stats
         st.blocks_flushed += 1
@@ -570,6 +577,7 @@ class SchedulerUnit:
             )
         self.entries = []
         self.n_candidates = 0
+        self.build_ops = []
         return block
 
     def _note_window(self, k: int) -> None:

@@ -29,6 +29,7 @@ import os
 from typing import Optional
 
 from ..core.errors import ProgramExit
+from ..isa.instructions import K_RESTORE, K_SAVE
 from ..isa.semantics import step
 from .events import BoundTrace, Trace, TraceDesync
 
@@ -146,12 +147,54 @@ class ReplayTraceSource:
         return nxt
 
 
+class WindowReplayTraceSource(ReplayTraceSource):
+    """Replay source that additionally maintains the register-window
+    *occupancy* state (``cansave``/``canrestore``/``wssp``) alongside
+    ``cwp``.
+
+    The scalar and DIF baselines never read those fields, so the plain
+    :class:`ReplayTraceSource` skips them; the DTSVLIW's VLIW Engine does
+    (eager window fills/spills at block entry re-check residency), so its
+    replay twin needs the committed stream to keep them current.  The
+    update mirrors :func:`repro.isa.semantics.step` exactly: a spilled
+    save/restore moves the window-spill stack pointer and leaves the
+    counters alone; a non-spilled one transfers a window between the
+    ``cansave`` and ``canrestore`` pools.
+    """
+
+    __slots__ = ()
+
+    def execute(self, instr, info) -> int:
+        i = self.i
+        nxt = super().execute(instr, info)
+        kind = instr.op.kind
+        if kind == K_SAVE:
+            rf = self.rf
+            if self.spilled[i]:
+                rf.wssp -= 64
+            else:
+                rf.cansave -= 1
+                rf.canrestore += 1
+        elif kind == K_RESTORE:
+            rf = self.rf
+            if self.spilled[i]:
+                rf.wssp += 64
+            else:
+                rf.canrestore -= 1
+                rf.cansave += 1
+        return nxt
+
+
 def replay_source_for(
-    trace: Optional[Trace], program, rf, services, cfg
+    trace: Optional[Trace], program, rf, services, cfg, windows: bool = False
 ) -> Optional[ReplayTraceSource]:
     """A replay source for ``trace`` on a machine, or None when the live
     path must be used (no trace, escape hatch set, mismatched memory
-    size, or a window plan the live machine would fault on)."""
+    size, or a window plan the live machine would fault on).
+
+    ``windows=True`` returns the :class:`WindowReplayTraceSource` variant
+    (window-occupancy bookkeeping for the DTSVLIW replay twin).
+    """
     if trace is None or execution_driven_forced():
         return None
     if trace.mem_size != cfg.mem_size:
@@ -159,4 +202,5 @@ def replay_source_for(
     bound = trace.bind(program)
     if not bound.window_plan(rf.nwindows).valid:
         return None
-    return ReplayTraceSource(bound, rf, services)
+    cls = WindowReplayTraceSource if windows else ReplayTraceSource
+    return cls(bound, rf, services)

@@ -8,13 +8,20 @@ block's last valid long instruction, giving bubble-free block chaining
 during VLIW fetch (section 3.5).
 
 In this simulator the per-line nba is carried inside the :class:`Block`
-object (``nba_addr``/``nba_line``); the cache maps addresses to blocks.
+object (``nba_addr``/``nba_line``); the cache maps addresses to blocks
+through the shared :class:`~repro.memory.lru.LRUSets` bookkeeping.
+
+Geometry validation lives at :class:`~repro.core.config.MachineConfig`
+(``vliw_cache_effective_assoc``): a cache too small for the requested
+associativity is clamped -- with a one-time warning -- *there*, so this
+class rejects impossible geometries instead of silently mutating them.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..memory.lru import LRUSets
 from ..obs.probe import EV_BLOCK_INSTALL, EV_BLOCK_INVALIDATE
 from ..scheduler.long_instruction import Block
 
@@ -23,7 +30,7 @@ class VLIWCache:
     __slots__ = (
         "num_sets",
         "assoc",
-        "sets",
+        "lru",
         "hits",
         "misses",
         "insertions",
@@ -31,14 +38,15 @@ class VLIWCache:
     )
 
     def __init__(self, total_blocks: int, assoc: int, probe=None):
-        if total_blocks < assoc:
-            assoc = max(1, total_blocks)
+        if assoc < 1 or total_blocks < assoc:
+            raise ValueError(
+                "VLIW cache of %d blocks cannot be %d-way associative"
+                " (use MachineConfig.vliw_cache_effective_assoc)"
+                % (total_blocks, assoc)
+            )
         self.assoc = assoc
         self.num_sets = max(1, total_blocks // assoc)
-        # Each set is a most-recently-used-first list of (tag, Block).
-        self.sets: List[List[Tuple[int, Block]]] = [
-            [] for _ in range(self.num_sets)
-        ]
+        self.lru = LRUSets(self.num_sets, assoc)
         self.hits = 0
         self.misses = 0
         self.insertions = 0
@@ -47,59 +55,45 @@ class VLIWCache:
         #: cache's architectural presence-check method below
         self.obs = probe
 
-    def _set_for(self, addr: int) -> List[Tuple[int, Block]]:
-        return self.sets[(addr >> 2) % self.num_sets]
+    @property
+    def sets(self) -> List[List[Tuple[int, Block]]]:
+        """The raw per-set ``(tag, Block)`` lists (inspection/export)."""
+        return self.lru.sets
+
+    def _index(self, addr: int) -> int:
+        return (addr >> 2) % self.num_sets
 
     def lookup(self, addr: int) -> Optional[Block]:
         """Tag-match ``addr``; returns the block and refreshes LRU."""
-        s = self._set_for(addr)
-        for i, (tag, block) in enumerate(s):
-            if tag == addr:
-                self.hits += 1
-                if i:
-                    s.insert(0, s.pop(i))
-                return block
+        hit, block = self.lru.lookup(self._index(addr), addr)
+        if hit:
+            self.hits += 1
+            return block
         self.misses += 1
         return None
 
     def probe(self, addr: int) -> bool:
         """Non-destructive presence check (does not touch LRU/stats)."""
-        s = self._set_for(addr)
-        return any(tag == addr for tag, _ in s)
+        return self.lru.probe(self._index(addr), addr)
 
     def insert(self, block: Block) -> None:
         """Write a flushed block; replaces a same-tag line, else LRU."""
         addr = block.start_addr
-        s = self._set_for(addr)
-        for i, (tag, _) in enumerate(s):
-            if tag == addr:
-                s.pop(i)
-                break
-        s.insert(0, (addr, block))
-        evicted = -1
-        if len(s) > self.assoc:
-            evicted = s.pop()[0]
+        evicted = self.lru.insert(self._index(addr), addr, block)
         self.insertions += 1
         if self.obs is not None:
             self.obs.emit(EV_BLOCK_INSTALL, addr, evicted)
 
     def invalidate(self, addr: int) -> bool:
         """Drop the block tagged ``addr``; True when it was resident."""
-        s = self._set_for(addr)
-        found = False
-        for i, (tag, _) in enumerate(s):
-            if tag == addr:
-                s.pop(i)
-                found = True
-                break
+        found = self.lru.remove(self._index(addr), addr)
         if self.obs is not None:
             self.obs.emit(EV_BLOCK_INVALIDATE, addr, int(found))
         return found
 
     def flush_all(self) -> None:
-        for s in self.sets:
-            s.clear()
+        self.lru.clear()
 
     def resident_blocks(self) -> int:
         """Total blocks currently cached (all sets)."""
-        return sum(len(s) for s in self.sets)
+        return self.lru.occupancy()

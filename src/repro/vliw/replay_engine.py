@@ -1,0 +1,590 @@
+"""Trace-driven twin of the VLIW Engine: timing without value execution.
+
+The live :class:`~repro.vliw.engine.VLIWEngine` interleaves two concerns:
+*execution* (register/memory values, renaming registers, checkpoint
+rollback) and *timing* (cycles per long instruction, mispredict bubbles,
+spill penalties, aliasing bookkeeping).  For machines whose statistics
+never read register **values** -- perfect data cache, no reference
+lockstep, checkpoint-list store scheme -- the timing side is a pure
+function of the committed-instruction stream, which a captured trace
+already holds.  This module exploits that: :class:`ReplayVLIWEngine`
+walks each cached block against the trace cursor and reproduces the live
+engine's :class:`~repro.core.stats.Stats` bit-identically while touching
+no architectural value state.
+
+How it works
+------------
+
+Each :class:`~repro.scheduler.long_instruction.Block` carries its
+``build_ops`` -- the scheduled operations in *build* (program) order.  A
+:class:`BlockReplayPlan` (built once per block, cached on the block)
+replays the Scheduler Unit's construction walk over the static program:
+starting at ``start_addr`` it interleaves the build ops with the
+``SCHED_SKIP`` instructions (nops, unconditional branches) the Primary
+committed between them, assigning every op its *event offset* inside the
+block's committed-stream span, and ending exactly at ``nba_addr``.
+
+At block entry the trace cursor ``i`` satisfies ``pcs[i] == start_addr``.
+The plan's control transfers (the ``li.branches`` of every long
+instruction, in program order) are compared against the trace: the first
+whose real direction (``flags``) or next pc (``pcs``) deviates from its
+recorded one determines the mispredicting long instruction and branch
+tag -- exactly what the live engine's tag validation computes from
+register values.  The per-LI walk then mirrors the live commit loop:
+executed/annulled/committed op counts, COPY accounting, load/store
+order-field aliasing checks (reusing the parent's ``_aliasing_checks``
+verbatim), window save/restore occupancy with eager fill/spill at block
+entry (reusing ``_satisfy_window_reqs``/``_sr_converged``), checkpoint
+list length for the rollback recovery cost, and the cycle charges of
+every outcome path.
+
+Memory addresses for committed operations on the trace path come from
+the ``aux`` column at the op's event offset; operations *counterfactually*
+committed past the deviation point (hoisted above the mispredicted
+branch) reuse their address from the previous execution of the block
+(``op.mem_addr``), matching the only information a value-free replay can
+have.  The differential suite (``tests/test_batched_sweep_differential``)
+gates this bit-for-bit against live execution across every paper grid.
+
+Eligibility is decided by :meth:`repro.core.machine.DTSVLIW.replay_eligible`:
+perfect data cache (the VLIW Engine never touches the instruction cache),
+``test_mode`` off (the reference lockstep reads values), and the
+checkpoint-list store scheme (the data-store-list ablation forwards
+store *values* to loads).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import MachineConfig
+from ..core.errors import (
+    AliasingException,
+    ArchException,
+    SimError,
+    WindowOverflow,
+    WindowUnderflow,
+)
+from ..core.stats import Stats
+from ..isa.instructions import K_BRANCH, SCHED_SKIP
+from ..obs.probe import (
+    EV_BLOCK_ENTRY,
+    EV_EXCEPTION,
+    EV_LI_EXEC,
+    EV_MISPREDICT,
+    EV_WINDOW_SPILL,
+)
+from ..scheduler.long_instruction import Block
+from ..scheduler.ops import (
+    SchedOp,
+    X_BRANCH,
+    X_CALL,
+    X_COPY,
+    X_FLOAD,
+    X_FSTORE,
+    X_JMPL,
+    X_LOAD,
+    X_RESTORE,
+    X_SAVE,
+    X_STORE,
+)
+from ..trace.events import TraceDesync
+from .engine import (
+    MASK32,
+    BlockOutcome,
+    VLIWEngine,
+    WindowDivergence,
+    WindowResidencyUnsatisfiable,
+)
+
+
+#: effect kinds of the per-LI fast path (plan.li_plans entries)
+_FX_LOAD, _FX_STORE, _FX_COPY = range(3)
+
+
+class BlockReplayPlan:
+    """Event-offset map of one block's committed-stream span."""
+
+    __slots__ = ("n_events", "offs", "mem_offs", "controls", "li_plans")
+
+    def __init__(
+        self,
+        n_events: int,
+        offs: Dict[int, int],
+        mem_offs: Dict[int, int],
+        controls: List[Tuple[int, SchedOp, int, int]],
+        li_plans: List[Tuple[int, int, list]],
+    ):
+        #: committed events the block consumes when it fully commits
+        self.n_events = n_events
+        #: id(op) -> event offset from block start, for every build op
+        self.offs = offs
+        #: order field -> event offset, memory-effect build ops only (a
+        #: COPY taking over a split store's memory effect shares its order)
+        self.mem_offs = mem_offs
+        #: (offset, op, li_index, branch_tag) in program order
+        self.controls = controls
+        #: per long instruction: (op count, COPY count, effect list,
+        #: has save/restore) -- only memory/copy/save/restore operations
+        #: are timing-visible, so a non-deviating LI bumps its counters
+        #: in O(1) and walks just the effect list (``_commit_li_fast``).
+        #: Save/restore can raise mid-commit (the live engine then stops
+        #: counting mid-LI), so LIs containing them keep the exact
+        #: per-op walk instead.
+        self.li_plans = li_plans
+
+
+def build_replay_plan(block: Block, program) -> BlockReplayPlan:
+    """Reconstruct the block's event offsets from the static program.
+
+    Mirrors the Scheduler Unit's build walk: the committed control flow
+    between consecutive build ops consists only of ``SCHED_SKIP``
+    instructions (any schedulable instruction would itself be a build op,
+    any non-schedulable one would have flushed the block), so the path is
+    fully determined by the recorded per-op directions and targets.
+    """
+    if block.build_ops is None:
+        raise TraceDesync(
+            "block @0x%x has no build-order record" % block.start_addr
+        )
+    instr_map = program.instrs
+    pc = block.start_addr
+    off = 0
+    offs: Dict[int, int] = {}
+    mem_offs: Dict[int, int] = {}
+    # A block covers at most height*width schedulable events plus the skip
+    # runs between them, all within the text segment; anything larger is a
+    # desynchronized walk, not a block.
+    budget = 16 * len(instr_map) + 64
+
+    def skip_to(target: int) -> None:
+        nonlocal pc, off, budget
+        while pc != target:
+            instr = instr_map.get(pc)
+            if (
+                instr is None
+                or instr.sched_class != SCHED_SKIP
+                or budget <= 0
+            ):
+                raise TraceDesync(
+                    "replay plan walk desync in block @0x%x: pc=0x%x "
+                    "expecting 0x%x" % (block.start_addr, pc, target)
+                )
+            if instr.op.kind == K_BRANCH and instr.op.name == "ba":
+                pc = (pc + instr.imm) & MASK32
+            else:  # nop or bn: falls through
+                pc += 4
+            off += 1
+            budget -= 1
+
+    for op in block.build_ops:
+        skip_to(op.addr)
+        offs[id(op)] = off
+        instr = op.instr
+        if instr is not None and instr.mem_size:
+            mem_offs[op.order] = off
+        xk = op.xkind
+        if xk == X_BRANCH:
+            pc = (op.addr + instr.imm) & MASK32 if op.taken else op.addr + 4
+        elif xk == X_JMPL or xk == X_CALL:
+            pc = op.target
+        else:
+            pc = op.addr + 4
+        off += 1
+        budget -= 1
+    skip_to(block.nba_addr)
+
+    controls: List[Tuple[int, SchedOp, int, int]] = []
+    for li_idx, li in enumerate(block.lis):
+        for k, br in enumerate(li.branches):
+            controls.append((offs[id(br)], br, li_idx, k))
+    # Branches install at the scheduling-list tail in arrival order, so
+    # (li, tag) order already is program order; sort by (unique) offset as
+    # a cheap invariant.
+    controls.sort(key=lambda c: c[0])
+
+    li_plans: List[Tuple[int, int, list, bool]] = []
+    for li in block.lis:
+        n_copies = 0
+        has_sr = False
+        effects: list = []
+        for op in li.dense:
+            xk = op.xkind
+            if xk == X_LOAD or xk == X_FLOAD:
+                effects.append((_FX_LOAD, op, offs[id(op)]))
+            elif xk == X_STORE or xk == X_FSTORE:
+                if op.mem_rr is None:  # renamed stores have no effect yet
+                    effects.append((_FX_STORE, op, offs[id(op)]))
+            elif xk == X_COPY:
+                n_copies += 1
+                n_mem = sum(1 for act in op.copy_actions if act[0] == "mem")
+                if n_mem:
+                    effects.append(
+                        (_FX_COPY, op, mem_offs.get(op.order), n_mem)
+                    )
+            elif xk == X_SAVE or xk == X_RESTORE:
+                has_sr = True
+        li_plans.append((len(li.dense), n_copies, effects, has_sr))
+    return BlockReplayPlan(off, offs, mem_offs, controls, li_plans)
+
+
+class ReplayVLIWEngine(VLIWEngine):
+    """Drop-in :class:`VLIWEngine` that derives block outcomes from the
+    trace cursor instead of executing values.
+
+    Reuses the parent's window-requirement satisfaction, save/restore
+    convergence check and order-field aliasing checks verbatim; overrides
+    ``execute_block`` (the commit walk) and the inline spill/fill
+    (occupancy bookkeeping instead of checkpointed memory traffic).
+    """
+
+    def __init__(
+        self,
+        cfg: MachineConfig,
+        rf,
+        mem,
+        dcache,
+        stats: Stats,
+        source,
+        program,
+        probe=None,
+    ):
+        super().__init__(cfg, rf, mem, dcache, stats, probe=probe)
+        #: the machine's WindowReplayTraceSource (shared cursor)
+        self.source = source
+        self.program = program
+        #: checkpoint store-list length of the current block (rollback
+        #: recovery cost and max_ckpt_list without storing undo records)
+        self._ckpt_len = 0
+
+    # ------------------------------------------------------------ top level
+    def execute_block(self, block: Block) -> BlockOutcome:
+        src = self.source
+        plan = block.replay_plan
+        if plan is None:
+            plan = build_replay_plan(block, self.program)
+            block.replay_plan = plan
+        rf = self.rf
+        pcs = src.pcs
+        c0 = src.i
+        last = src.last
+        if pcs[c0] != block.start_addr:
+            raise TraceDesync(
+                "VLIW replay desync: block @0x%x entered at event %d "
+                "(trace pc 0x%x)" % (block.start_addr, c0, pcs[c0])
+            )
+        flags = src.flags
+
+        # Tag validation against the trace: the first control transfer
+        # whose real outcome deviates from its recorded one.  A committed
+        # control's real next pc is by definition the next trace pc.
+        dev: Optional[Tuple[int, SchedOp, int, int, int]] = None
+        for coff, op, li_idx, k in plan.controls:
+            i = c0 + coff
+            if i >= last:
+                raise TraceDesync(
+                    "VLIW replay desync: control at offset %d runs past "
+                    "the trace end (block @0x%x)" % (coff, block.start_addr)
+                )
+            if op.xkind == X_BRANCH:
+                if ((flags[i] & 1) != 0) != op.taken:
+                    dev = (coff, op, li_idx, k, pcs[i + 1])
+                    break
+            else:  # X_JMPL: indirect target
+                if pcs[i + 1] != op.target:
+                    dev = (coff, op, li_idx, k, pcs[i + 1])
+                    break
+        dev_off = dev[0] if dev is not None else plan.n_events
+        dev_li = dev[2] if dev is not None else -1
+
+        self.entry_cwp = rf.cwp
+        self.load_list.clear()
+        self.store_list.clear()
+        self._ckpt_len = 0
+        window_shadow = (rf.cwp, rf.cansave, rf.canrestore, rf.wssp)
+        cycles = 0
+        st = self.stats
+        st.vliw_block_entries += 1
+        probe = self.probe
+        if probe is not None:
+            probe.emit(EV_BLOCK_ENTRY, block.start_addr)
+        self._eager_count = 0
+        self._sr_entry = (rf.cansave, rf.canrestore, rf.wssp)
+        self._sr_log = []
+        try:
+            if (
+                block.req_canrestore > rf.canrestore
+                or block.req_cansave > rf.cansave
+            ):
+                self._li_extra_cycles = 0
+                self._satisfy_window_reqs(block)
+                cycles += self._li_extra_cycles
+            li_plans = plan.li_plans
+            for li_idx, li in enumerate(block.lis):
+                cycles += 1
+                if li_idx != dev_li:
+                    # No control deviates in this LI: every op commits
+                    # (an unbounded tag limit annuls nothing).
+                    n_ops, n_copies, effects, has_sr = li_plans[li_idx]
+                    if not has_sr:
+                        st.vliw_ops_executed += n_ops
+                        st.vliw_ops_committed += n_ops
+                        if n_copies:
+                            st.copies_executed += n_copies
+                        if effects:
+                            # memory effects only: cannot raise mid-LI,
+                            # charges no extra cycles
+                            self._commit_li_fast(effects, c0, dev_off)
+                        if probe is not None:
+                            probe.emit(EV_LI_EXEC, n_ops, n_ops)
+                        continue
+                    # Save/restore present: it can raise mid-commit (the
+                    # live engine then stops counting ops mid-LI) and
+                    # charges inline spill/fill cycles -- take the exact
+                    # per-op walk.
+                    limit = 1 << 30
+                else:
+                    limit = dev[3]
+                if probe is not None:
+                    ex0 = st.vliw_ops_executed
+                    cm0 = st.vliw_ops_committed
+                    self._commit_li(li, limit, plan, c0, dev_off)
+                    probe.emit(
+                        EV_LI_EXEC,
+                        st.vliw_ops_executed - ex0,
+                        st.vliw_ops_committed - cm0,
+                    )
+                else:
+                    self._commit_li(li, limit, plan, c0, dev_off)
+                # (no dcache time: replay requires a perfect data cache)
+                if self._li_extra_cycles:
+                    cycles += self._li_extra_cycles
+                if li_idx == dev_li:
+                    redirect = dev[4]
+                    self._redirect_branch_addr = dev[1].addr
+                    if self._eager_count and not self._sr_converged():
+                        exc = WindowDivergence(
+                            "early exit with unconsumed eager window "
+                            "fills at 0x%x" % self._redirect_branch_addr
+                        )
+                        exc.fault_addr = self._redirect_branch_addr
+                        raise exc
+                    st.mispredicts += 1
+                    if probe is not None:
+                        probe.emit(
+                            EV_MISPREDICT, self._redirect_branch_addr, redirect
+                        )
+                    cycles += self.cfg.mispredict_penalty
+                    st.mispredict_cycles += self.cfg.mispredict_penalty
+                    if pcs[c0 + dev_off] != dev[1].addr:
+                        raise TraceDesync(
+                            "VLIW replay desync: deviating control at "
+                            "0x%x vs trace pc 0x%x"
+                            % (dev[1].addr, pcs[c0 + dev_off])
+                        )
+                    ni = c0 + dev_off + 1
+                    src.i = ni
+                    rf.cwp = src.cwp[ni]
+                    return BlockOutcome("mispredict", redirect, cycles)
+            ni = c0 + plan.n_events
+            if ni > last or pcs[ni] != block.nba_addr:
+                raise TraceDesync(
+                    "VLIW replay desync: block @0x%x next address 0x%x "
+                    "disagrees with trace event %d"
+                    % (block.start_addr, block.nba_addr, ni)
+                )
+            src.i = ni
+            rf.cwp = src.cwp[ni]
+            return BlockOutcome("ok", block.nba_addr, cycles)
+        except ArchException as exc:
+            # Checkpoint recovery: the live engine restores registers and
+            # undoes stores; here only the cost and the window state exist
+            # (the trace cursor never advanced -- the machine re-executes
+            # the region from block.start_addr).
+            recovery = self._ckpt_len + 4
+            rf.cwp, rf.cansave, rf.canrestore, rf.wssp = window_shadow
+            cycles += recovery
+            fault_addr = getattr(exc, "fault_addr", 0)
+            kind = (
+                "aliasing" if isinstance(exc, AliasingException) else "exception"
+            )
+            if kind == "aliasing":
+                st.aliasing_exceptions += 1
+            else:
+                st.other_exceptions += 1
+            if probe is not None:
+                probe.emit(
+                    EV_EXCEPTION, 0 if kind == "aliasing" else 1, fault_addr
+                )
+            return BlockOutcome(kind, block.start_addr, cycles, exc, fault_addr)
+
+    # --------------------------------------------------------- long instr
+    def _commit_li(
+        self, li, limit: int, plan: BlockReplayPlan, c0: int, dev_off: int
+    ) -> None:
+        """Mirror of the live phase-2 commit loop for one long instruction.
+
+        ``limit`` is the valid branch-tag depth (the deviating control's
+        tag in the mispredicting long instruction, unbounded elsewhere);
+        deeper-tagged operations are annulled.  Committed memory
+        operations on the trace path resolve their address from the trace;
+        counterfactually committed ones (offset past the deviation) keep
+        the address of the block's previous execution.
+        """
+        st = self.stats
+        rf = self.rf
+        aux = self.source.aux
+        offs = plan.offs
+        li_loads: List[Tuple[int, int, int]] = []
+        li_stores: List[Tuple[int, int, int]] = []
+        committed_mem: List[SchedOp] = []
+        self._li_extra_cycles = 0
+        for op in li.dense:
+            st.vliw_ops_executed += 1
+            if op.tag_depth > limit:
+                st.speculative_annulled += 1
+                continue
+            st.vliw_ops_committed += 1
+            xk = op.xkind
+            if xk == X_LOAD or xk == X_FLOAD:
+                off = offs[id(op)]
+                addr = aux[c0 + off] if off < dev_off else op.mem_addr
+                li_loads.append((addr, op.mem_size, op.order))
+                op.mem_addr = addr
+                committed_mem.append(op)
+            elif xk == X_STORE or xk == X_FSTORE:
+                if op.mem_rr is not None:
+                    continue  # renamed store: buffered, no memory effect yet
+                off = offs[id(op)]
+                addr = aux[c0 + off] if off < dev_off else op.mem_addr
+                self._ckpt_note(1)
+                li_stores.append((addr, op.mem_size, op.order))
+                op.mem_addr = addr
+                committed_mem.append(op)
+            elif xk == X_COPY:
+                for act in op.copy_actions:
+                    if act[0] == "mem":
+                        off = plan.mem_offs.get(op.order)
+                        addr = (
+                            aux[c0 + off]
+                            if off is not None and off < dev_off
+                            else op.mem_addr
+                        )
+                        self._ckpt_note(1)
+                        li_stores.append((addr, op.mem_size, op.order))
+                        op.mem_addr = addr
+                        committed_mem.append(op)
+                st.copies_executed += 1
+            elif xk == X_SAVE:
+                self._sr_log.append("s")
+                if rf.cansave == 0:
+                    if not self.cfg.vliw_window_spill_inline:
+                        exc = WindowOverflow("save at 0x%x" % op.addr)
+                        exc.fault_addr = op.addr
+                        raise exc
+                    self._inline_spill()
+                else:
+                    rf.cansave -= 1
+                    rf.canrestore += 1
+                rf.cwp = (rf.cwp - 1) % rf.nwindows
+            elif xk == X_RESTORE:
+                self._sr_log.append("r")
+                if rf.canrestore == 0:
+                    if not self.cfg.vliw_window_spill_inline:
+                        exc = WindowUnderflow("restore at 0x%x" % op.addr)
+                        exc.fault_addr = op.addr
+                        raise exc
+                    try:
+                        self._inline_fill()
+                    except ArchException as e:
+                        if not hasattr(e, "fault_addr"):
+                            e.fault_addr = op.addr
+                        raise
+                else:
+                    rf.canrestore -= 1
+                    rf.cansave += 1
+                rf.cwp = (rf.cwp + 1) % rf.nwindows
+            # X_ALU / X_SETHI / X_BRANCH / X_JMPL / X_CALL / X_FPOP:
+            # register-only effects, invisible to the timing model
+        if li_loads or li_stores:
+            self._aliasing_checks(li_loads, li_stores, committed_mem)
+
+    def _commit_li_fast(self, effects: list, c0: int, dev_off: int) -> None:
+        """Commit the memory effects of a fully-committing long
+        instruction (no deviating control, no save/restore).
+
+        The op counters were already advanced in O(1) from the plan; only
+        loads, stores and memory-carrying copies remain, and none of them
+        can raise before the end-of-LI aliasing check -- exactly the
+        raise points :meth:`_commit_li` has on the same input.
+        """
+        aux = self.source.aux
+        li_loads: List[Tuple[int, int, int]] = []
+        li_stores: List[Tuple[int, int, int]] = []
+        committed_mem: List[SchedOp] = []
+        for entry in effects:
+            fx = entry[0]
+            if fx == _FX_LOAD:
+                _fx, op, off = entry
+                addr = aux[c0 + off] if off < dev_off else op.mem_addr
+                li_loads.append((addr, op.mem_size, op.order))
+                op.mem_addr = addr
+                committed_mem.append(op)
+            elif fx == _FX_STORE:
+                _fx, op, off = entry
+                addr = aux[c0 + off] if off < dev_off else op.mem_addr
+                self._ckpt_note(1)
+                li_stores.append((addr, op.mem_size, op.order))
+                op.mem_addr = addr
+                committed_mem.append(op)
+            else:  # _FX_COPY with memory actions
+                _fx, op, off, n_mem = entry
+                addr = (
+                    aux[c0 + off]
+                    if off is not None and off < dev_off
+                    else op.mem_addr
+                )
+                self._ckpt_note(n_mem)
+                for _ in range(n_mem):
+                    li_stores.append((addr, op.mem_size, op.order))
+                    committed_mem.append(op)
+                op.mem_addr = addr
+        self._aliasing_checks(li_loads, li_stores, committed_mem)
+
+    # ------------------------------------------------------------- helpers
+    def _ckpt_note(self, n: int) -> None:
+        """Account ``n`` checkpoint store-list entries (no undo payload)."""
+        self._ckpt_len += n
+        if self._ckpt_len > self.stats.max_ckpt_list:
+            self.stats.max_ckpt_list = self._ckpt_len
+
+    def _inline_spill(self, eager: bool = False) -> None:
+        """Occupancy-only mirror of the live checkpointed window spill."""
+        rf = self.rf
+        sp = rf.wssp - 64
+        if sp < self.mem.size - self.mem.spill_region:
+            raise SimError("window spill stack overflow (call depth too large)")
+        self._ckpt_note(16)
+        rf.wssp = sp
+        if eager:
+            rf.cansave += 1
+            rf.canrestore -= 1
+        self._li_extra_cycles += self.cfg.window_spill_penalty
+        self.stats.spill_cycles += self.cfg.window_spill_penalty
+        if self.probe is not None:
+            self.probe.emit(EV_WINDOW_SPILL, self.cfg.window_spill_penalty)
+
+    def _inline_fill(self, eager: bool = False) -> None:
+        """Occupancy-only mirror of the live checkpointed window fill."""
+        rf = self.rf
+        sp = rf.wssp
+        if sp >= self.mem.size:
+            raise WindowResidencyUnsatisfiable("fill with empty spill stack")
+        rf.wssp = sp + 64
+        if eager:
+            rf.canrestore += 1
+            rf.cansave -= 1
+        self._li_extra_cycles += self.cfg.window_spill_penalty
+        self.stats.spill_cycles += self.cfg.window_spill_penalty
+        if self.probe is not None:
+            self.probe.emit(EV_WINDOW_SPILL, self.cfg.window_spill_penalty)

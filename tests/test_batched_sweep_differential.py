@@ -1,0 +1,165 @@
+"""Differential oracle for the batched sweep evaluator (src/repro/batch).
+
+The batch layer's central claim (DESIGN.md section 12) is that grouping
+sweep cells into trace-sharing families and evaluating each family off
+one bound trace -- closed-form scalar reductions, per-config replay
+machines, the family-shared scheduling memo -- is **bit-identical** to
+simulating every cell on its own: same Stats (dataclass equality, wall
+time excluded), same cycle counts, cell for cell.  This suite pins that
+claim over the exact paper grids (fig5-fig9), over randomized config
+grids, and over every opt-out knob (``--no-batch`` / ``REPRO_NO_BATCH``,
+``REPRO_NO_SCHED_MEMO``), so any future edit to a timing model that
+forgets one of the two paths fails loudly.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CacheConfig, MachineConfig
+from repro.harness.experiments import figure_specs
+from repro.harness.sweep import RunSpec, run_sweep
+from repro.scheduler.memo import ScheduleMemo, config_sig, memo_disabled
+
+SCALE = 0.05
+BENCH = "compress"
+
+FIGURES = ["fig5", "fig6", "fig7", "fig8", "fig9"]
+
+
+def _pairs(specs, a, b):
+    assert len(a.results) == len(b.results) == len(specs)
+    return zip(specs, a.results, b.results)
+
+
+def _assert_identical(specs, per_cell, batched):
+    for spec, ra, rb in _pairs(specs, per_cell, batched):
+        label = (spec.benchmark, spec.machine, spec.meta)
+        assert ra.stats == rb.stats, label
+        assert ra.cycles == rb.cycles, label
+        assert ra.ref_instructions == rb.ref_instructions, label
+
+
+# ------------------------------------------------------------ paper grids
+@pytest.mark.parametrize("figure", FIGURES)
+def test_figure_grid_bit_identical(figure):
+    """Every paper-figure grid: per-cell vs family-batched, cell by cell."""
+    specs = figure_specs(figure, [BENCH], scale=SCALE)
+    per_cell = run_sweep(specs, use_cache=False, batch=False)
+    batched = run_sweep(specs, use_cache=False, batch=True)
+    _assert_identical(specs, per_cell, batched)
+    # the batched run must actually have batched something -- a silent
+    # fall-through to per-cell simulation would pass the identity check
+    # while measuring nothing
+    assert batched.summary.batched > 0, figure
+    assert per_cell.summary.batched == 0, figure
+    assert batched.summary.batched + batched.summary.live == len(specs)
+
+
+def test_partial_family_mixes_batched_and_live():
+    """fig8's real-dcache rows cannot replay: they fall back per-cell
+    inside the batched sweep, and both provenances stay bit-identical."""
+    specs = figure_specs("fig8", [BENCH], scale=SCALE)
+    batched = run_sweep(specs, use_cache=False, batch=True)
+    assert batched.summary.batched > 0
+    assert batched.summary.live > 0
+    per_cell = run_sweep(specs, use_cache=False, batch=False)
+    _assert_identical(specs, per_cell, batched)
+
+
+# ------------------------------------------------------------- opt-outs
+def test_no_batch_env_is_lockstep(monkeypatch):
+    """``REPRO_NO_BATCH=1`` routes ``batch=None`` to the per-cell path:
+    zero batched cells, identical results."""
+    specs = figure_specs("fig6", [BENCH], scale=SCALE)
+    batched = run_sweep(specs, use_cache=False, batch=True)
+    monkeypatch.setenv("REPRO_NO_BATCH", "1")
+    plain = run_sweep(specs, use_cache=False, batch=None)
+    assert plain.summary.batched == 0
+    _assert_identical(specs, batched, plain)
+
+
+def test_no_sched_memo_env_is_lockstep(monkeypatch):
+    """``REPRO_NO_SCHED_MEMO=1`` disables segment memoization inside the
+    batched evaluator without changing a single statistic."""
+    specs = figure_specs("fig6", [BENCH], scale=SCALE)
+    with_memo = run_sweep(specs, use_cache=False, batch=True)
+    monkeypatch.setenv("REPRO_NO_SCHED_MEMO", "1")
+    assert memo_disabled()
+    without = run_sweep(specs, use_cache=False, batch=True)
+    assert without.summary.batched == with_memo.summary.batched
+    _assert_identical(specs, with_memo, without)
+
+
+# --------------------------------------------------- randomized config grids
+def _random_config(draw):
+    width = draw(st.sampled_from([2, 4, 8, 16]))
+    height = draw(st.sampled_from([2, 4, 8, 16]))
+    cfg = MachineConfig.paper_fixed(width, height, test_mode=False)
+    kw = {
+        "vliw_cache_bytes": draw(st.sampled_from([2048, 16 * 1024, 3072 * 1024])),
+        "vliw_cache_assoc": draw(st.sampled_from([1, 2, 4])),
+        "nwindows": draw(st.sampled_from([4, 6, 8])),
+        "int_renaming_limit": draw(st.sampled_from([None, 0, 4, 16])),
+        "load_use_bubble": draw(st.sampled_from([0, 1])),
+        "switch_to_vliw_cost": draw(st.sampled_from([0, 2])),
+    }
+    if draw(st.booleans()):
+        # a real data cache makes the cell replay-ineligible: it must
+        # fall back to live per-cell simulation inside the batched sweep
+        kw["dcache"] = CacheConfig(
+            size=8 * 1024, line_size=32, assoc=1, miss_penalty=8, perfect=False
+        )
+    return cfg.with_(**kw)
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+@given(st.data())
+def test_random_config_grid_bit_identical(data):
+    """Random config grids (mixed machines, mixed replay eligibility):
+    the batched sweep stays bit-identical to the per-cell sweep."""
+    n = data.draw(st.integers(min_value=2, max_value=4))
+    specs = [
+        RunSpec(BENCH, _random_config(data.draw), machine="dtsvliw", scale=SCALE)
+        for _ in range(n)
+    ]
+    specs.append(RunSpec(BENCH, MachineConfig.fig9(test_mode=False),
+                         machine="scalar", scale=SCALE))
+    specs.append(RunSpec(BENCH, MachineConfig.fig9(test_mode=False),
+                         machine="dif", scale=SCALE))
+    per_cell = run_sweep(specs, use_cache=False, batch=False)
+    batched = run_sweep(specs, use_cache=False, batch=True)
+    _assert_identical(specs, per_cell, batched)
+    assert batched.summary.batched >= 2  # scalar + dif at minimum
+
+
+# ----------------------------------------------------------- memo internals
+def test_config_sig_shares_across_vcache_geometry():
+    """The memo table key ignores VLIW Cache geometry (that is what lets
+    a fig6/fig7 family share one table) but tracks the scheduler-visible
+    fields."""
+    base = MachineConfig.paper_fixed(8, 8, test_mode=False)
+    assert config_sig(base) == config_sig(base.with_(vliw_cache_bytes=2048))
+    assert config_sig(base) == config_sig(base.with_(vliw_cache_assoc=1))
+    assert config_sig(base) != config_sig(base.with_(block_width=4))
+    assert config_sig(base) != config_sig(base.with_(nwindows=4))
+    assert config_sig(base) != config_sig(base.with_(int_renaming_limit=0))
+
+
+def test_memo_caps_are_per_table():
+    """Admission caps bind per config signature: one sweep's tables can
+    never starve a later sweep that shares the memo."""
+    memo = ScheduleMemo(max_records=2, bucket_cap=8)
+    t1 = memo.table_for(MachineConfig.paper_fixed(8, 8, test_mode=False))
+    t2 = memo.table_for(MachineConfig.paper_fixed(4, 4, test_mode=False))
+    assert t1 is not t2
+    from repro.scheduler.memo import SegmentRecord
+
+    assert memo.admit(t1, ("k", 0), SegmentRecord())
+    assert memo.admit(t1, ("k", 1), SegmentRecord())
+    assert not memo.admit(t1, ("k", 2), SegmentRecord())  # t1 full
+    assert memo.admit(t2, ("k", 0), SegmentRecord())  # t2 unaffected

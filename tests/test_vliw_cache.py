@@ -1,5 +1,10 @@
 """Tests for the VLIW Cache (section 3.4)."""
 
+import warnings
+
+import pytest
+
+from repro.core.config import MachineConfig
 from repro.scheduler.long_instruction import Block, LongInstruction
 from repro.vliw.cache import VLIWCache
 
@@ -61,8 +66,30 @@ class TestVLIWCache:
         c.flush_all()
         assert c.resident_blocks() == 0
 
-    def test_tiny_cache_clamps_assoc(self):
-        c = VLIWCache(total_blocks=1, assoc=4)
+    def test_impossible_geometry_raises(self):
+        """The cache no longer silently clamps ``assoc``: geometry
+        validation happens at MachineConfig construction instead."""
+        with pytest.raises(ValueError):
+            VLIWCache(total_blocks=1, assoc=4)
+        with pytest.raises(ValueError):
+            VLIWCache(total_blocks=8, assoc=0)
+
+    def test_config_clamps_assoc_with_warning(self):
+        from repro.core import config as config_mod
+
+        # 1 KB cache at the default 8x8x6 geometry holds 2 blocks < 4 ways
+        config_mod._warned_geometries.discard((2, 4))  # warn-once reset
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cfg = MachineConfig(vliw_cache_bytes=1024, vliw_cache_assoc=4)
+        assert cfg.vliw_cache_blocks == 2
+        assert cfg.vliw_cache_effective_assoc == 2
+        assert any("clamping" in str(w.message) for w in caught)
+        c = VLIWCache(cfg.vliw_cache_blocks, cfg.vliw_cache_effective_assoc)
         c.insert(blk(0x1000))
         c.insert(blk(0x2000))
-        assert c.resident_blocks() == 1
+        assert c.resident_blocks() == 2
+
+    def test_config_rejects_bad_assoc(self):
+        with pytest.raises(ValueError):
+            MachineConfig(vliw_cache_assoc=0)
