@@ -1,11 +1,21 @@
 #!/usr/bin/env python3
 """Emit BENCH_interp.json: interpreter throughput (MIPS) per workload.
 
-Measures the predecoded-closure interpreter against the generic ``step``
-oracle on the same workloads -- reference-machine simulated instructions
-per wall-clock second -- plus the end-to-end DTSVLIW run in test mode,
-asserting both paths produce bit-identical statistics, output and exit
+Measures three reference-machine dispatch strategies on the same
+workloads -- the generic ``step`` oracle, the predecoded-closure
+interpreter, and block-compiled superblock dispatch
+(:mod:`repro.isa.blockcompile`) -- as simulated instructions per
+wall-clock second, plus the end-to-end DTSVLIW run in test mode.  All
+paths must produce bit-identical instruction counts, output and exit
 codes while they are being timed.
+
+Block compilation happens once outside the timed region (the production
+path amortises it across runs through the on-disk block cache), so
+``block_mips`` is steady-state dispatch throughput.
+
+``--min-block-speedup X`` turns the benchmark into a CI gate: exit
+nonzero unless block-compiled dispatch is at least ``X`` times faster
+than the predecoded interpreter in aggregate.
 
 CI runs this after the test suite so every PR leaves a comparable
 interpreter-performance trajectory point.
@@ -15,7 +25,6 @@ Run:  PYTHONPATH=src python benchmarks/bench_interp.py --scale 0.3
 
 import argparse
 import json
-import os
 import platform
 import sys
 import time
@@ -23,22 +32,38 @@ import time
 from repro.core.config import MachineConfig
 from repro.core.machine import DTSVLIW
 from repro.core.reference import ReferenceMachine
+from repro.isa.blockcompile import MODE_LEAN, compile_blocks
 from repro.workloads import registry
 
+#: (payload key, ReferenceMachine kwargs) per timed dispatch strategy
+PATHS = (
+    ("generic", {"generic_step": True}),
+    ("specialized", {"generic_step": False, "block_compile": False}),
+    ("block", {"generic_step": False, "block_compile": True}),
+)
 
-def time_reference(program, generic):
+
+def time_reference(program, **kwargs):
     """-> (instructions, seconds, output, exit_code) for one full run."""
-    m = ReferenceMachine(program, generic_step=generic)
+    m = ReferenceMachine(program, **kwargs)
     count = m.run(max_instructions=1_000_000_000)
     return count, m.wall_time_s, m.output, m.exit_code
 
 
-def time_dtsvliw(program, cfg):
+def time_dtsvliw(program, cfg, generic):
     """-> (stats, seconds, output, exit_code) for one test-mode run."""
-    m = DTSVLIW(program, cfg)
-    t0 = time.perf_counter()
-    stats = m.run(max_cycles=2_000_000_000)
-    return stats, time.perf_counter() - t0, m.output, m.exit_code
+    import os
+
+    if generic:
+        os.environ["REPRO_GENERIC_STEP"] = "1"
+    try:
+        m = DTSVLIW(program, cfg)
+        t0 = time.perf_counter()
+        stats = m.run(max_cycles=2_000_000_000)
+        return stats, time.perf_counter() - t0, m.output, m.exit_code
+    finally:
+        if generic:
+            os.environ.pop("REPRO_GENERIC_STEP")
 
 
 def main(argv=None) -> int:
@@ -52,39 +77,52 @@ def main(argv=None) -> int:
         "--machine-benchmarks", default="compress,xlisp",
         help="workloads for the end-to-end test-mode DTSVLIW timing",
     )
+    parser.add_argument(
+        "--min-block-speedup", type=float, default=0.0,
+        help="fail unless aggregate block-compiled dispatch beats the "
+             "predecoded interpreter by at least this factor",
+    )
     parser.add_argument("--out", default="BENCH_interp.json")
     args = parser.parse_args(argv)
 
     names = [b for b in args.benchmarks.split(",") if b] or registry.BENCHMARKS
     workloads = {}
-    total_instr = {"generic": 0, "specialized": 0}
-    total_wall = {"generic": 0.0, "specialized": 0.0}
+    total_instr = {key: 0 for key, _ in PATHS}
+    total_wall = {key: 0.0 for key, _ in PATHS}
     for name in names:
         program = registry.load_program(name, args.scale)
-        n_gen, t_gen, out_gen, code_gen = time_reference(program, True)
-        n_spec, t_spec, out_spec, code_spec = time_reference(program, False)
-        assert n_spec == n_gen, "%s: instruction counts differ" % name
-        assert out_spec == out_gen, "%s: outputs differ" % name
-        assert code_spec == code_gen, "%s: exit codes differ" % name
-        total_instr["generic"] += n_gen
-        total_wall["generic"] += t_gen
-        total_instr["specialized"] += n_spec
-        total_wall["specialized"] += t_spec
+        compile_blocks(program, MODE_LEAN)  # pre-warm: exclude codegen
+        runs = {}
+        for key, kwargs in PATHS:
+            runs[key] = time_reference(program, **kwargs)
+            total_instr[key] += runs[key][0]
+            total_wall[key] += runs[key][1]
+        n_gen, t_gen, out_gen, code_gen = runs["generic"]
+        for key in ("specialized", "block"):
+            n, _t, out, code = runs[key]
+            assert n == n_gen, "%s/%s: instruction counts differ" % (name, key)
+            assert out == out_gen, "%s/%s: outputs differ" % (name, key)
+            assert code == code_gen, "%s/%s: exit codes differ" % (name, key)
+        t_spec, t_blk = runs["specialized"][1], runs["block"][1]
         workloads[name] = {
             "instructions": n_gen,
             "generic_mips": round(n_gen / t_gen / 1e6, 3),
-            "specialized_mips": round(n_spec / t_spec / 1e6, 3),
+            "specialized_mips": round(n_gen / t_spec / 1e6, 3),
+            "block_mips": round(n_gen / t_blk / 1e6, 3),
             "speedup": round(t_gen / t_spec, 3),
+            "block_speedup": round(t_gen / t_blk, 3),
+            "block_over_specialized": round(t_spec / t_blk, 3),
         }
         print(
-            "%-8s %9d instr  generic %6.2f MIPS  specialized %6.2f MIPS"
-            "  speedup %.2fx"
+            "%-8s %9d instr  generic %6.2f  specialized %6.2f  block %6.2f"
+            " MIPS  block/spec %.2fx"
             % (
                 name,
                 n_gen,
                 workloads[name]["generic_mips"],
                 workloads[name]["specialized_mips"],
-                workloads[name]["speedup"],
+                workloads[name]["block_mips"],
+                workloads[name]["block_over_specialized"],
             ),
             flush=True,
         )
@@ -94,10 +132,8 @@ def main(argv=None) -> int:
     for name in mnames:
         program = registry.load_program(name, args.scale)
         cfg = MachineConfig.paper_fixed(8, 8)
-        os.environ["REPRO_GENERIC_STEP"] = "1"
-        s_gen, t_gen, out_gen, code_gen = time_dtsvliw(program, cfg)
-        os.environ.pop("REPRO_GENERIC_STEP")
-        s_spec, t_spec, out_spec, code_spec = time_dtsvliw(program, cfg)
+        s_gen, t_gen, out_gen, code_gen = time_dtsvliw(program, cfg, True)
+        s_spec, t_spec, out_spec, code_spec = time_dtsvliw(program, cfg, False)
         # Stats equality excludes wall_time_s (compare=False): every
         # architectural counter must be bit-identical between the paths.
         assert s_spec == s_gen, "%s: stats differ between paths" % name
@@ -116,6 +152,8 @@ def main(argv=None) -> int:
 
     overall = (total_wall["generic"] / total_wall["specialized"]
                if total_wall["specialized"] else 0.0)
+    block_over_spec = (total_wall["specialized"] / total_wall["block"]
+                       if total_wall["block"] else 0.0)
     payload = {
         "scale": args.scale,
         "python": platform.python_version(),
@@ -127,15 +165,36 @@ def main(argv=None) -> int:
         "specialized_mips": round(
             total_instr["specialized"] / total_wall["specialized"] / 1e6, 3
         ),
+        "block_mips": round(
+            total_instr["block"] / total_wall["block"] / 1e6, 3
+        ),
         "overall_speedup": round(overall, 3),
+        "block_speedup": round(
+            total_wall["generic"] / total_wall["block"]
+            if total_wall["block"] else 0.0, 3
+        ),
+        "block_over_specialized": round(block_over_spec, 3),
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
     print(
-        "overall: generic %.2f MIPS, specialized %.2f MIPS, %.2fx"
-        % (payload["generic_mips"], payload["specialized_mips"], overall)
+        "overall: generic %.2f, specialized %.2f, block %.2f MIPS"
+        "  (block/spec %.2fx)"
+        % (
+            payload["generic_mips"],
+            payload["specialized_mips"],
+            payload["block_mips"],
+            payload["block_over_specialized"],
+        )
     )
     print("wrote %s" % args.out)
+    if args.min_block_speedup and block_over_spec < args.min_block_speedup:
+        print(
+            "FAIL: block-compiled dispatch %.2fx over predecode, "
+            "required >= %.2fx" % (block_over_spec, args.min_block_speedup),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""CI smoke test for the on-disk compiled-block cache.
+
+Run twice against the same ``$REPRO_BLOCK_DIR``: the first invocation
+(``cold``) must generate code and record a store miss; the second
+(``warm``, a fresh process, so the in-process memo is empty) must load
+every block from disk -- zero fresh compiles -- and still execute the
+workload to completion through block dispatch.
+
+Usage:  block_cache_smoke.py cold|warm
+"""
+
+import sys
+
+from repro.core.reference import ReferenceMachine
+from repro.isa.blockcompile import GLOBAL_STATS, MODE_LEAN, compile_blocks
+from repro.workloads import registry
+
+
+def main(argv=None) -> int:
+    phase = (argv if argv is not None else sys.argv[1:])[0]
+    assert phase in ("cold", "warm"), phase
+    program = registry.load_program("compress", 0.05)
+    table = compile_blocks(program, MODE_LEAN)
+    m = ReferenceMachine(program)
+    m.run(max_instructions=100_000_000)
+    snap = GLOBAL_STATS.snapshot()
+    print(
+        "%s: %d blocks, compiled=%d cache_hits=%d cache_misses=%d "
+        "fallbacks=%d exit=%d"
+        % (
+            phase,
+            len(table),
+            snap["compiled"],
+            snap["cache_hits"],
+            snap["cache_misses"],
+            snap["fallback_dispatches"],
+            m.exit_code,
+        )
+    )
+    assert m.halted, "workload did not run to completion"
+    if phase == "cold":
+        assert snap["compiled"] == len(table) > 0, "cold run must compile"
+        assert snap["cache_misses"] > 0, "cold run must miss the store"
+    else:
+        assert snap["compiled"] == 0, "warm run recompiled blocks"
+        assert snap["cache_hits"] > 0, "warm run must hit the store"
+        assert snap["cache_misses"] == 0, "warm run missed the store"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,12 @@ from ..core.config import MachineConfig
 from ..core.errors import ProgramExit, SimError
 from ..core.reference import TrapServices, setup_state
 from ..core.stats import Stats
+from ..isa.blockcompile import (
+    GLOBAL_STATS,
+    MODE_SCALAR,
+    block_compile_disabled,
+    compile_blocks,
+)
 from ..isa.instructions import K_LOAD
 from ..isa.registers import RegFile
 from ..memory.cache import Cache
@@ -89,6 +95,7 @@ class ScalarMachine:
             probe=self.probe,
         )
         self.halted = False
+        self.block_fallbacks = 0
 
     @property
     def output(self) -> bytes:
@@ -102,6 +109,11 @@ class ScalarMachine:
         """Run to the exit trap; returns the statistics."""
         if self.source is not None:
             return self._run_replay(max_cycles)
+        if (
+            self.primary.block_dispatch_viable()
+            and not block_compile_disabled()
+        ):
+            return self._run_blocks(max_cycles)
         st = self.stats
         fetch = self.program.instrs.get
         t0 = time.perf_counter()
@@ -122,6 +134,94 @@ class ScalarMachine:
             self.halted = True
         finally:
             st.wall_time_s += time.perf_counter() - t0
+        if not self.halted:
+            raise SimError("scalar machine exceeded %d cycles" % max_cycles)
+        return st
+
+    def _run_blocks(self, max_cycles: int) -> Stats:
+        """Live loop dispatching through fused scalar superblocks
+        (:mod:`repro.isa.blockcompile`, ``MODE_SCALAR``).
+
+        Each block charges the exact Table 1 timing into ``Stats`` itself
+        (icache/dcache in live access order, load-use bubbles, not-taken
+        branch bubbles, spill penalties); the load-use register crosses
+        block boundaries through the ``ctr`` protocol.  Near the
+        ``max_cycles`` limit -- where a fused block could overrun the
+        per-instruction cycle check -- and at addresses with no block
+        (interior jump targets) the loop falls back to
+        :meth:`PrimaryProcessor.step`, so truncation behaviour is
+        bit-identical to the plain live loop.
+        """
+        st = self.stats
+        cfg = self.cfg
+        primary = self.primary
+        rf, mem, services = self.rf, self.mem, self.services
+        blocks = compile_blocks(
+            self.program,
+            MODE_SCALAR,
+            sig=(
+                cfg.load_use_bubble,
+                cfg.branch_not_taken_bubble,
+                cfg.window_spill_penalty,
+            ),
+            probe=self.probe,
+        )
+        btg = blocks.get
+        fetch = self.program.instrs.get
+        ic = self.icache.access
+        dc = self.dcache.access
+        # worst-case cycles one instruction can charge: entering a block
+        # under this bound can never overshoot where the per-instruction
+        # loop would have stopped
+        worst = (
+            1
+            + self.icache.miss_penalty
+            + self.dcache.miss_penalty
+            + cfg.load_use_bubble
+            + cfg.branch_not_taken_bubble
+            + cfg.window_spill_penalty
+        )
+        ctr = [0, None, -1]  # block protocol: committed / llr out / fault pc
+        pc = self.pc
+        fb = 0
+        t0 = time.perf_counter()
+        try:
+            while st.cycles < max_cycles:
+                e = btg(pc)
+                if e is not None and st.cycles + e[1] * worst <= max_cycles:
+                    pc = e[0](
+                        rf, mem, services, st, ic, dc, primary.last_load_rd, ctr
+                    )
+                    primary.last_load_rd = ctr[1]
+                else:
+                    instr = fetch(pc)
+                    if instr is None:
+                        raise SimError(
+                            "fetch outside text segment: 0x%x" % pc
+                        )
+                    fb += 1
+                    next_pc, cycles, _sched, _nonsched = primary.step(instr)
+                    st.cycles += cycles
+                    st.primary_cycles += cycles
+                    st.ref_instructions += 1
+                    pc = next_pc
+                self.pc = pc
+        except ProgramExit:
+            st.cycles += 1
+            st.primary_cycles += 1
+            st.ref_instructions += 1  # the exit trap itself
+            if ctr[2] >= 0:  # exit trap raised inside a block
+                self.pc = ctr[2]
+            self.halted = True
+        except BaseException:
+            if ctr[2] >= 0:  # restore the faulting instruction's address
+                self.pc = ctr[2]
+            raise
+        finally:
+            st.wall_time_s += time.perf_counter() - t0
+            if fb:
+                self.block_fallbacks += fb
+                GLOBAL_STATS.fallback_dispatches += fb
         if not self.halted:
             raise SimError("scalar machine exceeded %d cycles" % max_cycles)
         return st

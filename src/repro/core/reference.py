@@ -13,10 +13,17 @@ from __future__ import annotations
 import time
 
 from ..asm.program import Program
+from ..isa.blockcompile import (
+    GLOBAL_STATS,
+    MODE_LEAN,
+    block_compile_disabled,
+    compile_blocks,
+)
 from ..isa.predecode import generic_step_forced
 from ..isa.registers import O0, RegFile, SP
 from ..isa.semantics import StepInfo, step, to_signed
 from ..memory.main_memory import MainMemory
+from ..obs.probe import EV_BC_FALLBACK, resolve_probe
 from .errors import ProgramExit, SimError
 
 #: software trap numbers
@@ -70,9 +77,13 @@ class ReferenceMachine:
     machine compares architectural state only, so it skips the StepInfo
     bookkeeping the timing engines need; ``generic_step=True`` -- or
     ``REPRO_GENERIC_STEP=1`` in the environment -- forces the generic
-    :func:`~repro.isa.semantics.step` oracle instead.  All paths are
-    observationally identical (the differential test suite holds them to
-    that, instruction by instruction).
+    :func:`~repro.isa.semantics.step` oracle instead.  On top of the lean
+    table, ``run()`` dispatches through cached compiled superblocks
+    (:mod:`repro.isa.blockcompile`) -- straight-line sequences execute as
+    one specialized function call each; ``block_compile=False`` or
+    ``REPRO_NO_BLOCK_COMPILE=1`` drops back to per-instruction closures.
+    All paths are observationally identical (the differential test suite
+    holds them to that, instruction by instruction).
     """
 
     def __init__(
@@ -82,6 +93,8 @@ class ReferenceMachine:
         nwindows: int = 8,
         services: TrapServices | None = None,
         generic_step: bool | None = None,
+        probe=None,
+        block_compile: bool | None = None,
     ):
         self.program = program
         self.mem = MainMemory(mem_size)
@@ -94,6 +107,12 @@ class ReferenceMachine:
         self.generic_step = (
             generic_step_forced() if generic_step is None else generic_step
         )
+        self.probe = resolve_probe(probe)
+        if block_compile is None:
+            block_compile = not block_compile_disabled()
+        self.block_compile = block_compile and not self.generic_step
+        self.block_fallbacks = 0
+        self._blocks = None
         self.wall_time_s = 0.0
         self._run = (
             None
@@ -140,15 +159,54 @@ class ReferenceMachine:
             raise
         self.instret += 1
 
+    def _block_table(self):
+        """The lean compiled-block dispatch table, or None when block
+        dispatch is off (escape hatches, empty table, no run table)."""
+        if not self.block_compile or self._run is None:
+            return None
+        blocks = self._blocks
+        if blocks is None:
+            blocks = compile_blocks(self.program, MODE_LEAN, probe=self.probe)
+            self._blocks = blocks
+        return blocks or None
+
     def run(self, max_instructions: int = 100_000_000) -> int:
         """Run to the exit trap; returns the instruction count."""
         rf, mem, services = self.rf, self.mem, self.services
         pc = self.pc
         n = self.instret
-        t0 = time.perf_counter()
         run_table = self._run
+        blocks = self._block_table()
+        ctr = [0, None, -1]  # committed / unused / fault pc (block protocol)
+        fb = 0
+        t0 = time.perf_counter()
         try:
-            if run_table is not None:
+            if blocks is not None:
+                probe = self.probe
+                btg = blocks.get
+                fns = run_table.get
+                while n < max_instructions:
+                    e = btg(pc)
+                    if e is not None and n + e[1] <= max_instructions:
+                        try:
+                            pc = e[0](rf, mem, services, ctr)
+                        finally:
+                            n += ctr[0]
+                            ctr[0] = 0
+                    else:
+                        # no block at pc (interior jump target) or the
+                        # block could overrun max_instructions
+                        fn = fns(pc)
+                        if fn is None:
+                            raise SimError(
+                                "fetch outside text segment: 0x%x" % pc
+                            )
+                        fb += 1
+                        if probe is not None:
+                            probe.emit(EV_BC_FALLBACK, pc)
+                        pc = fn(rf, mem, services)
+                        n += 1
+            elif run_table is not None:
                 # lean closures: no StepInfo bookkeeping in the hot loop
                 fns = run_table.get
                 while n < max_instructions:
@@ -168,11 +226,20 @@ class ReferenceMachine:
                     n += 1
         except ProgramExit:
             n += 1
+            if ctr[2] >= 0:  # exit trap raised inside a block
+                pc = ctr[2]
             self.halted = True
+        except BaseException:
+            if ctr[2] >= 0:  # restore the faulting instruction's address
+                pc = ctr[2]
+            raise
         finally:
             self.pc = pc
             self.instret = n
             self.wall_time_s += time.perf_counter() - t0
+            if fb:
+                self.block_fallbacks += fb
+                GLOBAL_STATS.fallback_dispatches += fb
         if not self.halted:
             raise SimError(
                 "reference machine exceeded %d instructions" % max_instructions

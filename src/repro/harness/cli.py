@@ -324,6 +324,20 @@ def cmd_profile(args) -> None:
             if len(shown) < len(events):
                 print("  ... %d more events in %s" % (len(events) - len(shown), path))
         print()
+    from ..isa.blockcompile import GLOBAL_STATS
+
+    bc = GLOBAL_STATS.snapshot()
+    if any(bc.values()):
+        print(
+            "block compile (this process): compiled=%d cache_hits=%d "
+            "cache_misses=%d fallbacks=%d"
+            % (
+                bc["compiled"],
+                bc["cache_hits"],
+                bc["cache_misses"],
+                bc["fallback_dispatches"],
+            )
+        )
     _print_summary()
 
 

@@ -1,0 +1,899 @@
+"""Block-compiled execution: superblocks fused into ``exec()``-compiled
+Python, cached on disk keyed by program content + code version.
+
+:mod:`repro.isa.predecode` pays the decode cost once per static
+instruction; this module applies the same first-time-vs-cached split the
+DTSVLIW itself exploits one level up, per instruction *sequence*.  Basic
+blocks (extended across unconditional control transfers into superblocks)
+are discovered on the predecoded :class:`~repro.asm.program.Program` and
+compiled into one specialized Python function per block: operand indices,
+immediates, ALU/cc/branch semantics are inlined as expressions, the
+``rf.iregs``/window-table/memory-method lookups are hoisted to block
+entry, and the per-instruction dispatch, bounds churn and (where the
+consumer permits) StepInfo bookkeeping disappear from the inner loop.
+Straight-line code then runs without returning to the generic dispatch
+loop until the next block boundary.
+
+Three codegen modes share the emitters, differing only in what each
+instruction records:
+
+* ``lean`` -- architectural effects only; consumed by
+  :meth:`repro.core.reference.ReferenceMachine.run`.
+* ``capture`` -- lean semantics plus the per-instruction trace record
+  (flags/aux columns) of :mod:`repro.trace.capture`, with consecutive
+  zero records batched into single ``extend`` calls.
+* ``scalar`` -- lean semantics plus the scalar baseline's exact Table 1
+  timing (icache/dcache in live access order, static in-block load-use
+  bubbles, not-taken-branch and window-spill penalties), flushed into
+  ``Stats`` at block exits; consumed by
+  :class:`repro.baselines.scalar.ScalarMachine` live runs.
+
+Exactness contract: every mode is observationally identical to its
+per-instruction path (and transitively to the generic ``step`` oracle),
+including exception behaviour -- a faulting instruction contributes no
+committed count, no trace record and no cycle charge, while charges made
+before the fault (icache stalls, load-use bubbles) persist, exactly as in
+:meth:`repro.primary.pipeline.PrimaryProcessor.step`.  The four-way
+differential suite (``tests/test_predecode_differential.py``) enforces
+this.  ``REPRO_NO_BLOCK_COMPILE=1`` disables block dispatch everywhere;
+``REPRO_GENERIC_STEP=1`` (the PR 2 escape hatch) implies it.
+
+The **block protocol**: a block function receives a 3-slot list ``ctr``
+and on every exit stores the number of instructions it committed in
+``ctr[0]`` (the raising instruction is *excluded*, even for the exit
+trap -- runners keep their usual ``except ProgramExit: n += 1``
+accounting), the scalar mode's outgoing load-use register in ``ctr[1]``,
+and on an exception the faulting instruction's address in ``ctr[2]``
+(so dispatchers can restore an exact ``pc``).  Known imprecision: an
+*asynchronous* exception (KeyboardInterrupt) delivered inside a block
+with no fault-capable instructions can under-count ``instret`` for that
+partial block; architectural state is never affected.
+
+Compiled modules are cached two ways: a process-global memo keyed by the
+full content key, and marshal'd code objects on disk in the
+:class:`~repro.trace.store.BlockCacheStore` -- warm runs skip code
+generation and ``compile()`` entirely.  The key covers the program
+fingerprint, mode, timing signature, the result-cache source fingerprint
+(:func:`repro.harness.resultcache.code_version`), the interpreter
+bytecode magic and a local codegen version, so stale blocks can never
+survive a source change or an interpreter upgrade.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from hashlib import sha256
+from typing import Dict, List, Optional, Set, Tuple
+
+from .instructions import (
+    K_ALU,
+    K_BRANCH,
+    K_CALL,
+    K_FLOAD,
+    K_FPOP,
+    K_FSTORE,
+    K_JMPL,
+    K_LOAD,
+    K_NOP,
+    K_RESTORE,
+    K_SAVE,
+    K_SETHI,
+    K_STORE,
+    K_TRAP,
+)
+from .predecode import FP_FUNCS, generic_step_forced
+from .semantics import (
+    ALU_FUNCS,
+    MASK32,
+    do_window_fill,
+    do_window_spill,
+    fcmp_cc,
+)
+from ..core.errors import MemFault
+
+#: codegen modes (baked into the cache key)
+MODE_LEAN = "lean"
+MODE_CAPTURE = "capture"
+MODE_SCALAR = "scalar"
+
+#: maximum instructions emitted per superblock (side exits commit fewer)
+MAX_BLOCK = 64
+#: maximum unconditional-transfer splices per superblock (bounds the tail
+#: duplication a long ``ba``/``call`` chain could otherwise cause)
+SPLICE_BUDGET = 16
+
+#: bump when generated code changes shape (part of the cache key)
+CODEGEN_VERSION = "bc1"
+
+
+def block_compile_disabled() -> bool:
+    """True when ``$REPRO_NO_BLOCK_COMPILE`` (or the stronger
+    ``$REPRO_GENERIC_STEP``) turns block dispatch off everywhere."""
+    if os.environ.get("REPRO_NO_BLOCK_COMPILE", "") not in ("", "0"):
+        return True
+    return generic_step_forced()
+
+
+class BlockCompileStats:
+    """Process-global block-compilation counters (cross-validated against
+    the ``bc_*`` probe events in ``tests/test_obs_counters.py``)."""
+
+    __slots__ = ("compiled", "cache_hits", "cache_misses", "fallback_dispatches")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.compiled = 0  # blocks freshly code-generated
+        self.cache_hits = 0  # disk-store resolutions that hit
+        self.cache_misses = 0  # disk-store resolutions that missed
+        self.fallback_dispatches = 0  # per-instruction closure dispatches
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "compiled": self.compiled,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "fallback_dispatches": self.fallback_dispatches,
+        }
+
+
+GLOBAL_STATS = BlockCompileStats()
+
+
+# ---------------------------------------------------------------------------
+# Expression fragments shared by the emitters.
+# ---------------------------------------------------------------------------
+_M = str(MASK32)  # "4294967295"
+_S = "2147483648"  # sign bit
+
+#: ALU ops inlined as expressions ({a}/{b} are operand expressions; the
+#: results are already 32-bit masked, matching the lean closures).
+_INLINE_ALU = {
+    "add": "({a} + {b}) & " + _M,
+    "addcc": "({a} + {b}) & " + _M,
+    "sub": "({a} - {b}) & " + _M,
+    "subcc": "({a} - {b}) & " + _M,
+    "and": "{a} & {b}",
+    "andcc": "{a} & {b}",
+    "or": "{a} | {b}",
+    "orcc": "{a} | {b}",
+    "xor": "{a} ^ {b}",
+    "xorcc": "{a} ^ {b}",
+    "andn": "{a} & (~{b} & " + _M + ")",
+    "orn": "{a} | (~{b} & " + _M + ")",
+    "xnor": "(~({a} ^ {b})) & " + _M,
+    "sll": "({a} << ({b} & 31)) & " + _M,
+    "srl": "{a} >> ({b} & 31)",
+}
+
+#: multicycle/compound ALU ops dispatched through injected helpers
+_HELPER_ALU = {
+    "sra": "_sra",
+    "smul": "_smul",
+    "umul": "_umul",
+    "sdiv": "_sdiv",
+    "udiv": "_udiv",
+}
+
+#: helper ALU ops that can raise (division by zero)
+_RAISING_ALU = {"sdiv", "udiv"}
+
+#: branch conditions over packed NZVC ({x} is the icc expression); all
+#: truthy-int equivalents of :data:`repro.isa.predecode.COND_FUNCS`.
+_COND_EXPR = {
+    "be": "{x} & 4",
+    "bne": "not {x} & 4",
+    "bl": "(({x} >> 3) ^ ({x} >> 1)) & 1",
+    "bge": "not (({x} >> 3) ^ ({x} >> 1)) & 1",
+    "ble": "{x} & 4 or (({x} >> 3) ^ ({x} >> 1)) & 1",
+    "bg": "not ({x} & 4 or (({x} >> 3) ^ ({x} >> 1)) & 1)",
+    "blu": "{x} & 1",
+    "bgeu": "not {x} & 1",
+    "bleu": "{x} & 5",
+    "bgu": "not {x} & 5",
+    "bpos": "not {x} & 8",
+    "bneg": "{x} & 8",
+    "bvs": "{x} & 2",
+    "bvc": "not {x} & 2",
+}
+
+#: conditions whose expression reads the icc more than once (hoisted to a
+#: local ``x`` so ``rf.icc`` is loaded a single time)
+_COND_MULTI = {"bl", "bge", "ble", "bg"}
+
+#: memory method hoists: local name -> attribute
+_MEM_HOISTS = (
+    ("mrw", "read_word"),
+    ("mww", "write_word"),
+    ("mrb", "read_byte"),
+    ("mwb", "write_byte"),
+    ("mrf", "read_float"),
+    ("mwf", "write_float"),
+)
+
+
+def _exec_globals() -> Dict[str, object]:
+    """Globals for a compiled block module.  Every helper is always
+    injected (a marshal-loaded module must execute in a fresh process
+    with no record of which helpers its source happens to use)."""
+    return {
+        "_sra": ALU_FUNCS["sra"],
+        "_smul": ALU_FUNCS["smul"],
+        "_umul": ALU_FUNCS["umul"],
+        "_sdiv": ALU_FUNCS["sdiv"],
+        "_udiv": ALU_FUNCS["udiv"],
+        "_fdiv": FP_FUNCS["fdiv"],
+        "_fcmp": fcmp_cc,
+        "_spill": do_window_spill,
+        "_fill": do_window_fill,
+        "_MF": MemFault,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Leader discovery.
+# ---------------------------------------------------------------------------
+def discover_leaders(program) -> List[int]:
+    """Superblock entry points: the program entry, every static branch or
+    call target, and every fallthrough address after a control transfer
+    (branch/call/jmpl) -- restricted to decoded addresses."""
+    instrs = program.instrs
+    leaders: Set[int] = set()
+    if program.entry in instrs:
+        leaders.add(program.entry)
+    for addr, ins in instrs.items():
+        kind = ins.op.kind
+        if kind in (K_BRANCH, K_CALL):
+            target = (addr + ins.imm) & MASK32
+            if target in instrs:
+                leaders.add(target)
+            if addr + 4 in instrs:
+                leaders.add(addr + 4)
+        elif kind == K_JMPL:
+            if addr + 4 in instrs:
+                leaders.add(addr + 4)
+    return sorted(leaders)
+
+
+# ---------------------------------------------------------------------------
+# The emitter: one superblock -> one specialized function's source.
+# ---------------------------------------------------------------------------
+class _Emitter:
+    def __init__(self, program, mode: str, sig: Tuple[int, ...]):
+        self.instrs = program.instrs
+        self.mode = mode
+        if mode == MODE_SCALAR:
+            self.lu, self.bnt, self.sp = sig
+        self.zsizes: Set[int] = set()  # capture zero-batch tuple sizes
+
+    # -- per-block state -----------------------------------------------------
+    def _reset(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+        self.can_raise = False
+        self.pending = 0  # capture: unflushed zero records
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.depth + line)
+
+    # -- operand expressions -------------------------------------------------
+    @staticmethod
+    def _iread(r: int) -> str:
+        return "0" if r == 0 else "iregs[t[%d]]" % r
+
+    def _off_expr(self, ins) -> str:
+        """Memory offset: raw signed immediate or the rs2 register."""
+        return str(ins.imm) if ins.use_imm else self._iread(ins.rs2)
+
+    def _b_expr(self, ins) -> str:
+        """Second ALU operand: masked immediate or the rs2 register."""
+        return str(ins.imm & MASK32) if ins.use_imm else self._iread(ins.rs2)
+
+    # -- mode plumbing -------------------------------------------------------
+    def _flush_zeros(self) -> None:
+        n = self.pending
+        if not n:
+            return
+        self.pending = 0
+        if n == 1:
+            self.emit("fap(0)")
+            self.emit("aap(0)")
+        else:
+            self.zsizes.add(n)
+            self.emit("fex(_Z%d)" % n)
+            self.emit("aex(_Z%d)" % n)
+
+    def _mark_raise(self, k: int, addr: int) -> None:
+        """Bookkeeping immediately before a fault-capable operation: the
+        capture column flush (appended records must equal committed
+        count if the op raises) and the ctr-protocol checkpoints."""
+        self.can_raise = True
+        mode = self.mode
+        if mode == MODE_CAPTURE:
+            self._flush_zeros()
+        if mode == MODE_SCALAR:
+            self.emit("_a = %d" % addr)
+        else:
+            self.emit("_n = %d" % k)
+            self.emit("_a = %d" % addr)
+
+    def _record_mem(self, addr_var: str) -> None:
+        if self.mode == MODE_CAPTURE:
+            self.emit("fap(0)")
+            self.emit("aap(%s)" % addr_var)
+
+    def _record_taken(self, target_expr) -> None:
+        if self.mode == MODE_CAPTURE:
+            self._flush_zeros()
+            self.emit("fap(1)")
+            self.emit("aap(%s)" % target_expr)
+
+    def _record_quiet(self) -> None:
+        if self.mode == MODE_CAPTURE:
+            self.pending += 1
+
+    # -- scalar timing -------------------------------------------------------
+    def _scalar_open(self, ins, k: int, prev_load_rd) -> None:
+        """Per-instruction cycle accounting that precedes execution: the
+        icache access and the load-use bubble (static within the block,
+        dynamic off the incoming ``llr`` for the first instruction)."""
+        self.emit("p = ic(%d)" % ins.addr)
+        self.emit("if p:")
+        self.emit("    ista += p")
+        base = 1
+        if self.lu and k > 0 and prev_load_rd is not None and (
+            prev_load_rd in ins.lu_regs
+        ):
+            base += self.lu
+            self.emit("c = %d + p" % base)
+            self.emit("lub += %d" % self.lu)
+            return
+        self.emit("c = %d + p" % base)
+        if self.lu and k == 0 and ins.lu_regs:
+            # llr is None, 0 or a visible rd; lu_regs never contains 0
+            self.emit("if llr in %r:" % (ins.lu_regs,))
+            self.emit("    c += %d" % self.lu)
+            self.emit("    lub += %d" % self.lu)
+
+    def _scalar_dcache(self) -> None:
+        self.emit("p = dc(ad)")
+        self.emit("if p:")
+        self.emit("    dsta += p")
+        self.emit("    c += p")
+
+    def _scalar_close(self) -> None:
+        self.emit("cyc += c")
+        self.emit("k += 1")
+
+    # -- per-kind emission ---------------------------------------------------
+    def emit_instr(self, ins, k: int, prev_load_rd):
+        """Emit one instruction; returns the scan action: ``None`` to fall
+        through, ``"stop"`` when an exit was emitted (jmpl), or the target
+        address of an unconditional transfer to splice or exit to."""
+        mode = self.mode
+        scalar = mode == MODE_SCALAR
+        kind = ins.op.kind
+        if scalar:
+            self._scalar_open(ins, k, prev_load_rd)
+
+        if kind == K_ALU:
+            self._emit_alu(ins, k)
+            self._record_quiet()
+        elif kind == K_SETHI:
+            if ins.rd:
+                self.emit("iregs[t[%d]] = %d" % (ins.rd, (ins.imm << 12) & MASK32))
+            self._record_quiet()
+        elif kind == K_LOAD:
+            self._emit_load(ins, k)
+        elif kind == K_STORE:
+            self._emit_store(ins, k)
+        elif kind == K_FLOAD:
+            self._mark_raise(k, ins.addr)
+            self._emit_mem_addr(ins)
+            self.emit("fr[%d] = mrf(ad)" % ins.rd)
+            self._record_mem("ad")
+            if scalar:
+                self._scalar_dcache()
+        elif kind == K_FSTORE:
+            self._mark_raise(k, ins.addr)
+            self._emit_mem_addr(ins)
+            self.emit("mwf(ad, fr[%d])" % ins.rd)
+            self._record_mem("ad")
+            if scalar:
+                self._scalar_dcache()
+        elif kind == K_BRANCH:
+            act = self._emit_branch(ins, k)
+            if act is not None:
+                if scalar:
+                    self._scalar_close()
+                return act  # ba: redirect the scan
+        elif kind == K_CALL:
+            target = (ins.addr + ins.imm) & MASK32
+            self.emit("iregs[t[15]] = %d" % ins.addr)  # o7 <- call address
+            self._record_taken(target)
+            if scalar:
+                self._scalar_close()
+            return target
+        elif kind == K_JMPL:
+            self._emit_jmpl(ins, k)
+            return "stop"
+        elif kind == K_SAVE:
+            self._emit_window(ins, k, save=True)
+            self._record_quiet()
+        elif kind == K_RESTORE:
+            self._emit_window(ins, k, save=False)
+            self._record_quiet()
+        elif kind == K_FPOP:
+            self._emit_fpop(ins, k)
+            self._record_quiet()
+        elif kind == K_TRAP:
+            self._mark_raise(k, ins.addr)
+            self.emit("services.trap(%d, rf, mem)" % ins.imm)
+            self._record_quiet()
+        elif kind == K_NOP:
+            self._record_quiet()
+
+        if scalar:
+            self._scalar_close()
+        return None
+
+    def _emit_alu(self, ins, k: int) -> None:
+        name = ins.op.name
+        a = self._iread(ins.rs1)
+        b = self._b_expr(ins)
+        if ins.op.sets_cc:
+            # capture a and (register) b in locals: the cc expression
+            # reads the operands again after the result is computed
+            self.emit("_v = %s" % a)
+            if ins.use_imm:
+                bx = b
+            else:
+                self.emit("_w = %s" % b)
+                bx = "_w"
+            nz = "(8 if res & " + _S + " else 0) | (4 if res == 0 else 0)"
+            if name == "addcc":
+                self.emit("_x = _v + %s" % bx)
+                self.emit("res = _x & " + _M)
+                cc = (
+                    nz
+                    + " | (2 if (~(_v ^ %s) & (_v ^ res)) & " % bx
+                    + _S
+                    + " else 0) | (1 if _x > "
+                    + _M
+                    + " else 0)"
+                )
+            elif name == "subcc":
+                self.emit("res = (_v - %s) & " % bx + _M)
+                cc = (
+                    nz
+                    + " | (2 if ((_v ^ %s) & (_v ^ res)) & " % bx
+                    + _S
+                    + " else 0) | (1 if %s > _v else 0)" % bx
+                )
+            else:  # andcc/orcc/xorcc: V = C = 0
+                self.emit(
+                    "res = " + _INLINE_ALU[name].format(a="_v", b=bx)
+                )
+                cc = nz
+            if ins.rd:
+                self.emit("iregs[t[%d]] = res" % ins.rd)
+            self.emit("rf.icc = " + cc)
+            return
+        helper = _HELPER_ALU.get(name)
+        if helper is not None:
+            if name in _RAISING_ALU:
+                self._mark_raise(k, ins.addr)
+                if ins.rd:
+                    self.emit("iregs[t[%d]] = %s(%s, %s)" % (ins.rd, helper, a, b))
+                else:
+                    self.emit("%s(%s, %s)" % (helper, a, b))  # div-by-zero fault
+            elif ins.rd:
+                self.emit("iregs[t[%d]] = %s(%s, %s)" % (ins.rd, helper, a, b))
+            return
+        if ins.rd:
+            self.emit(
+                "iregs[t[%d]] = " % ins.rd + _INLINE_ALU[name].format(a=a, b=b)
+            )
+
+    def _emit_mem_addr(self, ins) -> None:
+        self.emit(
+            "ad = (%s + %s) & " % (self._iread(ins.rs1), self._off_expr(ins)) + _M
+        )
+
+    def _emit_load(self, ins, k: int) -> None:
+        self._mark_raise(k, ins.addr)
+        self._emit_mem_addr(ins)
+        word = ins.op.name == "ld"
+        read = "mrw(ad)" if word else "mrb(ad)"
+        if ins.rd:
+            self.emit("v = " + read)
+            if ins.ld_signed:
+                self.emit("if v & 128:")
+                self.emit("    v |= 4294967040")
+            self.emit("iregs[t[%d]] = v" % ins.rd)
+        else:
+            self.emit(read)  # faults still fire; g0 stays zero
+        self._record_mem("ad")
+        if self.mode == MODE_SCALAR:
+            self._scalar_dcache()
+
+    def _emit_store(self, ins, k: int) -> None:
+        self._mark_raise(k, ins.addr)
+        self._emit_mem_addr(ins)
+        val = self._iread(ins.rd)
+        if ins.op.name == "st":
+            self.emit("mww(ad, %s)" % val)
+        else:
+            self.emit("mwb(ad, %s)" % ("0" if ins.rd == 0 else val + " & 255"))
+        self._record_mem("ad")
+        if self.mode == MODE_SCALAR:
+            self._scalar_dcache()
+
+    def _emit_branch(self, ins, k: int):
+        """Conditional branches side-exit on taken; ``ba`` redirects the
+        scan (the returned target); ``bn`` is a plain fallthrough."""
+        cond = ins.op.cond
+        scalar = self.mode == MODE_SCALAR
+        if cond == "ba":
+            target = (ins.addr + ins.imm) & MASK32
+            self._record_taken(target)
+            return target
+        if cond == "bn":
+            self._record_quiet()
+            return None
+        taken = (ins.addr + ins.imm) & MASK32
+        if self.mode == MODE_CAPTURE:
+            # flush unconditionally: the pending zeros belong to already
+            # committed instructions on both sides of the branch
+            self._flush_zeros()
+        if cond in _COND_MULTI:
+            self.emit("x = rf.icc")
+            test = _COND_EXPR[cond].format(x="x")
+        else:
+            test = _COND_EXPR[cond].format(x="rf.icc")
+        self.emit("if %s:" % test)
+        self.depth += 1
+        if scalar:
+            self._scalar_close()
+            self.emit("npc = %d" % taken)
+            self.emit("llo = None")
+            self.emit("break")
+        else:
+            if self.mode == MODE_CAPTURE:
+                self.emit("fap(1)")
+                self.emit("aap(%d)" % taken)
+            self.emit("ctr[0] = %d" % (k + 1))
+            self.emit("return %d" % taken)
+        self.depth -= 1
+        if scalar and self.bnt:
+            self.emit("c += %d" % self.bnt)
+            self.emit("bbub += %d" % self.bnt)
+        self._record_quiet()
+        return None
+
+    def _emit_jmpl(self, ins, k: int) -> None:
+        self._mark_raise(k, ins.addr)
+        self.emit(
+            "tg = (%s + %d) & " % (self._iread(ins.rs1), ins.imm) + _M
+        )
+        if ins.rd:  # link write happens before the misalignment check
+            self.emit("iregs[t[%d]] = %d" % (ins.rd, ins.addr))
+        self.emit("if tg & 3:")
+        self.emit('    raise _MF(tg, "misaligned jump target")')
+        self._record_taken("tg")
+        if self.mode == MODE_SCALAR:
+            self._scalar_close()
+            self.emit("npc = tg")
+            self.emit("llo = None")
+            self.emit("break")
+        else:
+            self.emit("ctr[0] = %d" % (k + 1))
+            self.emit("return tg")
+
+    def _emit_window(self, ins, k: int, save: bool) -> None:
+        self._mark_raise(k, ins.addr)  # spill/fill can fault
+        self.emit("sa = %s" % self._iread(ins.rs1))
+        self.emit(
+            "sb = %s"
+            % (str(ins.imm & MASK32) if ins.use_imm else self._iread(ins.rs2))
+        )
+        if save:
+            self.emit("if rf.cansave == 0:")
+            self.emit("    _spill(rf, mem)")
+            if self.mode == MODE_SCALAR and self.sp:
+                self.emit("    c += %d" % self.sp)
+                self.emit("    spc += %d" % self.sp)
+            self.emit("else:")
+            self.emit("    rf.cansave -= 1")
+            self.emit("    rf.canrestore += 1")
+            self.emit("rf.cwp = (rf.cwp - 1) % rf.nwindows")
+        else:
+            self.emit("if rf.canrestore == 0:")
+            self.emit("    _fill(rf, mem)")
+            if self.mode == MODE_SCALAR and self.sp:
+                self.emit("    c += %d" % self.sp)
+                self.emit("    spc += %d" % self.sp)
+            self.emit("else:")
+            self.emit("    rf.canrestore -= 1")
+            self.emit("    rf.cansave += 1")
+            self.emit("rf.cwp = (rf.cwp + 1) % rf.nwindows")
+        self.emit("t = rf.tables[rf.cwp]")
+        if ins.rd:  # rd resolves in the NEW window
+            self.emit("iregs[t[%d]] = (sa + sb) & " % ins.rd + _M)
+
+    def _emit_fpop(self, ins, k: int) -> None:
+        name = ins.op.name
+        if name == "fitos":
+            if ins.rs1 == 0:
+                self.emit("fr[%d] = 0.0" % ins.rd)
+            else:
+                self.emit("_v = %s" % self._iread(ins.rs1))
+                self.emit(
+                    "fr[%d] = float(_v - 4294967296 if _v & " % ins.rd
+                    + _S
+                    + " else _v)"
+                )
+        elif name == "fstoi":
+            if ins.rd:  # int(inf/nan) raises; lean skips the compute on g0
+                self._mark_raise(k, ins.addr)
+                self.emit(
+                    "iregs[t[%d]] = int(fr[%d]) & " % (ins.rd, ins.rs1) + _M
+                )
+        elif name == "fcmp":
+            self.emit("rf.icc = _fcmp(fr[%d], fr[%d])" % (ins.rs1, ins.rs2))
+        elif name == "fdiv":
+            self._mark_raise(k, ins.addr)
+            self.emit(
+                "fr[%d] = _fdiv(fr[%d], fr[%d])" % (ins.rd, ins.rs1, ins.rs2)
+            )
+        elif name == "fmov":
+            self.emit("fr[%d] = fr[%d]" % (ins.rd, ins.rs1))
+        elif name == "fneg":
+            self.emit("fr[%d] = -fr[%d]" % (ins.rd, ins.rs1))
+        else:
+            op = {"fadd": "+", "fsub": "-", "fmul": "*"}[name]
+            self.emit(
+                "fr[%d] = fr[%d] %s fr[%d]" % (ins.rd, ins.rs1, op, ins.rs2)
+            )
+
+    def _emit_exit(self, addr: int, k: int, prev_load_rd) -> None:
+        """Block-end exit (fallthrough into the next block, splice budget,
+        loop closure or an undecoded address -- the dispatcher resolves
+        ``addr`` and faults exactly like the per-instruction loop)."""
+        if self.mode == MODE_SCALAR:
+            self.emit("npc = %d" % addr)
+            self.emit(
+                "llo = %s" % ("None" if prev_load_rd is None else prev_load_rd)
+            )
+            self.emit("break")
+            return
+        if self.mode == MODE_CAPTURE:
+            self._flush_zeros()
+        self.emit("ctr[0] = %d" % k)
+        self.emit("return %d" % addr)
+
+    # -- block scan ----------------------------------------------------------
+    def emit_block(self, leader: int) -> Tuple[str, int]:
+        """Compile the superblock at ``leader``; returns its function
+        source and the maximum number of instructions it can commit."""
+        self._reset()
+        instrs = self.instrs
+        a = leader
+        seen: Set[int] = set()
+        k = 0
+        prev_rd = None
+        splices = 0
+        while True:
+            if a not in instrs or a in seen or k >= MAX_BLOCK:
+                self._emit_exit(a, k, prev_rd)
+                break
+            ins = instrs[a]
+            seen.add(a)
+            act = self.emit_instr(ins, k, prev_rd)
+            k += 1
+            prev_rd = ins.rd if ins.op.kind == K_LOAD else None
+            if act is None:
+                a += 4
+            elif act == "stop":
+                break
+            else:
+                splices += 1
+                if splices > SPLICE_BUDGET or act not in instrs:
+                    self._emit_exit(act, k, prev_rd)
+                    break
+                a = act
+        return self._assemble(leader, k), k
+
+    # -- function assembly ---------------------------------------------------
+    def _scalar_flush(self, body: str) -> List[str]:
+        out = [
+            "st.cycles += cyc",
+            "st.primary_cycles += cyc",
+            "st.ref_instructions += k",
+            "st.primary_instructions += k",
+        ]
+        for acc, field in (
+            ("ista", "icache_stall_cycles"),
+            ("dsta", "dcache_stall_cycles"),
+            ("lub", "load_use_bubble_cycles"),
+            ("bbub", "branch_bubble_cycles"),
+            ("spc", "spill_cycles"),
+        ):
+            if acc in body:
+                out.append("if %s:" % acc)
+                out.append("    st.%s += %s" % (field, acc))
+        return out
+
+    def _assemble(self, leader: int, count: int) -> str:
+        mode = self.mode
+        body = "\n".join(self.lines)
+        out: List[str] = []
+        if mode == MODE_LEAN:
+            out.append("def _b%x(rf, mem, services, ctr):" % leader)
+        elif mode == MODE_CAPTURE:
+            out.append("def _b%x(rf, mem, services, flags, aux, ctr):" % leader)
+        else:
+            out.append(
+                "def _b%x(rf, mem, services, st, ic, dc, llr, ctr):" % leader
+            )
+        # hoists, driven by what the body actually references
+        if "iregs[" in body:
+            out.append("    iregs = rf.iregs")
+        if "t[" in body:
+            out.append("    t = rf.tables[rf.cwp]")
+        if "fr[" in body:
+            out.append("    fr = rf.fregs")
+        for local, attr in _MEM_HOISTS:
+            if local + "(" in body:
+                out.append("    %s = mem.%s" % (local, attr))
+        if mode == MODE_CAPTURE:
+            if "fap(" in body:
+                out.append("    fap = flags.append")
+            if "aap(" in body:
+                out.append("    aap = aux.append")
+            if "fex(" in body:
+                out.append("    fex = flags.extend")
+            if "aex(" in body:
+                out.append("    aex = aux.extend")
+        if mode == MODE_SCALAR:
+            out.append("    cyc = 0")
+            out.append("    k = 0")
+            for acc in ("ista", "dsta", "lub", "bbub", "spc"):
+                if acc in body:
+                    out.append("    %s = 0" % acc)
+        pre = "    "
+        if self.can_raise:
+            out.append("    try:")
+            pre = "        "
+            out.append(pre + "_a = -1")
+            if mode != MODE_SCALAR:
+                out.append(pre + "_n = 0")
+        if mode == MODE_SCALAR:
+            out.append(pre + "while 1:")
+            indent = pre + "    "
+            out.extend(indent + ln for ln in self.lines)
+        else:
+            out.extend(pre + ln for ln in self.lines)
+        if self.can_raise:
+            out.append("    except BaseException:")
+            out.append(
+                "        ctr[0] = %s" % ("k" if mode == MODE_SCALAR else "_n")
+            )
+            out.append("        ctr[2] = _a")
+            if mode == MODE_SCALAR:
+                out.extend("        " + ln for ln in self._scalar_flush(body))
+            out.append("        raise")
+        if mode == MODE_SCALAR:
+            out.extend("    " + ln for ln in self._scalar_flush(body))
+            out.append("    ctr[0] = k")
+            out.append("    ctr[1] = llo")
+            out.append("    return npc")
+        return "\n".join(out)
+
+
+def generate_module_source(
+    program, mode: str, sig: Tuple[int, ...] = ()
+) -> Tuple[str, List[Tuple[int, int]]]:
+    """Source of the compiled-block module for ``program``: one function
+    per superblock plus the ``__table__`` dispatch dict.  Deterministic
+    for a given (program, mode, sig), which keeps the disk cache
+    content-addressable."""
+    emitter = _Emitter(program, mode, sig)
+    blocks: List[Tuple[int, int]] = []
+    fns: List[str] = []
+    for leader in discover_leaders(program):
+        src, count = emitter.emit_block(leader)
+        fns.append(src)
+        blocks.append((leader, count))
+    out = ["# generated by repro.isa.blockcompile (mode=%s)" % mode]
+    for n in sorted(emitter.zsizes):
+        out.append("_Z%d = (0,) * %d" % (n, n))
+    out.extend(fns)
+    out.append("__table__ = {")
+    for leader, count in blocks:
+        out.append("    %d: (_b%x, %d)," % (leader, leader, count))
+    out.append("}")
+    return "\n".join(out) + "\n", blocks
+
+
+# ---------------------------------------------------------------------------
+# Compile + cache entry point.
+# ---------------------------------------------------------------------------
+BlockTable = Dict[int, Tuple]  # addr -> (block_fn, max_commit_count)
+
+_memo: Dict[str, BlockTable] = {}
+
+
+def clear_memo() -> None:
+    """Drop the process-global compiled-block memo (tests use this to
+    force the disk-store / codegen paths)."""
+    _memo.clear()
+
+
+def block_key(program, mode: str, sig: Tuple[int, ...] = ()) -> str:
+    """Content key for the compiled-block cache: program image, codegen
+    mode + timing signature, simulator source fingerprint, interpreter
+    bytecode magic and the local codegen version."""
+    # lazy imports: trace/harness pull in core modules that import us
+    from ..harness.resultcache import code_version
+    from ..trace.events import program_fingerprint
+
+    h = sha256()
+    h.update(program_fingerprint(program))
+    h.update(mode.encode("ascii"))
+    h.update(repr(sig).encode("ascii"))
+    h.update(code_version().encode("ascii"))
+    h.update(importlib.util.MAGIC_NUMBER)
+    h.update(CODEGEN_VERSION.encode("ascii"))
+    return "%s-%s" % (mode, h.hexdigest()[:24])
+
+
+def compile_blocks(
+    program,
+    mode: str,
+    sig: Tuple[int, ...] = (),
+    probe=None,
+    store=None,
+) -> BlockTable:
+    """The block dispatch table for ``program`` under ``mode``/``sig``.
+
+    Resolution order: process memo (emits nothing), on-disk
+    :class:`~repro.trace.store.BlockCacheStore` (marshal'd code object;
+    warm runs skip codegen and ``compile()``), fresh code generation
+    (written back to the store).  ``probe`` receives the ``bc_compile``
+    and ``bc_cache`` events; :data:`GLOBAL_STATS` counts in all cases.
+    """
+    from ..obs.probe import EV_BC_CACHE, EV_BC_COMPILE
+    from ..trace.store import BlockCacheStore
+
+    key = block_key(program, mode, sig)
+    table = _memo.get(key)
+    if table is not None:
+        return table
+    if store is None:
+        store = BlockCacheStore()
+    code = store.get(key)
+    hit = code is not None
+    if hit:
+        GLOBAL_STATS.cache_hits += 1
+    else:
+        GLOBAL_STATS.cache_misses += 1
+    if probe is not None:
+        probe.emit(EV_BC_CACHE, int(hit))
+    fresh: Optional[List[Tuple[int, int]]] = None
+    if code is None:
+        src, fresh = generate_module_source(program, mode, sig)
+        code = compile(src, "<blockcompile:%s>" % key, "exec")
+        store.put(key, code)
+    namespace = _exec_globals()
+    exec(code, namespace)
+    table = namespace["__table__"]
+    if fresh is not None:
+        GLOBAL_STATS.compiled += len(fresh)
+        if probe is not None:
+            for leader, count in fresh:
+                probe.emit(EV_BC_COMPILE, leader, count)
+    _memo[key] = table
+    return table

@@ -33,6 +33,7 @@ from .export import (  # noqa: F401
 )
 from .metrics import (  # noqa: F401
     Histogram,
+    block_compile_counts,
     cache_miss_counts,
     profile_metrics,
     profile_report,

@@ -1,8 +1,8 @@
 """Versioned on-disk profile format for probe event streams.
 
-A profile is plain JSONL (version 1)::
+A profile is plain JSONL (version 2)::
 
-    {"format": "repro-profile", "version": 1, "events": N,
+    {"format": "repro-profile", "version": 2, "events": N,
      "schema": {...}, "meta": {...}}          <- header line
     ["mode_switch", 0, 4096]                  <- one line per event
     ...
@@ -33,7 +33,9 @@ from ..core.errors import SimError
 from .probe import EVENT_SCHEMA, Event
 
 FORMAT = "repro-profile"
-VERSION = 1
+#: version 2: block-compilation events (bc_compile/bc_cache/bc_fallback)
+#: joined the schema
+VERSION = 2
 
 #: default profile location, relative to the working directory
 DEFAULT_PROFILE_DIR = os.path.join("results", "profiles")

@@ -18,6 +18,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Tuple
 
 from .probe import (
+    EV_BC_CACHE,
+    EV_BC_COMPILE,
+    EV_BC_FALLBACK,
     EV_BLOCK_ENTRY,
     EV_BLOCK_FLUSH,
     EV_BLOCK_INVALIDATE,
@@ -162,6 +165,29 @@ def cache_miss_counts(events: Iterable[Event]) -> Dict[str, int]:
     return out
 
 
+def block_compile_counts(events: Iterable[Event]) -> Dict[str, int]:
+    """Block-compilation activity from the ``bc_*`` event stream --
+    cross-validates :data:`repro.isa.blockcompile.GLOBAL_STATS` deltas."""
+    out = {
+        "compiled": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "fallback_dispatches": 0,
+    }
+    for ev in events:
+        kind = ev[0]
+        if kind == EV_BC_COMPILE:
+            out["compiled"] += 1
+        elif kind == EV_BC_CACHE:
+            if ev[1]:
+                out["cache_hits"] += 1
+            else:
+                out["cache_misses"] += 1
+        elif kind == EV_BC_FALLBACK:
+            out["fallback_dispatches"] += 1
+    return out
+
+
 def renaming_highwater(events: Iterable[Event]) -> List[Tuple[int, int, int, int, int]]:
     """Running renaming-pressure maxima over time: one
     ``(flush_index, int, fp, cc, mem)`` row per block flush."""
@@ -223,6 +249,7 @@ def profile_metrics(events: List[Event]) -> Dict:
         "block_residency": block_residency,
         "renaming_highwater": renaming_highwater(events),
         "cache_misses": cache_miss_counts(events),
+        "block_compile": block_compile_counts(events),
     }
 
 
@@ -273,6 +300,18 @@ def profile_report(name: str, events: List[Event], width: int = 40) -> str:
         lines.append(
             "cache misses: "
             + "  ".join("%s=%d" % kv for kv in sorted(m["cache_misses"].items()))
+        )
+    bc = m["block_compile"]
+    if any(bc.values()):
+        lines.append(
+            "block compile: compiled=%d cache_hits=%d cache_misses=%d "
+            "fallbacks=%d"
+            % (
+                bc["compiled"],
+                bc["cache_hits"],
+                bc["cache_misses"],
+                bc["fallback_dispatches"],
+            )
         )
     top = sorted(counters.items(), key=lambda kv: -kv[1])
     lines.append(

@@ -74,6 +74,14 @@ EV_MISPREDICT = "mispredict"
 EV_EXCEPTION = "exception"
 #: register-window spill/fill penalty charged; args: (cycles,)
 EV_WINDOW_SPILL = "window_spill"
+#: one superblock freshly code-generated (repro.isa.blockcompile);
+#: args: (addr, count) -- entry address and max commit count
+EV_BC_COMPILE = "bc_compile"
+#: one compiled-block disk-cache resolution; args: (hit,) with hit 0/1
+#: (process-memo hits emit nothing -- no store was consulted)
+EV_BC_CACHE = "bc_cache"
+#: block-table miss fell back to a per-instruction dispatch; args: (pc,)
+EV_BC_FALLBACK = "bc_fallback"
 
 #: event kind -> ordered field names (the exporter writes this as the
 #: schema header; bump :data:`repro.obs.export.VERSION` when it changes)
@@ -105,6 +113,9 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     EV_MISPREDICT: ("addr", "target"),
     EV_EXCEPTION: ("kind", "addr"),
     EV_WINDOW_SPILL: ("cycles",),
+    EV_BC_COMPILE: ("addr", "count"),
+    EV_BC_CACHE: ("hit",),
+    EV_BC_FALLBACK: ("pc",),
 }
 
 Event = Tuple  # (kind, *args) -- args are ints or short strings only

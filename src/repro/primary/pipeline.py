@@ -94,6 +94,19 @@ class PrimaryProcessor:
         """Called on mode switches: the load-use forwarding state dies."""
         self.last_load_rd = None
 
+    def block_dispatch_viable(self) -> bool:
+        """True when fused scalar superblocks (:mod:`repro.isa.blockcompile`,
+        ``MODE_SCALAR``) can replace per-instruction :meth:`step` calls:
+        live execution through predecoded closures, nobody consuming
+        SchedOps, and no probe attached (blocks charge Stats directly and
+        do not emit per-stall events)."""
+        return (
+            not self.build_sched
+            and self.use_exec
+            and self.probe is None
+            and isinstance(self.source, LiveTraceSource)
+        )
+
     def step(self, instr: Instr) -> Tuple[int, int, Optional[SchedOp], bool]:
         """Execute one instruction.
 

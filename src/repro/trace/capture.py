@@ -23,6 +23,11 @@ from typing import Dict, Optional, Tuple
 
 from ..core.errors import ProgramExit, SimError
 from ..core.reference import TrapServices, setup_state
+from ..isa.blockcompile import (
+    MODE_CAPTURE,
+    block_compile_disabled,
+    compile_blocks,
+)
 from ..isa.predecode import generic_step_forced
 from ..isa.registers import RegFile
 from ..isa.semantics import StepInfo, step
@@ -54,9 +59,45 @@ def capture_trace(
     aux = array("I")
     use_exec = not generic_step_forced()
     exec_table = program.exec_table if use_exec else None
+    blocks = None
+    if exec_table is not None and not block_compile_disabled():
+        # capture-mode superblocks append their own trace records
+        blocks = compile_blocks(program, MODE_CAPTURE) or None
     fetch = program.instrs.get
     n = 0
+    ctr = [0, None, -1]  # block protocol: committed count / - / fault pc
     try:
+        if blocks is not None:
+            btg = blocks.get
+            fns = exec_table.get
+            while n < max_instructions:
+                e = btg(pc)
+                if e is not None and n + e[1] <= max_instructions:
+                    try:
+                        pc = e[0](rf, mem, services, flags, aux, ctr)
+                    finally:
+                        n += ctr[0]
+                        ctr[0] = 0
+                    continue
+                fn = fns(pc)
+                if fn is None:
+                    raise SimError("fetch outside text segment: 0x%x" % pc)
+                pc = fn(rf, mem, services, info)
+                ma = info.mem_addr
+                if ma >= 0:
+                    flags.append(0)
+                    aux.append(ma)
+                elif info.taken:
+                    flags.append(1)
+                    aux.append(info.target)
+                else:
+                    flags.append(0)
+                    aux.append(0)
+                n += 1
+            else:
+                raise SimError(
+                    "trace capture exceeded %d instructions" % max_instructions
+                )
         while n < max_instructions:
             if exec_table is not None:
                 fn = exec_table.get(pc)

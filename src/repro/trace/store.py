@@ -21,7 +21,9 @@ workers race benignly on it.
 
 from __future__ import annotations
 
+import importlib.util
 import logging
+import marshal
 import os
 import struct
 import sys
@@ -42,6 +44,12 @@ VERSION = 1
 
 #: default trace-cache location, relative to the working directory
 DEFAULT_TRACE_DIR = os.path.join("results", "traces")
+
+BLOCK_MAGIC = b"RBLK"
+BLOCK_VERSION = 1
+
+#: default compiled-block cache location
+DEFAULT_BLOCK_DIR = os.path.join("results", "blocks")
 
 _HEADER = struct.Struct("<4sH32sIIiI")
 _U32 = struct.Struct("<I")
@@ -186,3 +194,128 @@ class TraceStore:
                 raise
         except OSError as exc:
             log.warning("trace cache write failed for %s: %s", key, exc)
+
+
+# ---------------------------------------------------------------------------
+# Compiled-block cache (repro.isa.blockcompile).
+# ---------------------------------------------------------------------------
+class BlockFormatError(SimError):
+    """A compiled-block file is truncated, corrupt, wrong-version or was
+    produced by a different interpreter."""
+
+
+def block_dir() -> str:
+    return os.environ.get("REPRO_BLOCK_DIR", DEFAULT_BLOCK_DIR)
+
+
+_BLOCK_HEADER = struct.Struct("<4sHH")
+
+
+def encode_blocks(code) -> bytes:
+    """Serialize a compiled-block module code object.
+
+    Format (version 1)::
+
+        magic "RBLK" | u16 version | u16 pymagic_len | pymagic bytes
+        | u32 zlen | zlib(marshal(code)) | 32B sha256 of everything above
+
+    ``marshal`` is version- and build-specific, so the producing
+    interpreter's ``importlib.util.MAGIC_NUMBER`` is embedded and checked
+    on load (belt and braces: the cache *key* also covers it).
+    """
+    pymagic = importlib.util.MAGIC_NUMBER
+    out = bytearray()
+    out += _BLOCK_HEADER.pack(BLOCK_MAGIC, BLOCK_VERSION, len(pymagic))
+    out += pymagic
+    comp = zlib.compress(marshal.dumps(code), 6)
+    out += _U32.pack(len(comp))
+    out += comp
+    out += sha256(out).digest()
+    return bytes(out)
+
+
+def decode_blocks(data: bytes):
+    """Parse ``data`` back into a code object; raises
+    :class:`BlockFormatError` on any defect.  Never unpickles: the
+    payload is ``marshal`` (code objects only) behind a verified digest.
+    """
+    if len(data) < _BLOCK_HEADER.size + _DIGEST_LEN:
+        raise BlockFormatError("block file truncated (%d bytes)" % len(data))
+    body, digest = data[:-_DIGEST_LEN], data[-_DIGEST_LEN:]
+    if sha256(body).digest() != digest:
+        raise BlockFormatError("block integrity digest mismatch")
+    magic, version, pymagic_len = _BLOCK_HEADER.unpack_from(body, 0)
+    if magic != BLOCK_MAGIC:
+        raise BlockFormatError("bad block magic %r" % magic)
+    if version != BLOCK_VERSION:
+        raise BlockFormatError(
+            "unsupported block version %d (expected %d)"
+            % (version, BLOCK_VERSION)
+        )
+    off = _BLOCK_HEADER.size
+    if off + pymagic_len > len(body):
+        raise BlockFormatError("block pymagic truncated")
+    pymagic = body[off:off + pymagic_len]
+    if pymagic != importlib.util.MAGIC_NUMBER:
+        raise BlockFormatError(
+            "block compiled by a different interpreter (pymagic %r)" % pymagic
+        )
+    off += pymagic_len
+    if off + _U32.size > len(body):
+        raise BlockFormatError("block payload header truncated")
+    (clen,) = _U32.unpack_from(body, off)
+    off += _U32.size
+    if off + clen != len(body):
+        raise BlockFormatError("block payload length mismatch")
+    try:
+        raw = zlib.decompress(body[off:off + clen])
+    except zlib.error as exc:
+        raise BlockFormatError("block payload corrupt: %s" % exc) from exc
+    try:
+        code = marshal.loads(raw)
+    except (ValueError, EOFError, TypeError) as exc:
+        raise BlockFormatError("block marshal unreadable: %s" % exc) from exc
+    if not isinstance(code, type((lambda: 0).__code__)):
+        raise BlockFormatError("block payload is not a code object")
+    return code
+
+
+class BlockCacheStore:
+    """Directory of ``<key>.blk`` compiled-block files with the same
+    miss-on-defect / atomic-write discipline as :class:`TraceStore`.
+    Keys are content hashes (:func:`repro.isa.blockcompile.block_key`),
+    so a stale file can never be *returned* -- the format checks guard
+    against corruption, not staleness."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = Path(root if root is not None else block_dir())
+
+    def path(self, key: str) -> Path:
+        return self.root / ("%s.blk" % key)
+
+    def get(self, key: str):
+        try:
+            data = self.path(key).read_bytes()
+        except OSError:
+            return None
+        try:
+            return decode_blocks(data)
+        except BlockFormatError as exc:
+            log.warning("ignoring unreadable block cache %s: %s", key, exc)
+            return None
+
+    def put(self, key: str, code) -> None:
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.root), prefix=".tmp-", suffix=".blk"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(encode_blocks(code))
+                os.replace(tmp, self.path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError as exc:
+            log.warning("block cache write failed for %s: %s", key, exc)

@@ -7,7 +7,10 @@ exporter (repro.obs.export) gets the same treatment via
 ``REPRO_PROFILE_DIR``.  Individual tests that need a private store
 monkeypatch the variable again (the test body runs after this fixture,
 so its value wins).  ``REPRO_PROBE`` is cleared so an ambient probe in
-the developer's shell can never alter what a test observes.
+the developer's shell can never alter what a test observes, and
+``REPRO_NO_BLOCK_COMPILE`` likewise so every test sees the default
+block-compiled dispatch; the compiled-block cache
+(``REPRO_BLOCK_DIR``) is session-isolated like the trace store.
 """
 
 import pytest
@@ -28,7 +31,18 @@ def _isolated_trace_store(_session_trace_dir, monkeypatch):
     monkeypatch.setenv("REPRO_TRACE_DIR", _session_trace_dir)
 
 
+@pytest.fixture(scope="session")
+def _session_block_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("blocks"))
+
+
 @pytest.fixture(autouse=True)
 def _isolated_profile_dir(_session_profile_dir, monkeypatch):
     monkeypatch.setenv("REPRO_PROFILE_DIR", _session_profile_dir)
     monkeypatch.delenv("REPRO_PROBE", raising=False)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_block_store(_session_block_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_BLOCK_DIR", _session_block_dir)
+    monkeypatch.delenv("REPRO_NO_BLOCK_COMPILE", raising=False)

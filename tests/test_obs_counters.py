@@ -140,3 +140,117 @@ class TestProbeDepths:
         assert "probe:" not in res.stats.summary()
         assert "probe:" not in res.stats.summary(NullProbe())
         assert "probe:" in res.stats.summary(probe)
+
+
+class TestBlockCompileCrossValidation:
+    """The ``bc_*`` event stream cross-validates the process-global
+    :data:`repro.isa.blockcompile.GLOBAL_STATS` counters (and the
+    per-machine fallback count)."""
+
+    def _program(self):
+        from repro import compile_and_load
+
+        return compile_and_load(
+            "int main() { int i; int s = 0;"
+            " for (i = 0; i < 30; i++) s = s + i; return s & 0xff; }"
+        )
+
+    def test_compile_and_cache_events_match_global_stats(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.isa.blockcompile import (
+            GLOBAL_STATS,
+            MODE_LEAN,
+            clear_memo,
+            compile_blocks,
+        )
+        from repro.obs import block_compile_counts
+
+        monkeypatch.setenv("REPRO_BLOCK_DIR", str(tmp_path))
+        program = self._program()
+
+        # cold: disk miss + fresh codegen, one bc_compile per block
+        clear_memo()
+        probe = EventProbe()
+        before = GLOBAL_STATS.snapshot()
+        table = compile_blocks(program, MODE_LEAN, probe=probe)
+        delta = {
+            k: v - before[k] for k, v in GLOBAL_STATS.snapshot().items()
+        }
+        counts = block_compile_counts(probe.events)
+        assert counts == delta
+        assert counts["compiled"] == len(table) > 0
+        assert counts["cache_misses"] == 1 and counts["cache_hits"] == 0
+
+        # warm disk: memo cleared, the marshal'd module is reused
+        clear_memo()
+        probe = EventProbe()
+        before = GLOBAL_STATS.snapshot()
+        compile_blocks(program, MODE_LEAN, probe=probe)
+        delta = {
+            k: v - before[k] for k, v in GLOBAL_STATS.snapshot().items()
+        }
+        counts = block_compile_counts(probe.events)
+        assert counts == delta
+        assert counts["compiled"] == 0
+        assert counts["cache_hits"] == 1 and counts["cache_misses"] == 0
+
+        # memo hit: no store consulted, no events at all
+        probe = EventProbe()
+        compile_blocks(program, MODE_LEAN, probe=probe)
+        assert not probe.events
+
+    def test_fallback_events_match_machine_counter(self, monkeypatch):
+        from repro.asm.assembler import assemble
+        from repro.core.reference import ReferenceMachine
+        from repro.isa.blockcompile import GLOBAL_STATS
+        from repro.obs import block_compile_counts
+
+        # computed jmpl into a block interior: every instruction from the
+        # landing point to the next leader dispatches through the
+        # per-instruction fallback and emits bc_fallback
+        program = assemble(
+            """
+            .text
+    _start: mov 0, %o0
+            set mid, %l0
+            jmpl %l0+0, %g0
+            mov 99, %o0
+    top:    add %o0, 1, %o0
+    mid:    add %o0, 2, %o0
+            add %o0, 4, %o0
+            ta 0
+            """
+        )
+        probe = EventProbe()
+        before = GLOBAL_STATS.fallback_dispatches
+        m = ReferenceMachine(program, probe=probe)
+        m.run()
+        counts = block_compile_counts(probe.events)
+        assert m.block_fallbacks > 0
+        assert counts["fallback_dispatches"] == m.block_fallbacks
+        assert GLOBAL_STATS.fallback_dispatches - before == m.block_fallbacks
+        assert m.exit_code == 6
+
+    def test_counter_probe_matches_event_probe_kinds(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.isa.blockcompile import (
+            MODE_LEAN,
+            clear_memo,
+            compile_blocks,
+        )
+
+        monkeypatch.setenv("REPRO_BLOCK_DIR", str(tmp_path))
+        program = self._program()
+        clear_memo()
+        counters = CounterProbe()
+        compile_blocks(program, MODE_LEAN, probe=counters)
+        clear_memo()
+        events = EventProbe()
+        compile_blocks(program, MODE_LEAN, probe=events)
+        # second resolution hits the disk store: bc_cache counts agree,
+        # bc_compile appears only in the cold pass
+        assert counters.count("bc_cache") == events.count("bc_cache") == 1
+        assert counters.count("bc_compile") > 0
+        assert events.count("bc_compile") == 0

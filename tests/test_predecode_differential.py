@@ -1,31 +1,39 @@
 """Differential verification of the predecoded interpreter.
 
-The specialized closures of :mod:`repro.isa.predecode` claim to be
-observationally identical to the generic :func:`repro.isa.semantics.step`
-oracle.  This suite holds them to that claim *instruction by instruction*
-with a three-way lockstep:
+The specialized closures of :mod:`repro.isa.predecode` and the compiled
+superblocks of :mod:`repro.isa.blockcompile` claim to be observationally
+identical to the generic :func:`repro.isa.semantics.step` oracle.  This
+suite holds them to that claim *instruction by instruction* with a
+four-way lockstep:
 
 * the **generic** oracle (a reference machine forced onto ``step``),
 * the **full** closures (``instr.exec_fn``, driven directly so their
   StepInfo output is visible) -- after every instruction pc, every
   StepInfo field and the cheap register-file scalars must match the
-  oracle, with periodic (and final) whole-register-file checks, and
-* the **lean** closures (the default reference machine path, which skips
-  StepInfo bookkeeping) -- held to identical architectural state.
+  oracle, with periodic (and final) whole-register-file checks,
+* the **lean** closures (the per-instruction reference machine path,
+  which skips StepInfo bookkeeping) -- held to identical architectural
+  state, and
+* the **block-compiled** dispatch (lean superblocks) -- advanced one
+  block at a time and compared whenever its committed count aligns with
+  the oracle's (a block commits up to 64 instructions per call).
 
 At the end, register files, memory images, trap output and exit codes of
-all three must agree bit for bit.  Inputs are randomized minicc programs
-(the lockstep fuzz generator) plus every registry workload, so the
-closures see real instruction mixes, window spill/fill traffic and trap
-output, not just hand-picked cases.
+all four must agree bit for bit.  Inputs are randomized minicc programs
+(the lockstep fuzz generator), every registry workload, and directed
+cases for the block table's weak spot -- indirect jumps into block
+*interiors*, which must fall back to per-instruction closures -- plus
+both escape hatches (``REPRO_NO_BLOCK_COMPILE``/``REPRO_GENERIC_STEP``).
 """
 
 import pytest
 from hypothesis import given, settings
 
 from repro import compile_and_load
+from repro.asm.assembler import assemble
 from repro.core.errors import ProgramExit
 from repro.core.reference import ReferenceMachine, TrapServices, setup_state
+from repro.isa.blockcompile import MODE_LEAN, compile_blocks
 from repro.isa.predecode import generic_step_forced
 from repro.isa.registers import RegFile
 from repro.isa.semantics import StepInfo
@@ -71,16 +79,64 @@ class _FullClosureMachine:
             self.halted = True
 
 
-def lockstep_diff(program, max_lockstep=200_000, full_check_every=64):
-    """Three-way lockstep: generic oracle vs full vs lean closures.
+class _BlockSteppedMachine:
+    """Machine advancing one compiled superblock -- or one per-instruction
+    fallback closure -- per :meth:`advance` call (the block protocol of
+    :mod:`repro.isa.blockcompile`, exactly as ``ReferenceMachine.run``
+    dispatches it)."""
 
-    Past ``max_lockstep`` instructions the machines run free to completion
-    (bounding test time on big workloads) and only final states compare.
+    def __init__(self, program, mem_size, nwindows):
+        self.mem = MainMemory(mem_size)
+        self.rf = RegFile(nwindows)
+        self.services = TrapServices()
+        self.pc = setup_state(program, self.mem, self.rf)
+        self.blocks = compile_blocks(program, MODE_LEAN)
+        self.run_table = program.run_table
+        self.ctr = [0, None, -1]
+        self.instret = 0
+        self.halted = False
+        self.fallbacks = 0
+
+    def advance(self):
+        ctr = self.ctr
+        e = self.blocks.get(self.pc)
+        try:
+            if e is not None:
+                try:
+                    self.pc = e[0](self.rf, self.mem, self.services, ctr)
+                finally:
+                    self.instret += ctr[0]
+                    ctr[0] = 0
+            else:
+                self.fallbacks += 1
+                fn = self.run_table[self.pc]
+                self.pc = fn(self.rf, self.mem, self.services)
+                self.instret += 1
+        except ProgramExit:
+            self.instret += 1
+            if ctr[2] >= 0:  # exit trap raised inside a block
+                self.pc = ctr[2]
+            self.halted = True
+
+
+def lockstep_diff(program, max_lockstep=200_000, full_check_every=64):
+    """Four-way lockstep: generic oracle vs full vs lean closures vs
+    block-compiled dispatch.
+
+    The first three advance one instruction per iteration; the block
+    machine advances whole superblocks and is compared (pc, cheap scalars,
+    periodic full register file) only on the iterations where its
+    committed count aligns with the oracle's.  Past ``max_lockstep``
+    instructions the machines run free to completion (bounding test time
+    on big workloads) and only final states compare.
     """
     mem_size, nwindows = 8 * 1024 * 1024, 8
     gen = ReferenceMachine(program, mem_size, nwindows, generic_step=True)
-    lean = ReferenceMachine(program, mem_size, nwindows, generic_step=False)
+    lean = ReferenceMachine(
+        program, mem_size, nwindows, generic_step=False, block_compile=False
+    )
     full = _FullClosureMachine(program, mem_size, nwindows)
+    blk = _BlockSteppedMachine(program, mem_size, nwindows)
     assert gen._run is None
     assert lean._run is not None
 
@@ -112,19 +168,37 @@ def lockstep_diff(program, max_lockstep=200_000, full_check_every=64):
             assert rf.icc == grf.icc, "icc after 0x%x" % pc
             assert rf.cwp == grf.cwp, "cwp after 0x%x" % pc
             assert rf.wssp == grf.wssp, "wssp after 0x%x" % pc
+        while not blk.halted and blk.instret < gen.instret:
+            blk.advance()
+        if blk.instret == gen.instret:
+            # block boundary aligned with the oracle: state must agree
+            assert blk.pc == gen.pc, (
+                "block pc after 0x%x: 0x%x != 0x%x" % (pc, blk.pc, gen.pc)
+            )
+            assert blk.halted == gen.halted
+            brf = blk.rf
+            assert brf.icc == grf.icc, "block icc after 0x%x" % pc
+            assert brf.cwp == grf.cwp, "block cwp after 0x%x" % pc
+            assert brf.wssp == grf.wssp, "block wssp after 0x%x" % pc
+            if n % full_check_every == 0:
+                assert brf.state_equal(grf), "block rf after 0x%x" % pc
         if n % full_check_every == 0:
             assert full.rf.state_equal(grf), "full rf after 0x%x" % pc
             assert lean.rf.state_equal(grf), "lean rf after 0x%x" % pc
 
-    if not gen.halted:  # big program: finish all three off the lockstep loop
+    if not gen.halted:  # big program: finish all four off the lockstep loop
         gen.run(max_instructions=100_000_000)
         lean.run(max_instructions=100_000_000)
         while not full.halted:
             full.step_one()
+    while not blk.halted:
+        blk.advance()
 
     assert lean.halted == gen.halted and full.halted == gen.halted
     assert lean.instret == gen.instret
-    for m in (full, lean):
+    assert blk.instret == gen.instret
+    assert blk.pc == gen.pc
+    for m in (full, lean, blk):
         assert m.rf.state_equal(gen.rf)
         assert m.mem.data == gen.mem.data
         assert bytes(m.services.output) == gen.output
@@ -142,6 +216,35 @@ class TestDirected:
             """
         )
         lockstep_diff(program)
+
+    def test_indirect_jump_into_block_interior(self):
+        """A computed jmpl landing mid-block: no superblock starts there,
+        so the dispatcher must fall back to per-instruction closures --
+        with identical architectural results."""
+        program = assemble(
+            """
+            .text
+    _start: mov 0, %o0
+            set mid, %l0
+            jmpl %l0+0, %g0
+            mov 99, %o0
+    top:    add %o0, 1, %o0
+    mid:    add %o0, 2, %o0
+            add %o0, 4, %o0
+            ta 0
+            """
+        )
+        # `mid` is interior: not a static branch/call target, not a
+        # post-transfer fallthrough
+        from repro.isa.blockcompile import discover_leaders
+
+        assert program.symbols["mid"] not in discover_leaders(program)
+        lockstep_diff(program)
+        blk = _BlockSteppedMachine(program, 8 * 1024 * 1024, 8)
+        while not blk.halted:
+            blk.advance()
+        assert blk.fallbacks > 0  # the interior target had no block
+        assert blk.services.exit_code == 6  # 0 + 2 + 4: the +1 was jumped over
 
     def test_arithmetic_and_memory_mix(self):
         program = compile_and_load(
@@ -192,6 +295,51 @@ class TestEscapeHatch:
         assert not generic_step_forced()
         monkeypatch.delenv("REPRO_GENERIC_STEP")
         assert not generic_step_forced()
+
+    def test_no_block_compile_disables_block_dispatch(self, monkeypatch):
+        from repro.isa.blockcompile import block_compile_disabled
+
+        monkeypatch.setenv("REPRO_NO_BLOCK_COMPILE", "1")
+        assert block_compile_disabled()
+        program = compile_and_load("int main() { return 42; }")
+        m = ReferenceMachine(program)
+        assert not m.block_compile and m._block_table() is None
+        m.run()
+        assert m.exit_code == 42 and m.block_fallbacks == 0
+
+    def test_generic_step_implies_no_blocks(self, monkeypatch):
+        from repro.isa.blockcompile import block_compile_disabled
+
+        monkeypatch.setenv("REPRO_GENERIC_STEP", "1")
+        assert block_compile_disabled()
+        program = compile_and_load("int main() { return 9; }")
+        m = ReferenceMachine(program)
+        assert m.generic_step and not m.block_compile
+        m.run()
+        assert m.exit_code == 9
+
+    def test_zero_and_empty_do_not_disable_blocks(self, monkeypatch):
+        from repro.isa.blockcompile import block_compile_disabled
+
+        monkeypatch.setenv("REPRO_NO_BLOCK_COMPILE", "0")
+        assert not block_compile_disabled()
+        monkeypatch.delenv("REPRO_NO_BLOCK_COMPILE")
+        assert not block_compile_disabled()
+
+    def test_four_way_holds_under_both_hatches(self, monkeypatch):
+        """The lockstep itself under each escape hatch: the block machine
+        pins blocks on explicitly, the reference paths honour the env."""
+        program = compile_and_load(
+            "int main() { int i; int s = 0;"
+            " for (i = 0; i < 20; i++) s = s + i; return s & 0xff; }"
+        )
+        monkeypatch.setenv("REPRO_NO_BLOCK_COMPILE", "1")
+        lockstep_diff(program)
+        monkeypatch.delenv("REPRO_NO_BLOCK_COMPILE")
+        monkeypatch.setenv("REPRO_GENERIC_STEP", "1")
+        # generic-step forces the oracle everywhere the env is consulted;
+        # the explicit generic_step=False machines still exercise closures
+        lockstep_diff(program)
 
     def test_machines_honour_the_escape_hatch(self, monkeypatch):
         monkeypatch.setenv("REPRO_GENERIC_STEP", "1")
