@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Emit BENCH_mcache.json: the multi-config timing kernel's warm speedups.
+
+Two measurements over a warm trace store (result cache bypassed -- a
+timing that replays cached rows measures nothing):
+
+* ``fig6``/``fig7`` families, per-cell (``batch=False``) vs batched with
+  the vectorized kernel available (``batch=True``).  These grids sweep
+  the VLIW cache with perfect conventional caches, so the kernel itself
+  stays idle there -- the gate pins that the batch+kernel stack keeps
+  the family-evaluation speedup the batch layer already promised
+  (>= ``--gate``, default 3x; exit 1 below it).
+
+* a scalar-machine cache-geometry grid (icache/dcache sizes x
+  associativities -- the kernel's home turf), timed three ways with the
+  per-trace column memo cleared between runs so every run pays for its
+  own miss profiles: per-cell, batched with the kernel on, and batched
+  with ``vector=False`` (scalar per-geometry profiles).  Reported as
+  ``geometry_grid`` with the kernel-on/kernel-off ratio
+  (``vector_speedup``) and the mc_* counter deltas; informational, not
+  gated -- the grouped pass's win grows with the geometry count.
+
+Every mode must produce bit-identical Stats for every cell (asserted
+while timing).
+
+Run:  PYTHONPATH=src python benchmarks/bench_mcache.py --scale 0.1
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.batch import columns as columns_mod
+from repro.batch.mc_kernel import GLOBAL_STATS
+from repro.core.config import CacheConfig, MachineConfig
+from repro.harness.experiments import figure_specs
+from repro.harness.sweep import RunSpec, run_sweep
+
+FIGURES = ["fig6", "fig7"]
+SIZES_KB = (4, 8, 16, 32)
+ASSOCS = (1, 2, 4)
+
+
+def _timed(specs, batch, jobs, vector=None):
+    t0 = time.perf_counter()
+    run = run_sweep(specs, jobs=jobs, use_cache=False, batch=batch, vector=vector)
+    return time.perf_counter() - t0, run
+
+
+def _assert_identical(specs, runs, label):
+    ref = runs[0].results
+    for other in runs[1:]:
+        for spec, a, b in zip(specs, ref, other.results):
+            assert a.stats == b.stats, (label, spec.benchmark, spec.meta)
+            assert a.cycles == b.cycles, (label, spec.benchmark, spec.meta)
+
+
+def _geometry_specs(benchmarks, scale):
+    """Scalar machines over a cache-geometry grid: one trace family per
+    workload, every cell differing only in conventional-cache geometry."""
+    base = MachineConfig.paper_fixed(8, 8, test_mode=False)
+    specs = []
+    for bench in benchmarks:
+        for size_kb in SIZES_KB:
+            for assoc in ASSOCS:
+                cfg = base.with_(
+                    icache=CacheConfig(
+                        size=size_kb * 1024, line_size=32, assoc=assoc,
+                        miss_penalty=8, perfect=False,
+                    ),
+                    dcache=CacheConfig(
+                        size=size_kb * 1024, line_size=32, assoc=assoc,
+                        miss_penalty=8, perfect=False,
+                    ),
+                )
+                specs.append(
+                    RunSpec(
+                        bench, cfg, machine="scalar", scale=scale,
+                        meta={"size_kb": size_kb, "assoc": assoc},
+                    )
+                )
+    return specs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "0.1")),
+    )
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument(
+        "--benchmarks", default="compress,xlisp",
+        help="comma-separated workload subset (empty: all eight)",
+    )
+    parser.add_argument("--figures", default=",".join(FIGURES))
+    parser.add_argument(
+        "--gate", type=float, default=3.0,
+        help="minimum fig-grid per_cell/batched speedup (exit 1 below; 0: off)",
+    )
+    parser.add_argument("--out", default="BENCH_mcache.json")
+    args = parser.parse_args(argv)
+
+    names = [b for b in args.benchmarks.split(",") if b] or None
+    figs = [f for f in args.figures.split(",") if f]
+    grids = {fig: figure_specs(fig, names, scale=args.scale) for fig in figs}
+    geo_specs = _geometry_specs(
+        names or ["compress", "xlisp"], args.scale
+    )
+
+    # Warm the trace store (and the in-process trace memo) once, outside
+    # the timed region, so every mode measures pure warm evaluation.
+    for specs in grids.values():
+        run_sweep(specs, use_cache=False, batch=True)
+    run_sweep(geo_specs, use_cache=False, batch=True)
+
+    # --- fig6/fig7: per-cell vs batched (+ kernel), the gated number ----
+    figures = {}
+    per_cell_total = batched_total = 0.0
+    for fig, specs in grids.items():
+        t_cell, run_cell = _timed(specs, False, args.jobs)
+        t_batch, run_batch = _timed(specs, True, args.jobs)
+        _assert_identical(specs, [run_cell, run_batch], fig)
+        per_cell_total += t_cell
+        batched_total += t_batch
+        figures[fig] = {
+            "cells": len(specs),
+            "per_cell_s": round(t_cell, 3),
+            "batched_s": round(t_batch, 3),
+            "batched_cells": run_batch.summary.batched,
+            "vectorized_cells": run_batch.summary.vectorized,
+            "speedup": round(t_cell / t_batch, 2),
+        }
+        print(
+            "%-6s %3d cells  per-cell %6.2fs  batched %6.2fs  (%.2fx)"
+            % (fig, len(specs), t_cell, t_batch, t_cell / t_batch),
+            flush=True,
+        )
+    speedup = per_cell_total / batched_total
+
+    # --- geometry grid: kernel on vs off, columns recomputed each run ---
+    t_geo_cell, run_geo_cell = _timed(geo_specs, False, args.jobs)
+    columns_mod._columns_memo.clear()
+    before = GLOBAL_STATS.snapshot()
+    t_vec, run_vec = _timed(geo_specs, True, args.jobs)
+    mc_delta = {k: v - before[k] for k, v in GLOBAL_STATS.snapshot().items()}
+    columns_mod._columns_memo.clear()
+    t_novec, run_novec = _timed(geo_specs, True, args.jobs, vector=False)
+    _assert_identical(geo_specs, [run_geo_cell, run_vec, run_novec], "geometry")
+    geometry = {
+        "cells": len(geo_specs),
+        "sizes_kb": list(SIZES_KB),
+        "assocs": list(ASSOCS),
+        "vectorized_cells": run_vec.summary.vectorized,
+        "per_cell_s": round(t_geo_cell, 3),
+        "vector_s": round(t_vec, 3),
+        "no_vector_s": round(t_novec, 3),
+        "vector_speedup": round(t_novec / t_vec, 2),
+        "per_cell_speedup": round(t_geo_cell / t_vec, 2),
+        "mc_stats": mc_delta,
+    }
+    print(
+        "geometry %3d cells  per-cell %6.2fs  kernel-off %6.2fs  kernel-on"
+        " %6.2fs  (%.2fx vs off, %d vectorized, %d grouped builds)"
+        % (
+            len(geo_specs), t_geo_cell, t_novec, t_vec, t_novec / t_vec,
+            run_vec.summary.vectorized, mc_delta["builds"],
+        ),
+        flush=True,
+    )
+
+    payload = {
+        "scale": args.scale,
+        "benchmarks": names or "all",
+        "python": platform.python_version(),
+        "figures": figures,
+        "per_cell_total_s": round(per_cell_total, 3),
+        "batched_total_s": round(batched_total, 3),
+        "speedup": round(speedup, 2),
+        "geometry_grid": geometry,
+        "gate": args.gate,
+        "bit_identical": True,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(
+        "wrote %s  (%.2fx fig-grid, %.2fx kernel-on vs off; gate %.1fx)"
+        % (args.out, speedup, payload["geometry_grid"]["vector_speedup"], args.gate)
+    )
+    if args.gate and speedup < args.gate:
+        print(
+            "FAIL: fig-grid family-evaluation speedup %.2fx below the %.1fx gate"
+            % (speedup, args.gate),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..asm.program import Program
+from ..batch.timing import charge_dif_group_replay
 from ..core.config import MachineConfig
 from ..core.errors import ProgramExit, SimError
 from ..core.reference import TrapServices, setup_state
@@ -491,77 +492,19 @@ class DIFMachine:
     def _execute_group_replay(self, group: DIFGroup) -> Tuple[int, int]:
         """Replay counterpart of :meth:`_execute_group`.
 
-        With instances, an executed group is architecturally the
-        sequential prefix of the committed stream, so during replay the
-        machine pc is always ``pcs[cursor]`` and "executing" an operation
-        means consuming its trace event.  Free riders, deviation
-        detection (branch direction/target against the recording),
-        per-LI worst data-cache penalties and the instruction count all
-        mirror the live walk decision for decision; the exit trap is
-        never inside a group (traps are non-schedulable), so the walk
-        always bails out to the Primary Processor before it.
+        The whole walk -- free riders, deviation detection, per-LI worst
+        data-cache penalties, cursor/window-pointer advance -- lives in
+        the shared timing model
+        (:func:`repro.batch.timing.charge_dif_group_replay`); see its
+        docstring for the decision-for-decision correspondence with the
+        live group walk.
         """
-        src = self.source
-        st = self.stats
-        probe = self.probe
-        pcs = src.pcs
-        instrs = src.instrs
-        flags = src.flags
-        aux = src.aux
-        cur = src.i
-        max_li = -1
-        executed = 0
-        idx = 0
-        trace = group.trace
-        li_pen: Dict[int, int] = {}
-        deviated_to = None
-        while idx < len(trace):
-            addr, li, is_branch, rec_taken, rec_target = trace[idx]
-            if pcs[cur] != addr:
-                instr = instrs[cur]
-                kind = instr.op.kind
-                free_rider = kind == K_NOP or (
-                    kind == K_BRANCH and instr.op.name in UNCONDITIONAL
-                )
-                if not free_rider:
-                    break  # path deviates: resume in the Primary Processor
-                cur += 1
-                executed += 1
-                continue
-            instr = instrs[cur]
-            taken = (flags[cur] & 1) != 0
-            mem_size = instr.mem_size
-            a = aux[cur]
-            cur += 1
-            executed += 1
-            idx += 1
-            if li > max_li:
-                max_li = li
-            if mem_size:
-                pen = self.dcache.access(a)
-                if pen:
-                    st.dcache_stall_cycles += pen
-                    if probe is not None:
-                        probe.emit(EV_CACHE_STALL, "dcache", pen)
-                    if pen > li_pen.get(li, 0):
-                        li_pen[li] = pen
-            if is_branch:
-                next_pc = pcs[cur]
-                deviates = taken != rec_taken or (
-                    taken and next_pc != rec_target
-                )
-                if deviates:
-                    st.mispredicts += 1
-                    if probe is not None:
-                        probe.emit(EV_MISPREDICT, addr, next_pc)
-                    deviated_to = next_pc
-                    break
-        src.i = cur
-        self.rf.cwp = src.cwp[cur]
-        st.dif_instructions += executed
-        cycles = (group.height_used if max_li < 0 else max_li + 1) + sum(
-            li_pen.values()
+        return charge_dif_group_replay(
+            group,
+            self.source,
+            self.stats,
+            self.rf,
+            self.dcache,
+            self.probe,
+            self.cfg.mispredict_penalty,
         )
-        if deviated_to is not None:
-            return deviated_to, max(cycles, 1) + self.cfg.mispredict_penalty
-        return pcs[cur], max(cycles, 1)

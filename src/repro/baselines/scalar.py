@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 
 from ..asm.program import Program
+from ..batch.timing import charge_scalar_replay
 from ..core.config import MachineConfig
 from ..core.errors import ProgramExit, SimError
 from ..core.reference import TrapServices, setup_state
@@ -30,11 +31,10 @@ from ..isa.blockcompile import (
     block_compile_disabled,
     compile_blocks,
 )
-from ..isa.instructions import K_LOAD
 from ..isa.registers import RegFile
 from ..memory.cache import Cache
 from ..memory.main_memory import MainMemory
-from ..obs.probe import EV_CACHE_STALL, EV_WINDOW_SPILL, resolve_probe
+from ..obs.probe import resolve_probe
 from ..primary.pipeline import PrimaryProcessor
 from ..trace.events import Trace
 from ..trace.replay import replay_source_for
@@ -229,84 +229,25 @@ class ScalarMachine:
     def _run_replay(self, max_cycles: int) -> Stats:
         """Replay loop over the bound trace columns.
 
-        Mirrors the live loop's timing decisions field for field: icache
-        access and stall, the load-use bubble off the previous committed
-        load, the data-cache access per memory event, the not-taken
-        branch bubble and the window-spill penalty -- in the live
-        ordering, including the exit-trap special case (its icache stall
-        is recorded but the instruction is charged exactly one cycle).
+        All stall charging lives in the shared timing model
+        (:func:`repro.batch.timing.charge_scalar_replay`); this wrapper
+        only owns machine state (pc, halted), wall-time accounting and
+        the cycle-budget error.
         """
-        src = self.source
         st = self.stats
-        cfg = self.cfg
-        instrs = src.instrs
-        pcs = src.pcs
-        flags = src.flags
-        aux = src.aux
-        spilled = src.spilled
-        last_idx = src.last
-        ic = self.icache.access
-        dc = self.dcache.access
-        lu_bubble = cfg.load_use_bubble
-        bnt_bubble = cfg.branch_not_taken_bubble
-        spill_pen = cfg.window_spill_penalty
-        probe = self.probe
-        last_load_rd = None
-        i = 0
         t0 = time.perf_counter()
         try:
-            while st.cycles < max_cycles:
-                instr = instrs[i]
-                if i == last_idx:
-                    # the exit trap: icache stall recorded, then the live
-                    # machine charges exactly one cycle for the trap itself
-                    pen = ic(instr.addr)
-                    if pen:
-                        st.icache_stall_cycles += pen
-                        if probe is not None:
-                            probe.emit(EV_CACHE_STALL, "icache", pen)
-                    st.cycles += 1
-                    st.primary_cycles += 1
-                    st.ref_instructions += 1
-                    self.pc = instr.addr
-                    services = self.services
-                    services.output[:] = src.trace.output
-                    services.exit_code = src.trace.exit_code
-                    src.i = i + 1
-                    self.halted = True
-                    break
-                cycles = 1
-                pen = ic(instr.addr)
-                if pen:
-                    cycles += pen
-                    st.icache_stall_cycles += pen
-                    if probe is not None:
-                        probe.emit(EV_CACHE_STALL, "icache", pen)
-                if last_load_rd is not None and last_load_rd in instr.lu_regs:
-                    cycles += lu_bubble
-                    st.load_use_bubble_cycles += lu_bubble
-                st.primary_instructions += 1
-                if instr.mem_size:
-                    pen = dc(aux[i])
-                    if pen:
-                        cycles += pen
-                        st.dcache_stall_cycles += pen
-                        if probe is not None:
-                            probe.emit(EV_CACHE_STALL, "dcache", pen)
-                if instr.cond_branch and not (flags[i] & 1):
-                    cycles += bnt_bubble
-                    st.branch_bubble_cycles += bnt_bubble
-                if spilled[i]:
-                    cycles += spill_pen
-                    st.spill_cycles += spill_pen
-                    if probe is not None:
-                        probe.emit(EV_WINDOW_SPILL, spill_pen)
-                last_load_rd = instr.rd if instr.op.kind == K_LOAD else None
-                st.cycles += cycles
-                st.primary_cycles += cycles
-                st.ref_instructions += 1
-                i += 1
-                self.pc = pcs[i]
+            self.halted, self.pc = charge_scalar_replay(
+                self.source,
+                self.cfg,
+                st,
+                self.icache,
+                self.dcache,
+                self.services,
+                self.probe,
+                max_cycles,
+                self.pc,
+            )
         finally:
             st.wall_time_s += time.perf_counter() - t0
         if not self.halted:

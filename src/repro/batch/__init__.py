@@ -10,10 +10,17 @@ from .columns import TraceColumns, columns_for
 from .evaluator import (
     BATCHED,
     LIVE,
+    VECTORIZED,
     batch_enabled_default,
     batchable,
     evaluate_family,
     family_key,
+)
+from .mc_kernel import (
+    GLOBAL_STATS as MC_STATS,
+    mc_enabled,
+    multi_miss_profiles,
+    prime_columns,
 )
 
 __all__ = [
@@ -21,8 +28,13 @@ __all__ = [
     "columns_for",
     "BATCHED",
     "LIVE",
+    "VECTORIZED",
     "batch_enabled_default",
     "batchable",
     "evaluate_family",
     "family_key",
+    "MC_STATS",
+    "mc_enabled",
+    "multi_miss_profiles",
+    "prime_columns",
 ]

@@ -30,27 +30,13 @@ from array import array
 from typing import Dict, Optional, Tuple
 
 from ..isa.instructions import K_LOAD
+from ..memory.kernel import geometry_ok as cache_geometry_ok  # noqa: F401
 from ..memory.lru import lru_miss_count
 
 try:  # optional accelerator; every path has a pure-Python fallback
     import numpy as _np
 except ImportError:  # pragma: no cover - the CI image ships numpy
     _np = None
-
-
-def cache_geometry_ok(size: int, line_size: int, assoc: int) -> bool:
-    """Would :class:`~repro.memory.cache.Cache` accept this geometry?
-
-    Mirrors the constructor's validation; the batched path refuses
-    (falls back to per-cell machines) rather than re-raise, so invalid
-    configurations fail with the live machine's own error message.
-    """
-    if line_size <= 0 or line_size & (line_size - 1):
-        return False
-    num_lines = size // line_size
-    if assoc < 1 or num_lines < 1 or num_lines % assoc:
-        return False
-    return (num_lines // assoc) >= 1
 
 
 def _miss_profile(addrs, size: int, line_size: int, assoc: int) -> Tuple[int, bool]:
@@ -106,6 +92,7 @@ class TraceColumns:
         "_spills",
         "_ic",
         "_dc",
+        "vec_keys",
     )
 
     def __init__(self, bound):
@@ -136,6 +123,11 @@ class TraceColumns:
         self._spills: Dict[int, Optional[int]] = {}
         self._ic: Dict[Tuple[int, int, int], Tuple[int, bool]] = {}
         self._dc: Dict[Tuple[int, int, int], int] = {}
+        #: geometries the multi-config kernel has vector-primed, as
+        #: ``("i"|"d", size, line_size, assoc)`` keys -- the evaluator
+        #: tags cells fully covered by this set as ``vectorized``
+        #: provenance (see :mod:`repro.batch.mc_kernel`)
+        self.vec_keys: set = set()
 
     def spill_count(self, nwindows: int) -> Optional[int]:
         """Window spill/fill events for ``nwindows`` -- ``None`` when the

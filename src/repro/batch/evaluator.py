@@ -27,28 +27,39 @@ disables family batching entirely.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import List, Sequence, Tuple
 
-from ..core.errors import SimError
 from ..core.machine import DTSVLIW
-from ..core.stats import Stats
-from ..harness.runner import RunResult, default_max_cycles, run_program
+
+# NOTE: repro.harness.runner is imported lazily inside the functions
+# below.  The machines themselves now import repro.batch.timing (the
+# hoisted stall-charging models), so a module-level import here would be
+# circular: runner -> baselines -> batch -> evaluator -> runner.
+from ..obs.probe import resolve_probe
 from ..scheduler.memo import shared_memo
 from ..trace.capture import workload_trace
 from ..trace.replay import execution_driven_forced
 from ..workloads import registry
+from . import mc_kernel
 from .columns import TraceColumns, cache_geometry_ok, columns_for
+from .timing import scalar_family_stats
 
-#: provenance tags carried back to the sweep driver (summary counters)
+#: provenance tags carried back to the sweep driver (summary counters).
+#: ``VECTORIZED`` is the subset of batched cells whose cache miss
+#: profiles came from the multi-config kernel (one grouped pass per
+#: address column instead of one walk per geometry); the sweep summary
+#: counts vectorized cells inside its ``batched`` total.
 BATCHED = "batched"
 LIVE = "live"
+VECTORIZED = "vectorized"
 
 
 def batch_enabled_default() -> bool:
     """Batching on unless ``$REPRO_NO_BATCH`` disables it."""
-    return os.environ.get("REPRO_NO_BATCH", "") in ("", "0")
+    from ..harness.runner import env_flag  # lazy: see module note
+
+    return not env_flag("REPRO_NO_BATCH")
 
 
 def family_key(spec) -> Tuple:
@@ -96,71 +107,62 @@ def _vector_model_ok(cfg) -> bool:
     return True
 
 
-def _scalar_cell(spec, cols: TraceColumns, spills: int) -> RunResult:
+def _vec_cell_keys(cfg) -> List[Tuple]:
+    """The ``vec_keys`` a scalar cell's real caches need covered before
+    its result counts as vectorized (empty: no real caches at all)."""
+    keys: List[Tuple] = []
+    ic, dc = cfg.icache, cfg.dcache
+    if not ic.perfect:
+        keys.append(("i", ic.size, ic.line_size, ic.assoc))
+    if not dc.perfect:
+        keys.append(("d", dc.size, dc.line_size, dc.assoc))
+    return keys
+
+
+def _scalar_cell(spec, cols: TraceColumns, spills: int):
     """Close the scalar baseline's replay loop into O(1) reductions.
 
-    Mirrors :meth:`ScalarMachine._run_replay` term by term: one base
-    cycle per committed instruction, icache stalls (the exit-trap fetch
-    is *recorded* but not charged), dcache stalls over the memory events,
-    the load-use and branch-not-taken bubbles, and the window-spill
-    penalty.  The cycle-budget check reduces exactly: the loop's guard
-    binds at the exit event, where the accumulated count is one below the
-    final total.
+    The accounting itself lives in the shared timing model
+    (:func:`repro.batch.timing.scalar_family_stats`); this wrapper only
+    resolves the cycle budget and stamps wall time.
     """
+    from ..harness.runner import RunResult, default_max_cycles  # lazy
+
     t0 = time.perf_counter()
-    cfg = spec.config
-    n = cols.n
-    ic, dc = cfg.icache, cfg.dcache
-    if ic.perfect:
-        ic_miss, ic_last = 0, False
-    else:
-        ic_miss, ic_last = cols.icache_profile(ic.size, ic.line_size, ic.assoc)
-    dc_miss = 0 if dc.perfect else cols.dcache_misses(dc.size, dc.line_size, dc.assoc)
-    st = Stats()
-    st.ref_instructions = n
-    st.primary_instructions = n - 1
-    st.icache_stall_cycles = ic.miss_penalty * ic_miss
-    st.dcache_stall_cycles = dc.miss_penalty * dc_miss
-    st.load_use_bubble_cycles = cfg.load_use_bubble * cols.lu_count
-    st.branch_bubble_cycles = cfg.branch_not_taken_bubble * cols.bnt_count
-    st.spill_cycles = cfg.window_spill_penalty * spills
-    cycles = (
-        n
-        + st.icache_stall_cycles
-        - (ic.miss_penalty if ic_last else 0)
-        + st.dcache_stall_cycles
-        + st.load_use_bubble_cycles
-        + st.branch_bubble_cycles
-        + st.spill_cycles
-    )
     max_cycles = (
         default_max_cycles() if spec.max_cycles is None else spec.max_cycles
     )
-    if cycles - 1 >= max_cycles:
-        # the same two-layer message run_program wraps around the live
-        # machine's cycle-budget SimError
-        raise SimError(
-            "scalar on %s failed (max_cycles=%d): "
-            "scalar machine exceeded %d cycles"
-            % (spec.benchmark, max_cycles, max_cycles)
-        )
-    st.cycles = cycles
-    st.primary_cycles = cycles
+    st, cycles = scalar_family_stats(
+        cols, spec.config, spills, max_cycles, spec.benchmark
+    )
     st.wall_time_s = time.perf_counter() - t0
-    return RunResult(spec.benchmark, "scalar", st, n, cycles)
+    return RunResult(spec.benchmark, "scalar", st, cols.n, cycles)
 
 
-def evaluate_family(item) -> List[Tuple[RunResult, str]]:
+def evaluate_family(item) -> List[Tuple]:
     """Evaluate one family's cells off its shared trace (picklable task).
 
-    ``item`` is ``(family_key, specs)``.  Returns ``(result, provenance)``
-    per spec, in order; provenance is :data:`BATCHED` for cells evaluated
-    from the shared trace and :data:`LIVE` for per-cell execution
+    ``item`` is ``(family_key, specs)`` or ``(family_key, specs,
+    vector)``.  Returns ``(result, provenance)`` per spec, in order;
+    provenance is :data:`BATCHED` for cells evaluated from the shared
+    trace, :data:`VECTORIZED` for the subset whose cache profiles the
+    multi-config kernel primed, and :data:`LIVE` for per-cell execution
     fallbacks.
+
+    With ``vector`` on (the default), the closed-form scalar cells' cache
+    geometries are collected up front and handed to
+    :func:`repro.batch.mc_kernel.prime_columns` in one batch, so the
+    whole family's miss profiles come from a few grouped passes over the
+    address columns instead of one LRU walk per geometry.
     """
+    from ..harness.runner import run_program  # lazy: see module note
     from ..harness.sweep import simulate_spec  # sweep imports this module
 
-    key, specs = item
+    if len(item) == 3:
+        key, specs, vector = item
+    else:
+        key, specs = item
+        vector = True
     name, scale, hw_mul, optimize, mem_size = key
     trace = None
     if not execution_driven_forced():
@@ -170,15 +172,27 @@ def evaluate_family(item) -> List[Tuple[RunResult, str]]:
     program = registry.load_program(name, scale, hw_mul, optimize)
     reference = (trace.count, bytes(trace.output), trace.exit_code)
     cols = columns_for(trace.bind(program))
+    specs = [spec.resolved() for spec in specs]
+    probe = resolve_probe(None)  # $REPRO_PROBE, like the machines do
+    vec_on = False
+    if vector:
+        ic_geoms = set()
+        dc_geoms = set()
+        for spec in specs:
+            if spec.machine != "scalar" or not _vector_model_ok(spec.config):
+                continue
+            for ck in _vec_cell_keys(spec.config):
+                (ic_geoms if ck[0] == "i" else dc_geoms).add(ck[1:])
+        if ic_geoms or dc_geoms:
+            vec_on = mc_kernel.prime_columns(cols, ic_geoms, dc_geoms, probe)
     # One segment memo per family, shared process-wide: blocks scheduled
     # once are re-applied by every later cell whose stint content matches
     # (the memo key excludes VLIW Cache geometry on purpose), and by
     # later sweeps over the same family -- fig6 after fig5 pays for the
     # shared scheduling work once.  See repro/scheduler/memo.py.
     memo = shared_memo(key)
-    out: List[Tuple[RunResult, str]] = []
+    out: List[Tuple] = []
     for spec in specs:
-        spec = spec.resolved()
         spills = cols.spill_count(spec.config.nwindows)
         if spills is None:
             # window spill stack over/underflows: replay refuses, the
@@ -186,7 +200,13 @@ def evaluate_family(item) -> List[Tuple[RunResult, str]]:
             out.append((simulate_spec(spec), LIVE))
             continue
         if spec.machine == "scalar" and _vector_model_ok(spec.config):
-            out.append((_scalar_cell(spec, cols, spills), BATCHED))
+            res = _scalar_cell(spec, cols, spills)
+            ckeys = _vec_cell_keys(spec.config)
+            if vec_on and ckeys and all(k in cols.vec_keys for k in ckeys):
+                mc_kernel.note_apply(spec.benchmark, probe)
+                out.append((res, VECTORIZED))
+            else:
+                out.append((res, BATCHED))
             continue
         res = run_program(
             program,

@@ -1,0 +1,249 @@
+"""Config-indexed multi-geometry cache timing kernel.
+
+The vectorized half of the batched evaluator: given one address column
+(a family's instruction-fetch or memory-event stream) and *every* cache
+geometry the family's cells need, produce the per-geometry miss profile
+of the shared :class:`~repro.memory.kernel.CacheKernel` in as few passes
+over the column as the geometries' structure allows.
+
+The collapse rests on the LRU *inclusion* (stack) property: for a fixed
+``(line_shift, num_sets)`` pair, the content of a k-way LRU set is
+exactly the top ``k`` entries of the set's unbounded MRU stack, so an
+access hits under associativity ``k`` iff its stack depth is ``< k``.
+One depth-recording walk per ``(line_shift, num_sets)`` group -- capped
+at the largest associativity any sharer requests -- therefore serves
+*all* associativities in the group at once; the per-``k`` reduction is a
+single NumPy comparison over the recorded depth column.  Groups whose
+only associativity is 1 skip the walk entirely: a stable sort by set
+index turns direct-mapped residency into one neighbour comparison.
+
+State is held config-indexed: the kernel returns
+``{(size, line_size, assoc): (miss_count, last_missed)}`` and
+:func:`prime_columns` deposits those profiles straight into a family's
+:class:`~repro.batch.columns.TraceColumns` memo, marking each primed
+geometry in ``TraceColumns.vec_keys`` so the evaluator can tag the cells
+it answers as ``vectorized`` provenance.
+
+``REPRO_NO_VECTOR=1`` (or NumPy being absent) makes :func:`prime_columns`
+decline -- counted in :data:`GLOBAL_STATS` and probed as an
+``mc_fallback`` event -- and the evaluator falls back to the existing
+per-geometry scalar profiles, bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..obs.probe import EV_MC_APPLY, EV_MC_BUILD, EV_MC_FALLBACK
+
+try:  # optional accelerator; every caller has a scalar fallback path
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+#: ``(size, line_size, assoc)`` -- the geometry key the columns memoize by
+Geometry = Tuple[int, int, int]
+#: ``(miss_count, last access missed)`` -- the profile the evaluator needs
+Profile = Tuple[int, bool]
+
+
+class MCStats:
+    """Process-wide multi-config kernel counters (cheap, always on).
+
+    ``builds`` counts kernel passes over an address column (one per
+    ``(line_shift, num_sets)`` geometry group), ``applied`` counts sweep
+    cells answered from kernel-primed profiles, ``fallbacks`` counts
+    families that wanted the kernel but fell back to scalar profiles
+    (``REPRO_NO_VECTOR`` or NumPy absent).  Mirrors
+    :class:`repro.isa.blockcompile.BlockCompileStats`; the ``mc_*`` probe
+    events carry the same information per run for cross-validation.
+    """
+
+    __slots__ = ("builds", "applied", "fallbacks")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.builds = 0
+        self.applied = 0
+        self.fallbacks = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "builds": self.builds,
+            "applied": self.applied,
+            "fallbacks": self.fallbacks,
+        }
+
+
+GLOBAL_STATS = MCStats()
+
+
+def require_numpy():
+    """The loaded ``numpy`` module, or a clean ImportError telling the
+    user how to proceed without it."""
+    if _np is None:
+        raise ImportError(
+            "the vectorized multi-config cache kernel needs numpy "
+            "(install the 'numpy' package, or set REPRO_NO_VECTOR=1 to "
+            "use the scalar per-geometry path)"
+        )
+    return _np
+
+
+def vector_disabled() -> bool:
+    """``$REPRO_NO_VECTOR`` escape hatch (shared warn-once parsing)."""
+    # lazy: harness.runner imports the machines, which import
+    # repro.batch.timing -- a module-level import here would be circular
+    from ..harness.runner import env_flag
+
+    return env_flag("REPRO_NO_VECTOR")
+
+
+def mc_enabled() -> bool:
+    """Can the vectorized kernel run at all in this process?"""
+    return _np is not None and not vector_disabled()
+
+
+def _direct_mapped_profiles(
+    lines, sets, assoc_geoms: List[Tuple[int, Geometry]]
+) -> Dict[Geometry, Profile]:
+    """All-``assoc==1`` group: one stable sort, no LRU state at all."""
+    n = len(lines)
+    order = _np.argsort(sets, kind="stable")
+    s_sorted = sets[order]
+    l_sorted = lines[order]
+    miss_sorted = _np.empty(n, dtype=bool)
+    miss_sorted[0] = True
+    miss_sorted[1:] = (s_sorted[1:] != s_sorted[:-1]) | (
+        l_sorted[1:] != l_sorted[:-1]
+    )
+    miss = _np.empty(n, dtype=bool)
+    miss[order] = miss_sorted
+    profile = (int(miss.sum()), bool(miss[-1]))
+    return {geom: profile for _k, geom in assoc_geoms}
+
+
+def _stack_depth_profiles(
+    lines, sets, num_sets: int, assoc_geoms: List[Tuple[int, Geometry]]
+) -> Dict[Geometry, Profile]:
+    """One capped MRU-stack walk serving every associativity at once."""
+    kmax = max(k for k, _g in assoc_geoms)
+    tag_list = lines.tolist()
+    set_list = sets.tolist()
+    mru: List[List[int]] = [[] for _ in range(num_sets)]
+    depths = _np.empty(len(tag_list), dtype=_np.int64)
+    for i, tag in enumerate(tag_list):
+        stack = mru[set_list[i]]
+        try:
+            d = stack.index(tag)
+        except ValueError:
+            d = kmax  # deeper than any requested associativity
+        else:
+            del stack[d]
+        stack.insert(0, tag)
+        if len(stack) > kmax:
+            del stack[kmax:]
+        depths[i] = d
+    out: Dict[Geometry, Profile] = {}
+    for k, geom in assoc_geoms:
+        miss = depths >= k
+        out[geom] = (int(miss.sum()), bool(miss[-1]))
+    return out
+
+
+def multi_miss_profiles(
+    addrs, geoms: Iterable[Geometry], cache_name: str, probe=None
+) -> Dict[Geometry, Profile]:
+    """Miss profiles of every geometry over one address column.
+
+    ``addrs`` is the column (``array('I')`` or a uint32 ndarray);
+    ``geoms`` are ``(size, line_size, assoc)`` triples the conventional
+    cache accepts (see :func:`repro.memory.kernel.geometry_ok` -- the
+    caller filters).  Returns ``{geom: (miss_count, last_missed)}``,
+    bit-identical to replaying :meth:`repro.memory.cache.Cache.access`
+    per geometry.  Emits one ``mc_build`` event (and counts one build)
+    per ``(line_shift, num_sets)`` group walked.
+    """
+    np = require_numpy()
+    geoms = list(dict.fromkeys(geoms))
+    n = len(addrs)
+    if n == 0:
+        return {g: (0, False) for g in geoms}
+    a = addrs if isinstance(addrs, np.ndarray) else np.frombuffer(addrs, dtype=np.uint32)
+    # group by the (line_shift, num_sets) pair that fixes the set index
+    # stream -- associativity only picks the hit threshold inside a group
+    groups: Dict[Tuple[int, int], List[Tuple[int, Geometry]]] = {}
+    for geom in geoms:
+        size, line_size, assoc = geom
+        num_sets = (size // line_size) // assoc
+        shift = line_size.bit_length() - 1
+        groups.setdefault((shift, num_sets), []).append((assoc, geom))
+    out: Dict[Geometry, Profile] = {}
+    for (shift, num_sets), assoc_geoms in sorted(groups.items()):
+        lines = a >> shift
+        sets = lines % num_sets
+        if max(k for k, _g in assoc_geoms) == 1:
+            out.update(_direct_mapped_profiles(lines, sets, assoc_geoms))
+        else:
+            out.update(
+                _stack_depth_profiles(lines, sets, num_sets, assoc_geoms)
+            )
+        GLOBAL_STATS.builds += 1
+        if probe is not None:
+            probe.emit(EV_MC_BUILD, cache_name, len(assoc_geoms), n)
+    return out
+
+
+def prime_columns(
+    cols,
+    ic_geoms: Iterable[Geometry],
+    dc_geoms: Iterable[Geometry],
+    probe=None,
+) -> bool:
+    """Vector-prime a family's columns with every geometry it will need.
+
+    Computes the not-yet-memoized instruction- and data-cache miss
+    profiles in grouped kernel passes and deposits them into ``cols``'s
+    per-geometry memos, recording each in ``cols.vec_keys`` (including
+    geometries a previous prime already covered) so the evaluator can tag
+    dependent cells as vectorized.  Returns True when the kernel served
+    (or previously served) the request; False -- counted and probed as an
+    ``mc_fallback`` -- when ``REPRO_NO_VECTOR`` or a missing NumPy says
+    the family must use the scalar per-geometry path instead.
+    """
+    ic_geoms = sorted(dict.fromkeys(ic_geoms))
+    dc_geoms = sorted(dict.fromkeys(dc_geoms))
+    if not ic_geoms and not dc_geoms:
+        return True  # nothing cache-shaped to vectorize: trivially served
+    if not mc_enabled():
+        GLOBAL_STATS.fallbacks += 1
+        if probe is not None:
+            probe.emit(
+                EV_MC_FALLBACK,
+                "disabled" if _np is not None else "no-numpy",
+            )
+        return False
+    ic_todo = [g for g in ic_geoms if g not in cols._ic]
+    if ic_todo:
+        for geom, prof in multi_miss_profiles(
+            cols.bound.pcs, ic_todo, "icache", probe
+        ).items():
+            cols._ic[geom] = prof
+    dc_todo = [g for g in dc_geoms if g not in cols._dc]
+    if dc_todo:
+        for geom, prof in multi_miss_profiles(
+            cols.mem_addrs, dc_todo, "dcache", probe
+        ).items():
+            cols._dc[geom] = prof[0]
+    cols.vec_keys.update(("i",) + g for g in ic_geoms)
+    cols.vec_keys.update(("d",) + g for g in dc_geoms)
+    return True
+
+
+def note_apply(benchmark: str, probe=None) -> None:
+    """Count one sweep cell answered from kernel-primed profiles."""
+    GLOBAL_STATS.applied += 1
+    if probe is not None:
+        probe.emit(EV_MC_APPLY, benchmark)

@@ -1,0 +1,251 @@
+"""Reusable trace-driven timing models, hoisted out of the machines.
+
+The scalar and DIF baselines charge Table 1 stall cycles off nothing but
+the committed trace: instruction addresses (icache), memory-event
+addresses (dcache), branch directions (not-taken bubbles), the previous
+load's destination (load-use bubbles) and the window plan (spill
+penalties).  This module holds that stall-charging logic as standalone
+functions of trace state -- the machines' replay loops
+(:meth:`~repro.baselines.scalar.ScalarMachine._run_replay`,
+:meth:`~repro.baselines.dif.DIFMachine._execute_group_replay`) are now
+thin wrappers, and the batched evaluator reuses the same accounting in
+closed form over :class:`~repro.batch.columns.TraceColumns`
+(:func:`scalar_family_stats`) instead of keeping a private copy.
+
+Nothing here touches a machine object: callers pass the replay source,
+the config, the ``Stats`` sink and the cache timing models, and take the
+returned control-flow state (pc, halted, cycle cost) back into whatever
+machine or evaluator drives the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.errors import SimError
+from ..core.stats import Stats
+from ..isa.instructions import K_BRANCH, K_LOAD, K_NOP, UNCONDITIONAL
+from ..obs.probe import EV_CACHE_STALL, EV_MISPREDICT, EV_WINDOW_SPILL
+
+
+def charge_scalar_replay(
+    src,
+    cfg,
+    st: Stats,
+    icache,
+    dcache,
+    services,
+    probe,
+    max_cycles: int,
+    pc: int,
+) -> Tuple[bool, int]:
+    """Walk the bound trace charging the scalar machine's Table 1 timing.
+
+    Mirrors the live loop's decisions field for field: icache access and
+    stall, the load-use bubble off the previous committed load, the
+    data-cache access per memory event, the not-taken branch bubble and
+    the window-spill penalty -- in the live ordering, including the
+    exit-trap special case (its icache stall is recorded but the
+    instruction is charged exactly one cycle).  Returns ``(halted, pc)``;
+    the caller owns wall-time accounting and the budget-overrun error.
+    """
+    instrs = src.instrs
+    pcs = src.pcs
+    flags = src.flags
+    aux = src.aux
+    spilled = src.spilled
+    last_idx = src.last
+    ic = icache.access
+    dc = dcache.access
+    lu_bubble = cfg.load_use_bubble
+    bnt_bubble = cfg.branch_not_taken_bubble
+    spill_pen = cfg.window_spill_penalty
+    last_load_rd = None
+    halted = False
+    i = 0
+    while st.cycles < max_cycles:
+        instr = instrs[i]
+        if i == last_idx:
+            # the exit trap: icache stall recorded, then the live
+            # machine charges exactly one cycle for the trap itself
+            pen = ic(instr.addr)
+            if pen:
+                st.icache_stall_cycles += pen
+                if probe is not None:
+                    probe.emit(EV_CACHE_STALL, "icache", pen)
+            st.cycles += 1
+            st.primary_cycles += 1
+            st.ref_instructions += 1
+            pc = instr.addr
+            services.output[:] = src.trace.output
+            services.exit_code = src.trace.exit_code
+            src.i = i + 1
+            halted = True
+            break
+        cycles = 1
+        pen = ic(instr.addr)
+        if pen:
+            cycles += pen
+            st.icache_stall_cycles += pen
+            if probe is not None:
+                probe.emit(EV_CACHE_STALL, "icache", pen)
+        if last_load_rd is not None and last_load_rd in instr.lu_regs:
+            cycles += lu_bubble
+            st.load_use_bubble_cycles += lu_bubble
+        st.primary_instructions += 1
+        if instr.mem_size:
+            pen = dc(aux[i])
+            if pen:
+                cycles += pen
+                st.dcache_stall_cycles += pen
+                if probe is not None:
+                    probe.emit(EV_CACHE_STALL, "dcache", pen)
+        if instr.cond_branch and not (flags[i] & 1):
+            cycles += bnt_bubble
+            st.branch_bubble_cycles += bnt_bubble
+        if spilled[i]:
+            cycles += spill_pen
+            st.spill_cycles += spill_pen
+            if probe is not None:
+                probe.emit(EV_WINDOW_SPILL, spill_pen)
+        last_load_rd = instr.rd if instr.op.kind == K_LOAD else None
+        st.cycles += cycles
+        st.primary_cycles += cycles
+        st.ref_instructions += 1
+        i += 1
+        pc = pcs[i]
+    return halted, pc
+
+
+def scalar_family_stats(
+    cols, cfg, spills: int, max_cycles: int, name: str
+) -> Tuple[Stats, int]:
+    """Close :func:`charge_scalar_replay` into O(1) column reductions.
+
+    Mirrors the replay loop term by term: one base cycle per committed
+    instruction, icache stalls (the exit-trap fetch is *recorded* but not
+    charged), dcache stalls over the memory events, the load-use and
+    branch-not-taken bubbles, and the window-spill penalty.  The
+    cycle-budget check reduces exactly: the loop's guard binds at the
+    exit event, where the accumulated count is one below the final total.
+    Raises the same two-layer :class:`SimError` ``run_program`` wraps
+    around the live machine's budget overrun.
+    """
+    n = cols.n
+    ic, dc = cfg.icache, cfg.dcache
+    if ic.perfect:
+        ic_miss, ic_last = 0, False
+    else:
+        ic_miss, ic_last = cols.icache_profile(ic.size, ic.line_size, ic.assoc)
+    dc_miss = 0 if dc.perfect else cols.dcache_misses(dc.size, dc.line_size, dc.assoc)
+    st = Stats()
+    st.ref_instructions = n
+    st.primary_instructions = n - 1
+    st.icache_stall_cycles = ic.miss_penalty * ic_miss
+    st.dcache_stall_cycles = dc.miss_penalty * dc_miss
+    st.load_use_bubble_cycles = cfg.load_use_bubble * cols.lu_count
+    st.branch_bubble_cycles = cfg.branch_not_taken_bubble * cols.bnt_count
+    st.spill_cycles = cfg.window_spill_penalty * spills
+    cycles = (
+        n
+        + st.icache_stall_cycles
+        - (ic.miss_penalty if ic_last else 0)
+        + st.dcache_stall_cycles
+        + st.load_use_bubble_cycles
+        + st.branch_bubble_cycles
+        + st.spill_cycles
+    )
+    if cycles - 1 >= max_cycles:
+        raise SimError(
+            "scalar on %s failed (max_cycles=%d): "
+            "scalar machine exceeded %d cycles"
+            % (name, max_cycles, max_cycles)
+        )
+    st.cycles = cycles
+    st.primary_cycles = cycles
+    return st, cycles
+
+
+def charge_dif_group_replay(
+    group,
+    src,
+    st: Stats,
+    rf,
+    dcache,
+    probe,
+    mispredict_penalty: int,
+) -> Tuple[int, int]:
+    """Replay one DIF group off the trace cursor; ``(next pc, cycles)``.
+
+    With instances, an executed group is architecturally the sequential
+    prefix of the committed stream, so during replay the machine pc is
+    always ``pcs[cursor]`` and "executing" an operation means consuming
+    its trace event.  Free riders, deviation detection (branch
+    direction/target against the recording), per-LI worst data-cache
+    penalties and the instruction count all mirror the live walk decision
+    for decision; the exit trap is never inside a group (traps are
+    non-schedulable), so the walk always bails out to the Primary
+    Processor before it.  Advances ``src.i`` and restores ``rf.cwp`` from
+    the cursor's recorded window pointer.
+    """
+    pcs = src.pcs
+    instrs = src.instrs
+    flags = src.flags
+    aux = src.aux
+    cur = src.i
+    max_li = -1
+    executed = 0
+    idx = 0
+    trace = group.trace
+    li_pen: Dict[int, int] = {}
+    deviated_to = None
+    while idx < len(trace):
+        addr, li, is_branch, rec_taken, rec_target = trace[idx]
+        if pcs[cur] != addr:
+            instr = instrs[cur]
+            kind = instr.op.kind
+            free_rider = kind == K_NOP or (
+                kind == K_BRANCH and instr.op.name in UNCONDITIONAL
+            )
+            if not free_rider:
+                break  # path deviates: resume in the Primary Processor
+            cur += 1
+            executed += 1
+            continue
+        instr = instrs[cur]
+        taken = (flags[cur] & 1) != 0
+        mem_size = instr.mem_size
+        a = aux[cur]
+        cur += 1
+        executed += 1
+        idx += 1
+        if li > max_li:
+            max_li = li
+        if mem_size:
+            pen = dcache.access(a)
+            if pen:
+                st.dcache_stall_cycles += pen
+                if probe is not None:
+                    probe.emit(EV_CACHE_STALL, "dcache", pen)
+                if pen > li_pen.get(li, 0):
+                    li_pen[li] = pen
+        if is_branch:
+            next_pc = pcs[cur]
+            deviates = taken != rec_taken or (
+                taken and next_pc != rec_target
+            )
+            if deviates:
+                st.mispredicts += 1
+                if probe is not None:
+                    probe.emit(EV_MISPREDICT, addr, next_pc)
+                deviated_to = next_pc
+                break
+    src.i = cur
+    rf.cwp = src.cwp[cur]
+    st.dif_instructions += executed
+    cycles = (group.height_used if max_li < 0 else max_li + 1) + sum(
+        li_pen.values()
+    )
+    if deviated_to is not None:
+        return deviated_to, max(cycles, 1) + mispredict_penalty
+    return pcs[cur], max(cycles, 1)

@@ -35,6 +35,7 @@ def _sweep_opts(args) -> dict:
         "jobs": args.jobs,
         "use_cache": False if args.no_cache else None,
         "batch": False if args.no_batch else None,
+        "vector": False if args.no_vector else None,
     }
 
 
@@ -338,6 +339,14 @@ def cmd_profile(args) -> None:
                 bc["fallback_dispatches"],
             )
         )
+    from ..batch.mc_kernel import GLOBAL_STATS as MC_STATS
+
+    mc = MC_STATS.snapshot()
+    if any(mc.values()):
+        print(
+            "mc kernel (this process): builds=%d applied=%d fallbacks=%d"
+            % (mc["builds"], mc["applied"], mc["fallbacks"])
+        )
     _print_summary()
 
 
@@ -374,6 +383,12 @@ def main(argv=None) -> int:
         "--no-batch",
         action="store_true",
         help="disable batched family evaluation (strictly per-cell sweeps)",
+    )
+    common.add_argument(
+        "--no-vector",
+        action="store_true",
+        help="disable the vectorized multi-config cache kernel "
+        "(scalar per-geometry miss profiles; also $REPRO_NO_VECTOR=1)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     for name, fn, help_ in [

@@ -19,31 +19,24 @@ deterministic).
 from __future__ import annotations
 
 import logging
-import os
 from concurrent import futures
 from typing import Callable, Iterable, List, Sequence, TypeVar
+
+from .runner import env_value
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 log = logging.getLogger(__name__)
 
-_warned_jobs = False
-
 
 def env_jobs(default: int = 1) -> int:
-    """Worker count from ``$REPRO_JOBS`` (fallback: ``default``)."""
-    global _warned_jobs
-    raw = os.environ.get("REPRO_JOBS")
-    if raw is None:
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        if not _warned_jobs:
-            _warned_jobs = True
-            log.warning("ignoring malformed REPRO_JOBS=%r", raw)
-        return default
+    """Worker count from ``$REPRO_JOBS`` (fallback: ``default``).
+
+    Goes through :func:`repro.harness.runner.env_value`, the shared
+    warn-once malformed-``REPRO_*`` policy.
+    """
+    return env_value("REPRO_JOBS", default, int)
 
 
 class SerialExecutor:

@@ -8,10 +8,12 @@ lives in :mod:`repro.harness.reporting`.  EXPERIMENTS.md records the
 paper-vs-measured comparison for every one of these.
 
 All drivers accept ``jobs`` (``None``: ``$REPRO_JOBS``), ``use_cache``
-(``None``: on unless ``$REPRO_NO_CACHE``) and ``batch`` (``None``: on
+(``None``: on unless ``$REPRO_NO_CACHE``), ``batch`` (``None``: on
 unless ``$REPRO_NO_BATCH`` -- family-batched trace evaluation, see
-:mod:`repro.batch`); per-driver sweep counters are available afterwards
-via :func:`repro.harness.sweep.last_summary`.
+:mod:`repro.batch`) and ``vector`` (``None``: on unless
+``$REPRO_NO_VECTOR`` -- the vectorized multi-config cache kernel, see
+:mod:`repro.batch.mc_kernel`); per-driver sweep counters are available
+afterwards via :func:`repro.harness.sweep.last_summary`.
 """
 
 from __future__ import annotations
@@ -149,10 +151,11 @@ def fig5_geometry(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """IPC vs block size and geometry (ideal memory system)."""
     sweep = Sweep(_fig5_specs(_benchmarks(benchmarks), scale, geometries))
-    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
+    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch, vector=vector).table()
 
 
 # ---------------------------------------------------------------- Figure 6
@@ -163,10 +166,11 @@ def fig6_cache_size(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> Dict[str, Dict[int, float]]:
     """IPC vs VLIW Cache size, 8x8 geometry, 4-way associative."""
     sweep = Sweep(_fig6_specs(_benchmarks(benchmarks), scale, sizes_kb))
-    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
+    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch, vector=vector).table()
 
 
 # ---------------------------------------------------------------- Figure 7
@@ -176,10 +180,11 @@ def fig7_associativity(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """IPC vs VLIW Cache associativity for 96 KB and 384 KB caches."""
     sweep = Sweep(_fig7_specs(_benchmarks(benchmarks), scale))
-    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
+    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch, vector=vector).table()
 
 
 # ---------------------------------------------------------------- Figure 8
@@ -215,12 +220,13 @@ def fig8_feasible(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Feasible-machine cost breakdown: the stacked contributions of the
     functional-unit mix, instruction cache, data cache and next-LI misses,
     sitting on top of the delivered ILP (Figure 8's stacked bars)."""
     sweep = Sweep(_fig8_specs(_benchmarks(benchmarks), scale))
-    steps = sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
+    steps = sweep.run(jobs=jobs, use_cache=use_cache, batch=batch, vector=vector).table()
     out: Dict[str, Dict[str, float]] = {}
     for name, row in steps.items():
         ipc0, ipc1, ipc2, ipc3, ipc4 = (row[s] for s in FIG8_STEPS)
@@ -242,10 +248,11 @@ def table3_feasible(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Performance and resource consumption of the feasible machine."""
     specs = _table3_specs(_benchmarks(benchmarks), scale)
-    run = run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch)
+    run = run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch, vector=vector)
     out: Dict[str, Dict[str, float]] = {}
     for spec, res in run:
         s = res.stats
@@ -272,11 +279,12 @@ def fig9_dif_comparison(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """DTSVLIW vs DIF on the shared Figure 9 configuration."""
     names = _benchmarks(benchmarks)
     specs = _fig9_specs(names, scale)
-    run = run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch)
+    run = run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch, vector=vector)
     by_cell = {(s.benchmark, s.machine): r for s, r in run}
     out: Dict[str, Dict[str, float]] = {}
     for name in names:
@@ -299,6 +307,7 @@ def speedup_vs_scalar(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """DTSVLIW speed-up over the scalar Primary Processor alone (not a
     paper figure, but the sanity check every reader wants)."""
@@ -313,7 +322,7 @@ def speedup_vs_scalar(
         for name in names
         for kind in ("dtsvliw", "scalar")
     ]
-    run = run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch)
+    run = run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch, vector=vector)
     by_cell = {(s.benchmark, s.machine): r for s, r in run}
     out: Dict[str, Dict[str, float]] = {}
     for name in names:
@@ -333,6 +342,7 @@ def ablation_multicycle(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Multicycle-instruction scheduling ([14]): hardware mul/div with
     latency-aware placement vs latency-blind placement."""
@@ -341,7 +351,7 @@ def ablation_multicycle(
         ("latency_blind", MachineConfig.paper_fixed(8, 8, test_mode=False, multicycle=False)),
     ]
     sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale, hw_mul=True)
-    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
+    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch, vector=vector).table()
 
 
 def ablation_store_scheme(
@@ -350,6 +360,7 @@ def ablation_store_scheme(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Section 3.11's two store-handling schemes: checkpoint recovery
     store list (default) vs the alternative data store list."""
@@ -358,7 +369,7 @@ def ablation_store_scheme(
         ("data_store_list", MachineConfig.paper_fixed(8, 8, test_mode=False, data_store_list=True)),
     ]
     sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale)
-    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
+    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch, vector=vector).table()
 
 
 def ablation_next_block_prediction(
@@ -367,6 +378,7 @@ def ablation_next_block_prediction(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Section 5 future work: next-block (next long instruction)
     prediction hides the feasible machine's 1-cycle next-LI miss penalty
@@ -382,7 +394,7 @@ def ablation_next_block_prediction(
         for name in names
         for pred in (False, True)
     ]
-    run = run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch)
+    run = run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch, vector=vector)
     by_cell = {(s.benchmark, s.meta["col"]): r for s, r in run}
     out: Dict[str, Dict[str, float]] = {}
     for name in names:
@@ -404,6 +416,7 @@ def ablation_compiler(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Compiler-quality sensitivity: the paper's SPECint95 inputs came from
     optimising gcc; this measures how much of the DTSVLIW's parallelism
@@ -419,7 +432,7 @@ def ablation_compiler(
         for name in _benchmarks(benchmarks)
         for label, optimize in (("optimized", True), ("naive", False))
     ]
-    return run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch).table()
+    return run_sweep(specs, jobs=jobs, use_cache=use_cache, batch=batch, vector=vector).table()
 
 
 def ablation_splitting(
@@ -428,6 +441,7 @@ def ablation_splitting(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Value of split-based renaming: unlimited renaming registers vs
     none (candidates install instead of splitting)."""
@@ -447,4 +461,4 @@ def ablation_splitting(
         ),
     ]
     sweep = Sweep.grid(_benchmarks(benchmarks), columns, scale=scale)
-    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch).table()
+    return sweep.run(jobs=jobs, use_cache=use_cache, batch=batch, vector=vector).table()

@@ -30,7 +30,11 @@ _code_version: Optional[str] = None
 
 def cache_enabled_default() -> bool:
     """Cache on unless ``$REPRO_NO_CACHE`` is set to a truthy value."""
-    return os.environ.get("REPRO_NO_CACHE", "") in ("", "0")
+    # imported lazily: blockcompile -> resultcache sits on runner's own
+    # import chain, so a module-level import would be circular
+    from .runner import env_flag
+
+    return not env_flag("REPRO_NO_CACHE")
 
 
 def cache_dir() -> str:

@@ -13,6 +13,12 @@ Environment knobs (all optional):
 * ``REPRO_MAX_CYCLES`` overrides :data:`DEFAULT_MAX_CYCLES`, the
   divergence/timeout guard of every simulation.
 
+:func:`env_value` and :func:`env_flag` are the one warn-once parser every
+``REPRO_*`` knob goes through (``REPRO_SCALE``, ``REPRO_MAX_CYCLES``,
+``REPRO_JOBS``, ``REPRO_NO_CACHE``, ``REPRO_NO_BATCH``,
+``REPRO_NO_VECTOR``): a malformed value warns once per process and falls
+back to the caller's default instead of silently changing behaviour.
+
 Experiments default to ``test_mode=False`` for speed -- correctness is
 covered by the test suite, and every run still asserts the exit code and
 output against the reference.
@@ -48,8 +54,13 @@ DEFAULT_MAX_CYCLES = 400_000_000
 _warned_env: set = set()
 
 
-def _env_number(var: str, default, parse):
-    """Parse ``$var`` with ``parse``; warn once (not silently) when malformed."""
+def env_value(var: str, default, parse):
+    """Parse ``$var`` with ``parse``; warn once (not silently) when malformed.
+
+    The single malformed-``REPRO_*`` policy: an unset variable returns
+    ``default``, a parseable one returns ``parse(raw)``, and anything else
+    logs one warning per process per variable and returns ``default``.
+    """
     raw = os.environ.get(var)
     if raw is None:
         return default
@@ -64,14 +75,34 @@ def _env_number(var: str, default, parse):
         return default
 
 
+_FLAG_VALUES = {
+    "": False, "0": False, "false": False, "no": False, "off": False,
+    "1": True, "true": True, "yes": True, "on": True,
+}
+
+
+def _parse_flag(raw: str) -> bool:
+    try:
+        return _FLAG_VALUES[raw.strip().lower()]
+    except KeyError:
+        raise ValueError("not a boolean flag: %r" % raw) from None
+
+
+def env_flag(var: str, default: bool = False) -> bool:
+    """Boolean knob from ``$var`` (``1/true/yes/on`` vs ``0/false/no/off``,
+    case-insensitive; empty counts as unset).  Malformed values warn once
+    and mean ``default`` -- the same policy as :func:`env_value`."""
+    return env_value(var, default, _parse_flag)
+
+
 def env_scale(default: float = 1.0) -> float:
     """Workload scale from ``$REPRO_SCALE`` (fallback: ``default``)."""
-    return _env_number("REPRO_SCALE", default, float)
+    return env_value("REPRO_SCALE", default, float)
 
 
 def default_max_cycles() -> int:
     """Cycle limit from ``$REPRO_MAX_CYCLES`` (fallback: 400M)."""
-    return _env_number("REPRO_MAX_CYCLES", DEFAULT_MAX_CYCLES, int)
+    return env_value("REPRO_MAX_CYCLES", DEFAULT_MAX_CYCLES, int)
 
 
 @dataclass

@@ -303,6 +303,9 @@ class SweepSummary:
     #: fresh cells evaluated from a shared family trace (repro.batch);
     #: the remaining ``simulated - batched`` ran per-cell ("live")
     batched: int = 0
+    #: the subset of ``batched`` whose cache miss profiles came from the
+    #: vectorized multi-config kernel (repro.batch.mc_kernel)
+    vectorized: int = 0
     jobs: int = 1
     executor: str = "serial"
     elapsed: float = 0.0
@@ -324,13 +327,16 @@ class SweepSummary:
         return self.sim_instructions / self.sim_wall_s / 1e6
 
     def line(self) -> str:
+        batched = "%d batched" % self.batched
+        if self.vectorized:
+            batched += " [%d vectorized]" % self.vectorized
         out = (
-            "sweep: %d cells (%d cached, %d batched, %d live) "
+            "sweep: %d cells (%d cached, %s, %d live) "
             "via %s jobs=%d in %.1fs"
             % (
                 self.total,
                 self.cached,
-                self.batched,
+                batched,
                 self.live,
                 self.executor,
                 self.jobs,
@@ -387,6 +393,7 @@ def run_sweep(
     executor=None,
     profile: bool = False,
     batch: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> SweepRun:
     """Execute every spec; returns results in spec order.
 
@@ -398,6 +405,14 @@ def run_sweep(
     sharing a captured trace are grouped into families and evaluated by
     one :func:`~repro.batch.evaluate_family` task each, bit-identical to
     the per-cell path (see the module docstring).
+
+    ``vector`` (default on; ``--no-vector`` passes False) lets the
+    batched families prime their cache miss profiles through the
+    vectorized multi-config kernel (:mod:`repro.batch.mc_kernel`) -- one
+    grouped pass per address column instead of one LRU walk per geometry,
+    again bit-identical.  ``$REPRO_NO_VECTOR=1`` (or NumPy being absent)
+    disables the kernel from the environment; such families fall back to
+    scalar per-geometry profiles and are counted/probed as fallbacks.
 
     ``profile=True`` attaches an event probe to every cell and exports a
     per-cell profile (see :mod:`repro.obs`); the result cache keys are
@@ -458,9 +473,11 @@ def run_sweep(
         rest = list(range(len(todo_specs)))
 
     batched = 0
+    vectorized = 0
     if families:
+        vector_on = True if vector is None else vector
         items = [
-            (key, tuple(todo_specs[p] for p in poss))
+            (key, tuple(todo_specs[p] for p in poss), vector_on)
             for key, poss in families.items()
         ]
         for (key, poss), cells in zip(
@@ -468,7 +485,10 @@ def run_sweep(
         ):
             for p, (res, provenance) in zip(poss, cells):
                 results[todo[p]] = res
-                if provenance == "batched":
+                if provenance == "vectorized":
+                    batched += 1
+                    vectorized += 1
+                elif provenance == "batched":
                     batched += 1
 
     rest_specs = [todo_specs[p] for p in rest]
@@ -498,6 +518,7 @@ def run_sweep(
         simulated=len(todo),
         cached=len(specs) - len(todo),
         batched=batched,
+        vectorized=vectorized,
         jobs=getattr(executor, "jobs", 1),
         executor=getattr(executor, "name", type(executor).__name__),
         elapsed=time.perf_counter() - t0,
@@ -544,7 +565,13 @@ class Sweep:
         )
 
     def run(
-        self, jobs=None, use_cache=None, cache=None, executor=None, batch=None
+        self,
+        jobs=None,
+        use_cache=None,
+        cache=None,
+        executor=None,
+        batch=None,
+        vector=None,
     ) -> SweepRun:
         return run_sweep(
             self.specs,
@@ -553,4 +580,5 @@ class Sweep:
             cache=cache,
             executor=executor,
             batch=batch,
+            vector=vector,
         )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..core.errors import SimError
 from ..obs.probe import EV_CACHE_MISS
-from .lru import LRUSets
+from .kernel import CacheKernel
 
 
 class CacheStats:
@@ -35,9 +35,12 @@ class Cache:
     """Set-associative LRU cache.
 
     ``access(addr)`` returns the cycle penalty (0 on hit, ``miss_penalty``
-    on miss) and updates residency.  Residency bookkeeping is the shared
-    :class:`~repro.memory.lru.LRUSets` structure (one MRU-first tag list
-    per set), also used by the VLIW cache and the batched timing models.
+    on miss) and updates residency.  All residency mechanism -- the
+    address -> (set, tag) map and the MRU-first tag lists -- lives in the
+    shared :class:`~repro.memory.kernel.CacheKernel`, which the VLIW
+    cache and the batched multi-config timing kernel
+    (:mod:`repro.batch.mc_kernel`) reuse; this class only adds penalties,
+    statistics and the miss probe event.
     """
 
     __slots__ = (
@@ -47,9 +50,7 @@ class Cache:
         "assoc",
         "miss_penalty",
         "perfect",
-        "num_sets",
-        "line_shift",
-        "lru",
+        "kernel",
         "stats",
         "probe",
     )
@@ -71,43 +72,38 @@ class Cache:
         self.miss_penalty = miss_penalty
         self.perfect = perfect
         if not perfect:
-            if line_size & (line_size - 1):
-                raise SimError("cache line size must be a power of two")
-            num_lines = size // line_size
-            if num_lines % assoc:
-                raise SimError(
-                    "cache %s: %d lines not divisible by assoc %d"
-                    % (name, num_lines, assoc)
-                )
-            self.num_sets = num_lines // assoc
-            self.line_shift = line_size.bit_length() - 1
-            self.lru = LRUSets(self.num_sets, assoc)
+            try:
+                self.kernel = CacheKernel.conventional(size, line_size, assoc)
+            except ValueError as exc:
+                raise SimError("cache %s: %s" % (name, exc)) from None
         else:
-            self.num_sets = 0
-            self.line_shift = 0
-            self.lru = None
+            self.kernel = None
         self.stats = CacheStats()
         #: active probe or None (miss events only -- hits stay untouched)
         self.probe = probe
+
+    @property
+    def num_sets(self) -> int:
+        return self.kernel.num_sets if self.kernel is not None else 0
+
+    @property
+    def line_shift(self) -> int:
+        return self.kernel.shift if self.kernel is not None else 0
 
     def access(self, addr: int) -> int:
         """Touch ``addr``; return the miss penalty in cycles (0 on hit)."""
         if self.perfect:
             self.stats.hits += 1
             return 0
-        line = addr >> self.line_shift
-        idx = line % self.num_sets
-        hit, _ = self.lru.lookup(idx, line)
-        if hit:
+        if self.kernel.access(addr):
             self.stats.hits += 1
             return 0
         self.stats.misses += 1
         if self.probe is not None:
             self.probe.emit(EV_CACHE_MISS, self.name)
-        self.lru.fill(idx, line)
         return self.miss_penalty
 
     def flush(self) -> None:
         """Drop every resident line."""
-        if self.lru is not None:
-            self.lru.clear()
+        if self.kernel is not None:
+            self.kernel.clear()

@@ -1,0 +1,141 @@
+"""Pure geometry-parameterized cache kernel.
+
+One implementation of the address -> (set, tag) mapping plus LRU
+residency that was previously written twice: the conventional
+:class:`~repro.memory.cache.Cache` (line-granular tags, geometry derived
+from size/line_size/assoc) and the :class:`~repro.vliw.cache.VLIWCache`
+(one block per line, word-indexed, full-address tags).  Both are now thin
+wrappers over :class:`CacheKernel`; the batched multi-config evaluator
+(:mod:`repro.batch.mc_kernel`) reproduces exactly this kernel's residency
+decisions over whole address columns at once.
+
+The kernel is *pure* mechanism: it knows nothing about miss penalties,
+statistics, probes or perfect caches -- that is the wrappers' business --
+and raises plain :class:`ValueError` on impossible geometry so each
+wrapper can surface its own error type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from .lru import LRUSets
+
+
+def geometry_ok(size: int, line_size: int, assoc: int) -> bool:
+    """Would a conventional cache accept this geometry?
+
+    Mirrors :func:`conventional_geometry` without raising; the batched
+    evaluator refuses such cells (falls back to per-cell machines) rather
+    than re-raise, so invalid configurations fail with the live machine's
+    own error message.
+    """
+    if line_size <= 0 or line_size & (line_size - 1):
+        return False
+    num_lines = size // line_size
+    if assoc < 1 or num_lines < 1 or num_lines % assoc:
+        return False
+    return (num_lines // assoc) >= 1
+
+
+def conventional_geometry(
+    size: int, line_size: int, assoc: int
+) -> Tuple[int, int]:
+    """``(num_sets, line_shift)`` of a conventional cache geometry.
+
+    Raises :class:`ValueError` with the historical constructor messages
+    when the geometry is impossible (line size not a power of two, line
+    count not divisible by the associativity).
+    """
+    if line_size <= 0 or line_size & (line_size - 1):
+        raise ValueError("cache line size must be a power of two")
+    num_lines = size // line_size
+    if assoc < 1 or num_lines % assoc:
+        raise ValueError(
+            "%d lines not divisible by assoc %d" % (num_lines, assoc)
+        )
+    num_sets = num_lines // assoc
+    if num_sets < 1:
+        raise ValueError(
+            "%d lines cannot be %d-way associative" % (num_lines, assoc)
+        )
+    return num_sets, line_size.bit_length() - 1
+
+
+class CacheKernel:
+    """Set-associative LRU residency over an address -> (set, tag) map.
+
+    ``index = (addr >> shift) % num_sets``; the tag is ``addr >> shift``
+    (``line_tags=True``, conventional caches -- any address inside a line
+    hits) or the raw address (``line_tags=False``, the VLIW cache -- a
+    block is keyed by its exact start address).
+    """
+
+    __slots__ = ("num_sets", "assoc", "shift", "line_tags", "lru")
+
+    def __init__(
+        self,
+        num_sets: int,
+        assoc: int,
+        shift: int = 0,
+        line_tags: bool = True,
+    ):
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.shift = shift
+        self.line_tags = line_tags
+        self.lru = LRUSets(num_sets, assoc)  # validates num_sets/assoc >= 1
+
+    @classmethod
+    def conventional(cls, size: int, line_size: int, assoc: int) -> "CacheKernel":
+        """Kernel for a conventional geometry (raises ValueError)."""
+        num_sets, shift = conventional_geometry(size, line_size, assoc)
+        return cls(num_sets, assoc, shift=shift, line_tags=True)
+
+    def locate(self, addr: int) -> Tuple[int, int]:
+        """``(set index, tag)`` of ``addr``."""
+        key = addr >> self.shift
+        return key % self.num_sets, (key if self.line_tags else addr)
+
+    # ------------------------------------------------------------- residency
+    def access(self, addr: int) -> bool:
+        """Timing-cache touch: LRU lookup, miss-path fill; True on hit."""
+        # locate() inlined: this is the hot path of every live machine
+        key = addr >> self.shift
+        idx = key % self.num_sets
+        tag = key if self.line_tags else addr
+        hit, _ = self.lru.lookup(idx, tag)
+        if not hit:
+            self.lru.fill(idx, tag)
+        return hit
+
+    def lookup(self, addr: int) -> Tuple[bool, Any]:
+        """``(hit, payload)``; a hit refreshes recency, a miss changes nothing."""
+        idx, tag = self.locate(addr)
+        return self.lru.lookup(idx, tag)
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive presence check (LRU order untouched)."""
+        idx, tag = self.locate(addr)
+        return self.lru.probe(idx, tag)
+
+    def insert(self, addr: int, payload: Any = None) -> int:
+        """Install as MRU, replacing a same-tag entry; returns the evicted
+        victim's tag or -1."""
+        idx, tag = self.locate(addr)
+        return self.lru.insert(idx, tag, payload)
+
+    def remove(self, addr: int) -> bool:
+        idx, tag = self.locate(addr)
+        return self.lru.remove(idx, tag)
+
+    def clear(self) -> None:
+        self.lru.clear()
+
+    def occupancy(self) -> int:
+        return self.lru.occupancy()
+
+    @property
+    def sets(self) -> List[List[Tuple[int, Any]]]:
+        """The raw per-set ``(tag, payload)`` lists (inspection/export)."""
+        return self.lru.sets

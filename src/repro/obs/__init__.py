@@ -35,6 +35,7 @@ from .metrics import (  # noqa: F401
     Histogram,
     block_compile_counts,
     cache_miss_counts,
+    mc_counts,
     profile_metrics,
     profile_report,
     recompute_counters,

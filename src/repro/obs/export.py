@@ -33,9 +33,10 @@ from ..core.errors import SimError
 from .probe import EVENT_SCHEMA, Event
 
 FORMAT = "repro-profile"
-#: version 2: block-compilation events (bc_compile/bc_cache/bc_fallback)
-#: joined the schema
-VERSION = 2
+#: version 3: multi-config timing-kernel events
+#: (mc_build/mc_apply/mc_fallback) joined the schema (version 2 added the
+#: block-compilation events bc_compile/bc_cache/bc_fallback)
+VERSION = 3
 
 #: default profile location, relative to the working directory
 DEFAULT_PROFILE_DIR = os.path.join("results", "profiles")

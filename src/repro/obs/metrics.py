@@ -29,6 +29,9 @@ from .probe import (
     EV_EXCEPTION,
     EV_INSTALL,
     EV_LI_EXEC,
+    EV_MC_APPLY,
+    EV_MC_BUILD,
+    EV_MC_FALLBACK,
     EV_MISPREDICT,
     EV_MODE_SWITCH,
     EV_MOVE,
@@ -188,6 +191,21 @@ def block_compile_counts(events: Iterable[Event]) -> Dict[str, int]:
     return out
 
 
+def mc_counts(events: Iterable[Event]) -> Dict[str, int]:
+    """Multi-config timing-kernel activity from the ``mc_*`` event stream
+    -- cross-validates :data:`repro.batch.mc_kernel.GLOBAL_STATS` deltas."""
+    out = {"builds": 0, "applied": 0, "fallbacks": 0}
+    for ev in events:
+        kind = ev[0]
+        if kind == EV_MC_BUILD:
+            out["builds"] += 1
+        elif kind == EV_MC_APPLY:
+            out["applied"] += 1
+        elif kind == EV_MC_FALLBACK:
+            out["fallbacks"] += 1
+    return out
+
+
 def renaming_highwater(events: Iterable[Event]) -> List[Tuple[int, int, int, int, int]]:
     """Running renaming-pressure maxima over time: one
     ``(flush_index, int, fp, cc, mem)`` row per block flush."""
@@ -250,6 +268,7 @@ def profile_metrics(events: List[Event]) -> Dict:
         "renaming_highwater": renaming_highwater(events),
         "cache_misses": cache_miss_counts(events),
         "block_compile": block_compile_counts(events),
+        "mc_kernel": mc_counts(events),
     }
 
 
@@ -312,6 +331,12 @@ def profile_report(name: str, events: List[Event], width: int = 40) -> str:
                 bc["cache_misses"],
                 bc["fallback_dispatches"],
             )
+        )
+    mc = m["mc_kernel"]
+    if any(mc.values()):
+        lines.append(
+            "mc kernel: builds=%d applied=%d fallbacks=%d"
+            % (mc["builds"], mc["applied"], mc["fallbacks"])
         )
     top = sorted(counters.items(), key=lambda kv: -kv[1])
     lines.append(

@@ -82,6 +82,16 @@ EV_BC_COMPILE = "bc_compile"
 EV_BC_CACHE = "bc_cache"
 #: block-table miss fell back to a per-instruction dispatch; args: (pc,)
 EV_BC_FALLBACK = "bc_fallback"
+#: one multi-config kernel pass over an address column; args:
+#: (cache, geoms, events) -- cache "icache"/"dcache", geoms = number of
+#: geometry cells served by the pass, events = column length walked
+EV_MC_BUILD = "mc_build"
+#: one sweep cell answered from kernel-primed miss profiles; args:
+#: (benchmark,)
+EV_MC_APPLY = "mc_apply"
+#: a vectorizable family fell back to scalar miss profiles; args:
+#: (reason,) -- "disabled" (REPRO_NO_VECTOR) or "no-numpy"
+EV_MC_FALLBACK = "mc_fallback"
 
 #: event kind -> ordered field names (the exporter writes this as the
 #: schema header; bump :data:`repro.obs.export.VERSION` when it changes)
@@ -116,6 +126,9 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     EV_BC_COMPILE: ("addr", "count"),
     EV_BC_CACHE: ("hit",),
     EV_BC_FALLBACK: ("pc",),
+    EV_MC_BUILD: ("cache", "geoms", "events"),
+    EV_MC_APPLY: ("benchmark",),
+    EV_MC_FALLBACK: ("reason",),
 }
 
 Event = Tuple  # (kind, *args) -- args are ints or short strings only

@@ -9,7 +9,8 @@ during VLIW fetch (section 3.5).
 
 In this simulator the per-line nba is carried inside the :class:`Block`
 object (``nba_addr``/``nba_line``); the cache maps addresses to blocks
-through the shared :class:`~repro.memory.lru.LRUSets` bookkeeping.
+through the shared :class:`~repro.memory.kernel.CacheKernel` (word-indexed
+sets, full-address tags, LRU replacement).
 
 Geometry validation lives at :class:`~repro.core.config.MachineConfig`
 (``vliw_cache_effective_assoc``): a cache too small for the requested
@@ -21,16 +22,14 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..memory.lru import LRUSets
+from ..memory.kernel import CacheKernel
 from ..obs.probe import EV_BLOCK_INSTALL, EV_BLOCK_INVALIDATE
 from ..scheduler.long_instruction import Block
 
 
 class VLIWCache:
     __slots__ = (
-        "num_sets",
-        "assoc",
-        "lru",
+        "kernel",
         "hits",
         "misses",
         "insertions",
@@ -44,9 +43,11 @@ class VLIWCache:
                 " (use MachineConfig.vliw_cache_effective_assoc)"
                 % (total_blocks, assoc)
             )
-        self.assoc = assoc
-        self.num_sets = max(1, total_blocks // assoc)
-        self.lru = LRUSets(self.num_sets, assoc)
+        # word-indexed sets (instruction addresses are 4-aligned), tags
+        # are the exact block start address
+        self.kernel = CacheKernel(
+            max(1, total_blocks // assoc), assoc, shift=2, line_tags=False
+        )
         self.hits = 0
         self.misses = 0
         self.insertions = 0
@@ -56,16 +57,21 @@ class VLIWCache:
         self.obs = probe
 
     @property
+    def assoc(self) -> int:
+        return self.kernel.assoc
+
+    @property
+    def num_sets(self) -> int:
+        return self.kernel.num_sets
+
+    @property
     def sets(self) -> List[List[Tuple[int, Block]]]:
         """The raw per-set ``(tag, Block)`` lists (inspection/export)."""
-        return self.lru.sets
-
-    def _index(self, addr: int) -> int:
-        return (addr >> 2) % self.num_sets
+        return self.kernel.sets
 
     def lookup(self, addr: int) -> Optional[Block]:
         """Tag-match ``addr``; returns the block and refreshes LRU."""
-        hit, block = self.lru.lookup(self._index(addr), addr)
+        hit, block = self.kernel.lookup(addr)
         if hit:
             self.hits += 1
             return block
@@ -74,26 +80,26 @@ class VLIWCache:
 
     def probe(self, addr: int) -> bool:
         """Non-destructive presence check (does not touch LRU/stats)."""
-        return self.lru.probe(self._index(addr), addr)
+        return self.kernel.probe(addr)
 
     def insert(self, block: Block) -> None:
         """Write a flushed block; replaces a same-tag line, else LRU."""
         addr = block.start_addr
-        evicted = self.lru.insert(self._index(addr), addr, block)
+        evicted = self.kernel.insert(addr, block)
         self.insertions += 1
         if self.obs is not None:
             self.obs.emit(EV_BLOCK_INSTALL, addr, evicted)
 
     def invalidate(self, addr: int) -> bool:
         """Drop the block tagged ``addr``; True when it was resident."""
-        found = self.lru.remove(self._index(addr), addr)
+        found = self.kernel.remove(addr)
         if self.obs is not None:
             self.obs.emit(EV_BLOCK_INVALIDATE, addr, int(found))
         return found
 
     def flush_all(self) -> None:
-        self.lru.clear()
+        self.kernel.clear()
 
     def resident_blocks(self) -> int:
         """Total blocks currently cached (all sets)."""
-        return self.lru.occupancy()
+        return self.kernel.occupancy()

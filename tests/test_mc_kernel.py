@@ -1,0 +1,244 @@
+"""Differential oracle for the vectorized multi-config cache kernel.
+
+The kernel's claim (DESIGN.md section 14): one grouped pass over an
+address column reproduces, for *every* requested cache geometry at once,
+exactly the residency decisions the object-style
+:class:`repro.memory.cache.Cache` makes walking the column one access at
+a time.  This suite pits the two against each other on random streams
+and random geometries (hypothesis), checks the LRU stack-property
+grouping (many associativities, one walk), pins the fallback behaviour
+(``REPRO_NO_VECTOR``, NumPy absent) and locks full figure grids and a
+scalar cache-geometry grid with the kernel on and off.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import mc_kernel
+from repro.batch.columns import _miss_profile, cache_geometry_ok
+from repro.batch.mc_kernel import (
+    GLOBAL_STATS,
+    mc_enabled,
+    multi_miss_profiles,
+    prime_columns,
+)
+from repro.core.config import CacheConfig, MachineConfig
+from repro.harness.experiments import figure_specs
+from repro.harness.sweep import RunSpec, run_sweep
+from repro.memory.cache import Cache
+from repro.obs.probe import EV_MC_BUILD, EV_MC_FALLBACK, EventProbe
+
+SCALE = 0.05
+BENCH = "compress"
+
+
+def _reference_profile(addrs, size, line_size, assoc):
+    """Walk the object-style Cache access by access (the oracle)."""
+    cache = Cache("t", size, line_size, assoc, miss_penalty=1, perfect=False)
+    last = False
+    for addr in addrs:
+        last = cache.access(addr) != 0
+    return cache.stats.misses, last
+
+
+# ------------------------------------------------------- geometry strategy
+geometries = st.builds(
+    lambda line_exp, assoc, sets: (
+        (1 << line_exp) * assoc * sets,  # size
+        1 << line_exp,  # line_size
+        assoc,
+    ),
+    line_exp=st.integers(min_value=2, max_value=6),
+    assoc=st.integers(min_value=1, max_value=5),
+    sets=st.integers(min_value=1, max_value=8),
+)
+
+streams = st.lists(
+    st.integers(min_value=0, max_value=0xFFF), min_size=0, max_size=200
+).map(lambda xs: np.asarray(xs, dtype=np.uint32))
+
+
+class TestKernelVsObjectCache:
+    @given(geom=geometries, addrs=streams)
+    @settings(max_examples=60, deadline=None)
+    def test_single_geometry_matches_object_lru(self, geom, addrs):
+        """Vectorized kernel vs the object-style Cache, random streams."""
+        size, line_size, assoc = geom
+        assert cache_geometry_ok(size, line_size, assoc)
+        want = _reference_profile(addrs, size, line_size, assoc)
+        got = multi_miss_profiles(addrs, [geom], "icache")[geom]
+        assert got == want
+        # the scalar per-geometry profile agrees too (three-way lockstep)
+        assert _miss_profile(addrs, size, line_size, assoc) == want
+
+    @given(
+        addrs=streams,
+        line_exp=st.integers(min_value=2, max_value=5),
+        sets=st.integers(min_value=1, max_value=8),
+        assocs=st.lists(
+            st.integers(min_value=1, max_value=6),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shared_walk_serves_every_associativity(
+        self, addrs, line_exp, sets, assocs
+    ):
+        """Geometries sharing (line_shift, num_sets) ride one stack walk;
+        each associativity's profile must still match its own LRU."""
+        line_size = 1 << line_exp
+        geoms = [(line_size * k * sets, line_size, k) for k in assocs]
+        probe = EventProbe()
+        before = GLOBAL_STATS.builds
+        out = multi_miss_profiles(addrs, geoms, "dcache", probe)
+        if len(addrs):
+            # all geometries collapse into one build pass
+            assert GLOBAL_STATS.builds - before == 1
+            assert probe.counts[EV_MC_BUILD] == 1
+        for geom in geoms:
+            assert out[geom] == _reference_profile(addrs, *geom), geom
+
+    def test_mixed_groups_count_one_build_each(self):
+        addrs = np.arange(0, 4096, 12, dtype=np.uint32)
+        geoms = [
+            (1024, 32, 1),  # sets=32, shift=5
+            (2048, 32, 2),  # sets=32, shift=5  (same group as above)
+            (2048, 32, 1),  # sets=64, shift=5
+            (1024, 16, 1),  # sets=64, shift=4
+        ]
+        probe = EventProbe()
+        before = GLOBAL_STATS.builds
+        out = multi_miss_profiles(addrs, geoms, "icache", probe)
+        assert GLOBAL_STATS.builds - before == 3
+        assert probe.counts[EV_MC_BUILD] == 3
+        for geom in geoms:
+            assert out[geom] == _reference_profile(addrs, *geom), geom
+
+    def test_empty_column(self):
+        assert multi_miss_profiles(
+            np.asarray([], dtype=np.uint32), [(1024, 32, 2)], "dcache"
+        ) == {(1024, 32, 2): (0, False)}
+
+
+# ------------------------------------------------------------ prime/fallback
+class _Bound:
+    def __init__(self, pcs):
+        self.pcs = pcs
+
+
+class _Cols:
+    """Just enough TraceColumns surface for prime_columns."""
+
+    def __init__(self, pcs, mem_addrs):
+        self.bound = _Bound(pcs)
+        self.mem_addrs = mem_addrs
+        self._ic = {}
+        self._dc = {}
+        self.vec_keys = set()
+
+
+def _cols():
+    pcs = np.arange(0x1000, 0x1400, 4, dtype=np.uint32)
+    mem = np.arange(0, 2048, 8, dtype=np.uint32)
+    return _Cols(pcs, mem)
+
+
+class TestPrimeColumns:
+    def test_primes_profiles_and_marks_coverage(self):
+        cols = _cols()
+        ic = [(1024, 32, 1), (1024, 32, 2)]
+        dc = [(512, 16, 2)]
+        assert prime_columns(cols, ic, dc) is True
+        for geom in ic:
+            assert cols._ic[geom] == _reference_profile(cols.bound.pcs, *geom)
+            assert ("i",) + geom in cols.vec_keys
+        for geom in dc:
+            assert cols._dc[geom] == _reference_profile(cols.mem_addrs, *geom)[0]
+            assert ("d",) + geom in cols.vec_keys
+        assert ("d", 1024, 32, 1) not in cols.vec_keys
+
+    def test_no_vector_env_falls_back_probed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_VECTOR", "1")
+        assert not mc_enabled()
+        cols = _cols()
+        probe = EventProbe()
+        before = GLOBAL_STATS.fallbacks
+        assert prime_columns(cols, [(1024, 32, 1)], [], probe) is False
+        assert GLOBAL_STATS.fallbacks - before == 1
+        assert list(probe.select(EV_MC_FALLBACK)) == [
+            (EV_MC_FALLBACK, "disabled")
+        ]
+        assert not cols._ic and not cols.vec_keys
+
+    def test_numpy_absent_falls_back_probed(self, monkeypatch):
+        monkeypatch.setattr(mc_kernel, "_np", None)
+        assert not mc_enabled()
+        probe = EventProbe()
+        assert prime_columns(_cols(), [(1024, 32, 1)], [], probe) is False
+        assert list(probe.select(EV_MC_FALLBACK)) == [
+            (EV_MC_FALLBACK, "no-numpy")
+        ]
+        with pytest.raises(ImportError, match="REPRO_NO_VECTOR"):
+            mc_kernel.require_numpy()
+
+    def test_nothing_to_vectorize_is_trivially_served(self):
+        assert prime_columns(_cols(), [], []) is True
+
+
+# --------------------------------------------------------- sweep lockstep
+def _lockstep(specs, monkeypatch, expect_vectorized):
+    vec = run_sweep(specs, use_cache=False)
+    monkeypatch.setenv("REPRO_NO_VECTOR", "1")
+    novec = run_sweep(specs, use_cache=False)
+    monkeypatch.delenv("REPRO_NO_VECTOR")
+    assert len(vec.results) == len(novec.results) == len(specs)
+    for spec, ra, rb in zip(specs, vec.results, novec.results):
+        label = (spec.benchmark, spec.machine, spec.meta)
+        assert ra.stats == rb.stats, label
+        assert ra.cycles == rb.cycles, label
+    if expect_vectorized:
+        assert vec.summary.vectorized > 0
+    else:
+        assert vec.summary.vectorized == 0
+    assert novec.summary.vectorized == 0
+    # vectorized cells still count inside the batched total
+    assert vec.summary.batched == novec.summary.batched
+
+
+@pytest.mark.parametrize("figure", ["fig6", "fig7"])
+def test_figure_grid_lockstep_no_vector_both_ways(figure, monkeypatch):
+    """Full fig6/fig7 grids, kernel on vs REPRO_NO_VECTOR=1: identical.
+
+    These grids sweep the VLIW cache with perfect conventional caches, so
+    no cell qualifies for vectorized provenance -- the lockstep pins that
+    the kernel's presence changes nothing for them.
+    """
+    specs = figure_specs(figure, [BENCH], scale=SCALE)
+    _lockstep(specs, monkeypatch, expect_vectorized=False)
+
+
+def test_scalar_cache_grid_lockstep_and_vectorizes(monkeypatch):
+    """A scalar-machine cache-geometry grid (the kernel's home turf):
+    kernel on vs off is bit-identical and the on-run is vectorized."""
+    base = MachineConfig.paper_fixed(8, 8, test_mode=False)
+    specs = []
+    for size_kb in (4, 8, 16):
+        for assoc in (1, 2, 4):
+            cfg = base.with_(
+                icache=CacheConfig(
+                    size=size_kb * 1024, line_size=32, assoc=assoc,
+                    miss_penalty=8, perfect=False,
+                ),
+                dcache=CacheConfig(
+                    size=size_kb * 1024, line_size=32, assoc=assoc,
+                    miss_penalty=8, perfect=False,
+                ),
+            )
+            specs.append(
+                RunSpec(BENCH, cfg, machine="scalar", scale=SCALE)
+            )
+    _lockstep(specs, monkeypatch, expect_vectorized=True)

@@ -254,3 +254,61 @@ class TestBlockCompileCrossValidation:
         assert counters.count("bc_cache") == events.count("bc_cache") == 1
         assert counters.count("bc_compile") > 0
         assert events.count("bc_compile") == 0
+
+
+class TestMCKernelCrossValidation:
+    """The ``mc_*`` event stream cross-validates the process-global
+    :data:`repro.batch.mc_kernel.GLOBAL_STATS` counters."""
+
+    class _Cols:
+        def __init__(self):
+            import numpy as np
+
+            class B:
+                pcs = np.arange(0x1000, 0x1200, 4, dtype=np.uint32)
+
+            self.bound = B()
+            self.mem_addrs = np.arange(0, 1024, 8, dtype=np.uint32)
+            self._ic = {}
+            self._dc = {}
+            self.vec_keys = set()
+
+    def test_build_apply_fallback_events_match_global_stats(
+        self, monkeypatch
+    ):
+        from repro.batch.mc_kernel import (
+            GLOBAL_STATS,
+            note_apply,
+            prime_columns,
+        )
+        from repro.obs import mc_counts
+
+        probe = EventProbe()
+        before = GLOBAL_STATS.snapshot()
+        # two icache groups (32 vs 64 sets) + one dcache group
+        prime_columns(
+            self._Cols(),
+            [(1024, 32, 1), (2048, 32, 1)],
+            [(512, 16, 2)],
+            probe,
+        )
+        note_apply("compress", probe)
+        note_apply("ijpeg", probe)
+        monkeypatch.setenv("REPRO_NO_VECTOR", "1")
+        prime_columns(self._Cols(), [(1024, 32, 1)], [], probe)
+        delta = {
+            k: v - before[k] for k, v in GLOBAL_STATS.snapshot().items()
+        }
+        counts = mc_counts(probe.events)
+        assert counts == delta
+        assert counts == {"builds": 3, "applied": 2, "fallbacks": 1}
+
+    def test_counter_probe_matches_event_probe(self):
+        from repro.batch.mc_kernel import prime_columns
+
+        counters = CounterProbe()
+        prime_columns(self._Cols(), [(1024, 32, 2)], [(512, 16, 1)], counters)
+        events = EventProbe()
+        prime_columns(self._Cols(), [(1024, 32, 2)], [(512, 16, 1)], events)
+        assert counters.count("mc_build") == events.count("mc_build") == 2
+        assert counters.count("mc_fallback") == 0

@@ -220,6 +220,52 @@ class TestRunnerSatellites:
         monkeypatch.setenv("REPRO_MAX_CYCLES", "garbage")
         assert default_max_cycles() == runner.DEFAULT_MAX_CYCLES
 
+    def test_env_flag_recognized_values(self, monkeypatch):
+        from repro.harness.runner import env_flag
+
+        for raw, want in [
+            ("1", True), ("true", True), ("YES", True), ("On", True),
+            ("0", False), ("false", False), ("no", False), ("off", False),
+            ("", False),
+        ]:
+            monkeypatch.setenv("REPRO_NO_VECTOR", raw)
+            assert env_flag("REPRO_NO_VECTOR") is want, raw
+        monkeypatch.delenv("REPRO_NO_VECTOR")
+        assert env_flag("REPRO_NO_VECTOR") is False
+        assert env_flag("REPRO_NO_VECTOR", default=True) is True
+
+    def test_env_flag_malformed_warns_once_and_defaults(
+        self, monkeypatch, caplog
+    ):
+        from repro.harness.runner import env_flag
+
+        monkeypatch.setenv("REPRO_NO_VECTOR", "banana")
+        monkeypatch.setattr(runner, "_warned_env", set())
+        with caplog.at_level(logging.WARNING, logger="repro.harness.runner"):
+            assert env_flag("REPRO_NO_VECTOR") is False
+            assert env_flag("REPRO_NO_VECTOR", default=True) is True
+        warnings = [
+            r for r in caplog.records if "REPRO_NO_VECTOR" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+
+    def test_env_helpers_share_warn_once_policy(self, monkeypatch, caplog):
+        """REPRO_JOBS and the boolean knobs route through the same
+        env_value helper: malformed values warn once each, per process."""
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        monkeypatch.setenv("REPRO_NO_CACHE", "maybe")
+        monkeypatch.setattr(runner, "_warned_env", set())
+        from repro.harness.resultcache import cache_enabled_default
+
+        with caplog.at_level(logging.WARNING, logger="repro.harness.runner"):
+            assert env_jobs(3) == 3
+            assert env_jobs(3) == 3
+            assert cache_enabled_default() is True
+            assert cache_enabled_default() is True
+        messages = [r.getMessage() for r in caplog.records]
+        assert sum("REPRO_JOBS" in m for m in messages) == 1
+        assert sum("REPRO_NO_CACHE" in m for m in messages) == 1
+
     def test_timeout_error_names_cell_and_limit(self):
         from repro.core.errors import SimError
 
