@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CI smoke test for the on-disk scheduling-memo store.
+
+Run twice against the same ``$REPRO_MEMO_DIR``: the first invocation
+(``cold``) schedules the workload from scratch, records a store miss and
+flushes the family memo to disk; the second (``warm``, a fresh process,
+so the in-process shared memo is empty) must load every segment record
+from the store and replay the machine with **zero re-schedules** --
+``memo.stored`` stays 0 -- while producing bit-identical Stats (checked
+via ``$REPRO_SMOKE_STATS``: the cold phase writes the stats dict there,
+the warm phase compares against it).
+
+Usage:  memo_store_smoke.py cold|warm
+"""
+
+import dataclasses
+import json
+import os
+import sys
+
+from repro.core.config import MachineConfig
+from repro.core.machine import DTSVLIW
+from repro.scheduler.memo import ScheduleMemo
+from repro.scheduler.memostore import (
+    GLOBAL_STATS,
+    flush_family_memo,
+    load_family_memo,
+)
+from repro.trace.capture import workload_trace
+from repro.workloads import registry
+
+MEM = 8 * 1024 * 1024
+
+
+def main(argv=None) -> int:
+    phase = (argv if argv is not None else sys.argv[1:])[0]
+    assert phase in ("cold", "warm"), phase
+    program = registry.load_program("compress", 0.1)
+    trace = workload_trace("compress", 0.1, mem_size=MEM)
+    cfg = MachineConfig.paper_fixed().with_(
+        test_mode=False, mem_size=MEM, vliw_cache_bytes=2 * 1024
+    )
+    fkey = ("smoke", "compress", 0.1)
+    memo = ScheduleMemo()
+    loaded = load_family_memo(memo, fkey, program)
+    m = DTSVLIW(program, cfg, trace=trace, sched_memo=memo)
+    m.run()
+    flushed = flush_family_memo(memo, fkey)
+    snap = GLOBAL_STATS.snapshot()
+    stats = dataclasses.asdict(m.stats)
+    stats.pop("wall_time_s", None)
+    print(
+        "%s: loaded=%d stored=%d applied=%d flushed=%s "
+        "store_hits=%d store_misses=%d exit=%d"
+        % (
+            phase, loaded, memo.stored, memo.applied, flushed,
+            snap["store_hits"], snap["store_misses"], m.exit_code,
+        )
+    )
+    stats_path = os.environ.get("REPRO_SMOKE_STATS", "")
+    if phase == "cold":
+        assert loaded == 0, "cold run found a pre-existing memo"
+        assert memo.stored > 0, "cold run must schedule segments"
+        assert snap["store_misses"] == 1, "cold run must miss the store"
+        assert flushed, "cold run must flush the family memo"
+        if stats_path:
+            with open(stats_path, "w", encoding="utf-8") as fh:
+                json.dump(stats, fh, sort_keys=True)
+    else:
+        assert loaded > 0, "warm run loaded nothing from the store"
+        assert memo.stored == 0, "warm run re-scheduled segments"
+        assert memo.applied > 0, "warm run never applied a record"
+        assert snap["store_hits"] == 1, "warm run must hit the store"
+        assert not flushed, "clean warm memo must not re-flush"
+        if stats_path:
+            with open(stats_path, encoding="utf-8") as fh:
+                cold_stats = json.load(fh)
+            assert stats == cold_stats, "warm stats diverged from cold"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

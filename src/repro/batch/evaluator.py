@@ -37,7 +37,8 @@ from ..core.machine import DTSVLIW
 # hoisted stall-charging models), so a module-level import here would be
 # circular: runner -> baselines -> batch -> evaluator -> runner.
 from ..obs.probe import resolve_probe
-from ..scheduler.memo import shared_memo
+from ..scheduler.memo import memo_disabled, shared_memo
+from ..scheduler.memostore import flush_family_memo, load_family_memo
 from ..trace.capture import workload_trace
 from ..trace.replay import execution_driven_forced
 from ..workloads import registry
@@ -191,6 +192,12 @@ def evaluate_family(item) -> List[Tuple]:
     # later sweeps over the same family -- fig6 after fig5 pays for the
     # shared scheduling work once.  See repro/scheduler/memo.py.
     memo = shared_memo(key)
+    if not memo_disabled() and any(s.machine == "dtsvliw" for s in specs):
+        # Warm the family memo from the on-disk store: a later process
+        # sweeping the same family re-applies the stored segments instead
+        # of re-scheduling them.  Both directions no-op when persistence
+        # is off ($REPRO_NO_MEMO_STORE) and degrade to misses on defects.
+        load_family_memo(memo, key, program, probe=probe)
     out: List[Tuple] = []
     for spec in specs:
         spills = cols.spill_count(spec.config.nwindows)
@@ -220,4 +227,8 @@ def evaluate_family(item) -> List[Tuple]:
             sched_memo=memo if spec.machine == "dtsvliw" else None,
         )
         out.append((res, BATCHED))
+    # Spill anything new back to the store (no-op when clean or disabled;
+    # eviction from the shared registry flushes too, this just makes the
+    # common one-family-per-process sweep durable).
+    flush_family_memo(memo, key)
     return out

@@ -42,7 +42,14 @@ from ..isa.registers import RegFile
 from ..isa.semantics import StepInfo
 from ..memory.cache import Cache
 from ..memory.main_memory import MainMemory
-from ..obs.probe import EV_MODE_SWITCH, EV_VCACHE_PROBE, resolve_probe
+from ..isa.blockcompile import PM_STATS, compile_pm_blocks
+from ..obs.probe import (
+    EV_MODE_SWITCH,
+    EV_PM_DISPATCH,
+    EV_PM_FALLBACK,
+    EV_VCACHE_PROBE,
+    resolve_probe,
+)
 from ..primary.pipeline import PrimaryProcessor
 from ..scheduler.memo import (
     SEG_FULL,
@@ -171,6 +178,14 @@ class DTSVLIW:
             self._seg_owner = sched_memo if sched_memo is not None else ScheduleMemo()
             self._seg_table = self._seg_owner.table_for(c)
 
+        # Compiled primary-mode scheduling (repro.isa.blockcompile
+        # MODE_PM): replay-only -- the generated functions read trace
+        # columns directly and drive the real scheduler.
+        self._pm_table: Optional[dict] = None
+        self._pm_ctr: list = [0, None, None]
+        if self.replay and self.primary.pm_dispatch_viable():
+            self._pm_table = compile_pm_blocks(program, c, probe=self.probe)
+
         self.reference: Optional[ReferenceMachine] = None
         if c.test_mode:
             self.reference = ReferenceMachine(
@@ -226,6 +241,9 @@ class DTSVLIW:
         cfg = self.cfg
         fetch = self.program.instrs.get
         probe = self.probe
+        pm = self._pm_table
+        src = self.source
+        ctr = self._pm_ctr
         self.primary.reset_pipeline()
         while not self.halted and st.cycles < self._max_cycles:
             pc = self.pc
@@ -248,6 +266,30 @@ class DTSVLIW:
                     continue
                 if probe is not None:
                     probe.emit(EV_VCACHE_PROBE, pc, 0)
+                if pm is not None:
+                    # compiled primary-mode block (replay-only; the leading
+                    # probe for pc was charged and emitted just above)
+                    ent = pm.get(pc)
+                    if (
+                        ent is not None
+                        and src.i + ent[1] <= src.last
+                        and st.cycles + ent[2] < self._max_cycles
+                    ):
+                        npc = self.primary.dispatch_pm(
+                            ent[0], self.scheduler, self.vcache.probe, ctr
+                        )
+                        if ctr[0]:
+                            PM_STATS.dispatches += 1
+                            if probe is not None:
+                                probe.emit(EV_PM_DISPATCH, pc)
+                            self.pc = npc
+                            block = ctr[2]
+                            if block is not None:
+                                self.vcache.insert(block)
+                            continue
+                    PM_STATS.fallback_dispatches += 1
+                    if probe is not None:
+                        probe.emit(EV_PM_FALLBACK, pc)
             instr = fetch(pc)
             if instr is None:
                 raise SimError("fetch outside text segment: 0x%x" % pc)
@@ -304,6 +346,8 @@ class DTSVLIW:
         pcs = src.pcs
         owner = self._seg_owner
         table = self._seg_table
+        pm = self._pm_table
+        ctr = self._pm_ctr
         primary.reset_pipeline()
 
         # ``ext``: the canonical scheduler state at the last witnessed
@@ -359,6 +403,35 @@ class DTSVLIW:
                     self._vliw_mode(pc)
                     primary.reset_pipeline()
                     continue
+                if pm is not None:
+                    # compiled primary-mode block (the leading probe for pc
+                    # was charged just above; no probe is ever attached
+                    # here -- the segment memo requires probes off)
+                    ent = pm.get(pc)
+                    if (
+                        ent is not None
+                        and src.i + ent[1] <= src.last
+                        and st.cycles + ent[2] < self._max_cycles
+                    ):
+                        npc = primary.dispatch_pm(
+                            ent[0], sched, vcache.probe, ctr
+                        )
+                        if ctr[0]:
+                            PM_STATS.dispatches += 1
+                            self.pc = npc
+                            block = ctr[2]
+                            if block is not None:
+                                vcache.insert(block)
+                                if rec_base >= 0:
+                                    self._seg_store(
+                                        SEG_FULL, ext, rec_key, rec_base,
+                                        block, rec_snap, rec_keep, rec_cs,
+                                        rec_cr, rec_wp,
+                                    )
+                                    rec_base = -1
+                                ext = True
+                            continue
+                    PM_STATS.fallback_dispatches += 1
             instr = fetch(pc)
             if instr is None:
                 raise SimError("fetch outside text segment: 0x%x" % pc)

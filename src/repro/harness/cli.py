@@ -339,6 +339,21 @@ def cmd_profile(args) -> None:
                 bc["fallback_dispatches"],
             )
         )
+    from ..isa.blockcompile import PM_STATS
+
+    pm = PM_STATS.snapshot()
+    if any(pm.values()):
+        print(
+            "primary compile (this process): compiled=%d cache_hits=%d "
+            "cache_misses=%d dispatches=%d fallbacks=%d"
+            % (
+                pm["compiled"],
+                pm["cache_hits"],
+                pm["cache_misses"],
+                pm["dispatches"],
+                pm["fallback_dispatches"],
+            )
+        )
     from ..batch.mc_kernel import GLOBAL_STATS as MC_STATS
 
     mc = MC_STATS.snapshot()
@@ -346,6 +361,22 @@ def cmd_profile(args) -> None:
         print(
             "mc kernel (this process): builds=%d applied=%d fallbacks=%d"
             % (mc["builds"], mc["applied"], mc["fallbacks"])
+        )
+    from ..scheduler import memo as sched_memo
+    from ..scheduler.memostore import GLOBAL_STATS as MEMO_STATS
+
+    ms = MEMO_STATS.snapshot()
+    if any(ms.values()) or sched_memo.shared_evictions:
+        print(
+            "memo store (this process): hits=%d misses=%d records_loaded=%d "
+            "flushes=%d family_evictions=%d"
+            % (
+                ms["store_hits"],
+                ms["store_misses"],
+                ms["records_loaded"],
+                ms["flushes"],
+                sched_memo.shared_evictions,
+            )
         )
     _print_summary()
 

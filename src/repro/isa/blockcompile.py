@@ -81,8 +81,11 @@ from .instructions import (
     K_SETHI,
     K_STORE,
     K_TRAP,
+    SCHED_NONSCHED,
+    SCHED_SKIP,
 )
 from .predecode import FP_FUNCS, generic_step_forced
+from .registers import MEM_BASE
 from .semantics import (
     ALU_FUNCS,
     MASK32,
@@ -96,6 +99,9 @@ from ..core.errors import MemFault
 MODE_LEAN = "lean"
 MODE_CAPTURE = "capture"
 MODE_SCALAR = "scalar"
+#: primary-mode scheduling: replay-driven SchedOp synthesis + placement
+#: (see :func:`compile_pm_blocks`; emitted by :class:`_PMEmitter`)
+MODE_PM = "pm"
 
 #: maximum instructions emitted per superblock (side exits commit fewer)
 MAX_BLOCK = 64
@@ -113,6 +119,14 @@ def block_compile_disabled() -> bool:
     if os.environ.get("REPRO_NO_BLOCK_COMPILE", "") not in ("", "0"):
         return True
     return generic_step_forced()
+
+
+def pm_compile_disabled() -> bool:
+    """True when compiled primary-mode scheduling is off:
+    ``$REPRO_NO_PRIMARY_COMPILE`` or the broader block-compile hatches."""
+    if os.environ.get("REPRO_NO_PRIMARY_COMPILE", "") not in ("", "0"):
+        return True
+    return block_compile_disabled()
 
 
 class BlockCompileStats:
@@ -140,6 +154,36 @@ class BlockCompileStats:
 
 
 GLOBAL_STATS = BlockCompileStats()
+
+
+class PMCompileStats:
+    """Process-global compiled-primary-mode counters (the ``pm_*`` probe
+    events mirror ``compiled``/``dispatches``/``fallback_dispatches``;
+    ``tests/test_obs_counters.py`` cross-validates them)."""
+
+    __slots__ = ("compiled", "cache_hits", "cache_misses", "dispatches", "fallback_dispatches")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.compiled = 0  # superblocks freshly code-generated
+        self.cache_hits = 0  # disk-store resolutions that hit
+        self.cache_misses = 0  # disk-store resolutions that missed
+        self.dispatches = 0  # compiled-function calls that committed >= 1
+        self.fallback_dispatches = 0  # interpreted steps at non-leader pcs
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "compiled": self.compiled,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "dispatches": self.dispatches,
+            "fallback_dispatches": self.fallback_dispatches,
+        }
+
+
+PM_STATS = PMCompileStats()
 
 
 # ---------------------------------------------------------------------------
@@ -214,10 +258,33 @@ _MEM_HOISTS = (
 )
 
 
+def _pm_consts(spec, instrs, rf, cwp0):
+    """Per-entry-window constants for one compiled primary-mode block.
+
+    ``spec`` is the block's static tuple of ``(addr, dw_before, dw_after)``
+    window deltas for its schedulable instructions; the result caches one
+    :func:`~repro.scheduler.ops.build_sched_proto` prototype per entry
+    (``(proto, static_reads)`` pairs for loads, bare protos otherwise),
+    keyed by the dynamic entry ``cwp`` the generated function saw.
+    """
+    from ..scheduler.ops import build_sched_proto  # lazy: avoids a cycle
+
+    nw = rf.nwindows
+    out = []
+    for addr, db, da in spec:
+        proto, rtup = build_sched_proto(
+            instrs[addr], rf, (cwp0 + db) % nw, (cwp0 + da) % nw
+        )
+        out.append(proto if rtup is None else (proto, rtup))
+    return tuple(out)
+
+
 def _exec_globals() -> Dict[str, object]:
     """Globals for a compiled block module.  Every helper is always
     injected (a marshal-loaded module must execute in a fresh process
     with no record of which helpers its source happens to use)."""
+    from ..obs.probe import EV_CACHE_STALL, EV_VCACHE_PROBE, EV_WINDOW_SPILL
+
     return {
         "_sra": ALU_FUNCS["sra"],
         "_smul": ALU_FUNCS["smul"],
@@ -229,6 +296,11 @@ def _exec_globals() -> Dict[str, object]:
         "_spill": do_window_spill,
         "_fill": do_window_fill,
         "_MF": MemFault,
+        "_mkpm": _pm_consts,
+        "_I": None,  # program.instrs, bound by compile_pm_blocks
+        "_EVP": EV_VCACHE_PROBE,
+        "_EVS": EV_CACHE_STALL,
+        "_EVW": EV_WINDOW_SPILL,
     }
 
 
@@ -793,6 +865,353 @@ class _Emitter:
         return "\n".join(out)
 
 
+class _PMEmitter:
+    """``MODE_PM``: one replay-driven *scheduling* function per superblock.
+
+    Where :class:`_Emitter` specializes architectural execution, this
+    emitter specializes the DTSVLIW primary-mode walk itself: per static
+    instruction it bakes in the Table 1 cycle arithmetic (static in-block
+    load-use interlocks, branch/spill bubbles), the replay-column reads,
+    and the :class:`~repro.scheduler.ops.SchedOp` construction -- a cached
+    per-entry-window prototype (built once by ``_mkpm`` /
+    :func:`build_sched_proto`) cloned and patched with the per-instance
+    facts (memory address, branch direction, target) -- then drives the
+    real ``SchedulerUnit.tick``/``insert`` placement machinery.
+
+    Exactness contract (the four-way differential suite pins it down):
+    the function is observationally identical to the per-instruction
+    replay loop of ``DTSVLIW._primary_mode_replay``.  It exits back to the
+    interpreted loop -- committing everything accounted so far -- at every
+    boundary the machine must see: a VLIW-cache probe hit (before
+    charging that probe: the machine loop re-probes and charges it once),
+    a full-block flush from ``insert`` (the block rides out in ``ctr[2]``
+    for the machine's install + segment-memo bookkeeping), a taken
+    conditional branch, an indirect jump, a non-schedulable instruction
+    (before consuming it), or a divergence between the trace and the
+    static block path.  Exit protocol: ``ctr[0]`` = instructions
+    committed, ``ctr[1]`` = outgoing load-use register, ``ctr[2]`` =
+    flushed Block or None; returns the next pc (``-1`` with ``ctr[0] ==
+    0`` when the entry guard rejects a desynced cursor).
+
+    The caller guarantees: a replay source positioned with
+    ``src.i + max_count <= src.last`` (the exit-trap event never fires
+    inside), perfect data cache (replay eligibility), and a cycle budget
+    check against the block's worst-case charge (``__cycmax__``).
+    """
+
+    def __init__(self, program, sig: Tuple[int, ...]):
+        self.instrs = program.instrs
+        (
+            self.lu,
+            self.bnt,
+            self.sp,
+            self.inline_spill,
+            self.ic_perfect,
+            self.ic_pen,
+        ) = sig
+
+    # -- per-block state -----------------------------------------------------
+    def _reset(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+        #: (addr, dw_before, dw_after) per schedulable instruction: the
+        #: static spec ``_mkpm`` builds SchedOp prototypes from
+        self.spec: List[Tuple[int, int, int]] = []
+        self.dw = 0  # window delta from block entry
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.depth + line)
+
+    def _break(self, npc_expr: str, prev_rd) -> None:
+        self.emit("npc = %s" % npc_expr)
+        self.emit("llo = %s" % ("None" if prev_rd is None else str(prev_rd)))
+        self.emit("break")
+
+    def _flush_exit(self, npc_expr: str, prev_rd) -> None:
+        """``insert`` returned a full block: hand it to the machine."""
+        self.emit("if b is not None:")
+        self.depth += 1
+        self.emit("ctr[2] = b")
+        self._break(npc_expr, prev_rd)
+        self.depth -= 1
+
+    def _open(self, ins, j: int, prev_rd) -> None:
+        """VLIW-cache probe + pre-execution cycle accounting (mirrors the
+        machine loop's probe and ``PrimaryProcessor.step``'s icache and
+        load-use charges; the first instruction was already probed and
+        its probe charged by the dispatching loop)."""
+        if j > 0:
+            self.emit("if vp(%d):" % ins.addr)
+            self.depth += 1
+            self._break(str(ins.addr), prev_rd)
+            self.depth -= 1
+            self.emit("vcp += 1")
+            self.emit("if pb is not None:")
+            self.emit("    pb.emit(_EVP, %d, 0)" % ins.addr)
+        base = 1
+        static_lu = bool(
+            self.lu and j > 0 and prev_rd is not None and prev_rd in ins.lu_regs
+        )
+        if static_lu:
+            base += self.lu
+        if self.ic_perfect:
+            self.emit("c = %d" % base)
+        else:
+            self.emit("p = ic(%d)" % ins.addr)
+            self.emit("if p:")
+            self.emit("    ista += p")
+            self.emit("    if pb is not None:")
+            self.emit("        pb.emit(_EVS, 'icache', p)")
+            self.emit("c = %d + p" % base)
+        if static_lu:
+            self.emit("lub += %d" % self.lu)
+        if self.lu and j == 0 and ins.lu_regs:
+            # llr is None, 0 or a visible rd; lu_regs never contains 0
+            self.emit("if llr in %r:" % (ins.lu_regs,))
+            self.emit("    c += %d" % self.lu)
+            self.emit("    lub += %d" % self.lu)
+
+    def _advance(self) -> None:
+        """Commit one instruction: Stats accumulators, cursor, and the
+        scheduler clocks (``tick(cycles)`` with its zero-candidate
+        early-out folded into the guard -- candidates never appear
+        between instructions without an ``insert``)."""
+        self.emit("cyc += c")
+        self.emit("k += 1")
+        self.emit("i += 1")
+        self.emit("if S.n_candidates:")
+        self.emit("    tick(c)")
+
+    # -- per-kind emission ---------------------------------------------------
+    def emit_instr(self, ins, j: int, prev_rd):
+        """Emit one instruction; returns the scan action (``None`` to fall
+        through, ``"stop"`` after an emitted exit, or a splice target)."""
+        kind = ins.op.kind
+        a = ins.addr
+        if kind in (K_SAVE, K_RESTORE) and not self.inline_spill:
+            # runtime non-schedulable: exit *before* the probe so the
+            # interpreted step sees (and charges) this address exactly once
+            self.emit("if spl[i]:")
+            self.depth += 1
+            self._break(str(a), prev_rd)
+            self.depth -= 1
+        self._open(ins, j, prev_rd)
+        if ins.sched_class == SCHED_SKIP:
+            if kind == K_BRANCH and ins.op.name == "ba":
+                target = (a + ins.imm) & MASK32
+                self.emit("nxt = pcs[i + 1]")
+                self._advance()
+                self.emit("if nxt != %d:" % target)
+                self.depth += 1
+                self._break("nxt", None)
+                self.depth -= 1
+                return target
+            # nop / bn: plain fallthrough (bn is not cond_branch: no bubble)
+            self._advance()
+            return None
+        m = len(self.spec)
+        da = (
+            self.dw - 1
+            if kind == K_SAVE
+            else self.dw + 1 if kind == K_RESTORE else self.dw
+        )
+        self.spec.append((a, self.dw, da))
+        self.dw = da
+        if kind == K_BRANCH:
+            self.emit("tk = flags[i] & 1")
+            self.emit("nxt = pcs[i + 1]")
+            if self.bnt:
+                self.emit("if not tk:")
+                self.emit("    c += %d" % self.bnt)
+                self.emit("    bbub += %d" % self.bnt)
+            self._advance()
+            self.emit("so = K[%d].clone()" % m)
+            self.emit("if tk:")
+            self.emit("    so.taken = True")
+            self.emit("so.target = nxt")
+            self.emit("b = ins_(so)")
+            self._flush_exit("nxt", None)
+            self.emit("if tk:")
+            self.depth += 1
+            self._break("nxt", None)
+            self.depth -= 1
+            return None
+        if kind == K_CALL:
+            target = (a + ins.imm) & MASK32
+            self.emit("nxt = pcs[i + 1]")
+            self._advance()
+            self.emit("so = K[%d].clone()" % m)
+            self.emit("so.target = nxt")
+            self.emit("b = ins_(so)")
+            self._flush_exit("nxt", None)
+            self.emit("if nxt != %d:" % target)
+            self.depth += 1
+            self._break("nxt", None)
+            self.depth -= 1
+            return target
+        if kind == K_JMPL:
+            self.emit("nxt = pcs[i + 1]")
+            self._advance()
+            self.emit("so = K[%d].clone()" % m)
+            self.emit("so.target = nxt")
+            self.emit("b = ins_(so)")
+            self.emit("if b is not None:")
+            self.emit("    ctr[2] = b")
+            self._break("nxt", None)
+            return "stop"
+        if kind in (K_LOAD, K_FLOAD):
+            self.emit("ad = aux[i]")
+            self._advance()
+            self.emit("q = K[%d]" % m)
+            self.emit("so = q[0].clone()")
+            self.emit("so.reads = fz(q[1] + (%d + (ad >> 2),))" % MEM_BASE)
+            self.emit("so.mem_addr = ad")
+            self.emit("b = ins_(so)")
+            self._flush_exit(str(a + 4), ins.rd if kind == K_LOAD else None)
+            return None
+        if kind in (K_STORE, K_FSTORE):
+            self.emit("ad = aux[i]")
+            self._advance()
+            self.emit("so = K[%d].clone()" % m)
+            self.emit("so.writes = fz((%d + (ad >> 2),))" % MEM_BASE)
+            self.emit("so.mem_addr = ad")
+            self.emit("b = ins_(so)")
+            self._flush_exit(str(a + 4), None)
+            return None
+        if kind in (K_SAVE, K_RESTORE):
+            save = kind == K_SAVE
+            if self.inline_spill:
+                self.emit("if spl[i]:")
+                self.depth += 1
+                self.emit("rf.wssp %s= 64" % ("-" if save else "+"))
+                if self.sp:
+                    self.emit("c += %d" % self.sp)
+                    self.emit("spc += %d" % self.sp)
+                self.emit("if pb is not None:")
+                self.emit("    pb.emit(_EVW, %d)" % self.sp)
+                self.depth -= 1
+                self.emit("else:")
+                self.depth += 1
+            if save:
+                self.emit("rf.cansave -= 1")
+                self.emit("rf.canrestore += 1")
+            else:
+                self.emit("rf.canrestore -= 1")
+                self.emit("rf.cansave += 1")
+            if self.inline_spill:
+                self.depth -= 1
+            self.emit("rf.cwp = cwpc[i + 1]")
+            self._advance()
+            self.emit("so = K[%d].clone()" % m)
+            self.emit("b = ins_(so)")
+            self._flush_exit(str(a + 4), None)
+            return None
+        # K_ALU / K_SETHI / K_FPOP: no per-instance facts at all
+        self._advance()
+        self.emit("so = K[%d].clone()" % m)
+        self.emit("b = ins_(so)")
+        self._flush_exit(str(a + 4), None)
+        return None
+
+    # -- block scan ----------------------------------------------------------
+    def emit_block(self, leader: int) -> Tuple[str, int]:
+        """Compile the superblock at ``leader``; returns its function
+        source (empty when nothing can be committed) and the maximum
+        number of instructions it can commit."""
+        self._reset()
+        instrs = self.instrs
+        a = leader
+        seen: Set[int] = set()
+        k = 0
+        prev_rd = None
+        splices = 0
+        while True:
+            ins = instrs.get(a)
+            if (
+                ins is None
+                or a in seen
+                or k >= MAX_BLOCK
+                or ins.sched_class == SCHED_NONSCHED
+            ):
+                # static end -- including a trap, which must be consumed
+                # (and its NONSCHED flush run) by the interpreted loop
+                if k:
+                    self._break(str(a), prev_rd)
+                break
+            seen.add(a)
+            act = self.emit_instr(ins, k, prev_rd)
+            k += 1
+            prev_rd = ins.rd if ins.op.kind == K_LOAD else None
+            if act is None:
+                a += 4
+            elif act == "stop":
+                break
+            else:
+                splices += 1
+                if splices > SPLICE_BUDGET or act not in instrs:
+                    self._break(str(act), prev_rd)
+                    break
+                a = act
+        return (self._assemble(leader) if k else ""), k
+
+    # -- function assembly ---------------------------------------------------
+    def _assemble(self, leader: int) -> str:
+        body = "\n".join(self.lines)
+        out = ["def _p%x(rf, src, S, vp, ic, st, pb, llr, ctr):" % leader]
+        out.append("    i = src.i")
+        out.append("    pcs = src.pcs")
+        out.append("    if pcs[i] != %d:" % leader)
+        out.append("        ctr[0] = 0")
+        out.append("        return -1")
+        if "flags[" in body:
+            out.append("    flags = src.flags")
+        if "aux[" in body:
+            out.append("    aux = src.aux")
+        if "spl[" in body:
+            out.append("    spl = src.spilled")
+        if "cwpc[" in body:
+            out.append("    cwpc = src.cwp")
+        if self.spec:
+            out.append("    w = rf.cwp")
+            out.append("    K = _c%x.get(w)" % leader)
+            out.append("    if K is None:")
+            out.append(
+                "        K = _c%x[w] = _mkpm(_s%x, _I, rf, w)" % (leader, leader)
+            )
+            out.append("    ins_ = S.insert")
+        out.append("    tick = S.tick")
+        if "fz(" in body:
+            out.append("    fz = frozenset")
+        out.append("    cyc = 0")
+        out.append("    k = 0")
+        for acc in ("vcp", "ista", "lub", "bbub", "spc"):
+            if acc in body:
+                out.append("    %s = 0" % acc)
+        out.append("    ctr[2] = None")
+        out.append("    while 1:")
+        out.extend("        " + ln for ln in self.lines)
+        out.append("    st.cycles += cyc")
+        out.append("    st.primary_cycles += cyc")
+        out.append("    st.primary_instructions += k")
+        if "vcp" in body:
+            out.append("    if vcp:")
+            out.append("        st.vliw_cache_probes += vcp")
+        for acc, field in (
+            ("ista", "icache_stall_cycles"),
+            ("lub", "load_use_bubble_cycles"),
+            ("bbub", "branch_bubble_cycles"),
+            ("spc", "spill_cycles"),
+        ):
+            if acc in body:
+                out.append("    if %s:" % acc)
+                out.append("        st.%s += %s" % (field, acc))
+        out.append("    src.i = i")
+        out.append("    ctr[0] = k")
+        out.append("    ctr[1] = llo")
+        out.append("    return npc")
+        return "\n".join(out)
+
+
 def generate_module_source(
     program, mode: str, sig: Tuple[int, ...] = ()
 ) -> Tuple[str, List[Tuple[int, int]]]:
@@ -824,12 +1243,17 @@ def generate_module_source(
 BlockTable = Dict[int, Tuple]  # addr -> (block_fn, max_commit_count)
 
 _memo: Dict[str, BlockTable] = {}
+#: pm-mode memoizes the *code object* (not the table): SchedOp prototypes
+#: must be rebuilt against each machine's program/register file, so every
+#: DTSVLIW init re-``exec``s the module (cheap) and rebinds ``_I``
+_pm_code: Dict[str, object] = {}
 
 
 def clear_memo() -> None:
-    """Drop the process-global compiled-block memo (tests use this to
+    """Drop the process-global compiled-block memos (tests use this to
     force the disk-store / codegen paths)."""
     _memo.clear()
+    _pm_code.clear()
 
 
 def block_key(program, mode: str, sig: Tuple[int, ...] = ()) -> str:
@@ -896,4 +1320,96 @@ def compile_blocks(
             for leader, count in fresh:
                 probe.emit(EV_BC_COMPILE, leader, count)
     _memo[key] = table
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Primary-mode (scheduling) codegen entry points.
+# ---------------------------------------------------------------------------
+def generate_pm_module_source(
+    program, sig: Tuple[int, ...]
+) -> Tuple[str, List[Tuple[int, int]]]:
+    """Source of the primary-mode scheduling module: one ``_p<leader>``
+    function per superblock plus the static SchedOp specs (``_s<leader>``)
+    and their per-entry-window prototype caches (``_c<leader>``).
+    Deterministic for a given (program, sig)."""
+    emitter = _PMEmitter(program, sig)
+    blocks: List[Tuple[int, int]] = []
+    fns: List[str] = []
+    specs: List[Tuple[int, Tuple]] = []
+    for leader in discover_leaders(program):
+        src, count = emitter.emit_block(leader)
+        if not count:
+            continue
+        fns.append(src)
+        blocks.append((leader, count))
+        specs.append((leader, tuple(emitter.spec)))
+    out = ["# generated by repro.isa.blockcompile (mode=%s)" % MODE_PM]
+    for leader, spec in specs:
+        out.append("_c%x = {}" % leader)
+        out.append("_s%x = %r" % (leader, spec))
+    out.extend(fns)
+    out.append("__cycmax__ = %d" % (1 + sig[0] + sig[1] + sig[2] + sig[5]))
+    out.append("__table__ = {")
+    for leader, count in blocks:
+        out.append("    %d: (_p%x, %d)," % (leader, leader, count))
+    out.append("}")
+    return "\n".join(out) + "\n", blocks
+
+
+def pm_sig(cfg) -> Tuple[int, ...]:
+    """Timing signature of the primary-mode codegen: every config field
+    the generated cycle arithmetic bakes in."""
+    ic = cfg.icache
+    return (
+        cfg.load_use_bubble,
+        cfg.branch_not_taken_bubble,
+        cfg.window_spill_penalty,
+        int(cfg.vliw_window_spill_inline),
+        int(ic.perfect),
+        0 if ic.perfect else ic.miss_penalty,
+    )
+
+
+def compile_pm_blocks(program, cfg, probe=None, store=None) -> BlockTable:
+    """The primary-mode dispatch table for ``program`` under ``cfg``:
+    ``leader -> (fn, max_commit_count, worst_case_cycles)``.
+
+    The *code object* resolves through the process memo and the on-disk
+    :class:`~repro.trace.store.BlockCacheStore`, but the module is
+    re-``exec``'d per call: the SchedOp prototype caches and the ``_I``
+    instruction binding are per-program-instance state.
+    """
+    from ..obs.probe import EV_PM_COMPILE
+    from ..trace.store import BlockCacheStore
+
+    sig = pm_sig(cfg)
+    key = block_key(program, MODE_PM, sig)
+    code = _pm_code.get(key)
+    fresh: Optional[List[Tuple[int, int]]] = None
+    if code is None:
+        if store is None:
+            store = BlockCacheStore()
+        code = store.get(key)
+        if code is not None:
+            PM_STATS.cache_hits += 1
+        else:
+            PM_STATS.cache_misses += 1
+            src, fresh = generate_pm_module_source(program, sig)
+            code = compile(src, "<blockcompile:%s>" % key, "exec")
+            store.put(key, code)
+        _pm_code[key] = code
+    namespace = _exec_globals()
+    exec(code, namespace)
+    namespace["_I"] = program.instrs
+    cycmax = namespace["__cycmax__"]
+    table: BlockTable = {
+        leader: (fn, maxk, maxk * cycmax)
+        for leader, (fn, maxk) in namespace["__table__"].items()
+    }
+    if fresh is not None:
+        PM_STATS.compiled += len(fresh)
+        if probe is not None:
+            for leader, count in fresh:
+                probe.emit(EV_PM_COMPILE, leader, count)
     return table

@@ -36,6 +36,8 @@ from .metrics import (  # noqa: F401
     block_compile_counts,
     cache_miss_counts,
     mc_counts,
+    memo_store_counts,
+    pm_counts,
     profile_metrics,
     profile_report,
     recompute_counters,

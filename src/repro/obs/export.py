@@ -33,10 +33,12 @@ from ..core.errors import SimError
 from .probe import EVENT_SCHEMA, Event
 
 FORMAT = "repro-profile"
-#: version 3: multi-config timing-kernel events
-#: (mc_build/mc_apply/mc_fallback) joined the schema (version 2 added the
-#: block-compilation events bc_compile/bc_cache/bc_fallback)
-VERSION = 3
+#: version 4: compiled primary-mode scheduling and memo-store events
+#: (pm_compile/pm_dispatch/pm_fallback, memo_store_hit/memo_store_miss)
+#: joined the schema (version 3 added the multi-config timing-kernel
+#: events mc_build/mc_apply/mc_fallback, version 2 the block-compilation
+#: events bc_compile/bc_cache/bc_fallback)
+VERSION = 4
 
 #: default profile location, relative to the working directory
 DEFAULT_PROFILE_DIR = os.path.join("results", "profiles")

@@ -32,9 +32,14 @@ from .probe import (
     EV_MC_APPLY,
     EV_MC_BUILD,
     EV_MC_FALLBACK,
+    EV_MEMO_STORE_HIT,
+    EV_MEMO_STORE_MISS,
     EV_MISPREDICT,
     EV_MODE_SWITCH,
     EV_MOVE,
+    EV_PM_COMPILE,
+    EV_PM_DISPATCH,
+    EV_PM_FALLBACK,
     EV_SCHED,
     EV_SPLIT,
     EV_VCACHE_PROBE,
@@ -203,6 +208,40 @@ def mc_counts(events: Iterable[Event]) -> Dict[str, int]:
             out["applied"] += 1
         elif kind == EV_MC_FALLBACK:
             out["fallbacks"] += 1
+    return out
+
+
+def pm_counts(events: Iterable[Event]) -> Dict[str, int]:
+    """Compiled primary-mode activity from the ``pm_*`` event stream --
+    cross-validates the matching :data:`repro.isa.blockcompile.PM_STATS`
+    deltas (the disk-cache hit/miss counters have no per-event mirror:
+    they are charged once per code-object resolution, like ``bc_cache``,
+    but the pm path resolves through its in-process memo first)."""
+    out = {"compiled": 0, "dispatches": 0, "fallback_dispatches": 0}
+    for ev in events:
+        kind = ev[0]
+        if kind == EV_PM_COMPILE:
+            out["compiled"] += 1
+        elif kind == EV_PM_DISPATCH:
+            out["dispatches"] += 1
+        elif kind == EV_PM_FALLBACK:
+            out["fallback_dispatches"] += 1
+    return out
+
+
+def memo_store_counts(events: Iterable[Event]) -> Dict[str, int]:
+    """Scheduling-memo store activity from the ``memo_store_*`` event
+    stream -- cross-validates :data:`repro.scheduler.memostore.GLOBAL_STATS`
+    deltas (``flushes`` has no event: families flush after their cells'
+    probes detach)."""
+    out = {"store_hits": 0, "store_misses": 0, "records_loaded": 0}
+    for ev in events:
+        kind = ev[0]
+        if kind == EV_MEMO_STORE_HIT:
+            out["store_hits"] += 1
+            out["records_loaded"] += ev[1]
+        elif kind == EV_MEMO_STORE_MISS:
+            out["store_misses"] += 1
     return out
 
 

@@ -92,6 +92,20 @@ EV_MC_APPLY = "mc_apply"
 #: a vectorizable family fell back to scalar miss profiles; args:
 #: (reason,) -- "disabled" (REPRO_NO_VECTOR) or "no-numpy"
 EV_MC_FALLBACK = "mc_fallback"
+#: one primary-mode superblock freshly code-generated
+#: (repro.isa.blockcompile MODE_PM); args: (addr, count)
+EV_PM_COMPILE = "pm_compile"
+#: one compiled primary-mode dispatch that committed >= 1 instruction;
+#: args: (pc,)
+EV_PM_DISPATCH = "pm_dispatch"
+#: primary-mode table miss fell back to an interpreted step; args: (pc,)
+EV_PM_FALLBACK = "pm_fallback"
+#: on-disk scheduling-memo load served a family; args: (records,) --
+#: number of segment records restored into the process memo
+EV_MEMO_STORE_HIT = "memo_store_hit"
+#: on-disk scheduling-memo lookup missed; args: (reason,) -- "absent",
+#: "defect" (corrupt/version-skewed payload) or "disabled"
+EV_MEMO_STORE_MISS = "memo_store_miss"
 
 #: event kind -> ordered field names (the exporter writes this as the
 #: schema header; bump :data:`repro.obs.export.VERSION` when it changes)
@@ -129,6 +143,11 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     EV_MC_BUILD: ("cache", "geoms", "events"),
     EV_MC_APPLY: ("benchmark",),
     EV_MC_FALLBACK: ("reason",),
+    EV_PM_COMPILE: ("addr", "count"),
+    EV_PM_DISPATCH: ("pc",),
+    EV_PM_FALLBACK: ("pc",),
+    EV_MEMO_STORE_HIT: ("records",),
+    EV_MEMO_STORE_MISS: ("reason",),
 }
 
 Event = Tuple  # (kind, *args) -- args are ints or short strings only

@@ -107,6 +107,42 @@ class PrimaryProcessor:
             and isinstance(self.source, LiveTraceSource)
         )
 
+    def pm_dispatch_viable(self) -> bool:
+        """True when compiled primary-mode scheduling
+        (:mod:`repro.isa.blockcompile`, ``MODE_PM``) can replace the
+        per-instruction :meth:`step` loop: a replay trace source (the
+        generated code reads trace columns directly) feeding a real
+        scheduler, with the hatches open.  Probes are fine -- generated
+        code emits the same per-stall events as :meth:`step`."""
+        from ..isa.blockcompile import pm_compile_disabled
+        from ..trace.replay import ReplayTraceSource
+
+        return (
+            self.build_sched
+            and isinstance(self.source, ReplayTraceSource)
+            and not pm_compile_disabled()
+        )
+
+    def dispatch_pm(self, fn, sched_unit, vprobe, ctr) -> int:
+        """Run one compiled primary-mode block function.  ``ctr`` is the
+        3-slot exit protocol (committed count / outgoing load-use reg /
+        flushed Block); commits ``last_load_rd`` only when the function
+        committed at least one instruction."""
+        npc = fn(
+            self.rf,
+            self.source,
+            sched_unit,
+            vprobe,
+            self.icache.access,
+            self.stats,
+            self.probe,
+            self.last_load_rd,
+            ctr,
+        )
+        if ctr[0]:
+            self.last_load_rd = ctr[1]
+        return npc
+
     def step(self, instr: Instr) -> Tuple[int, int, Optional[SchedOp], bool]:
         """Execute one instruction.
 

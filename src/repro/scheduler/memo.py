@@ -55,6 +55,7 @@ cell's worth.  ``REPRO_NO_SCHED_MEMO=1`` disables the memo everywhere
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 #: segment kinds (flush boundary that closed the segment)
@@ -230,15 +231,22 @@ class ScheduleMemo:
         return True
 
 
-#: process-global registry of family memos.  Consecutive sweeps over the
-#: same family reuse each other's scheduling work: fig6 after fig5 (same
-#: workload, same trace, overlapping config signatures), or a warm re-run
-#: of the same figure.  Per-process only -- pool workers grow their own.
-_shared: Dict[Tuple, "ScheduleMemo"] = {}
+#: process-global registry of family memos, LRU-ordered (least recently
+#: used first).  Consecutive sweeps over the same family reuse each
+#: other's scheduling work: fig6 after fig5 (same workload, same trace,
+#: overlapping config signatures), or a warm re-run of the same figure.
+#: Per-process only -- pool workers grow their own.
+_shared: "OrderedDict[Tuple, ScheduleMemo]" = OrderedDict()
 
-#: distinct families kept before the registry is dropped wholesale (each
-#: family's memo is itself capped by ``max_records``)
+#: distinct families kept resident before the least recently used one is
+#: evicted (each family's memo is itself capped by ``max_records``).  A
+#: long-lived process sweeping many families stays bounded; evicted
+#: memos with unflushed records are spilled to the on-disk store first.
 _SHARED_FAMILY_CAP = 32
+
+#: families evicted from the registry since process start (surfaced by
+#: ``dtsvliw profile``; reset by tests via :func:`reset_shared_memo`)
+shared_evictions = 0
 
 
 def shared_memo(family_key: Tuple) -> "ScheduleMemo":
@@ -248,13 +256,33 @@ def shared_memo(family_key: Tuple) -> "ScheduleMemo":
     hw_mul, optimize, mem_size): cells with equal keys replay the same
     captured trace, so their segment records are mutually applicable --
     and every apply re-verifies content, so a stale record can only cost
-    a lookup, never correctness."""
+    a lookup, never correctness.
+
+    The registry is an LRU capped at :data:`_SHARED_FAMILY_CAP` families:
+    asking for a family refreshes it, and overflow evicts the least
+    recently used memo (flushing its unsaved records to the on-disk
+    store when persistence is on)."""
+    global shared_evictions
     memo = _shared.get(family_key)
     if memo is None:
-        if len(_shared) >= _SHARED_FAMILY_CAP:
-            _shared.clear()
+        while len(_shared) >= _SHARED_FAMILY_CAP:
+            old_key, old_memo = _shared.popitem(last=False)
+            shared_evictions += 1
+            from .memostore import flush_family_memo  # lazy: import cycle
+
+            flush_family_memo(old_memo, old_key)
         memo = _shared[family_key] = ScheduleMemo()
+    else:
+        _shared.move_to_end(family_key)
     return memo
+
+
+def reset_shared_memo() -> None:
+    """Drop every registered family memo (tests use this for isolation;
+    nothing is flushed to disk)."""
+    global shared_evictions
+    _shared.clear()
+    shared_evictions = 0
 
 
 def collision_pattern(aux, base: int, offs) -> Tuple[int, ...]:

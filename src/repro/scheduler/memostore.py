@@ -1,0 +1,526 @@
+"""On-disk persistence for the scheduling memo (:mod:`repro.scheduler.memo`).
+
+A process-global :func:`~repro.scheduler.memo.shared_memo` already lets
+consecutive sweeps in *one* process reuse each other's scheduling work;
+this module extends that across processes and CLI invocations: each
+family's :class:`~repro.scheduler.memo.ScheduleMemo` can be spilled to a
+content-addressed file and reloaded by the next process, so a warm sweep
+re-schedules (ideally) zero segments.
+
+Discipline matches :mod:`repro.trace.store` (``TraceStore`` /
+``BlockCacheStore``): a versioned binary format, sha256 verified before
+anything is decoded, atomic mkstemp+rename writes, and **warn-and-miss**
+on any defect -- a corrupt, truncated, version-skewed or foreign file can
+cost scheduling time, never correctness.  The memo layer's own per-apply
+content verification (pc/flag/spill slices, collision patterns, probe
+re-checks) still runs against every restored record, so even a
+maliciously crafted *valid* file could only ever inject records that
+fail verification and are ignored.
+
+Format (version 1, integers little-endian)::
+
+    magic "RMEM" | u16 version | 32B program fingerprint
+    | u32 zlen | zlib(marshal(payload)) | 32B sha256 of everything above
+
+The payload is pure ``marshal`` data (ints, strings, bytes, tuples,
+lists, dicts, sets -- never pickled objects): segment records are
+flattened slot-by-slot, with ``Instr`` references encoded as addresses
+and rebound through ``program.instrs`` on load (a missing address is a
+defect).  Files live under ``results/memos/`` (``$REPRO_MEMO_DIR``),
+keyed by family key + ``resultcache.code_version()`` + interpreter magic
++ format version; ``$REPRO_NO_MEMO_STORE=1`` disables the store in both
+directions.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import logging
+import marshal
+import os
+import struct
+import zlib
+from array import array
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import SimError
+from .long_instruction import Block, LongInstruction
+from .memo import MemoTable, ScheduleMemo, SegmentRecord
+from .ops import SchedOp
+
+log = logging.getLogger(__name__)
+
+MEMO_MAGIC = b"RMEM"
+MEMO_VERSION = 1
+
+#: default memo-store location, relative to the working directory
+DEFAULT_MEMO_DIR = os.path.join("results", "memos")
+
+_HEADER = struct.Struct("<4sH32s")
+_U32 = struct.Struct("<I")
+_DIGEST_LEN = 32
+
+
+class MemoFormatError(SimError):
+    """A memo file is truncated, corrupt, wrong-version or inconsistent."""
+
+
+def memo_store_disabled() -> bool:
+    """True when ``$REPRO_NO_MEMO_STORE`` turns memo persistence off."""
+    return os.environ.get("REPRO_NO_MEMO_STORE", "") not in ("", "0")
+
+
+def memo_dir() -> str:
+    return os.environ.get("REPRO_MEMO_DIR", DEFAULT_MEMO_DIR)
+
+
+class MemoStoreStats:
+    """Process-global memo-store counters (mirrored by the
+    ``memo_store_hit`` / ``memo_store_miss`` probe events and surfaced by
+    ``dtsvliw profile``)."""
+
+    __slots__ = ("store_hits", "store_misses", "records_loaded", "flushes")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.store_hits = 0  # family loads served from disk
+        self.store_misses = 0  # absent/defective/disabled lookups
+        self.records_loaded = 0  # segment records restored
+        self.flushes = 0  # families written back
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "records_loaded": self.records_loaded,
+            "flushes": self.flushes,
+        }
+
+
+GLOBAL_STATS = MemoStoreStats()
+
+
+def family_memo_key(family_key: Tuple) -> str:
+    """Content key for one family's memo file: the batch-layer family key
+    plus everything that invalidates the records it holds (simulator
+    source fingerprint, marshal compatibility, format version)."""
+    from ..harness.resultcache import code_version  # lazy: import cycle
+
+    h = sha256()
+    h.update(repr(family_key).encode("utf-8"))
+    h.update(code_version().encode("ascii"))
+    h.update(importlib.util.MAGIC_NUMBER)
+    h.update(b"rmem%d" % MEMO_VERSION)
+    return "memo-%s" % h.hexdigest()[:24]
+
+
+# ---------------------------------------------------------------------------
+# Flattening: SchedOp / LongInstruction / Block -> marshal-able tuples.
+# ---------------------------------------------------------------------------
+#: SchedOp slots serialized verbatim (everything except ``instr``, which
+#: is encoded as an address and rebound through ``program.instrs``)
+_OP_SLOTS = tuple(s for s in SchedOp.__slots__ if s != "instr")
+
+_REC_SLOTS = SegmentRecord.__slots__
+
+
+#: slots holding frozensets of int ids -- flattened to *sorted* tuples,
+#: because ``marshal`` is not canonical for sets (iteration order varies
+#: with construction history)
+_OP_FSET_SLOTS = frozenset(("reads", "writes", "base_reads"))
+#: slots holding (possibly None) lists of plain tuples
+_OP_LIST_SLOTS = frozenset(("copy_actions", "rename_updates"))
+
+
+def _build_op_codec():
+    """Synthesize the unrolled encode/decode pair for SchedOp's slot
+    layout (decode sits on the warm-sweep critical path: a generic
+    setattr loop over 36 slots is measurably slower than straight-line
+    attribute assignments).  Regenerating from ``__slots__`` keeps the
+    codec in lockstep with the class."""
+    enc = ["op.instr.addr if op.instr is not None else None"]
+    dec = [
+        "def _decode_op(raw, instrs):",
+        "    op = _new(SchedOp)",
+        "    a = raw[0]",
+        "    if a is None:",
+        "        op.instr = None",
+        "    else:",
+        "        ins = instrs.get(a)",
+        "        if ins is None:",
+        "            raise MemoFormatError('op references unknown instr "
+        "0x%x' % a)",
+        "        op.instr = ins",
+    ]
+    for i, slot in enumerate(_OP_SLOTS, start=1):
+        if slot in _OP_FSET_SLOTS:
+            enc.append(
+                "None if op.{s} is None else tuple(sorted(op.{s}))".format(s=slot)
+            )
+            dec.append(
+                "    v = raw[%d]; op.%s = None if v is None else frozenset(v)"
+                % (i, slot)
+            )
+        elif slot in _OP_LIST_SLOTS:
+            enc.append("None if op.{s} is None else tuple(op.{s})".format(s=slot))
+            dec.append(
+                "    v = raw[%d]; op.%s = None if v is None else list(v)"
+                % (i, slot)
+            )
+        else:  # ints / bools / None / plain tuples: marshal-canonical
+            enc.append("op.%s" % slot)
+            dec.append("    op.%s = raw[%d]" % (slot, i))
+    dec.append("    return op")
+    src = "def _encode_op(op):\n    return (%s,)\n\n%s\n" % (
+        ",\n        ".join(enc),
+        "\n".join(dec),
+    )
+    ns = {
+        "_new": SchedOp.__new__,
+        "SchedOp": SchedOp,
+        "MemoFormatError": MemoFormatError,
+    }
+    exec(compile(src, "<memostore:op-codec>", "exec"), ns)
+    return ns["_encode_op"], ns["_decode_op"]
+
+
+_encode_op, _decode_op = _build_op_codec()
+
+
+def _encode_block(block: Block) -> Tuple:
+    # identity-ordered op table: every SchedOp the block references,
+    # exactly once (slots, branches, dense and build_ops share objects)
+    ops: List[SchedOp] = []
+    index: Dict[int, int] = {}
+
+    def ref(op: SchedOp) -> int:
+        i = index.get(id(op))
+        if i is None:
+            i = index[id(op)] = len(ops)
+            ops.append(op)
+        return i
+
+    lis = []
+    for li in block.lis:
+        lis.append((
+            li.width,
+            tuple(li.slot_classes) if li.slot_classes is not None else None,
+            tuple(ref(op) if op is not None else None for op in li.slots),
+            tuple(sorted(li.installed_reads)),
+            tuple(sorted(li.installed_writes)),
+            tuple(li.lat_writes.items()),
+            tuple(ref(op) for op in li.branches),
+            li.mem_effect_stores,
+            li.mem_effect_loads,
+            tuple(ref(op) for op in li.dense),
+        ))
+    build = (
+        tuple(ref(op) for op in block.build_ops)
+        if block.build_ops is not None
+        else None
+    )
+    return (
+        tuple(_encode_op(op) for op in ops),
+        tuple(lis),
+        block.start_addr,
+        block.nba_addr,
+        block.nba_line,
+        block.entry_cwp,
+        block.n_int_rr,
+        block.n_fp_rr,
+        block.n_cc_rr,
+        block.n_mem_rr,
+        block.keep_mem_order,
+        block.req_canrestore,
+        block.req_cansave,
+        build,
+    )
+
+
+def _decode_block(raw: Tuple, instrs) -> Block:
+    (raw_ops, raw_lis, start_addr, nba_addr, nba_line, entry_cwp,
+     n_int_rr, n_fp_rr, n_cc_rr, n_mem_rr, keep_mem_order,
+     req_canrestore, req_cansave, build) = raw
+    ops = [_decode_op(r, instrs) for r in raw_ops]
+    lis = []
+    for (width, slot_classes, slots, ireads, iwrites, lat_writes,
+         branches, mes, mel, dense) in raw_lis:
+        li = LongInstruction.__new__(LongInstruction)
+        li.width = width
+        li.slot_classes = list(slot_classes) if slot_classes is not None else None
+        li.slots = [ops[i] if i is not None else None for i in slots]
+        li.installed_reads = set(ireads)
+        li.installed_writes = set(iwrites)
+        li.lat_writes = dict(lat_writes)
+        li.branches = [ops[i] for i in branches]
+        li.mem_effect_stores = mes
+        li.mem_effect_loads = mel
+        li.dense = [ops[i] for i in dense]
+        lis.append(li)
+    block = Block.__new__(Block)
+    block.start_addr = start_addr
+    block.lis = lis
+    block.nba_addr = nba_addr
+    block.nba_line = nba_line
+    block.entry_cwp = entry_cwp
+    block.n_int_rr = n_int_rr
+    block.n_fp_rr = n_fp_rr
+    block.n_cc_rr = n_cc_rr
+    block.n_mem_rr = n_mem_rr
+    block.keep_mem_order = keep_mem_order
+    block.req_canrestore = req_canrestore
+    block.req_cansave = req_cansave
+    block.build_ops = [ops[i] for i in build] if build is not None else None
+    block.replay_plan = None  # rebuilt lazily by the replay engine
+    return block
+
+
+def _pcs_to_le(pcs) -> bytes:
+    a = pcs if isinstance(pcs, array) else array("I", pcs)
+    import sys
+
+    if sys.byteorder != "little":
+        a = array("I", a)
+        a.byteswap()
+    return a.tobytes()
+
+
+def _pcs_from_le(raw: bytes):
+    import sys
+
+    a = array("I")
+    a.frombytes(raw)
+    if sys.byteorder != "little":
+        a.byteswap()
+    return a
+
+
+def _encode_record(rec: SegmentRecord) -> Tuple:
+    return (
+        rec.kind,
+        rec.ext,
+        _pcs_to_le(rec.pcs),
+        bytes(rec.flags),
+        bytes(rec.spilled),
+        rec.mem_offs,
+        rec.mem_pat,
+        rec.probe_addrs,
+        _encode_block(rec.block) if rec.block is not None else None,
+        rec.mem_fix,
+        rec.delta,
+        rec.d_cycles,
+        rec.keep_entry,
+        rec.start_op_addr,
+        rec.d_cansave,
+        rec.d_canrestore,
+        rec.d_wssp,
+        rec.end_llr,
+        rec.end_cwp,
+    )
+
+
+def _decode_record(raw: Tuple, instrs) -> SegmentRecord:
+    rec = SegmentRecord.__new__(SegmentRecord)
+    (rec.kind, rec.ext, pcs, rec.flags, rec.spilled, rec.mem_offs,
+     rec.mem_pat, rec.probe_addrs, block, rec.mem_fix, rec.delta,
+     rec.d_cycles, rec.keep_entry, rec.start_op_addr, rec.d_cansave,
+     rec.d_canrestore, rec.d_wssp, rec.end_llr, rec.end_cwp) = raw
+    rec.block = _decode_block(block, instrs) if block is not None else None
+    # pcs must round-trip as array("I"): _seg_apply compares it against a
+    # cursor slice with array equality, and bytes would never match
+    rec.pcs = _pcs_from_le(pcs)
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# File format.
+# ---------------------------------------------------------------------------
+def encode_memo(memo: ScheduleMemo, fingerprint: bytes) -> bytes:
+    """Serialize every table of ``memo`` for the program with
+    ``fingerprint`` (32-byte :func:`~repro.trace.events.program_fingerprint`)."""
+    payload = []
+    for sig, table in memo._by_sig.items():
+        entries = []
+        for key, bucket in table.items():
+            entries.append((key, tuple(_encode_record(r) for r in bucket)))
+        payload.append((sig, tuple(entries)))
+    out = bytearray()
+    out += _HEADER.pack(MEMO_MAGIC, MEMO_VERSION, fingerprint)
+    comp = zlib.compress(marshal.dumps(tuple(payload)), 6)
+    out += _U32.pack(len(comp))
+    out += comp
+    out += sha256(out).digest()
+    return bytes(out)
+
+
+def decode_memo(
+    data: bytes, program, fingerprint: bytes
+) -> Dict[Tuple, List[Tuple[Tuple, List[SegmentRecord]]]]:
+    """Parse ``data`` into ``{config_sig: [(key, records), ...]}``;
+    raises :class:`MemoFormatError` on any defect.  Never unpickles:
+    the payload is ``marshal`` data behind a verified digest, and every
+    ``Instr`` reference is resolved through ``program.instrs``."""
+    if len(data) < _HEADER.size + _U32.size + _DIGEST_LEN:
+        raise MemoFormatError("memo file truncated (%d bytes)" % len(data))
+    body, digest = data[:-_DIGEST_LEN], data[-_DIGEST_LEN:]
+    if sha256(body).digest() != digest:
+        raise MemoFormatError("memo integrity digest mismatch")
+    magic, version, fp = _HEADER.unpack_from(body, 0)
+    if magic != MEMO_MAGIC:
+        raise MemoFormatError("bad memo magic %r" % magic)
+    if version != MEMO_VERSION:
+        raise MemoFormatError(
+            "unsupported memo version %d (expected %d)" % (version, MEMO_VERSION)
+        )
+    if fp != fingerprint:
+        raise MemoFormatError("memo was recorded for a different program")
+    off = _HEADER.size
+    (clen,) = _U32.unpack_from(body, off)
+    off += _U32.size
+    if off + clen != len(body):
+        raise MemoFormatError("memo payload length mismatch")
+    try:
+        raw = zlib.decompress(body[off:off + clen])
+    except zlib.error as exc:
+        raise MemoFormatError("memo payload corrupt: %s" % exc) from exc
+    try:
+        payload = marshal.loads(raw)
+    except (ValueError, EOFError, TypeError) as exc:
+        raise MemoFormatError("memo marshal unreadable: %s" % exc) from exc
+    instrs = program.instrs
+    tables: Dict[Tuple, List[Tuple[Tuple, List[SegmentRecord]]]] = {}
+    try:
+        for sig, entries in payload:
+            rows = []
+            for key, raw_recs in entries:
+                rows.append(
+                    (key, [_decode_record(r, instrs) for r in raw_recs])
+                )
+            tables[sig] = rows
+    except MemoFormatError:
+        raise
+    except Exception as exc:  # malformed shapes, wrong arity, bad types
+        raise MemoFormatError("memo payload malformed: %s" % exc) from exc
+    return tables
+
+
+class MemoStore:
+    """Directory of ``<key>.mem`` files with the same miss-on-defect /
+    atomic-write discipline as :class:`~repro.trace.store.TraceStore`."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = Path(root if root is not None else memo_dir())
+
+    def path(self, key: str) -> Path:
+        return self.root / ("%s.mem" % key)
+
+    def get(self, key: str, program, fingerprint: bytes):
+        """The decoded tables for ``key``, or ``(None, reason)`` misses:
+        returns ``(tables, None)`` on success, ``(None, "absent")`` or
+        ``(None, "defect")`` otherwise."""
+        try:
+            data = self.path(key).read_bytes()
+        except OSError:
+            return None, "absent"
+        try:
+            return decode_memo(data, program, fingerprint), None
+        except MemoFormatError as exc:
+            log.warning("ignoring unreadable memo %s: %s", key, exc)
+            return None, "defect"
+
+    def put(self, key: str, memo: ScheduleMemo, fingerprint: bytes) -> bool:
+        from ..trace.store import atomic_write_bytes  # lazy: import cycle
+
+        try:
+            atomic_write_bytes(
+                self.root, self.path(key), encode_memo(memo, fingerprint), ".mem"
+            )
+            return True
+        except OSError as exc:
+            log.warning("memo store write failed for %s: %s", key, exc)
+            return False
+
+
+# ---------------------------------------------------------------------------
+# Family-level load/flush (the batch evaluator's entry points).
+# ---------------------------------------------------------------------------
+def load_family_memo(
+    memo: ScheduleMemo, family_key: Tuple, program, probe=None,
+    store: Optional[MemoStore] = None,
+) -> int:
+    """Merge the on-disk records for ``family_key`` into ``memo``.
+
+    Only keys absent from the in-process memo are filled (process-warm
+    records win -- they are at least as fresh).  Returns the number of
+    records restored; remembers the program fingerprint and the flushed
+    high-water mark on the memo so :func:`flush_family_memo` can tell
+    whether there is anything new to write back.
+    """
+    from ..obs.probe import EV_MEMO_STORE_HIT, EV_MEMO_STORE_MISS
+    from ..trace.events import program_fingerprint
+
+    fingerprint = program_fingerprint(program)
+    memo._fingerprint = fingerprint
+    memo._family_key = family_key
+    if memo_store_disabled():
+        GLOBAL_STATS.store_misses += 1
+        if probe is not None:
+            probe.emit(EV_MEMO_STORE_MISS, "disabled")
+        memo._disk_stored = memo.stored
+        return 0
+    if store is None:
+        store = MemoStore()
+    tables, reason = store.get(family_memo_key(family_key), program, fingerprint)
+    if tables is None:
+        GLOBAL_STATS.store_misses += 1
+        if probe is not None:
+            probe.emit(EV_MEMO_STORE_MISS, reason)
+        memo._disk_stored = memo.stored
+        return 0
+    loaded = 0
+    for sig, rows in tables.items():
+        table = memo._by_sig.get(sig)
+        if table is None:
+            if len(memo._by_sig) >= memo.max_tables:
+                continue
+            table = memo._by_sig[sig] = MemoTable()
+        for key, recs in rows:
+            if key in table or table.records >= memo.max_records:
+                continue
+            recs = recs[: memo.bucket_cap]
+            table[key] = recs
+            table.records += len(recs)
+            loaded += len(recs)
+    GLOBAL_STATS.store_hits += 1
+    GLOBAL_STATS.records_loaded += loaded
+    if probe is not None:
+        probe.emit(EV_MEMO_STORE_HIT, loaded)
+    memo._disk_stored = memo.stored
+    return loaded
+
+
+def flush_family_memo(
+    memo: ScheduleMemo, family_key: Tuple,
+    store: Optional[MemoStore] = None,
+) -> bool:
+    """Write ``memo`` back to disk if it recorded anything new since the
+    last load/flush.  Safe to call on any memo (no-ops without a
+    remembered fingerprint, with persistence disabled, or when clean)."""
+    if memo_store_disabled():
+        return False
+    fingerprint = getattr(memo, "_fingerprint", None)
+    if fingerprint is None:
+        return False
+    if getattr(memo, "_disk_stored", -1) == memo.stored:
+        return False
+    if store is None:
+        store = MemoStore()
+    if not store.put(family_memo_key(family_key), memo, fingerprint):
+        return False
+    GLOBAL_STATS.flushes += 1
+    memo._disk_stored = memo.stored
+    return True

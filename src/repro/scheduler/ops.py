@@ -218,6 +218,56 @@ class SchedOp:
     def __repr__(self) -> str:  # pragma: no cover
         return "SchedOp(%s)" % self.text()
 
+    def clone(self) -> "SchedOp":
+        """A field-for-field copy (compiled primary mode's op factory).
+
+        Prototype ops built by :func:`build_sched_proto` are cached per
+        static instruction and cloned per dynamic instance; the Scheduler
+        Unit then mutates the clone freely (``_prepare`` clamps latency,
+        renaming assigns ``*_rr`` fields) without touching the prototype.
+        Immutable members (frozensets, tuples) are shared between clones --
+        the scheduler rebinds them, it never mutates them in place.
+        """
+        so = SchedOp.__new__(SchedOp)
+        so.instr = self.instr
+        so.xkind = self.xkind
+        so.fu = self.fu
+        so.latency = self.latency
+        so.addr = self.addr
+        so.reads = self.reads
+        so.writes = self.writes
+        so.cwp_src = self.cwp_src
+        so.cwp_dst = self.cwp_dst
+        so.cwp_delta_src = self.cwp_delta_src
+        so.cwp_delta_dst = self.cwp_delta_dst
+        so.mem_addr = self.mem_addr
+        so.mem_size = self.mem_size
+        so.is_load = self.is_load
+        so.is_store_effect = self.is_store_effect
+        so.taken = self.taken
+        so.target = self.target
+        so.dst_rr = self.dst_rr
+        so.cc_rr = self.cc_rr
+        so.mem_rr = self.mem_rr
+        so.copy_actions = self.copy_actions
+        so.tag_depth = self.tag_depth
+        so.order = self.order
+        so.cross = self.cross
+        so.slot = self.slot
+        so.no_split = self.no_split
+        so.int_dst_visible = self.int_dst_visible
+        so.win_src = self.win_src
+        so.win_dst = self.win_dst
+        so.depth = self.depth
+        so.src_fields = self.src_fields
+        so.base_reads = self.base_reads
+        so.rs1_rr = self.rs1_rr
+        so.rs2_rr = self.rs2_rr
+        so.rddata_rr = self.rddata_rr
+        so.ccsrc_rr = self.ccsrc_rr
+        so.rename_updates = self.rename_updates
+        return so
+
 
 def build_sched_op(instr: Instr, info: StepInfo, rf, cwp_after: int) -> SchedOp:
     """Create a :class:`SchedOp` from one completed Primary execution.
@@ -417,6 +467,45 @@ def build_sched_op(instr: Instr, info: StepInfo, rf, cwp_after: int) -> SchedOp:
         # speculative faulting load would have nowhere to defer into).
         so.no_split = True
     return so
+
+
+def build_sched_proto(
+    instr: Instr, rf, cwp_before: int, cwp_after: int
+) -> Tuple[SchedOp, Optional[Tuple[int, ...]]]:
+    """The static half of :func:`build_sched_op` for compiled primary mode.
+
+    Everything that depends only on the instruction encoding and the entry
+    window (operand location sets, src_fields, window offsets, no_split) is
+    computed once here; the compiled block clones the returned prototype
+    per dynamic instance and patches in the per-instance facts the trace
+    supplies (memory address, branch direction, target).
+
+    Returns ``(proto, static_reads)``; ``static_reads`` is a tuple of the
+    register-side read locations for loads (the runtime read set is
+    ``frozenset(static_reads + (mem_loc(addr),))``) and ``None`` for every
+    other kind.  Store prototypes carry an empty write set -- the runtime
+    write set is ``frozenset((mem_loc(addr),))``.  Branch prototypes have
+    ``taken=False``/``target=0`` placeholders (call/jmpl keep their
+    unconditional ``taken=True``).
+    """
+    info = StepInfo()
+    info.cwp_before = cwp_before
+    if instr.mem_size:
+        # placeholder address 0: mem_loc(0) == MEM_BASE is stripped below
+        # (register location ids are all far smaller than MEM_BASE)
+        info.mem_addr = 0
+        info.mem_size = instr.mem_size
+    so = build_sched_op(instr, info, rf, cwp_after)
+    rtup: Optional[Tuple[int, ...]] = None
+    placeholder = mem_loc(0)
+    if so.is_load:
+        rtup = tuple(sorted(r for r in so.reads if r != placeholder))
+        so.reads = frozenset(rtup)
+        so.mem_addr = -1
+    elif so.is_store_effect:
+        so.writes = frozenset()
+        so.mem_addr = -1
+    return so, rtup
 
 
 def make_copy_op(actions: List[Tuple], fu: int) -> SchedOp:

@@ -60,6 +60,22 @@ class TraceFormatError(SimError):
     """A trace file or byte string is truncated, corrupt or wrong-version."""
 
 
+def atomic_write_bytes(root: Path, final: Path, data: bytes, suffix: str) -> None:
+    """Write ``data`` to ``final`` via mkstemp + rename (the discipline all
+    on-disk caches share: parallel writers race benignly, and a reader can
+    never observe a half-written file).  Raises ``OSError`` on failure --
+    callers downgrade to a warning."""
+    root.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(root), prefix=".tmp-", suffix=suffix)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, final)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+
+
 def trace_dir() -> str:
     return os.environ.get("REPRO_TRACE_DIR", DEFAULT_TRACE_DIR)
 
@@ -181,17 +197,9 @@ class TraceStore:
 
     def put(self, key: str, trace: Trace) -> None:
         try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=str(self.root), prefix=".tmp-", suffix=".trc"
+            atomic_write_bytes(
+                self.root, self.path(key), encode_trace(trace), ".trc"
             )
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(encode_trace(trace))
-                os.replace(tmp, self.path(key))
-            except BaseException:
-                os.unlink(tmp)
-                raise
         except OSError as exc:
             log.warning("trace cache write failed for %s: %s", key, exc)
 
@@ -306,16 +314,8 @@ class BlockCacheStore:
 
     def put(self, key: str, code) -> None:
         try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=str(self.root), prefix=".tmp-", suffix=".blk"
+            atomic_write_bytes(
+                self.root, self.path(key), encode_blocks(code), ".blk"
             )
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(encode_blocks(code))
-                os.replace(tmp, self.path(key))
-            except BaseException:
-                os.unlink(tmp)
-                raise
         except OSError as exc:
             log.warning("block cache write failed for %s: %s", key, exc)

@@ -46,3 +46,15 @@ def _isolated_profile_dir(_session_profile_dir, monkeypatch):
 def _isolated_block_store(_session_block_dir, monkeypatch):
     monkeypatch.setenv("REPRO_BLOCK_DIR", _session_block_dir)
     monkeypatch.delenv("REPRO_NO_BLOCK_COMPILE", raising=False)
+
+
+@pytest.fixture(scope="session")
+def _session_memo_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("memos"))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_memo_store(_session_memo_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_MEMO_DIR", _session_memo_dir)
+    monkeypatch.delenv("REPRO_NO_PRIMARY_COMPILE", raising=False)
+    monkeypatch.delenv("REPRO_NO_MEMO_STORE", raising=False)

@@ -1,0 +1,248 @@
+"""Property tests for the scheduling-memo store (scheduler/memostore.py).
+
+Same contract the trace and compiled-block stores are held to:
+
+* encode -> decode -> re-encode is the byte identity (the format is
+  canonical for a given record order);
+* decoding reproduces every record field, with ``pcs`` restored as
+  ``array("I")`` (the apply path compares it against a cursor slice with
+  array equality -- ``bytes`` would silently never match);
+* any truncation, corruption, version skew, wrong-program fingerprint or
+  garbage raises :class:`MemoFormatError`, and the :class:`MemoStore`
+  wrapper downgrades all of those to a plain miss -- a damaged file can
+  cost scheduling time, never correctness;
+* nothing is ever unpickled.
+"""
+
+import struct
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compile_and_load
+from repro.core.config import MachineConfig
+from repro.core.machine import DTSVLIW
+from repro.scheduler.memo import MemoTable, ScheduleMemo
+from repro.scheduler.memostore import (
+    MEMO_MAGIC,
+    MEMO_VERSION,
+    MemoFormatError,
+    MemoStore,
+    decode_memo,
+    encode_memo,
+    family_memo_key,
+)
+from repro.trace.capture import capture_trace
+from repro.trace.events import program_fingerprint
+
+MEM = 8 * 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """A program plus a memo populated by a real scheduling run."""
+    program = compile_and_load(
+        """
+        int data[48];
+        int main() {
+          int i; int acc = 0;
+          for (i = 0; i < 48; i++) data[i] = (i * 5) - 60;
+          for (i = 0; i < 48; i++) {
+            if (data[i] < 0) acc = acc - data[i];
+            else acc = acc + (data[i] >> 1);
+          }
+          print_int(acc);
+          return acc & 0xff;
+        }
+        """
+    )
+    trace = capture_trace(program, MEM)
+    memo = ScheduleMemo()
+    for kb in (2, 64):
+        cfg = MachineConfig.paper_fixed().with_(
+            test_mode=False, mem_size=MEM, vliw_cache_bytes=kb * 1024
+        )
+        m = DTSVLIW(program, cfg, trace=trace, sched_memo=memo)
+        m.run()
+    assert memo.stored > 0
+    return program, memo, program_fingerprint(program)
+
+
+def _rebuild(tables):
+    """A ScheduleMemo holding exactly the decoded records, in decode
+    order (dict insertion order makes re-encoding canonical)."""
+    memo = ScheduleMemo()
+    for sig, rows in tables.items():
+        table = memo._by_sig[sig] = MemoTable()
+        for key, recs in rows:
+            table[key] = recs
+            table.records += len(recs)
+    return memo
+
+
+def _payload(blob: bytes):
+    import marshal
+    import zlib
+
+    (clen,) = struct.unpack_from("<I", blob, 38)  # past the header
+    return marshal.loads(zlib.decompress(blob[42:42 + clen]))
+
+
+def test_round_trip_is_canonical(corpus):
+    """The *value* encoding is canonical; the raw bytes stabilize after
+    one decode/encode cycle (marshal back-references follow object
+    sharing, which a live scheduling run and a decoded graph lay out
+    differently -- the payload values must still be identical)."""
+    program, memo, fp = corpus
+    blob = encode_memo(memo, fp)
+    blob2 = encode_memo(_rebuild(decode_memo(blob, program, fp)), fp)
+    assert _payload(blob2) == _payload(blob)
+    blob3 = encode_memo(_rebuild(decode_memo(blob2, program, fp)), fp)
+    assert blob3 == blob2
+
+
+def test_round_trip_reproduces_records(corpus):
+    program, memo, fp = corpus
+    tables = decode_memo(encode_memo(memo, fp), program, fp)
+    assert set(tables) == set(memo._by_sig)
+    for sig, rows in tables.items():
+        orig_table = memo._by_sig[sig]
+        assert {k for k, _ in rows} == set(orig_table)
+        for key, recs in rows:
+            origs = orig_table[key]
+            assert len(recs) == len(origs)
+            for rec, orig in zip(recs, origs):
+                assert isinstance(rec.pcs, array) and rec.pcs.typecode == "I"
+                assert rec.pcs == array("I", orig.pcs)
+                assert bytes(rec.flags) == bytes(orig.flags)
+                assert bytes(rec.spilled) == bytes(orig.spilled)
+                assert rec.kind == orig.kind and rec.ext == orig.ext
+                assert rec.delta == orig.delta
+                assert rec.mem_fix == orig.mem_fix
+                assert rec.probe_addrs == orig.probe_addrs
+                assert (rec.block is None) == (orig.block is None)
+                if rec.block is not None:
+                    ob = orig.block
+                    assert rec.block.start_addr == ob.start_addr
+                    assert rec.block.nba_addr == ob.nba_addr
+                    assert rec.block.entry_cwp == ob.entry_cwp
+                    assert len(rec.block.lis) == len(ob.lis)
+                    for li, oli in zip(rec.block.lis, ob.lis):
+                        assert len(li.dense) == len(oli.dense)
+                        for op, oop in zip(li.dense, oli.dense):
+                            assert op.instr is oop.instr  # rebound, shared
+                            assert op.addr == oop.addr
+                            assert op.reads == oop.reads
+                            assert op.writes == oop.writes
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_truncation_raises(corpus, data):
+    program, memo, fp = corpus
+    blob = encode_memo(memo, fp)
+    cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    with pytest.raises(MemoFormatError):
+        decode_memo(blob[:cut], program, fp)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_corruption_raises(corpus, data):
+    program, memo, fp = corpus
+    blob = bytearray(encode_memo(memo, fp))
+    pos = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    blob[pos] ^= data.draw(st.integers(min_value=1, max_value=255))
+    with pytest.raises(MemoFormatError):
+        decode_memo(bytes(blob), program, fp)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(max_size=400))
+def test_garbage_raises_not_crashes(corpus, blob):
+    program, _, fp = corpus
+    with pytest.raises(MemoFormatError):
+        decode_memo(blob, program, fp)
+
+
+def _rehash(body: bytes) -> bytes:
+    from hashlib import sha256
+
+    return body + sha256(body).digest()
+
+
+def test_version_skew_raises(corpus):
+    program, memo, fp = corpus
+    blob = encode_memo(memo, fp)
+    body = bytearray(blob[:-32])
+    struct.pack_into("<H", body, 4, MEMO_VERSION + 1)  # after the magic
+    with pytest.raises(MemoFormatError, match="version"):
+        decode_memo(_rehash(bytes(body)), program, fp)
+
+
+def test_wrong_program_fingerprint_raises(corpus):
+    program, memo, fp = corpus
+    blob = encode_memo(memo, fp)
+    with pytest.raises(MemoFormatError, match="different program"):
+        decode_memo(blob, program, b"\x00" * 32)
+
+
+def test_bad_magic_raises(corpus):
+    program, memo, fp = corpus
+    blob = encode_memo(memo, fp)
+    body = bytearray(blob[:-32])
+    body[:4] = b"NOPE"
+    with pytest.raises(MemoFormatError, match="magic"):
+        decode_memo(_rehash(bytes(body)), program, fp)
+    assert blob[:4] == MEMO_MAGIC
+
+
+def test_pickle_bytes_are_rejected(corpus):
+    import pickle
+
+    program, _, fp = corpus
+    with pytest.raises(MemoFormatError):
+        decode_memo(pickle.dumps({"never": "unpickled"}), program, fp)
+
+
+def test_unknown_instr_addr_is_a_defect(corpus):
+    """Records pointing outside the program image (fingerprint collision
+    or hand-edited file) must miss, not build a broken block."""
+    program, memo, fp = corpus
+    other = compile_and_load("int main() { return 3; }")
+    blob = encode_memo(memo, fp)
+    # force the program mismatch past the fingerprint check by lying
+    # about the fingerprint, leaving the instr addresses dangling
+    with pytest.raises(MemoFormatError):
+        decode_memo(blob, other, fp)
+
+
+class TestMemoStore:
+    def test_absent_and_defect_miss(self, tmp_path, corpus):
+        program, memo, fp = corpus
+        store = MemoStore(str(tmp_path))
+        assert store.get("nope", program, fp) == (None, "absent")
+        assert store.put("k", memo, fp)
+        tables, reason = store.get("k", program, fp)
+        assert reason is None and tables
+        # corrupt the file in place: warn-and-miss, never an exception
+        path = store.path("k")
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert store.get("k", program, fp) == (None, "defect")
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path, corpus):
+        _, memo, fp = corpus
+        store = MemoStore(str(tmp_path))
+        store.put("k", memo, fp)
+        names = [p.name for p in tmp_path.iterdir()]
+        assert names == ["k.mem"]
+
+
+def test_family_key_separates_families_and_versions():
+    a = family_memo_key(("compress", 0.1, False, True, 1 << 22))
+    b = family_memo_key(("compress", 0.2, False, True, 1 << 22))
+    assert a != b and a.startswith("memo-")

@@ -256,6 +256,115 @@ class TestBlockCompileCrossValidation:
         assert events.count("bc_compile") == 0
 
 
+class TestPrimaryCompileCrossValidation:
+    """The ``pm_*`` event stream cross-validates the process-global
+    :data:`repro.isa.blockcompile.PM_STATS` counters."""
+
+    MEM = 8 * 1024 * 1024
+
+    def _replay_machine(self, probe):
+        from repro.trace.capture import capture_trace
+
+        program = registry.load_program("compress", SCALE)
+        trace = capture_trace(program, self.MEM)
+        cfg = MachineConfig.paper_fixed().with_(
+            test_mode=False, mem_size=self.MEM
+        )
+        return DTSVLIW(program, cfg, trace=trace, probe=probe)
+
+    def test_pm_events_match_global_stats(self, tmp_path, monkeypatch):
+        from repro.isa.blockcompile import PM_STATS, clear_memo
+        from repro.obs import pm_counts
+
+        # private block dir + cleared memo: codegen is fresh, so the
+        # per-block pm_compile events fire alongside PM_STATS.compiled
+        monkeypatch.setenv("REPRO_BLOCK_DIR", str(tmp_path))
+        clear_memo()
+        probe = EventProbe()
+        before = PM_STATS.snapshot()
+        m = self._replay_machine(probe)
+        assert m._pm_table is not None
+        m.run()
+        delta = {k: v - before[k] for k, v in PM_STATS.snapshot().items()}
+        counts = pm_counts(probe.events)
+        assert counts["compiled"] == delta["compiled"] > 0
+        assert counts["dispatches"] == delta["dispatches"] > 0
+        assert counts["fallback_dispatches"] == delta["fallback_dispatches"]
+        assert delta["cache_misses"] == 1 and delta["cache_hits"] == 0
+
+    def test_counter_probe_matches_event_probe(self):
+        counters = CounterProbe()
+        self._replay_machine(counters).run()
+        events = EventProbe()
+        self._replay_machine(events).run()
+        for kind in ("pm_dispatch", "pm_fallback"):
+            assert counters.count(kind) == events.count(kind)
+        assert counters.count("pm_dispatch") > 0
+
+
+class TestMemoStoreCrossValidation:
+    """The ``memo_store_*`` event stream cross-validates the
+    process-global :data:`repro.scheduler.memostore.GLOBAL_STATS`."""
+
+    MEM = 8 * 1024 * 1024
+
+    def test_hit_miss_events_match_global_stats(self, tmp_path):
+        from repro import compile_and_load
+        from repro.obs import memo_store_counts
+        from repro.scheduler.memo import ScheduleMemo
+        from repro.scheduler.memostore import (
+            GLOBAL_STATS,
+            MemoStore,
+            flush_family_memo,
+            load_family_memo,
+        )
+        from repro.trace.capture import capture_trace
+
+        program = compile_and_load(
+            "int main() { int i; int s = 0;"
+            " for (i = 0; i < 25; i++) s = s + i; return s & 0xff; }"
+        )
+        trace = capture_trace(program, self.MEM)
+        cfg = MachineConfig.paper_fixed().with_(
+            test_mode=False, mem_size=self.MEM
+        )
+        store = MemoStore(str(tmp_path))
+        fkey = ("obs", 0)
+        probe = EventProbe()
+        before = GLOBAL_STATS.snapshot()
+
+        memo = ScheduleMemo()
+        assert load_family_memo(memo, fkey, program, probe, store) == 0
+        DTSVLIW(program, cfg, trace=trace, sched_memo=memo).run()
+        assert flush_family_memo(memo, fkey, store=store)
+        warm = ScheduleMemo()
+        loaded = load_family_memo(warm, fkey, program, probe, store)
+        assert loaded == memo.stored > 0
+
+        delta = {
+            k: v - before[k] for k, v in GLOBAL_STATS.snapshot().items()
+        }
+        counts = memo_store_counts(probe.events)
+        assert counts["store_hits"] == delta["store_hits"] == 1
+        assert counts["store_misses"] == delta["store_misses"] == 1
+        assert counts["records_loaded"] == delta["records_loaded"] == loaded
+        assert delta["flushes"] == 1
+        assert [ev[1] for ev in probe.select("memo_store_miss")] == ["absent"]
+
+    def test_disabled_miss_reason(self, tmp_path, monkeypatch):
+        from repro import compile_and_load
+        from repro.scheduler.memo import ScheduleMemo
+        from repro.scheduler.memostore import MemoStore, load_family_memo
+
+        monkeypatch.setenv("REPRO_NO_MEMO_STORE", "1")
+        probe = EventProbe()
+        program = compile_and_load("int main() { return 0; }")
+        load_family_memo(
+            ScheduleMemo(), ("d", 0), program, probe, MemoStore(str(tmp_path))
+        )
+        assert [tuple(e) for e in probe.events] == [("memo_store_miss", "disabled")]
+
+
 class TestMCKernelCrossValidation:
     """The ``mc_*`` event stream cross-validates the process-global
     :data:`repro.batch.mc_kernel.GLOBAL_STATS` counters."""

@@ -307,6 +307,18 @@ class TestEscapeHatch:
         m.run()
         assert m.exit_code == 42 and m.block_fallbacks == 0
 
+    def test_block_hatches_imply_no_pm_compile(self, monkeypatch):
+        """Primary-mode codegen rides on the block compiler: either
+        hatch (and its own REPRO_NO_PRIMARY_COMPILE) disables it."""
+        from repro.isa.blockcompile import pm_compile_disabled
+
+        assert not pm_compile_disabled()
+        monkeypatch.setenv("REPRO_NO_BLOCK_COMPILE", "1")
+        assert pm_compile_disabled()
+        monkeypatch.delenv("REPRO_NO_BLOCK_COMPILE")
+        monkeypatch.setenv("REPRO_GENERIC_STEP", "1")
+        assert pm_compile_disabled()
+
     def test_generic_step_implies_no_blocks(self, monkeypatch):
         from repro.isa.blockcompile import block_compile_disabled
 

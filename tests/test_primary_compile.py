@@ -1,0 +1,242 @@
+"""Differential verification of compiled primary-mode scheduling.
+
+:mod:`repro.isa.blockcompile`'s ``MODE_PM`` synthesizes, per superblock,
+a specialized function that drives Scheduler Unit placement and renaming
+with the per-instruction ``SchedOp`` construction baked in at compile
+time.  The interpreted primary-mode walk stays in the machine as the
+oracle and the fallback (non-leader targets, mid-block flush residue,
+cycle-budget edges), so the compiled path's claim is *bit identity*, not
+similarity.  This suite holds it to that claim with a four-way matrix --
+interpreted vs compiled crossed with scheduling-memo off vs warm from
+the on-disk store -- over randomized minicc programs, every registry
+workload, directed jumps into block interiors, and the
+``REPRO_NO_PRIMARY_COMPILE`` escape hatch.
+"""
+
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+
+from repro import compile_and_load
+from repro.asm.assembler import assemble
+from repro.core.config import MachineConfig
+from repro.core.machine import DTSVLIW
+from repro.isa.blockcompile import PM_STATS, pm_compile_disabled, pm_sig
+from repro.scheduler import memostore
+from repro.scheduler.memo import ScheduleMemo
+from repro.trace.capture import capture_trace, workload_trace
+from repro.workloads import registry
+
+from tests.test_fuzz_lockstep import program_source
+
+SCALE = 0.05
+MEM = 8 * 1024 * 1024
+
+
+@contextmanager
+def _env(**kw):
+    """Set/unset environment variables for the duration (hypothesis
+    rules out function-scoped monkeypatch)."""
+    old = {k: os.environ.get(k) for k in kw}
+    try:
+        for k, v in kw.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+        yield
+    finally:
+        for k, v in old.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def _cfg(**kw):
+    return MachineConfig.paper_fixed().with_(
+        test_mode=False, mem_size=MEM, **kw
+    )
+
+
+def _run(program, trace, cfg, compiled, memo=None):
+    with _env(REPRO_NO_PRIMARY_COMPILE=None if compiled else "1"):
+        m = DTSVLIW(program, cfg, trace=trace, sched_memo=memo)
+        assert m.replay
+        assert (m._pm_table is not None) == compiled
+        m.run()
+    return m
+
+
+def _assert_same(a, b, what):
+    assert a.stats == b.stats, what
+    assert a.output == b.output, what
+    assert a.exit_code == b.exit_code, what
+    assert a.pc == b.pc, what
+
+
+def four_way(program, trace, cfg, fkey, store):
+    """Interpreted vs compiled x memo off vs warm on-disk memo: all four
+    cells must be bit-identical, and the warm cells must re-schedule
+    nothing the priming run already stored."""
+    prime = ScheduleMemo()
+    assert memostore.load_family_memo(prime, fkey, program, store=store) == 0
+    base = _run(program, trace, cfg, compiled=True, memo=prime)
+    flushed = memostore.flush_family_memo(prime, fkey, store=store)
+    assert flushed == (prime.stored > 0)
+
+    cells = {}
+    for compiled in (False, True):
+        for warm in (False, True):
+            memo = None
+            if warm:
+                memo = ScheduleMemo()
+                loaded = memostore.load_family_memo(
+                    memo, fkey, program, store=store
+                )
+                assert loaded == prime.stored
+            m = _run(program, trace, cfg, compiled, memo)
+            _assert_same(m, base, (compiled, warm))
+            cells[(compiled, warm)] = memo
+    for (compiled, warm), memo in cells.items():
+        if warm and prime.stored:
+            # every segment came off the disk: zero re-schedules
+            assert memo.stored == 0, (compiled, warm)
+            assert memo.applied >= prime.stored, (compiled, warm)
+    return base
+
+
+class TestDirected:
+    def test_loop_program_four_way(self, tmp_path):
+        program = compile_and_load(
+            """
+            int data[32];
+            int main() {
+              int i; int acc = 0;
+              for (i = 0; i < 32; i++) data[i] = i * 3 - 40;
+              for (i = 0; i < 32; i++) {
+                if (data[i] < 0) acc = acc - data[i];
+                else acc = acc + data[i];
+              }
+              print_int(acc);
+              return acc & 0xff;
+            }
+            """
+        )
+        trace = capture_trace(program, MEM)
+        store = memostore.MemoStore(str(tmp_path))
+        four_way(program, trace, _cfg(), ("loop", 0), store)
+
+    def test_indirect_jump_into_block_interior(self, tmp_path):
+        """A computed jmpl lands where no pm function starts: that
+        dispatch must fall back to the interpreted walk, with identical
+        results (same weak spot the lean block table has)."""
+        program = assemble(
+            """
+            .text
+    _start: mov 0, %o0
+            set mid, %l0
+            jmpl %l0+0, %g0
+            mov 99, %o0
+    top:    add %o0, 1, %o0
+    mid:    add %o0, 2, %o0
+            add %o0, 4, %o0
+            ta 0
+            """
+        )
+        from repro.isa.blockcompile import discover_leaders
+
+        assert program.symbols["mid"] not in discover_leaders(program)
+        trace = capture_trace(program, MEM)
+        store = memostore.MemoStore(str(tmp_path))
+        m = four_way(program, trace, _cfg(), ("interior", 0), store)
+        assert m.exit_code == 6  # 0 + 2 + 4: the +1 was jumped over
+
+    def test_real_icache_and_tiny_vliw_cache(self, tmp_path):
+        """Exercise the non-replay ``_primary_mode`` loop (real icache
+        disables the segment-memo fast loop) and frequent evictions."""
+        import dataclasses
+
+        program = registry.load_program("compress", SCALE)
+        trace = capture_trace(program, MEM)
+        store = memostore.MemoStore(str(tmp_path))
+        base = _cfg(vliw_cache_bytes=2 * 1024)
+        cfg = base.with_(
+            icache=dataclasses.replace(base.icache, perfect=False)
+        )
+        four_way(program, trace, cfg, ("icache", 0), store)
+
+    def test_dispatch_counters_move(self):
+        program = registry.load_program("compress", SCALE)
+        trace = capture_trace(program, MEM)
+        before = PM_STATS.snapshot()
+        _run(program, trace, _cfg(), compiled=True)
+        delta = {k: v - before[k] for k, v in PM_STATS.snapshot().items()}
+        assert delta["dispatches"] > 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(program_source())
+def test_random_programs_four_way(source):
+    """Randomized minicc programs through the full matrix (the shared
+    session memo dir is fine: keys include the program fingerprint)."""
+    program = compile_and_load(source)
+    trace = capture_trace(program, MEM)
+    store = memostore.MemoStore(os.environ["REPRO_MEMO_DIR"])
+    four_way(program, trace, _cfg(), ("hyp", trace.count), store)
+
+
+@pytest.mark.parametrize("name", registry.BENCHMARKS)
+def test_workload_four_way(name, tmp_path):
+    """Every registry workload through the full matrix."""
+    trace = workload_trace(name, SCALE, mem_size=MEM)
+    program = registry.load_program(name, SCALE)
+    store = memostore.MemoStore(str(tmp_path))
+    m = four_way(program, trace, _cfg(), (name, SCALE), store)
+    assert m.stats.instructions_scheduled > 0
+
+
+class TestEscapeHatch:
+    def test_env_var_disables_pm_compile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_PRIMARY_COMPILE", "1")
+        assert pm_compile_disabled()
+        program = compile_and_load("int main() { return 42; }")
+        trace = capture_trace(program, MEM)
+        m = DTSVLIW(program, _cfg(), trace=trace)
+        assert m._pm_table is None
+        m.run()
+        assert m.exit_code == 42
+
+    def test_zero_and_empty_do_not_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_PRIMARY_COMPILE", "0")
+        assert not pm_compile_disabled()
+        monkeypatch.delenv("REPRO_NO_PRIMARY_COMPILE")
+        assert not pm_compile_disabled()
+
+    def test_no_block_compile_implies_no_pm(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_BLOCK_COMPILE", "1")
+        assert pm_compile_disabled()
+
+    def test_memo_store_hatch(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_NO_MEMO_STORE", "1")
+        assert memostore.memo_store_disabled()
+        program = compile_and_load("int main() { return 1; }")
+        memo = ScheduleMemo()
+        store = memostore.MemoStore(str(tmp_path))
+        assert (
+            memostore.load_family_memo(memo, ("h", 0), program, store=store)
+            == 0
+        )
+        assert not memostore.flush_family_memo(memo, ("h", 0), store=store)
+        assert not list(tmp_path.iterdir())  # nothing written
+
+    def test_pm_sig_covers_icache_policy(self):
+        import dataclasses
+
+        base = _cfg()
+        real = base.with_(
+            icache=dataclasses.replace(base.icache, perfect=False)
+        )
+        assert pm_sig(base) != pm_sig(real)
