@@ -20,6 +20,7 @@ machine or evaluator drives the loop.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Tuple
 
 from ..core.errors import SimError
@@ -161,9 +162,25 @@ def scalar_family_stats(
             "scalar machine exceeded %d cycles"
             % (name, max_cycles, max_cycles)
         )
+    cycles += _timing_mutation(cols.lu_count)
     st.cycles = cycles
     st.primary_cycles = cycles
     return st, cycles
+
+
+def _timing_mutation(lu_count: int) -> int:
+    """Deliberate off-by-N seam for the fuzz harness's mutation smoke test.
+
+    ``$REPRO_MUTATE_TIMING=<n>`` injects ``n`` extra cycles into the
+    batched scalar closed form -- but only when the trace has at least
+    one load-use bubble, so the differential tower must find (and the
+    shrinker must keep) a workload that actually commits a dependent
+    load.  Never set outside tests; the default is a no-op.
+    """
+    if lu_count <= 0:
+        return 0
+    raw = os.environ.get("REPRO_MUTATE_TIMING", "")
+    return int(raw) if raw else 0
 
 
 def charge_dif_group_replay(

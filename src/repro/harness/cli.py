@@ -276,6 +276,108 @@ def cmd_exec(args) -> None:
     )
 
 
+def _spec_from_dials(pairs) -> "object":
+    """Build a SynthSpec from ``key=value`` strings, coercing by field type."""
+    from ..core.errors import SimError
+    from ..synth import SynthSpec
+
+    kw = {}
+    defaults = SynthSpec()
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise SimError("--dial expects key=value, got %r" % pair)
+        if not hasattr(defaults, key):
+            raise SimError("unknown SynthSpec dial %r" % key)
+        current = getattr(defaults, key)
+        if isinstance(current, bool):
+            kw[key] = raw.lower() in ("1", "true", "yes", "on")
+        elif isinstance(current, int):
+            kw[key] = int(raw)
+        elif isinstance(current, float):
+            kw[key] = float(raw)
+        else:
+            kw[key] = raw
+    return SynthSpec(**kw).validate()
+
+
+def cmd_synth(args) -> int:
+    """Materialize, describe, and differential-fuzz synthetic workloads."""
+    from .. import synth
+
+    if args.action == "new":
+        spec = _spec_from_dials(args.dial)
+        name = synth.register_spec(spec)
+        print(name)
+        print("  " + spec.describe())
+        return 0
+    if args.action == "list":
+        specs = synth.known_specs()
+        for spec in specs:
+            print(spec.describe())
+        print("%d spec(s) in %s" % (len(specs), synth.synth_dir()))
+        return 0
+    if args.action in ("show", "emit", "check"):
+        if not args.target:
+            print("synth %s needs a synth:<hash> name" % args.action)
+            return 2
+        spec = synth.resolve_spec(args.target)
+        if args.action == "show":
+            print(spec.describe())
+            import json as _json
+
+            print(_json.dumps(spec.to_dict(), sort_keys=True, indent=1))
+            return 0
+        if args.action == "emit":
+            src = synth.generate_source(spec, args.scale or 1.0)
+            if args.out:
+                with open(args.out, "w") as fh:
+                    fh.write(src)
+                print("wrote %s (%d bytes)" % (args.out, len(src)))
+            else:
+                print(src)
+            return 0
+        report = synth.run_tower(spec, scale=args.scale)
+        print(report.summary())
+        return 0 if report.ok else 1
+    if args.action == "replay":
+        if not args.target:
+            print("synth replay needs a repro artifact path")
+            return 2
+        spec, payload = synth.load_repro(args.target)
+        print("replaying %s (%s)" % (spec.name, payload.get("reason", "?")))
+        report = synth.run_tower(spec, scale=args.scale)
+        print(report.summary())
+        return 0 if report.ok else 1
+    # fuzz: corpus x full tower, shrink + store every failure
+    t0 = time.time()
+    specs = synth.corpus_specs(args.count, args.seed)
+    failures = 0
+    for i, spec in enumerate(specs):
+        report = synth.run_tower(spec, scale=args.scale)
+        if report.ok:
+            print("[%d/%d] ok %s" % (i + 1, len(specs), spec.describe()))
+            continue
+        failures += 1
+        print("[%d/%d] FAIL %s" % (i + 1, len(specs), report.summary()))
+        mini = synth.shrink_spec(
+            spec,
+            lambda s: not synth.run_tower(s, scale=args.scale).ok,
+            log=lambda m: print("  " + m),
+        )
+        path = synth.save_repro(
+            mini,
+            reason=report.mismatches[0],
+            extra={"original": spec.to_dict()},
+        )
+        print("  minimal repro %s -> %s" % (mini.name, path))
+    print(
+        "%d/%d spec(s) diverged (%.1fs, repros in %s)"
+        % (failures, len(specs), time.time() - t0, synth.repro_dir())
+    )
+    return 1 if failures else 0
+
+
 def cmd_run(args) -> None:
     cfg = MachineConfig.paper_fixed(args.width, args.height, test_mode=args.test_mode)
     t0 = time.time()
@@ -439,13 +541,21 @@ def main(argv=None) -> int:
     p = sub.add_parser(
         "blocks", help="dump the hottest scheduled blocks", parents=[common]
     )
-    p.add_argument("--workload", default="ijpeg", choices=registry.BENCHMARKS)
+    p.add_argument(
+        "--workload",
+        default="ijpeg",
+        help="registry benchmark or synth:<hash> name",
+    )
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--height", type=int, default=8)
     p.add_argument("--count", type=int, default=3)
     p.set_defaults(func=cmd_blocks)
     p = sub.add_parser("run", help="single run with custom geometry", parents=[common])
-    p.add_argument("--workload", default="ijpeg", choices=registry.BENCHMARKS)
+    p.add_argument(
+        "--workload",
+        default="ijpeg",
+        help="registry benchmark or synth:<hash> name",
+    )
     p.add_argument("--machine", default="dtsvliw", choices=["dtsvliw", "dif", "scalar"])
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--height", type=int, default=8)
@@ -482,6 +592,33 @@ def main(argv=None) -> int:
     p.add_argument("source")
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=cmd_asm)
+    p = sub.add_parser(
+        "synth",
+        help="synthetic workloads: generate, inspect, differential-fuzz",
+        parents=[common],
+    )
+    p.add_argument(
+        "action",
+        choices=["new", "show", "list", "emit", "check", "fuzz", "replay"],
+        help="new/show/list/emit specs; check one spec, fuzz a corpus, "
+        "or replay a stored repro artifact",
+    )
+    p.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="synth:<hash> name (show/emit/check) or repro JSON (replay)",
+    )
+    p.add_argument(
+        "--dial",
+        action="append",
+        metavar="KEY=VALUE",
+        help="SynthSpec dial override for `new` (repeatable)",
+    )
+    p.add_argument("--count", type=int, default=50, help="fuzz corpus size")
+    p.add_argument("--seed", type=int, default=0, help="fuzz corpus seed")
+    p.add_argument("--out", default=None, help="output file for `emit`")
+    p.set_defaults(func=cmd_synth)
     p = sub.add_parser("exec", help="run an srisc binary")
     p.add_argument("binary")
     p.add_argument("--machine", default="dtsvliw", choices=["dtsvliw", "dif", "scalar"])
@@ -491,8 +628,7 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_exec)
 
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    return args.func(args) or 0
 
 
 if __name__ == "__main__":

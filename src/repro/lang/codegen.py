@@ -16,7 +16,10 @@ Conventions (SPARC-flavoured):
 * ``*``, ``/`` and ``%`` call the software runtime (``__mulsi3`` etc., as on
   real SPARC V7) unless :attr:`CompilerOptions.hw_mul` selects the
   multicycle ``smul``/``sdiv`` instructions;
-* builtins ``putchar``/``print_int``/``exit`` expand to the ``ta`` traps.
+* builtins ``putchar``/``print_int``/``exit`` expand to the ``ta`` traps;
+  ``load_s8(addr)`` is a sign-extending byte load (``ldsb``), the only way
+  to reach the ISA's signed-load path from minicc (plain ``char`` is
+  unsigned here, as on ARM/PowerPC).
 """
 
 from __future__ import annotations
@@ -90,7 +93,7 @@ class _FnInfo:
         self.param_types = param_types
 
 
-_BUILTINS = {"putchar", "print_int", "exit"}
+_BUILTINS = {"putchar", "print_int", "exit", "load_s8"}
 
 
 class CodeGenerator:
@@ -1317,9 +1320,18 @@ class CodeGenerator:
         return Value("ireg", ret_t, reg=dest, owned=True)
 
     def _gen_builtin(self, e: ast.Call) -> Value:
-        traps = {"putchar": 1, "print_int": 2, "exit": 0}
         if len(e.args) != 1:
             raise self.err(e, "%s expects 1 argument" % e.name)
+        if e.name == "load_s8":
+            # sign-extending byte load from an address expression
+            v = self.gen_expr(e.args[0])
+            iv = self.into_ireg(v)
+            self.vstack[-1] = iv
+            self.vstack.pop()
+            dest = iv.reg if iv.owned else self.alloc_ireg()
+            self.emit("ldsb [%s], %s" % (iv.reg, dest))
+            return Value("ireg", ast.INT, reg=dest, owned=True)
+        traps = {"putchar": 1, "print_int": 2, "exit": 0}
         v = self.gen_expr(e.args[0])
         self.vstack.pop()
         if v.kind == "imm":

@@ -1,0 +1,73 @@
+"""Parametric synthetic workloads and the full-tower differential harness.
+
+The eight Table 2 analogues are a narrow lens on trace-scheduling
+behaviour; this package widens it to a *family* of program behaviours
+(ROADMAP item 5a).  A :class:`SynthSpec` is a small, hashable bundle of
+explicit dials -- branchiness, loop nesting and trip counts, memory
+footprint and access pattern, call depth, recursion, arithmetic mix --
+and :func:`generate_source` turns it deterministically into minicc
+source that always terminates, never touches memory out of bounds, and
+self-checks through the usual ``print_int(checksum)`` / ``exit(checksum
+& 0xff)`` protocol, so every machine's output is validated byte for
+byte exactly like the fixed workloads.
+
+Registered specs become first-class registry workloads under the name
+``synth:<spec-hash>`` (:func:`register_spec` / ``repro.workloads.registry``),
+so ``run_sweep``, the result cache, the trace store, family batching and
+every experiment driver accept them unchanged.
+
+On top of the generator, :mod:`repro.synth.tower` runs one workload
+through every speed-layer combination the repo has grown (generic step,
+predecode, block-compiled, trace replay, batched families, vectorized
+cache kernel, compiled primary-mode scheduling -- crossed with their
+``REPRO_NO_*`` escape hatches) in lockstep and demands bit-identical
+``Stats``/output/exit everywhere; failures shrink to a minimal spec
+stored under ``results/repros/`` as a replayable artifact.
+"""
+
+from .generator import generate_source
+from .spec import SPEC_VERSION, SynthSpec
+from .store import (
+    SYNTH_PREFIX,
+    is_synth_name,
+    known_specs,
+    register_spec,
+    resolve_spec,
+    synth_dir,
+)
+from .tower import (
+    TOWER_STACKS,
+    Stack,
+    TowerMismatch,
+    check_spec,
+    corpus_specs,
+    default_cells,
+    load_repro,
+    repro_dir,
+    run_tower,
+    save_repro,
+    shrink_spec,
+)
+
+__all__ = [
+    "SPEC_VERSION",
+    "SynthSpec",
+    "generate_source",
+    "SYNTH_PREFIX",
+    "is_synth_name",
+    "known_specs",
+    "register_spec",
+    "resolve_spec",
+    "synth_dir",
+    "TOWER_STACKS",
+    "Stack",
+    "TowerMismatch",
+    "check_spec",
+    "corpus_specs",
+    "default_cells",
+    "load_repro",
+    "repro_dir",
+    "run_tower",
+    "save_repro",
+    "shrink_spec",
+]

@@ -1,0 +1,325 @@
+"""Deterministic minicc generation from a :class:`SynthSpec`.
+
+Every generated program is **terminating** and **memory-safe** by
+construction:
+
+* all ``for`` loops are counted with literal bounds; ``while`` loops
+  carry a compound exit condition whose first conjunct is a dedicated
+  counter decremented unconditionally by the loop body; the recursive
+  helper strictly decreases a non-negative argument that is masked at
+  every call site;
+* every array index is masked with ``& (2**mem_pow2 - 1)`` against
+  power-of-two arrays, every divisor is ``(x & k) + 1 > 0``, and the
+  pointer-chase permutation is a precomputed table whose entries are in
+  range by construction (and masked again on use, so the invariant does
+  not even depend on the table);
+* float accumulation uses contraction coefficients (< 1), so the value
+  stays bounded and its final ``(int)`` cast is exact.
+
+The output self-checks: a running checksum folds in every scalar and
+both data arrays, is printed with ``print_int`` and returned as the exit
+code, so the reference machine validates every configuration's output
+byte for byte -- the same protocol as the fixed Table 2 workloads.
+
+Generation is a pure function of ``(spec, scale)``: the PRNG is seeded
+from the spec's content hash, and ``scale`` only multiplies the outer
+pass count (like every registry workload's ``source(scale)``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..workloads.common import XORSHIFT, scaled
+from .spec import SynthSpec
+
+#: scalar work variables the statement generator assigns to/reads from
+_VARS = ["a", "b", "c", "d", "e"]
+
+_BIN_OPS = ["+", "-", "&", "|", "^", "<<", ">>"]
+_CMP_OPS = ["<", "<=", "==", "!=", ">", ">="]
+
+
+class _Gen:
+    def __init__(self, spec: SynthSpec, scale: float):
+        spec.validate()
+        self.spec = spec
+        # the hash covers every dial, so distinct specs with equal seeds
+        # still draw distinct programs
+        self.rng = random.Random("%s#%d" % (spec.spec_hash(), spec.seed))
+        self.n = 1 << spec.mem_pow2
+        self.mask = self.n - 1
+        self.passes = scaled(spec.passes, scale, lo=1)
+        # recursion argument mask: the largest (2**k - 1) <= recursion,
+        # so one & instruction bounds the depth within the dial
+        self.rec_mask = (1 << spec.recursion.bit_length()) - 1
+        if self.rec_mask > spec.recursion:
+            self.rec_mask >>= 1
+        self.loop_level = 0  # current loop nesting (names i0, i1, ...)
+        self.while_count = 0  # distinct while counters (names w0, w1, ...)
+
+    # ------------------------------------------------------------- expressions
+    def leaf(self) -> str:
+        r = self.rng
+        kind = r.randrange(8)
+        if kind < 3:
+            return r.choice(_VARS)
+        if kind == 3:
+            return str(r.choice([1, 2, 3, 7, 25, 100, 255]))
+        if kind == 4 and self.loop_level:
+            return "i%d" % r.randrange(self.loop_level)
+        if kind == 5 and self.spec.access in ("chase", "mixed"):
+            return "p"
+        if kind == 6 and self.spec.signed_bytes:
+            return "load_s8(&cdata[(%s) & %d])" % (r.choice(_VARS), self.mask)
+        return "data[(%s) & %d]" % (r.choice(_VARS), self.mask)
+
+    def expr(self, depth: int) -> str:
+        r = self.rng
+        if depth <= 0 or r.randrange(3) == 0:
+            return self.leaf()
+        op = r.choice(_BIN_OPS)
+        left = self.expr(depth - 1)
+        right = self.expr(depth - 1)
+        if op in ("<<", ">>"):
+            # shift amounts masked to 0..7: defined, and >> (sra) keeps
+            # sign-extension behaviour on negative intermediates honest
+            return "((%s) %s ((%s) & 7))" % (left, op, right)
+        return "((%s) %s (%s))" % (left, op, right)
+
+    def cond(self) -> str:
+        return "(%s) %s (%s)" % (
+            self.expr(1),
+            self.rng.choice(_CMP_OPS),
+            self.expr(1),
+        )
+
+    # -------------------------------------------------------------- statements
+    def stmt(self, depth: int) -> List[str]:
+        """One statement as indented source lines."""
+        r = self.rng
+        spec = self.spec
+        # weighted statement menu; dials add/remove entries
+        menu = ["assign", "assign", "store"]
+        menu.append("check")
+        if spec.branchiness > 0 and r.random() < spec.branchiness:
+            menu = ["if"] * 4 + menu
+        if depth > 0 and self.loop_level < spec.loop_depth:
+            menu.append("for")
+            if spec.while_loops:
+                menu.append("while")
+        if spec.call_depth:
+            menu.append("call")
+        if spec.recursion:
+            menu.append("rec")
+        if spec.signed_bytes:
+            menu.append("sload")
+            menu.append("cstore")
+        if spec.access in ("chase", "mixed"):
+            menu.append("chase")
+        if spec.access in ("strided", "mixed"):
+            menu.append("stride")
+        if spec.arith in ("mul", "mixed"):
+            menu.append("muldiv")
+        if spec.arith in ("float", "mixed"):
+            menu.append("float")
+        kind = r.choice(menu)
+        if kind == "assign":
+            return [
+                "%s = (%s) & 0xffff;" % (r.choice(_VARS), self.expr(depth + 1))
+            ]
+        if kind == "store":
+            return [
+                "data[(%s) & %d] = (%s) & 0xffff;"
+                % (self.expr(1), self.mask, self.expr(depth + 1))
+            ]
+        if kind == "check":
+            return ["check = (check + %s) & 0xffffff;" % r.choice(_VARS)]
+        if kind == "if":
+            then = self.block(depth - 1)
+            if r.random() < 0.5:
+                els = self.block(depth - 1)
+                return (
+                    ["if (%s) {" % self.cond()]
+                    + then
+                    + ["} else {"]
+                    + els
+                    + ["}"]
+                )
+            return ["if (%s) {" % self.cond()] + then + ["}"]
+        if kind == "for":
+            var = "i%d" % self.loop_level
+            self.loop_level += 1
+            body = self.block(depth - 1)
+            self.loop_level -= 1
+            trip = r.randint(1, spec.trip)
+            return (
+                ["for (%s = 0; %s < %d; %s++) {" % (var, var, trip, var)]
+                + body
+                + ["}"]
+            )
+        if kind == "while":
+            # compound exit: the counter conjunct guarantees termination,
+            # the data-dependent conjunct exercises multi-branch exits
+            w = "w%d" % self.while_count
+            self.while_count += 1
+            body = self.block(depth - 1)
+            trip = r.randint(1, spec.trip)
+            if r.random() < 0.5:
+                cond = "%s > 0 && (%s)" % (w, self.cond())
+            else:
+                cond = "%s > 0 && ((%s) || %s > 1)" % (w, self.cond(), w)
+            return (
+                ["%s = %d;" % (w, trip), "while (%s) {" % cond]
+                + body
+                + ["%s = %s - 1;" % (w, w), "}"]
+            )
+        if kind == "call":
+            return [
+                "%s = h1((%s) & 255, (%s) & 255);"
+                % (r.choice(_VARS), self.expr(1), self.expr(1))
+            ]
+        if kind == "rec":
+            return [
+                "%s = %s + rec((%s) & %d);"
+                % (r.choice(_VARS), r.choice(_VARS), self.expr(1), self.rec_mask)
+            ]
+        if kind == "sload":
+            return [
+                "%s = load_s8(&cdata[(%s) & %d]) & 0xffff;"
+                % (r.choice(_VARS), self.expr(1), self.mask)
+            ]
+        if kind == "cstore":
+            return [
+                "cdata[(%s) & %d] = (%s) & 255;"
+                % (self.expr(1), self.mask, self.expr(1))
+            ]
+        if kind == "chase":
+            return [
+                "p = perm[p & %d];" % self.mask,
+                "%s = (%s + data[p & %d]) & 0xffff;"
+                % (r.choice(_VARS), r.choice(_VARS), self.mask),
+            ]
+        if kind == "stride":
+            return [
+                "s = (s + %d) & %d;" % (spec.stride, self.mask),
+                "%s = (%s + data[s]) & 0xffff;"
+                % (r.choice(_VARS), r.choice(_VARS)),
+            ]
+        if kind == "muldiv":
+            which = r.randrange(3)
+            if which == 0:
+                return [
+                    "%s = ((%s) * ((%s) & 15)) & 0xffff;"
+                    % (r.choice(_VARS), self.expr(1), self.expr(1))
+                ]
+            op = "/" if which == 1 else "%"
+            return [
+                "%s = ((%s) & 0xffff) %s (((%s) & 7) + 1);"
+                % (r.choice(_VARS), self.expr(1), op, self.expr(1))
+            ]
+        if kind == "float":
+            return [
+                "facc = facc * 0.5 + (float)((%s) & 255);" % self.expr(1)
+            ]
+        raise AssertionError(kind)
+
+    def block(self, depth: int) -> List[str]:
+        n = self.rng.randint(1, 2)
+        out: List[str] = []
+        for _ in range(n):
+            out.extend("  " + line for line in self.stmt(depth))
+        return out
+
+    # ----------------------------------------------------------------- program
+    def helpers(self) -> str:
+        spec = self.spec
+        out = []
+        if spec.recursion:
+            out.append(
+                "int rec(int n) {\n"
+                "  if (n <= 0) return 1;\n"
+                "  return rec(n - 1) + ((n ^ %d) & 255);\n"
+                "}\n" % self.rng.randrange(256)
+            )
+        # call chain h<depth> ... h1, leaf first so calls resolve
+        for level in range(spec.call_depth, 0, -1):
+            body = "int t = ((x ^ y) + (x & %d)) & 0xffff;" % (
+                self.rng.choice([15, 31, 63])
+            )
+            if level < spec.call_depth:
+                call = "  t = (t + h%d(y & 255, t & 255)) & 0xffff;\n" % (
+                    level + 1
+                )
+            else:
+                call = ""
+            out.append(
+                "int h%d(int x, int y) {\n  %s\n%s  return t;\n}\n"
+                % (level, body, call)
+            )
+        return "\n".join(out)
+
+    def perm_table(self) -> str:
+        # a real random permutation (one cycle not guaranteed, but every
+        # entry in range): computed here so the program pays no setup
+        vals = list(range(self.n))
+        self.rng.shuffle(vals)
+        return "int perm[%d] = {%s};" % (
+            self.n,
+            ", ".join(str(v) for v in vals),
+        )
+
+    def source(self) -> str:
+        spec = self.spec
+        body: List[str] = []
+        for _ in range(spec.stmts):
+            body.extend("    " + line for line in self.stmt(spec.depth))
+        decls = ["int %s;" % ("i%d" % k) for k in range(spec.loop_depth + 1)]
+        decls += ["int w%d;" % k for k in range(self.while_count)]
+        globals_ = [
+            XORSHIFT,
+            "int data[%d];" % self.n,
+            "char cdata[%d];" % self.n,
+        ]
+        if spec.access in ("chase", "mixed"):
+            globals_.append(self.perm_table())
+        if spec.arith in ("float", "mixed"):
+            globals_.append("float facc = 0.0;")
+        globals_.append("int check = 0;")
+        epilogue = [
+            "  for (i0 = 0; i0 < %d; i0++) check = (check + data[i0]) & 0xffffff;"
+            % self.n,
+            "  for (i0 = 0; i0 < %d; i0++) check = (check + cdata[i0]) & 0xffffff;"
+            % self.n,
+            "  check = (check + a + b + c + d + e + p + s) & 0xffffff;",
+        ]
+        if spec.arith in ("float", "mixed"):
+            epilogue.append("  check = (check + (int)facc) & 0xffffff;")
+        return (
+            "\n".join(globals_)
+            + "\n\n"
+            + self.helpers()
+            + "\nint init() {\n"
+            + "  int i;\n"
+            + "  for (i = 0; i < %d; i++) data[i] = rng() & 0xffff;\n" % self.n
+            + "  for (i = 0; i < %d; i++) cdata[i] = rng() & 255;\n" % self.n
+            + "  return 0;\n}\n"
+            + "\nint main() {\n"
+            + "  int a = 5; int b = 9; int c = 12; int d = 3; int e = 7;\n"
+            + "  int p = 0; int s = 0; int t;\n"
+            + "  " + " ".join(decls) + "\n"
+            + "  init();\n"
+            + "  for (t = 0; t < %d; t++) {\n" % self.passes
+            + "\n".join(body)
+            + "\n  }\n"
+            + "\n".join(epilogue)
+            + "\n  print_int(check);\n"
+            + "  return check & 0xff;\n"
+            + "}\n"
+        )
+
+
+def generate_source(spec: SynthSpec, scale: float = 1.0) -> str:
+    """The minicc source of ``spec`` at ``scale`` (pure, deterministic)."""
+    return _Gen(spec, scale).source()

@@ -1,0 +1,174 @@
+"""The dial set of one synthetic workload, hashable by content.
+
+A :class:`SynthSpec` is deliberately *small*: every field is a coarse,
+explicitly-validated dial, so hypothesis shrinking (tests) and the
+greedy CLI shrinker (:func:`repro.synth.tower.shrink_spec`) both walk a
+short, meaningful lattice instead of an unbounded program space.  The
+spec -- not the generated source -- is the unit of storage, hashing and
+reproduction: ``generate_source(spec, scale)`` is a pure function of the
+two, and the generator's own code is covered by the repo-wide source
+fingerprint (``resultcache.code_version``), so cached sweep results can
+never survive a generator change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict
+
+from ..core.errors import SimError
+
+#: bumped whenever the spec schema or generator output changes shape
+#: incompatibly; part of the content hash so old names never collide.
+SPEC_VERSION = 1
+
+ACCESS_PATTERNS = ("strided", "chase", "mixed")
+ARITH_MIXES = ("alu", "mul", "float", "mixed")
+
+
+@dataclass(frozen=True)
+class SynthSpec:
+    """Dials of one generated workload (all ranges inclusive).
+
+    Termination and memory safety hold for *every* valid spec -- see
+    DESIGN.md section 16 for the argument -- so any spec drawn from
+    these ranges is a legal sweep workload.
+    """
+
+    #: PRNG seed: same seed + same dials => byte-identical source
+    seed: int = 0
+    #: top-level statement budget inside the repeated body (1..16)
+    stmts: int = 4
+    #: maximum statement nesting depth for if/loop bodies (0..3)
+    depth: int = 1
+    #: probability weight of branching statements (0.0..1.0)
+    branchiness: float = 0.3
+    #: maximum loop nesting depth (0..3; 0 = straight-line body)
+    loop_depth: int = 1
+    #: base trip count of generated counted loops (1..16)
+    trip: int = 4
+    #: also emit ``while`` loops with compound exit conditions
+    while_loops: bool = False
+    #: data footprint: arrays hold ``2**mem_pow2`` elements (4..12)
+    mem_pow2: int = 6
+    #: array access pattern: strided walks, pointer chasing, or both
+    access: str = "strided"
+    #: stride of the strided walks (1..8)
+    stride: int = 1
+    #: helper-function call chain length (0..4; 0 = leaf main)
+    call_depth: int = 0
+    #: maximum recursion depth (0 = no recursive function; 1..15)
+    recursion: int = 0
+    #: arithmetic mix: plain ALU, software/hw mul-div, float, or all
+    arith: str = "alu"
+    #: emit signed byte loads (``load_s8`` -> ``ldsb``) from char data
+    signed_bytes: bool = False
+    #: outer repetitions of the generated body (1..8; scaled by sweep
+    #: ``scale`` like every registry workload)
+    passes: int = 2
+
+    # ------------------------------------------------------------ validation
+    def validate(self) -> "SynthSpec":
+        """Self (for chaining); raises :class:`SimError` on a bad dial."""
+        checks = [
+            ("seed", 0 <= self.seed <= 2**63, "0..2**63"),
+            ("stmts", 1 <= self.stmts <= 16, "1..16"),
+            ("depth", 0 <= self.depth <= 3, "0..3"),
+            (
+                "branchiness",
+                0.0 <= self.branchiness <= 1.0,
+                "0.0..1.0",
+            ),
+            ("loop_depth", 0 <= self.loop_depth <= 3, "0..3"),
+            ("trip", 1 <= self.trip <= 16, "1..16"),
+            ("mem_pow2", 4 <= self.mem_pow2 <= 12, "4..12"),
+            ("access", self.access in ACCESS_PATTERNS, ACCESS_PATTERNS),
+            ("stride", 1 <= self.stride <= 8, "1..8"),
+            ("call_depth", 0 <= self.call_depth <= 4, "0..4"),
+            ("recursion", 0 <= self.recursion <= 15, "0..15"),
+            ("arith", self.arith in ARITH_MIXES, ARITH_MIXES),
+            ("passes", 1 <= self.passes <= 8, "1..8"),
+        ]
+        for name, ok, expect in checks:
+            if not ok:
+                raise SimError(
+                    "SynthSpec.%s=%r outside %s"
+                    % (name, getattr(self, name), expect)
+                )
+        for name, want in (("branchiness", float),):
+            if not isinstance(getattr(self, name), (int, float)):
+                raise SimError("SynthSpec.%s must be numeric" % name)
+        for name in ("while_loops", "signed_bytes"):
+            if not isinstance(getattr(self, name), bool):
+                raise SimError("SynthSpec.%s must be a bool" % name)
+        return self
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        d = asdict(self)
+        d["version"] = SPEC_VERSION
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "SynthSpec":
+        kw = dict(d)
+        version = kw.pop("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise SimError(
+                "SynthSpec version %r unsupported (have %d)"
+                % (version, SPEC_VERSION)
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(kw) - known
+        if unknown:
+            raise SimError("unknown SynthSpec fields: %s" % sorted(unknown))
+        return cls(**kw).validate()
+
+    def spec_hash(self) -> str:
+        """Stable content hash (hex, 12 chars) over the canonical dict."""
+        blob = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+    @property
+    def name(self) -> str:
+        """The registry workload name of this spec."""
+        return "synth:%s" % self.spec_hash()
+
+    def with_(self, **kw) -> "SynthSpec":
+        """A validated copy with the given dials replaced."""
+        return replace(self, **kw).validate()
+
+    # ------------------------------------------------------------ description
+    def describe(self) -> str:
+        """One line of human-readable dial values."""
+        extras = []
+        if self.while_loops:
+            extras.append("while")
+        if self.signed_bytes:
+            extras.append("ldsb")
+        if self.call_depth:
+            extras.append("calls=%d" % self.call_depth)
+        if self.recursion:
+            extras.append("rec=%d" % self.recursion)
+        return (
+            "%s seed=%d stmts=%d depth=%d br=%.2f loops=%dx%d "
+            "mem=2^%d/%s arith=%s passes=%d%s"
+            % (
+                self.name,
+                self.seed,
+                self.stmts,
+                self.depth,
+                self.branchiness,
+                self.loop_depth,
+                self.trip,
+                self.mem_pow2,
+                self.access,
+                self.arith,
+                self.passes,
+                (" [" + ",".join(extras) + "]") if extras else "",
+            )
+        )

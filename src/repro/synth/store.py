@@ -1,0 +1,112 @@
+"""Spec persistence: ``synth:<hash>`` names resolvable in any process.
+
+A registered spec is written as one small JSON file under
+``results/synth/`` (override with ``$REPRO_SYNTH_DIR``), named by its
+content hash.  Resolution order is per-process memo, then disk -- the
+same shape as the trace store -- so a parallel sweep's worker processes
+resolve ``synth:`` workload names without any registration handshake:
+the parent registers (writes) once, the workers read.
+
+Files are plain JSON (never pickled) and verified on load: the stored
+dials must hash back to the file's own name, so a corrupted or
+hand-edited file can never silently stand in for a different workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.errors import SimError
+from .spec import SynthSpec
+
+SYNTH_PREFIX = "synth:"
+
+#: default spec directory, relative to the working directory
+DEFAULT_SYNTH_DIR = os.path.join("results", "synth")
+
+_memo: Dict[str, SynthSpec] = {}
+
+
+def synth_dir() -> str:
+    return os.environ.get("REPRO_SYNTH_DIR", DEFAULT_SYNTH_DIR)
+
+
+def is_synth_name(name: str) -> bool:
+    """True for ``synth:<hash>`` registry names."""
+    return name.startswith(SYNTH_PREFIX)
+
+
+def _spec_path(hash_: str) -> Path:
+    return Path(synth_dir()) / ("%s.json" % hash_)
+
+
+def register_spec(spec: SynthSpec, persist: bool = True) -> str:
+    """Make ``spec`` resolvable as a registry workload; returns its name.
+
+    Registration is idempotent (the name is the content hash).  With
+    ``persist=True`` (default) the spec is also written to the store so
+    other processes -- sweep workers, a later CLI invocation -- resolve
+    the same name.
+    """
+    spec = spec.validate()
+    hash_ = spec.spec_hash()
+    _memo[hash_] = spec
+    if persist:
+        path = _spec_path(hash_)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            blob = json.dumps(spec.to_dict(), sort_keys=True, indent=1)
+            tmp = path.with_suffix(".tmp.%d" % os.getpid())
+            tmp.write_text(blob + "\n")
+            os.replace(tmp, path)
+    return SYNTH_PREFIX + hash_
+
+
+def resolve_spec(name: str) -> SynthSpec:
+    """The spec behind a ``synth:<hash>`` name (memo, then disk)."""
+    hash_ = name[len(SYNTH_PREFIX):] if is_synth_name(name) else name
+    spec = _memo.get(hash_)
+    if spec is not None:
+        return spec
+    path = _spec_path(hash_)
+    try:
+        raw = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SimError(
+            "unknown synthetic workload %r (no %s; register it with "
+            "`dtsvliw synth new` or repro.synth.register_spec)"
+            % (name, path)
+        ) from None
+    except (OSError, ValueError) as exc:
+        raise SimError("unreadable synth spec %s: %s" % (path, exc)) from exc
+    spec = SynthSpec.from_dict(raw)
+    if spec.spec_hash() != hash_:
+        raise SimError(
+            "synth spec %s does not hash to its name (%s): corrupted or "
+            "edited store file" % (path, spec.spec_hash())
+        )
+    _memo[hash_] = spec
+    return spec
+
+
+def known_specs() -> List[SynthSpec]:
+    """Every spec in the store (sorted by hash), plus in-memory ones."""
+    specs: Dict[str, SynthSpec] = dict(_memo)
+    root = Path(synth_dir())
+    if root.is_dir():
+        for path in root.glob("*.json"):
+            hash_ = path.stem
+            if hash_ in specs:
+                continue
+            try:
+                specs[hash_] = resolve_spec(hash_)
+            except SimError:
+                continue  # corrupted files simply do not list
+    return [specs[h] for h in sorted(specs)]
+
+
+def _reset_memo_for_tests() -> None:
+    _memo.clear()

@@ -1,0 +1,397 @@
+"""Full-tower differential harness: every speed layer, in lockstep.
+
+The repo's performance tower grew one PR at a time: generic ``step()``
+oracle, predecoded closures, block-compiled superblocks, compiled
+primary-mode scheduling, trace capture/replay, batched family evaluation
+and the vectorized multi-config cache kernel.  Each layer claims bit
+identity with the one below it, and each claim is guarded by its own
+differential test -- but those tests pin one layer pair at a time over
+the eight fixed workloads.  This module closes the loop for *arbitrary*
+generated programs: :func:`run_tower` runs one :class:`SynthSpec`
+through every layer combination (the ``TOWER_STACKS``: engine hatches
+crossed with the batch/vector switches), with the slow generic
+interpreter as the oracle, and demands bit-identical ``Stats``, cycle
+counts and reference instruction counts everywhere.  Output and exit
+code are checked implicitly: ``run_program`` validates both against the
+reference machine inside every cell and raises on divergence.
+
+A failing spec is shrunk (:func:`shrink_spec`: greedy single-dial
+descent, deterministic) and stored under ``results/repros/``
+(``$REPRO_REPRO_DIR``) as a small JSON artifact that
+``dtsvliw synth replay`` re-runs verbatim -- the fuzzing counterpart of
+the result cache's provenance trail.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.config import MachineConfig
+from ..core.errors import SimError
+from ..harness.sweep import RunSpec, run_sweep
+from .spec import ACCESS_PATTERNS, ARITH_MIXES, SynthSpec
+from .store import register_spec
+
+#: default minimal-repro directory, relative to the working directory
+DEFAULT_REPRO_DIR = os.path.join("results", "repros")
+
+#: every escape hatch the tower pins per stack; anything ambient in the
+#: caller's environment would otherwise leak into (and equalize) stacks
+_HATCHES = (
+    "REPRO_GENERIC_STEP",
+    "REPRO_NO_BLOCK_COMPILE",
+    "REPRO_NO_PRIMARY_COMPILE",
+    "REPRO_EXECUTION_DRIVEN",
+    "REPRO_NO_BATCH",
+    "REPRO_NO_VECTOR",
+    "REPRO_NO_SCHED_MEMO",
+    "REPRO_NO_MEMO_STORE",
+)
+
+
+@dataclass(frozen=True)
+class Stack:
+    """One layer combination: env hatches plus run_sweep switches."""
+
+    name: str
+    env: Dict[str, str] = field(default_factory=dict)
+    batch: bool = False
+    vector: bool = False
+
+
+#: the layer combinations, cheapest-engine first; ``generic`` is the
+#: oracle every other stack must match bit for bit
+TOWER_STACKS: Tuple[Stack, ...] = (
+    # pure interpreter: no predecode closures, no trace replay
+    Stack("generic", {"REPRO_GENERIC_STEP": "1", "REPRO_EXECUTION_DRIVEN": "1"}),
+    # predecoded closures, block compilation off
+    Stack("predecoded", {"REPRO_NO_BLOCK_COMPILE": "1", "REPRO_EXECUTION_DRIVEN": "1"}),
+    # block-compiled superblocks, compiled primary-mode scheduling off
+    Stack("block", {"REPRO_NO_PRIMARY_COMPILE": "1", "REPRO_EXECUTION_DRIVEN": "1"}),
+    # block compilation plus compiled primary-mode scheduling
+    Stack("block+pm", {"REPRO_EXECUTION_DRIVEN": "1"}),
+    # trace capture + replay for eligible cells (live fallback otherwise)
+    Stack("replay", {}),
+    # batched family evaluation, scheduling memo off, scalar cache walks
+    Stack("batched", {"REPRO_NO_SCHED_MEMO": "1"}, batch=True),
+    # batched with the family-shared scheduling memo
+    Stack("batched+memo", {}, batch=True),
+    # batched families priming through the vectorized multi-config kernel
+    Stack("vectorized", {}, batch=True, vector=True),
+)
+
+
+class TowerMismatch(SimError):
+    """Two layer combinations disagreed on a generated workload."""
+
+    def __init__(self, report: "TowerReport"):
+        self.report = report
+        super().__init__(report.summary())
+
+
+@dataclass
+class TowerReport:
+    """Everything one :func:`run_tower` call compared, plus the verdict."""
+
+    spec: SynthSpec
+    cells: List[str]
+    stacks: List[str]
+    mismatches: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        if self.ok:
+            return "%s: %d stacks x %d cells bit-identical" % (
+                self.spec.name,
+                len(self.stacks),
+                len(self.cells),
+            )
+        return "%s: %d divergence(s):\n  %s" % (
+            self.spec.name,
+            len(self.mismatches),
+            "\n  ".join(self.mismatches),
+        )
+
+
+@contextlib.contextmanager
+def _stack_env(overrides: Dict[str, str]) -> Iterator[None]:
+    """Pin every tower hatch: ``overrides`` set, the rest cleared."""
+    saved = {v: os.environ.get(v) for v in _HATCHES}
+    try:
+        for v in _HATCHES:
+            os.environ.pop(v, None)
+        os.environ.update(overrides)
+        yield
+    finally:
+        for v, old in saved.items():
+            if old is None:
+                os.environ.pop(v, None)
+            else:
+                os.environ[v] = old
+
+
+def default_cells() -> List[Tuple[str, MachineConfig]]:
+    """The tower's machine-config axis.
+
+    One ideal-memory geometry (replay-eligible: exercises capture,
+    replay, batching and the memo) and the section 4.4 feasible machine
+    (real dcache: replay-*ineligible*, so batched stacks take the live
+    fallback and the vectorized kernel sees real cache geometry).
+    """
+    return [
+        ("4x4", MachineConfig.paper_fixed(4, 4, test_mode=False)),
+        ("feasible", MachineConfig.feasible(test_mode=False)),
+    ]
+
+
+def _diff(base, got) -> str:
+    """Short field-level diff of two RunResults."""
+    parts = []
+    if got.cycles != base.cycles:
+        parts.append("cycles %d != %d" % (got.cycles, base.cycles))
+    if got.ref_instructions != base.ref_instructions:
+        parts.append(
+            "ref_instructions %d != %d"
+            % (got.ref_instructions, base.ref_instructions)
+        )
+    for f in vars(base.stats):
+        b, g = getattr(base.stats, f), getattr(got.stats, f)
+        if f != "wall_time_s" and b != g:
+            parts.append("stats.%s %r != %r" % (f, g, b))
+    return "; ".join(parts) or "results differ"
+
+
+def run_tower(
+    spec: SynthSpec,
+    scale: Optional[float] = 1.0,
+    machines: Sequence[str] = ("dtsvliw", "dif", "scalar"),
+    configs: Optional[Sequence[Tuple[str, MachineConfig]]] = None,
+    stacks: Optional[Sequence[Stack]] = None,
+    max_cycles: Optional[int] = None,
+) -> TowerReport:
+    """Run ``spec`` through every stack; compare all results to generic.
+
+    Every cell is ``use_cache=False`` (the result cache would collapse
+    the stacks into one run) and ``jobs=1`` (in-process, so the trace
+    store, block cache and scheduling memo warm across stacks exactly
+    like a long-lived session).  Stats equality already excludes wall
+    time; output and exit code are validated against the reference
+    machine inside ``run_program`` itself, so a content divergence
+    surfaces as a raised ``SimError`` rather than a silent pass.
+    """
+    register_spec(spec)
+    configs = default_cells() if configs is None else list(configs)
+    stacks = TOWER_STACKS if stacks is None else list(stacks)
+    specs = [
+        RunSpec(
+            spec.name,
+            cfg,
+            machine=m,
+            scale=scale,
+            max_cycles=max_cycles,
+            meta={"cell": "%s/%s" % (label, m)},
+        )
+        for label, cfg in configs
+        for m in machines
+    ]
+    cells = [s.meta["cell"] for s in specs]
+    mismatches: List[str] = []
+    baseline = None
+    for stack in stacks:
+        with _stack_env(stack.env):
+            try:
+                run = run_sweep(
+                    specs,
+                    jobs=1,
+                    use_cache=False,
+                    batch=stack.batch,
+                    vector=stack.vector,
+                )
+            except SimError as exc:
+                mismatches.append("[%s] raised: %s" % (stack.name, exc))
+                continue
+        if baseline is None:
+            baseline = run.results
+            continue
+        for cell, base, got in zip(cells, baseline, run.results):
+            if (
+                got.stats != base.stats
+                or got.cycles != base.cycles
+                or got.ref_instructions != base.ref_instructions
+            ):
+                mismatches.append(
+                    "[%s] %s: %s" % (stack.name, cell, _diff(base, got))
+                )
+    return TowerReport(
+        spec=spec,
+        cells=cells,
+        stacks=[s.name for s in stacks],
+        mismatches=mismatches,
+    )
+
+
+def check_spec(spec: SynthSpec, **kw) -> TowerReport:
+    """:func:`run_tower`, raising :class:`TowerMismatch` on divergence."""
+    report = run_tower(spec, **kw)
+    if not report.ok:
+        raise TowerMismatch(report)
+    return report
+
+
+# ------------------------------------------------------------------ shrinking
+def _shrink_candidates(spec: SynthSpec) -> Iterator[SynthSpec]:
+    """Single-dial reductions of ``spec``, most drastic first."""
+    moves: List[Tuple[str, object]] = [
+        ("passes", 1),
+        ("stmts", max(1, spec.stmts // 2)),
+        ("stmts", spec.stmts - 1),
+        ("loop_depth", 0),
+        ("loop_depth", spec.loop_depth - 1),
+        ("depth", 0),
+        ("depth", spec.depth - 1),
+        ("trip", 1),
+        ("trip", max(1, spec.trip // 2)),
+        ("while_loops", False),
+        ("branchiness", 0.0),
+        ("mem_pow2", 4),
+        ("access", "strided"),
+        ("stride", 1),
+        ("call_depth", 0),
+        ("recursion", 0),
+        ("arith", "alu"),
+        ("signed_bytes", False),
+        ("seed", 0),
+    ]
+    for name, value in moves:
+        if getattr(spec, name) == value:
+            continue
+        try:
+            yield spec.with_(**{name: value})
+        except SimError:
+            continue  # reduction fell outside the dial range
+
+
+def shrink_spec(
+    spec: SynthSpec,
+    still_fails: Callable[[SynthSpec], bool],
+    log: Optional[Callable[[str], None]] = None,
+) -> SynthSpec:
+    """Greedy deterministic shrink: smallest spec where ``still_fails``.
+
+    Repeatedly tries single-dial reductions (first-accepted-wins, then
+    restart), so the result is a local minimum: no single dial can be
+    reduced further without losing the failure.  ``still_fails`` should
+    be pure -- typically ``lambda s: not run_tower(s).ok``.
+    """
+    spec = spec.validate()
+    progress = True
+    while progress:
+        progress = False
+        for cand in _shrink_candidates(spec):
+            if still_fails(cand):
+                if log:
+                    log("shrunk to %s" % cand.describe())
+                spec = cand
+                progress = True
+                break
+    return spec
+
+
+# ------------------------------------------------------------ repro artifacts
+def repro_dir() -> str:
+    return os.environ.get("REPRO_REPRO_DIR", DEFAULT_REPRO_DIR)
+
+
+def save_repro(
+    spec: SynthSpec, reason: str, extra: Optional[Dict] = None
+) -> str:
+    """Store a failing spec as a replayable JSON artifact; returns path."""
+    root = Path(repro_dir())
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / ("%s.json" % spec.spec_hash())
+    payload = {
+        "version": 1,
+        "name": spec.name,
+        "spec": spec.to_dict(),
+        "reason": reason,
+        "replay": "PYTHONPATH=src python -m repro.harness.cli synth replay %s"
+        % path,
+    }
+    if extra:
+        payload.update(extra)
+    tmp = path.with_suffix(".tmp.%d" % os.getpid())
+    tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+    os.replace(tmp, path)
+    return str(path)
+
+
+def load_repro(path: str) -> Tuple[SynthSpec, Dict]:
+    """-> (spec, full payload) of a stored repro artifact."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise SimError("unreadable repro artifact %s: %s" % (path, exc))
+    try:
+        spec = SynthSpec.from_dict(payload["spec"])
+    except (KeyError, TypeError) as exc:
+        raise SimError("malformed repro artifact %s: %s" % (path, exc))
+    return spec, payload
+
+
+# ------------------------------------------------------------------- corpora
+#: hand-picked dial-grid corners: each preset stresses one dial family
+_PRESETS = (
+    dict(),
+    dict(branchiness=0.9, depth=2, stmts=6),
+    dict(loop_depth=3, trip=6, stmts=6),
+    dict(while_loops=True, branchiness=0.5, depth=2),
+    dict(access="chase", mem_pow2=7),
+    dict(access="mixed", stride=5, mem_pow2=8),
+    dict(call_depth=3, stmts=6),
+    dict(recursion=7, branchiness=0.4),
+    dict(arith="mul", stmts=6),
+    dict(arith="float", stmts=6),
+    dict(arith="mixed", signed_bytes=True, depth=2),
+    dict(signed_bytes=True, while_loops=True, branchiness=0.6),
+)
+
+
+def corpus_specs(count: int = 50, seed: int = 0) -> List[SynthSpec]:
+    """A deterministic corpus spanning the dial grid.
+
+    The fixed presets cover each dial family's far corner; the remainder
+    are random draws (seeded, so the corpus is stable across runs)
+    biased toward small bodies to keep a full-tower pass affordable.
+    """
+    rng = random.Random("corpus#%d" % seed)
+    specs = [SynthSpec(**kw).validate() for kw in _PRESETS[:count]]
+    while len(specs) < count:
+        specs.append(
+            SynthSpec(
+                seed=rng.randrange(2**32),
+                stmts=rng.randint(1, 8),
+                depth=rng.randint(0, 2),
+                branchiness=round(rng.random(), 2),
+                loop_depth=rng.randint(0, 2),
+                trip=rng.randint(1, 8),
+                while_loops=rng.random() < 0.5,
+                mem_pow2=rng.randint(4, 8),
+                access=rng.choice(ACCESS_PATTERNS),
+                stride=rng.randint(1, 8),
+                call_depth=rng.randint(0, 2),
+                recursion=rng.choice([0, 0, 3, 7]),
+                arith=rng.choice(ARITH_MIXES),
+                signed_bytes=rng.random() < 0.5,
+                passes=rng.randint(1, 3),
+            ).validate()
+        )
+    return specs

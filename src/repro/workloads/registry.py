@@ -1,10 +1,17 @@
-"""Workload registry: the Table 2 analogue.
+"""Workload registry: the Table 2 analogue, plus synthetic workloads.
 
 Maps benchmark names to their minicc sources, compiles and caches the
 assembled :class:`~repro.asm.program.Program` objects, and caches the
 reference-machine instruction counts (the IPC numerator) per
 ``(name, scale, hw_mul)`` so parameter sweeps do not re-run the reference
 for every machine configuration.
+
+Besides the eight fixed benchmarks, any name of the form
+``synth:<spec-hash>`` resolves through :mod:`repro.synth`: the spec is
+looked up in the synth store (``results/synth/`` /
+``$REPRO_SYNTH_DIR``) and its source generated deterministically, so
+generated workloads ride through ``run_sweep``, the result cache, the
+trace store and family batching exactly like the fixed ones.
 """
 
 from __future__ import annotations
@@ -59,17 +66,34 @@ _reference_cache: Dict[Tuple, Tuple[int, bytes, int]] = {}
 
 def workload_info(name: str) -> Tuple[str, str]:
     """-> (description, which SPECint95 program it mirrors)."""
+    if name.startswith("synth:"):
+        # lazy: repro.synth imports the sweep layer, which imports us
+        from ..synth.store import resolve_spec
+
+        spec = resolve_spec(name)
+        return spec.describe(), "parametric synthetic workload (repro.synth)"
     mod = _MODULES.get(name)
     if mod is None:
-        raise SimError("unknown workload %r (have: %s)" % (name, BENCHMARKS))
+        raise SimError(
+            "unknown workload %r (have: %s, plus synth:<hash> names)"
+            % (name, BENCHMARKS)
+        )
     return mod.DESCRIPTION, mod.MIRRORS
 
 
 def workload_source(name: str, scale: float = 1.0) -> str:
     """The minicc source of workload ``name`` at ``scale``."""
+    if name.startswith("synth:"):
+        from ..synth.generator import generate_source
+        from ..synth.store import resolve_spec
+
+        return generate_source(resolve_spec(name), scale)
     mod = _MODULES.get(name)
     if mod is None:
-        raise SimError("unknown workload %r (have: %s)" % (name, BENCHMARKS))
+        raise SimError(
+            "unknown workload %r (have: %s, plus synth:<hash> names)"
+            % (name, BENCHMARKS)
+        )
     return mod.source(scale)
 
 

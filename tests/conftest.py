@@ -11,6 +11,14 @@ the developer's shell can never alter what a test observes, and
 ``REPRO_NO_BLOCK_COMPILE`` likewise so every test sees the default
 block-compiled dispatch; the compiled-block cache
 (``REPRO_BLOCK_DIR``) is session-isolated like the trace store.
+
+The same treatment covers every other on-disk store (result cache,
+scheduling-memo store, synth specs, fuzz repro artifacts) and every
+remaining engine hatch (``REPRO_GENERIC_STEP``,
+``REPRO_EXECUTION_DRIVEN``, batch/vector/memo/cache switches, the
+timing-mutation seam): an ambient setting in the developer's shell must
+never change what a test observes, and a failing fuzz test must never
+litter the repo's ``results/`` tree.
 """
 
 import pytest
@@ -58,3 +66,43 @@ def _isolated_memo_store(_session_memo_dir, monkeypatch):
     monkeypatch.setenv("REPRO_MEMO_DIR", _session_memo_dir)
     monkeypatch.delenv("REPRO_NO_PRIMARY_COMPILE", raising=False)
     monkeypatch.delenv("REPRO_NO_MEMO_STORE", raising=False)
+
+
+@pytest.fixture(scope="session")
+def _session_cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("resultcache"))
+
+
+@pytest.fixture(scope="session")
+def _session_synth_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("synth"))
+
+
+@pytest.fixture(scope="session")
+def _session_repro_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("repros"))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(_session_cache_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", _session_cache_dir)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_synth_stores(_session_synth_dir, _session_repro_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_SYNTH_DIR", _session_synth_dir)
+    monkeypatch.setenv("REPRO_REPRO_DIR", _session_repro_dir)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_hatches(monkeypatch):
+    for var in (
+        "REPRO_GENERIC_STEP",
+        "REPRO_EXECUTION_DRIVEN",
+        "REPRO_NO_BATCH",
+        "REPRO_NO_VECTOR",
+        "REPRO_NO_SCHED_MEMO",
+        "REPRO_NO_CACHE",
+        "REPRO_MUTATE_TIMING",
+    ):
+        monkeypatch.delenv(var, raising=False)

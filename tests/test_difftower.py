@@ -1,0 +1,173 @@
+"""Full-tower differential fuzzing (repro.synth.tower): every speed
+layer the repo has grown -- generic step, predecode, block compile,
+compiled primary-mode scheduling, trace replay, batched families, the
+vectorized cache kernel -- must agree bit for bit on generated
+workloads.  Includes the mutation smoke test: a deliberately injected
+timing bug must be caught, shrunk to a minimal spec and stored as a
+replayable repro artifact."""
+
+import os
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MachineConfig
+from repro.synth import (
+    TOWER_STACKS,
+    SynthSpec,
+    TowerMismatch,
+    check_spec,
+    corpus_specs,
+    load_repro,
+    repro_dir,
+    run_tower,
+    save_repro,
+    shrink_spec,
+)
+from repro.synth.spec import ACCESS_PATTERNS, ARITH_MIXES
+
+#: the cheap tower slice used by the expensive shrinking tests: the
+#: per-cell replay path (oracle) against the batched closed form, one
+#: replay-eligible geometry, scalar machine only
+_CFG_4X4 = [("4x4", MachineConfig.paper_fixed(4, 4, test_mode=False))]
+_REPLAY_VS_BATCH = [
+    s for s in TOWER_STACKS if s.name in ("replay", "batched")
+]
+
+
+def spec_strategy():
+    """Shrink-friendly SynthSpec draw: every field shrinks to its min."""
+    return st.builds(
+        SynthSpec,
+        seed=st.integers(0, 2**32 - 1),
+        stmts=st.integers(1, 8),
+        depth=st.integers(0, 2),
+        branchiness=st.sampled_from([0.0, 0.3, 0.7]),
+        loop_depth=st.integers(0, 2),
+        trip=st.integers(1, 6),
+        while_loops=st.booleans(),
+        mem_pow2=st.integers(4, 7),
+        access=st.sampled_from(ACCESS_PATTERNS),
+        stride=st.integers(1, 8),
+        call_depth=st.integers(0, 2),
+        recursion=st.sampled_from([0, 3, 7]),
+        arith=st.sampled_from(ARITH_MIXES),
+        signed_bytes=st.booleans(),
+        passes=st.integers(1, 2),
+    )
+
+
+def test_tower_covers_every_layer():
+    names = [s.name for s in TOWER_STACKS]
+    assert names == [
+        "generic",
+        "predecoded",
+        "block",
+        "block+pm",
+        "replay",
+        "batched",
+        "batched+memo",
+        "vectorized",
+    ]
+    # the oracle comes first and runs the raw interpreter
+    assert TOWER_STACKS[0].env["REPRO_GENERIC_STEP"] == "1"
+    assert not TOWER_STACKS[0].batch
+    assert TOWER_STACKS[-1].batch and TOWER_STACKS[-1].vector
+
+
+def test_fifty_spec_corpus_bit_identical_across_all_stacks():
+    """The acceptance sweep: >= 50 dial-grid workloads, 8 stacks, 2
+    configs, 3 machines -- every cell bit-identical to the generic
+    oracle (and output/exit validated against the reference inside
+    every run)."""
+    specs = corpus_specs(50, seed=0)
+    failures = []
+    for spec in specs:
+        report = run_tower(spec, scale=0.5)
+        if not report.ok:
+            failures.append(report.summary())
+    assert not failures, "\n".join(failures)
+
+
+@settings(max_examples=5, deadline=None)
+@given(spec_strategy())
+def test_random_specs_bit_identical(spec):
+    """Hypothesis-driven tower differential: a failing draw is stored as
+    a repro artifact before hypothesis shrinks it, so the minimal
+    failing spec (replayed last) is what survives on disk."""
+    try:
+        check_spec(spec, scale=0.5)
+    except TowerMismatch as exc:
+        save_repro(spec, reason=exc.report.mismatches[0])
+        raise
+
+
+def test_tower_restores_ambient_env(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_VECTOR", "1")
+    monkeypatch.setenv("REPRO_EXECUTION_DRIVEN", "1")
+    run_tower(
+        SynthSpec(),
+        machines=("scalar",),
+        configs=_CFG_4X4,
+        stacks=_REPLAY_VS_BATCH,
+    )
+    assert os.environ["REPRO_NO_VECTOR"] == "1"
+    assert os.environ["REPRO_EXECUTION_DRIVEN"] == "1"
+
+
+class TestMutationSmoke:
+    """Inject a real timing bug through the $REPRO_MUTATE_TIMING seam
+    (extra cycles in the batched scalar closed form whenever the trace
+    has a load-use bubble) and demand the harness catch it, shrink it
+    and store a replayable minimal spec."""
+
+    def _fails(self, spec):
+        return not run_tower(
+            spec,
+            machines=("scalar",),
+            configs=_CFG_4X4,
+            stacks=_REPLAY_VS_BATCH,
+        ).ok
+
+    def test_caught_shrunk_and_stored(self, monkeypatch):
+        spec = SynthSpec(
+            while_loops=True, signed_bytes=True, depth=2, stmts=6, seed=3
+        )
+        # clean tower first: the bug, not the harness, must be the signal
+        assert not self._fails(spec)
+        monkeypatch.setenv("REPRO_MUTATE_TIMING", "3")
+        report = run_tower(
+            spec,
+            machines=("scalar",),
+            configs=_CFG_4X4,
+            stacks=_REPLAY_VS_BATCH,
+        )
+        assert not report.ok
+        assert any("cycles" in m for m in report.mismatches)
+
+        mini = shrink_spec(spec, self._fails)
+        assert self._fails(mini)
+        # a local minimum: the most drastic single-dial reductions are
+        # already applied (anything left is needed to keep the failure)
+        assert mini.passes == 1 and mini.stmts == 1
+        path = save_repro(mini, reason=report.mismatches[0])
+        assert Path(path).parent == Path(repro_dir())
+        loaded, payload = load_repro(path)
+        assert loaded == mini
+        assert "cycles" in payload["reason"]
+
+        # the artifact replays: still failing while mutated ...
+        assert self._fails(loaded)
+        # ... and clean once the bug is fixed (seam off)
+        monkeypatch.delenv("REPRO_MUTATE_TIMING")
+        assert not self._fails(loaded)
+
+    def test_seam_is_inert_by_default(self):
+        assert "REPRO_MUTATE_TIMING" not in os.environ
+        check_spec(
+            SynthSpec(seed=3),
+            machines=("scalar",),
+            configs=_CFG_4X4,
+            stacks=_REPLAY_VS_BATCH,
+        )

@@ -2,9 +2,12 @@
 lockstep test mode (plus a DIF run) against the sequential reference.
 
 The generator only produces terminating, memory-safe programs (counted
-loops, power-of-two array sizes indexed through masks), but otherwise
-mixes arithmetic, control flow, array traffic, calls and recursion freely
--- this is the widest net for scheduler/engine interaction bugs.
+loops, ``while`` loops whose compound exit condition carries an
+unconditionally-decremented counter conjunct, power-of-two array sizes
+indexed through masks), but otherwise mixes arithmetic, control flow,
+array traffic, signed byte loads (``load_s8`` -> ``ldsb``), calls and
+recursion freely -- this is the widest net for scheduler/engine
+interaction bugs.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -39,16 +42,19 @@ def gen_expr(draw, depth):
 
 
 def gen_stmt(draw, depth, allow_loop=True):
-    kind = draw(st.integers(0, 5 if allow_loop else 4))
-    if kind == 0:
+    kinds = ["assign", "store", "if", "call", "rec", "sload", "cstore"]
+    if allow_loop:
+        kinds += ["for", "while"]
+    kind = draw(st.sampled_from(kinds))
+    if kind == "assign":
         var = draw(st.sampled_from(["a", "b", "c"]))
         return "%s = (%s) & 0xffff;" % (var, gen_expr(draw, depth))
-    if kind == 1:
+    if kind == "store":
         return "data[(%s) & 31] = (%s) & 0xffff;" % (
             gen_expr(draw, 1),
             gen_expr(draw, depth),
         )
-    if kind == 2:
+    if kind == "if":
         cmp_ = draw(st.sampled_from(CMP_OPS))
         return "if ((%s) %s (%s)) { %s } else { %s }" % (
             gen_expr(draw, 1),
@@ -57,10 +63,42 @@ def gen_stmt(draw, depth, allow_loop=True):
             gen_stmt(draw, depth - 1, allow_loop),
             gen_stmt(draw, depth - 1, allow_loop),
         )
-    if kind == 3:
+    if kind == "call":
         return "a = helper((%s) & 255, b);" % gen_expr(draw, 1)
-    if kind == 4:
+    if kind == "rec":
         return "b = b + rec((%s) & 7);" % gen_expr(draw, 1)
+    if kind == "sload":
+        # the only minicc path to ld_signed (plain char loads are ldub)
+        var = draw(st.sampled_from(["a", "b", "c"]))
+        return "%s = load_s8(&cdata[(%s) & 31]) & 0xffff;" % (
+            var,
+            gen_expr(draw, 1),
+        )
+    if kind == "cstore":
+        return "cdata[(%s) & 31] = (%s) & 255;" % (
+            gen_expr(draw, 1),
+            gen_expr(draw, depth),
+        )
+    if kind == "while":
+        # compound exit: the w-counter conjunct (decremented
+        # unconditionally at the body's end) guarantees termination, the
+        # data-dependent disjunct exercises multi-branch loop exits; the
+        # body must not contain another loop (it would reuse w or j)
+        body = gen_stmt(draw, depth - 1, allow_loop=False)
+        cond = "(%s) %s (%s)" % (
+            gen_expr(draw, 1),
+            draw(st.sampled_from(CMP_OPS)),
+            gen_expr(draw, 1),
+        )
+        if draw(st.booleans()):
+            cond = "w > 0 && (%s)" % cond
+        else:
+            cond = "w > 0 && ((%s) || w > 1)" % cond
+        return "w = %d; while (%s) { %s w = w - 1; }" % (
+            draw(st.integers(1, 6)),
+            cond,
+            body,
+        )
     # counted loop over j: the body must not contain another j-loop
     # (nested loops sharing the induction variable would not terminate)
     body = gen_stmt(draw, depth - 1, allow_loop=False)
@@ -74,21 +112,24 @@ def program_source(draw):
     return (
         """
 int data[%d];
+char cdata[%d];
 int helper(int x, int y) { return (x ^ y) + (x & 15); }
 int rec(int n) { if (n <= 0) return 1; return rec(n - 1) + n; }
 int main() {
-  int a = 5; int b = 9; int c = 12; int i; int j = 0;
+  int a = 5; int b = 9; int c = 12; int i; int j = 0; int w = 0;
   for (i = 0; i < %d; i++) data[i] = i * 3;
+  for (i = 0; i < %d; i++) cdata[i] = (i * 37) & 255;
   for (i = 0; i < 8; i++) {
       %s
   }
   int s = a + b + c;
   for (i = 0; i < %d; i++) s += data[i];
+  for (i = 0; i < %d; i++) s += load_s8(&cdata[i]);
   print_int(s & 0xffffff);
   return s & 0xff;
 }
 """
-        % (ARRAY, ARRAY, body, ARRAY)
+        % (ARRAY, ARRAY, ARRAY, ARRAY, body, ARRAY, ARRAY)
     )
 
 

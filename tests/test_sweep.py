@@ -182,6 +182,51 @@ class TestResultCache:
         assert code_version() == code_version()
         assert len(code_version()) == 16
 
+    def test_synth_cells_batch_and_cache_like_fixed_workloads(self, tmp_path):
+        """synth:<hash> names are first-class sweep citizens: the family
+        batcher groups them (their RunSpec carries no inline source) and
+        the result cache replays them with the usual provenance
+        counters; the generator's code is inside the cached
+        code-version fingerprint, so hits are trustworthy."""
+        from repro.synth import SynthSpec, register_spec
+
+        name = register_spec(SynthSpec(seed=31, while_loops=True))
+        specs = [
+            RunSpec(
+                name,
+                MachineConfig.paper_fixed(*geom, test_mode=False),
+                scale=1.0,
+            )
+            for geom in [(4, 4), (8, 8)]
+        ]
+        cold = self._run(tmp_path, specs)
+        assert (cold.summary.simulated, cold.summary.cached) == (2, 0)
+        assert cold.summary.batched == 2  # one family, shared trace
+        warm = self._run(tmp_path, specs)
+        assert (warm.summary.simulated, warm.summary.cached) == (0, 2)
+        assert [r.stats for r in warm.results] == [
+            r.stats for r in cold.results
+        ]
+
+    def test_synth_resolution_survives_worker_processes(self, tmp_path):
+        """Parallel sweeps resolve synth: names from the on-disk spec
+        store alone -- workers never saw the registering process's
+        memo."""
+        from repro.synth import SynthSpec, register_spec
+
+        name = register_spec(SynthSpec(seed=32))
+        spec = RunSpec(
+            name,
+            MachineConfig.paper_fixed(4, 4, test_mode=False),
+            scale=1.0,
+        )
+        run = run_sweep(
+            [spec], jobs=2, use_cache=False, batch=False,
+            executor=ProcessPoolExecutor(2),
+        )
+        assert run.summary.executor == "process"
+        assert run.results[0].cycles > 0
+
     def test_fingerprint_ignores_artifacts(self, tmp_path):
         """Producing results must never invalidate the cache holding them:
         results/, __pycache__/ and non-*.py files are outside the

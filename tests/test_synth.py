@@ -1,0 +1,298 @@
+"""Tests for the synthetic-workload generator subsystem (repro.synth):
+spec round-trip and hashing, deterministic generation across the dial
+grid, the spec store, registry integration of ``synth:`` names, repro
+artifacts, the greedy shrinker and the ``dtsvliw synth`` CLI verb."""
+
+import json
+
+import pytest
+
+from repro import compile_and_load
+from repro.core.errors import SimError
+from repro.core.reference import ReferenceMachine
+from repro.harness.cli import main as cli_main
+from repro.synth import (
+    SynthSpec,
+    corpus_specs,
+    generate_source,
+    is_synth_name,
+    known_specs,
+    load_repro,
+    register_spec,
+    resolve_spec,
+    save_repro,
+    shrink_spec,
+)
+from repro.synth.store import _reset_memo_for_tests
+from repro.workloads import registry
+
+
+@pytest.fixture(autouse=True)
+def _private_stores(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SYNTH_DIR", str(tmp_path / "synth"))
+    monkeypatch.setenv("REPRO_REPRO_DIR", str(tmp_path / "repros"))
+    _reset_memo_for_tests()
+    yield
+    _reset_memo_for_tests()
+
+
+class TestSpec:
+    def test_round_trip_and_hash_stability(self):
+        spec = SynthSpec(
+            seed=7,
+            while_loops=True,
+            access="mixed",
+            arith="mixed",
+            signed_bytes=True,
+            branchiness=0.5,
+        )
+        again = SynthSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.spec_hash() == spec.spec_hash()
+        # hashing is dict-order independent (canonical JSON)
+        shuffled = dict(reversed(list(spec.to_dict().items())))
+        assert SynthSpec.from_dict(shuffled).spec_hash() == spec.spec_hash()
+
+    def test_every_dial_changes_the_hash(self):
+        base = SynthSpec()
+        variants = [
+            base.with_(seed=1),
+            base.with_(stmts=5),
+            base.with_(depth=2),
+            base.with_(branchiness=0.9),
+            base.with_(loop_depth=2),
+            base.with_(trip=5),
+            base.with_(while_loops=True),
+            base.with_(mem_pow2=7),
+            base.with_(access="chase"),
+            base.with_(stride=2),
+            base.with_(call_depth=1),
+            base.with_(recursion=3),
+            base.with_(arith="float"),
+            base.with_(signed_bytes=True),
+            base.with_(passes=3),
+        ]
+        hashes = {base.spec_hash()} | {v.spec_hash() for v in variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_name_is_prefixed_hash(self):
+        spec = SynthSpec()
+        assert spec.name == "synth:" + spec.spec_hash()
+        assert is_synth_name(spec.name)
+        assert not is_synth_name("perl")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("stmts", 0),
+            ("stmts", 17),
+            ("depth", 4),
+            ("branchiness", 1.5),
+            ("loop_depth", -1),
+            ("trip", 0),
+            ("mem_pow2", 3),
+            ("mem_pow2", 13),
+            ("access", "random"),
+            ("stride", 9),
+            ("call_depth", 5),
+            ("recursion", 16),
+            ("arith", "simd"),
+            ("passes", 0),
+        ],
+    )
+    def test_validate_rejects_out_of_range(self, field, value):
+        with pytest.raises(SimError, match=field):
+            SynthSpec(**{field: value}).validate()
+
+    def test_from_dict_rejects_unknown_fields_and_versions(self):
+        d = SynthSpec().to_dict()
+        d["warp_drive"] = 1
+        with pytest.raises(SimError, match="warp_drive"):
+            SynthSpec.from_dict(d)
+        d = SynthSpec().to_dict()
+        d["version"] = 99
+        with pytest.raises(SimError, match="version"):
+            SynthSpec.from_dict(d)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = SynthSpec(while_loops=True, signed_bytes=True, depth=2)
+        assert generate_source(spec) == generate_source(spec)
+
+    def test_distinct_seeds_distinct_programs(self):
+        assert generate_source(SynthSpec(seed=1)) != generate_source(
+            SynthSpec(seed=2)
+        )
+
+    def test_scale_multiplies_passes_only(self):
+        spec = SynthSpec(passes=4)
+        small = generate_source(spec, 0.5)
+        big = generate_source(spec, 2.0)
+        assert "t < 2" in small and "t < 8" in big
+        assert small.replace("t < 2", "t < 8") == big
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {},
+            {"while_loops": True, "branchiness": 0.8, "depth": 2},
+            {"access": "chase", "mem_pow2": 5},
+            {"access": "mixed", "stride": 7},
+            {"call_depth": 3, "recursion": 7},
+            {"arith": "mixed", "signed_bytes": True},
+            {"loop_depth": 3, "trip": 3, "stmts": 6},
+        ],
+        ids=lambda kw: ",".join(kw) or "defaults",
+    )
+    def test_dial_corners_compile_terminate_and_self_check(self, kw):
+        spec = SynthSpec(seed=11, **kw)
+        program = compile_and_load(generate_source(spec))
+        ref = ReferenceMachine(program)
+        n = ref.run(max_instructions=20_000_000)
+        assert n > 0
+        # the printed checksum and the exit code agree (self-check)
+        checksum = int(ref.output)
+        assert ref.exit_code == checksum & 0xFF
+
+    def test_signed_bytes_reach_ldsb(self):
+        spec = SynthSpec(signed_bytes=True, stmts=8, seed=5)
+        src = generate_source(spec)
+        assert "load_s8" in src
+
+    def test_corpus_spans_the_dial_grid(self):
+        specs = corpus_specs(50, seed=0)
+        assert len(specs) == 50
+        assert len({s.spec_hash() for s in specs}) == 50
+        assert corpus_specs(50, seed=0) == specs  # deterministic
+        assert any(s.while_loops for s in specs)
+        assert any(s.signed_bytes for s in specs)
+        assert any(s.recursion for s in specs)
+        assert any(s.call_depth for s in specs)
+        assert {s.access for s in specs} == {"strided", "chase", "mixed"}
+        assert {s.arith for s in specs} == {"alu", "mul", "float", "mixed"}
+        assert any(s.loop_depth >= 2 for s in specs)
+        assert any(s.branchiness >= 0.7 for s in specs)
+
+
+class TestStoreAndRegistry:
+    def test_register_resolve_round_trip(self):
+        spec = SynthSpec(seed=21, while_loops=True)
+        name = register_spec(spec)
+        assert name == spec.name
+        _reset_memo_for_tests()  # force the disk path
+        assert resolve_spec(name) == spec
+        assert spec in known_specs()
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(SimError, match="unknown synthetic workload"):
+            resolve_spec("synth:ffffffffffff")
+
+    def test_corrupted_store_file_rejected(self, tmp_path, monkeypatch):
+        spec = SynthSpec(seed=4)
+        register_spec(spec)
+        _reset_memo_for_tests()
+        import os
+        from pathlib import Path
+
+        path = Path(os.environ["REPRO_SYNTH_DIR"]) / (
+            "%s.json" % spec.spec_hash()
+        )
+        edited = spec.with_(seed=5)
+        path.write_text(json.dumps(edited.to_dict()))
+        with pytest.raises(SimError, match="does not hash"):
+            resolve_spec(spec.name)
+
+    def test_registry_accepts_synth_names(self):
+        spec = SynthSpec(seed=8)
+        name = register_spec(spec)
+        desc, mirrors = registry.workload_info(name)
+        assert spec.spec_hash() in desc
+        assert "synth" in mirrors
+        assert registry.workload_source(name) == generate_source(spec)
+        program = registry.load_program(name, scale=1.0)
+        n, out, code = registry.reference_run(name, scale=1.0)
+        assert n > 0 and code == int(out) & 0xFF
+
+    def test_registry_still_rejects_unknown_names(self):
+        with pytest.raises(SimError, match="unknown workload"):
+            registry.workload_info("quake")
+
+
+class TestReproArtifacts:
+    def test_save_load_round_trip(self):
+        spec = SynthSpec(seed=13, signed_bytes=True)
+        path = save_repro(spec, reason="cycles 10 != 11", extra={"k": "v"})
+        loaded, payload = load_repro(path)
+        assert loaded == spec
+        assert payload["reason"] == "cycles 10 != 11"
+        assert payload["k"] == "v"
+        assert "synth replay" in payload["replay"]
+
+    def test_load_malformed_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(SimError, match="malformed"):
+            load_repro(str(bad))
+        with pytest.raises(SimError, match="unreadable"):
+            load_repro(str(tmp_path / "missing.json"))
+
+
+class TestShrinker:
+    def test_converges_to_local_minimum(self):
+        # synthetic predicate: fails whenever signed bytes are on and the
+        # body has at least 3 statements
+        def fails(s):
+            return s.signed_bytes and s.stmts >= 3
+
+        start = SynthSpec(
+            stmts=12,
+            depth=3,
+            while_loops=True,
+            signed_bytes=True,
+            branchiness=0.9,
+            loop_depth=3,
+            recursion=7,
+            passes=8,
+        )
+        mini = shrink_spec(start, fails)
+        assert fails(mini)
+        assert mini.stmts == 3 and mini.signed_bytes
+        # everything irrelevant got zeroed
+        assert mini.passes == 1 and mini.depth == 0 and mini.loop_depth == 0
+        assert not mini.while_loops and mini.recursion == 0
+
+    def test_noop_when_predicate_never_fires(self):
+        spec = SynthSpec()
+        assert shrink_spec(spec, lambda s: False) == spec
+
+
+class TestCli:
+    def test_new_show_emit_list(self, capsys):
+        assert (
+            cli_main(
+                ["synth", "new", "--dial", "while_loops=true", "--dial", "seed=3"]
+            )
+            == 0
+        )
+        name = capsys.readouterr().out.splitlines()[0].strip()
+        assert name.startswith("synth:")
+        spec = resolve_spec(name)
+        assert spec.while_loops and spec.seed == 3
+
+        assert cli_main(["synth", "show", name]) == 0
+        out = capsys.readouterr().out
+        assert name in out and '"while_loops": true' in out
+
+        assert cli_main(["synth", "emit", name]) == 0
+        assert "int main()" in capsys.readouterr().out
+
+        assert cli_main(["synth", "list"]) == 0
+        assert name in capsys.readouterr().out
+
+    def test_bad_dial_rejected(self):
+        with pytest.raises(SimError, match="unknown SynthSpec dial"):
+            cli_main(["synth", "new", "--dial", "warp=1"])
+
+    def test_show_without_target_errors(self, capsys):
+        assert cli_main(["synth", "show"]) == 2
